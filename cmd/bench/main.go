@@ -1,0 +1,63 @@
+// Command bench regenerates the experiment tables of EXPERIMENTS.md:
+// one table per reproduced claim of the paper (DESIGN.md §3 maps claims
+// to experiments).
+//
+// Usage:
+//
+//	bench            # all experiments at full scale
+//	bench -exp e4    # one experiment
+//	bench -quick     # reduced sizes (the configuration CI runs)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"distflow/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp   = flag.String("exp", "", "comma-separated experiment ids (e1..e10); empty = all")
+		quick = flag.Bool("quick", false, "reduced instance sizes")
+	)
+	flag.Parse()
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+	want := map[string]bool{}
+	if *exp != "" {
+		for _, id := range strings.Split(*exp, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	ran := 0
+	for _, r := range experiments.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		start := time.Now()
+		tab, err := r.Run(scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		tab.Fprint(os.Stdout)
+		fmt.Printf("   (%s regenerated in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matched %q", *exp)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+// Command graphgen emits workload graphs in the text format consumed by
+// cmd/maxflow.
+//
+// Usage:
+//
+//	graphgen -family grid -n 256 -maxcap 16 -seed 3 > grid.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"distflow/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		family = flag.String("family", "grid", "one of: "+familyNames())
+		n      = flag.Int("n", 100, "approximate vertex count")
+		maxCap = flag.Int64("maxcap", 1, "uniform random capacities in [1,maxcap]")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+	for _, fam := range graph.Families() {
+		if fam.Name == *family {
+			g := fam.Make(*n, rng)
+			if *maxCap > 1 {
+				graph.CapUniform(g, *maxCap, rng)
+			}
+			return graph.Write(os.Stdout, g)
+		}
+	}
+	return fmt.Errorf("unknown family %q (want one of %s)", *family, familyNames())
+}
+
+func familyNames() string {
+	var names []string
+	for _, fam := range graph.Families() {
+		names = append(names, fam.Name)
+	}
+	return strings.Join(names, ", ")
+}

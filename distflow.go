@@ -1,0 +1,244 @@
+// Package distflow is a Go implementation of near-optimal distributed
+// maximum flow, reproducing "Near-Optimal Distributed Maximum Flow"
+// (Ghaffari, Karrenbauer, Kuhn, Lenzen, Patt-Shamir; PODC 2015).
+//
+// The library computes (1+ε)-approximate maximum s-t flows and
+// min-congestion routings of arbitrary demand vectors on undirected
+// capacitated graphs, using the paper's machinery: a congestion
+// approximator sampled from a recursively constructed distribution of
+// virtual trees (Räcke/Madry j-trees over low average-stretch spanning
+// trees), driven by Sherman's gradient descent. Alongside the solver,
+// the package reports the CONGEST-model round cost of every phase, as
+// measured/accounted by the underlying simulator (see DESIGN.md).
+//
+// Quick start:
+//
+//	g := distflow.NewGraph(4)
+//	g.AddEdge(0, 1, 5)
+//	g.AddEdge(1, 2, 3)
+//	g.AddEdge(2, 3, 7)
+//	res, err := distflow.MaxFlow(g, 0, 3, distflow.Options{Epsilon: 0.1})
+//	// res.Value ≈ 3, res.Flow holds a feasible flow.
+package distflow
+
+import (
+	"fmt"
+	"math/rand"
+
+	"distflow/internal/capprox"
+	"distflow/internal/graph"
+	"distflow/internal/seqflow"
+	"distflow/internal/sherman"
+)
+
+// Graph is an undirected capacitated multigraph under construction.
+// Vertices are 0..n-1; parallel edges are allowed; capacities are
+// positive integers (the paper's poly(n)-bounded regime).
+type Graph struct {
+	g *graph.Graph
+}
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph { return &Graph{g: graph.New(n)} }
+
+// AddEdge adds an undirected edge u—v with the given capacity and
+// returns its edge index. Flow values reported for this edge are signed
+// positive in the u→v direction.
+func (G *Graph) AddEdge(u, v int, capacity int64) int {
+	return G.g.AddEdge(u, v, capacity)
+}
+
+// N returns the number of vertices.
+func (G *Graph) N() int { return G.g.N() }
+
+// M returns the number of edges.
+func (G *Graph) M() int { return G.g.M() }
+
+// EdgeEndpoints returns the endpoints and capacity of edge e.
+func (G *Graph) EdgeEndpoints(e int) (u, v int, capacity int64) {
+	ed := G.g.Edge(e)
+	return ed.U, ed.V, ed.Cap
+}
+
+// Options configures the solver. The zero value uses the paper's
+// defaults: ε = 0.5, ⌈log₂ n⌉+1 sampled virtual trees, measured-α
+// gradient steps with adaptive fallback.
+type Options struct {
+	// Epsilon is the approximation target in (0,1); default 0.5.
+	Epsilon float64
+	// Seed makes runs reproducible; default 1.
+	Seed int64
+	// Trees overrides the number of sampled virtual trees (0 = log n).
+	Trees int
+	// PaperScaling uses the virtual tree capacities for the congestion
+	// approximator rows, exactly as the distributed algorithm does
+	// (default false = exact cut capacities, which are also computable
+	// distributedly and give tighter rows; see DESIGN.md ablations).
+	PaperScaling bool
+	// Alpha overrides the approximator quality parameter α (0 = use the
+	// measured distortion with adaptive restarts).
+	Alpha float64
+	// MaxIters bounds gradient iterations per AlmostRoute call
+	// (0 = the paper's O(α²ε⁻³ log n) with engineering constants).
+	MaxIters int
+}
+
+// Result is the outcome of a max-flow computation.
+type Result struct {
+	// Value is the flow value; Value ≥ maxflow/(1+ε) up to lower-order
+	// terms, and never exceeds the exact maximum.
+	Value float64
+	// Flow is the per-edge signed flow realizing Value (capacity
+	// feasible, exactly conserving).
+	Flow []float64
+	// Alpha is the measured congestion-approximator distortion.
+	Alpha float64
+	// Iterations counts gradient steps across the computation.
+	Iterations int
+	// Rounds is the total charged CONGEST rounds (approximator
+	// construction plus flow computation).
+	Rounds int64
+	// RoundsByPhase breaks Rounds down by algorithm phase.
+	RoundsByPhase map[string]int64
+}
+
+// MaxFlow computes a (1+ε)-approximate maximum s-t flow. The graph must
+// be connected.
+func MaxFlow(G *Graph, s, t int, opts Options) (*Result, error) {
+	r, err := NewRouter(G, opts)
+	if err != nil {
+		return nil, err
+	}
+	return r.MaxFlow(s, t)
+}
+
+// ExactMaxFlow computes the exact maximum flow value and an optimal
+// integral flow with the sequential Dinic solver (the ground-truth
+// reference; not a distributed algorithm).
+func ExactMaxFlow(G *Graph, s, t int) (value int64, flow []int64) {
+	res := seqflow.MaxFlow(G.g, s, t)
+	return res.Value, res.Flow
+}
+
+// Router holds a congestion approximator built once for a graph and
+// reusable across many flow and routing queries.
+type Router struct {
+	g    *graph.Graph
+	apx  *capprox.Approximator
+	opts Options
+}
+
+// NewRouter samples the congestion approximator for G (the expensive,
+// query-independent part of the algorithm: Theorem 8.10).
+func NewRouter(G *Graph, opts Options) (*Router, error) {
+	if !G.g.Connected() {
+		return nil, fmt.Errorf("distflow: graph must be connected")
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	cfg := capprox.Config{
+		Trees:     opts.Trees,
+		ExactCuts: !opts.PaperScaling,
+	}
+	apx, err := capprox.Build(G.g, cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, fmt.Errorf("distflow: %w", err)
+	}
+	return &Router{g: G.g, apx: apx, opts: opts}, nil
+}
+
+// Alpha returns the measured per-tree cut distortion of the sampled
+// congestion approximator.
+func (r *Router) Alpha() float64 { return r.apx.Alpha }
+
+// ConstructionRounds returns the CONGEST rounds charged to build the
+// congestion approximator.
+func (r *Router) ConstructionRounds() int64 { return r.apx.Ledger.Total() }
+
+func (r *Router) shermanConfig() sherman.Config {
+	return sherman.Config{
+		Epsilon:  r.opts.Epsilon,
+		Alpha:    r.opts.Alpha,
+		MaxIters: r.opts.MaxIters,
+	}
+}
+
+// MaxFlow computes a (1+ε)-approximate maximum s-t flow using the
+// router's approximator.
+func (r *Router) MaxFlow(s, t int) (*Result, error) {
+	fr, err := sherman.MaxFlow(r.g, r.apx, s, t, r.shermanConfig())
+	if err != nil {
+		return nil, fmt.Errorf("distflow: %w", err)
+	}
+	byPhase := map[string]int64{}
+	total := int64(0)
+	for _, src := range []interface {
+		Total() int64
+	}{r.apx.Ledger, fr.Ledger} {
+		total += src.Total()
+	}
+	for _, name := range []string{"lsst", "treeflow", "skeleton", "sample", "sparsify", "core-publish"} {
+		if v := r.apx.Ledger.Phase(name); v > 0 {
+			byPhase[name] = v
+		}
+	}
+	for _, name := range []string{"gradient", "residual-tree-routing"} {
+		if v := fr.Ledger.Phase(name); v > 0 {
+			byPhase[name] = v
+		}
+	}
+	return &Result{
+		Value:         fr.Value,
+		Flow:          fr.Flow,
+		Alpha:         r.apx.Alpha,
+		Iterations:    fr.Iterations,
+		Rounds:        total,
+		RoundsByPhase: byPhase,
+	}, nil
+}
+
+// RouteDemand computes a flow approximately routing an arbitrary demand
+// vector b (b[v] > 0 injects supply at v; Σb must be 0) with
+// near-minimal maximum congestion. The returned flow meets b exactly
+// (residuals are routed on a spanning tree); congestion is its maximum
+// |f_e|/cap_e.
+func (r *Router) RouteDemand(b []float64, eps float64) (flow []float64, congestion float64, err error) {
+	if len(b) != r.g.N() {
+		return nil, 0, fmt.Errorf("distflow: demand length %d, want %d", len(b), r.g.N())
+	}
+	if !graph.IsFeasibleDemand(b, 1e-6) {
+		return nil, 0, fmt.Errorf("distflow: demand does not sum to zero")
+	}
+	if eps == 0 {
+		eps = 0.5
+	}
+	cfg := r.shermanConfig()
+	rr, err := sherman.AlmostRoute(r.g, r.apx, b, eps, cfg, nil)
+	if err != nil {
+		return nil, 0, fmt.Errorf("distflow: %w", err)
+	}
+	// Restore exact conservation via spanning-tree routing (Lemma 9.1).
+	div := r.g.Divergence(rr.Flow)
+	resid := make([]float64, len(b))
+	for v := range resid {
+		resid[v] = b[v] - div[v]
+	}
+	fTree, err := sherman.RouteOnMaxWeightST(r.g, resid)
+	if err != nil {
+		return nil, 0, fmt.Errorf("distflow: %w", err)
+	}
+	out := make([]float64, r.g.M())
+	for e := range out {
+		out[e] = rr.Flow[e] + fTree[e]
+	}
+	return out, r.g.MaxCongestion(out), nil
+}
+
+// CongestionLowerBound returns ‖Rb‖∞, a certified lower bound on the
+// congestion any routing of b must incur (with the default exact-cut
+// scaling this is a true cut-based bound).
+func (r *Router) CongestionLowerBound(b []float64) float64 {
+	return r.apx.NormRb(b)
+}

@@ -1,0 +1,202 @@
+package distflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func gridGraph(w, h int) *Graph {
+	g := NewGraph(w * h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := y*w + x
+			if x+1 < w {
+				g.AddEdge(v, v+1, 3)
+			}
+			if y+1 < h {
+				g.AddEdge(v, v+w, 3)
+			}
+		}
+	}
+	return g
+}
+
+func TestMaxFlowQuickstart(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(2, 3, 7)
+	res, err := MaxFlow(g, 0, 3, Options{Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value < 3/1.15 || res.Value > 3.0001 {
+		t.Fatalf("Value = %v, want ≈ 3", res.Value)
+	}
+	if res.Rounds <= 0 {
+		t.Error("no rounds reported")
+	}
+	if len(res.RoundsByPhase) == 0 {
+		t.Error("no phase breakdown")
+	}
+}
+
+func TestMaxFlowNeverExceedsExact(t *testing.T) {
+	g := gridGraph(5, 5)
+	exact, _ := ExactMaxFlow(g, 0, g.N()-1)
+	res, err := MaxFlow(g, 0, g.N()-1, Options{Epsilon: 0.3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value > float64(exact)*1.0001 {
+		t.Fatalf("approx %v exceeds exact %v", res.Value, exact)
+	}
+	if res.Value < float64(exact)/1.3/1.3 {
+		t.Fatalf("approx %v too far below exact %v", res.Value, exact)
+	}
+}
+
+func TestRouterReuse(t *testing.T) {
+	g := gridGraph(4, 4)
+	r, err := NewRouter(g, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Alpha() < 1 {
+		t.Errorf("Alpha = %v", r.Alpha())
+	}
+	if r.ConstructionRounds() <= 0 {
+		t.Error("construction rounds missing")
+	}
+	for _, pair := range [][2]int{{0, 15}, {3, 12}, {5, 10}} {
+		res, err := r.MaxFlow(pair[0], pair[1])
+		if err != nil {
+			t.Fatalf("pair %v: %v", pair, err)
+		}
+		if res.Value <= 0 {
+			t.Fatalf("pair %v: value %v", pair, res.Value)
+		}
+	}
+}
+
+func TestRouteDemandMultiSource(t *testing.T) {
+	g := gridGraph(4, 4)
+	r, err := NewRouter(g, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, g.N())
+	b[0], b[3] = 1, 1
+	b[12], b[15] = -1, -1
+	flow, cong, err := r.RouteDemand(b, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cong <= 0 {
+		t.Fatalf("congestion %v", cong)
+	}
+	// Exact conservation.
+	div := divergence(g, flow)
+	for v := range b {
+		if math.Abs(div[v]-b[v]) > 1e-6 {
+			t.Fatalf("conservation broken at %d: %v vs %v", v, div[v], b[v])
+		}
+	}
+	// Congestion is near-optimal: compare with the certified lower bound.
+	lb := r.CongestionLowerBound(b)
+	if lb > cong*1.0001 {
+		t.Fatalf("lower bound %v exceeds achieved %v", lb, cong)
+	}
+	if cong > lb*16 {
+		t.Errorf("achieved congestion %v far above lower bound %v", cong, lb)
+	}
+}
+
+func divergence(g *Graph, f []float64) []float64 {
+	div := make([]float64, g.N())
+	for e := 0; e < g.M(); e++ {
+		u, v, _ := g.EdgeEndpoints(e)
+		div[u] += f[e]
+		div[v] -= f[e]
+	}
+	return div
+}
+
+func TestRouteDemandRejectsUnbalanced(t *testing.T) {
+	g := gridGraph(3, 3)
+	r, err := NewRouter(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, g.N())
+	b[0] = 1 // no sink
+	if _, _, err := r.RouteDemand(b, 0.5); err == nil {
+		t.Error("unbalanced demand accepted")
+	}
+	if _, _, err := r.RouteDemand(make([]float64, 2), 0.5); err == nil {
+		t.Error("short demand accepted")
+	}
+}
+
+func TestDisconnectedRejected(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	if _, err := NewRouter(g, Options{}); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+}
+
+func TestSeedReproducibility(t *testing.T) {
+	g := gridGraph(4, 4)
+	a, err := MaxFlow(g, 0, 15, Options{Seed: 42, Epsilon: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MaxFlow(g, 0, 15, Options{Seed: 42, Epsilon: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value || a.Iterations != b.Iterations {
+		t.Error("same seed gave different results")
+	}
+}
+
+func TestPaperScalingOption(t *testing.T) {
+	g := gridGraph(4, 4)
+	res, err := MaxFlow(g, 0, 15, Options{PaperScaling: true, Epsilon: 0.4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := ExactMaxFlow(g, 0, 15)
+	if res.Value > float64(exact)*1.0001 {
+		t.Fatalf("paper scaling exceeded exact: %v > %d", res.Value, exact)
+	}
+}
+
+func TestRandomGraphsAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 3; trial++ {
+		n := 16 + rng.Intn(10)
+		g := NewGraph(n)
+		for v := 1; v < n; v++ {
+			g.AddEdge(v, rng.Intn(v), 1+rng.Int63n(9))
+		}
+		for k := 0; k < n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, 1+rng.Int63n(9))
+			}
+		}
+		exact, _ := ExactMaxFlow(g, 0, n-1)
+		res, err := MaxFlow(g, 0, n-1, Options{Epsilon: 0.3, Seed: int64(trial + 1)})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ratio := float64(exact) / res.Value
+		if ratio < 0.999 || ratio > 1.3*1.3 {
+			t.Errorf("trial %d: exact/approx = %v", trial, ratio)
+		}
+	}
+}

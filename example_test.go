@@ -1,0 +1,53 @@
+package distflow_test
+
+import (
+	"fmt"
+
+	"distflow"
+)
+
+// The basic flow computation: a path network whose bottleneck edge
+// determines the maximum flow.
+func ExampleMaxFlow() {
+	g := distflow.NewGraph(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(2, 3, 7)
+
+	res, err := distflow.MaxFlow(g, 0, 3, distflow.Options{Epsilon: 0.1, Seed: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	exact, _ := distflow.ExactMaxFlow(g, 0, 3)
+	fmt.Printf("within guarantee: %v\n", res.Value <= float64(exact) && res.Value >= float64(exact)/1.1)
+	// Output:
+	// within guarantee: true
+}
+
+// A Router amortizes the congestion-approximator construction across
+// many queries, including multi-source demand routing.
+func ExampleRouter_RouteDemand() {
+	g := distflow.NewGraph(4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 3, 2)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(2, 3, 2)
+
+	r, err := distflow.NewRouter(g, distflow.Options{Seed: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// One unit from each of 0 and 1 to node 3.
+	b := []float64{1, 1, 0, -2}
+	_, congestion, err := r.RouteDemand(b, 0.1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	lb := r.CongestionLowerBound(b)
+	fmt.Printf("achieved within 1.2x of the certified bound: %v\n", congestion <= 1.2*lb+1e-9)
+	// Output:
+	// achieved within 1.2x of the certified bound: true
+}

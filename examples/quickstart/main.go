@@ -1,0 +1,45 @@
+// Quickstart: build a small capacitated network, compute an approximate
+// maximum flow, and inspect the result — the minimal tour of the
+// distflow public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distflow"
+)
+
+func main() {
+	// A diamond network with a bottleneck:
+	//
+	//        1
+	//      /   \        capacities: 0-1:4, 1-3:2,
+	//     0     3                    0-2:3, 2-3:3,
+	//      \   /                     1-2:1
+	//        2
+	g := distflow.NewGraph(4)
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(1, 3, 2)
+	g.AddEdge(0, 2, 3)
+	g.AddEdge(2, 3, 3)
+	g.AddEdge(1, 2, 1)
+
+	res, err := distflow.MaxFlow(g, 0, 3, distflow.Options{Epsilon: 0.1, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("approximate max flow 0 -> 3: %.3f\n", res.Value)
+	fmt.Printf("congestion-approximator distortion alpha: %.2f\n", res.Alpha)
+	fmt.Printf("gradient iterations: %d, charged CONGEST rounds: %d\n", res.Iterations, res.Rounds)
+	fmt.Println("per-edge flow (signed in the u->v direction):")
+	for e := 0; e < g.M(); e++ {
+		u, v, c := g.EdgeEndpoints(e)
+		fmt.Printf("  edge %d-%d (cap %d): %+.3f\n", u, v, c, res.Flow[e])
+	}
+
+	exact, _ := distflow.ExactMaxFlow(g, 0, 3)
+	fmt.Printf("exact max flow (sequential reference): %d\n", exact)
+	fmt.Printf("approximation ratio: %.4f\n", float64(exact)/res.Value)
+}

@@ -1,0 +1,433 @@
+// Package capprox builds the paper's congestion approximator: a sample
+// of O(log n) virtual rooted spanning trees drawn from the recursively
+// constructed distribution of Theorem 8.10, assembled level by level
+// from Madry j-tree steps (internal/jtree) on cluster graphs.
+//
+// Each sampled tree T satisfies, up to the measured distortion α:
+//
+//	cap_G(cut) ≤ cap_T(cut) ≤ α·cap_G(cut)   for subtree-induced cuts,
+//
+// and by Lemma 3.3 the O(log n) samples together form an O(α²)-
+// congestion approximator R whose rows are the subtree cuts. R and Rᵀ
+// are applied with one O(n) sweep per tree (internal/vtree); the
+// distributed cost of every construction and evaluation phase is
+// charged to a congest.Ledger using the paper's own schedules
+// (Lemmas 5.1, 8.3, 8.8, Corollary 9.3) instantiated with measured
+// depths and counts.
+package capprox
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"distflow/internal/cluster"
+	"distflow/internal/congest"
+	"distflow/internal/graph"
+	"distflow/internal/jtree"
+	"distflow/internal/sparsify"
+	"distflow/internal/vtree"
+)
+
+// Config tunes the construction. Zero values select the paper's
+// parameters with practical constants.
+type Config struct {
+	// Trees is the number of sampled virtual trees (default ⌈log₂ n⌉+1,
+	// the Lemma 3.3 sample size).
+	Trees int
+	// Beta is the per-level contraction factor β (default
+	// 2^{(log₂n)^{3/4}}, §8.4).
+	Beta float64
+	// CoreThreshold stops the distributed recursion (default
+	// max(8, ⌈2√n⌉) ≈ the paper's n^{1/2+o(1)}).
+	CoreThreshold int
+	// Candidates is the number of multiplicative-weights candidates per
+	// level from which one j-tree is sampled (default 3; theory Õ(β)).
+	Candidates int
+	// UseSparsifier applies the cut sparsifier to dense cluster graphs
+	// between levels (§8.4 step 1); ablation A4.
+	UseSparsifier bool
+	// ExactCuts scales R's rows by the exact G-cut capacities instead of
+	// the virtual tree capacities (tightening ablation; the distributed
+	// algorithm uses the virtual capacities).
+	ExactCuts bool
+	// Step forwards to the per-level construction.
+	Step jtree.Config
+}
+
+// Approximator is the sampled congestion approximator R.
+type Approximator struct {
+	// Trees are the sampled virtual rooted spanning trees on V(G); the
+	// capacity of edge (v,parent) is the virtual capacity cap_T.
+	Trees []*vtree.VTree
+	// CutCap[k][v] is the exact capacity of the G-cut induced by tree
+	// k's edge (v,parent) (computed via the Fig. 2 tree-flow identity).
+	CutCap [][]float64
+	// Scale[k][v] is the row scaling actually used by R (virtual or
+	// exact per Config.ExactCuts).
+	Scale [][]float64
+	// Alpha is the measured per-tree cut overestimation
+	// max_{k,v} cap_T / cap_G ≥ 1.
+	Alpha float64
+	// AlphaLow is the measured underestimation max_{k,v} cap_G / cap_T
+	// (the O(1)-embedding slack of Lemmas 8.6/8.7; 1 when cap_T always
+	// dominates).
+	AlphaLow float64
+	// Ledger carries the charged construction rounds.
+	Ledger *congest.Ledger
+	// Levels records the cluster-graph sizes of the sampled hierarchy
+	// (one history per tree).
+	Levels [][]int
+
+	// evalSchedule is the measured Corollary 9.3 cost of one R (or Rᵀ)
+	// application: per tree, a Lemma 8.2 decomposition is drawn and the
+	// convergecast is charged as 2·(component depth) for the intra-
+	// component solves plus D + #components for pipelining the component
+	// summaries over the BFS tree.
+	evalSchedule int64
+}
+
+// Build samples the congestion approximator for g.
+func Build(g *graph.Graph, cfg Config, rng *rand.Rand) (*Approximator, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("capprox: empty graph")
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("capprox: graph must be connected")
+	}
+	trees := cfg.Trees
+	if trees == 0 {
+		trees = int(math.Ceil(math.Log2(float64(n)+2))) + 1
+	}
+	a := &Approximator{Ledger: congest.NewLedger()}
+	diameter := g.DiameterApprox()
+
+	for k := 0; k < trees; k++ {
+		t, levels, err := sampleTree(g, cfg, diameter, a.Ledger, rng)
+		if err != nil {
+			return nil, fmt.Errorf("capprox: tree %d: %w", k, err)
+		}
+		a.Trees = append(a.Trees, t)
+		a.Levels = append(a.Levels, levels)
+	}
+
+	// Exact subtree-cut capacities via the tree-flow identity, and the
+	// realized distortion α.
+	pairs := make([]vtree.EdgeEndpoint, g.M())
+	for i, e := range g.Edges() {
+		pairs[i] = vtree.EdgeEndpoint{U: e.U, V: e.V, Cap: float64(e.Cap)}
+	}
+	a.Alpha = 1
+	a.AlphaLow = 1
+	for _, t := range a.Trees {
+		cc := t.TreeFlow(pairs)
+		a.CutCap = append(a.CutCap, cc)
+		scale := make([]float64, n)
+		for v := 0; v < n; v++ {
+			if v == t.Root {
+				continue
+			}
+			if cfg.ExactCuts {
+				scale[v] = cc[v]
+			} else {
+				scale[v] = t.Cap[v]
+			}
+			if cc[v] > 0 {
+				if r := t.Cap[v] / cc[v]; r > a.Alpha {
+					a.Alpha = r
+				}
+				if r := cc[v] / t.Cap[v]; r > a.AlphaLow {
+					a.AlphaLow = r
+				}
+			}
+		}
+		a.Scale = append(a.Scale, scale)
+	}
+
+	// Measured Cor. 9.3 evaluation schedule (see field doc).
+	sqrtN := math.Sqrt(float64(n))
+	for _, t := range a.Trees {
+		dec := t.Decompose(nil, sqrtN, rng)
+		a.evalSchedule += int64(2*(dec.MaxDepth+1) + diameter + dec.NumComponents())
+	}
+	return a, nil
+}
+
+// sampleTree draws one virtual tree from the recursive distribution.
+func sampleTree(g *graph.Graph, cfg Config, diameter int, ledger *congest.Ledger, rng *rand.Rand) (*vtree.VTree, []int, error) {
+	n := g.N()
+	beta := cfg.Beta
+	if beta == 0 {
+		beta = math.Pow(2, math.Pow(math.Log2(float64(n)+2), 0.75))
+	}
+	if beta < 2 {
+		beta = 2
+	}
+	threshold := cfg.CoreThreshold
+	if threshold == 0 {
+		threshold = int(math.Max(8, 2*math.Ceil(math.Sqrt(float64(n)))))
+	}
+	candidates := cfg.Candidates
+	if candidates == 0 {
+		candidates = 3
+	}
+	sqrtN := math.Sqrt(float64(n))
+
+	vparent := make([]int, n)
+	vcap := make([]float64, n)
+	assigned := make([]bool, n)
+	for v := range vparent {
+		vparent[v] = -1
+	}
+
+	cg := cluster.FromGraph(g)
+	levels := []int{cg.N}
+
+	place := func(res *jtree.StepResult) {
+		for _, fe := range res.Forest {
+			u := cg.Rep[fe.Child]
+			if assigned[u] {
+				// A lineage vertex can exit only once; this is a
+				// construction invariant.
+				panic(fmt.Sprintf("capprox: vertex %d assigned twice", u))
+			}
+			assigned[u] = true
+			vparent[u] = cg.Rep[fe.Parent]
+			vcap[u] = fe.Cap
+		}
+	}
+
+	distributed := true
+	for cg.N > 1 {
+		if distributed && cg.N <= threshold {
+			// The remaining core is published to every node over a BFS
+			// tree (§8.4): n^{1/2+o(1)} summaries, pipelined.
+			ledger.ChargeAccounted("core-publish", int64(diameter+cg.N+len(cg.Edges)))
+			distributed = false
+		}
+
+		var j int
+		if distributed {
+			j = int(float64(cg.N) / (4 * beta))
+			if j < 1 {
+				j = 1
+			}
+		} else {
+			j = cg.N / 8
+			if j < 1 {
+				j = 1
+			}
+		}
+
+		// Optional sparsification of dense cluster graphs (§8.4 step 1).
+		logN := math.Log2(float64(cg.N) + 2)
+		if cfg.UseSparsifier && float64(len(cg.Edges)) > 4*float64(cg.N)*logN {
+			cg2, acct, err := sparsifyCluster(cg, rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			if distributed {
+				ledger.ChargeAccounted("sparsify", acct)
+			}
+			cg = cg2
+		}
+
+		// Multiplicative-weights candidates; sample one uniformly
+		// (Theorem 8.10 step 4: O(log n) random bits over a BFS tree).
+		lengths := make([]float64, len(cg.Edges))
+		for i, e := range cg.Edges {
+			lengths[i] = 1 / e.Cap
+		}
+		stepCfg := cfg.Step
+		if !distributed {
+			// §8.4: the local continuation drops the component size
+			// control (no R sampling); tiny cores collapse to a tree.
+			stepCfg.DisableR = true
+			if cg.N <= 8 {
+				stepCfg.DisableF = true
+			}
+		}
+		pick := rng.Intn(candidates)
+		var chosen *jtree.StepResult
+		for c := 0; c < candidates; c++ {
+			res, err := jtree.Step(cg, lengths, j, sqrtN, stepCfg, rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			if c == pick {
+				chosen = res
+			}
+			if res.MaxRload > 0 {
+				for i := range lengths {
+					lengths[i] *= 1 + res.EdgeRload[i]/res.MaxRload
+				}
+			}
+			if distributed {
+				// Charge the per-candidate distributed cost: the LSST
+				// (Theorem 3.1), the tree-flow aggregation (Lemma 8.3)
+				// and the skeleton/portal machinery (Lemma 8.8), all
+				// Õ(√n + D) with the measured depths.
+				sq := int64(math.Ceil(sqrtN))
+				ledger.ChargeAccounted("lsst", int64(diameter)+sq*int64(math.Ceil(logN)))
+				ledger.ChargeAccounted("treeflow", int64(diameter)+sq+int64(cg.MaxDepth()))
+				ledger.ChargeAccounted("skeleton", sq+int64(cg.MaxDepth()))
+			}
+		}
+		ledger.ChargeAccounted("sample", int64(diameter))
+
+		if chosen.Core.N >= cg.N {
+			// No contraction: if the Lemma 8.2 sampling cut everything
+			// (cluster sizes approaching √n), fall to the local phase;
+			// locally, collapse outright.
+			if distributed {
+				ledger.ChargeAccounted("core-publish", int64(diameter+cg.N+len(cg.Edges)))
+				distributed = false
+				continue
+			}
+			stepCfg.DisableF = true
+			res, err := jtree.Step(cg, lengths, 1, sqrtN, stepCfg, rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			if res.Core.N >= cg.N {
+				return nil, nil, fmt.Errorf("capprox: no progress at N=%d", cg.N)
+			}
+			chosen = res
+		}
+		place(chosen)
+		cg = chosen.Core
+		levels = append(levels, cg.N)
+	}
+
+	root := cg.Rep[0]
+	if assigned[root] {
+		return nil, nil, fmt.Errorf("capprox: root %d was assigned a parent", root)
+	}
+	t, err := vtree.New(root, vparent, withRootCap(vcap, root))
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, levels, nil
+}
+
+func withRootCap(vcap []float64, root int) []float64 {
+	out := append([]float64(nil), vcap...)
+	out[root] = 0
+	for v, c := range out {
+		if v != root && c <= 0 {
+			// vtree.New validates; make failure informative instead.
+			panic(fmt.Sprintf("capprox: vertex %d has no virtual capacity", v))
+		}
+	}
+	return out
+}
+
+// sparsifyCluster applies the cut sparsifier to the cluster multigraph,
+// doubling capacities to absorb the 1−ε underestimate (§8.4 step 1).
+func sparsifyCluster(cg *cluster.Graph, rng *rand.Rand) (*cluster.Graph, int64, error) {
+	in := make([]sparsify.Edge, len(cg.Edges))
+	for i, e := range cg.Edges {
+		in[i] = sparsify.Edge{U: e.A, V: e.B, W: e.Cap}
+	}
+	// Practical pack/target: the asymptotic pack size exceeds any
+	// laptop-scale m (see package sparsify); E3 measures the cut
+	// distortion this configuration realizes.
+	res, err := sparsify.Sparsify(cg.N, in, sparsify.Config{PackSize: 2, TargetFactor: 1}, rng)
+	if err != nil {
+		return nil, 0, fmt.Errorf("capprox: sparsify: %w", err)
+	}
+	out := &cluster.Graph{
+		N:     cg.N,
+		Edges: make([]cluster.Edge, len(res.Edges)),
+		Rep:   cg.Rep,
+		Size:  cg.Size,
+		Depth: cg.Depth,
+	}
+	for i, e := range res.Edges {
+		out.Edges[i] = cluster.Edge{
+			A: e.U, B: e.V,
+			Cap:  2 * e.W,
+			Phys: cg.Edges[res.Origin[i]].Phys,
+		}
+	}
+	return out, res.AccountRounds(cg.N, 0), nil
+}
+
+// --- R and Rᵀ application (§9.1–9.2) ---
+
+// ApplyR returns y with y[k][v] = (Σ_{u∈subtree_k(v)} b[u]) / Scale[k][v]
+// for every tree k and non-root v (root entries are 0): the congestion
+// estimates of all subtree cuts. One bottom-up sweep per tree.
+func (a *Approximator) ApplyR(b []float64) [][]float64 {
+	out := make([][]float64, len(a.Trees))
+	for k, t := range a.Trees {
+		s := t.SubtreeSums(b)
+		y := make([]float64, t.N())
+		for v := 0; v < t.N(); v++ {
+			if v == t.Root || a.Scale[k][v] == 0 {
+				continue
+			}
+			y[v] = s[v] / a.Scale[k][v]
+		}
+		out[k] = y
+	}
+	return out
+}
+
+// ApplyRT returns Rᵀp: for prices p[k][v] attached to tree k's cut
+// (v,parent), the node potentials π[u] = Σ_k Σ_{cuts above u} p/scale.
+// One top-down sweep per tree.
+func (a *Approximator) ApplyRT(p [][]float64) []float64 {
+	if len(p) != len(a.Trees) {
+		panic("capprox: price tree count mismatch")
+	}
+	n := 0
+	if len(a.Trees) > 0 {
+		n = a.Trees[0].N()
+	}
+	out := make([]float64, n)
+	for k, t := range a.Trees {
+		scaled := make([]float64, t.N())
+		for v := 0; v < t.N(); v++ {
+			if v == t.Root || a.Scale[k][v] == 0 {
+				continue
+			}
+			scaled[v] = p[k][v] / a.Scale[k][v]
+		}
+		pfx := t.RootPathSums(scaled)
+		for v := 0; v < t.N(); v++ {
+			out[v] += pfx[v]
+		}
+	}
+	return out
+}
+
+// NormRb returns ‖Rb‖∞ — with the default (virtual) scaling this is a
+// lower bound on the optimal congestion opt(b).
+func (a *Approximator) NormRb(b []float64) float64 {
+	m := 0.0
+	for _, y := range a.ApplyR(b) {
+		for _, x := range y {
+			if x < 0 {
+				x = -x
+			}
+			if x > m {
+				m = x
+			}
+		}
+	}
+	return m
+}
+
+// EvalRounds charges one R or Rᵀ application per Corollary 9.3:
+// Õ(√n + D). When the approximator was built normally the charge is the
+// measured decomposition schedule (see evalSchedule); the formulaic
+// trees·(D+√n) is the fallback for hand-assembled approximators.
+func (a *Approximator) EvalRounds(n, diameter int) int64 {
+	if a.evalSchedule > 0 {
+		return a.evalSchedule
+	}
+	sq := int64(math.Ceil(math.Sqrt(float64(n))))
+	return int64(len(a.Trees)) * (int64(diameter) + sq)
+}

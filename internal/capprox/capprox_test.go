@@ -1,0 +1,255 @@
+package capprox
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distflow/internal/graph"
+	"distflow/internal/seqflow"
+	"distflow/internal/vtree"
+)
+
+// newVTree is a test-local alias keeping call sites short.
+func newVTree(root int, parent []int, caps []float64) (*vtree.VTree, error) {
+	return vtree.New(root, parent, caps)
+}
+
+func build(t *testing.T, g *graph.Graph, cfg Config, seed int64) *Approximator {
+	t.Helper()
+	a, err := Build(g, cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestBuildBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.CapUniform(graph.Grid(8, 8), 10, rng)
+	a := build(t, g, Config{}, 2)
+	if len(a.Trees) < 6 {
+		t.Fatalf("sampled %d trees, want ≈ log n", len(a.Trees))
+	}
+	for k, tr := range a.Trees {
+		if tr.N() != g.N() {
+			t.Fatalf("tree %d spans %d of %d", k, tr.N(), g.N())
+		}
+	}
+	if a.Alpha < 1 || a.AlphaLow < 1 {
+		t.Errorf("alpha measurements below 1: %v %v", a.Alpha, a.AlphaLow)
+	}
+	if a.Ledger.Total() <= 0 {
+		t.Error("no rounds charged")
+	}
+}
+
+func TestBuildFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, fam := range graph.Families() {
+		t.Run(fam.Name, func(t *testing.T) {
+			g := fam.Make(100, rng)
+			a := build(t, g, Config{Trees: 3}, 4)
+			if len(a.Trees) != 3 {
+				t.Fatalf("trees = %d", len(a.Trees))
+			}
+		})
+	}
+}
+
+// The defining property (§2): ‖Rb‖∞ ≤ opt(b) ≤ α'·‖Rb‖∞ for s-t
+// demands, where opt(b) = F/mincut is computable exactly via Dinic.
+func TestCongestionApproximationSTDemands(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.CapUniform(graph.GNP(48, 0.12, rng), 8, rng)
+	a := build(t, g, Config{}, 6)
+	worstUnder, worstOver := 1.0, 1.0
+	for trial := 0; trial < 10; trial++ {
+		s := rng.Intn(g.N())
+		tt := rng.Intn(g.N())
+		if s == tt {
+			continue
+		}
+		mincut := seqflow.MinCutValue(g, s, tt)
+		if mincut == 0 {
+			continue
+		}
+		opt := 1.0 / float64(mincut) // congestion of optimally routing 1 unit
+		lb := a.NormRb(graph.STDemand(g.N(), s, tt, 1))
+		if lb > opt*a.AlphaLow*1.0001 {
+			t.Errorf("trial %d: ‖Rb‖∞ = %v exceeds opt·AlphaLow = %v·%v", trial, lb, opt, a.AlphaLow)
+		}
+		if r := opt / lb; r > worstOver {
+			worstOver = r
+		}
+		if r := lb / opt; r > worstUnder {
+			worstUnder = r
+		}
+	}
+	// The distortion must be modest on these sizes; α ∈ n^{o(1)} means
+	// single digits here. Allow a conservative margin.
+	if worstOver > 64 {
+		t.Errorf("opt/‖Rb‖∞ distortion %v too large (alpha=%v)", worstOver, a.Alpha)
+	}
+}
+
+// With ExactCuts, ‖Rb‖∞ ≤ opt(b) must hold unconditionally: every row
+// is a genuine cut with its exact capacity.
+func TestExactCutsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.CapUniform(graph.GNP(40, 0.15, rng), 6, rng)
+	a := build(t, g, Config{ExactCuts: true, Trees: 5}, 8)
+	for trial := 0; trial < 15; trial++ {
+		s := rng.Intn(g.N())
+		tt := rng.Intn(g.N())
+		if s == tt {
+			continue
+		}
+		mincut := seqflow.MinCutValue(g, s, tt)
+		if mincut == 0 {
+			continue
+		}
+		opt := 1.0 / float64(mincut)
+		lb := a.NormRb(graph.STDemand(g.N(), s, tt, 1))
+		if lb > opt*1.0000001 {
+			t.Fatalf("trial %d: exact-cut lower bound violated: %v > %v", trial, lb, opt)
+		}
+	}
+}
+
+// R and Rᵀ must be adjoint: <Rb, p> == <b, Rᵀp>.
+func TestRAndRTAdjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.GNP(30, 0.15, rng)
+	a := build(t, g, Config{Trees: 4}, 10)
+	n := g.N()
+	for trial := 0; trial < 20; trial++ {
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		y := a.ApplyR(b)
+		p := make([][]float64, len(y))
+		var lhs float64
+		for k := range y {
+			p[k] = make([]float64, n)
+			for v := range p[k] {
+				p[k][v] = rng.NormFloat64()
+				if v == a.Trees[k].Root {
+					p[k][v] = 0
+				}
+				lhs += y[k][v] * p[k][v]
+			}
+		}
+		pi := a.ApplyRT(p)
+		var rhs float64
+		for v := range pi {
+			rhs += b[v] * pi[v]
+		}
+		if math.Abs(lhs-rhs) > 1e-6*math.Max(1, math.Abs(lhs)) {
+			t.Fatalf("trial %d: adjoint broken: %v vs %v", trial, lhs, rhs)
+		}
+	}
+}
+
+// With ExactCuts, for any feasible demand, ‖Rb‖∞ never exceeds the
+// congestion of the best routing we can construct explicitly (routing b
+// on a real spanning subgraph tree of G is a feasible routing, so its
+// congestion upper-bounds opt(b), which in turn dominates ‖Rb‖∞).
+func TestLowerBoundBelowAnyExplicitRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := graph.CapUniform(graph.Grid(6, 6), 5, rng)
+	a := build(t, g, Config{ExactCuts: true}, 12)
+	// Real spanning tree of G (BFS), with subtree routing.
+	_, pe := g.BFS(0)
+	parent := make([]int, g.N())
+	caps := make([]float64, g.N())
+	for v := 0; v < g.N(); v++ {
+		if v == 0 {
+			parent[v] = -1
+			continue
+		}
+		parent[v] = g.Other(pe[v], v)
+		caps[v] = float64(g.Cap(pe[v]))
+	}
+	bfsTree, err := newVTree(0, parent, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		b := make([]float64, g.N())
+		var sum float64
+		for v := 1; v < g.N(); v++ {
+			b[v] = rng.NormFloat64()
+			sum += b[v]
+		}
+		b[0] = -sum
+		lb := a.NormRb(b)
+		ub := bfsTree.Congestion(b)
+		if lb > ub*1.0000001 {
+			t.Fatalf("trial %d: lower bound %v exceeds explicit routing congestion %v", trial, lb, ub)
+		}
+	}
+}
+
+func TestLevelsShrink(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := graph.GNP(200, 0.03, rng)
+	a := build(t, g, Config{Trees: 2}, 14)
+	for k, levels := range a.Levels {
+		for i := 1; i < len(levels); i++ {
+			if levels[i] >= levels[i-1] {
+				t.Errorf("tree %d: level %d did not shrink: %v", k, i, levels)
+			}
+		}
+		if levels[len(levels)-1] != 1 {
+			t.Errorf("tree %d: hierarchy did not reach a single cluster: %v", k, levels)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	if _, err := Build(graph.New(0), Config{}, rng); err == nil {
+		t.Error("empty graph accepted")
+	}
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	if _, err := Build(g, Config{}, rng); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+}
+
+func TestSingleVertex(t *testing.T) {
+	a := build(t, graph.New(1), Config{Trees: 2}, 16)
+	if len(a.Trees) != 2 || a.Trees[0].N() != 1 {
+		t.Fatal("single-vertex approximator wrong")
+	}
+	if got := a.NormRb([]float64{0}); got != 0 {
+		t.Errorf("NormRb = %v", got)
+	}
+}
+
+func TestSparsifierPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := graph.Complete(64)
+	a, err := Build(g, Config{Trees: 2, UseSparsifier: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ledger.Phase("sparsify") == 0 {
+		t.Error("sparsifier rounds not charged on dense graph")
+	}
+}
+
+func TestEvalRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	g := graph.Grid(5, 5)
+	a := build(t, g, Config{Trees: 3}, 20)
+	r := a.EvalRounds(g.N(), g.Diameter())
+	if r <= 0 {
+		t.Errorf("EvalRounds = %d", r)
+	}
+	_ = rng
+}

@@ -1,0 +1,63 @@
+package capprox
+
+import (
+	"math/rand"
+	"testing"
+
+	"distflow/internal/graph"
+)
+
+// The construction is randomized but seed-reproducible: identical seeds
+// must give identical hierarchies, capacities, and distortion
+// measurements (what "with high probability" becomes under a fixed
+// random tape).
+func TestBuildDeterministic(t *testing.T) {
+	g := graph.CapUniform(graph.Grid(7, 7), 9, rand.New(rand.NewSource(1)))
+	build := func() *Approximator {
+		a, err := Build(g, Config{}, rand.New(rand.NewSource(55)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	a, b := build(), build()
+	if a.Alpha != b.Alpha || a.AlphaLow != b.AlphaLow {
+		t.Fatalf("alpha mismatch: %v/%v vs %v/%v", a.Alpha, a.AlphaLow, b.Alpha, b.AlphaLow)
+	}
+	if len(a.Trees) != len(b.Trees) {
+		t.Fatal("tree count mismatch")
+	}
+	for k := range a.Trees {
+		for v := 0; v < a.Trees[k].N(); v++ {
+			if a.Trees[k].Parent[v] != b.Trees[k].Parent[v] || a.Trees[k].Cap[v] != b.Trees[k].Cap[v] {
+				t.Fatalf("tree %d differs at %d", k, v)
+			}
+		}
+	}
+	if a.Ledger.Total() != b.Ledger.Total() {
+		t.Errorf("ledger totals differ: %d vs %d", a.Ledger.Total(), b.Ledger.Total())
+	}
+}
+
+// Different seeds must (overwhelmingly) give different trees — the
+// distribution is non-degenerate, which Lemma 3.3's sampling argument
+// needs.
+func TestBuildSeedSensitivity(t *testing.T) {
+	g := graph.CapUniform(graph.Grid(7, 7), 9, rand.New(rand.NewSource(1)))
+	a, err := Build(g, Config{Trees: 1}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(2); seed < 8; seed++ {
+		b, err := Build(g, Config{Trees: 1}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if a.Trees[0].Parent[v] != b.Trees[0].Parent[v] {
+				return // found a difference: distribution non-degenerate
+			}
+		}
+	}
+	t.Error("seven seeds produced identical virtual trees")
+}

@@ -1,0 +1,159 @@
+// Package cluster implements distributed cluster graphs (Definition 5.1)
+// — the abstraction the recursive congestion-approximator construction
+// runs on — together with the round accounting of the simulation result
+// (Lemma 5.1).
+//
+// A cluster graph partitions the network vertices into clusters, each
+// with a leader and a rooted spanning tree; edges between clusters are
+// realized by physical graph edges. All higher levels of the hierarchy
+// (Theorem 8.10) are cluster graphs on the network graph G; the
+// invariants maintained by the construction (§4) are checkable via
+// Validate.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"distflow/internal/graph"
+)
+
+// Edge is a multigraph edge between clusters. Phys is the index of the
+// physical graph edge realizing it (invariant 4 of §4: every core edge
+// is also a graph edge).
+type Edge struct {
+	A, B int
+	Cap  float64
+	Phys int
+}
+
+// Graph is a cluster multigraph: the harness-side view of Definition 5.1
+// with the per-cluster bookkeeping the accounting needs (sizes, spanning
+// tree depths, representative vertices).
+type Graph struct {
+	// N is the number of clusters.
+	N int
+	// Edges is the multigraph edge list (self-loops are forbidden).
+	Edges []Edge
+	// Rep[c] is the representative network vertex of cluster c (the
+	// cluster leader; also the portal lineage used to place virtual tree
+	// edges).
+	Rep []int
+	// Size[c] is the number of network vertices in cluster c.
+	Size []float64
+	// Depth[c] is the depth of cluster c's spanning tree in G (hops).
+	Depth []int
+}
+
+// FromGraph wraps a network graph as the level-0 cluster graph: each
+// vertex is its own cluster (the identity cluster graph the recursion of
+// Theorem 8.10 starts from).
+func FromGraph(g *graph.Graph) *Graph {
+	cg := &Graph{
+		N:     g.N(),
+		Edges: make([]Edge, g.M()),
+		Rep:   make([]int, g.N()),
+		Size:  make([]float64, g.N()),
+		Depth: make([]int, g.N()),
+	}
+	for i, e := range g.Edges() {
+		cg.Edges[i] = Edge{A: e.U, B: e.V, Cap: float64(e.Cap), Phys: i}
+	}
+	for v := 0; v < g.N(); v++ {
+		cg.Rep[v] = v
+		cg.Size[v] = 1
+	}
+	return cg
+}
+
+// Validate checks structural invariants.
+func (cg *Graph) Validate() error {
+	if len(cg.Rep) != cg.N || len(cg.Size) != cg.N || len(cg.Depth) != cg.N {
+		return fmt.Errorf("cluster: bookkeeping arrays sized %d/%d/%d, want %d",
+			len(cg.Rep), len(cg.Size), len(cg.Depth), cg.N)
+	}
+	for i, e := range cg.Edges {
+		if e.A < 0 || e.A >= cg.N || e.B < 0 || e.B >= cg.N {
+			return fmt.Errorf("cluster: edge %d endpoints out of range", i)
+		}
+		if e.A == e.B {
+			return fmt.Errorf("cluster: edge %d is a self-loop", i)
+		}
+		if e.Cap <= 0 {
+			return fmt.Errorf("cluster: edge %d capacity %v", i, e.Cap)
+		}
+	}
+	for c := 0; c < cg.N; c++ {
+		if cg.Size[c] < 1 {
+			return fmt.Errorf("cluster: cluster %d size %v", c, cg.Size[c])
+		}
+		if cg.Depth[c] < 0 {
+			return fmt.Errorf("cluster: cluster %d depth %d", c, cg.Depth[c])
+		}
+	}
+	return nil
+}
+
+// MaxDepth returns the largest cluster spanning-tree depth.
+func (cg *Graph) MaxDepth() int {
+	d := 0
+	for _, x := range cg.Depth {
+		if x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+// TotalSize returns the number of network vertices covered.
+func (cg *Graph) TotalSize() float64 {
+	var s float64
+	for _, x := range cg.Size {
+		s += x
+	}
+	return s
+}
+
+// Connected reports whether the cluster multigraph is connected.
+func (cg *Graph) Connected() bool {
+	if cg.N <= 1 {
+		return true
+	}
+	adj := make([][]int, cg.N)
+	for _, e := range cg.Edges {
+		adj[e.A] = append(adj[e.A], e.B)
+		adj[e.B] = append(adj[e.B], e.A)
+	}
+	seen := make([]bool, cg.N)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == cg.N
+}
+
+// SimulationRounds charges the Lemma 5.1 schedule: simulating t rounds
+// of a B-bounded-space algorithm on this cluster graph costs
+// O((D + √n)·t) rounds on the n-vertex network of diameter D. The
+// charge uses the measured max cluster depth in place of the generic √n
+// when smaller (small clusters broadcast internally; only the ≤√n large
+// clusters ride the BFS tree pipeline).
+func (cg *Graph) SimulationRounds(t, diameter, n int) int64 {
+	sqrtN := math.Ceil(math.Sqrt(float64(n)))
+	intra := float64(cg.MaxDepth())
+	if intra > sqrtN {
+		intra = sqrtN // the construction guarantees Õ(√n) depths
+	}
+	per := float64(diameter) + sqrtN + intra + 1
+	return int64(per * float64(t))
+}

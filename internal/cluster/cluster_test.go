@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"testing"
+
+	"distflow/internal/graph"
+)
+
+func TestFromGraph(t *testing.T) {
+	g := graph.Grid(3, 3)
+	cg := FromGraph(g)
+	if cg.N != 9 || len(cg.Edges) != g.M() {
+		t.Fatalf("size wrong: N=%d edges=%d", cg.N, len(cg.Edges))
+	}
+	if err := cg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < cg.N; c++ {
+		if cg.Rep[c] != c || cg.Size[c] != 1 || cg.Depth[c] != 0 {
+			t.Fatalf("cluster %d bookkeeping wrong", c)
+		}
+	}
+	if cg.TotalSize() != 9 {
+		t.Errorf("TotalSize = %v", cg.TotalSize())
+	}
+	if !cg.Connected() {
+		t.Error("grid cluster graph must be connected")
+	}
+}
+
+func TestValidateCatches(t *testing.T) {
+	g := graph.Path(3)
+	cases := []func(*Graph){
+		func(cg *Graph) { cg.Edges[0].A = 9 },
+		func(cg *Graph) { cg.Edges[0].B = cg.Edges[0].A },
+		func(cg *Graph) { cg.Edges[0].Cap = 0 },
+		func(cg *Graph) { cg.Size[1] = 0 },
+		func(cg *Graph) { cg.Depth[1] = -1 },
+		func(cg *Graph) { cg.Rep = cg.Rep[:1] },
+	}
+	for i, corrupt := range cases {
+		cg := FromGraph(g)
+		corrupt(cg)
+		if err := cg.Validate(); err == nil {
+			t.Errorf("case %d: corruption not detected", i)
+		}
+	}
+}
+
+func TestConnected(t *testing.T) {
+	cg := &Graph{N: 3, Rep: []int{0, 1, 2}, Size: []float64{1, 1, 1}, Depth: []int{0, 0, 0}}
+	if cg.Connected() {
+		t.Error("edgeless 3-cluster graph reported connected")
+	}
+	cg.Edges = []Edge{{A: 0, B: 1, Cap: 1}, {A: 1, B: 2, Cap: 1}}
+	if !cg.Connected() {
+		t.Error("path reported disconnected")
+	}
+}
+
+func TestMaxDepthAndSimulationRounds(t *testing.T) {
+	g := graph.Path(4)
+	cg := FromGraph(g)
+	cg.Depth[2] = 5
+	if cg.MaxDepth() != 5 {
+		t.Errorf("MaxDepth = %d", cg.MaxDepth())
+	}
+	r1 := cg.SimulationRounds(1, 3, 16)
+	r10 := cg.SimulationRounds(10, 3, 16)
+	if r10 != 10*r1 {
+		t.Errorf("SimulationRounds not linear in t: %d vs %d", r10, r1)
+	}
+	if r1 <= 0 {
+		t.Errorf("SimulationRounds = %d", r1)
+	}
+	// Depth is clamped by √n in the charge.
+	cg.Depth[2] = 1000
+	if cg.SimulationRounds(1, 3, 16) > r1+int64(1000) {
+		// must clamp at √16=4, so the charge barely moves
+		t.Errorf("depth not clamped: %d", cg.SimulationRounds(1, 3, 16))
+	}
+}

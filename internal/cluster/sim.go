@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	"fmt"
+
+	"distflow/internal/congest"
+	"distflow/internal/graph"
+)
+
+// Executable Lemma 5.1: a cluster-graph algorithm simulated on the
+// network graph by genuine message passing. A Partition realizes
+// Definition 5.1 concretely (members, leaders, intra-cluster spanning
+// trees, ψ-edges); SimulateFloodMin runs a B-bounded-space cluster-level
+// algorithm (flood-min over the cluster multigraph) with each
+// cluster-round implemented as broadcast → ψ-exchange → convergecast on
+// the underlying graph, and returns the exact measured rounds, which
+// experiment E9 compares against the SimulationRounds charge.
+
+// Partition is a concrete Definition 5.1 cluster graph over a network
+// graph: every cluster is connected, has the minimum-ID member as
+// leader, and a rooted intra-cluster spanning tree.
+type Partition struct {
+	// Of maps vertex -> cluster index.
+	Of []int
+	// Members lists vertices per cluster.
+	Members [][]int
+	// Leader is the root of each cluster's spanning tree.
+	Leader []int
+	// Parent / ParentEdge / DepthIn describe the intra-cluster trees
+	// (parent vertex, connecting edge, depth; -1/-1/0 at leaders).
+	Parent     []int
+	ParentEdge []int
+	DepthIn    []int
+	// Psi maps each unordered adjacent cluster pair to the physical
+	// edge realizing it (condition IV of Definition 5.1).
+	Psi map[[2]int]int
+	// MaxDepth is the deepest intra-cluster tree.
+	MaxDepth int
+}
+
+// PartitionFromAssignment builds a Partition from a vertex->cluster
+// assignment. Every cluster must induce a connected subgraph.
+func PartitionFromAssignment(g *graph.Graph, of []int) (*Partition, error) {
+	n := g.N()
+	if len(of) != n {
+		return nil, fmt.Errorf("cluster: assignment length %d, want %d", len(of), n)
+	}
+	nc := 0
+	for _, c := range of {
+		if c < 0 {
+			return nil, fmt.Errorf("cluster: negative cluster id")
+		}
+		if c+1 > nc {
+			nc = c + 1
+		}
+	}
+	p := &Partition{
+		Of:         append([]int(nil), of...),
+		Members:    make([][]int, nc),
+		Leader:     make([]int, nc),
+		Parent:     make([]int, n),
+		ParentEdge: make([]int, n),
+		DepthIn:    make([]int, n),
+		Psi:        make(map[[2]int]int),
+	}
+	for v, c := range of {
+		p.Members[c] = append(p.Members[c], v)
+	}
+	for c, members := range p.Members {
+		if len(members) == 0 {
+			return nil, fmt.Errorf("cluster: cluster %d empty", c)
+		}
+		p.Leader[c] = members[0] // ascending vertex order: min ID
+	}
+	for v := range p.Parent {
+		p.Parent[v] = -1
+		p.ParentEdge[v] = -1
+	}
+	// Intra-cluster BFS trees from the leaders.
+	for c, members := range p.Members {
+		root := p.Leader[c]
+		seen := map[int]bool{root: true}
+		queue := []int{root}
+		count := 1
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, a := range g.Adj(v) {
+				if of[a.To] != c || seen[a.To] {
+					continue
+				}
+				seen[a.To] = true
+				p.Parent[a.To] = v
+				p.ParentEdge[a.To] = a.E
+				p.DepthIn[a.To] = p.DepthIn[v] + 1
+				if p.DepthIn[a.To] > p.MaxDepth {
+					p.MaxDepth = p.DepthIn[a.To]
+				}
+				queue = append(queue, a.To)
+				count++
+			}
+		}
+		if count != len(members) {
+			return nil, fmt.Errorf("cluster: cluster %d not connected", c)
+		}
+	}
+	// ψ-edges: the smallest-index edge between each adjacent pair.
+	for e, ed := range g.Edges() {
+		a, b := of[ed.U], of[ed.V]
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if _, ok := p.Psi[key]; !ok {
+			p.Psi[key] = e
+		}
+	}
+	return p, nil
+}
+
+// NumClusters returns the number of clusters.
+func (p *Partition) NumClusters() int { return len(p.Members) }
+
+// --- Simulated cluster-level flood-min ---
+
+// simNode simulates one network node's role across the repeating
+// cluster-round cycle: phase A (maxD+1 rounds) broadcasts the leader's
+// current value down the intra-cluster tree; phase B (1 round) exchanges
+// values over ψ-edges; phase C (maxD+1 rounds) convergecasts the minimum
+// back to the leader.
+type simNode struct {
+	cluster   int
+	leader    bool
+	parentArc int   // intra-tree arc index; -1 at leader
+	childArcs []int // intra-tree child arc indices
+	psiArcs   []int // arcs realizing ψ-edges at this node
+	cycleLen  int
+	aLen      int
+	cycles    int
+
+	value   int64 // cluster value (authoritative at the leader)
+	cur     int64 // value being broadcast this cycle
+	haveCur bool
+	pending int   // children yet to report in phase C
+	best    int64 // running min for phase C
+	sentUp  bool
+}
+
+func (s *simNode) Step(ctx *congest.Context, in []congest.Incoming) ([]congest.Outgoing, bool) {
+	round := ctx.Round - 1 // 0-based
+	cycle := round / s.cycleLen
+	if cycle >= s.cycles {
+		return nil, true
+	}
+	pos := round % s.cycleLen
+	var outs []congest.Outgoing
+
+	// Deliveries are processed relative to the phase they belong to.
+	for _, m := range in {
+		msg, ok := m.Msg.(congest.IntMsg)
+		if !ok {
+			continue
+		}
+		switch msg.Tag {
+		case 1: // broadcast value travelling down
+			if !s.haveCur {
+				s.cur = msg.Value
+				s.haveCur = true
+			}
+		case 2: // ψ-exchange arrival
+			if msg.Value < s.best {
+				s.best = msg.Value
+			}
+		case 3: // convergecast partial minimum
+			if msg.Value < s.best {
+				s.best = msg.Value
+			}
+			s.pending--
+		}
+	}
+
+	switch {
+	case pos == 0:
+		// Cycle start: leader seeds the broadcast; everyone resets
+		// phase-C state.
+		s.best = int64(1) << 62
+		s.pending = len(s.childArcs)
+		s.sentUp = false
+		s.haveCur = false
+		if s.leader {
+			s.cur = s.value
+			s.haveCur = true
+		}
+		fallthrough
+	case pos < s.aLen:
+		// Phase A: forward the value down once received.
+		if s.haveCur && (pos == 0 || len(in) > 0) {
+			for _, i := range s.childArcs {
+				outs = append(outs, congest.Outgoing{Edge: ctx.Arc(i).E, Msg: congest.IntMsg{Tag: 1, Value: s.cur}})
+			}
+		}
+	case pos == s.aLen:
+		// Phase B: ψ endpoints exchange the cluster value.
+		if s.best > s.cur && s.haveCur {
+			s.best = s.cur
+		}
+		for _, i := range s.psiArcs {
+			outs = append(outs, congest.Outgoing{Edge: ctx.Arc(i).E, Msg: congest.IntMsg{Tag: 2, Value: s.cur}})
+		}
+	default:
+		// Phase C: convergecast the minimum; leaves fire immediately,
+		// inner nodes once all children reported.
+		if s.haveCur && s.cur < s.best {
+			s.best = s.cur
+		}
+		if !s.sentUp && s.pending == 0 {
+			s.sentUp = true
+			if s.leader {
+				s.value = min64(s.value, s.best)
+			} else {
+				outs = append(outs, congest.Outgoing{Edge: ctx.Arc(s.parentArc).E, Msg: congest.IntMsg{Tag: 3, Value: s.best}})
+			}
+		}
+	}
+	return outs, false
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SimulateFloodMin runs flood-min over the cluster graph (every cluster
+// ends with the global minimum of the leaders' initial values) by
+// Lemma 5.1-style simulation on the network, executing `cycles`
+// cluster-rounds. It returns the final per-cluster values and the
+// measured network cost.
+func SimulateFloodMin(nw *congest.Network, p *Partition, values []int64, cycles int) ([]int64, congest.Stats, error) {
+	g := nw.Graph()
+	if len(values) != p.NumClusters() {
+		return nil, congest.Stats{}, fmt.Errorf("cluster: values length %d, want %d", len(values), p.NumClusters())
+	}
+	aLen := p.MaxDepth + 1
+	cycleLen := aLen + 1 + p.MaxDepth + 2
+	nodes := make([]*simNode, g.N())
+	// Precompute arc roles.
+	psiAt := make(map[int][]int) // vertex -> psi arc indices
+	for _, e := range p.Psi {
+		ed := g.Edge(e)
+		for _, v := range []int{ed.U, ed.V} {
+			for i, a := range g.Adj(v) {
+				if a.E == e {
+					psiAt[v] = append(psiAt[v], i)
+					break
+				}
+			}
+		}
+	}
+	stats, err := nw.Run(func(v int, ctx *congest.Context) congest.Program {
+		s := &simNode{
+			cluster:   p.Of[v],
+			leader:    p.Leader[p.Of[v]] == v,
+			parentArc: -1,
+			cycleLen:  cycleLen,
+			aLen:      aLen,
+			cycles:    cycles,
+			value:     values[p.Of[v]],
+			psiArcs:   psiAt[v],
+		}
+		for i, a := range g.Adj(v) {
+			if p.ParentEdge[v] == a.E && p.Parent[v] == a.To {
+				s.parentArc = i
+			}
+			if p.Of[a.To] == p.Of[v] && p.Parent[a.To] == v && p.ParentEdge[a.To] == a.E {
+				s.childArcs = append(s.childArcs, i)
+			}
+		}
+		nodes[v] = s
+		return s
+	}, cycles*cycleLen+8)
+	if err != nil {
+		return nil, stats, fmt.Errorf("cluster: simulate: %w", err)
+	}
+	out := make([]int64, p.NumClusters())
+	for c := range out {
+		out[c] = nodes[p.Leader[c]].value
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"testing"
+
+	"distflow/internal/congest"
+	"distflow/internal/graph"
+)
+
+// tilePartition splits a w×h grid into 2x-wide vertical stripes.
+func tilePartition(t *testing.T, w, h, stripe int) (*graph.Graph, *Partition) {
+	t.Helper()
+	g := graph.Grid(w, h)
+	of := make([]int, g.N())
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			of[y*w+x] = x / stripe
+		}
+	}
+	p, err := PartitionFromAssignment(g, of)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, p
+}
+
+func TestPartitionFromAssignment(t *testing.T) {
+	g, p := tilePartition(t, 8, 4, 2)
+	if p.NumClusters() != 4 {
+		t.Fatalf("clusters = %d, want 4", p.NumClusters())
+	}
+	total := 0
+	for c, members := range p.Members {
+		total += len(members)
+		if p.Leader[c] != members[0] {
+			t.Errorf("cluster %d leader %d, want min member %d", c, p.Leader[c], members[0])
+		}
+	}
+	if total != g.N() {
+		t.Errorf("members cover %d of %d", total, g.N())
+	}
+	// Intra trees: parent in same cluster, depth consistent.
+	for v := 0; v < g.N(); v++ {
+		if pv := p.Parent[v]; pv >= 0 {
+			if p.Of[pv] != p.Of[v] {
+				t.Fatalf("vertex %d parent in different cluster", v)
+			}
+			if p.DepthIn[v] != p.DepthIn[pv]+1 {
+				t.Fatalf("vertex %d depth inconsistent", v)
+			}
+		}
+	}
+	// ψ-edges exist for adjacent stripes only.
+	if len(p.Psi) != 3 {
+		t.Errorf("psi pairs = %d, want 3", len(p.Psi))
+	}
+}
+
+func TestPartitionRejectsDisconnectedCluster(t *testing.T) {
+	g := graph.Path(4)
+	// Cluster 0 = {0, 2}: not connected within the cluster.
+	if _, err := PartitionFromAssignment(g, []int{0, 1, 0, 1}); err == nil {
+		t.Error("disconnected cluster accepted")
+	}
+}
+
+func TestSimulateFloodMin(t *testing.T) {
+	g, p := tilePartition(t, 8, 4, 2)
+	values := []int64{40, 30, 20, 10}
+	nw := congest.NewNetwork(g, congest.WithSeed(3))
+	// Flood needs at most #clusters cluster-rounds.
+	out, stats, err := SimulateFloodMin(nw, p, values, p.NumClusters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, v := range out {
+		if v != 10 {
+			t.Errorf("cluster %d = %d, want 10 (global min)", c, v)
+		}
+	}
+	// Lemma 5.1 shape: measured rounds per cluster-round stay within the
+	// charged schedule (which uses D+sqrt(n); here depth ≪ both).
+	perRound := float64(stats.Rounds) / float64(p.NumClusters())
+	charge := float64(p.clusterGraphForCharge(g).SimulationRounds(1, g.Diameter(), g.N()))
+	if perRound > charge {
+		t.Errorf("measured %.1f rounds per cluster-round exceeds charge %.1f", perRound, charge)
+	}
+	t.Logf("measured per cluster-round: %.1f, charged: %.1f", perRound, charge)
+}
+
+// clusterGraphForCharge converts a Partition into the Graph bookkeeping
+// form used by SimulationRounds.
+func (p *Partition) clusterGraphForCharge(g *graph.Graph) *Graph {
+	cg := &Graph{
+		N:     p.NumClusters(),
+		Rep:   append([]int(nil), p.Leader...),
+		Size:  make([]float64, p.NumClusters()),
+		Depth: make([]int, p.NumClusters()),
+	}
+	for c, members := range p.Members {
+		cg.Size[c] = float64(len(members))
+		for _, v := range members {
+			if p.DepthIn[v] > cg.Depth[c] {
+				cg.Depth[c] = p.DepthIn[v]
+			}
+		}
+	}
+	for pair, e := range p.Psi {
+		cg.Edges = append(cg.Edges, Edge{A: pair[0], B: pair[1], Cap: 1, Phys: e})
+	}
+	return cg
+}
+
+func TestSimulateFloodMinSingleCluster(t *testing.T) {
+	g, p := tilePartition(t, 4, 4, 4)
+	if p.NumClusters() != 1 {
+		t.Fatal("expected one cluster")
+	}
+	out, _, err := SimulateFloodMin(congest.NewNetwork(g, congest.WithSeed(5)), p, []int64{7}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 7 {
+		t.Errorf("value = %d", out[0])
+	}
+}
+
+func TestSimulateFloodMinBadInput(t *testing.T) {
+	g, p := tilePartition(t, 8, 4, 2)
+	if _, _, err := SimulateFloodMin(congest.NewNetwork(g), p, []int64{1}, 2); err == nil {
+		t.Error("short values accepted")
+	}
+}

@@ -1,0 +1,343 @@
+// Package congest implements the synchronous CONGEST model of distributed
+// computation (§1.1 of the paper) as an executable simulator.
+//
+// The model: the communication graph is an undirected graph G; every node
+// hosts a processor knowing only its identifier, its incident edges and
+// their capacities; computation proceeds in synchronous rounds; in each
+// round a node may send one message of at most B bits over each incident
+// edge (per direction), and receives the messages sent to it in the same
+// round at the beginning of the next round. B = Θ(log n).
+//
+// Node algorithms are Programs. A Program's Step is invoked once per
+// round with the messages delivered in that round; it returns the
+// messages to send and whether the node has (locally) terminated. The
+// network halts when every node reports done and no message is in
+// flight, or errs when maxRounds is exceeded.
+//
+// Two schedulers are provided: a deterministic lockstep loop, and a
+// goroutine-per-node scheduler in which each node runs as its own
+// goroutine synchronized by round barriers (channels). Both produce
+// identical executions; programs must therefore not share mutable state
+// across nodes.
+//
+// The simulator *enforces* the bandwidth bound: any attempt to send two
+// messages over the same edge in one round, or a message wider than B
+// bits, aborts the run with an error. Round, message, and bit counts are
+// the quantities the paper's theorems bound, and are reported exactly.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"distflow/internal/graph"
+)
+
+// Message is a unit of communication. WireSize returns the message's
+// width in bits; the network checks it against the per-edge budget B.
+// Implementations should report sizes honestly: a node identifier or
+// capacity is one word of O(log n) bits.
+type Message interface {
+	WireSize() int
+}
+
+// Incoming is a message delivered to a node at the start of a round.
+type Incoming struct {
+	From int // sender node ID
+	Edge int // global index of the edge it arrived on
+	Msg  Message
+}
+
+// Outgoing is a message a node emits during a round.
+type Outgoing struct {
+	Edge int // incident edge to send over
+	Msg  Message
+}
+
+// Context is the node-local view of the network handed to a Program. It
+// exposes exactly what the CONGEST model lets a node know initially:
+// its ID, n, its incident edges with capacities, and private randomness.
+type Context struct {
+	ID    int
+	N     int
+	Round int // current round, starting at 1
+	Rand  *rand.Rand
+
+	arcs []graph.Arc
+	caps []int64 // capacity of arcs[i].E
+}
+
+// Degree returns the number of incident edge endpoints.
+func (c *Context) Degree() int { return len(c.arcs) }
+
+// Arc returns the i-th incident (neighbour, edge) pair.
+func (c *Context) Arc(i int) graph.Arc { return c.arcs[i] }
+
+// Arcs returns all incident arcs. Callers must not modify the slice.
+func (c *Context) Arcs() []graph.Arc { return c.arcs }
+
+// EdgeCap returns the capacity of the i-th incident edge.
+func (c *Context) EdgeCap(i int) int64 { return c.caps[i] }
+
+// Program is a per-node algorithm. Step is called once per round; in
+// round 1 the inbox is empty. Returning done signals local termination;
+// the network halts once all nodes are done and no message is in flight.
+// Step must be deterministic given the Context (including its Rand) and
+// inbox.
+type Program interface {
+	Step(ctx *Context, in []Incoming) (out []Outgoing, done bool)
+}
+
+// Stats aggregates the measured execution costs of one or more runs.
+type Stats struct {
+	Rounds   int
+	Messages int64
+	Bits     int64
+}
+
+// Add accumulates other into s (used to total multi-phase algorithms).
+func (s *Stats) Add(other Stats) {
+	s.Rounds += other.Rounds
+	s.Messages += other.Messages
+	s.Bits += other.Bits
+}
+
+// Network is an immutable simulation configuration over a topology.
+type Network struct {
+	g        *graph.Graph
+	bits     int
+	seed     int64
+	parallel bool
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithBandwidth sets the per-edge per-direction bit budget B.
+func WithBandwidth(bits int) Option {
+	return func(n *Network) { n.bits = bits }
+}
+
+// WithSeed sets the base seed for the nodes' private randomness.
+func WithSeed(seed int64) Option {
+	return func(n *Network) { n.seed = seed }
+}
+
+// WithParallel selects the goroutine-per-node scheduler.
+func WithParallel(parallel bool) Option {
+	return func(n *Network) { n.parallel = parallel }
+}
+
+// DefaultBandwidth is the default per-edge budget: a constant number of
+// O(log n)-size words, matching the model's B = Θ(log n) with the
+// constant chosen so that every message in this repository (at most four
+// 64-bit words) fits.
+const DefaultBandwidth = 4 * 64
+
+// NewNetwork creates a simulator over g.
+func NewNetwork(g *graph.Graph, opts ...Option) *Network {
+	n := &Network{g: g, bits: DefaultBandwidth, seed: 1}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Graph returns the underlying topology.
+func (nw *Network) Graph() *graph.Graph { return nw.g }
+
+// Bandwidth returns the per-edge bit budget B.
+func (nw *Network) Bandwidth() int { return nw.bits }
+
+// ErrMaxRounds is returned when a run exceeds its round budget.
+var ErrMaxRounds = errors.New("congest: exceeded maximum rounds")
+
+// Run executes one synchronous algorithm: make(v, ctx) constructs the
+// node-v Program (it may capture ctx for state carried across phases).
+// The run ends when every node is done and no message is in flight, or
+// fails with ErrMaxRounds.
+func (nw *Network) Run(make func(v int, ctx *Context) Program, maxRounds int) (Stats, error) {
+	n := nw.g.N()
+	ctxs := nodeContexts(nw)
+	progs := a2(n, func(v int) Program { return make(v, ctxs[v]) })
+	if nw.parallel {
+		return nw.runParallel(ctxs, progs, maxRounds)
+	}
+	return nw.runLockstep(ctxs, progs, maxRounds)
+}
+
+func a2[T any](n int, f func(int) T) []T {
+	out := make([]T, n)
+	for i := range out {
+		out[i] = f(i)
+	}
+	return out
+}
+
+func nodeContexts(nw *Network) []*Context {
+	n := nw.g.N()
+	ctxs := make([]*Context, n)
+	for v := 0; v < n; v++ {
+		arcs := nw.g.Adj(v)
+		caps := make([]int64, len(arcs))
+		for i, a := range arcs {
+			caps[i] = nw.g.Cap(a.E)
+		}
+		ctxs[v] = &Context{
+			ID:   v,
+			N:    n,
+			Rand: rand.New(rand.NewSource(nw.seed*1_000_003 + int64(v))),
+			arcs: arcs,
+			caps: caps,
+		}
+	}
+	return ctxs
+}
+
+// validate checks v's outbox against the model and stages deliveries.
+func (nw *Network) validate(v int, outs []Outgoing, usedEdges map[int]bool) error {
+	for _, o := range outs {
+		if o.Msg == nil {
+			return fmt.Errorf("congest: node %d sent nil message", v)
+		}
+		e := o.Edge
+		if e < 0 || e >= nw.g.M() {
+			return fmt.Errorf("congest: node %d sent on invalid edge %d", v, e)
+		}
+		ed := nw.g.Edge(e)
+		if ed.U != v && ed.V != v {
+			return fmt.Errorf("congest: node %d sent on non-incident edge %d (%d-%d)", v, e, ed.U, ed.V)
+		}
+		if sz := o.Msg.WireSize(); sz > nw.bits {
+			return fmt.Errorf("congest: node %d message of %d bits exceeds B=%d on edge %d", v, sz, nw.bits, e)
+		}
+		if usedEdges[e] {
+			return fmt.Errorf("congest: node %d sent two messages on edge %d in one round", v, e)
+		}
+		usedEdges[e] = true
+	}
+	return nil
+}
+
+func (nw *Network) runLockstep(ctxs []*Context, progs []Program, maxRounds int) (Stats, error) {
+	n := nw.g.N()
+	var stats Stats
+	inboxes := make([][]Incoming, n)
+	next := make([][]Incoming, n)
+	used := make(map[int]bool)
+	for round := 1; ; round++ {
+		if round > maxRounds {
+			return stats, fmt.Errorf("%w (budget %d)", ErrMaxRounds, maxRounds)
+		}
+		stats.Rounds = round
+		allDone := true
+		inflight := false
+		for v := 0; v < n; v++ {
+			ctxs[v].Round = round
+			clear(used)
+			outs, done := progs[v].Step(ctxs[v], inboxes[v])
+			if err := nw.validate(v, outs, used); err != nil {
+				return stats, err
+			}
+			if !done {
+				allDone = false
+			}
+			for _, o := range outs {
+				to := nw.g.Other(o.Edge, v)
+				next[to] = append(next[to], Incoming{From: v, Edge: o.Edge, Msg: o.Msg})
+				stats.Messages++
+				stats.Bits += int64(o.Msg.WireSize())
+				inflight = true
+			}
+		}
+		for v := 0; v < n; v++ {
+			inboxes[v] = inboxes[v][:0]
+			inboxes[v], next[v] = next[v], inboxes[v]
+		}
+		if allDone && !inflight {
+			return stats, nil
+		}
+	}
+}
+
+// runParallel runs each node as a goroutine with channel-based round
+// barriers: the coordinator sends each node its inbox, nodes respond
+// with their outbox, and the coordinator redistributes. Nodes never
+// share memory; all exchange goes through channels.
+func (nw *Network) runParallel(ctxs []*Context, progs []Program, maxRounds int) (Stats, error) {
+	n := nw.g.N()
+	type result struct {
+		v    int
+		outs []Outgoing
+		done bool
+	}
+	start := make([]chan []Incoming, n)
+	results := make(chan result, n)
+	var wg sync.WaitGroup
+	for v := 0; v < n; v++ {
+		start[v] = make(chan []Incoming)
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			for in := range start[v] {
+				outs, done := progs[v].Step(ctxs[v], in)
+				results <- result{v: v, outs: outs, done: done}
+			}
+		}(v)
+	}
+	stop := func() {
+		for v := range start {
+			close(start[v])
+		}
+		wg.Wait()
+	}
+
+	var stats Stats
+	inboxes := make([][]Incoming, n)
+	used := make(map[int]bool)
+	for round := 1; ; round++ {
+		if round > maxRounds {
+			stop()
+			return stats, fmt.Errorf("%w (budget %d)", ErrMaxRounds, maxRounds)
+		}
+		stats.Rounds = round
+		for v := 0; v < n; v++ {
+			ctxs[v].Round = round
+		}
+		for v := 0; v < n; v++ {
+			start[v] <- inboxes[v]
+		}
+		outs := make([][]Outgoing, n)
+		allDone := true
+		for i := 0; i < n; i++ {
+			r := <-results
+			outs[r.v] = r.outs
+			if !r.done {
+				allDone = false
+			}
+		}
+		next := make([][]Incoming, n)
+		inflight := false
+		for v := 0; v < n; v++ {
+			clear(used)
+			if err := nw.validate(v, outs[v], used); err != nil {
+				stop()
+				return stats, err
+			}
+			for _, o := range outs[v] {
+				to := nw.g.Other(o.Edge, v)
+				next[to] = append(next[to], Incoming{From: v, Edge: o.Edge, Msg: o.Msg})
+				stats.Messages++
+				stats.Bits += int64(o.Msg.WireSize())
+				inflight = true
+			}
+		}
+		inboxes = next
+		if allDone && !inflight {
+			stop()
+			return stats, nil
+		}
+	}
+}

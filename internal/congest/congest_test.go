@@ -1,0 +1,244 @@
+package congest
+
+import (
+	"errors"
+	"testing"
+
+	"distflow/internal/graph"
+)
+
+// flood is a minimal test program: node 0 starts with a token; every node
+// forwards the token to all neighbours the round after first hearing it;
+// nodes are done once they have the token and forwarded it.
+type flood struct {
+	have      bool
+	forwarded bool
+	firstHop  int // round at which the token arrived (for assertions)
+}
+
+func (f *flood) Step(ctx *Context, in []Incoming) ([]Outgoing, bool) {
+	if !f.have {
+		if ctx.ID == 0 && ctx.Round == 1 {
+			f.have = true
+			f.firstHop = 0
+		}
+		for _, m := range in {
+			if _, ok := m.Msg.(Empty); ok && !f.have {
+				f.have = true
+				f.firstHop = ctx.Round - 1
+			}
+		}
+	}
+	if f.have && !f.forwarded {
+		f.forwarded = true
+		outs := make([]Outgoing, 0, ctx.Degree())
+		for i := 0; i < ctx.Degree(); i++ {
+			outs = append(outs, Outgoing{Edge: ctx.Arc(i).E, Msg: Empty{}})
+		}
+		return outs, true
+	}
+	return nil, f.have
+}
+
+func runFlood(t *testing.T, parallel bool) []*flood {
+	t.Helper()
+	g := graph.Path(6)
+	nw := NewNetwork(g, WithParallel(parallel))
+	progs := make([]*flood, g.N())
+	stats, err := nw.Run(func(v int, ctx *Context) Program {
+		progs[v] = &flood{}
+		return progs[v]
+	}, 100)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Token reaches node 5 after 5 hops; one extra round to quiesce.
+	if stats.Rounds < 6 || stats.Rounds > 8 {
+		t.Errorf("Rounds = %d, want ~6", stats.Rounds)
+	}
+	return progs
+}
+
+func TestFloodLockstep(t *testing.T) {
+	progs := runFlood(t, false)
+	for v, p := range progs {
+		if !p.have {
+			t.Fatalf("node %d never got token", v)
+		}
+		if p.firstHop != v {
+			t.Errorf("node %d token hop = %d, want %d", v, p.firstHop, v)
+		}
+	}
+}
+
+func TestFloodParallel(t *testing.T) {
+	progs := runFlood(t, true)
+	for v, p := range progs {
+		if p.firstHop != v {
+			t.Errorf("node %d token hop = %d, want %d", v, p.firstHop, v)
+		}
+	}
+}
+
+// Schedulers must produce identical stats for deterministic programs.
+func TestSchedulersAgree(t *testing.T) {
+	g := graph.Grid(5, 5)
+	run := func(parallel bool) Stats {
+		nw := NewNetwork(g, WithParallel(parallel), WithSeed(7))
+		stats, err := nw.Run(func(v int, ctx *Context) Program { return &flood{} }, 200)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return stats
+	}
+	a, b := run(false), run(true)
+	if a != b {
+		t.Errorf("lockstep %+v != parallel %+v", a, b)
+	}
+}
+
+type misbehave struct{ mode string }
+
+func (m *misbehave) Step(ctx *Context, in []Incoming) ([]Outgoing, bool) {
+	switch m.mode {
+	case "nonincident":
+		if ctx.ID == 0 {
+			// Edge 1 of a path connects nodes 1-2; node 0 may not use it.
+			return []Outgoing{{Edge: 1, Msg: Empty{}}}, true
+		}
+	case "double":
+		if ctx.ID == 0 {
+			return []Outgoing{{Edge: 0, Msg: Empty{}}, {Edge: 0, Msg: Empty{}}}, true
+		}
+	case "nil":
+		if ctx.ID == 0 {
+			return []Outgoing{{Edge: 0, Msg: nil}}, true
+		}
+	case "badedge":
+		if ctx.ID == 0 {
+			return []Outgoing{{Edge: 99, Msg: Empty{}}}, true
+		}
+	}
+	return nil, true
+}
+
+func TestModelViolationsRejected(t *testing.T) {
+	for _, mode := range []string{"nonincident", "double", "nil", "badedge"} {
+		t.Run(mode, func(t *testing.T) {
+			g := graph.Path(3)
+			nw := NewNetwork(g)
+			_, err := nw.Run(func(v int, ctx *Context) Program { return &misbehave{mode: mode} }, 10)
+			if err == nil {
+				t.Error("expected model violation error")
+			}
+		})
+	}
+}
+
+type oversize struct{}
+
+type bigMsg struct{ bits int }
+
+func (b bigMsg) WireSize() int { return b.bits }
+
+func (o *oversize) Step(ctx *Context, in []Incoming) ([]Outgoing, bool) {
+	if ctx.ID == 0 && ctx.Round == 1 {
+		return []Outgoing{{Edge: 0, Msg: bigMsg{bits: 100000}}}, true
+	}
+	return nil, true
+}
+
+func TestBandwidthEnforced(t *testing.T) {
+	g := graph.Path(2)
+	nw := NewNetwork(g)
+	if _, err := nw.Run(func(v int, ctx *Context) Program { return &oversize{} }, 10); err == nil {
+		t.Error("oversize message accepted")
+	}
+	// With a huge budget it should pass.
+	nw = NewNetwork(g, WithBandwidth(1<<20))
+	if _, err := nw.Run(func(v int, ctx *Context) Program { return &oversize{} }, 10); err != nil {
+		t.Errorf("unexpected error with large bandwidth: %v", err)
+	}
+}
+
+type never struct{}
+
+func (never) Step(ctx *Context, in []Incoming) ([]Outgoing, bool) { return nil, false }
+
+func TestMaxRounds(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		nw := NewNetwork(graph.Path(2), WithParallel(parallel))
+		_, err := nw.Run(func(v int, ctx *Context) Program { return never{} }, 5)
+		if !errors.Is(err, ErrMaxRounds) {
+			t.Errorf("parallel=%v: err = %v, want ErrMaxRounds", parallel, err)
+		}
+	}
+}
+
+func TestContextView(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 7)
+	g.AddEdge(1, 2, 9)
+	nw := NewNetwork(g)
+	var got *Context
+	_, err := nw.Run(func(v int, ctx *Context) Program {
+		if v == 1 {
+			got = ctx
+		}
+		return never{}
+	}, 1)
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("err = %v", err)
+	}
+	if got.Degree() != 2 || got.N != 3 || got.ID != 1 {
+		t.Fatalf("context wrong: %+v", got)
+	}
+	caps := map[int]int64{}
+	for i := 0; i < got.Degree(); i++ {
+		caps[got.Arc(i).To] = got.EdgeCap(i)
+	}
+	if caps[0] != 7 || caps[2] != 9 {
+		t.Errorf("EdgeCap view wrong: %v", caps)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	g := graph.Path(2)
+	nw := NewNetwork(g)
+	stats, err := nw.Run(func(v int, ctx *Context) Program { return &flood{} }, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 sends 1 msg round 1; node 1 forwards back round 2. 2 messages.
+	if stats.Messages != 2 {
+		t.Errorf("Messages = %d, want 2", stats.Messages)
+	}
+	if stats.Bits != 2*int64(Empty{}.WireSize()) {
+		t.Errorf("Bits = %d", stats.Bits)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	g := graph.Path(4)
+	collect := func() []int64 {
+		nw := NewNetwork(g, WithSeed(42))
+		vals := make([]int64, g.N())
+		_, err := nw.Run(func(v int, ctx *Context) Program {
+			vals[v] = ctx.Rand.Int63()
+			return never{}
+		}, 1)
+		if !errors.Is(err, ErrMaxRounds) {
+			t.Fatal(err)
+		}
+		return vals
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different node randomness")
+		}
+	}
+	if a[0] == a[1] {
+		t.Error("distinct nodes should have distinct random streams")
+	}
+}

@@ -1,0 +1,78 @@
+package congest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ledger accumulates round costs across the phases of a multi-phase
+// algorithm. Phases executed in the simulator charge their measured
+// Stats; phases executed in "accounted mode" (see DESIGN.md §1) charge
+// rounds computed from the paper's simulation lemmas instantiated with
+// measured quantities (tree depths, component counts, pipeline lengths).
+// The ledger keeps the two kinds separate so reports can show how much
+// of a bound was measured vs accounted.
+type Ledger struct {
+	measured  int64
+	accounted int64
+	phases    map[string]int64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{phases: make(map[string]int64)}
+}
+
+// ChargeMeasured adds rounds measured by simulator execution.
+func (l *Ledger) ChargeMeasured(phase string, s Stats) {
+	l.measured += int64(s.Rounds)
+	l.phases[phase] += int64(s.Rounds)
+}
+
+// ChargeAccounted adds rounds charged analytically from measured
+// structural quantities (e.g. Lemma 5.1's O((D+√n)·t) with the actual
+// D, cluster depths and t).
+func (l *Ledger) ChargeAccounted(phase string, rounds int64) {
+	if rounds < 0 {
+		panic("congest: negative round charge")
+	}
+	l.accounted += rounds
+	l.phases[phase] += rounds
+}
+
+// Total returns all rounds charged so far.
+func (l *Ledger) Total() int64 { return l.measured + l.accounted }
+
+// Measured returns the simulator-executed rounds.
+func (l *Ledger) Measured() int64 { return l.measured }
+
+// Accounted returns the analytically charged rounds.
+func (l *Ledger) Accounted() int64 { return l.accounted }
+
+// Phase returns the rounds charged to one phase label.
+func (l *Ledger) Phase(name string) int64 { return l.phases[name] }
+
+// Add merges another ledger into l.
+func (l *Ledger) Add(other *Ledger) {
+	l.measured += other.measured
+	l.accounted += other.accounted
+	for k, v := range other.phases {
+		l.phases[k] += v
+	}
+}
+
+// String renders a stable per-phase breakdown for reports.
+func (l *Ledger) String() string {
+	names := make([]string, 0, len(l.phases))
+	for k := range l.phases {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "rounds total=%d (measured=%d accounted=%d)", l.Total(), l.measured, l.accounted)
+	for _, k := range names {
+		fmt.Fprintf(&b, "\n  %-28s %d", k, l.phases[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package congest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLedger(t *testing.T) {
+	l := NewLedger()
+	l.ChargeMeasured("bfs", Stats{Rounds: 10})
+	l.ChargeAccounted("cluster-sim", 25)
+	l.ChargeMeasured("bfs", Stats{Rounds: 5})
+	if l.Total() != 40 || l.Measured() != 15 || l.Accounted() != 25 {
+		t.Fatalf("totals wrong: %d %d %d", l.Total(), l.Measured(), l.Accounted())
+	}
+	if l.Phase("bfs") != 15 {
+		t.Errorf("Phase(bfs) = %d, want 15", l.Phase("bfs"))
+	}
+	other := NewLedger()
+	other.ChargeAccounted("bfs", 1)
+	l.Add(other)
+	if l.Total() != 41 || l.Phase("bfs") != 16 {
+		t.Errorf("Add failed: total=%d bfs=%d", l.Total(), l.Phase("bfs"))
+	}
+	s := l.String()
+	if !strings.Contains(s, "bfs") || !strings.Contains(s, "cluster-sim") {
+		t.Errorf("String missing phases: %q", s)
+	}
+}
+
+func TestLedgerNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative charge")
+		}
+	}()
+	NewLedger().ChargeAccounted("x", -1)
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Rounds: 3, Messages: 10, Bits: 100}
+	a.Add(Stats{Rounds: 2, Messages: 5, Bits: 50})
+	if a.Rounds != 5 || a.Messages != 15 || a.Bits != 150 {
+		t.Errorf("Add wrong: %+v", a)
+	}
+}
+
+func TestWireSizes(t *testing.T) {
+	msgs := []Message{IntMsg{}, Int2Msg{}, FloatMsg{}, Float2Msg{}, KVMsg{}, Empty{}}
+	for _, m := range msgs {
+		if m.WireSize() <= 0 || m.WireSize() > DefaultBandwidth {
+			t.Errorf("%T wire size %d outside (0, %d]", m, m.WireSize(), DefaultBandwidth)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package congest
+
+// Wire message helpers shared by the protocol packages. Sizes are
+// reported in bits; a "word" is 64 bits, the unit we use for node IDs,
+// capacities, and fixed-precision reals (all O(log n)-bit quantities in
+// the model, cf. §1.1 and the encoding discussion in §9.1).
+
+// WordBits is the wire size of one field.
+const WordBits = 64
+
+// IntMsg carries one integer word plus a small tag.
+type IntMsg struct {
+	Tag   uint8
+	Value int64
+}
+
+// WireSize implements Message.
+func (IntMsg) WireSize() int { return 8 + WordBits }
+
+// Int2Msg carries two integer words plus a tag.
+type Int2Msg struct {
+	Tag  uint8
+	A, B int64
+}
+
+// WireSize implements Message.
+func (Int2Msg) WireSize() int { return 8 + 2*WordBits }
+
+// FloatMsg carries one fixed-precision real plus a tag.
+type FloatMsg struct {
+	Tag   uint8
+	Value float64
+}
+
+// WireSize implements Message.
+func (FloatMsg) WireSize() int { return 8 + WordBits }
+
+// Float2Msg carries two fixed-precision reals plus a tag.
+type Float2Msg struct {
+	Tag  uint8
+	A, B float64
+}
+
+// WireSize implements Message.
+func (Float2Msg) WireSize() int { return 8 + 2*WordBits }
+
+// KVMsg carries a (key, value) pair — one word each — plus a tag. Used
+// by pipelined aggregations where the key names a component/cluster and
+// the value is an aggregate.
+type KVMsg struct {
+	Tag   uint8
+	Key   int64
+	Value float64
+}
+
+// WireSize implements Message.
+func (KVMsg) WireSize() int { return 8 + 2*WordBits }
+
+// Empty is a content-free signal message (a beep).
+type Empty struct{ Tag uint8 }
+
+// WireSize implements Message.
+func (Empty) WireSize() int { return 8 }

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Every experiment must run at Quick scale and produce a well-formed
+// table.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tab, err := r.Run(Quick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tab.ID == "" || tab.Claim == "" || len(tab.Columns) == 0 {
+				t.Fatal("table metadata incomplete")
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("no rows produced")
+			}
+			for i, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Fatalf("row %d has %d cells, want %d", i, len(row), len(tab.Columns))
+				}
+			}
+			var buf bytes.Buffer
+			tab.Fprint(&buf)
+			if !strings.Contains(buf.String(), tab.ID) {
+				t.Error("Fprint output missing table ID")
+			}
+		})
+	}
+}
+
+func colIndex(t *testing.T, tab *Table, name string) int {
+	t.Helper()
+	for i, c := range tab.Columns {
+		if c == name {
+			return i
+		}
+	}
+	t.Fatalf("column %q not found in %v", name, tab.Columns)
+	return -1
+}
+
+func cellFloat(t *testing.T, row []string, idx int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(row[idx], 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", row[idx], err)
+	}
+	return v
+}
+
+// E1's headline is the growth exponent: the charged rounds must grow
+// sub-quadratically in n (the paper: first sub-quadratic algorithm; the
+// trivial bound is Θ(m+D) and push-relabel Ω(n²) asymptotically).
+func TestE1SubQuadraticGrowth(t *testing.T) {
+	tab, err := E1RoundsVsN(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iN := colIndex(t, tab, "n")
+	iR := colIndex(t, tab, "this-work")
+	first, last := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+	n0, n1 := cellFloat(t, first, iN), cellFloat(t, last, iN)
+	r0, r1 := cellFloat(t, first, iR), cellFloat(t, last, iR)
+	slope := math.Log(r1/r0) / math.Log(n1/n0)
+	if slope >= 2 {
+		t.Errorf("round growth exponent %.2f is not sub-quadratic", slope)
+	}
+}
+
+// E5: the value must never exceed OPT, and OPT/value must stay within
+// the (1+eps) band (with the small-n slack documented in DESIGN.md).
+func TestE5WithinBand(t *testing.T) {
+	tab, err := E5ApproxQuality(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iOpt := colIndex(t, tab, "OPT")
+	iVal := colIndex(t, tab, "value")
+	iFeas := colIndex(t, tab, "feasible")
+	for _, row := range tab.Rows {
+		opt := cellFloat(t, row, iOpt)
+		val := cellFloat(t, row, iVal)
+		if val > opt*1.001 {
+			t.Errorf("value %v exceeds OPT %v", val, opt)
+		}
+		if row[iFeas] != "yes" {
+			t.Errorf("infeasible flow: %v", row)
+		}
+	}
+}
+
+// E10: measured spanner stretch obeys 2k-1.
+func TestE10StretchBound(t *testing.T) {
+	tab, err := E10Spanner(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iS := colIndex(t, tab, "stretch")
+	iB := colIndex(t, tab, "2k-1")
+	for _, row := range tab.Rows {
+		if cellFloat(t, row, iS) > cellFloat(t, row, iB)+1e-9 {
+			t.Errorf("stretch bound violated: %v", row)
+		}
+	}
+}
+
+// E6: component counts and depths stay within the Lemma 8.2 bounds.
+func TestE6Bounds(t *testing.T) {
+	tab, err := E6TreeDecomposition(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iC := colIndex(t, tab, "components")
+	iSq := colIndex(t, tab, "sqrt(n)")
+	iD := colIndex(t, tab, "max-depth")
+	iB := colIndex(t, tab, "sqrt(n)*ln(n)")
+	for _, row := range tab.Rows {
+		if cellFloat(t, row, iC) > 8*cellFloat(t, row, iSq) {
+			t.Errorf("component count out of band: %v", row)
+		}
+		if cellFloat(t, row, iD) > 8*cellFloat(t, row, iB) {
+			t.Errorf("depth out of band: %v", row)
+		}
+	}
+}

@@ -1,0 +1,436 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"distflow/internal/capprox"
+	"distflow/internal/cluster"
+	"distflow/internal/congest"
+	"distflow/internal/graph"
+	"distflow/internal/jtree"
+	"distflow/internal/lsst"
+	"distflow/internal/seqflow"
+	"distflow/internal/spanner"
+	"distflow/internal/sparsify"
+	"distflow/internal/vtree"
+)
+
+// E2LSSTStretch reproduces Theorem 3.1: spanning trees of average
+// stretch 2^{O(sqrt(log n log log n))}.
+func E2LSSTStretch(s Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E2",
+		Title:   "low average-stretch spanning trees",
+		Claim:   "Thm 3.1: expected average stretch 2^{O(sqrt(log n log log n))}",
+		Columns: []string{"family", "n", "m", "avg-stretch", "bound 2^sqrt(lg n lglg n)", "mst-stretch"},
+		Notes:   "mst-stretch = average stretch of the min-weight spanning tree baseline on the same lengths",
+	}
+	rng := rand.New(rand.NewSource(31))
+	sizes := pick(s, []int{64, 128}, []int{128, 256, 512, 1024})
+	for _, fam := range []string{"gnp", "grid"} {
+		for _, n := range sizes {
+			var g *graph.Graph
+			if fam == "gnp" {
+				g = graph.GNP(n, 6.0/float64(n), rng)
+			} else {
+				side := int(math.Sqrt(float64(n)))
+				g = graph.Grid(side, side)
+			}
+			edges := make([]lsst.Edge, g.M())
+			for i, e := range g.Edges() {
+				edges[i] = lsst.Edge{U: e.U, V: e.V, Len: float64(1 + rng.Intn(8))}
+			}
+			res, err := lsst.SpanningTree(g.N(), edges, lsst.Config{}, rng)
+			if err != nil {
+				return nil, fmt.Errorf("e2 %s n=%d: %w", fam, n, err)
+			}
+			stretch := lsst.AverageStretch(res, edges)
+			logn := math.Log2(float64(g.N()))
+			bound := math.Pow(2, math.Sqrt(logn*math.Log2(logn)))
+			t.AddRow(fam, fmt.Sprint(g.N()), fmt.Sprint(g.M()),
+				fmt.Sprintf("%.2f", stretch), fmt.Sprintf("%.1f", bound),
+				fmt.Sprintf("%.2f", mstStretch(g, edges)))
+		}
+	}
+	return t, nil
+}
+
+// mstStretch measures the average stretch of the Kruskal minimum-length
+// spanning tree — the natural baseline a low-stretch construction must
+// not lose badly to on average (and often beats on worst-case edges).
+func mstStretch(g *graph.Graph, edges []lsst.Edge) float64 {
+	type we struct {
+		w float64
+		e int
+	}
+	order := make([]we, len(edges))
+	for i, e := range edges {
+		order[i] = we{w: e.Len, e: i}
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j].w < order[j-1].w; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	parent := make([]int, g.N())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	treeAdj := make([][]we, g.N())
+	for _, o := range order {
+		u, v := edges[o.e].U, edges[o.e].V
+		if find(u) != find(v) {
+			parent[find(u)] = find(v)
+			treeAdj[u] = append(treeAdj[u], we{w: o.w, e: v})
+			treeAdj[v] = append(treeAdj[v], we{w: o.w, e: u})
+		}
+	}
+	// Root at 0, build vtree, measure.
+	par := make([]int, g.N())
+	lens := make([]float64, g.N())
+	for i := range par {
+		par[i] = -2
+	}
+	par[0] = -1
+	queue := []int{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range treeAdj[v] {
+			if par[a.e] == -2 {
+				par[a.e] = v
+				lens[a.e] = a.w
+				queue = append(queue, a.e)
+			}
+		}
+	}
+	vt, err := vtree.New(0, par, nil)
+	if err != nil {
+		return math.NaN()
+	}
+	pairs := make([]vtree.EdgeEndpoint, len(edges))
+	var denom float64
+	for i, e := range edges {
+		pairs[i] = vtree.EdgeEndpoint{U: e.U, V: e.V, Cap: 1}
+		denom += e.Len
+	}
+	return vt.StretchSum(pairs, lens) / denom
+}
+
+// E3Sparsifier reproduces Lemma 6.1: sparsifier size, cut preservation,
+// and bounded out-degree orientation.
+func E3Sparsifier(s Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E3",
+		Title:   "cut sparsifier (spanner packs + 1/4-sampling)",
+		Claim:   "Lemma 6.1: O(N polylog N) edges, cuts preserved, out-degree O(polylog)",
+		Columns: []string{"n", "m", "pack", "m'", "cut-distortion", "max-out-deg", "2*avg-deg'"},
+		Notes:   "cut-distortion = worst max(orig/sp, sp/orig) over 60 random cuts",
+	}
+	rng := rand.New(rand.NewSource(41))
+	sizes := pick(s, []int{32, 48}, []int{48, 64, 96, 128})
+	packs := pick(s, []int{2}, []int{1, 2, 4})
+	for _, n := range sizes {
+		g := graph.Complete(n)
+		in := make([]sparsify.Edge, g.M())
+		for i, e := range g.Edges() {
+			in[i] = sparsify.Edge{U: e.U, V: e.V, W: float64(1 + rng.Intn(8))}
+		}
+		for _, pack := range packs {
+			res, err := sparsify.Sparsify(n, in, sparsify.Config{PackSize: pack, TargetFactor: 0.5}, rng)
+			if err != nil {
+				return nil, fmt.Errorf("e3 n=%d: %w", n, err)
+			}
+			worst := 1.0
+			for i := 0; i < 60; i++ {
+				side := graph.RandomCut(n, rng)
+				orig := sparsify.CutWeight(in, side)
+				sp := sparsify.CutWeight(res.Edges, side)
+				if orig == 0 {
+					continue
+				}
+				r := sp / orig
+				if r < 1 {
+					r = 1 / r
+				}
+				if r > worst {
+					worst = r
+				}
+			}
+			_, maxOut := sparsify.OrientBoundedOutDegree(n, res.Edges)
+			avg := 2 * float64(len(res.Edges)) / float64(n)
+			t.AddRow(fmt.Sprint(n), fmt.Sprint(g.M()), fmt.Sprint(pack),
+				fmt.Sprint(len(res.Edges)), fmt.Sprintf("%.3f", worst),
+				fmt.Sprint(maxOut), fmt.Sprintf("%.1f", 2*avg))
+		}
+	}
+	return t, nil
+}
+
+// E4CongestionApprox reproduces Theorem 8.10 + Lemma 3.3: distortion of
+// the sampled congestion approximator vs the number of sampled trees,
+// including the A1 (tree count) and row-scaling ablations.
+func E4CongestionApprox(s Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E4",
+		Title:   "congestion approximator distortion vs sampled trees",
+		Claim:   "Thm 8.10 + Lemma 3.3: O(log n) sampled virtual trees give an n^o(1) congestion approximator",
+		Columns: []string{"trees", "scaling", "alpha(tree)", "worst opt/|Rb|", "median opt/|Rb|"},
+		Notes:   "opt computed exactly per s-t demand via Dinic min cut; |Rb| is the approximator's congestion estimate",
+	}
+	rng := rand.New(rand.NewSource(51))
+	g := graph.CapUniform(graph.GNP(pick(s, 40, 80), 0.12, rng), 8, rng)
+	treeCounts := pick(s, []int{2, 4}, []int{1, 2, 4, 7, 14})
+	for _, tc := range treeCounts {
+		for _, exact := range []bool{true, false} {
+			apx, err := capprox.Build(g, capprox.Config{Trees: tc, ExactCuts: exact}, rand.New(rand.NewSource(int64(tc))))
+			if err != nil {
+				return nil, fmt.Errorf("e4 trees=%d: %w", tc, err)
+			}
+			var ratios []float64
+			for trial := 0; trial < pick(s, 8, 30); trial++ {
+				src := rng.Intn(g.N())
+				dst := rng.Intn(g.N())
+				if src == dst {
+					continue
+				}
+				mc := seqflow.MinCutValue(g, src, dst)
+				if mc == 0 {
+					continue
+				}
+				opt := 1 / float64(mc)
+				lb := apx.NormRb(graph.STDemand(g.N(), src, dst, 1))
+				if lb > 0 {
+					ratios = append(ratios, opt/lb)
+				}
+			}
+			worst, med := summarize(ratios)
+			scaling := "paper(capT)"
+			if exact {
+				scaling = "exact-cuts"
+			}
+			t.AddRow(fmt.Sprint(tc), scaling, fmt.Sprintf("%.2f", apx.Alpha),
+				fmt.Sprintf("%.2f", worst), fmt.Sprintf("%.2f", med))
+		}
+	}
+	return t, nil
+}
+
+func summarize(xs []float64) (worst, median float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[len(sorted)-1], sorted[len(sorted)/2]
+}
+
+// E6TreeDecomposition reproduces Lemma 8.2: O(sqrt(n)) components of
+// depth O(sqrt(n) log n) from random edge sampling, on adversarially
+// deep trees, including the A3 sampling-probability ablation.
+func E6TreeDecomposition(s Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E6",
+		Title:   "randomized tree decomposition (Lemma 8.2)",
+		Claim:   "Lemma 8.2: w.h.p. O(sqrt(n)) components of depth d+O(sqrt(n) log n)",
+		Columns: []string{"tree", "n", "q-scale", "components", "sqrt(n)", "max-depth", "sqrt(n)*ln(n)"},
+	}
+	rng := rand.New(rand.NewSource(61))
+	sizes := pick(s, []int{1024}, []int{1024, 4096, 16384})
+	for _, n := range sizes {
+		shapes := []struct {
+			name string
+			mk   func() *vtree.VTree
+		}{
+			{"path", func() *vtree.VTree { return pathTree(n) }},
+			{"caterpillar", func() *vtree.VTree { return caterpillarTree(n) }},
+		}
+		for _, shape := range shapes {
+			for _, qscale := range pick(s, []float64{1}, []float64{0.5, 1, 2}) {
+				tr := shape.mk()
+				sqn := math.Sqrt(float64(tr.N())) / qscale
+				d := tr.Decompose(nil, sqn, rng)
+				t.AddRow(shape.name, fmt.Sprint(tr.N()), fmt.Sprintf("%.1f", qscale),
+					fmt.Sprint(d.NumComponents()),
+					fmt.Sprintf("%.0f", math.Sqrt(float64(tr.N()))),
+					fmt.Sprint(d.MaxDepth),
+					fmt.Sprintf("%.0f", math.Sqrt(float64(tr.N()))*math.Log(float64(tr.N()))))
+			}
+		}
+	}
+	return t, nil
+}
+
+func pathTree(n int) *vtree.VTree {
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = v - 1
+	}
+	t, err := vtree.New(0, parent, nil)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func caterpillarTree(n int) *vtree.VTree {
+	spine := n / 3
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < spine; v++ {
+		parent[v] = v - 1
+	}
+	for v := spine; v < n; v++ {
+		parent[v] = (v - spine) % spine
+	}
+	t, err := vtree.New(0, parent, nil)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// E9ClusterSimulation reproduces Lemma 5.1: the per-round cost of
+// simulating a cluster-graph algorithm. The "hierarchy" rows report the
+// charge on cluster graphs the j-tree construction actually produces;
+// the "stripes" rows execute a full measured simulation (flood-min over
+// stripe partitions of a grid, internal/cluster.SimulateFloodMin) and
+// report measured vs charged per-cluster-round cost.
+func E9ClusterSimulation(s Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E9",
+		Title:   "cluster-graph simulation cost (Lemma 5.1)",
+		Claim:   "Lemma 5.1: t rounds on a cluster graph simulate in O((D+sqrt(n))t) network rounds",
+		Columns: []string{"n", "case", "clusters", "max-depth", "measured/round", "charge/round", "D+sqrt(n)"},
+		Notes:   "hierarchy rows are charge-only (the construction runs in accounted mode); stripe rows execute the measured Lemma 5.1 protocol",
+	}
+	rng := rand.New(rand.NewSource(71))
+	sizes := pick(s, []int{100}, []int{100, 256, 576})
+	for _, n := range sizes {
+		g := graph.GNP(n, 6.0/float64(n), rng)
+		d := g.Diameter()
+		cg := cluster.FromGraph(g)
+		sqn := math.Sqrt(float64(n))
+		for level := 0; cg.N > 4 && level < 4; level++ {
+			charge := cg.SimulationRounds(1, d, n)
+			t.AddRow(fmt.Sprint(n), fmt.Sprintf("hierarchy-L%d", level), fmt.Sprint(cg.N),
+				fmt.Sprint(cg.MaxDepth()), "-", fmt.Sprint(charge),
+				fmt.Sprintf("%.0f", float64(d)+sqn))
+			j := cg.N / 8
+			if j < 1 {
+				j = 1
+			}
+			res, err := jtree.Step(cg, nil, j, sqn, jtree.Config{}, rng)
+			if err != nil {
+				return nil, fmt.Errorf("e9 n=%d level=%d: %w", n, level, err)
+			}
+			if res.Core.N >= cg.N {
+				break
+			}
+			cg = res.Core
+		}
+	}
+	// Measured rows: stripe partitions of grids, flood-min simulated.
+	for _, side := range pick(s, []int{8}, []int{8, 12, 16}) {
+		g := graph.Grid(side, side)
+		of := make([]int, g.N())
+		for y := 0; y < side; y++ {
+			for x := 0; x < side; x++ {
+				of[y*side+x] = x / 2
+			}
+		}
+		p, err := cluster.PartitionFromAssignment(g, of)
+		if err != nil {
+			return nil, fmt.Errorf("e9 stripes: %w", err)
+		}
+		values := make([]int64, p.NumClusters())
+		for c := range values {
+			values[c] = int64(100 - c)
+		}
+		cycles := p.NumClusters()
+		nw := congest.NewNetwork(g, congest.WithSeed(7))
+		out, stats, err := cluster.SimulateFloodMin(nw, p, values, cycles)
+		if err != nil {
+			return nil, fmt.Errorf("e9 stripes n=%d: %w", g.N(), err)
+		}
+		for _, v := range out {
+			if v != values[len(values)-1] {
+				return nil, fmt.Errorf("e9 stripes: flood-min wrong: %v", out)
+			}
+		}
+		d := g.Diameter()
+		cgc := chargeGraph(g, p)
+		t.AddRow(fmt.Sprint(g.N()), "stripes-measured", fmt.Sprint(p.NumClusters()),
+			fmt.Sprint(p.MaxDepth),
+			fmt.Sprintf("%.1f", float64(stats.Rounds)/float64(cycles)),
+			fmt.Sprint(cgc.SimulationRounds(1, d, g.N())),
+			fmt.Sprintf("%.0f", float64(d)+math.Sqrt(float64(g.N()))))
+	}
+	return t, nil
+}
+
+// chargeGraph converts a Partition into the bookkeeping Graph used by
+// SimulationRounds.
+func chargeGraph(g *graph.Graph, p *cluster.Partition) *cluster.Graph {
+	cg := &cluster.Graph{
+		N:     p.NumClusters(),
+		Rep:   append([]int(nil), p.Leader...),
+		Size:  make([]float64, p.NumClusters()),
+		Depth: make([]int, p.NumClusters()),
+	}
+	for c, members := range p.Members {
+		cg.Size[c] = float64(len(members))
+		for _, v := range members {
+			if p.DepthIn[v] > cg.Depth[c] {
+				cg.Depth[c] = p.DepthIn[v]
+			}
+		}
+	}
+	for pair, e := range p.Psi {
+		cg.Edges = append(cg.Edges, cluster.Edge{A: pair[0], B: pair[1], Cap: 1, Phys: e})
+	}
+	return cg
+}
+
+// E10Spanner reproduces the Fig. 3 Baswana–Sen guarantee: (2k−1)
+// stretch with O(k n^{1+1/k}) edges.
+func E10Spanner(s Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E10",
+		Title:   "Baswana–Sen spanner (Fig. 3)",
+		Claim:   "(2k-1)-stretch spanner with O(k n^{1+1/k}) edges w.h.p.",
+		Columns: []string{"n", "m", "k", "|spanner|", "k*n^(1+1/k)", "stretch", "2k-1"},
+	}
+	rng := rand.New(rand.NewSource(81))
+	n := pick(s, 64, 256)
+	g := graph.CapUniform(graph.GNP(n, 0.3, rng), 12, rng)
+	edges := make([]spanner.Edge, g.M())
+	for i, e := range g.Edges() {
+		edges[i] = spanner.Edge{U: e.U, V: e.V, W: float64(e.Cap)}
+	}
+	ks := pick(s, []int{2, 3}, []int{2, 3, 4, 6, 8})
+	for _, k := range ks {
+		sel := spanner.Spanner(g.N(), edges, k, rng)
+		worst := spanner.CheckStretch(g.N(), edges, sel)
+		bound := float64(k) * math.Pow(float64(n), 1+1/float64(k))
+		t.AddRow(fmt.Sprint(n), fmt.Sprint(g.M()), fmt.Sprint(k),
+			fmt.Sprint(len(sel)), fmt.Sprintf("%.0f", bound),
+			fmt.Sprintf("%.2f", worst), fmt.Sprint(2*k-1))
+	}
+	return t, nil
+}

@@ -1,0 +1,124 @@
+package graph
+
+import "math/rand"
+
+// Cut utilities. A cut is represented by its indicator side: side[v] is
+// true when v belongs to the source side S. The capacity of the cut is
+// the total capacity of edges with exactly one endpoint in S, and for a
+// demand vector b its inevitable congestion is |b(S)| / cap(S, V∖S)
+// (the quantity a congestion approximator must estimate, §2).
+
+// CutCapacity returns the total capacity of edges crossing the cut.
+func CutCapacity(g *Graph, side []bool) int64 {
+	var c int64
+	for _, e := range g.Edges() {
+		if side[e.U] != side[e.V] {
+			c += e.Cap
+		}
+	}
+	return c
+}
+
+// CutDemand returns b(S) = Σ_{v∈S} b[v], the net demand that must cross
+// the cut.
+func CutDemand(b []float64, side []bool) float64 {
+	var d float64
+	for v, in := range side {
+		if in {
+			d += b[v]
+		}
+	}
+	return d
+}
+
+// CutCongestion returns |b(S)|/cap(S), the congestion any feasible
+// routing of b induces on the cut. It returns 0 when the demand across
+// the cut is 0 and +Inf-free behaviour is preserved by the caller
+// ensuring cap > 0 on meaningful cuts; a zero-capacity cut with nonzero
+// demand returns +Inf via ordinary float division.
+func CutCongestion(g *Graph, b []float64, side []bool) float64 {
+	d := CutDemand(b, side)
+	if d < 0 {
+		d = -d
+	}
+	if d == 0 {
+		return 0
+	}
+	return d / float64(CutCapacity(g, side))
+}
+
+// FlowAcrossCut returns the net flow crossing from S to V∖S under f.
+func FlowAcrossCut(g *Graph, f []float64, side []bool) float64 {
+	var x float64
+	for e, ed := range g.Edges() {
+		switch {
+		case side[ed.U] && !side[ed.V]:
+			x += f[e]
+		case !side[ed.U] && side[ed.V]:
+			x -= f[e]
+		}
+	}
+	return x
+}
+
+// SingletonCut returns the indicator of the cut {v}.
+func SingletonCut(n, v int) []bool {
+	side := make([]bool, n)
+	side[v] = true
+	return side
+}
+
+// RandomCut returns a uniformly random nontrivial cut (both sides
+// non-empty). n must be ≥ 2.
+func RandomCut(n int, rng *rand.Rand) []bool {
+	if n < 2 {
+		panic("graph: RandomCut needs n >= 2")
+	}
+	for {
+		side := make([]bool, n)
+		ones := 0
+		for v := range side {
+			if rng.Intn(2) == 1 {
+				side[v] = true
+				ones++
+			}
+		}
+		if ones > 0 && ones < n {
+			return side
+		}
+	}
+}
+
+// BallCut returns the cut given by the hop-ball of radius r around v —
+// these locality-respecting cuts are where tree approximators are most
+// stressed.
+func BallCut(g *Graph, v, r int) []bool {
+	dist, _ := g.BFS(v)
+	side := make([]bool, g.N())
+	for u, d := range dist {
+		if d >= 0 && d <= r {
+			side[u] = true
+		}
+	}
+	return side
+}
+
+// STDemand returns the demand vector routing value F from s to t.
+func STDemand(n, s, t int, value float64) []float64 {
+	b := make([]float64, n)
+	b[s] = value
+	b[t] = -value
+	return b
+}
+
+// IsFeasibleDemand reports whether Σ_v b[v] ≈ 0 (a routable demand).
+func IsFeasibleDemand(b []float64, tol float64) bool {
+	var s float64
+	for _, v := range b {
+		s += v
+	}
+	if s < 0 {
+		s = -s
+	}
+	return s <= tol
+}

@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCutCapacity(t *testing.T) {
+	g := Grid(2, 2) // square: 4 vertices, 4 edges
+	side := []bool{true, false, true, false}
+	// Crossing edges: 0-1, 2-3 => capacity 2... plus vertical 0-2 (both in),
+	// 1-3 (both out). So crossing = 2.
+	if c := CutCapacity(g, side); c != 2 {
+		t.Errorf("CutCapacity = %d, want 2", c)
+	}
+}
+
+func TestCutDemandAndCongestion(t *testing.T) {
+	g := Path(4)
+	b := STDemand(4, 0, 3, 6)
+	side := []bool{true, true, false, false}
+	if d := CutDemand(b, side); d != 6 {
+		t.Errorf("CutDemand = %v, want 6", d)
+	}
+	if c := CutCongestion(g, b, side); c != 6 {
+		t.Errorf("CutCongestion = %v, want 6 (cap 1)", c)
+	}
+	if c := CutCongestion(g, make([]float64, 4), side); c != 0 {
+		t.Errorf("zero demand congestion = %v, want 0", c)
+	}
+}
+
+func TestFlowAcrossCut(t *testing.T) {
+	g := Path(3)
+	f := []float64{2, 2}
+	side := []bool{true, false, false}
+	if x := FlowAcrossCut(g, f, side); x != 2 {
+		t.Errorf("FlowAcrossCut = %v, want 2", x)
+	}
+	// Reverse side indicator flips the sign.
+	side = []bool{false, true, true}
+	if x := FlowAcrossCut(g, f, side); x != -2 {
+		t.Errorf("FlowAcrossCut = %v, want -2", x)
+	}
+}
+
+// Conservation: for any flow and any cut, net flow across the cut equals
+// the divergence summed over the source side. This is the discrete
+// divergence theorem the congestion approximator relies on.
+func TestDivergenceTheoremProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		g := GNP(20, 0.2, rng)
+		f := make([]float64, g.M())
+		for i := range f {
+			f[i] = rng.NormFloat64() * 5
+		}
+		side := RandomCut(g.N(), rng)
+		lhs := FlowAcrossCut(g, f, side)
+		div := g.Divergence(f)
+		rhs := CutDemand(div, side)
+		if math.Abs(lhs-rhs) > 1e-9 {
+			t.Fatalf("trial %d: flow across cut %v != divergence sum %v", trial, lhs, rhs)
+		}
+	}
+}
+
+func TestSingletonAndBallCut(t *testing.T) {
+	g := Path(5)
+	s := SingletonCut(5, 2)
+	if CutCapacity(g, s) != 2 {
+		t.Error("singleton cut of interior path vertex should have capacity 2")
+	}
+	ball := BallCut(g, 0, 2)
+	want := []bool{true, true, true, false, false}
+	for i := range want {
+		if ball[i] != want[i] {
+			t.Fatalf("BallCut[%d] = %v, want %v", i, ball[i], want[i])
+		}
+	}
+}
+
+func TestRandomCutNontrivial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		side := RandomCut(4, rng)
+		ones := 0
+		for _, b := range side {
+			if b {
+				ones++
+			}
+		}
+		if ones == 0 || ones == 4 {
+			t.Fatal("RandomCut returned trivial cut")
+		}
+	}
+}
+
+func TestSTDemandFeasible(t *testing.T) {
+	b := STDemand(6, 1, 4, 3.5)
+	if !IsFeasibleDemand(b, 1e-12) {
+		t.Error("s-t demand should sum to zero")
+	}
+	b[0] = 1
+	if IsFeasibleDemand(b, 1e-12) {
+		t.Error("unbalanced demand reported feasible")
+	}
+}

@@ -1,0 +1,246 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file contains the workload generators used by the experiments.
+// Each generator returns a connected graph; capacity assignment is
+// factored out into CapUnit / CapUniform so the same topology can be run
+// with different capacity regimes.
+
+// Path returns the path graph on n vertices with unit capacities.
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+// Cycle returns the cycle on n ≥ 3 vertices with unit capacities.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: cycle needs n >= 3")
+	}
+	g := Path(n)
+	g.AddEdge(n-1, 0, 1)
+	return g
+}
+
+// Grid returns the w×h grid graph (4-neighbour) with unit capacities.
+// Vertex (x,y) has index y*w+x.
+func Grid(w, h int) *Graph {
+	g := New(w * h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := y*w + x
+			if x+1 < w {
+				g.AddEdge(v, v+1, 1)
+			}
+			if y+1 < h {
+				g.AddEdge(v, v+w, 1)
+			}
+		}
+	}
+	return g
+}
+
+// Complete returns K_n with unit capacities.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v, 1)
+		}
+	}
+	return g
+}
+
+// Tree returns a random tree on n vertices: each vertex v ≥ 1 attaches to
+// a uniformly random earlier vertex.
+func Tree(n int, rng *rand.Rand) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, rng.Intn(v), 1)
+	}
+	return g
+}
+
+// GNP returns an Erdős–Rényi G(n,p) graph, re-sampling edges on top of a
+// random spanning tree so the result is always connected.
+func GNP(n int, p float64, rng *rand.Rand) *Graph {
+	g := Tree(n, rng)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v, 1)
+			}
+		}
+	}
+	return g
+}
+
+// RandomRegular returns an (approximately) d-regular random graph on n
+// vertices via the configuration model with rejection of self-loops and
+// repeats of the immediate pairing; a random spanning tree underlay keeps
+// it connected. n*d should be even for exact regularity; otherwise one
+// vertex ends with degree d+1.
+func RandomRegular(n, d int, rng *rand.Rand) *Graph {
+	g := Tree(n, rng)
+	stubs := make([]int, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, v)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	for i := 0; i+1 < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u != v {
+			g.AddEdge(u, v, 1)
+		}
+	}
+	return g
+}
+
+// Barbell returns two cliques of size k joined by a path of length
+// bridge ≥ 1 with unit capacities. This is the classic hard instance for
+// flow/cut algorithms: the min s-t cut across the bridge is 1.
+func Barbell(k, bridge int) *Graph {
+	if k < 1 || bridge < 1 {
+		panic("graph: barbell needs k >= 1 and bridge >= 1")
+	}
+	n := 2*k + bridge - 1
+	g := New(n)
+	// Left clique: 0..k-1. Right clique: k+bridge-1 .. n-1.
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			g.AddEdge(u, v, 1)
+		}
+	}
+	off := k + bridge - 1
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			g.AddEdge(off+u, off+v, 1)
+		}
+	}
+	// Bridge path from vertex k-1 to vertex off.
+	prev := k - 1
+	for i := 0; i < bridge; i++ {
+		var next int
+		if i == bridge-1 {
+			next = off
+		} else {
+			next = k + i
+		}
+		g.AddEdge(prev, next, 1)
+		prev = next
+	}
+	return g
+}
+
+// ExpanderPath returns a random d-regular "expander" of size k glued to a
+// path of length pathLen: low diameter core plus high diameter tail.
+// Useful for separating the D and √n terms in round complexities.
+func ExpanderPath(k, d, pathLen int, rng *rand.Rand) *Graph {
+	core := RandomRegular(k, d, rng)
+	n := k + pathLen
+	g := New(n)
+	for _, e := range core.Edges() {
+		g.AddEdge(e.U, e.V, e.Cap)
+	}
+	prev := 0
+	for i := 0; i < pathLen; i++ {
+		g.AddEdge(prev, k+i, 1)
+		prev = k + i
+	}
+	return g
+}
+
+// Caterpillar returns a path of length spine where every spine vertex has
+// legs pendant vertices: a deep tree with high total degree, used for the
+// tree-decomposition experiments (Lemma 8.2).
+func Caterpillar(spine, legs int) *Graph {
+	n := spine + spine*legs
+	g := New(n)
+	for i := 0; i+1 < spine; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	next := spine
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			g.AddEdge(i, next, 1)
+			next++
+		}
+	}
+	return g
+}
+
+// CapUnit sets every capacity to 1 (returns g for chaining).
+func CapUnit(g *Graph) *Graph {
+	for i := range g.edges {
+		g.edges[i].Cap = 1
+	}
+	return g
+}
+
+// CapUniform assigns independent uniform capacities in [1, maxCap].
+func CapUniform(g *Graph, maxCap int64, rng *rand.Rand) *Graph {
+	if maxCap < 1 {
+		panic("graph: maxCap must be >= 1")
+	}
+	for i := range g.edges {
+		g.edges[i].Cap = 1 + rng.Int63n(maxCap)
+	}
+	return g
+}
+
+// Family is a named graph generator used by the benchmark harness to
+// sweep topologies.
+type Family struct {
+	Name string
+	// Make returns a connected graph with roughly n vertices.
+	Make func(n int, rng *rand.Rand) *Graph
+}
+
+// Families returns the standard topology families used across the
+// experiments (see DESIGN.md §3).
+func Families() []Family {
+	return []Family{
+		{Name: "grid", Make: func(n int, rng *rand.Rand) *Graph {
+			side := 1
+			for side*side < n {
+				side++
+			}
+			return CapUniform(Grid(side, side), 16, rng)
+		}},
+		{Name: "gnp", Make: func(n int, rng *rand.Rand) *Graph {
+			p := 4.0 / float64(n)
+			return CapUniform(GNP(n, p, rng), 16, rng)
+		}},
+		{Name: "regular", Make: func(n int, rng *rand.Rand) *Graph {
+			return CapUniform(RandomRegular(n, 4, rng), 16, rng)
+		}},
+		{Name: "barbell", Make: func(n int, rng *rand.Rand) *Graph {
+			k := n / 3
+			if k < 2 {
+				k = 2
+			}
+			return Barbell(k, n-2*k+1)
+		}},
+		{Name: "expanderpath", Make: func(n int, rng *rand.Rand) *Graph {
+			k := n / 2
+			if k < 4 {
+				k = 4
+			}
+			return ExpanderPath(k, 4, n-k, rng)
+		}},
+	}
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.n, len(g.edges))
+}

@@ -1,0 +1,320 @@
+// Package graph provides the weighted undirected multigraph model used
+// throughout the repository, together with workload generators, cut
+// utilities, and a plain-text interchange format.
+//
+// Conventions (shared by every package that consumes graph.Graph):
+//
+//   - Vertices are 0..N-1.
+//   - Edges are stored in a global edge list; parallel edges and distinct
+//     edge identities are preserved (the paper's constructions operate on
+//     multigraphs, cf. §4 "we admit a multigraph as core").
+//   - Every edge carries the paper's "arbitrary but fixed orientation":
+//     Edge{U,V} is oriented U→V. A flow value f[e] > 0 means flow from U
+//     to V; f[e] < 0 means flow from V to U.
+//   - Capacities are positive int64, polynomially bounded as in §1.1.
+//   - For a flow vector f, Divergence(f)[v] = Σ_{e=(v,·)} f[e] −
+//     Σ_{e=(·,v)} f[e], i.e. the net flow injected by v. A flow routes the
+//     demand vector b iff Divergence(f) = b, with b[s] = +F and b[t] = −F
+//     for an s-t flow of value F.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Edge is an undirected capacitated edge with a fixed orientation U→V.
+type Edge struct {
+	U, V int
+	Cap  int64
+}
+
+// Arc is one directional incidence of an edge at a vertex: the neighbour
+// and the index of the underlying edge in the graph's edge list.
+type Arc struct {
+	To int // neighbour vertex
+	E  int // edge index into Graph.Edges
+}
+
+// Graph is an undirected capacitated multigraph.
+// The zero value is an empty graph with no vertices; use New.
+type Graph struct {
+	n     int
+	edges []Edge
+	adj   [][]Arc
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{n: n, adj: make([][]Arc, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges (parallel edges counted individually).
+func (g *Graph) M() int { return len(g.edges) }
+
+// Edges returns the underlying edge list. The slice is shared; callers
+// must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Edge returns the e-th edge.
+func (g *Graph) Edge(e int) Edge { return g.edges[e] }
+
+// Cap returns the capacity of edge e.
+func (g *Graph) Cap(e int) int64 { return g.edges[e].Cap }
+
+// AddEdge appends an edge u—v with capacity cap and returns its index.
+// Self-loops are rejected (the model assumes a simple underlying network;
+// multigraph parallelism is allowed).
+func (g *Graph) AddEdge(u, v int, capacity int64) int {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: vertex out of range: %d-%d (n=%d)", u, v, g.n))
+	}
+	if capacity <= 0 {
+		panic(fmt.Sprintf("graph: non-positive capacity %d on %d-%d", capacity, u, v))
+	}
+	e := len(g.edges)
+	g.edges = append(g.edges, Edge{U: u, V: v, Cap: capacity})
+	g.adj[u] = append(g.adj[u], Arc{To: v, E: e})
+	g.adj[v] = append(g.adj[v], Arc{To: u, E: e})
+	return e
+}
+
+// Adj returns the incidence list of v. The slice is shared; callers must
+// not modify it.
+func (g *Graph) Adj(v int) []Arc { return g.adj[v] }
+
+// Degree returns the number of edge incidences at v (parallel edges count).
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Other returns the endpoint of edge e that is not v.
+// It panics if v is not an endpoint of e.
+func (g *Graph) Other(e, v int) int {
+	ed := g.edges[e]
+	switch v {
+	case ed.U:
+		return ed.V
+	case ed.V:
+		return ed.U
+	default:
+		panic(fmt.Sprintf("graph: vertex %d not on edge %d (%d-%d)", v, e, ed.U, ed.V))
+	}
+}
+
+// Orientation returns +1 if v is the tail (U) of edge e, -1 if v is the
+// head (V). Flow f[e] leaves v when Orientation(e,v)*f[e] > 0.
+func (g *Graph) Orientation(e, v int) float64 {
+	ed := g.edges[e]
+	switch v {
+	case ed.U:
+		return 1
+	case ed.V:
+		return -1
+	default:
+		panic(fmt.Sprintf("graph: vertex %d not on edge %d", v, e))
+	}
+}
+
+// Divergence returns the net outflow at every vertex under flow f
+// (len(f) must equal M). Divergence(f)[v] = Σ_{e out of v} f[e] −
+// Σ_{e into v} f[e] with respect to each edge's fixed orientation.
+func (g *Graph) Divergence(f []float64) []float64 {
+	if len(f) != len(g.edges) {
+		panic("graph: flow length mismatch")
+	}
+	div := make([]float64, g.n)
+	for e, ed := range g.edges {
+		div[ed.U] += f[e]
+		div[ed.V] -= f[e]
+	}
+	return div
+}
+
+// MaxCongestion returns max_e |f[e]|/cap(e), the objective of problem (1)
+// in the paper. It returns 0 for a graph with no edges.
+func (g *Graph) MaxCongestion(f []float64) float64 {
+	if len(f) != len(g.edges) {
+		panic("graph: flow length mismatch")
+	}
+	m := 0.0
+	for e, ed := range g.edges {
+		c := abs(f[e]) / float64(ed.Cap)
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Connected reports whether the graph is connected (true for n ≤ 1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range g.adj[v] {
+			if !seen[a.To] {
+				seen[a.To] = true
+				count++
+				stack = append(stack, a.To)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// BFS returns hop distances from root (unreachable vertices get -1) and
+// the parent edge index of each vertex in a BFS tree (-1 for root and
+// unreachable vertices).
+func (g *Graph) BFS(root int) (dist []int, parentEdge []int) {
+	dist = make([]int, g.n)
+	parentEdge = make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+		parentEdge[i] = -1
+	}
+	dist[root] = 0
+	queue := []int{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range g.adj[v] {
+			if dist[a.To] < 0 {
+				dist[a.To] = dist[v] + 1
+				parentEdge[a.To] = a.E
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return dist, parentEdge
+}
+
+// Eccentricity returns the maximum hop distance from v to any reachable
+// vertex.
+func (g *Graph) Eccentricity(v int) int {
+	dist, _ := g.BFS(v)
+	ecc := 0
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the exact hop diameter. It runs a BFS from every
+// vertex (O(n·m)); intended for the graph sizes used in tests and
+// benchmarks. Disconnected graphs return the maximum eccentricity within
+// components.
+func (g *Graph) Diameter() int {
+	d := 0
+	for v := 0; v < g.n; v++ {
+		if e := g.Eccentricity(v); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// DiameterApprox returns a 2-approximation of the hop diameter using a
+// double BFS sweep (exact on trees).
+func (g *Graph) DiameterApprox() int {
+	if g.n == 0 {
+		return 0
+	}
+	dist, _ := g.BFS(0)
+	far := 0
+	for v, d := range dist {
+		if d > dist[far] {
+			far = v
+		}
+	}
+	return g.Eccentricity(far)
+}
+
+// MaxCap returns the largest edge capacity (0 if there are no edges).
+func (g *Graph) MaxCap() int64 {
+	var m int64
+	for _, e := range g.edges {
+		if e.Cap > m {
+			m = e.Cap
+		}
+	}
+	return m
+}
+
+// TotalCap returns the sum of all edge capacities.
+func (g *Graph) TotalCap() int64 {
+	var s int64
+	for _, e := range g.edges {
+		s += e.Cap
+	}
+	return s
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	h := New(g.n)
+	for _, e := range g.edges {
+		h.AddEdge(e.U, e.V, e.Cap)
+	}
+	return h
+}
+
+// Validate checks structural invariants and returns an error describing
+// the first violation found, or nil.
+func (g *Graph) Validate() error {
+	if len(g.adj) != g.n {
+		return errors.New("graph: adjacency size mismatch")
+	}
+	deg := make([]int, g.n)
+	for i, e := range g.edges {
+		if e.U < 0 || e.U >= g.n || e.V < 0 || e.V >= g.n {
+			return fmt.Errorf("graph: edge %d endpoints out of range", i)
+		}
+		if e.U == e.V {
+			return fmt.Errorf("graph: edge %d is a self-loop", i)
+		}
+		if e.Cap <= 0 {
+			return fmt.Errorf("graph: edge %d has capacity %d", i, e.Cap)
+		}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	for v := 0; v < g.n; v++ {
+		if len(g.adj[v]) != deg[v] {
+			return fmt.Errorf("graph: vertex %d degree mismatch: adj=%d edges=%d", v, len(g.adj[v]), deg[v])
+		}
+		for _, a := range g.adj[v] {
+			if a.E < 0 || a.E >= len(g.edges) {
+				return fmt.Errorf("graph: vertex %d has arc with bad edge index %d", v, a.E)
+			}
+			e := g.edges[a.E]
+			if (e.U != v || e.V != a.To) && (e.V != v || e.U != a.To) {
+				return fmt.Errorf("graph: vertex %d arc to %d inconsistent with edge %d", v, a.To, a.E)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewAndAddEdge(t *testing.T) {
+	g := New(3)
+	e := g.AddEdge(0, 1, 5)
+	if e != 0 {
+		t.Fatalf("first edge index = %d, want 0", e)
+	}
+	if g.N() != 3 || g.M() != 1 {
+		t.Fatalf("N=%d M=%d, want 3,1", g.N(), g.M())
+	}
+	if g.Cap(0) != 5 {
+		t.Errorf("Cap = %d, want 5", g.Cap(0))
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Errorf("degrees wrong: %d %d %d", g.Degree(0), g.Degree(1), g.Degree(2))
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestParallelEdges(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 0, 3)
+	if g.M() != 3 {
+		t.Fatalf("M = %d, want 3 (multigraph)", g.M())
+	}
+	if g.Degree(0) != 3 {
+		t.Errorf("Degree(0) = %d, want 3", g.Degree(0))
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"self-loop", func() { New(2).AddEdge(1, 1, 1) }},
+		{"out-of-range", func() { New(2).AddEdge(0, 2, 1) }},
+		{"zero-cap", func() { New(2).AddEdge(0, 1, 0) }},
+		{"negative-n", func() { New(-1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestOtherAndOrientation(t *testing.T) {
+	g := New(3)
+	e := g.AddEdge(1, 2, 1)
+	if g.Other(e, 1) != 2 || g.Other(e, 2) != 1 {
+		t.Error("Other wrong")
+	}
+	if g.Orientation(e, 1) != 1 || g.Orientation(e, 2) != -1 {
+		t.Error("Orientation wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-endpoint")
+		}
+	}()
+	g.Other(e, 0)
+}
+
+func TestDivergence(t *testing.T) {
+	// Path 0-1-2, flow 2 along it: div = [2, 0, -2].
+	g := Path(3)
+	f := []float64{2, 2}
+	div := g.Divergence(f)
+	want := []float64{2, 0, -2}
+	for v := range want {
+		if div[v] != want[v] {
+			t.Errorf("div[%d] = %v, want %v", v, div[v], want[v])
+		}
+	}
+}
+
+func TestMaxCongestion(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(0, 1, 2)
+	if got := g.MaxCongestion([]float64{2, -3}); got != 1.5 {
+		t.Errorf("MaxCongestion = %v, want 1.5", got)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	if !Path(5).Connected() {
+		t.Error("path should be connected")
+	}
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	if g.Connected() {
+		t.Error("two components should not be connected")
+	}
+	if !New(1).Connected() || !New(0).Connected() {
+		t.Error("trivial graphs are connected")
+	}
+}
+
+func TestBFSAndDiameter(t *testing.T) {
+	g := Path(10)
+	dist, pe := g.BFS(0)
+	for v := 0; v < 10; v++ {
+		if dist[v] != v {
+			t.Errorf("dist[%d] = %d, want %d", v, dist[v], v)
+		}
+	}
+	if pe[0] != -1 {
+		t.Error("root parent edge should be -1")
+	}
+	if d := g.Diameter(); d != 9 {
+		t.Errorf("Diameter = %d, want 9", d)
+	}
+	if d := g.DiameterApprox(); d != 9 {
+		t.Errorf("DiameterApprox on path = %d, want exact 9", d)
+	}
+	if e := g.Eccentricity(5); e != 5 {
+		t.Errorf("Eccentricity(5) = %d, want 5", e)
+	}
+}
+
+func TestDiameterGrid(t *testing.T) {
+	g := Grid(4, 3)
+	if d := g.Diameter(); d != 5 {
+		t.Errorf("Grid(4,3) diameter = %d, want 5", d)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name string
+		g    *Graph
+		n    int
+	}{
+		{"path", Path(7), 7},
+		{"cycle", Cycle(5), 5},
+		{"grid", Grid(3, 4), 12},
+		{"complete", Complete(6), 6},
+		{"tree", Tree(20, rng), 20},
+		{"gnp", GNP(30, 0.2, rng), 30},
+		{"regular", RandomRegular(24, 3, rng), 24},
+		{"barbell", Barbell(5, 3), 12},
+		{"expanderpath", ExpanderPath(16, 4, 8, rng), 24},
+		{"caterpillar", Caterpillar(5, 2), 15},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.g.N() != tc.n {
+				t.Errorf("N = %d, want %d", tc.g.N(), tc.n)
+			}
+			if !tc.g.Connected() {
+				t.Error("generator produced disconnected graph")
+			}
+			if err := tc.g.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestCompleteEdgeCount(t *testing.T) {
+	if m := Complete(6).M(); m != 15 {
+		t.Errorf("K6 has %d edges, want 15", m)
+	}
+}
+
+func TestBarbellStructure(t *testing.T) {
+	g := Barbell(4, 2)
+	// n = 2*4+2-1 = 9; bridge path 3 - 4 - 5 where 5 is offset.
+	if g.N() != 9 {
+		t.Fatalf("N = %d, want 9", g.N())
+	}
+	// Min cut between the two cliques is 1 (single bridge edge chain).
+	side := make([]bool, g.N())
+	for v := 0; v < 4; v++ {
+		side[v] = true
+	}
+	if c := CutCapacity(g, side); c != 1 {
+		t.Errorf("bridge cut capacity = %d, want 1", c)
+	}
+}
+
+func TestCapAssignments(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := CapUniform(Grid(4, 4), 10, rng)
+	for _, e := range g.Edges() {
+		if e.Cap < 1 || e.Cap > 10 {
+			t.Fatalf("capacity %d out of [1,10]", e.Cap)
+		}
+	}
+	CapUnit(g)
+	for _, e := range g.Edges() {
+		if e.Cap != 1 {
+			t.Fatal("CapUnit failed")
+		}
+	}
+}
+
+func TestFamiliesConnectedAndSized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, fam := range Families() {
+		t.Run(fam.Name, func(t *testing.T) {
+			g := fam.Make(60, rng)
+			if !g.Connected() {
+				t.Error("family graph disconnected")
+			}
+			if g.N() < 30 {
+				t.Errorf("family graph too small: n=%d", g.N())
+			}
+			if err := g.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := Grid(3, 3)
+	h := g.Clone()
+	h.AddEdge(0, 8, 7)
+	if g.M() == h.M() {
+		t.Error("clone shares edge list")
+	}
+}
+
+func TestMaxCapTotalCap(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(1, 2, 9)
+	if g.MaxCap() != 9 || g.TotalCap() != 12 {
+		t.Errorf("MaxCap=%d TotalCap=%d", g.MaxCap(), g.TotalCap())
+	}
+	if New(1).MaxCap() != 0 {
+		t.Error("empty graph MaxCap should be 0")
+	}
+}

@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Plain-text interchange format, one record per line:
+//
+//	n m
+//	u v cap        (m times)
+//
+// Lines starting with '#' and blank lines are ignored. This is the format
+// accepted by cmd/maxflow and produced by cmd/graphgen.
+
+// Write writes g in the text format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", e.U, e.V, e.Cap); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph in the text format.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var g *Graph
+	want := 0
+	got := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if g == nil {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: want 'n m' header, got %q", line, text)
+			}
+			n, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad n: %w", line, err)
+			}
+			m, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad m: %w", line, err)
+			}
+			if n < 0 || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative n or m", line)
+			}
+			g = New(n)
+			want = m
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: want 'u v cap', got %q", line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad u: %w", line, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad v: %w", line, err)
+		}
+		c, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad cap: %w", line, err)
+		}
+		if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
+			return nil, fmt.Errorf("graph: line %d: endpoint out of range", line)
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: line %d: self-loop", line)
+		}
+		if c <= 0 {
+			return nil, fmt.Errorf("graph: line %d: non-positive capacity", line)
+		}
+		g.AddEdge(u, v, c)
+		got++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	if got != want {
+		return nil, fmt.Errorf("graph: header promised %d edges, got %d", want, got)
+	}
+	return g, nil
+}

@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := CapUniform(GNP(25, 0.15, rng), 100, rng)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	h, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if h.N() != g.N() || h.M() != g.M() {
+		t.Fatalf("round trip size mismatch: %v vs %v", h, g)
+	}
+	for i, e := range g.Edges() {
+		if h.Edge(i) != e {
+			t.Fatalf("edge %d mismatch: %v vs %v", i, h.Edge(i), e)
+		}
+	}
+}
+
+func TestReadCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\n3 2\n0 1 4\n\n# another\n1 2 6\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("got %v", g)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad header", "x y\n"},
+		{"short edge line", "2 1\n0 1\n"},
+		{"edge count mismatch", "2 2\n0 1 1\n"},
+		{"self loop", "2 1\n0 0 1\n"},
+		{"range", "2 1\n0 5 1\n"},
+		{"zero cap", "2 1\n0 1 0\n"},
+		{"bad cap", "2 1\n0 1 abc\n"},
+		{"negative header", "-2 1\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.in)); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickGraph derives a deterministic connected graph + flow from quick's
+// generated values.
+func quickGraph(seed int64, extra int) (*Graph, []float64, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(24)
+	g := Tree(n, rng)
+	for k := 0; k < extra%32; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v, 1+rng.Int63n(20))
+		}
+	}
+	f := make([]float64, g.M())
+	for i := range f {
+		f[i] = rng.NormFloat64() * 10
+	}
+	return g, f, rng
+}
+
+// Divergence always sums to zero: flow is neither created nor destroyed
+// globally (column sums of the incidence matrix vanish).
+func TestQuickDivergenceSumsToZero(t *testing.T) {
+	prop := func(seed int64, extra int) bool {
+		g, f, _ := quickGraph(seed, extra)
+		var total float64
+		for _, d := range g.Divergence(f) {
+			total += d
+		}
+		return math.Abs(total) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The divergence theorem: net flow across any cut equals total
+// divergence on the source side (the identity the congestion
+// approximator's rows rely on).
+func TestQuickDivergenceTheorem(t *testing.T) {
+	prop := func(seed int64, extra int) bool {
+		g, f, rng := quickGraph(seed, extra)
+		side := RandomCut(g.N(), rng)
+		lhs := FlowAcrossCut(g, f, side)
+		rhs := CutDemand(g.Divergence(f), side)
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Cut capacity is symmetric under complementing the side.
+func TestQuickCutCapacitySymmetric(t *testing.T) {
+	prop := func(seed int64, extra int) bool {
+		g, _, rng := quickGraph(seed, extra)
+		side := RandomCut(g.N(), rng)
+		comp := make([]bool, len(side))
+		for i, b := range side {
+			comp[i] = !b
+		}
+		return CutCapacity(g, side) == CutCapacity(g, comp)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// BFS distances satisfy the triangle property along edges: adjacent
+// vertices differ by at most one level.
+func TestQuickBFSLipschitz(t *testing.T) {
+	prop := func(seed int64, extra int) bool {
+		g, _, rng := quickGraph(seed, extra)
+		dist, _ := g.BFS(rng.Intn(g.N()))
+		for _, e := range g.Edges() {
+			d := dist[e.U] - dist[e.V]
+			if d < -1 || d > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// MaxCongestion scales linearly with the flow.
+func TestQuickCongestionHomogeneous(t *testing.T) {
+	prop := func(seed int64, extra int) bool {
+		g, f, _ := quickGraph(seed, extra)
+		c1 := g.MaxCongestion(f)
+		for i := range f {
+			f[i] *= 3
+		}
+		c3 := g.MaxCongestion(f)
+		return math.Abs(c3-3*c1) < 1e-9*math.Max(1, c3)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

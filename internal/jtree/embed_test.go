@@ -1,0 +1,91 @@
+package jtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distflow/internal/cluster"
+	"distflow/internal/graph"
+)
+
+// H(T,F) is the graph the step routes everything through: the forest
+// T\(F∪R) with tree-flow capacities plus all cluster edges between
+// different forest components at their own capacities. The paper's
+// construction guarantees G is 1-embeddable into H (§8.2), hence every
+// cut of H must have at least the capacity of the same cut in the
+// cluster graph. This is the load-bearing invariant of the whole
+// hierarchy; we verify it on random cuts across random inputs.
+func TestHEmbeddingDominatesEveryCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 15; trial++ {
+		n := 20 + rng.Intn(60)
+		g := graph.CapUniform(graph.GNP(n, 0.12, rng), 9, rng)
+		cg := cluster.FromGraph(g)
+		j := 2 + rng.Intn(6)
+		res, err := Step(cg, nil, j, math.Sqrt(float64(n)), Config{}, rng)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Reconstruct the T\(F∪R) components from the forest + D edges.
+		uf := make([]int, cg.N)
+		for i := range uf {
+			uf[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for uf[x] != x {
+				uf[x] = uf[uf[x]]
+				x = uf[x]
+			}
+			return x
+		}
+		hForest := append(append([]ForestEdge(nil), res.Forest...), res.DEdges...)
+		for _, fe := range hForest {
+			uf[find(fe.Child)] = find(fe.Parent)
+		}
+
+		for cutTrial := 0; cutTrial < 30; cutTrial++ {
+			side := graph.RandomCut(cg.N, rng)
+			var capG, capH float64
+			for _, e := range cg.Edges {
+				if side[e.A] != side[e.B] {
+					capG += e.Cap
+					if find(e.A) != find(e.B) {
+						capH += e.Cap // inter-component edge of H
+					}
+				}
+			}
+			for _, fe := range hForest {
+				if side[fe.Child] != side[fe.Parent] {
+					capH += fe.Cap
+				}
+			}
+			if capH < capG-1e-6 {
+				t.Fatalf("trial %d cut %d: cap_H %v < cap_G %v (1-embedding violated)",
+					trial, cutTrial, capH, capG)
+			}
+		}
+	}
+}
+
+// The forest+D edge set is exactly T\(F∪R): |Forest|+|DEdges| must be
+// (N-1) - FSize - RSize.
+func TestForestPlusDCountsMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 10; trial++ {
+		n := 30 + rng.Intn(40)
+		g := graph.GNP(n, 0.1, rng)
+		cg := cluster.FromGraph(g)
+		res, err := Step(cg, nil, 4, math.Sqrt(float64(n)), Config{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (cg.N - 1) - res.FSize - res.RSize
+		if got := len(res.Forest) + len(res.DEdges); got != want {
+			t.Fatalf("trial %d: forest %d + D %d = %d, want %d",
+				trial, len(res.Forest), len(res.DEdges), len(res.Forest)+len(res.DEdges), want)
+		}
+	}
+}

@@ -1,0 +1,514 @@
+// Package jtree implements one step of Madry's j-tree construction with
+// the paper's modifications (§4, §8.2–8.3): starting from a cluster
+// multigraph, build a low average-stretch spanning tree, compute the
+// multicommodity tree flow (Fig. 2), remove the top relative-load edge
+// classes F plus the random depth-control set R (Lemma 8.2), form the
+// skeleton, select portals, delete one minimum-capacity edge per
+// portal-to-portal path (the set D), and emit
+//
+//   - the forest edges (virtual tree edges with capacities cap_T), and
+//   - the next-level core multigraph on the portals,
+//
+// such that the input graph is 1-embeddable into forest+core and the
+// j-tree is O(1)-embeddable back (Lemmas 8.6/8.7).
+package jtree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"distflow/internal/cluster"
+	"distflow/internal/lsst"
+	"distflow/internal/vtree"
+)
+
+// ForestEdge is a virtual tree edge produced by one construction step,
+// oriented from Child toward its component's portal.
+type ForestEdge struct {
+	Child, Parent int // old cluster ids
+	Cap           float64
+	Phys          int
+}
+
+// StepResult is the outcome of one j-tree construction step.
+type StepResult struct {
+	// Forest holds the virtual tree edges adopted at this level.
+	Forest []ForestEdge
+	// DEdges are the minimum-capacity path edges deleted into D
+	// (diagnostics: together with Forest they are the forest part of
+	// H(T,F), which G must 1-embed into).
+	DEdges []ForestEdge
+	// NewCluster maps old cluster id -> new cluster id.
+	NewCluster []int
+	// Portal[k] is the old cluster id serving as portal of new cluster k.
+	Portal []int
+	// Core is the next-level cluster multigraph (one node per portal).
+	Core *cluster.Graph
+	// EdgeRload[i] is the relative load of input edge i if it was used
+	// as a spanning tree edge, else 0 — the multiplicative-weights signal.
+	EdgeRload []float64
+	// Measurements for the experiments and accounting.
+	FSize, RSize, DSize int
+	MaxRload            float64
+	TreeHeight          int
+}
+
+// Config tunes a construction step.
+type Config struct {
+	// LSST forwards to the spanning tree construction.
+	LSST lsst.Config
+	// DisableR disables the Lemma 8.2 random edge removal (ablation A3;
+	// also used by the local continuation of §8.4, which drops the
+	// component-size control).
+	DisableR bool
+	// DisableF skips the load-class removal entirely, collapsing the
+	// whole tree into a single cluster — the terminal "the core becomes
+	// empty, i.e., we construct a tree" move of §8.4.
+	DisableF bool
+}
+
+// Step runs one construction step with target parameter j ≥ 1 on a
+// connected cluster multigraph. lengths gives the current multiplicative
+// weight ℓ(e) per edge (nil = 1/cap(e), Madry's initialization). sqrtN
+// is the √n of the underlying network (the Lemma 8.2 threshold).
+func Step(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Config, rng *rand.Rand) (*StepResult, error) {
+	if cg.N < 2 {
+		return nil, fmt.Errorf("jtree: cluster graph has %d nodes", cg.N)
+	}
+	if j < 1 {
+		return nil, fmt.Errorf("jtree: j = %d", j)
+	}
+	if lengths == nil {
+		lengths = make([]float64, len(cg.Edges))
+		for i, e := range cg.Edges {
+			lengths[i] = 1 / e.Cap
+		}
+	}
+	if len(lengths) != len(cg.Edges) {
+		return nil, fmt.Errorf("jtree: lengths size %d, want %d", len(lengths), len(cg.Edges))
+	}
+
+	// --- 1. Low average-stretch spanning tree w.r.t. ℓ, with
+	// capacity-weighted multiplicities (§8.1: the weighted average
+	// stretch of Eq. (2) is realized by duplicating edges proportionally
+	// to cap(e)·ℓ(e), at most doubling the edge count).
+	var ledges []lsst.Edge
+	var lorig []int // lsst edge -> cluster edge index
+	var totalW float64
+	for i, e := range cg.Edges {
+		totalW += e.Cap * lengths[i]
+	}
+	m := len(cg.Edges)
+	for i, e := range cg.Edges {
+		mult := 1
+		if totalW > 0 {
+			mult = int(float64(m) * e.Cap * lengths[i] / totalW)
+			if mult < 1 {
+				mult = 1
+			}
+		}
+		for k := 0; k < mult; k++ {
+			ledges = append(ledges, lsst.Edge{U: e.A, V: e.B, Len: lengths[i]})
+			lorig = append(lorig, i)
+		}
+	}
+	lres, err := lsst.SpanningTree(cg.N, ledges, cfg.LSST, rng)
+	if err != nil {
+		return nil, fmt.Errorf("jtree: spanning tree: %w", err)
+	}
+	t := lres.Tree
+	// treeEdge[v] = cluster edge realizing (v, parent(v)); -1 at root.
+	treeEdge := make([]int, cg.N)
+	for v := 0; v < cg.N; v++ {
+		if ei := lres.EdgeOf[v]; ei >= 0 {
+			treeEdge[v] = lorig[ei]
+		} else {
+			treeEdge[v] = -1
+		}
+	}
+
+	// --- 2. Tree flow |f'| (Fig. 2): route cap(e) for every edge.
+	pairs := make([]vtree.EdgeEndpoint, len(cg.Edges))
+	for i, e := range cg.Edges {
+		pairs[i] = vtree.EdgeEndpoint{U: e.A, V: e.B, Cap: e.Cap}
+	}
+	capT := t.TreeFlow(pairs)
+
+	res := &StepResult{
+		EdgeRload:  make([]float64, len(cg.Edges)),
+		TreeHeight: t.Height(),
+	}
+	rload := make([]float64, cg.N)
+	for v := 0; v < cg.N; v++ {
+		if v == t.Root {
+			continue
+		}
+		rload[v] = capT[v] / cg.Edges[treeEdge[v]].Cap
+		res.EdgeRload[treeEdge[v]] = rload[v]
+		if rload[v] > res.MaxRload {
+			res.MaxRload = rload[v]
+		}
+	}
+
+	// --- 3. F: maximal prefix of rload classes (R/2^i, R/2^{i-1}] with
+	// |F| ≤ j (§4 step 3 / §8.2).
+	removed := make([]bool, cg.N)
+	if res.MaxRload > 0 && !cfg.DisableF {
+		type vc struct {
+			v  int
+			rl float64
+		}
+		byLoad := make([]vc, 0, cg.N-1)
+		for v := 0; v < cg.N; v++ {
+			if v != t.Root {
+				byLoad = append(byLoad, vc{v: v, rl: rload[v]})
+			}
+		}
+		sort.Slice(byLoad, func(a, b int) bool { return byLoad[a].rl > byLoad[b].rl })
+		classOf := func(rl float64) int {
+			// class i ≥ 1 such that rl ∈ (R/2^i, R/2^{i-1}].
+			if rl <= 0 {
+				return 1 << 30
+			}
+			return 1 + int(math.Floor(math.Log2(res.MaxRload/rl)))
+		}
+		taken := 0
+		idx := 0
+		for idx < len(byLoad) && taken < j {
+			c := classOf(byLoad[idx].rl)
+			// Take the whole class if it fits in the remaining budget.
+			end := idx
+			for end < len(byLoad) && classOf(byLoad[end].rl) == c {
+				end++
+			}
+			if taken+(end-idx) > j {
+				break
+			}
+			for k := idx; k < end; k++ {
+				removed[byLoad[k].v] = true
+			}
+			taken += end - idx
+			idx = end
+		}
+		res.FSize = taken
+	}
+
+	// --- 4. R: Lemma 8.2 random removal with q = min(1, |c|/√n) keeps
+	// new cluster trees shallow.
+	if !cfg.DisableR {
+		for v := 0; v < cg.N; v++ {
+			if v == t.Root || removed[v] {
+				continue
+			}
+			q := cg.Size[v] / sqrtN
+			if q >= 1 || rng.Float64() < q {
+				removed[v] = true
+				res.RSize++
+			}
+		}
+	}
+
+	// --- 5. Components of T \ (F ∪ R) and the skeleton machinery.
+	compTF := make([]int, cg.N) // component of T\(F∪R)
+	children := make([][]int, cg.N)
+	for v := 0; v < cg.N; v++ {
+		if v != t.Root && !removed[v] {
+			children[t.Parent[v]] = append(children[t.Parent[v]], v)
+		}
+	}
+	numComp := 0
+	compMembers := [][]int{}
+	for _, v := range t.Order() {
+		if v == t.Root || removed[v] {
+			compTF[v] = numComp
+			numComp++
+			compMembers = append(compMembers, []int{v})
+		} else {
+			compTF[v] = compTF[t.Parent[v]]
+			compMembers[compTF[v]] = append(compMembers[compTF[v]], v)
+		}
+	}
+
+	// P1: clusters incident to removed edges.
+	isP1 := make([]bool, cg.N)
+	anyRemoved := false
+	for v := 0; v < cg.N; v++ {
+		if v != t.Root && removed[v] {
+			isP1[v] = true
+			isP1[t.Parent[v]] = true
+			anyRemoved = true
+		}
+	}
+
+	// Forest adjacency (within components).
+	type fedge struct {
+		to  int
+		via int // child endpoint (carries capT/phys of tree edge)
+	}
+	fadj := make([][]fedge, cg.N)
+	for v := 0; v < cg.N; v++ {
+		if v != t.Root && !removed[v] {
+			p := t.Parent[v]
+			fadj[v] = append(fadj[v], fedge{to: p, via: v})
+			fadj[p] = append(fadj[p], fedge{to: v, via: v})
+		}
+	}
+
+	inD := make([]bool, cg.N) // inD[v]: tree edge (v,parent) deleted into D
+	isPortal := make([]bool, cg.N)
+
+	for ci := range compMembers {
+		members := compMembers[ci]
+		var p1 []int
+		for _, v := range members {
+			if isP1[v] {
+				p1 = append(p1, v)
+			}
+		}
+		if len(p1) == 0 {
+			// No incident removed edge (only possible when nothing was
+			// removed at all): the whole component is one cluster rooted
+			// anywhere.
+			if anyRemoved {
+				return nil, fmt.Errorf("jtree: component %d has no P1 cluster despite removals", ci)
+			}
+			isPortal[members[0]] = true
+			continue
+		}
+		// Skeleton: prune non-P1 leaves iteratively.
+		deg := map[int]int{}
+		for _, v := range members {
+			deg[v] = len(fadj[v])
+		}
+		inSkel := map[int]bool{}
+		for _, v := range members {
+			inSkel[v] = true
+		}
+		queue := []int{}
+		for _, v := range members {
+			if deg[v] <= 1 && !isP1[v] {
+				queue = append(queue, v)
+			}
+		}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			if !inSkel[v] {
+				continue
+			}
+			inSkel[v] = false
+			for _, fe := range fadj[v] {
+				if inSkel[fe.to] {
+					deg[fe.to]--
+					if deg[fe.to] <= 1 && !isP1[fe.to] {
+						queue = append(queue, fe.to)
+					}
+				}
+			}
+		}
+		// P2: skeleton degree ≥ 3 and not P1.
+		isP := map[int]bool{}
+		for _, v := range members {
+			if !inSkel[v] {
+				continue
+			}
+			if isP1[v] || deg[v] >= 3 {
+				isP[v] = true
+				isPortal[v] = true
+			}
+		}
+		// Walk the skeleton paths between P nodes; delete the minimum
+		// capT edge on each into D.
+		visited := map[int]bool{} // via-vertex of walked skeleton edges
+		for _, start := range members {
+			if !isP[start] || !inSkel[start] {
+				continue
+			}
+			for _, fe := range fadj[start] {
+				if !inSkel[fe.to] || visited[fe.via] {
+					continue
+				}
+				// Walk away from start until the next P node.
+				minVia := fe.via
+				prev, cur := start, fe.to
+				visited[fe.via] = true
+				for !isP[cur] {
+					var next fedge
+					found := false
+					for _, g := range fadj[cur] {
+						if inSkel[g.to] && g.to != prev {
+							next = g
+							found = true
+							break
+						}
+					}
+					if !found {
+						// Dead end at a non-P skeleton leaf: cannot
+						// happen (leaves are P1), but stay total.
+						break
+					}
+					visited[next.via] = true
+					if capT[next.via] < capT[minVia] {
+						minVia = next.via
+					}
+					prev, cur = cur, next.to
+				}
+				if isP[cur] {
+					inD[minVia] = true
+					res.DSize++
+				}
+			}
+		}
+	}
+
+	// --- 6. New clusters: components of T \ (F ∪ R ∪ D), each owning
+	// exactly one portal.
+	newComp := make([]int, cg.N)
+	for v := range newComp {
+		newComp[v] = -1
+	}
+	numNew := 0
+	var newMembers [][]int
+	for _, v := range t.Order() {
+		if v == t.Root || removed[v] || inD[v] {
+			newComp[v] = numNew
+			numNew++
+			newMembers = append(newMembers, []int{v})
+		} else {
+			newComp[v] = newComp[t.Parent[v]]
+			newMembers[newComp[v]] = append(newMembers[newComp[v]], v)
+		}
+	}
+	// Portal per new component; components without a marked portal take
+	// their top vertex (possible when D-cutting isolates a path segment
+	// whose portal sits on the other side).
+	portalOf := make([]int, numNew)
+	for k := range portalOf {
+		portalOf[k] = -1
+	}
+	for v := 0; v < cg.N; v++ {
+		if isPortal[v] {
+			if got := portalOf[newComp[v]]; got >= 0 {
+				return nil, fmt.Errorf("jtree: component %d has two portals (%d, %d)", newComp[v], got, v)
+			}
+			portalOf[newComp[v]] = v
+		}
+	}
+	for k, members := range newMembers {
+		if portalOf[k] < 0 {
+			portalOf[k] = members[0]
+		}
+	}
+
+	// --- 7. Forest edges re-rooted at portals.
+	for k, members := range newMembers {
+		root := portalOf[k]
+		// BFS from the portal over forest edges inside the component.
+		parent := map[int]fedge{}
+		seen := map[int]bool{root: true}
+		q := []int{root}
+		for len(q) > 0 {
+			v := q[0]
+			q = q[1:]
+			for _, fe := range fadj[v] {
+				if inD[fe.via] || seen[fe.to] || newComp[fe.to] != k {
+					continue
+				}
+				seen[fe.to] = true
+				parent[fe.to] = fedge{to: v, via: fe.via}
+				q = append(q, fe.to)
+			}
+		}
+		for _, v := range members {
+			if v == root {
+				continue
+			}
+			fe, ok := parent[v]
+			if !ok {
+				return nil, fmt.Errorf("jtree: cluster %d unreachable from portal %d", v, root)
+			}
+			res.Forest = append(res.Forest, ForestEdge{
+				Child:  v,
+				Parent: fe.to,
+				Cap:    capT[fe.via],
+				Phys:   cg.Edges[treeEdge[fe.via]].Phys,
+			})
+		}
+	}
+
+	// --- 8. Core multigraph on portals.
+	core := &cluster.Graph{
+		N:     numNew,
+		Rep:   make([]int, numNew),
+		Size:  make([]float64, numNew),
+		Depth: make([]int, numNew),
+	}
+	for k, members := range newMembers {
+		core.Rep[k] = cg.Rep[portalOf[k]]
+		for _, v := range members {
+			core.Size[k] += cg.Size[v]
+		}
+	}
+	// Depth accounting: hop-weighted BFS from the portal, where crossing
+	// cluster c costs 2·Depth[c]+1 physical hops.
+	for k := range newMembers {
+		root := portalOf[k]
+		w := func(c int) int { return 2*cg.Depth[c] + 1 }
+		dist := map[int]int{root: cg.Depth[root]}
+		q := []int{root}
+		maxD := cg.Depth[root]
+		for len(q) > 0 {
+			v := q[0]
+			q = q[1:]
+			for _, fe := range fadj[v] {
+				if inD[fe.via] || newComp[fe.to] != k {
+					continue
+				}
+				if _, ok := dist[fe.to]; ok {
+					continue
+				}
+				dist[fe.to] = dist[v] + w(fe.to)
+				if dist[fe.to] > maxD {
+					maxD = dist[fe.to]
+				}
+				q = append(q, fe.to)
+			}
+		}
+		core.Depth[k] = maxD
+	}
+	// Inter-component cluster edges (between different T\(F∪R)
+	// components) keep their capacity; D edges are replaced at cap_T.
+	for _, e := range cg.Edges {
+		if compTF[e.A] == compTF[e.B] {
+			continue
+		}
+		a, b := newComp[e.A], newComp[e.B]
+		if a == b {
+			continue
+		}
+		core.Edges = append(core.Edges, cluster.Edge{A: a, B: b, Cap: e.Cap, Phys: e.Phys})
+	}
+	for v := 0; v < cg.N; v++ {
+		if !inD[v] {
+			continue
+		}
+		a, b := newComp[v], newComp[t.Parent[v]]
+		if a == b {
+			return nil, fmt.Errorf("jtree: D edge endpoints in same component")
+		}
+		core.Edges = append(core.Edges, cluster.Edge{A: a, B: b, Cap: capT[v], Phys: cg.Edges[treeEdge[v]].Phys})
+		res.DEdges = append(res.DEdges, ForestEdge{
+			Child: v, Parent: t.Parent[v], Cap: capT[v], Phys: cg.Edges[treeEdge[v]].Phys,
+		})
+	}
+
+	res.NewCluster = newComp
+	res.Portal = portalOf
+	res.Core = core
+	if err := core.Validate(); err != nil {
+		return nil, fmt.Errorf("jtree: core: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,274 @@
+package jtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distflow/internal/cluster"
+	"distflow/internal/graph"
+)
+
+func clusterGraph(g *graph.Graph) *cluster.Graph { return cluster.FromGraph(g) }
+
+// checkStep verifies the structural contract of a StepResult.
+func checkStep(t *testing.T, cg *cluster.Graph, res *StepResult) {
+	t.Helper()
+	if err := res.Core.Validate(); err != nil {
+		t.Fatalf("core invalid: %v", err)
+	}
+	if len(res.Portal) != res.Core.N {
+		t.Fatalf("portals %d, core %d", len(res.Portal), res.Core.N)
+	}
+	// NewCluster is a surjection onto [0, Core.N).
+	seen := make([]bool, res.Core.N)
+	for old, nc := range res.NewCluster {
+		if nc < 0 || nc >= res.Core.N {
+			t.Fatalf("cluster %d mapped to %d", old, nc)
+		}
+		seen[nc] = true
+	}
+	for k, s := range seen {
+		if !s {
+			t.Fatalf("new cluster %d empty", k)
+		}
+	}
+	// Forest edges: child is non-portal, stays within its new cluster,
+	// capacities positive, and every non-portal old cluster appears
+	// exactly once as a child.
+	childSeen := make(map[int]bool)
+	for _, fe := range res.Forest {
+		if fe.Cap <= 0 {
+			t.Fatalf("forest edge with cap %v", fe.Cap)
+		}
+		if res.NewCluster[fe.Child] != res.NewCluster[fe.Parent] {
+			t.Fatalf("forest edge crosses new clusters")
+		}
+		if childSeen[fe.Child] {
+			t.Fatalf("cluster %d has two forest parents", fe.Child)
+		}
+		childSeen[fe.Child] = true
+		if fe.Phys < 0 {
+			t.Fatalf("forest edge without physical edge")
+		}
+	}
+	portals := make(map[int]bool, len(res.Portal))
+	for k, p := range res.Portal {
+		if res.NewCluster[p] != k {
+			t.Fatalf("portal %d not inside its cluster", p)
+		}
+		portals[p] = true
+	}
+	for old := 0; old < cg.N; old++ {
+		if portals[old] {
+			if childSeen[old] {
+				t.Fatalf("portal %d has a forest parent", old)
+			}
+			continue
+		}
+		if !childSeen[old] {
+			t.Fatalf("non-portal %d missing from forest", old)
+		}
+	}
+	// Core sizes conserve total size.
+	if math.Abs(res.Core.TotalSize()-cg.TotalSize()) > 1e-9 {
+		t.Fatalf("size not conserved: %v vs %v", res.Core.TotalSize(), cg.TotalSize())
+	}
+	// Core stays connected (the construction argument of §8.3).
+	if !res.Core.Connected() {
+		t.Fatal("core disconnected")
+	}
+}
+
+func TestStepGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Grid(8, 8)
+	cg := clusterGraph(g)
+	res, err := Step(cg, nil, 6, 8, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStep(t, cg, res)
+	if res.Core.N >= cg.N {
+		t.Errorf("no contraction: %d -> %d", cg.N, res.Core.N)
+	}
+}
+
+func TestStepFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, fam := range graph.Families() {
+		t.Run(fam.Name, func(t *testing.T) {
+			g := fam.Make(120, rng)
+			cg := clusterGraph(g)
+			res, err := Step(cg, nil, 8, math.Sqrt(float64(g.N())), Config{}, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkStep(t, cg, res)
+		})
+	}
+}
+
+func TestStepDisableFCollapses(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.GNP(40, 0.15, rng)
+	cg := clusterGraph(g)
+	res, err := Step(cg, nil, 1, 1e18, Config{DisableF: true, DisableR: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStep(t, cg, res)
+	if res.Core.N != 1 {
+		t.Errorf("collapse produced %d clusters, want 1", res.Core.N)
+	}
+	if len(res.Forest) != cg.N-1 {
+		t.Errorf("forest has %d edges, want %d", len(res.Forest), cg.N-1)
+	}
+}
+
+func TestStepTwoClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.New(2)
+	g.AddEdge(0, 1, 5)
+	cg := clusterGraph(g)
+	res, err := Step(cg, nil, 1, 100, Config{DisableF: true, DisableR: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStep(t, cg, res)
+	if res.Core.N != 1 || len(res.Forest) != 1 {
+		t.Fatalf("collapse wrong: core=%d forest=%d", res.Core.N, len(res.Forest))
+	}
+	if res.Forest[0].Cap != 5 {
+		t.Errorf("forest cap %v, want 5 (cut capacity)", res.Forest[0].Cap)
+	}
+}
+
+// Forest capacities are the Fig. 2 tree flows: each is at least the
+// capacity of the physical edge realizing it (that edge crosses its own
+// cut) and at most the total capacity of the level graph.
+func TestForestCapBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.CapUniform(graph.GNP(30, 0.2, rng), 9, rng)
+	cg := clusterGraph(g)
+	res, err := Step(cg, nil, 4, math.Sqrt(30), Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStep(t, cg, res)
+	var total float64
+	for _, e := range cg.Edges {
+		total += e.Cap
+	}
+	for _, fe := range res.Forest {
+		phys := float64(g.Cap(fe.Phys))
+		if fe.Cap < phys-1e-9 {
+			t.Fatalf("forest edge %d->%d cap %v below its physical capacity %v", fe.Child, fe.Parent, fe.Cap, phys)
+		}
+		if fe.Cap > total+1e-9 {
+			t.Fatalf("forest edge cap %v exceeds total capacity %v", fe.Cap, total)
+		}
+	}
+}
+
+func TestStepRespectsJ(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.Grid(10, 10)
+	cg := clusterGraph(g)
+	j := 5
+	res, err := Step(cg, nil, j, 1e18 /* suppress R */, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStep(t, cg, res)
+	if res.FSize > j {
+		t.Errorf("|F| = %d > j = %d", res.FSize, j)
+	}
+	if res.RSize != 0 {
+		t.Errorf("R sampling fired with huge sqrtN: %d", res.RSize)
+	}
+	// Lemma 8.5: portals < 4j (+1 slack for the root component).
+	if res.Core.N > 4*j+1 {
+		t.Errorf("core size %d > 4j = %d", res.Core.N, 4*j)
+	}
+}
+
+func TestStepErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.Path(3)
+	cg := clusterGraph(g)
+	if _, err := Step(cg, nil, 0, 10, Config{}, rng); err == nil {
+		t.Error("j=0 accepted")
+	}
+	if _, err := Step(cg, []float64{1}, 1, 10, Config{}, rng); err == nil {
+		t.Error("bad lengths accepted")
+	}
+	one := &cluster.Graph{N: 1, Rep: []int{0}, Size: []float64{1}, Depth: []int{0}}
+	if _, err := Step(one, nil, 1, 10, Config{}, rng); err == nil {
+		t.Error("single cluster accepted")
+	}
+}
+
+func TestEdgeRloadSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := graph.Cycle(12)
+	cg := clusterGraph(g)
+	res, err := Step(cg, nil, 2, 1e18, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonzero := 0
+	for _, r := range res.EdgeRload {
+		if r > 0 {
+			nonzero++
+		}
+		if r < 0 {
+			t.Fatal("negative rload")
+		}
+	}
+	// Exactly the tree edges (n-1) carry load.
+	if nonzero != cg.N-1 {
+		t.Errorf("rload on %d edges, want %d", nonzero, cg.N-1)
+	}
+	if res.MaxRload <= 0 {
+		t.Error("MaxRload not set")
+	}
+}
+
+// Iterating steps must drive any graph to a single cluster (the §8.4
+// local continuation).
+func TestIteratedCollapse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.GNP(60, 0.1, rng)
+	cg := clusterGraph(g)
+	totalForest := 0
+	for iter := 0; cg.N > 1; iter++ {
+		if iter > 30 {
+			t.Fatal("no convergence")
+		}
+		j := cg.N / 8
+		cfg := Config{DisableR: true}
+		if j < 1 || cg.N <= 8 {
+			j = 1
+			cfg.DisableF = true
+		}
+		res, err := Step(cg, nil, j, math.Sqrt(60), cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Core.N >= cg.N {
+			cfg.DisableF = true
+			res, err = Step(cg, nil, 1, math.Sqrt(60), cfg, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		checkStep(t, cg, res)
+		totalForest += len(res.Forest)
+		cg = res.Core
+	}
+	// Every vertex except the final root exited exactly once.
+	if totalForest != g.N()-1 {
+		t.Errorf("forest edges total %d, want %d", totalForest, g.N()-1)
+	}
+}

@@ -1,0 +1,253 @@
+package lsst
+
+import (
+	"fmt"
+	"math"
+
+	"distflow/internal/congest"
+	"distflow/internal/proto"
+)
+
+// Distributed SplitGraph (Fig. 4) as a genuine message-passing protocol:
+// the delayed multi-source BFS race runs as a congest.Program, with the
+// per-phase uncovered count obtained by a measured convergecast. This is
+// the CONGEST realization of the ball-growing the paper builds the LSST
+// from ("the basic action of Algorithm SplitGraph is growing BFS trees",
+// §7); the centralized splitGraph in this package reproduces the same
+// race for use inside the contracted AKPW recursion, and the tests
+// cross-check the two on the base graph.
+
+// raceMsg announces a cluster claim: the seeding source and the
+// remaining ball radius (TTL).
+type raceMsg struct {
+	Source int64
+	TTL    int64
+}
+
+// WireSize implements congest.Message: two O(log n)-bit words.
+func (raceMsg) WireSize() int { return 2 * congest.WordBits }
+
+type raceNode struct {
+	active    bool // uncovered at phase start
+	seed      bool
+	delay     int
+	radius    int
+	source    int64 // claimed source; -1 while unclaimed
+	ttl       int64
+	parentArc int
+	claimedAt int
+	forwarded bool
+}
+
+func (r *raceNode) Step(ctx *congest.Context, in []congest.Incoming) ([]congest.Outgoing, bool) {
+	if !r.active {
+		return nil, true
+	}
+	if r.source < 0 {
+		bestSource := int64(-1)
+		bestTTL := int64(0)
+		bestArc := -1
+		for _, m := range in {
+			msg, ok := m.Msg.(raceMsg)
+			if !ok {
+				continue
+			}
+			if bestSource < 0 || msg.Source < bestSource {
+				bestSource = msg.Source
+				bestTTL = msg.TTL
+				bestArc = arcOf(ctx, m.Edge)
+			}
+		}
+		// A seed self-claims once its delay expires; simultaneous
+		// arrivals compete by smaller source ID, exactly as the
+		// centralized race breaks ties.
+		if r.seed && ctx.Round == r.delay+1 {
+			self := int64(ctx.ID)
+			if bestSource < 0 || self < bestSource {
+				bestSource = self
+				bestTTL = int64(r.radius)
+				bestArc = -1
+			}
+		}
+		if bestSource >= 0 {
+			r.source = bestSource
+			r.ttl = bestTTL
+			r.parentArc = bestArc
+			r.claimedAt = ctx.Round
+		}
+	}
+	if r.source >= 0 && !r.forwarded {
+		r.forwarded = true
+		if r.ttl > 0 {
+			outs := make([]congest.Outgoing, 0, ctx.Degree())
+			for i := 0; i < ctx.Degree(); i++ {
+				if i == r.parentArc {
+					continue
+				}
+				outs = append(outs, congest.Outgoing{Edge: ctx.Arc(i).E, Msg: raceMsg{Source: r.source, TTL: r.ttl - 1}})
+			}
+			return outs, true
+		}
+		return nil, true
+	}
+	// Unclaimed non-seeds wait passively; unexpired seeds hold the
+	// network open until their delay round.
+	done := !r.seed || r.source >= 0 || r.claimedAt > 0
+	if r.seed && r.source < 0 {
+		done = false
+	}
+	return nil, done
+}
+
+func arcOf(ctx *congest.Context, edge int) int {
+	for i, a := range ctx.Arcs() {
+		if a.E == edge {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("lsst: edge %d not incident to %d", edge, ctx.ID))
+}
+
+// SplitGraphResult is the outcome of the distributed low-diameter
+// decomposition.
+type SplitGraphResult struct {
+	// Cluster[v] is the seeding source that claimed v.
+	Cluster []int
+	// ParentEdge[v] is the graph edge toward the cluster center (-1 at
+	// centers).
+	ParentEdge []int
+	// Depth[v] is the BFS depth within the cluster.
+	Depth []int
+	// Phases is the number of seeding phases executed.
+	Phases int
+	// Stats totals the measured rounds (races + counting aggregations).
+	Stats congest.Stats
+}
+
+// DistributedSplitGraph runs Algorithm SplitGraph with target radius rho
+// on the network graph, as measured message-passing: per phase, the
+// uncovered count is convergecast over a BFS tree, seeds self-select and
+// race; the protocol ends when every node is claimed.
+func DistributedSplitGraph(nw *congest.Network, rho int) (*SplitGraphResult, error) {
+	g := nw.Graph()
+	n := g.N()
+	res := &SplitGraphResult{
+		Cluster:    make([]int, n),
+		ParentEdge: make([]int, n),
+		Depth:      make([]int, n),
+	}
+	for v := range res.Cluster {
+		res.Cluster[v] = -1
+		res.ParentEdge[v] = -1
+	}
+	tree, stats, err := proto.BuildBFSTree(nw, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lsst: splitgraph: %w", err)
+	}
+	res.Stats.Add(stats)
+
+	logN := 1
+	for (1 << logN) < n {
+		logN++
+	}
+	maxDelay := rho / (2 * logN)
+	covered := make([]bool, n)
+
+	for t := 1; t <= 2*logN; t++ {
+		// Measured count of uncovered nodes (convergecast + broadcast).
+		vals := make([]float64, n)
+		uncovered := 0
+		for v := 0; v < n; v++ {
+			if !covered[v] {
+				vals[v] = 1
+				uncovered++
+			}
+		}
+		sums, stats, err := proto.SubtreeSums(nw, tree, vals)
+		if err != nil {
+			return nil, fmt.Errorf("lsst: splitgraph count: %w", err)
+		}
+		res.Stats.Add(stats)
+		if int(sums[tree.Root]) != uncovered {
+			return nil, fmt.Errorf("lsst: splitgraph count mismatch: %v vs %d", sums[tree.Root], uncovered)
+		}
+		if uncovered == 0 {
+			break
+		}
+		res.Phases = t
+
+		frac := 12.0 * pow2half(t) / float64(n)
+		radius := rho * (2*logN - (t - 1)) / (2 * logN)
+		nodes := make([]*raceNode, n)
+		stats, err = nw.Run(func(v int, ctx *congest.Context) congest.Program {
+			r := &raceNode{active: !covered[v], source: -1, parentArc: -1}
+			if r.active {
+				isSeed := frac >= 1 || ctx.Rand.Float64() < frac
+				if t == 2*logN {
+					isSeed = true // final phase covers everything
+				}
+				if isSeed {
+					r.seed = true
+					if maxDelay > 0 {
+						r.delay = ctx.Rand.Intn(maxDelay + 1)
+					}
+					r.radius = radius - r.delay
+					if r.radius < 0 {
+						r.radius = 0
+					}
+				}
+			}
+			nodes[v] = r
+			return r
+		}, 4*(rho+maxDelay)+2*n+64)
+		if err != nil {
+			return nil, fmt.Errorf("lsst: splitgraph race %d: %w", t, err)
+		}
+		res.Stats.Add(stats)
+
+		for v, r := range nodes {
+			if !r.active || r.source < 0 {
+				continue
+			}
+			covered[v] = true
+			res.Cluster[v] = int(r.source)
+			if r.parentArc >= 0 {
+				a := g.Adj(v)[r.parentArc]
+				res.ParentEdge[v] = a.E
+				res.Depth[v] = -1 // filled below
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if res.Cluster[v] < 0 {
+			return nil, fmt.Errorf("lsst: splitgraph left node %d uncovered", v)
+		}
+	}
+	// Depths via parent pointers (harness-side verification data).
+	var depth func(v int) int
+	memo := make(map[int]int, n)
+	depth = func(v int) int {
+		if res.ParentEdge[v] < 0 {
+			return 0
+		}
+		if d, ok := memo[v]; ok {
+			return d
+		}
+		d := depth(g.Other(res.ParentEdge[v], v)) + 1
+		memo[v] = d
+		return d
+	}
+	maxRadius := rho + maxDelay
+	for v := 0; v < n; v++ {
+		res.Depth[v] = depth(v)
+		if res.Depth[v] > maxRadius {
+			return nil, fmt.Errorf("lsst: splitgraph cluster radius %d exceeds budget %d", res.Depth[v], maxRadius)
+		}
+	}
+	return res, nil
+}
+
+// ExpectedPhases returns the 2·⌈log₂ n⌉ phase bound of Fig. 4.
+func ExpectedPhases(n int) int {
+	return 2 * int(math.Ceil(math.Log2(float64(n)+2)))
+}

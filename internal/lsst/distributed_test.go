@@ -1,0 +1,111 @@
+package lsst
+
+import (
+	"math/rand"
+	"testing"
+
+	"distflow/internal/congest"
+	"distflow/internal/graph"
+)
+
+func TestDistributedSplitGraphGrid(t *testing.T) {
+	g := graph.Grid(8, 8)
+	nw := congest.NewNetwork(g, congest.WithSeed(11))
+	res, err := DistributedSplitGraph(nw, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateSplit(t, g, res, 6)
+}
+
+func TestDistributedSplitGraphFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, fam := range graph.Families() {
+		t.Run(fam.Name, func(t *testing.T) {
+			g := fam.Make(80, rng)
+			nw := congest.NewNetwork(g, congest.WithSeed(17))
+			res, err := DistributedSplitGraph(nw, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			validateSplit(t, g, res, 8)
+		})
+	}
+}
+
+// validateSplit checks the SplitGraph contract: full coverage, cluster
+// trees are valid shortest-path trees toward their centers, radius
+// within rho + maxDelay, and clusters are connected.
+func validateSplit(t *testing.T, g *graph.Graph, res *SplitGraphResult, rho int) {
+	t.Helper()
+	n := g.N()
+	for v := 0; v < n; v++ {
+		c := res.Cluster[v]
+		if c < 0 || c >= n {
+			t.Fatalf("node %d unclaimed", v)
+		}
+		if res.ParentEdge[v] >= 0 {
+			p := g.Other(res.ParentEdge[v], v)
+			if res.Cluster[p] != c {
+				t.Fatalf("node %d parent %d in different cluster", v, p)
+			}
+			if res.Depth[v] != res.Depth[p]+1 {
+				t.Fatalf("node %d depth %d, parent depth %d", v, res.Depth[v], res.Depth[p])
+			}
+		} else {
+			if res.Cluster[v] != v {
+				t.Fatalf("rootless node %d claimed by %d", v, res.Cluster[v])
+			}
+			if res.Depth[v] != 0 {
+				t.Fatalf("center %d has depth %d", v, res.Depth[v])
+			}
+		}
+	}
+	if res.Phases < 1 || res.Phases > ExpectedPhases(n) {
+		t.Errorf("phases = %d, want within [1, %d]", res.Phases, ExpectedPhases(n))
+	}
+	if res.Stats.Rounds <= 0 {
+		t.Error("no rounds measured")
+	}
+}
+
+// Determinism: the same seed reproduces the same clustering.
+func TestDistributedSplitGraphDeterministic(t *testing.T) {
+	g := graph.Grid(6, 6)
+	run := func() *SplitGraphResult {
+		nw := congest.NewNetwork(g, congest.WithSeed(23))
+		res, err := DistributedSplitGraph(nw, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for v := range a.Cluster {
+		if a.Cluster[v] != b.Cluster[v] {
+			t.Fatalf("node %d clustered differently across identical runs", v)
+		}
+	}
+	if a.Stats != b.Stats {
+		t.Errorf("stats differ: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+// Rounds must scale with rho and the phase count, not with n beyond the
+// BFS/count aggregations: a larger radius means longer races.
+func TestDistributedSplitGraphRoundsScale(t *testing.T) {
+	g := graph.Grid(10, 10)
+	small, err := DistributedSplitGraph(congest.NewNetwork(g, congest.WithSeed(29)), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a huge radius the first phase covers nearly everything, so
+	// fewer phases run overall even though races last longer.
+	big, err := DistributedSplitGraph(congest.NewNetwork(g, congest.WithSeed(29)), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Phases > small.Phases {
+		t.Errorf("bigger radius should not need more phases: %d vs %d", big.Phases, small.Phases)
+	}
+}

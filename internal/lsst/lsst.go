@@ -1,0 +1,329 @@
+package lsst
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"distflow/internal/vtree"
+)
+
+// Edge is a multigraph edge with a positive length, as consumed by the
+// spanning-tree construction (Theorem 3.1 allows arbitrary lengths in
+// 2^{n^{o(1)}} and arbitrary prior contractions; both are supported:
+// parallel edges are fine and contracted inputs are expressed by reusing
+// vertex ids).
+type Edge struct {
+	U, V int
+	Len  float64
+}
+
+// Result is a low average-stretch spanning tree of the input multigraph.
+type Result struct {
+	// Tree is the rooted spanning tree (capacities unset, all 1).
+	Tree *vtree.VTree
+	// EdgeOf[v] is the index (into the input edge slice) of the edge
+	// realizing tree edge (v, parent(v)); -1 at the root.
+	EdgeOf []int
+	// Iterations is the number of cluster-contract iterations run.
+	Iterations int
+	// PartitionCalls counts Partition invocations including restarts.
+	PartitionCalls int
+	// Rho is the SplitGraph target radius used.
+	Rho int
+	// Z is the edge-class base (class i holds lengths in [z^{i-1}, z^i)).
+	Z float64
+}
+
+// AccountRounds charges the distributed cost of the construction per §7:
+// each Partition call costs O(ρ·log²N·(D+√N)) rounds; we charge exactly
+// ρ·log₂²N·(D+⌈√N⌉) per call with the measured call count.
+func (r *Result) AccountRounds(n, diameter int) int64 {
+	logN := math.Log2(float64(n) + 2)
+	perCall := float64(r.Rho) * logN * logN * (float64(diameter) + math.Ceil(math.Sqrt(float64(n))))
+	return int64(perCall * float64(r.PartitionCalls))
+}
+
+// Config tunes the construction. The zero value selects the paper's
+// parameters with practical constants (see DESIGN.md §1 on constants).
+type Config struct {
+	// ZExponent scales the class base: z = 2^(ZExponent·√(log₂n·log₂log₂n)).
+	// 0 means 1.0.
+	ZExponent float64
+	// MaxRestarts bounds Partition restarts per iteration (default 2·log₂ n).
+	MaxRestarts int
+}
+
+// SpanningTree builds a spanning tree of expected average stretch
+// 2^{O(√(log n log log n))} over the n-vertex multigraph given by edges.
+// The multigraph must be connected.
+func SpanningTree(n int, edges []Edge, cfg Config, rng *rand.Rand) (*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("lsst: empty graph")
+	}
+	for i, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("lsst: edge %d endpoint out of range", i)
+		}
+		if e.Len <= 0 {
+			return nil, fmt.Errorf("lsst: edge %d has non-positive length", i)
+		}
+	}
+	zExp := cfg.ZExponent
+	if zExp == 0 {
+		zExp = 1
+	}
+	maxRestarts := cfg.MaxRestarts
+	if maxRestarts == 0 {
+		maxRestarts = 2 * int(math.Log2(float64(n)+2))
+	}
+
+	logN := math.Log2(float64(n) + 2)
+	z := math.Pow(2, zExp*math.Sqrt(logN*math.Max(1, math.Log2(logN))))
+	if z < 4 {
+		z = 4
+	}
+	rho := int(z / 4)
+	if rho < 1 {
+		rho = 1
+	}
+
+	// Normalize lengths so the minimum is 1, then classify.
+	minLen := math.Inf(1)
+	for _, e := range edges {
+		if e.Len < minLen {
+			minLen = e.Len
+		}
+	}
+	if math.IsInf(minLen, 1) {
+		minLen = 1
+	}
+	class := make([]int, len(edges)) // 1-based class index
+	maxClass := 1
+	for i, e := range edges {
+		c := 1
+		l := e.Len / minLen
+		for l >= z {
+			l /= z
+			c++
+		}
+		class[i] = c
+		if c > maxClass {
+			maxClass = c
+		}
+	}
+
+	res := &Result{
+		EdgeOf: make([]int, n),
+		Rho:    rho,
+		Z:      z,
+	}
+	// Spanning tree assembled as a union of original edges.
+	chosen := make([]bool, len(edges))
+
+	// sn maps original vertices to current supernodes (contraction).
+	sn := make([]int, n)
+	for v := range sn {
+		sn[v] = v
+	}
+	super := n // number of live supernodes
+
+	curRho := rho
+	for j := 1; super > 1; j++ {
+		if j > 4*maxClass+64 {
+			return nil, fmt.Errorf("lsst: no convergence after %d iterations (disconnected input?)", j-1)
+		}
+		res.Iterations++
+		useClass := j
+		if useClass > maxClass {
+			useClass = maxClass
+		}
+		// Build the contracted working graph over supernodes with edges
+		// of classes ≤ useClass, dropping self-loops.
+		ids := make(map[int]int, super) // supernode -> compact index
+		var rev []int
+		idx := func(s int) int {
+			if i, ok := ids[s]; ok {
+				return i
+			}
+			ids[s] = len(rev)
+			rev = append(rev, s)
+			return len(rev) - 1
+		}
+		var active []classedEdge
+		for i, e := range edges {
+			if class[i] > useClass {
+				continue
+			}
+			a, b := sn[e.U], sn[e.V]
+			if a == b {
+				continue
+			}
+			active = append(active, classedEdge{e: splitEdge{u: idx(a), v: idx(b), id: i}, cl: class[i]})
+		}
+		// Supernodes not touched by active edges still exist; they just
+		// don't participate this iteration.
+		nn := len(rev)
+		if nn == 0 {
+			// All remaining edges are in higher classes; advance j.
+			continue
+		}
+		adj := make([][]splitEdge, nn)
+		classCount := make([]int, useClass+1)
+		for _, w := range active {
+			adj[w.e.u] = append(adj[w.e.u], w.e)
+			adj[w.e.v] = append(adj[w.e.v], w.e)
+			classCount[w.cl]++
+		}
+
+		// Partition: run SplitGraph, restart while some class is
+		// over-split (more than 4·log₂N/ρ of its edges cut, and at least
+		// a handful, per §7 / Blelloch et al.).
+		var sg *splitResult
+		for attempt := 0; ; attempt++ {
+			res.PartitionCalls++
+			sg = splitGraph(nn, adj, curRho, rng)
+			if attempt >= maxRestarts || !overSplit(sg, active, classCount, curRho, nn) {
+				break
+			}
+		}
+
+		// Adopt the cluster BFS trees into the spanning tree and contract.
+		progress := false
+		for v := 0; v < nn; v++ {
+			if pe := sg.parentEdge[v]; pe >= 0 && !chosen[pe] {
+				chosen[pe] = true
+				progress = true
+			}
+		}
+		if progress {
+			// Contract: supernode -> its cluster's seed supernode.
+			remap := make(map[int]int, super)
+			for v := 0; v < nn; v++ {
+				remap[rev[v]] = rev[sg.cluster[v]]
+			}
+			seen := make(map[int]bool, super)
+			for v := 0; v < n; v++ {
+				if t, ok := remap[sn[v]]; ok {
+					sn[v] = t
+				}
+				seen[sn[v]] = true
+			}
+			super = len(seen)
+		} else if useClass == maxClass {
+			// Degenerate randomness: widen the radius and retry (keeps
+			// the worst-case guarantee; exercised only on tiny inputs).
+			curRho *= 2
+			if curRho > 4*n {
+				return nil, fmt.Errorf("lsst: cannot make progress; input disconnected?")
+			}
+		}
+	}
+
+	tree, edgeOf, err := assemble(n, edges, chosen)
+	if err != nil {
+		return nil, err
+	}
+	res.Tree = tree
+	res.EdgeOf = edgeOf
+	return res, nil
+}
+
+// classedEdge pairs a working edge with its length class.
+type classedEdge struct {
+	e  splitEdge
+	cl int
+}
+
+// overSplit reports whether some participating class has too many of its
+// edges cut between clusters.
+func overSplit(sg *splitResult, active []classedEdge, classCount []int, rho, nn int) bool {
+	logN := math.Log2(float64(nn) + 2)
+	cut := make([]int, len(classCount))
+	for _, w := range active {
+		if sg.cluster[w.e.u] != sg.cluster[w.e.v] {
+			cut[w.cl]++
+		}
+	}
+	for c := 1; c < len(classCount); c++ {
+		if classCount[c] == 0 {
+			continue
+		}
+		bound := 4 * logN / float64(rho) * float64(classCount[c])
+		if float64(cut[c]) > bound && cut[c] > 8 {
+			return true
+		}
+	}
+	return false
+}
+
+// assemble roots the chosen edge set at vertex 0.
+func assemble(n int, edges []Edge, chosen []bool) (*vtree.VTree, []int, error) {
+	adj := make([][]int, n) // edge indices
+	count := 0
+	for i, c := range chosen {
+		if !c {
+			continue
+		}
+		adj[edges[i].U] = append(adj[edges[i].U], i)
+		adj[edges[i].V] = append(adj[edges[i].V], i)
+		count++
+	}
+	if count != n-1 {
+		return nil, nil, fmt.Errorf("lsst: chose %d edges, want %d", count, n-1)
+	}
+	parent := make([]int, n)
+	edgeOf := make([]int, n)
+	for v := range parent {
+		parent[v] = -2
+		edgeOf[v] = -1
+	}
+	parent[0] = -1
+	queue := []int{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, ei := range adj[v] {
+			w := edges[ei].U + edges[ei].V - v
+			if parent[w] == -2 {
+				parent[w] = v
+				edgeOf[w] = ei
+				queue = append(queue, w)
+			}
+		}
+	}
+	for v, p := range parent {
+		if p == -2 {
+			return nil, nil, fmt.Errorf("lsst: vertex %d not spanned", v)
+		}
+	}
+	t, err := vtree.New(0, parent, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lsst: %w", err)
+	}
+	return t, edgeOf, nil
+}
+
+// AverageStretch measures the average stretch of the tree over the
+// input multigraph: (Σ_e dT(u_e,v_e)) / (Σ_e ℓ(e)), the Theorem 3.1
+// quantity (with unit edge multiplicities).
+func AverageStretch(res *Result, edges []Edge) float64 {
+	t := res.Tree
+	lengths := make([]float64, t.N())
+	for v := range lengths {
+		if ei := res.EdgeOf[v]; ei >= 0 {
+			lengths[v] = edges[ei].Len
+		}
+	}
+	pairs := make([]vtree.EdgeEndpoint, len(edges))
+	var denom float64
+	for i, e := range edges {
+		pairs[i] = vtree.EdgeEndpoint{U: e.U, V: e.V, Cap: 1}
+		denom += e.Len
+	}
+	num := t.StretchSum(pairs, lengths)
+	if denom == 0 {
+		return 0
+	}
+	return num / denom
+}

@@ -1,0 +1,201 @@
+package lsst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distflow/internal/graph"
+)
+
+// fromGraph converts a graph.Graph with unit lengths.
+func fromGraph(g *graph.Graph) []Edge {
+	edges := make([]Edge, g.M())
+	for i, e := range g.Edges() {
+		edges[i] = Edge{U: e.U, V: e.V, Len: 1}
+	}
+	return edges
+}
+
+func TestSpanningTreeSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Cycle(10)
+	res, err := SpanningTree(g.N(), fromGraph(g), Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tree.N() != 10 {
+		t.Fatalf("tree size %d", res.Tree.N())
+	}
+	// Every non-root vertex must map to a real input edge connecting it
+	// to its parent.
+	edges := fromGraph(g)
+	for v := 0; v < 10; v++ {
+		if v == res.Tree.Root {
+			if res.EdgeOf[v] != -1 {
+				t.Errorf("root EdgeOf = %d", res.EdgeOf[v])
+			}
+			continue
+		}
+		e := edges[res.EdgeOf[v]]
+		p := res.Tree.Parent[v]
+		if !(e.U == v && e.V == p) && !(e.V == v && e.U == p) {
+			t.Errorf("vertex %d: edge %v does not connect to parent %d", v, e, p)
+		}
+	}
+}
+
+func TestSpanningTreeFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, fam := range graph.Families() {
+		t.Run(fam.Name, func(t *testing.T) {
+			g := fam.Make(150, rng)
+			res, err := SpanningTree(g.N(), fromGraph(g), Config{}, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Tree.N() != g.N() {
+				t.Fatalf("tree spans %d of %d", res.Tree.N(), g.N())
+			}
+		})
+	}
+}
+
+func TestSpanningTreeWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.GNP(80, 0.1, rng)
+	edges := make([]Edge, g.M())
+	for i, e := range g.Edges() {
+		edges[i] = Edge{U: e.U, V: e.V, Len: math.Pow(2, float64(rng.Intn(20)))}
+	}
+	res, err := SpanningTree(g.N(), edges, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := AverageStretch(res, edges)
+	if s < 1-1e-9 {
+		t.Errorf("average stretch %v < 1 (impossible)", s)
+	}
+}
+
+// The headline property: on unit-length graphs the average stretch must
+// stay well below n (a bad tree on a cycle has stretch ~n/3) and in the
+// 2^{O(√(log n log log n))} ballpark. We assert a generous polylog-ish
+// cap that a broken construction (e.g. a path tree on a random graph)
+// would blow through.
+func TestAverageStretchBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{64, 256, 512} {
+		g := graph.GNP(n, 8.0/float64(n), rng)
+		edges := fromGraph(g)
+		res, err := SpanningTree(n, edges, Config{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := AverageStretch(res, edges)
+		bound := 8 * math.Pow(2, math.Sqrt(math.Log2(float64(n))*math.Log2(math.Log2(float64(n)))))
+		if s > bound {
+			t.Errorf("n=%d: average stretch %.2f exceeds %.2f", n, s, bound)
+		}
+	}
+}
+
+// Multigraph + contraction support (the Theorem 3.1 statement): parallel
+// edges and repeated vertex ids must be handled.
+func TestMultigraphParallelEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	edges := []Edge{
+		{U: 0, V: 1, Len: 1},
+		{U: 0, V: 1, Len: 5},
+		{U: 1, V: 2, Len: 1},
+		{U: 1, V: 2, Len: 2},
+		{U: 2, V: 3, Len: 1},
+	}
+	res, err := SpanningTree(4, edges, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tree.N() != 4 {
+		t.Fatal("wrong size")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, err := SpanningTree(0, nil, Config{}, rng); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, err := SpanningTree(2, []Edge{{U: 0, V: 5, Len: 1}}, Config{}, rng); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := SpanningTree(2, []Edge{{U: 0, V: 1, Len: 0}}, Config{}, rng); err == nil {
+		t.Error("zero length accepted")
+	}
+	// Disconnected input must fail, not loop.
+	if _, err := SpanningTree(4, []Edge{{U: 0, V: 1, Len: 1}, {U: 2, V: 3, Len: 1}}, Config{}, rng); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+}
+
+func TestSingleVertex(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	res, err := SpanningTree(1, nil, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tree.N() != 1 {
+		t.Error("singleton tree wrong")
+	}
+}
+
+func TestAccountRoundsPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := graph.Grid(8, 8)
+	res, err := SpanningTree(g.N(), fromGraph(g), Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res.AccountRounds(g.N(), g.Diameter()); r <= 0 {
+		t.Errorf("AccountRounds = %d", r)
+	}
+	if res.PartitionCalls < res.Iterations {
+		t.Errorf("PartitionCalls %d < Iterations %d", res.PartitionCalls, res.Iterations)
+	}
+}
+
+// Expected stretch across seeds stays sane on the hard instance for tree
+// embeddings (the cycle: any spanning tree stretches one edge to n-1,
+// but the *average* stays ~2 because only one edge is stretched).
+func TestCycleAverageStretch(t *testing.T) {
+	n := 128
+	g := graph.Cycle(n)
+	edges := fromGraph(g)
+	var total float64
+	const seeds = 10
+	for s := int64(0); s < seeds; s++ {
+		rng := rand.New(rand.NewSource(100 + s))
+		res, err := SpanningTree(n, edges, Config{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += AverageStretch(res, edges)
+	}
+	avg := total / seeds
+	// One edge of stretch n-1 out of n edges contributes ~1 on average;
+	// anything beyond ~3 means the construction is broken.
+	if avg > 3.5 {
+		t.Errorf("cycle average stretch %.2f too high", avg)
+	}
+}
+
+func TestConfigOverrides(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.Grid(6, 6)
+	res, err := SpanningTree(g.N(), fromGraph(g), Config{ZExponent: 2, MaxRestarts: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Z <= 4 {
+		t.Errorf("Z = %v, want > 4 with exponent 2", res.Z)
+	}
+}

@@ -1,0 +1,215 @@
+// Package lsst constructs low average-stretch spanning trees on
+// multigraphs — Theorem 3.1 of the paper — using the algorithm of Alon,
+// Karp, Peleg and West driven by the low-diameter decomposition
+// SplitGraph/Partition of Blelloch et al. (Figures 4 and §7).
+//
+// The construction here follows the randomized process of the
+// distributed algorithm exactly (delayed multi-source BFS races, edge
+// classes, restart checks), so its output distribution — and therefore
+// the stretch guarantee — matches; the distributed round cost is
+// charged via the paper's own accounting (O(ρ·log²N·(D+√N)) per
+// Partition call, §7) with the measured ρ, iteration and restart
+// counts. See DESIGN.md §1 for the measured/accounted split.
+package lsst
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// splitEdge is an edge of the (contracted, unweighted) working graph.
+type splitEdge struct {
+	u, v int
+	id   int // index into the caller's edge array
+}
+
+// splitResult is one SplitGraph clustering.
+type splitResult struct {
+	cluster    []int // cluster id per node (source-node index)
+	parent     []int // BFS-tree parent per node (-1 at cluster centers)
+	parentEdge []int // edge id used to reach parent (-1 at centers)
+	depth      []int
+	maxDepth   int
+}
+
+// raceItem is a pending BFS arrival in the delayed multi-source race.
+type raceItem struct {
+	time   int // arrival time = delay + hops
+	source int // seeding node (race winner identity, ties by smaller)
+	node   int
+	parent int
+	edge   int
+}
+
+type raceHeap []raceItem
+
+func (h raceHeap) Len() int { return len(h) }
+func (h raceHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].source < h[j].source
+}
+func (h raceHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *raceHeap) Push(x any)   { *h = append(*h, x.(raceItem)) }
+func (h *raceHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// splitGraph runs Algorithm SplitGraph (Fig. 4) on an n-node unweighted
+// multigraph with target radius rho. The BFS races are resolved exactly
+// as in the distributed execution: a node joins the cluster of the first
+// BFS to visit it, ties broken by smaller source ID.
+func splitGraph(n int, adj [][]splitEdge, rho int, rng *rand.Rand) *splitResult {
+	res := &splitResult{
+		cluster:    make([]int, n),
+		parent:     make([]int, n),
+		parentEdge: make([]int, n),
+		depth:      make([]int, n),
+	}
+	for i := range res.cluster {
+		res.cluster[i] = -1
+		res.parent[i] = -1
+		res.parentEdge[i] = -1
+	}
+	// When the target radius reaches the graph size, every seed's ball
+	// covers its whole connected component, so the race degenerates to
+	// component clustering; shortcut to it. This also guarantees that
+	// the caller's radius-doubling fallback terminates on tiny working
+	// graphs, where the asymptotic seed fractions are ≥ 1 and the
+	// delayed race would otherwise produce all-singleton clusterings.
+	if rho >= n {
+		componentClusters(n, adj, res)
+		return res
+	}
+	logN := 1
+	for (1 << logN) < n {
+		logN++
+	}
+	maxDelay := rho / (2 * logN)
+
+	uncovered := make([]int, n)
+	for i := range uncovered {
+		uncovered[i] = i
+	}
+	var h raceHeap
+	for t := 1; t <= 2*logN && len(uncovered) > 0; t++ {
+		// Seed fraction 12·2^{t/2}/n of the uncovered nodes (Fig. 4 2a).
+		frac := 12.0 * pow2half(t) / float64(n)
+		var seeds []int
+		if frac >= 1 {
+			seeds = append(seeds, uncovered...)
+		} else {
+			for _, v := range uncovered {
+				if rng.Float64() < frac {
+					seeds = append(seeds, v)
+				}
+			}
+		}
+		if len(seeds) == 0 && t == 2*logN {
+			seeds = append(seeds, uncovered...)
+		}
+		radius := rho * (2*logN - (t - 1)) / (2 * logN)
+		h = h[:0]
+		budget := make(map[int]int, len(seeds))
+		for _, s := range seeds {
+			delay := 0
+			if maxDelay > 0 {
+				delay = rng.Intn(maxDelay + 1)
+			}
+			r := radius - delay
+			if r < 0 {
+				r = 0
+			}
+			// Encode the race deadline by pushing the seed at its delay;
+			// expansion stops when time-delay exceeds r (tracked below via
+			// the per-source budget).
+			heap.Push(&h, raceItem{time: delay, source: s, node: s, parent: -1, edge: -1})
+			budget[s] = delay + r
+		}
+		// Run the race restricted to uncovered nodes.
+		for h.Len() > 0 {
+			it := heap.Pop(&h).(raceItem)
+			v := it.node
+			if res.cluster[v] >= 0 {
+				continue
+			}
+			res.cluster[v] = it.source
+			res.parent[v] = it.parent
+			res.parentEdge[v] = it.edge
+			if it.parent >= 0 {
+				res.depth[v] = res.depth[it.parent] + 1
+				if res.depth[v] > res.maxDepth {
+					res.maxDepth = res.depth[v]
+				}
+			}
+			if it.time+1 > budget[it.source] {
+				continue
+			}
+			for _, e := range adj[v] {
+				w := other(e, v)
+				if res.cluster[w] < 0 {
+					heap.Push(&h, raceItem{time: it.time + 1, source: it.source, node: w, parent: v, edge: e.id})
+				}
+			}
+		}
+		next := uncovered[:0]
+		for _, v := range uncovered {
+			if res.cluster[v] < 0 {
+				next = append(next, v)
+			}
+		}
+		uncovered = next
+	}
+	// Any node still uncovered (radius-0 stragglers) becomes a singleton.
+	for _, v := range uncovered {
+		res.cluster[v] = v
+	}
+	return res
+}
+
+// componentClusters assigns one cluster per connected component, with a
+// BFS tree rooted at the smallest-index node of each component.
+func componentClusters(n int, adj [][]splitEdge, res *splitResult) {
+	for s := 0; s < n; s++ {
+		if res.cluster[s] >= 0 {
+			continue
+		}
+		res.cluster[s] = s
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, e := range adj[v] {
+				w := other(e, v)
+				if res.cluster[w] < 0 {
+					res.cluster[w] = s
+					res.parent[w] = v
+					res.parentEdge[w] = e.id
+					res.depth[w] = res.depth[v] + 1
+					if res.depth[w] > res.maxDepth {
+						res.maxDepth = res.depth[w]
+					}
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+}
+
+func other(e splitEdge, v int) int {
+	if e.u == v {
+		return e.v
+	}
+	return e.u
+}
+
+func pow2half(t int) float64 {
+	// 2^{t/2} without math.Pow in the hot loop.
+	x := 1.0
+	for i := 0; i < t/2; i++ {
+		x *= 2
+	}
+	if t%2 == 1 {
+		x *= 1.4142135623730951
+	}
+	return x
+}

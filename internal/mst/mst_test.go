@@ -1,0 +1,148 @@
+package mst
+
+import (
+	"math/rand"
+	"testing"
+
+	"distflow/internal/congest"
+	"distflow/internal/graph"
+)
+
+func network(g *graph.Graph) *congest.Network {
+	return congest.NewNetwork(g, congest.WithSeed(99))
+}
+
+func totalTreeWeight(g *graph.Graph, inTree []bool, maximize bool) int64 {
+	var w int64
+	for e, in := range inTree {
+		if in {
+			w += weight(g, e, maximize)
+		}
+	}
+	return w
+}
+
+func TestSpanningTreeMatchesKruskal(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.CapUniform(graph.GNP(24, 0.15, rng), 50, rng)
+		for _, maximize := range []bool{false, true} {
+			res, err := SpanningTree(network(g), maximize)
+			if err != nil {
+				t.Fatalf("trial %d maximize=%v: %v", trial, maximize, err)
+			}
+			_, wantW := Kruskal(g, maximize)
+			if res.TotalWeight != wantW {
+				t.Errorf("trial %d maximize=%v: weight %d, want %d", trial, maximize, res.TotalWeight, wantW)
+			}
+			count := 0
+			for _, in := range res.EdgeInTree {
+				if in {
+					count++
+				}
+			}
+			if count != g.N()-1 {
+				t.Errorf("tree has %d edges, want %d", count, g.N()-1)
+			}
+			if err := res.Tree.Validate(treeSubgraph(g, res.EdgeInTree)); err == nil {
+				// Tree validates against the full graph, not a subgraph;
+				// just check against g.
+				_ = err
+			}
+			if err := res.Tree.Validate(g); err != nil {
+				t.Errorf("tree invalid: %v", err)
+			}
+		}
+	}
+}
+
+// treeSubgraph is only used to document intent in the test above.
+func treeSubgraph(g *graph.Graph, inTree []bool) *graph.Graph { return g }
+
+func TestSpanningTreePath(t *testing.T) {
+	g := graph.Path(6)
+	res, err := SpanningTree(network(g), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, in := range res.EdgeInTree {
+		if !in {
+			t.Errorf("path edge %d not in tree", e)
+		}
+	}
+}
+
+func TestMaxWeightPicksHeavyEdges(t *testing.T) {
+	// Triangle with capacities 1, 10, 20: max-weight tree keeps 10 and 20.
+	g := graph.New(3)
+	e1 := g.AddEdge(0, 1, 1)
+	e10 := g.AddEdge(1, 2, 10)
+	e20 := g.AddEdge(0, 2, 20)
+	res, err := SpanningTree(network(g), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EdgeInTree[e1] || !res.EdgeInTree[e10] || !res.EdgeInTree[e20] {
+		t.Errorf("max-weight tree wrong: %v", res.EdgeInTree)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	g := graph.New(1)
+	res, err := SpanningTree(network(g), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tree == nil || len(res.EdgeInTree) != 0 {
+		t.Error("single node tree wrong")
+	}
+}
+
+func TestDisconnectedErrors(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	if _, err := SpanningTree(network(g), false); err == nil {
+		t.Error("expected error on disconnected graph")
+	}
+}
+
+func TestParallelEdgesPreferCheapest(t *testing.T) {
+	g := graph.New(2)
+	heavy := g.AddEdge(0, 1, 9)
+	light := g.AddEdge(0, 1, 2)
+	res, err := SpanningTree(network(g), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EdgeInTree[light] || res.EdgeInTree[heavy] {
+		t.Errorf("min tree should use light parallel edge: %v", res.EdgeInTree)
+	}
+}
+
+func TestKruskalDeterministicTieBreak(t *testing.T) {
+	g := graph.Cycle(4) // all unit capacities: ties broken by edge index
+	inTree, _ := Kruskal(g, false)
+	want := []bool{true, true, true, false}
+	for e := range want {
+		if inTree[e] != want[e] {
+			t.Errorf("Kruskal tie-break: edge %d = %v, want %v", e, inTree[e], want[e])
+		}
+	}
+}
+
+func TestBoruvkaPhasesLogarithmic(t *testing.T) {
+	// On a cycle all weights distinct: phases ≈ log2 n; rounds stay far
+	// below the O(n log n) absolute worst case for small n.
+	g := graph.New(32)
+	for i := 0; i < 32; i++ {
+		g.AddEdge(i, (i+1)%32, int64(1+i))
+	}
+	res, err := SpanningTree(network(g), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds > 32*12 {
+		t.Errorf("rounds = %d, unexpectedly high", res.Stats.Rounds)
+	}
+}

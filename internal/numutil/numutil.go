@@ -1,0 +1,138 @@
+// Package numutil provides numerically stable primitives used by the
+// gradient-descent flow solver: the symmetric soft-max from Sherman's
+// framework, log-sum-exp, and small arithmetic helpers.
+//
+// The soft-max of a vector y is
+//
+//	smax(y) = log Σ_i (e^{y_i} + e^{-y_i}),
+//
+// a differentiable overestimate of max_i |y_i| that is tight up to an
+// additive log(2k). Potentials in AlmostRoute are Θ(ε⁻¹ log n), so the raw
+// exponentials overflow float64 for small ε; every function here evaluates
+// in shifted form.
+package numutil
+
+import "math"
+
+// SoftMax returns smax(y) = log Σ_i (e^{y_i} + e^{-y_i}) evaluated stably.
+// For an empty slice it returns math.Inf(-1) (the log of an empty sum).
+func SoftMax(y []float64) float64 {
+	if len(y) == 0 {
+		return math.Inf(-1)
+	}
+	m := 0.0
+	for _, v := range y {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	var sum float64
+	for _, v := range y {
+		sum += math.Exp(v-m) + math.Exp(-v-m)
+	}
+	return m + math.Log(sum)
+}
+
+// SoftMaxGrad writes into grad the gradient of SoftMax at y:
+//
+//	∂smax/∂y_i = (e^{y_i} - e^{-y_i}) / Σ_j (e^{y_j} + e^{-y_j}).
+//
+// grad must have len(y). It returns the soft-max value as well, since the
+// two are always needed together and share the shifted sum.
+func SoftMaxGrad(y []float64, grad []float64) float64 {
+	if len(grad) != len(y) {
+		panic("numutil: grad length mismatch")
+	}
+	if len(y) == 0 {
+		return math.Inf(-1)
+	}
+	m := 0.0
+	for _, v := range y {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	var sum float64
+	for i, v := range y {
+		p := math.Exp(v - m)
+		q := math.Exp(-v - m)
+		sum += p + q
+		grad[i] = p - q
+	}
+	inv := 1 / sum
+	for i := range grad {
+		grad[i] *= inv
+	}
+	return m + math.Log(sum)
+}
+
+// LogSumExp returns log Σ_i e^{y_i} evaluated stably.
+func LogSumExp(y []float64) float64 {
+	if len(y) == 0 {
+		return math.Inf(-1)
+	}
+	m := math.Inf(-1)
+	for _, v := range y {
+		if v > m {
+			m = v
+		}
+	}
+	if math.IsInf(m, -1) {
+		return m
+	}
+	var sum float64
+	for _, v := range y {
+		sum += math.Exp(v - m)
+	}
+	return m + math.Log(sum)
+}
+
+// AbsMax returns max_i |y_i|, or 0 for an empty slice.
+func AbsMax(y []float64) float64 {
+	m := 0.0
+	for _, v := range y {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Sgn returns -1, 0, or 1 according to the sign of x.
+func Sgn(x float64) float64 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// CeilLog2 returns ⌈log₂ x⌉ for x ≥ 1, and 0 for x ≤ 1.
+func CeilLog2(x int64) int {
+	if x <= 1 {
+		return 0
+	}
+	k := 0
+	v := x - 1
+	for v > 0 {
+		v >>= 1
+		k++
+	}
+	return k
+}
+
+// ILog2 returns ⌊log₂ x⌋ for x ≥ 1; it panics for x ≤ 0.
+func ILog2(x int64) int {
+	if x <= 0 {
+		panic("numutil: ILog2 of non-positive value")
+	}
+	k := -1
+	for x > 0 {
+		x >>= 1
+		k++
+	}
+	return k
+}

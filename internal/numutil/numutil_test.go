@@ -1,0 +1,216 @@
+package numutil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSoftMaxSmall(t *testing.T) {
+	tests := []struct {
+		name string
+		y    []float64
+		want float64
+	}{
+		{"zero", []float64{0}, math.Log(2)},
+		{"one", []float64{1}, math.Log(math.E + 1/math.E)},
+		{"sym", []float64{3, -3}, math.Log(2*math.Exp(3) + 2*math.Exp(-3))},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := SoftMax(tc.y)
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("SoftMax(%v) = %v, want %v", tc.y, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSoftMaxEmpty(t *testing.T) {
+	if got := SoftMax(nil); !math.IsInf(got, -1) {
+		t.Errorf("SoftMax(nil) = %v, want -Inf", got)
+	}
+	if got := LogSumExp(nil); !math.IsInf(got, -1) {
+		t.Errorf("LogSumExp(nil) = %v, want -Inf", got)
+	}
+}
+
+// smax must dominate max|y_i| and be within log(2k) of it.
+func TestSoftMaxBracketsMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		y := make([]float64, len(raw))
+		for i, v := range raw {
+			// Clamp quick-generated values into a sane range.
+			y[i] = math.Mod(v, 50)
+			if math.IsNaN(y[i]) {
+				y[i] = 0
+			}
+		}
+		s := SoftMax(y)
+		m := AbsMax(y)
+		upper := m + math.Log(2*float64(len(y)))
+		return s >= m-1e-9 && s <= upper+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// SoftMax must not overflow for large inputs where naive exp would.
+func TestSoftMaxLargeValues(t *testing.T) {
+	y := []float64{5000, -4999, 4998}
+	got := SoftMax(y)
+	if math.IsInf(got, 1) || math.IsNaN(got) {
+		t.Fatalf("SoftMax overflowed: %v", got)
+	}
+	if math.Abs(got-5000) > 1 {
+		t.Errorf("SoftMax(%v) = %v, want ~5000", y, got)
+	}
+}
+
+// Gradient checked against central finite differences.
+func TestSoftMaxGradFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = rng.NormFloat64() * 3
+		}
+		grad := make([]float64, n)
+		SoftMaxGrad(y, grad)
+		const h = 1e-6
+		for i := 0; i < n; i++ {
+			yp := append([]float64(nil), y...)
+			ym := append([]float64(nil), y...)
+			yp[i] += h
+			ym[i] -= h
+			fd := (SoftMax(yp) - SoftMax(ym)) / (2 * h)
+			if math.Abs(fd-grad[i]) > 1e-5 {
+				t.Fatalf("trial %d coord %d: grad %v, finite-diff %v (y=%v)", trial, i, grad[i], fd, y)
+			}
+		}
+	}
+}
+
+func TestSoftMaxGradValueMatchesSoftMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(16)
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = rng.NormFloat64() * 10
+		}
+		grad := make([]float64, n)
+		v1 := SoftMaxGrad(y, grad)
+		v2 := SoftMax(y)
+		if math.Abs(v1-v2) > 1e-12*math.Max(1, math.Abs(v2)) {
+			t.Fatalf("value mismatch: %v vs %v", v1, v2)
+		}
+	}
+}
+
+func TestSoftMaxGradLenMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on grad length mismatch")
+		}
+	}()
+	SoftMaxGrad([]float64{1, 2}, make([]float64, 1))
+}
+
+// Gradient entries are bounded by 1 in absolute value and sum of |g| <= 1.
+func TestSoftMaxGradBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		y := make([]float64, len(raw))
+		for i, v := range raw {
+			y[i] = math.Mod(v, 100)
+			if math.IsNaN(y[i]) {
+				y[i] = 0
+			}
+		}
+		grad := make([]float64, len(y))
+		SoftMaxGrad(y, grad)
+		var sum float64
+		for _, g := range grad {
+			if math.Abs(g) > 1+1e-12 {
+				return false
+			}
+			sum += math.Abs(g)
+		}
+		return sum <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	y := []float64{1, 2, 3}
+	want := math.Log(math.Exp(1) + math.Exp(2) + math.Exp(3))
+	if got := LogSumExp(y); math.Abs(got-want) > 1e-12 {
+		t.Errorf("LogSumExp = %v, want %v", got, want)
+	}
+	// Stability.
+	if got := LogSumExp([]float64{10000, 9999}); math.IsInf(got, 1) {
+		t.Error("LogSumExp overflowed")
+	}
+}
+
+func TestSgn(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want float64
+	}{{1.5, 1}, {-2, -1}, {0, 0}, {math.Copysign(0, -1), 0}}
+	for _, tc := range tests {
+		if got := Sgn(tc.in); got != tc.want {
+			t.Errorf("Sgn(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	tests := []struct {
+		in   int64
+		want int
+	}{{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11}}
+	for _, tc := range tests {
+		if got := CeilLog2(tc.in); got != tc.want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestILog2(t *testing.T) {
+	tests := []struct {
+		in   int64
+		want int
+	}{{1, 0}, {2, 1}, {3, 1}, {4, 2}, {1023, 9}, {1024, 10}}
+	for _, tc := range tests {
+		if got := ILog2(tc.in); got != tc.want {
+			t.Errorf("ILog2(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for ILog2(0)")
+		}
+	}()
+	ILog2(0)
+}
+
+func TestAbsMax(t *testing.T) {
+	if got := AbsMax(nil); got != 0 {
+		t.Errorf("AbsMax(nil) = %v, want 0", got)
+	}
+	if got := AbsMax([]float64{-5, 3}); got != 5 {
+		t.Errorf("AbsMax = %v, want 5", got)
+	}
+}

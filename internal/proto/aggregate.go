@@ -1,0 +1,368 @@
+package proto
+
+import (
+	"fmt"
+	"sort"
+
+	"distflow/internal/congest"
+)
+
+// Tree-based aggregation primitives. Each Program below uses only the
+// node-local part of a Tree (parent edge and child edges), handed to it
+// at construction; the round counts are measured by the simulator.
+
+// localTree is the node-local view of a rooted tree.
+type localTree struct {
+	isRoot     bool
+	parentEdge int
+	childEdges []int
+}
+
+func localViews(t *Tree) []localTree {
+	n := len(t.Parent)
+	views := make([]localTree, n)
+	for v := 0; v < n; v++ {
+		views[v] = localTree{
+			isRoot:     v == t.Root,
+			parentEdge: t.ParentEdge[v],
+			childEdges: t.ChildEdge[v],
+		}
+	}
+	return views
+}
+
+// --- Convergecast ---
+
+type convergecastNode struct {
+	lt       localTree
+	value    float64
+	op       func(a, b float64) float64
+	pending  int
+	sent     bool
+	received bool // root: all children reported
+}
+
+func (c *convergecastNode) Step(ctx *congest.Context, in []congest.Incoming) ([]congest.Outgoing, bool) {
+	for _, m := range in {
+		msg, ok := m.Msg.(congest.FloatMsg)
+		if !ok {
+			continue
+		}
+		c.value = c.op(c.value, msg.Value)
+		c.pending--
+	}
+	if c.pending == 0 && !c.sent {
+		c.sent = true
+		if c.lt.isRoot {
+			c.received = true
+			return nil, true
+		}
+		return []congest.Outgoing{{Edge: c.lt.parentEdge, Msg: congest.FloatMsg{Value: c.value}}}, true
+	}
+	return nil, c.sent
+}
+
+// Convergecast aggregates per-node values up the tree with the
+// associative, commutative operation op. It returns the aggregate over
+// each node's subtree (index v = aggregate of the subtree rooted at v);
+// the root entry is the global aggregate. Runs in height+1 rounds.
+func Convergecast(nw *congest.Network, t *Tree, values []float64, op func(a, b float64) float64) ([]float64, congest.Stats, error) {
+	views := localViews(t)
+	nodes := make([]*convergecastNode, len(views))
+	stats, err := nw.Run(func(v int, ctx *congest.Context) congest.Program {
+		nodes[v] = &convergecastNode{lt: views[v], value: values[v], op: op, pending: len(views[v].childEdges)}
+		return nodes[v]
+	}, 2*t.Height+16)
+	if err != nil {
+		return nil, stats, fmt.Errorf("proto: convergecast: %w", err)
+	}
+	out := make([]float64, len(views))
+	for v, nd := range nodes {
+		out[v] = nd.value
+	}
+	return out, stats, nil
+}
+
+// SubtreeSums is Convergecast with addition — the operation used to
+// evaluate the congestion approximator's y-values (Fig. 2 / §9.1 (1)).
+func SubtreeSums(nw *congest.Network, t *Tree, values []float64) ([]float64, congest.Stats, error) {
+	return Convergecast(nw, t, values, func(a, b float64) float64 { return a + b })
+}
+
+// --- Broadcast / downcast ---
+
+type downcastNode struct {
+	lt        localTree
+	value     float64 // node's own contribution
+	prefix    float64
+	havePfx   bool
+	forwarded bool
+}
+
+func (d *downcastNode) Step(ctx *congest.Context, in []congest.Incoming) ([]congest.Outgoing, bool) {
+	if d.lt.isRoot && !d.havePfx {
+		d.prefix = d.value
+		d.havePfx = true
+	}
+	for _, m := range in {
+		if msg, ok := m.Msg.(congest.FloatMsg); ok && !d.havePfx {
+			d.prefix = msg.Value + d.value
+			d.havePfx = true
+		}
+	}
+	if d.havePfx && !d.forwarded {
+		d.forwarded = true
+		outs := make([]congest.Outgoing, 0, len(d.lt.childEdges))
+		for _, e := range d.lt.childEdges {
+			outs = append(outs, congest.Outgoing{Edge: e, Msg: congest.FloatMsg{Value: d.prefix}})
+		}
+		return outs, true
+	}
+	return nil, d.forwarded
+}
+
+// DowncastPrefixSums pushes root-to-leaf prefix sums down the tree:
+// prefix[v] = Σ of values on the root→v path (inclusive). This is the
+// node-potential computation π of §9.1 (2). Runs in height+1 rounds.
+func DowncastPrefixSums(nw *congest.Network, t *Tree, values []float64) ([]float64, congest.Stats, error) {
+	views := localViews(t)
+	nodes := make([]*downcastNode, len(views))
+	stats, err := nw.Run(func(v int, ctx *congest.Context) congest.Program {
+		nodes[v] = &downcastNode{lt: views[v], value: values[v]}
+		return nodes[v]
+	}, 2*t.Height+16)
+	if err != nil {
+		return nil, stats, fmt.Errorf("proto: downcast: %w", err)
+	}
+	out := make([]float64, len(views))
+	for v, nd := range nodes {
+		out[v] = nd.prefix
+	}
+	return out, stats, nil
+}
+
+// Broadcast sends the root's value to every node (height+1 rounds).
+func Broadcast(nw *congest.Network, t *Tree, rootValue float64) ([]float64, congest.Stats, error) {
+	values := make([]float64, len(t.Parent))
+	values[t.Root] = rootValue
+	return DowncastPrefixSums(nw, t, values)
+}
+
+// --- Pipelined gather-and-broadcast (Lemma 5.1 style) ---
+
+// Item is a keyed value gathered across the network.
+type Item struct {
+	Key   int64
+	Value float64
+}
+
+// gatherNode pipelines arbitrary payload messages up the tree to the
+// root and streams the full collection back down. Direction is inferred
+// from the arrival edge (parent edge = downward traffic, child edge =
+// upward traffic); an Empty message is the end-of-stream marker in
+// either direction, so payloads need no protocol tags.
+type gatherNode struct {
+	lt           localTree
+	upQueue      []congest.Message
+	collected    []congest.Message
+	endsPending  int // child END markers not yet seen
+	upEndSent    bool
+	downQueue    []congest.Message
+	downEndSeen  bool
+	downEndSent  bool
+	rootBcasting bool
+}
+
+func (gn *gatherNode) Step(ctx *congest.Context, in []congest.Incoming) ([]congest.Outgoing, bool) {
+	for _, m := range in {
+		fromParent := !gn.lt.isRoot && m.Edge == gn.lt.parentEdge
+		if _, isEnd := m.Msg.(congest.Empty); isEnd {
+			if fromParent {
+				gn.downEndSeen = true
+			} else {
+				gn.endsPending--
+			}
+			continue
+		}
+		if fromParent {
+			gn.collected = append(gn.collected, m.Msg)
+			gn.downQueue = append(gn.downQueue, m.Msg)
+		} else {
+			gn.upQueue = append(gn.upQueue, m.Msg)
+			if gn.lt.isRoot {
+				gn.collected = append(gn.collected, m.Msg)
+			}
+		}
+	}
+
+	var outs []congest.Outgoing
+
+	if gn.lt.isRoot {
+		// Root: once the up-phase is complete, stream everything down.
+		if gn.endsPending == 0 && !gn.rootBcasting {
+			gn.rootBcasting = true
+			gn.downQueue = append([]congest.Message(nil), gn.collected...)
+		}
+		if gn.rootBcasting {
+			if len(gn.downQueue) > 0 {
+				it := gn.downQueue[0]
+				gn.downQueue = gn.downQueue[1:]
+				for _, e := range gn.lt.childEdges {
+					outs = append(outs, congest.Outgoing{Edge: e, Msg: it})
+				}
+				return outs, false
+			}
+			if !gn.downEndSent {
+				gn.downEndSent = true
+				for _, e := range gn.lt.childEdges {
+					outs = append(outs, congest.Outgoing{Edge: e, Msg: congest.Empty{}})
+				}
+				return outs, true
+			}
+		}
+		return nil, gn.downEndSent
+	}
+
+	// Non-root: upward streaming first.
+	if !gn.upEndSent {
+		if len(gn.upQueue) > 0 {
+			it := gn.upQueue[0]
+			gn.upQueue = gn.upQueue[1:]
+			return []congest.Outgoing{{Edge: gn.lt.parentEdge, Msg: it}}, false
+		}
+		if gn.endsPending == 0 {
+			gn.upEndSent = true
+			return []congest.Outgoing{{Edge: gn.lt.parentEdge, Msg: congest.Empty{}}}, false
+		}
+		return nil, false
+	}
+	// Downward forwarding.
+	if len(gn.downQueue) > 0 {
+		it := gn.downQueue[0]
+		gn.downQueue = gn.downQueue[1:]
+		for _, e := range gn.lt.childEdges {
+			outs = append(outs, congest.Outgoing{Edge: e, Msg: it})
+		}
+		return outs, false
+	}
+	if gn.downEndSeen && !gn.downEndSent {
+		gn.downEndSent = true
+		for _, e := range gn.lt.childEdges {
+			outs = append(outs, congest.Outgoing{Edge: e, Msg: congest.Empty{}})
+		}
+		return outs, true
+	}
+	return nil, gn.downEndSent
+}
+
+// GatherBroadcastMsgs makes the union of all nodes' payload messages
+// known to every node by pipelining them up the tree and streaming them
+// back down: O(height + k) rounds for k total items — the schedule
+// Lemma 5.1 uses to publish the O(√n) summaries of large clusters.
+// Payloads must not be congest.Empty (reserved as the end marker). It
+// returns the collection as received at the root.
+func GatherBroadcastMsgs(nw *congest.Network, t *Tree, items [][]congest.Message) ([]congest.Message, congest.Stats, error) {
+	views := localViews(t)
+	total := 0
+	for _, its := range items {
+		total += len(its)
+		for _, m := range its {
+			if _, bad := m.(congest.Empty); bad {
+				return nil, congest.Stats{}, fmt.Errorf("proto: gather: Empty payload is reserved")
+			}
+		}
+	}
+	nodes := make([]*gatherNode, len(views))
+	stats, err := nw.Run(func(v int, ctx *congest.Context) congest.Program {
+		gn := &gatherNode{
+			lt:          views[v],
+			upQueue:     append([]congest.Message(nil), items[v]...),
+			endsPending: len(views[v].childEdges),
+		}
+		if views[v].isRoot {
+			gn.collected = append(gn.collected, items[v]...)
+			gn.upQueue = nil
+		}
+		nodes[v] = gn
+		return gn
+	}, 4*(t.Height+total)+32)
+	if err != nil {
+		return nil, stats, fmt.Errorf("proto: gather: %w", err)
+	}
+	out := nodes[t.Root].collected
+	// Every node must have collected the same set; spot-verify sizes.
+	for v, nd := range nodes {
+		if len(nd.collected) != len(out) {
+			return nil, stats, fmt.Errorf("proto: gather: node %d collected %d of %d items", v, len(nd.collected), len(out))
+		}
+	}
+	return out, stats, nil
+}
+
+// GatherBroadcast is GatherBroadcastMsgs specialized to keyed float
+// items; the result is sorted by key. Keys should be globally unique.
+func GatherBroadcast(nw *congest.Network, t *Tree, items [][]Item) ([]Item, congest.Stats, error) {
+	msgs := make([][]congest.Message, len(items))
+	for v, its := range items {
+		for _, it := range its {
+			msgs[v] = append(msgs[v], congest.KVMsg{Key: it.Key, Value: it.Value})
+		}
+	}
+	raw, stats, err := GatherBroadcastMsgs(nw, t, msgs)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]Item, 0, len(raw))
+	for _, m := range raw {
+		kv, ok := m.(congest.KVMsg)
+		if !ok {
+			return nil, stats, fmt.Errorf("proto: gather: unexpected payload %T", m)
+		}
+		out = append(out, Item{Key: kv.Key, Value: kv.Value})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, stats, nil
+}
+
+// --- Flood-min ---
+
+type floodMin struct {
+	best     int64
+	improved bool
+}
+
+func (f *floodMin) Step(ctx *congest.Context, in []congest.Incoming) ([]congest.Outgoing, bool) {
+	for _, m := range in {
+		if msg, ok := m.Msg.(congest.IntMsg); ok && msg.Value < f.best {
+			f.best = msg.Value
+			f.improved = true
+		}
+	}
+	if f.improved || ctx.Round == 1 {
+		f.improved = false
+		outs := make([]congest.Outgoing, 0, ctx.Degree())
+		for i := 0; i < ctx.Degree(); i++ {
+			outs = append(outs, congest.Outgoing{Edge: ctx.Arc(i).E, Msg: congest.IntMsg{Value: f.best}})
+		}
+		return outs, false
+	}
+	return nil, true
+}
+
+// FloodMin computes min_v values[v] at every node by flooding improvements
+// (used for leader election: values[v] = node ID). O(D) rounds.
+func FloodMin(nw *congest.Network, values []int64) ([]int64, congest.Stats, error) {
+	nodes := make([]*floodMin, nw.Graph().N())
+	stats, err := nw.Run(func(v int, ctx *congest.Context) congest.Program {
+		nodes[v] = &floodMin{best: values[v]}
+		return nodes[v]
+	}, 4*nw.Graph().N()+16)
+	if err != nil {
+		return nil, stats, fmt.Errorf("proto: floodmin: %w", err)
+	}
+	out := make([]int64, len(nodes))
+	for v, nd := range nodes {
+		out[v] = nd.best
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,157 @@
+package proto
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distflow/internal/congest"
+	"distflow/internal/graph"
+)
+
+// randomSetup builds a connected graph, a BFS tree on it and per-node
+// values from a seed.
+func randomSetup(t *testing.T, seed int64) (*graph.Graph, *Tree, []float64, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(30)
+	g := graph.GNP(n, 3.0/float64(n), rng)
+	tree, _, err := BuildBFSTree(congest.NewNetwork(g, congest.WithSeed(seed)), rng.Intn(n))
+	if err != nil {
+		t.Fatalf("bfs: %v", err)
+	}
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = rng.NormFloat64() * 10
+	}
+	return g, tree, values, rng
+}
+
+// Convergecast with addition computes exact subtree sums: the root
+// aggregate equals the plain sum, and each node's aggregate equals the
+// recomputed subtree total.
+func TestQuickConvergecastExact(t *testing.T) {
+	prop := func(seed int64) bool {
+		g, tree, values, _ := randomSetup(t, seed)
+		sums, _, err := SubtreeSums(congest.NewNetwork(g, congest.WithSeed(seed)), tree, values)
+		if err != nil {
+			return false
+		}
+		// Recompute subtree sums bottom-up from the tree structure.
+		want := append([]float64(nil), values...)
+		order := make([]int, 0, g.N())
+		order = append(order, tree.Root)
+		for i := 0; i < len(order); i++ {
+			order = append(order, tree.Children[order[i]]...)
+		}
+		for i := len(order) - 1; i > 0; i-- {
+			v := order[i]
+			want[tree.Parent[v]] += want[v]
+		}
+		for v := range want {
+			if math.Abs(sums[v]-want[v]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Downcast prefix sums equal the recomputed root-path sums.
+func TestQuickDowncastExact(t *testing.T) {
+	prop := func(seed int64) bool {
+		g, tree, values, _ := randomSetup(t, seed)
+		pfx, _, err := DowncastPrefixSums(congest.NewNetwork(g, congest.WithSeed(seed)), tree, values)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < g.N(); v++ {
+			want := 0.0
+			for x := v; ; x = tree.Parent[x] {
+				want += values[x]
+				if x == tree.Root {
+					break
+				}
+			}
+			if math.Abs(pfx[v]-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// GatherBroadcast delivers exactly the multiset of items, to every node,
+// within the pipelining round bound.
+func TestQuickGatherComplete(t *testing.T) {
+	prop := func(seed int64) bool {
+		g, tree, _, rng := randomSetup(t, seed)
+		items := make([][]Item, g.N())
+		want := map[int64]float64{}
+		key := int64(0)
+		total := 0
+		for v := 0; v < g.N(); v++ {
+			k := rng.Intn(3)
+			for i := 0; i < k; i++ {
+				it := Item{Key: key, Value: rng.NormFloat64()}
+				key++
+				items[v] = append(items[v], it)
+				want[it.Key] = it.Value
+				total++
+			}
+		}
+		all, stats, err := GatherBroadcast(congest.NewNetwork(g, congest.WithSeed(seed)), tree, items)
+		if err != nil {
+			return false
+		}
+		if len(all) != total {
+			return false
+		}
+		for _, it := range all {
+			if want[it.Key] != it.Value {
+				return false
+			}
+		}
+		return stats.Rounds <= 4*(tree.Height+total)+32
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FloodMin converges to the global minimum regardless of topology.
+func TestQuickFloodMin(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		g := graph.GNP(n, 4.0/float64(n), rng)
+		values := make([]int64, n)
+		min := int64(math.MaxInt64)
+		for i := range values {
+			values[i] = rng.Int63n(1000) - 500
+			if values[i] < min {
+				min = values[i]
+			}
+		}
+		mins, _, err := FloodMin(congest.NewNetwork(g, congest.WithSeed(seed)), values)
+		if err != nil {
+			return false
+		}
+		for _, m := range mins {
+			if m != min {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

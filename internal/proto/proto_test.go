@@ -1,0 +1,289 @@
+package proto
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distflow/internal/congest"
+	"distflow/internal/graph"
+)
+
+func network(g *graph.Graph) *congest.Network {
+	return congest.NewNetwork(g, WithTestSeed())
+}
+
+// WithTestSeed keeps test networks deterministic.
+func WithTestSeed() congest.Option { return congest.WithSeed(12345) }
+
+func TestBFSTreePath(t *testing.T) {
+	g := graph.Path(8)
+	tree, stats, err := BuildBFSTree(network(g), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Height != 7 {
+		t.Errorf("Height = %d, want 7", tree.Height)
+	}
+	// BFS on a path from one end needs ~n rounds.
+	if stats.Rounds < 8 || stats.Rounds > 16 {
+		t.Errorf("Rounds = %d, want ≈ 8-10", stats.Rounds)
+	}
+}
+
+func TestBFSTreeGridDepthsMatchBFS(t *testing.T) {
+	g := graph.Grid(6, 5)
+	root := 7
+	tree, _, err := BuildBFSTree(network(g), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	dist, _ := g.BFS(root)
+	for v := range dist {
+		if tree.Depth[v] != dist[v] {
+			t.Errorf("Depth[%d] = %d, want %d", v, tree.Depth[v], dist[v])
+		}
+	}
+}
+
+func TestBFSTreeChildrenConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.GNP(40, 0.1, rng)
+	tree, _, err := BuildBFSTree(network(g), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Children lists must mirror parent pointers exactly.
+	count := 0
+	for v, kids := range tree.Children {
+		for i, c := range kids {
+			if tree.Parent[c] != v {
+				t.Fatalf("child %d of %d has parent %d", c, v, tree.Parent[c])
+			}
+			if tree.ChildEdge[v][i] != tree.ParentEdge[c] {
+				t.Fatalf("edge mismatch for child %d of %d", c, v)
+			}
+			count++
+		}
+	}
+	if count != g.N()-1 {
+		t.Errorf("children edges = %d, want %d", count, g.N()-1)
+	}
+}
+
+func TestBFSTreeDisconnectedErrors(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	if _, _, err := BuildBFSTree(network(g), 0); err == nil {
+		t.Error("expected error for disconnected graph")
+	}
+}
+
+func TestBFSRoundsScaleWithEccentricity(t *testing.T) {
+	// Measured rounds must track ecc(root), not n: an expander with a
+	// path tail rooted in the expander should finish in ~pathLen rounds.
+	rng := rand.New(rand.NewSource(4))
+	g := graph.ExpanderPath(64, 4, 16, rng)
+	tree, stats, err := BuildBFSTree(network(g), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds > 3*(tree.Height+3) {
+		t.Errorf("Rounds = %d far exceeds height %d", stats.Rounds, tree.Height)
+	}
+}
+
+func TestSubtreeSums(t *testing.T) {
+	g := graph.Path(5)
+	tree, _, err := BuildBFSTree(network(g), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := []float64{1, 2, 3, 4, 5}
+	sums, stats, err := SubtreeSums(network(g), tree, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{15, 14, 12, 9, 5}
+	for v := range want {
+		if sums[v] != want[v] {
+			t.Errorf("sums[%d] = %v, want %v", v, sums[v], want[v])
+		}
+	}
+	if stats.Rounds > tree.Height+3 {
+		t.Errorf("convergecast rounds %d exceed height+3 = %d", stats.Rounds, tree.Height+3)
+	}
+}
+
+func TestConvergecastMax(t *testing.T) {
+	g := graph.Grid(4, 4)
+	tree, _, err := BuildBFSTree(network(g), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]float64, g.N())
+	for v := range values {
+		values[v] = float64((v * 7) % 13)
+	}
+	agg, _, err := Convergecast(network(g), tree, values, math.Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for _, x := range values {
+		want = math.Max(want, x)
+	}
+	if agg[tree.Root] != want {
+		t.Errorf("root max = %v, want %v", agg[tree.Root], want)
+	}
+}
+
+func TestDowncastPrefixSums(t *testing.T) {
+	g := graph.Path(4)
+	tree, _, err := BuildBFSTree(network(g), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := []float64{1, 10, 100, 1000}
+	prefix, _, err := DowncastPrefixSums(network(g), tree, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 11, 111, 1111}
+	for v := range want {
+		if prefix[v] != want[v] {
+			t.Errorf("prefix[%d] = %v, want %v", v, prefix[v], want[v])
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	g := graph.Grid(3, 3)
+	tree, _, err := BuildBFSTree(network(g), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Broadcast(network(g), tree, 3.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, x := range got {
+		if x != 3.25 {
+			t.Errorf("node %d got %v", v, x)
+		}
+	}
+}
+
+func TestGatherBroadcast(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.GNP(30, 0.12, rng)
+	tree, _, err := BuildBFSTree(network(g), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([][]Item, g.N())
+	total := 0
+	for v := 0; v < g.N(); v += 3 {
+		items[v] = []Item{{Key: int64(v), Value: float64(v) * 1.5}}
+		total++
+	}
+	all, stats, err := GatherBroadcast(network(g), tree, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != total {
+		t.Fatalf("gathered %d items, want %d", len(all), total)
+	}
+	for i, it := range all {
+		if it.Key != int64(3*i) || it.Value != float64(3*i)*1.5 {
+			t.Errorf("item %d = %+v", i, it)
+		}
+	}
+	// Pipelining bound: O(height + k).
+	bound := 4*(tree.Height+total) + 32
+	if stats.Rounds > bound {
+		t.Errorf("rounds %d exceed pipeline bound %d", stats.Rounds, bound)
+	}
+}
+
+func TestGatherBroadcastEmpty(t *testing.T) {
+	g := graph.Path(3)
+	tree, _, err := BuildBFSTree(network(g), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, _, err := GatherBroadcast(network(g), tree, make([][]Item, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 0 {
+		t.Errorf("want no items, got %d", len(all))
+	}
+}
+
+func TestGatherBroadcastSingleNode(t *testing.T) {
+	g := graph.New(1)
+	tree, err := TreeFromParents(g, 0, []int{-1}, []int{-1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, _, err := GatherBroadcast(network(g), tree, [][]Item{{{Key: 9, Value: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 || all[0].Key != 9 {
+		t.Errorf("got %+v", all)
+	}
+}
+
+func TestFloodMin(t *testing.T) {
+	g := graph.Cycle(9)
+	values := make([]int64, 9)
+	for v := range values {
+		values[v] = int64(100 - v)
+	}
+	mins, stats, err := FloodMin(network(g), values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, m := range mins {
+		if m != 92 {
+			t.Errorf("node %d min = %d, want 92", v, m)
+		}
+	}
+	if stats.Rounds > 9+4 {
+		t.Errorf("floodmin rounds = %d, want ≈ D", stats.Rounds)
+	}
+}
+
+func TestTreeFromParentsRejectsCycle(t *testing.T) {
+	g := graph.Cycle(3)
+	// parent pointers 0->1->2->0 form a cycle (root claims parent -1 but
+	// is also someone's child inconsistently).
+	_, err := TreeFromParents(g, 0, []int{-1, 0, 1}, []int{-1, 0, 1})
+	if err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+	if _, err := TreeFromParents(g, 0, []int{-1, 2, 1}, []int{-1, 1, 1}); err == nil {
+		t.Error("cyclic parents accepted")
+	}
+}
+
+func TestTreeValidateCatchesCorruption(t *testing.T) {
+	g := graph.Path(4)
+	tree, _, err := BuildBFSTree(network(g), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Depth[2] = 7
+	if err := tree.Validate(g); err == nil {
+		t.Error("corrupted depth not detected")
+	}
+}

@@ -1,0 +1,227 @@
+// Package proto implements the standard CONGEST building blocks the
+// paper composes: BFS-tree construction, broadcast and convergecast on
+// trees, pipelined gather of k items in O(depth+k) rounds (the
+// "pipelining over a global BFS tree" of Lemma 5.1), and flood-based
+// minimum finding. Every primitive is a genuine message-passing Program
+// executed by the congest simulator; the returned Stats carry the
+// measured round counts that the experiments report.
+package proto
+
+import (
+	"fmt"
+
+	"distflow/internal/congest"
+	"distflow/internal/graph"
+)
+
+// Tree is the harness-side description of a rooted spanning tree that a
+// distributed phase produced. Per-node algorithms only ever used their
+// local part (parent edge, child edges); the aggregate view exists for
+// composition and verification.
+type Tree struct {
+	Root       int
+	Parent     []int   // parent vertex; -1 at root
+	ParentEdge []int   // graph edge to parent; -1 at root
+	Children   [][]int // child vertices
+	ChildEdge  [][]int // graph edge per child (aligned with Children)
+	Depth      []int   // hop depth from root
+	Height     int     // max depth
+}
+
+// Validate checks that t is a spanning tree of g rooted at t.Root.
+func (t *Tree) Validate(g *graph.Graph) error {
+	n := g.N()
+	if len(t.Parent) != n || len(t.Depth) != n {
+		return fmt.Errorf("proto: tree arrays sized %d, want %d", len(t.Parent), n)
+	}
+	if t.Parent[t.Root] != -1 || t.Depth[t.Root] != 0 {
+		return fmt.Errorf("proto: root %d has parent %d depth %d", t.Root, t.Parent[t.Root], t.Depth[t.Root])
+	}
+	seen := 0
+	for v := 0; v < n; v++ {
+		if v == t.Root {
+			seen++
+			continue
+		}
+		p := t.Parent[v]
+		if p < 0 || p >= n {
+			return fmt.Errorf("proto: node %d has no parent", v)
+		}
+		if t.Depth[v] != t.Depth[p]+1 {
+			return fmt.Errorf("proto: node %d depth %d, parent depth %d", v, t.Depth[v], t.Depth[p])
+		}
+		e := t.ParentEdge[v]
+		if e < 0 || e >= g.M() {
+			return fmt.Errorf("proto: node %d bad parent edge", v)
+		}
+		if g.Other(e, v) != p {
+			return fmt.Errorf("proto: node %d parent edge %d does not reach %d", v, e, p)
+		}
+		seen++
+	}
+	if seen != n {
+		return fmt.Errorf("proto: tree covers %d of %d nodes", seen, n)
+	}
+	return nil
+}
+
+// --- BFS tree construction ---
+
+const (
+	tagAnnounce uint8 = iota + 1
+	tagAck
+)
+
+type bfsNode struct {
+	root          bool
+	dist          int
+	parentArc     int
+	childArcs     []int
+	announceRound int // round in which this node sent its announcement; 0 = not yet
+}
+
+func (b *bfsNode) Step(ctx *congest.Context, in []congest.Incoming) ([]congest.Outgoing, bool) {
+	if b.announceRound == 0 && b.dist < 0 && b.root {
+		b.dist = 0
+	}
+	for _, m := range in {
+		msg, ok := m.Msg.(congest.IntMsg)
+		if !ok {
+			continue
+		}
+		arc := arcIndex(ctx, m.Edge)
+		switch msg.Tag {
+		case tagAnnounce:
+			if b.dist < 0 {
+				b.dist = int(msg.Value) + 1
+				b.parentArc = arc
+			}
+		case tagAck:
+			b.childArcs = append(b.childArcs, arc)
+		}
+	}
+	if b.dist >= 0 && b.announceRound == 0 {
+		b.announceRound = ctx.Round
+		outs := make([]congest.Outgoing, 0, ctx.Degree())
+		for i := 0; i < ctx.Degree(); i++ {
+			if i == b.parentArc {
+				outs = append(outs, congest.Outgoing{Edge: ctx.Arc(i).E, Msg: congest.IntMsg{Tag: tagAck}})
+				continue
+			}
+			outs = append(outs, congest.Outgoing{Edge: ctx.Arc(i).E, Msg: congest.IntMsg{Tag: tagAnnounce, Value: int64(b.dist)}})
+		}
+		return outs, false
+	}
+	// Acks from children arrive exactly two rounds after our announcement.
+	done := b.announceRound > 0 && ctx.Round >= b.announceRound+2
+	return nil, done
+}
+
+// arcIndex maps a global edge id back to the local arc index.
+func arcIndex(ctx *congest.Context, edge int) int {
+	for i, a := range ctx.Arcs() {
+		if a.E == edge {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("proto: edge %d not incident to node %d", edge, ctx.ID))
+}
+
+// BuildBFSTree constructs a BFS spanning tree of the network rooted at
+// root by flooding distance announcements; children acknowledge their
+// parent so every node learns its tree neighbourhood. It runs in
+// O(ecc(root)) rounds. The network graph must be connected.
+func BuildBFSTree(nw *congest.Network, root int) (*Tree, congest.Stats, error) {
+	g := nw.Graph()
+	n := g.N()
+	nodes := make([]*bfsNode, n)
+	stats, err := nw.Run(func(v int, ctx *congest.Context) congest.Program {
+		nodes[v] = &bfsNode{root: v == root, dist: -1, parentArc: -1}
+		return nodes[v]
+	}, 4*n+16)
+	if err != nil {
+		return nil, stats, fmt.Errorf("proto: bfs tree: %w", err)
+	}
+	t := &Tree{
+		Root:       root,
+		Parent:     make([]int, n),
+		ParentEdge: make([]int, n),
+		Children:   make([][]int, n),
+		ChildEdge:  make([][]int, n),
+		Depth:      make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		b := nodes[v]
+		if b.dist < 0 {
+			return nil, stats, fmt.Errorf("proto: node %d unreachable from root %d", v, root)
+		}
+		t.Depth[v] = b.dist
+		if b.dist > t.Height {
+			t.Height = b.dist
+		}
+		if v == root {
+			t.Parent[v], t.ParentEdge[v] = -1, -1
+		} else {
+			a := g.Adj(v)[b.parentArc]
+			t.Parent[v] = a.To
+			t.ParentEdge[v] = a.E
+		}
+		for _, ci := range b.childArcs {
+			a := g.Adj(v)[ci]
+			t.Children[v] = append(t.Children[v], a.To)
+			t.ChildEdge[v] = append(t.ChildEdge[v], a.E)
+		}
+	}
+	return t, stats, nil
+}
+
+// TreeFromParents builds a Tree value from parent pointers (for trees
+// computed by other phases, e.g. cluster spanning trees or the MST).
+// parentEdge[v] must connect v to parent[v] in g.
+func TreeFromParents(g *graph.Graph, root int, parent, parentEdge []int) (*Tree, error) {
+	n := g.N()
+	t := &Tree{
+		Root:       root,
+		Parent:     append([]int(nil), parent...),
+		ParentEdge: append([]int(nil), parentEdge...),
+		Children:   make([][]int, n),
+		ChildEdge:  make([][]int, n),
+		Depth:      make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		if v == root {
+			continue
+		}
+		p := parent[v]
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("proto: node %d has invalid parent %d", v, p)
+		}
+		t.Children[p] = append(t.Children[p], v)
+		t.ChildEdge[p] = append(t.ChildEdge[p], parentEdge[v])
+	}
+	// Depths via iterative DFS from root; also detects disconnection/cycles.
+	seen := 1
+	stack := []int{root}
+	visited := make([]bool, n)
+	visited[root] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range t.Children[v] {
+			if visited[c] {
+				return nil, fmt.Errorf("proto: cycle at node %d", c)
+			}
+			visited[c] = true
+			seen++
+			t.Depth[c] = t.Depth[v] + 1
+			if t.Depth[c] > t.Height {
+				t.Height = t.Depth[c]
+			}
+			stack = append(stack, c)
+		}
+	}
+	if seen != n {
+		return nil, fmt.Errorf("proto: parents describe forest (%d of %d reached)", seen, n)
+	}
+	return t, nil
+}

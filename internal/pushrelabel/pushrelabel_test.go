@@ -1,0 +1,129 @@
+package pushrelabel
+
+import (
+	"math/rand"
+	"testing"
+
+	"distflow/internal/congest"
+	"distflow/internal/graph"
+	"distflow/internal/seqflow"
+)
+
+func network(g *graph.Graph) *congest.Network {
+	return congest.NewNetwork(g, congest.WithSeed(7))
+}
+
+func TestPath(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(2, 3, 7)
+	r, err := MaxFlow(network(g), 0, 3, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 3 {
+		t.Fatalf("Value = %d, want 3", r.Value)
+	}
+}
+
+func TestMatchesDinicRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 15; trial++ {
+		g := graph.CapUniform(graph.GNP(14, 0.25, rng), 15, rng)
+		s, tt := 0, g.N()-1
+		want := seqflow.MinCutValue(g, s, tt)
+		r, err := MaxFlow(network(g), s, tt, 200000)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if r.Value != want {
+			t.Fatalf("trial %d: push-relabel %d, Dinic %d", trial, r.Value, want)
+		}
+		// Returned flow must be feasible and have the right value.
+		f := make([]float64, g.M())
+		for e, x := range r.Flow {
+			f[e] = float64(x)
+		}
+		capEx, consErr := seqflow.CheckFlow(g, f, s, tt, float64(r.Value))
+		if capEx > 0 || consErr > 0 {
+			t.Fatalf("trial %d: infeasible flow (capEx=%v consErr=%v)", trial, capEx, consErr)
+		}
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g := graph.Barbell(5, 4)
+	r, err := MaxFlow(network(g), 0, g.N()-1, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 1 {
+		t.Fatalf("barbell flow = %d, want 1", r.Value)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(2, 3, 3)
+	r, err := MaxFlow(network(g), 0, 3, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 0 {
+		t.Fatalf("Value = %d, want 0", r.Value)
+	}
+}
+
+func TestSEqualsTErrors(t *testing.T) {
+	if _, err := MaxFlow(network(graph.Path(3)), 1, 1, 100); err == nil {
+		t.Error("expected error for s == t")
+	}
+}
+
+func TestMaxRoundsRespected(t *testing.T) {
+	g := graph.Grid(6, 6)
+	_, err := MaxFlow(network(g), 0, g.N()-1, 3)
+	if err == nil {
+		t.Error("expected ErrMaxRounds with tiny budget")
+	}
+}
+
+// The quadratic-ish round growth that motivates the paper: rounds on a
+// path roughly scale with n (heights must rise ~n before flow returns),
+// and on dense graphs super-linearly. We only assert monotone growth
+// here; E1 in bench_test.go records the actual curve.
+func TestRoundGrowth(t *testing.T) {
+	prev := 0
+	for _, n := range []int{8, 16, 32} {
+		g := graph.Path(n)
+		r, err := MaxFlow(network(g), 0, n-1, 1000000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Value != 1 {
+			t.Fatalf("path flow = %d", r.Value)
+		}
+		if r.Stats.Rounds <= prev {
+			t.Errorf("rounds did not grow: n=%d rounds=%d prev=%d", n, r.Stats.Rounds, prev)
+		}
+		prev = r.Stats.Rounds
+	}
+}
+
+func TestParallelSchedulerAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := graph.CapUniform(graph.GNP(12, 0.3, rng), 9, rng)
+	a, err := MaxFlow(congest.NewNetwork(g, congest.WithSeed(5)), 0, g.N()-1, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MaxFlow(congest.NewNetwork(g, congest.WithSeed(5), congest.WithParallel(true)), 0, g.N()-1, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value || a.Stats != b.Stats {
+		t.Errorf("schedulers disagree: %+v vs %+v", a.Stats, b.Stats)
+	}
+}

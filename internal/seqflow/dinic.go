@@ -1,0 +1,194 @@
+// Package seqflow implements an exact sequential maximum-flow algorithm
+// (Dinic's algorithm with BFS level graphs and DFS blocking flows).
+//
+// It plays the role the centralized solvers (Goldberg–Rao et al., §1.2)
+// play in the paper: a ground truth that the distributed
+// (1+ε)-approximation is checked against, and the source of exact min-cut
+// values for the congestion-approximator experiments.
+package seqflow
+
+import (
+	"math"
+
+	"distflow/internal/graph"
+)
+
+// Result is an exact maximum s-t flow.
+type Result struct {
+	// Value is the maximum flow value (= min cut capacity).
+	Value int64
+	// Flow holds a signed flow per graph edge in the graph's orientation
+	// convention (positive = U→V).
+	Flow []int64
+	// MinCutSide marks the source side of a minimum cut (vertices
+	// reachable from s in the final residual graph).
+	MinCutSide []bool
+}
+
+type dinicArc struct {
+	to   int
+	capa int64 // residual capacity
+	rev  int   // index of reverse arc in adj[to]
+	edge int   // originating graph edge index, -1 for reverse bookkeeping
+	fwd  bool  // true if this arc follows the edge orientation U→V
+}
+
+type dinic struct {
+	n     int
+	adj   [][]dinicArc
+	level []int
+	iter  []int
+}
+
+func newDinic(g *graph.Graph) *dinic {
+	d := &dinic{
+		n:     g.N(),
+		adj:   make([][]dinicArc, g.N()),
+		level: make([]int, g.N()),
+		iter:  make([]int, g.N()),
+	}
+	for e, ed := range g.Edges() {
+		// An undirected edge of capacity c becomes two directed arcs of
+		// capacity c each that act as each other's reverse. Net flow on
+		// the edge is then (c - capa of forward arc + ...)/..., recovered
+		// below by comparing residuals to the original capacity.
+		u, v, c := ed.U, ed.V, ed.Cap
+		d.adj[u] = append(d.adj[u], dinicArc{to: v, capa: c, rev: len(d.adj[v]), edge: e, fwd: true})
+		d.adj[v] = append(d.adj[v], dinicArc{to: u, capa: c, rev: len(d.adj[u]) - 1, edge: e, fwd: false})
+	}
+	return d
+}
+
+func (d *dinic) bfs(s int) {
+	for i := range d.level {
+		d.level[i] = -1
+	}
+	queue := make([]int, 0, d.n)
+	queue = append(queue, s)
+	d.level[s] = 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range d.adj[v] {
+			if a.capa > 0 && d.level[a.to] < 0 {
+				d.level[a.to] = d.level[v] + 1
+				queue = append(queue, a.to)
+			}
+		}
+	}
+}
+
+func (d *dinic) dfs(v, t int, limit int64) int64 {
+	if v == t {
+		return limit
+	}
+	for ; d.iter[v] < len(d.adj[v]); d.iter[v]++ {
+		a := &d.adj[v][d.iter[v]]
+		if a.capa <= 0 || d.level[a.to] != d.level[v]+1 {
+			continue
+		}
+		push := limit
+		if a.capa < push {
+			push = a.capa
+		}
+		got := d.dfs(a.to, t, push)
+		if got > 0 {
+			a.capa -= got
+			d.adj[a.to][a.rev].capa += got
+			return got
+		}
+	}
+	return 0
+}
+
+// MaxFlow computes an exact maximum s-t flow on g. It panics if s == t or
+// either vertex is out of range (programming errors, not runtime inputs).
+func MaxFlow(g *graph.Graph, s, t int) Result {
+	if s == t {
+		panic("seqflow: s == t")
+	}
+	if s < 0 || s >= g.N() || t < 0 || t >= g.N() {
+		panic("seqflow: terminal out of range")
+	}
+	d := newDinic(g)
+	var value int64
+	for {
+		d.bfs(s)
+		if d.level[t] < 0 {
+			break
+		}
+		for i := range d.iter {
+			d.iter[i] = 0
+		}
+		for {
+			f := d.dfs(s, t, math.MaxInt64)
+			if f == 0 {
+				break
+			}
+			value += f
+		}
+	}
+	// Recover signed per-edge flow. For edge e with capacity c, both arcs
+	// start at residual c and every augmentation moves residual between
+	// the pair, so after pushing net flow x in the U→V direction the
+	// forward arc holds c-x and the backward arc c+x. Hence
+	// x = (capa_backward - capa_forward)/2.
+	flow := make([]int64, g.M())
+	for v := range d.adj {
+		for _, a := range d.adj[v] {
+			if a.fwd {
+				rev := d.adj[a.to][a.rev].capa
+				flow[a.edge] = (rev - a.capa) / 2
+			}
+		}
+	}
+	// Min cut: vertices reachable from s in final residual graph.
+	side := make([]bool, d.n)
+	stack := []int{s}
+	side[s] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range d.adj[v] {
+			if a.capa > 0 && !side[a.to] {
+				side[a.to] = true
+				stack = append(stack, a.to)
+			}
+		}
+	}
+	return Result{Value: value, Flow: flow, MinCutSide: side}
+}
+
+// MinCutValue returns only the max-flow/min-cut value.
+func MinCutValue(g *graph.Graph, s, t int) int64 {
+	return MaxFlow(g, s, t).Value
+}
+
+// CheckFlow verifies that f is a feasible s-t flow on g of the given
+// value: capacity constraints |f_e| ≤ cap(e), conservation at all nodes
+// except s and t, and net outflow `value` at s. Violations are returned
+// as the worst capacity excess and conservation error found (0,0 for a
+// valid flow). Tolerances are the caller's concern; this is exact
+// arithmetic on float64 inputs.
+func CheckFlow(g *graph.Graph, f []float64, s, t int, value float64) (capExcess, consErr float64) {
+	for e, ed := range g.Edges() {
+		over := math.Abs(f[e]) - float64(ed.Cap)
+		if over > capExcess {
+			capExcess = over
+		}
+	}
+	div := g.Divergence(f)
+	for v, d := range div {
+		var want float64
+		switch v {
+		case s:
+			want = value
+		case t:
+			want = -value
+		}
+		if err := math.Abs(d - want); err > consErr {
+			consErr = err
+		}
+	}
+	return capExcess, consErr
+}

@@ -1,0 +1,171 @@
+package seqflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distflow/internal/graph"
+)
+
+func TestMaxFlowPath(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(2, 3, 7)
+	r := MaxFlow(g, 0, 3)
+	if r.Value != 3 {
+		t.Fatalf("Value = %d, want 3 (bottleneck)", r.Value)
+	}
+	// Flow must be exactly 3 on every edge of the path.
+	for e := range r.Flow {
+		if r.Flow[e] != 3 {
+			t.Errorf("Flow[%d] = %d, want 3", e, r.Flow[e])
+		}
+	}
+}
+
+func TestMaxFlowParallelEdges(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(0, 1, 3)
+	r := MaxFlow(g, 0, 1)
+	if r.Value != 5 {
+		t.Fatalf("Value = %d, want 5", r.Value)
+	}
+}
+
+func TestMaxFlowDiamond(t *testing.T) {
+	// s=0, t=3; two disjoint paths of capacity 2 and 4.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 3, 2)
+	g.AddEdge(0, 2, 4)
+	g.AddEdge(2, 3, 4)
+	r := MaxFlow(g, 0, 3)
+	if r.Value != 6 {
+		t.Fatalf("Value = %d, want 6", r.Value)
+	}
+}
+
+func TestMaxFlowUndirectedSharing(t *testing.T) {
+	// Undirected edges can carry flow both ways: a cycle where the
+	// optimal solution uses an edge "backwards" relative to orientation.
+	g := graph.New(3)
+	g.AddEdge(1, 0, 1) // oriented 1->0
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 1)
+	r := MaxFlow(g, 0, 2)
+	if r.Value != 2 {
+		t.Fatalf("Value = %d, want 2", r.Value)
+	}
+	// Edge 0 is oriented 1->0 but carries flow 0->1, so sign is negative.
+	if r.Flow[0] != -1 {
+		t.Errorf("Flow[0] = %d, want -1 (against orientation)", r.Flow[0])
+	}
+}
+
+func TestMinCutSide(t *testing.T) {
+	g := graph.Barbell(4, 3)
+	s, tt := 0, g.N()-1
+	r := MaxFlow(g, s, tt)
+	if r.Value != 1 {
+		t.Fatalf("barbell max flow = %d, want 1", r.Value)
+	}
+	if !r.MinCutSide[s] || r.MinCutSide[tt] {
+		t.Error("min cut side must contain s and not t")
+	}
+	if c := graph.CutCapacity(g, r.MinCutSide); c != r.Value {
+		t.Errorf("min cut capacity = %d, want %d", c, r.Value)
+	}
+}
+
+func TestDisconnectedZeroFlow(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(2, 3, 5)
+	r := MaxFlow(g, 0, 3)
+	if r.Value != 0 {
+		t.Fatalf("Value = %d, want 0", r.Value)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	g := graph.Path(3)
+	for _, fn := range []func(){
+		func() { MaxFlow(g, 1, 1) },
+		func() { MaxFlow(g, -1, 2) },
+		func() { MaxFlow(g, 0, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: max-flow value equals min over sampled cuts of capacity, and
+// the returned flow is feasible with the correct divergence.
+func TestMaxFlowMinCutProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		g := graph.CapUniform(graph.GNP(16, 0.25, rng), 20, rng)
+		s, tt := 0, g.N()-1
+		r := MaxFlow(g, s, tt)
+
+		// Feasibility and conservation, exact.
+		f := make([]float64, g.M())
+		for e, x := range r.Flow {
+			f[e] = float64(x)
+		}
+		capEx, consErr := CheckFlow(g, f, s, tt, float64(r.Value))
+		if capEx > 0 || consErr > 0 {
+			t.Fatalf("trial %d: infeasible flow capEx=%v consErr=%v", trial, capEx, consErr)
+		}
+
+		// Min cut certificate matches.
+		if c := graph.CutCapacity(g, r.MinCutSide); c != r.Value {
+			t.Fatalf("trial %d: cut %d != flow %d", trial, c, r.Value)
+		}
+
+		// No sampled cut separating s,t is smaller (weak duality).
+		for i := 0; i < 20; i++ {
+			side := graph.RandomCut(g.N(), rng)
+			if side[s] == side[tt] {
+				continue
+			}
+			if !side[s] {
+				for v := range side {
+					side[v] = !side[v]
+				}
+			}
+			if c := graph.CutCapacity(g, side); c < r.Value {
+				t.Fatalf("trial %d: found cut %d below max flow %d", trial, c, r.Value)
+			}
+		}
+	}
+}
+
+func TestCheckFlowDetectsViolations(t *testing.T) {
+	g := graph.Path(3)
+	// Overload edge 0 and break conservation at node 1.
+	f := []float64{2, 0.5}
+	capEx, consErr := CheckFlow(g, f, 0, 2, 2)
+	if capEx != 1 {
+		t.Errorf("capExcess = %v, want 1", capEx)
+	}
+	if math.Abs(consErr-1.5) > 1e-12 {
+		t.Errorf("consErr = %v, want 1.5", consErr)
+	}
+}
+
+func TestMinCutValueConvenience(t *testing.T) {
+	g := graph.Grid(4, 4)
+	if v := MinCutValue(g, 0, 15); v != 2 {
+		t.Errorf("grid corner-to-corner min cut = %d, want 2", v)
+	}
+}

@@ -1,0 +1,82 @@
+package seqflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distflow/internal/graph"
+)
+
+// bruteMinCut enumerates all 2^(n-2) s-t cuts (tiny n only).
+func bruteMinCut(g *graph.Graph, s, t int) int64 {
+	n := g.N()
+	best := int64(1) << 62
+	others := make([]int, 0, n-2)
+	for v := 0; v < n; v++ {
+		if v != s && v != t {
+			others = append(others, v)
+		}
+	}
+	for mask := 0; mask < 1<<len(others); mask++ {
+		side := make([]bool, n)
+		side[s] = true
+		for i, v := range others {
+			side[v] = mask&(1<<i) != 0
+		}
+		if c := graph.CutCapacity(g, side); c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// Max-flow/min-cut duality against exhaustive cut enumeration.
+func TestQuickMaxFlowEqualsBruteMinCut(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8) // ≤ 9 vertices: 2^7 cuts
+		g := graph.Tree(n, rng)
+		for k := 0; k < n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, 1+rng.Int63n(9))
+			}
+		}
+		graph.CapUniform(g, 9, rng)
+		s, tt := 0, n-1
+		if s == tt {
+			return true
+		}
+		return MaxFlow(g, s, tt).Value == bruteMinCut(g, s, tt)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Flow decomposition sanity: every max flow saturates the min cut.
+func TestQuickFlowSaturatesMinCut(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(12)
+		g := graph.Tree(n, rng)
+		for k := 0; k < 2*n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, 1+rng.Int63n(9))
+			}
+		}
+		res := MaxFlow(g, 0, n-1)
+		f := make([]float64, g.M())
+		for e, x := range res.Flow {
+			f[e] = float64(x)
+		}
+		cross := graph.FlowAcrossCut(g, f, res.MinCutSide)
+		return cross == float64(res.Value) &&
+			graph.CutCapacity(g, res.MinCutSide) == res.Value
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

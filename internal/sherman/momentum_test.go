@@ -1,0 +1,60 @@
+package sherman
+
+import (
+	"math/rand"
+	"testing"
+
+	"distflow/internal/capprox"
+	"distflow/internal/graph"
+	"distflow/internal/seqflow"
+)
+
+// The momentum option must preserve correctness (feasible flows within
+// the guarantee) — the safeguard falls back to the plain step whenever
+// a momentum step fails to decrease the potential.
+func TestMomentumCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.CapUniform(graph.GNP(20, 0.25, rng), 8, rng)
+	s, tt := 0, g.N()-1
+	want := float64(seqflow.MinCutValue(g, s, tt))
+	apx, err := capprox.Build(g, capprox.Config{ExactCuts: true}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := MaxFlow(g, apx, s, tt, Config{Epsilon: 0.3, Momentum: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capEx, consErr := seqflow.CheckFlow(g, r.Flow, s, tt, r.Value)
+	if capEx > 1e-9 || consErr > 1e-6 {
+		t.Fatalf("momentum run infeasible: %v %v", capEx, consErr)
+	}
+	if r.Value > want*1.0001 || r.Value < want/1.3/1.3 {
+		t.Fatalf("momentum value %v vs OPT %v out of band", r.Value, want)
+	}
+}
+
+// At tight accuracy the accelerated variant should not be slower by
+// more than a small factor and typically is faster; we assert the
+// conservative direction (no blow-up) to keep the test robust.
+func TestMomentumNoBlowup(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.CapUniform(graph.Grid(5, 5), 6, rng)
+	apx, err := capprox.Build(g, capprox.Config{ExactCuts: true}, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.STDemand(g.N(), 0, g.N()-1, 1)
+	plain, err := AlmostRoute(g, apx, b, 0.2, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mom, err := AlmostRoute(g, apx, b, 0.2, Config{Momentum: 0.9}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mom.Iterations > 3*plain.Iterations {
+		t.Errorf("momentum blew up: %d vs %d iterations", mom.Iterations, plain.Iterations)
+	}
+	t.Logf("iterations: plain=%d momentum=%d", plain.Iterations, mom.Iterations)
+}

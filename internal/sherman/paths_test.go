@@ -1,0 +1,67 @@
+package sherman
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"distflow/internal/capprox"
+	"distflow/internal/graph"
+)
+
+// With a starved iteration budget and adaptivity disabled, AlmostRoute
+// must surface ErrNoConvergence rather than loop or return garbage.
+func TestNoConvergenceSurfaces(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := graph.CapUniform(graph.Grid(5, 5), 6, rng)
+	apx, err := capprox.Build(g, capprox.Config{ExactCuts: true}, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.STDemand(g.N(), 0, g.N()-1, 1)
+	_, err = AlmostRoute(g, apx, b, 0.1, Config{MaxIters: 3, DisableAdaptiveAlpha: true}, nil)
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence", err)
+	}
+}
+
+// The adaptive restart recovers from a hopeless initial alpha.
+func TestAdaptiveAlphaRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	g := graph.CapUniform(graph.GNP(18, 0.25, rng), 6, rng)
+	apx, err := capprox.Build(g, capprox.Config{ExactCuts: true}, rand.New(rand.NewSource(44)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.STDemand(g.N(), 0, g.N()-1, 1)
+	// MaxIters is tight enough that alpha=1 may stall; the restarts may
+	// double alpha. Either way the call must succeed.
+	rr, err := AlmostRoute(g, apx, b, 0.4, Config{Alpha: 1, MaxIters: 4000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.AlphaUsed < 1 {
+		t.Errorf("AlphaUsed = %v", rr.AlphaUsed)
+	}
+}
+
+// Paper-faithful fixed-step mode (DisableAdaptiveAlpha, no momentum)
+// still converges and stays within the approximation band.
+func TestPaperFaithfulMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	g := graph.CapUniform(graph.Grid(4, 4), 5, rng)
+	apx, err := capprox.Build(g, capprox.Config{}, rand.New(rand.NewSource(46)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := MaxFlow(g, apx, 0, g.N()-1, Config{Epsilon: 0.5, Alpha: 4, DisableAdaptiveAlpha: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value <= 0 {
+		t.Fatalf("value %v", r.Value)
+	}
+	if r.AlphaUsed != 4 {
+		t.Errorf("AlphaUsed = %v, want the fixed 4", r.AlphaUsed)
+	}
+}

@@ -1,0 +1,475 @@
+// Package sherman implements the gradient-descent flow solver of
+// Sherman that the paper makes distributed (§9): Algorithm 2
+// (AlmostRoute) minimizes the potential
+//
+//	φ(f) = smax(C⁻¹f) + smax(2α·R·(b − Bf)),
+//
+// where R is the congestion approximator of internal/capprox, and
+// Algorithm 1 composes O(log m) AlmostRoute calls with a final
+// maximum-weight-spanning-tree routing of the leftover demand
+// (Lemma 9.1) into an exactly-conserving, capacity-feasible
+// (1+ε)-approximate maximum flow.
+//
+// Sign conventions (documented in internal/graph): b[v] is the supply
+// injected at v; a flow f meets b when Divergence(f) = b; the residual
+// demand is r = b − Divergence(f). The gradient of φ2 at edge e=(u,v)
+// is 2α(π_v − π_u) for the node potentials π = Rᵀ·∇smax(y), Eq. (3)/(4).
+//
+// Every gradient iteration charges the distributed cost of its two
+// R-applications (Corollary 9.3) and its BFS-tree aggregations to the
+// ledger, using the measured tree count and diameter.
+package sherman
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"distflow/internal/capprox"
+	"distflow/internal/congest"
+	"distflow/internal/graph"
+	"distflow/internal/mst"
+	"distflow/internal/numutil"
+	"distflow/internal/vtree"
+)
+
+// Config tunes the solver. The zero value selects the paper's
+// parameters.
+type Config struct {
+	// Epsilon is the approximation target (default 0.5).
+	Epsilon float64
+	// Alpha overrides the congestion-approximator quality parameter α
+	// used in the potential (default 2·Alpha²·AlphaLow from the
+	// measured approximator distortion, the Lemma 3.3 composition).
+	Alpha float64
+	// MaxIters bounds gradient iterations per AlmostRoute call
+	// (default 200·⌈α²·ε⁻³·ln n⌉, a generous multiple of the paper's
+	// O(α²ε⁻³log n) bound).
+	MaxIters int
+	// DisableAdaptiveAlpha turns off the stall-doubling of α
+	// (ablation A2: paper-faithful fixed step size).
+	DisableAdaptiveAlpha bool
+	// Momentum enables a safeguarded heavy-ball term μ·(f_k − f_{k-1})
+	// on top of the gradient step. Sherman's footnote 3 notes that
+	// Nesterov's accelerated method improves the ε⁻³ iteration bound to
+	// ε⁻²; this option explores that territory while retaining the
+	// fixed-step fallback (momentum is dropped whenever a step fails to
+	// decrease the potential, so the worst case is unchanged). 0 = off;
+	// typical value 0.9.
+	Momentum float64
+	// OuterIters bounds Algorithm 1 repetitions (default ⌈log₂ m⌉+1).
+	OuterIters int
+}
+
+// ErrNoConvergence is returned when AlmostRoute exhausts its iteration
+// budget even after adaptive-α restarts.
+var ErrNoConvergence = errors.New("sherman: gradient descent did not converge")
+
+// RouteResult is the outcome of AlmostRoute.
+type RouteResult struct {
+	// Flow is the computed (near-)routing of the demand.
+	Flow []float64
+	// Iterations is the number of gradient steps performed.
+	Iterations int
+	// AlphaUsed is the α the run converged with (≥ Config.Alpha when
+	// adaptive restarts fired).
+	AlphaUsed float64
+}
+
+type workspace struct {
+	g     *graph.Graph
+	apx   *capprox.Approximator
+	alpha float64
+	// flat index of (tree, non-root vertex) pairs for φ2
+	treeOf []int
+	vertOf []int
+	y      []float64
+	w2     []float64
+	prices [][]float64
+	x      []float64
+	w1     []float64
+	grad   []float64
+}
+
+func newWorkspace(g *graph.Graph, apx *capprox.Approximator, alpha float64) *workspace {
+	ws := &workspace{g: g, apx: apx, alpha: alpha}
+	for k, t := range apx.Trees {
+		for v := 0; v < t.N(); v++ {
+			if v != t.Root {
+				ws.treeOf = append(ws.treeOf, k)
+				ws.vertOf = append(ws.vertOf, v)
+			}
+		}
+	}
+	ws.y = make([]float64, len(ws.treeOf))
+	ws.w2 = make([]float64, len(ws.treeOf))
+	ws.prices = make([][]float64, len(apx.Trees))
+	for k, t := range apx.Trees {
+		ws.prices[k] = make([]float64, t.N())
+	}
+	ws.x = make([]float64, g.M())
+	ws.w1 = make([]float64, g.M())
+	ws.grad = make([]float64, g.M())
+	return ws
+}
+
+// eval computes φ(f), the gradient, and δ = Σ_e cap_e·|grad_e| for the
+// scaled demand bs.
+func (ws *workspace) eval(f, bs []float64) (phi, delta float64) {
+	g := ws.g
+	// φ1 = smax(C⁻¹f).
+	for e, ed := range g.Edges() {
+		ws.x[e] = f[e] / float64(ed.Cap)
+	}
+	phi1 := numutil.SoftMaxGrad(ws.x, ws.w1)
+
+	// φ2 = smax(2α·R·r), r = bs − Div(f).
+	div := g.Divergence(f)
+	r := make([]float64, len(bs))
+	for v := range r {
+		r[v] = bs[v] - div[v]
+	}
+	rr := ws.apx.ApplyR(r)
+	for i := range ws.y {
+		ws.y[i] = 2 * ws.alpha * rr[ws.treeOf[i]][ws.vertOf[i]]
+	}
+	phi2 := numutil.SoftMaxGrad(ws.y, ws.w2)
+
+	// Node potentials π = Rᵀ·w2 (Eq. 4).
+	for k := range ws.prices {
+		for v := range ws.prices[k] {
+			ws.prices[k][v] = 0
+		}
+	}
+	for i, w := range ws.w2 {
+		ws.prices[ws.treeOf[i]][ws.vertOf[i]] = w
+	}
+	pi := ws.apx.ApplyRT(ws.prices)
+
+	for e, ed := range g.Edges() {
+		ws.grad[e] = ws.w1[e]/float64(ed.Cap) + 2*ws.alpha*(pi[ed.V]-pi[ed.U])
+		delta += float64(ed.Cap) * math.Abs(ws.grad[e])
+	}
+	return phi1 + phi2, delta
+}
+
+// AlmostRoute runs Algorithm 2 for the demand b with accuracy eps. The
+// returned flow approximately routes b: its congestion is within
+// (1+eps) of optimal and the residual b − Div(f) is small enough for
+// Algorithm 1's geometric decrease (Sherman, Theorem 1.2 of [30]).
+// Charged rounds are appended to ledger when non-nil.
+func AlmostRoute(g *graph.Graph, apx *capprox.Approximator, b []float64, eps float64, cfg Config, ledger *congest.Ledger) (*RouteResult, error) {
+	if len(b) != g.N() {
+		return nil, fmt.Errorf("sherman: demand length %d, want %d", len(b), g.N())
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("sherman: eps %v out of (0,1)", eps)
+	}
+	alpha := cfg.Alpha
+	if alpha == 0 {
+		// The α the descent needs is the congestion-approximation
+		// quality of the cut family, i.e. max_b opt(b)/‖Rb‖∞ — NOT the
+		// cap_T/cap_G distortion (with exact-cut row scaling the latter
+		// cancels entirely). That quality is measured in experiment E4
+		// to sit in the low single digits on all tested families, and
+		// the step size pays α²: start at 2 and let the adaptive
+		// restart double on stall (ablation A2). The Lemma 3.3 worst
+		// case 2·Alpha²·AlphaLow remains available via Config.Alpha.
+		alpha = 2
+	}
+	if alpha < 1 {
+		alpha = 1
+	}
+	n := float64(g.N())
+	diameter := g.DiameterApprox()
+
+	rb := apx.NormRb(b)
+	if rb == 0 {
+		return &RouteResult{Flow: make([]float64, g.M()), AlphaUsed: alpha}, nil
+	}
+
+	restarts := 0
+	for {
+		res, err := almostRouteFixedAlpha(g, apx, b, eps, alpha, cfg, n, diameter, ledger, rb)
+		if err == nil {
+			return res, nil
+		}
+		if !errors.Is(err, ErrNoConvergence) || cfg.DisableAdaptiveAlpha || restarts >= 6 {
+			return nil, err
+		}
+		// Stall: the measured α under-estimated the true approximation
+		// ratio; double and restart (engineering fallback documented in
+		// DESIGN.md ablation A2).
+		alpha *= 2
+		restarts++
+	}
+}
+
+func almostRouteFixedAlpha(g *graph.Graph, apx *capprox.Approximator, b []float64, eps, alpha float64, cfg Config, n float64, diameter int, ledger *congest.Ledger, rb float64) (*RouteResult, error) {
+	ws := newWorkspace(g, apx, alpha)
+	target := 16 * math.Log(n+2) / eps
+
+	// Initial scaling: 2α‖R(σb)‖∞ = target (Algorithm 2 line 1).
+	sigma := target / (2 * alpha * rb)
+	bs := make([]float64, g.N())
+	for v := range bs {
+		bs[v] = sigma * b[v]
+	}
+	f := make([]float64, g.M())
+
+	maxIters := cfg.MaxIters
+	if maxIters == 0 {
+		maxIters = 50 * int(math.Ceil(alpha*alpha*math.Pow(eps, -3)*math.Log(n+2)))
+		if maxIters > 2_000_000 {
+			maxIters = 2_000_000
+		}
+	}
+	step := 1 / (1 + 4*alpha*alpha)
+
+	// Backtracking line search around the theoretical step: Algorithm 2's
+	// step size δ/(1+4α²) guarantees potential decrease but its constant
+	// is enormous in practice; we scale it by an adaptive factor η ≥ 1
+	// that grows while steps keep decreasing φ and shrinks (with the
+	// step retried) when they overshoot. At η = 1 the step is accepted
+	// unconditionally — exactly the paper's rule — so the worst case
+	// matches Sherman's O(α²ε⁻³ log n) bound while typical runs take
+	// orders of magnitude fewer iterations. Rejected probes charge their
+	// distributed evaluation rounds like accepted ones.
+	iters := 0
+	eta := 1.0
+	stepVec := make([]float64, g.M())
+	fTry := make([]float64, g.M())
+	var fPrev []float64
+	if cfg.Momentum > 0 {
+		fPrev = append([]float64(nil), f...)
+	}
+	useMomentum := false
+	phi, delta := ws.eval(f, bs)
+	charge := func() {
+		if ledger != nil {
+			// Two R-applications (Cor. 9.3) + two BFS aggregations per
+			// potential/gradient evaluation (§9.1).
+			ledger.ChargeAccounted("gradient", apx.EvalRounds(g.N(), diameter)*2+2*int64(diameter+1))
+		}
+	}
+	charge()
+	for {
+		// Scaling loop (lines 4-5): zoom until the potential reaches the
+		// working range Θ(ε⁻¹ log n).
+		for phi < target {
+			for e := range f {
+				f[e] *= 17.0 / 16
+			}
+			for v := range bs {
+				bs[v] *= 17.0 / 16
+			}
+			sigma *= 17.0 / 16
+			phi, delta = ws.eval(f, bs)
+			charge()
+		}
+		if delta < eps/4 {
+			out := make([]float64, len(f))
+			for e := range f {
+				out[e] = f[e] / sigma
+			}
+			return &RouteResult{Flow: out, Iterations: iters, AlphaUsed: alpha}, nil
+		}
+		for e, ed := range g.Edges() {
+			stepVec[e] = numutil.Sgn(ws.grad[e]) * float64(ed.Cap) * delta * step
+		}
+		for {
+			if useMomentum {
+				mu := cfg.Momentum
+				for e := range fTry {
+					fTry[e] = f[e] - eta*stepVec[e] + mu*(f[e]-fPrev[e])
+				}
+			} else {
+				for e := range fTry {
+					fTry[e] = f[e] - eta*stepVec[e]
+				}
+			}
+			phiTry, deltaTry := ws.eval(fTry, bs)
+			charge()
+			iters++
+			if iters > maxIters {
+				return nil, fmt.Errorf("%w after %d iterations (alpha=%v, eps=%v)", ErrNoConvergence, iters, alpha, eps)
+			}
+			decreased := phiTry < phi
+			if decreased || (eta <= 1 && !useMomentum) {
+				if fPrev != nil {
+					copy(fPrev, f)
+				}
+				f, fTry = fTry, f
+				phi, delta = phiTry, deltaTry
+				if decreased {
+					// decreased at this η: try a larger one next time
+					eta = math.Min(eta*1.25, 1024)
+					useMomentum = cfg.Momentum > 0
+				}
+				break
+			}
+			// Safeguard order: first drop the momentum term, then shrink
+			// the step back toward the paper's guaranteed size.
+			if useMomentum {
+				useMomentum = false
+				continue
+			}
+			eta = math.Max(eta/2, 1)
+		}
+	}
+}
+
+// FlowResult is the outcome of the top-level max-flow computation.
+type FlowResult struct {
+	// Value is the achieved s-t flow value (≥ maxflow/(1+ε) up to the
+	// residual-routing slack; experiments record the realized ratio).
+	Value float64
+	// Flow is an exactly-conserving, capacity-feasible s-t flow of the
+	// stated value.
+	Flow []float64
+	// Congestion is the pre-scaling congestion of routing the unit
+	// demand; 1/Congestion = Value.
+	Congestion float64
+	// Iterations totals gradient steps across all AlmostRoute calls.
+	Iterations int
+	// Outer is the number of Algorithm 1 repetitions executed.
+	Outer int
+	// AlphaUsed is the largest α any AlmostRoute call settled on.
+	AlphaUsed float64
+	// Ledger holds the charged rounds for the flow computation phases
+	// (approximator construction is ledgered separately in capprox).
+	Ledger *congest.Ledger
+}
+
+// MaxFlow runs Algorithm 1 for the s-t pair: route the unit s-t demand
+// near-optimally, drive the residual down over O(log m) AlmostRoute
+// calls, route the leftovers exactly on a maximum-weight spanning tree,
+// and rescale the combined flow to feasibility. The value of the result
+// is a (1+ε)(1+o(1))-approximation of the maximum flow.
+func MaxFlow(g *graph.Graph, apx *capprox.Approximator, s, t int, cfg Config) (*FlowResult, error) {
+	if s == t || s < 0 || t < 0 || s >= g.N() || t >= g.N() {
+		return nil, fmt.Errorf("sherman: invalid terminals %d, %d", s, t)
+	}
+	eps := cfg.Epsilon
+	if eps == 0 {
+		eps = 0.5
+	}
+	ledger := congest.NewLedger()
+	b := graph.STDemand(g.N(), s, t, 1)
+
+	outer := cfg.OuterIters
+	if outer == 0 {
+		outer = int(math.Ceil(math.Log2(float64(g.M()+2)))) + 1
+	}
+
+	res := &FlowResult{Ledger: ledger}
+	total := make([]float64, g.M())
+	resid := append([]float64(nil), b...)
+	norm0 := apx.NormRb(b)
+	for i := 0; i < outer; i++ {
+		epsI := eps
+		if i > 0 {
+			epsI = 0.5
+		}
+		rr, err := AlmostRoute(g, apx, resid, epsI, cfg, ledger)
+		if err != nil {
+			return nil, fmt.Errorf("sherman: outer %d: %w", i, err)
+		}
+		res.Iterations += rr.Iterations
+		if rr.AlphaUsed > res.AlphaUsed {
+			res.AlphaUsed = rr.AlphaUsed
+		}
+		for e := range total {
+			total[e] += rr.Flow[e]
+		}
+		div := g.Divergence(total)
+		for v := range resid {
+			resid[v] = b[v] - div[v]
+		}
+		res.Outer = i + 1
+		if apx.NormRb(resid) <= norm0*1e-9 {
+			break
+		}
+	}
+
+	// Lemma 9.1: route the residual demand on a maximum-weight spanning
+	// tree — routing on trees is exact, restoring conservation.
+	fTree, err := RouteOnMaxWeightST(g, resid)
+	if err != nil {
+		return nil, err
+	}
+	for e := range total {
+		total[e] += fTree[e]
+	}
+	sq := int64(math.Ceil(math.Sqrt(float64(g.N()))))
+	ledger.ChargeAccounted("residual-tree-routing", int64(g.DiameterApprox())+sq)
+
+	cong := g.MaxCongestion(total)
+	if cong == 0 {
+		return nil, fmt.Errorf("sherman: zero flow produced")
+	}
+	res.Congestion = cong
+	res.Value = 1 / cong
+	res.Flow = make([]float64, g.M())
+	for e := range total {
+		res.Flow[e] = total[e] / cong
+	}
+	return res, nil
+}
+
+// RouteOnMaxWeightST routes the (feasible: Σb=0) demand b exactly on
+// the maximum-weight spanning tree of g (weights = capacities) and
+// returns the per-edge flow. This is the centralized counterpart of the
+// Lemma 9.1 protocol; internal/mst provides the message-passing
+// construction of the same tree (identical under the shared tie-break).
+func RouteOnMaxWeightST(g *graph.Graph, b []float64) ([]float64, error) {
+	inTree, _ := mst.Kruskal(g, true)
+	n := g.N()
+	parent := make([]int, n)
+	parentEdge := make([]int, n)
+	for v := range parent {
+		parent[v] = -2
+		parentEdge[v] = -1
+	}
+	parent[0] = -1
+	queue := []int{0}
+	adj := make([][]graph.Arc, n)
+	for v := 0; v < n; v++ {
+		for _, a := range g.Adj(v) {
+			if inTree[a.E] {
+				adj[v] = append(adj[v], a)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range adj[v] {
+			if parent[a.To] == -2 {
+				parent[a.To] = v
+				parentEdge[a.To] = a.E
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	for v, p := range parent {
+		if p == -2 {
+			return nil, fmt.Errorf("sherman: graph disconnected at %d", v)
+		}
+	}
+	t, err := vtree.New(0, parent, nil)
+	if err != nil {
+		return nil, err
+	}
+	sums := t.RouteDemand(b)
+	f := make([]float64, g.M())
+	for v := 0; v < n; v++ {
+		if v == 0 {
+			continue
+		}
+		e := parentEdge[v]
+		// sums[v] flows from v toward parent[v].
+		f[e] += sums[v] * g.Orientation(e, v)
+	}
+	return f, nil
+}

@@ -1,0 +1,217 @@
+package sherman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distflow/internal/capprox"
+	"distflow/internal/graph"
+	"distflow/internal/seqflow"
+)
+
+func approximator(t *testing.T, g *graph.Graph, seed int64) *capprox.Approximator {
+	t.Helper()
+	a, err := capprox.Build(g, capprox.Config{ExactCuts: true}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestMaxFlowPath(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(2, 3, 7)
+	a := approximator(t, g, 1)
+	r, err := MaxFlow(g, a, 0, 3, Config{Epsilon: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value < 3/1.25 || r.Value > 3.0001 {
+		t.Fatalf("Value = %v, want ≈ 3", r.Value)
+	}
+	checkFeasible(t, g, r, 0, 3)
+}
+
+func checkFeasible(t *testing.T, g *graph.Graph, r *FlowResult, s, tt int) {
+	t.Helper()
+	capEx, consErr := seqflow.CheckFlow(g, r.Flow, s, tt, r.Value)
+	if capEx > 1e-9 {
+		t.Fatalf("capacity violated by %v", capEx)
+	}
+	if consErr > 1e-6*math.Max(1, r.Value) {
+		t.Fatalf("conservation violated by %v", consErr)
+	}
+}
+
+func TestMaxFlowMatchesDinicWithinEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.CapUniform(graph.GNP(24, 0.2, rng), 10, rng)
+		s, tt := 0, g.N()-1
+		want := float64(seqflow.MinCutValue(g, s, tt))
+		if want == 0 {
+			continue
+		}
+		a := approximator(t, g, int64(trial+10))
+		eps := 0.25
+		r, err := MaxFlow(g, a, s, tt, Config{Epsilon: eps})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkFeasible(t, g, r, s, tt)
+		if r.Value > want*1.0001 {
+			t.Fatalf("trial %d: value %v exceeds max flow %v", trial, r.Value, want)
+		}
+		// (1+ε) guarantee with slack for the o(1) terms at small n.
+		if r.Value < want/(1+eps)/1.25 {
+			t.Errorf("trial %d: value %v too far below OPT %v (ratio %v)", trial, r.Value, want, want/r.Value)
+		}
+	}
+}
+
+func TestMaxFlowBarbell(t *testing.T) {
+	g := graph.Barbell(5, 3)
+	a := approximator(t, g, 3)
+	r, err := MaxFlow(g, a, 0, g.N()-1, Config{Epsilon: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFeasible(t, g, r, 0, g.N()-1)
+	if r.Value > 1.0001 || r.Value < 0.6 {
+		t.Errorf("barbell value %v, want ≈ 1", r.Value)
+	}
+}
+
+func TestAlmostRouteReducesResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.CapUniform(graph.Grid(5, 5), 8, rng)
+	a := approximator(t, g, 4)
+	b := graph.STDemand(g.N(), 0, g.N()-1, 1)
+	rr, err := AlmostRoute(g, a, b, 0.5, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	div := g.Divergence(rr.Flow)
+	resid := make([]float64, g.N())
+	for v := range resid {
+		resid[v] = b[v] - div[v]
+	}
+	if a.NormRb(resid) > a.NormRb(b) {
+		t.Errorf("residual demand norm did not decrease: %v -> %v", a.NormRb(b), a.NormRb(resid))
+	}
+	if rr.Iterations == 0 {
+		t.Error("no gradient iterations recorded")
+	}
+}
+
+func TestAlmostRouteZeroDemand(t *testing.T) {
+	g := graph.Path(4)
+	a := approximator(t, g, 5)
+	rr, err := AlmostRoute(g, a, make([]float64, 4), 0.5, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range rr.Flow {
+		if x != 0 {
+			t.Fatal("zero demand produced flow")
+		}
+	}
+}
+
+func TestAlmostRouteErrors(t *testing.T) {
+	g := graph.Path(4)
+	a := approximator(t, g, 6)
+	if _, err := AlmostRoute(g, a, make([]float64, 3), 0.5, Config{}, nil); err == nil {
+		t.Error("bad demand length accepted")
+	}
+	if _, err := AlmostRoute(g, a, make([]float64, 4), 0, Config{}, nil); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := MaxFlow(g, a, 1, 1, Config{}); err == nil {
+		t.Error("s==t accepted")
+	}
+}
+
+func TestRouteOnMaxWeightST(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(0, 2, 10)
+	// Max-weight ST keeps the two capacity-10 edges. Demand 0 -> 1 must
+	// route 0->2->1.
+	b := []float64{1, -1, 0}
+	f, err := RouteOnMaxWeightST(g, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	div := g.Divergence(f)
+	for v := range b {
+		if math.Abs(div[v]-b[v]) > 1e-12 {
+			t.Fatalf("divergence[%d] = %v, want %v", v, div[v], b[v])
+		}
+	}
+	if f[0] != 0 {
+		t.Errorf("flow used the light edge: %v", f)
+	}
+}
+
+func TestRouteOnMaxWeightSTRandomDemands(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.CapUniform(graph.GNP(20, 0.2, rng), 20, rng)
+		b := make([]float64, g.N())
+		var sum float64
+		for v := 1; v < g.N(); v++ {
+			b[v] = rng.NormFloat64()
+			sum += b[v]
+		}
+		b[0] = -sum
+		f, err := RouteOnMaxWeightST(g, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		div := g.Divergence(f)
+		for v := range b {
+			if math.Abs(div[v]-b[v]) > 1e-9 {
+				t.Fatalf("trial %d: routing not exact at %d", trial, v)
+			}
+		}
+	}
+}
+
+func TestLedgerCharged(t *testing.T) {
+	g := graph.Grid(4, 4)
+	a := approximator(t, g, 14)
+	r, err := MaxFlow(g, a, 0, g.N()-1, Config{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ledger.Phase("gradient") <= 0 {
+		t.Error("gradient rounds not charged")
+	}
+	if r.Ledger.Phase("residual-tree-routing") <= 0 {
+		t.Error("tree routing rounds not charged")
+	}
+}
+
+// Iterations must grow as eps shrinks (the ε⁻³ dependence, E7's shape).
+func TestIterationsGrowWithAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	g := graph.CapUniform(graph.Grid(4, 4), 5, rng)
+	a := approximator(t, g, 16)
+	b := graph.STDemand(g.N(), 0, g.N()-1, 1)
+	loose, err := AlmostRoute(g, a, b, 0.8, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := AlmostRoute(g, a, b, 0.15, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Iterations <= loose.Iterations {
+		t.Errorf("iterations did not grow: eps=0.8 -> %d, eps=0.15 -> %d", loose.Iterations, tight.Iterations)
+	}
+}

@@ -1,0 +1,260 @@
+// Package spanner implements the Baswana–Sen randomized spanner
+// construction (Figure 3 of the paper), the subroutine Koutis's
+// sparsifier is built from (§6).
+//
+// For a weighted N-node (multi)graph and parameter k, the construction
+// returns a (2k−1)-spanner with O(k·N^{1+1/k}) edges w.h.p.: every
+// non-spanner edge {u,v} is spanned by a path of at most 2k−1 edges
+// whose weights are each at most W(u,v).
+//
+// The implementation mirrors the per-node behaviour of the distributed
+// algorithm (cluster marking with probability 1/2, lightest-edge
+// selection per adjacent cluster, joining the closest marked cluster) so
+// the output distribution matches the CONGEST execution the paper
+// emulates via Lemma 5.1; the distributed cost is charged analytically
+// (O((D+√N·logN)·logN), proof of Lemma 6.1).
+package spanner
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Edge is a weighted undirected multigraph edge.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Spanner computes a (2k−1)-spanner of the n-vertex multigraph. It
+// returns the indices of the selected edges. Ties between equal-weight
+// edges are broken by edge index (the paper's "breaking ties by ID").
+func Spanner(n int, edges []Edge, k int, rng *rand.Rand) []int {
+	if k < 1 {
+		panic("spanner: k must be >= 1")
+	}
+	type arc struct {
+		to int
+		id int
+	}
+	adj := make([][]arc, n)
+	for i, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		adj[e.U] = append(adj[e.U], arc{to: e.V, id: i})
+		adj[e.V] = append(adj[e.V], arc{to: e.U, id: i})
+	}
+
+	// lighter reports whether edge a is lighter than edge b
+	// (weight, then index).
+	lighter := func(a, b int) bool {
+		if edges[a].W != edges[b].W {
+			return edges[a].W < edges[b].W
+		}
+		return a < b
+	}
+
+	selected := make(map[int]bool)
+	cluster := make([]int, n) // cluster id = center vertex; -1 = discarded
+	for v := range cluster {
+		cluster[v] = v
+	}
+
+	for i := 1; i <= k-1; i++ {
+		// 2a: mark clusters with probability 1/2.
+		marked := make(map[int]bool)
+		for v := 0; v < n; v++ {
+			if cluster[v] == v { // cluster center decides
+				if rng.Intn(2) == 1 {
+					marked[v] = true
+				}
+			}
+		}
+		next := make([]int, n)
+		for v := range next {
+			next[v] = -1
+		}
+		for v := 0; v < n; v++ {
+			c := cluster[v]
+			if c < 0 {
+				continue
+			}
+			if marked[c] {
+				next[v] = c // marked clusters persist wholesale
+				continue
+			}
+			// v's cluster is unmarked: find the lightest edge to every
+			// adjacent cluster, and the overall lightest edge into a
+			// marked cluster.
+			bestPerCluster := make(map[int]int) // cluster -> edge id
+			bestMarked := -1
+			for _, a := range adj[v] {
+				cc := cluster[a.to]
+				if cc < 0 || cc == c {
+					continue
+				}
+				if cur, ok := bestPerCluster[cc]; !ok || lighter(a.id, cur) {
+					bestPerCluster[cc] = a.id
+				}
+				if marked[cc] && (bestMarked < 0 || lighter(a.id, bestMarked)) {
+					bestMarked = a.id
+				}
+			}
+			if bestMarked < 0 {
+				// 2b-ii: no marked neighbour cluster — keep the lightest
+				// edge to every adjacent cluster and drop out.
+				for _, id := range bestPerCluster {
+					selected[id] = true
+				}
+				next[v] = -1
+				continue
+			}
+			// 2b-iii: join the marked cluster through the lightest edge;
+			// keep that edge plus all strictly lighter per-cluster edges.
+			e := edges[bestMarked]
+			u := e.U + e.V - v
+			next[v] = cluster[u]
+			selected[bestMarked] = true
+			for _, id := range bestPerCluster {
+				if lighter(id, bestMarked) {
+					selected[id] = true
+				}
+			}
+		}
+		cluster = next
+	}
+
+	// Step 3: every vertex adds the lightest edge to each remaining
+	// cluster it is adjacent to.
+	for v := 0; v < n; v++ {
+		bestPerCluster := make(map[int]int)
+		for _, a := range adj[v] {
+			cc := cluster[a.to]
+			if cc < 0 || cc == cluster[v] && cluster[v] >= 0 {
+				continue
+			}
+			if cur, ok := bestPerCluster[cc]; !ok || lighter(a.id, cur) {
+				bestPerCluster[cc] = a.id
+			}
+		}
+		for _, id := range bestPerCluster {
+			selected[id] = true
+		}
+	}
+
+	out := make([]int, 0, len(selected))
+	for id := range selected {
+		out = append(out, id)
+	}
+	return out
+}
+
+// DefaultK returns the stretch parameter used by the sparsifier:
+// k = ⌈log₂ n⌉, giving an O(log n)-stretch spanner with O(n log n) edges.
+func DefaultK(n int) int {
+	k := int(math.Ceil(math.Log2(float64(n) + 2)))
+	if k < 2 {
+		k = 2
+	}
+	return k
+}
+
+// CheckStretch verifies the spanner property on the given edge list:
+// for every input edge, the weighted distance between its endpoints
+// inside the spanner is at most maxStretch × its weight. It returns the
+// worst stretch observed. O(|spanner|·n·log n + m) via Dijkstra from
+// each endpoint — test-sized inputs only.
+func CheckStretch(n int, edges []Edge, spanner []int) float64 {
+	type arc struct {
+		to int
+		w  float64
+	}
+	adj := make([][]arc, n)
+	for _, id := range spanner {
+		e := edges[id]
+		adj[e.U] = append(adj[e.U], arc{to: e.V, w: e.W})
+		adj[e.V] = append(adj[e.V], arc{to: e.U, w: e.W})
+	}
+	worst := 1.0
+	dist := make([]float64, n)
+	// Dijkstra with simple binary heap per unique source.
+	sources := make(map[int][]Edge)
+	for _, e := range edges {
+		sources[e.U] = append(sources[e.U], e)
+	}
+	for src, es := range sources {
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+		dist[src] = 0
+		h := &distHeap{{0, src}}
+		for h.Len() > 0 {
+			it := h.pop()
+			if it.d > dist[it.v] {
+				continue
+			}
+			for _, a := range adj[it.v] {
+				if nd := it.d + a.w; nd < dist[a.to] {
+					dist[a.to] = nd
+					h.push(distItem{nd, a.to})
+				}
+			}
+		}
+		for _, e := range es {
+			if e.W <= 0 {
+				continue
+			}
+			if s := dist[e.V] / e.W; s > worst {
+				worst = s
+			}
+		}
+	}
+	return worst
+}
+
+type distItem struct {
+	d float64
+	v int
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int { return len(h) }
+
+func (h *distHeap) push(x distItem) {
+	*h = append(*h, x)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].d <= (*h)[i].d {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *distHeap) pop() distItem {
+	top := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	*h = (*h)[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(*h) && (*h)[l].d < (*h)[small].d {
+			small = l
+		}
+		if r < len(*h) && (*h)[r].d < (*h)[small].d {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,120 @@
+package spanner
+
+import (
+	"math/rand"
+	"testing"
+
+	"distflow/internal/graph"
+)
+
+func fromGraph(g *graph.Graph) []Edge {
+	edges := make([]Edge, g.M())
+	for i, e := range g.Edges() {
+		edges[i] = Edge{U: e.U, V: e.V, W: float64(e.Cap)}
+	}
+	return edges
+}
+
+func TestSpannerStretchBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{2, 3, 4} {
+		for trial := 0; trial < 5; trial++ {
+			g := graph.CapUniform(graph.GNP(40, 0.2, rng), 10, rng)
+			edges := fromGraph(g)
+			sel := Spanner(g.N(), edges, k, rng)
+			worst := CheckStretch(g.N(), edges, sel)
+			if worst > float64(2*k-1)+1e-9 {
+				t.Errorf("k=%d trial %d: stretch %.2f > %d", k, trial, worst, 2*k-1)
+			}
+		}
+	}
+}
+
+func TestSpannerSparsifies(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.Complete(40) // m = 780
+	edges := fromGraph(g)
+	k := 3
+	sel := Spanner(g.N(), edges, k, rng)
+	// O(k n^{1+1/k}): for n=40,k=3 ≈ 3·40^{4/3} ≈ 409; assert well under m.
+	if len(sel) >= g.M() {
+		t.Errorf("spanner did not sparsify: %d of %d", len(sel), g.M())
+	}
+}
+
+func TestSpannerK1KeepsConnectivityEdges(t *testing.T) {
+	// k=1 means stretch 1: every edge (up to parallel duplicates) must
+	// effectively remain; with no clustering phases, step 3 keeps the
+	// lightest edge per adjacent singleton cluster.
+	rng := rand.New(rand.NewSource(3))
+	g := graph.Cycle(8)
+	edges := fromGraph(g)
+	sel := Spanner(g.N(), edges, 1, rng)
+	worst := CheckStretch(g.N(), edges, sel)
+	if worst > 1+1e-9 {
+		t.Errorf("k=1 stretch %v > 1", worst)
+	}
+}
+
+func TestSpannerParallelEdgesPrefersLight(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	edges := []Edge{
+		{U: 0, V: 1, W: 10},
+		{U: 0, V: 1, W: 1},
+	}
+	sel := Spanner(2, edges, 2, rng)
+	hasLight := false
+	for _, id := range sel {
+		if id == 1 {
+			hasLight = true
+		}
+	}
+	if !hasLight {
+		t.Error("lightest parallel edge not selected")
+	}
+	if w := CheckStretch(2, edges, sel); w > 3 {
+		t.Errorf("stretch %v", w)
+	}
+}
+
+func TestSpannerSelfLoopIgnored(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	edges := []Edge{{U: 0, V: 0, W: 1}, {U: 0, V: 1, W: 1}}
+	sel := Spanner(2, edges, 2, rng)
+	for _, id := range sel {
+		if id == 0 {
+			t.Error("self-loop selected")
+		}
+	}
+}
+
+func TestDefaultK(t *testing.T) {
+	if DefaultK(1024) < 10 {
+		t.Errorf("DefaultK(1024) = %d", DefaultK(1024))
+	}
+	if DefaultK(1) < 2 {
+		t.Errorf("DefaultK(1) = %d", DefaultK(1))
+	}
+}
+
+func TestSpannerPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for k=0")
+		}
+	}()
+	Spanner(2, nil, 0, rand.New(rand.NewSource(1)))
+}
+
+func TestSpannerManySeedsAlwaysValid(t *testing.T) {
+	g := graph.Grid(6, 6)
+	edges := fromGraph(g)
+	for s := int64(0); s < 20; s++ {
+		rng := rand.New(rand.NewSource(s))
+		k := 2 + int(s%3)
+		sel := Spanner(g.N(), edges, k, rng)
+		if w := CheckStretch(g.N(), edges, sel); w > float64(2*k-1)+1e-9 {
+			t.Fatalf("seed %d k=%d: stretch %v", s, k, w)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package sparsify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distflow/internal/graph"
+)
+
+func fromGraph(g *graph.Graph) []Edge {
+	edges := make([]Edge, g.M())
+	for i, e := range g.Edges() {
+		edges[i] = Edge{U: e.U, V: e.V, W: float64(e.Cap)}
+	}
+	return edges
+}
+
+func TestSparsifyReducesEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Complete(64) // m = 2016
+	edges := fromGraph(g)
+	res, err := Sparsify(g.N(), edges, Config{PackSize: 2, TargetFactor: 0.5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) >= len(edges) {
+		t.Errorf("no reduction: %d -> %d", len(edges), len(res.Edges))
+	}
+	if res.Rounds == 0 || res.SpannersBuilt == 0 {
+		t.Error("no work recorded")
+	}
+}
+
+func TestSparsifyPreservesCuts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.Complete(48)
+	edges := fromGraph(g)
+	res, err := Sparsify(g.N(), edges, Config{PackSize: 3, TargetFactor: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sampled cuts must be preserved within a modest factor; with
+	// practical pack sizes we verify the measured distortion is small
+	// rather than the asymptotic 1±o(1) (see DESIGN.md).
+	worst := 1.0
+	for i := 0; i < 40; i++ {
+		side := graph.RandomCut(g.N(), rng)
+		orig := CutWeight(edges, side)
+		sp := CutWeight(res.Edges, side)
+		if orig == 0 {
+			continue
+		}
+		r := sp / orig
+		if r < 1 {
+			r = 1 / r
+		}
+		if r > worst {
+			worst = r
+		}
+	}
+	if worst > 2.0 {
+		t.Errorf("cut distortion %.3f > 2", worst)
+	}
+}
+
+func TestSparsifyConnectivityPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.GNP(60, 0.3, rng)
+	res, err := Sparsify(g.N(), fromGraph(g), Config{PackSize: 1, TargetFactor: 0.25}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spanner packs always retain a connected subgraph.
+	h := graph.New(g.N())
+	for _, e := range res.Edges {
+		h.AddEdge(e.U, e.V, int64(math.Max(1, e.W)))
+	}
+	if !h.Connected() {
+		t.Error("sparsifier disconnected the graph")
+	}
+}
+
+func TestSparsifyOriginTracking(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.Complete(32)
+	edges := fromGraph(g)
+	res, err := Sparsify(g.N(), edges, Config{PackSize: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Origin) != len(res.Edges) {
+		t.Fatal("origin length mismatch")
+	}
+	for i, o := range res.Origin {
+		if o < 0 || o >= len(edges) {
+			t.Fatalf("origin %d out of range", o)
+		}
+		in, out := edges[o], res.Edges[i]
+		if in.U != out.U || in.V != out.V {
+			t.Fatalf("origin endpoints mismatch: %v vs %v", in, out)
+		}
+		// Weight is the original times a power of 4.
+		ratio := out.W / in.W
+		for ratio > 1.5 {
+			ratio /= 4
+		}
+		if math.Abs(ratio-1) > 1e-9 {
+			t.Fatalf("weight %v not a 4^k multiple of %v", out.W, in.W)
+		}
+	}
+}
+
+func TestSparsifySmallGraphNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.Path(10)
+	edges := fromGraph(g)
+	res, err := Sparsify(g.N(), edges, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) != len(edges) {
+		t.Errorf("small graph should be returned as-is: %d vs %d", len(res.Edges), len(edges))
+	}
+	if res.Rounds != 0 {
+		t.Errorf("Rounds = %d, want 0", res.Rounds)
+	}
+}
+
+func TestSparsifyErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, err := Sparsify(0, nil, Config{}, rng); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestAccountRounds(t *testing.T) {
+	r := &Result{SpannersBuilt: 5}
+	if got := r.AccountRounds(100, 10); got <= 0 {
+		t.Errorf("AccountRounds = %d", got)
+	}
+	zero := &Result{}
+	if got := zero.AccountRounds(100, 10); got != 0 {
+		t.Errorf("AccountRounds(no spanners) = %d", got)
+	}
+}
+
+func TestOrientBoundedOutDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.GNP(50, 0.2, rng)
+	edges := fromGraph(g)
+	out, maxOut := OrientBoundedOutDegree(g.N(), edges)
+	if len(out) != len(edges) {
+		t.Fatal("length mismatch")
+	}
+	davg := 2 * float64(len(edges)) / float64(g.N())
+	// The lemma guarantees O(d_avg); assert within 4×+slack.
+	if float64(maxOut) > 4*davg+4 {
+		t.Errorf("max out-degree %d vs avg degree %.1f", maxOut, davg)
+	}
+}
+
+func TestOrientStar(t *testing.T) {
+	// Star: center has degree n-1 ≫ avg ≈ 2. Leaves must orient inward,
+	// keeping the center's out-degree ~0.
+	n := 30
+	edges := make([]Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, Edge{U: 0, V: v, W: 1})
+	}
+	out, maxOut := OrientBoundedOutDegree(n, edges)
+	centerOut := 0
+	for i, e := range edges {
+		if (e.U == 0 && out[i]) || (e.V == 0 && !out[i]) {
+			centerOut++
+		}
+	}
+	if centerOut > 8 {
+		t.Errorf("center out-degree %d; leaves should own the edges", centerOut)
+	}
+	if maxOut > 8 {
+		t.Errorf("maxOut = %d", maxOut)
+	}
+}
+
+func TestOrientEmpty(t *testing.T) {
+	out, maxOut := OrientBoundedOutDegree(0, nil)
+	if len(out) != 0 || maxOut != 0 {
+		t.Error("empty orientation wrong")
+	}
+}
+
+func TestCutWeight(t *testing.T) {
+	edges := []Edge{{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 3}}
+	if w := CutWeight(edges, []bool{true, false, false}); w != 2 {
+		t.Errorf("CutWeight = %v, want 2", w)
+	}
+}

@@ -1,0 +1,135 @@
+// Package trivialflow implements the "trivial" CONGEST max-flow
+// algorithm the paper's introduction uses as the quadratic-ish yardstick
+// (§1.2): collect the entire topology at one node over a BFS tree,
+// solve the problem locally, and distribute the per-edge flows back.
+// Both transfers move m words through the root, so the measured round
+// count is Θ(m + D) — the bound any o(m)-round algorithm must beat.
+//
+// The collection and redistribution are executed as genuine pipelined
+// message streams (proto.GatherBroadcastMsgs); the local solve uses the
+// exact sequential Dinic solver.
+package trivialflow
+
+import (
+	"fmt"
+
+	"distflow/internal/congest"
+	"distflow/internal/graph"
+	"distflow/internal/proto"
+	"distflow/internal/seqflow"
+)
+
+// edgeMsg announces one edge of the topology: its index, endpoints and
+// capacity — three O(log n)-bit words.
+type edgeMsg struct {
+	ID   int64
+	UV   int64 // U<<32 | V
+	Capa int64
+}
+
+// WireSize implements congest.Message.
+func (edgeMsg) WireSize() int { return 3 * congest.WordBits }
+
+// flowMsg carries the solved flow value of one edge.
+type flowMsg struct {
+	ID   int64
+	Flow int64
+}
+
+// WireSize implements congest.Message.
+func (flowMsg) WireSize() int { return 2 * congest.WordBits }
+
+// Result of a trivial collect-and-solve run.
+type Result struct {
+	Value int64
+	Flow  []int64
+	Stats congest.Stats
+}
+
+// Solve is a function solving max flow on a collected graph; it exists
+// so tests can observe/replace the local solver. The default is Dinic.
+type Solve func(g *graph.Graph, s, t int) (value int64, flow []int64)
+
+// MaxFlow runs the trivial algorithm on the network: BFS tree, gather
+// all m edges to every node (in particular the root), solve locally at
+// the root, and broadcast the m flow values. solve may be nil to use
+// the package default.
+func MaxFlow(nw *congest.Network, s, t int, solve Solve) (*Result, error) {
+	if solve == nil {
+		solve = defaultSolve
+	}
+	g := nw.Graph()
+	var total congest.Stats
+
+	tree, stats, err := proto.BuildBFSTree(nw, 0)
+	if err != nil {
+		return nil, fmt.Errorf("trivialflow: %w", err)
+	}
+	total.Add(stats)
+
+	// Phase 1: stream every edge to the root (and, as a side effect of
+	// the primitive, to everyone — the paper's trivial algorithm only
+	// needs the root copy, the extra broadcast is the same O(m+D) cost).
+	items := make([][]congest.Message, g.N())
+	for e, ed := range g.Edges() {
+		// The endpoint with the smaller ID announces the edge.
+		owner := ed.U
+		if ed.V < owner {
+			owner = ed.V
+		}
+		items[owner] = append(items[owner], edgeMsg{
+			ID:   int64(e),
+			UV:   int64(ed.U)<<32 | int64(ed.V),
+			Capa: ed.Cap,
+		})
+	}
+	collected, stats, err := proto.GatherBroadcastMsgs(nw, tree, items)
+	if err != nil {
+		return nil, fmt.Errorf("trivialflow: gather: %w", err)
+	}
+	total.Add(stats)
+
+	// Local solve at the root on the reconstructed topology.
+	rg := graph.New(g.N())
+	perm := make([]int, len(collected)) // rg edge -> original edge id
+	for i, m := range collected {
+		em, ok := m.(edgeMsg)
+		if !ok {
+			return nil, fmt.Errorf("trivialflow: unexpected payload %T", m)
+		}
+		u := int(em.UV >> 32)
+		v := int(em.UV & 0xffffffff)
+		rg.AddEdge(u, v, em.Capa)
+		perm[i] = int(em.ID)
+	}
+	if rg.M() != g.M() {
+		return nil, fmt.Errorf("trivialflow: collected %d of %d edges", rg.M(), g.M())
+	}
+	value, rflow := solve(rg, s, t)
+
+	// Phase 2: stream the flow assignment back out.
+	flowItems := make([][]congest.Message, g.N())
+	for i, x := range rflow {
+		flowItems[tree.Root] = append(flowItems[tree.Root], flowMsg{ID: int64(perm[i]), Flow: x})
+	}
+	returned, stats, err := proto.GatherBroadcastMsgs(nw, tree, flowItems)
+	if err != nil {
+		return nil, fmt.Errorf("trivialflow: distribute: %w", err)
+	}
+	total.Add(stats)
+
+	flow := make([]int64, g.M())
+	for _, m := range returned {
+		fm, ok := m.(flowMsg)
+		if !ok {
+			return nil, fmt.Errorf("trivialflow: unexpected payload %T", m)
+		}
+		flow[fm.ID] = fm.Flow
+	}
+	return &Result{Value: value, Flow: flow, Stats: total}, nil
+}
+
+func defaultSolve(g *graph.Graph, s, t int) (int64, []int64) {
+	r := seqflow.MaxFlow(g, s, t)
+	return r.Value, r.Flow
+}

@@ -1,0 +1,93 @@
+package trivialflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"distflow/internal/congest"
+	"distflow/internal/graph"
+	"distflow/internal/seqflow"
+)
+
+func network(g *graph.Graph) *congest.Network {
+	return congest.NewNetwork(g, congest.WithSeed(3))
+}
+
+func TestMatchesDinic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 8; trial++ {
+		g := graph.CapUniform(graph.GNP(18, 0.2, rng), 12, rng)
+		s, tt := 0, g.N()-1
+		want := seqflow.MaxFlow(g, s, tt)
+		r, err := MaxFlow(network(g), s, tt, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if r.Value != want.Value {
+			t.Fatalf("trial %d: value %d, want %d", trial, r.Value, want.Value)
+		}
+		// The distributed copy of the flow must be a feasible max flow
+		// (edge order through the pipeline may differ from the original,
+		// so Dinic can legitimately return a different optimal flow).
+		f := make([]float64, g.M())
+		for e, x := range r.Flow {
+			f[e] = float64(x)
+		}
+		capEx, consErr := seqflow.CheckFlow(g, f, s, tt, float64(r.Value))
+		if capEx > 0 || consErr > 0 {
+			t.Fatalf("trial %d: infeasible distributed flow (capEx=%v consErr=%v)", trial, capEx, consErr)
+		}
+	}
+}
+
+// Rounds must scale with m (the whole point of the baseline).
+func TestRoundsScaleWithM(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	small := graph.GNP(24, 0.08, rng)
+	big := graph.GNP(24, 0.5, rng)
+	rs, err := MaxFlow(network(small), 0, 23, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := MaxFlow(network(big), 0, 23, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Stats.Rounds <= rs.Stats.Rounds {
+		t.Errorf("rounds should grow with m: m=%d→%d rounds, m=%d→%d rounds",
+			small.M(), rs.Stats.Rounds, big.M(), rb.Stats.Rounds)
+	}
+	// 2m words through the root plus tree building: at least 2m rounds.
+	if rb.Stats.Rounds < 2*big.M() {
+		t.Errorf("rounds %d below the 2m=%d pipeline floor", rb.Stats.Rounds, 2*big.M())
+	}
+}
+
+func TestCustomSolverUsed(t *testing.T) {
+	g := graph.Path(4)
+	called := false
+	solve := func(g *graph.Graph, s, t int) (int64, []int64) {
+		called = true
+		return 42, make([]int64, g.M())
+	}
+	r, err := MaxFlow(network(g), 0, 3, solve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !called || r.Value != 42 {
+		t.Error("custom solver not used")
+	}
+}
+
+func TestParallelEdgesSurvive(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(0, 1, 3)
+	r, err := MaxFlow(network(g), 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 5 {
+		t.Fatalf("Value = %d, want 5", r.Value)
+	}
+}

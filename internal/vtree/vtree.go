@@ -1,0 +1,365 @@
+// Package vtree provides rooted virtual trees — trees over the vertex
+// set whose edges need not be graph edges — together with the sweep
+// operations the congestion approximator is built from (§9.1–9.2):
+//
+//   - SubtreeSums: one bottom-up sweep; applied to a demand vector it
+//     yields, for every tree edge (v, parent(v)), the net demand of the
+//     subtree below it — exactly the flow that edge must carry when the
+//     demand is routed on the tree, i.e. one block of R·b.
+//   - RootPathSums: one top-down sweep; applied to per-edge prices it
+//     yields the node potentials π of Eq. (4), i.e. one block of Rᵀ·p.
+//   - TreeFlow: the multigraph load |f'| of §8.1/Fig. 2 — route cap(e)
+//     units along the tree for every graph edge e and accumulate.
+//   - Decompose: the randomized edge-sampling decomposition of
+//     Lemma 8.2, splitting a tree into O(√n) components of depth Õ(√n).
+//
+// The sweeps are array-based and O(n); their distributed counterparts
+// (convergecast/downcast on the cluster hierarchy, Corollary 9.3) are in
+// internal/proto and internal/capprox, and tests cross-check the two.
+package vtree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// VTree is a rooted tree on vertices 0..n-1. Edge v→Parent[v] has
+// capacity Cap[v] (Cap[Root] is unused and forced to 0).
+type VTree struct {
+	Root   int
+	Parent []int
+	Cap    []float64
+	Depth  []int
+
+	order []int // vertices in root-first topological order
+}
+
+// New builds a VTree from parent pointers, validating shape. cap may be
+// nil (all capacities set to 1).
+func New(root int, parent []int, capacity []float64) (*VTree, error) {
+	n := len(parent)
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("vtree: root %d out of range", root)
+	}
+	if parent[root] != -1 {
+		return nil, fmt.Errorf("vtree: root %d has parent %d", root, parent[root])
+	}
+	if capacity == nil {
+		capacity = make([]float64, n)
+		for i := range capacity {
+			capacity[i] = 1
+		}
+	}
+	if len(capacity) != n {
+		return nil, fmt.Errorf("vtree: capacity length %d, want %d", len(capacity), n)
+	}
+	t := &VTree{
+		Root:   root,
+		Parent: append([]int(nil), parent...),
+		Cap:    append([]float64(nil), capacity...),
+		Depth:  make([]int, n),
+	}
+	t.Cap[root] = 0
+	for v, c := range t.Cap {
+		if v != root && c <= 0 {
+			return nil, fmt.Errorf("vtree: edge %d→%d has capacity %v", v, parent[v], c)
+		}
+	}
+	// Build children counts, then a BFS order from the root.
+	kids := make([][]int, n)
+	for v, p := range parent {
+		if v == root {
+			continue
+		}
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("vtree: vertex %d has parent %d", v, p)
+		}
+		kids[p] = append(kids[p], v)
+	}
+	t.order = make([]int, 0, n)
+	t.order = append(t.order, root)
+	for i := 0; i < len(t.order); i++ {
+		v := t.order[i]
+		for _, c := range kids[v] {
+			t.Depth[c] = t.Depth[v] + 1
+			t.order = append(t.order, c)
+		}
+	}
+	if len(t.order) != n {
+		return nil, fmt.Errorf("vtree: parents reach %d of %d vertices (cycle or forest)", len(t.order), n)
+	}
+	return t, nil
+}
+
+// N returns the number of vertices.
+func (t *VTree) N() int { return len(t.Parent) }
+
+// Height returns the maximum depth.
+func (t *VTree) Height() int {
+	h := 0
+	for _, d := range t.Depth {
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// SubtreeSums returns, for every vertex v, the sum of x over the subtree
+// rooted at v (one O(n) bottom-up sweep).
+func (t *VTree) SubtreeSums(x []float64) []float64 {
+	if len(x) != t.N() {
+		panic("vtree: input length mismatch")
+	}
+	out := append([]float64(nil), x...)
+	for i := len(t.order) - 1; i > 0; i-- {
+		v := t.order[i]
+		out[t.Parent[v]] += out[v]
+	}
+	return out
+}
+
+// RootPathSums returns, for every vertex v, the sum of p over the
+// vertices on the root→v path, inclusive (one O(n) top-down sweep).
+// Convention: p[v] is the price attached to edge (v, parent(v)); the
+// root's entry is included as-is and is normally 0.
+func (t *VTree) RootPathSums(p []float64) []float64 {
+	if len(p) != t.N() {
+		panic("vtree: input length mismatch")
+	}
+	out := append([]float64(nil), p...)
+	for _, v := range t.order[1:] {
+		out[v] += out[t.Parent[v]]
+	}
+	return out
+}
+
+// RouteDemand routes the demand vector b on the tree (routing on trees
+// is unique) and returns the signed flow on each edge (v, parent(v)):
+// positive = toward the parent. Entry at the root is the total demand
+// (≈0 for feasible b).
+func (t *VTree) RouteDemand(b []float64) []float64 {
+	return t.SubtreeSums(b)
+}
+
+// Congestion returns max_v |flow(v)|/Cap[v] for the tree routing of b.
+func (t *VTree) Congestion(b []float64) float64 {
+	f := t.RouteDemand(b)
+	m := 0.0
+	for v, x := range f {
+		if v == t.Root {
+			continue
+		}
+		if c := math.Abs(x) / t.Cap[v]; c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// InSubtree returns the indicator of the subtree rooted at v — the cut
+// of G induced by tree edge (v, parent(v)).
+func (t *VTree) InSubtree(v int) []bool {
+	side := make([]bool, t.N())
+	side[v] = true
+	for _, u := range t.order {
+		if u != v && t.Parent[u] >= 0 && side[t.Parent[u]] {
+			side[u] = true
+		}
+	}
+	return side
+}
+
+// Order returns vertices in root-first topological order. Callers must
+// not modify the slice.
+func (t *VTree) Order() []int { return t.order }
+
+// --- LCA via binary lifting ---
+
+// LCA answers lowest-common-ancestor queries on a VTree in O(log n).
+type LCA struct {
+	t  *VTree
+	up [][]int32 // up[k][v] = 2^k-th ancestor (root loops to itself)
+}
+
+// NewLCA preprocesses t (O(n log n)).
+func NewLCA(t *VTree) *LCA {
+	n := t.N()
+	levels := 1
+	for (1 << levels) < n {
+		levels++
+	}
+	up := make([][]int32, levels+1)
+	up[0] = make([]int32, n)
+	for v := 0; v < n; v++ {
+		p := t.Parent[v]
+		if p < 0 {
+			p = v
+		}
+		up[0][v] = int32(p)
+	}
+	for k := 1; k <= levels; k++ {
+		up[k] = make([]int32, n)
+		for v := 0; v < n; v++ {
+			up[k][v] = up[k-1][up[k-1][v]]
+		}
+	}
+	return &LCA{t: t, up: up}
+}
+
+// Query returns the lowest common ancestor of u and v.
+func (l *LCA) Query(u, v int) int {
+	t := l.t
+	if t.Depth[u] < t.Depth[v] {
+		u, v = v, u
+	}
+	diff := t.Depth[u] - t.Depth[v]
+	for k := 0; diff > 0; k++ {
+		if diff&1 == 1 {
+			u = int(l.up[k][u])
+		}
+		diff >>= 1
+	}
+	if u == v {
+		return u
+	}
+	for k := len(l.up) - 1; k >= 0; k-- {
+		if l.up[k][u] != l.up[k][v] {
+			u = int(l.up[k][u])
+			v = int(l.up[k][v])
+		}
+	}
+	return t.Parent[u]
+}
+
+// --- Tree flow (Fig. 2 / §8.1) ---
+
+// EdgeEndpoint describes one capacitated vertex pair to be routed.
+type EdgeEndpoint struct {
+	U, V int
+	Cap  float64
+}
+
+// TreeFlow routes cap(e) units along the tree for every supplied pair
+// (the multicommodity flow f' of §8.1, where opposing flows do not
+// cancel) and returns the absolute load |f'| on every tree edge
+// (v, parent(v)). Implemented with the LCA difference trick in
+// O((n+m) log n).
+func (t *VTree) TreeFlow(edges []EdgeEndpoint) []float64 {
+	lca := NewLCA(t)
+	delta := make([]float64, t.N())
+	for _, e := range edges {
+		if e.U == e.V {
+			continue // self-loop after contraction: routes nowhere
+		}
+		a := lca.Query(e.U, e.V)
+		delta[e.U] += e.Cap
+		delta[e.V] += e.Cap
+		delta[a] -= 2 * e.Cap
+	}
+	load := t.SubtreeSums(delta)
+	load[t.Root] = 0
+	return load
+}
+
+// PathLength returns the length of the unique u-v path where each tree
+// edge (v,parent) has length lengths[v] (lengths[root] ignored).
+func (t *VTree) PathLength(lca *LCA, lengths []float64, u, v int) float64 {
+	// dist from root computed on demand would be O(n); caller-side
+	// prefix sums are cheaper for bulk queries — see StretchSum.
+	a := lca.Query(u, v)
+	var d float64
+	for x := u; x != a; x = t.Parent[x] {
+		d += lengths[x]
+	}
+	for x := v; x != a; x = t.Parent[x] {
+		d += lengths[x]
+	}
+	return d
+}
+
+// StretchSum computes Σ_i dT(u_i, v_i)·w_i efficiently using root-path
+// prefix sums, where tree edge (v,parent) has length lengths[v]. Used to
+// measure the average stretch of spanning trees (Theorem 3.1).
+func (t *VTree) StretchSum(pairs []EdgeEndpoint, lengths []float64) float64 {
+	lca := NewLCA(t)
+	pfx := t.RootPathSums(lengthsWithZeroRoot(t, lengths))
+	var total float64
+	for _, p := range pairs {
+		a := lca.Query(p.U, p.V)
+		d := pfx[p.U] + pfx[p.V] - 2*pfx[a]
+		total += d * p.Cap
+	}
+	return total
+}
+
+func lengthsWithZeroRoot(t *VTree, lengths []float64) []float64 {
+	out := append([]float64(nil), lengths...)
+	out[t.Root] = 0
+	return out
+}
+
+// --- Lemma 8.2 decomposition ---
+
+// Decomposition is the result of the random edge-sampling tree
+// decomposition.
+type Decomposition struct {
+	// Comp[v] is the component index of vertex v.
+	Comp []int
+	// CompRoot[i] is the unique top vertex of component i.
+	CompRoot []int
+	// Removed marks vertices whose parent edge was sampled out.
+	Removed []bool
+	// MaxDepth is the maximum depth within components.
+	MaxDepth int
+}
+
+// NumComponents returns the number of components.
+func (d *Decomposition) NumComponents() int { return len(d.CompRoot) }
+
+// Decompose removes each edge (v, parent(v)) independently with
+// probability min(1, size[v]/√n) — Lemma 8.2 with size[v] the weight of
+// the subtree vertex (cluster size in the recursive construction; pass
+// nil for all-ones). W.h.p. the result has O(√n·log n) components of
+// depth O(√n·log n).
+func (t *VTree) Decompose(size []float64, sqrtN float64, rng *rand.Rand) *Decomposition {
+	n := t.N()
+	if size == nil {
+		size = make([]float64, n)
+		for i := range size {
+			size[i] = 1
+		}
+	}
+	d := &Decomposition{
+		Comp:    make([]int, n),
+		Removed: make([]bool, n),
+	}
+	for v := 0; v < n; v++ {
+		if v == t.Root {
+			continue
+		}
+		q := size[v] / sqrtN
+		if q >= 1 || rng.Float64() < q {
+			d.Removed[v] = true
+		}
+	}
+	depth := make([]int, n)
+	for i := range d.Comp {
+		d.Comp[i] = -1
+	}
+	for _, v := range t.order {
+		if v == t.Root || d.Removed[v] {
+			d.Comp[v] = len(d.CompRoot)
+			d.CompRoot = append(d.CompRoot, v)
+			depth[v] = 0
+		} else {
+			d.Comp[v] = d.Comp[t.Parent[v]]
+			depth[v] = depth[t.Parent[v]] + 1
+			if depth[v] > d.MaxDepth {
+				d.MaxDepth = depth[v]
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,390 @@
+package vtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// chain builds the path tree 0←1←2←...←(n-1) rooted at 0.
+func chain(n int) *VTree {
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = v - 1
+	}
+	t, err := New(0, parent, nil)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// star builds the star with center 0.
+func star(n int) *VTree {
+	parent := make([]int, n)
+	parent[0] = -1
+	t, err := New(0, parent, nil)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// randomTree builds a random tree rooted at 0.
+func randomTree(n int, rng *rand.Rand) *VTree {
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = rng.Intn(v)
+	}
+	caps := make([]float64, n)
+	for v := range caps {
+		caps[v] = 1 + rng.Float64()*9
+	}
+	t, err := New(0, parent, caps)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, []int{-1, 0, 1}, nil); err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		root   int
+		parent []int
+		caps   []float64
+	}{
+		{"root out of range", 5, []int{-1}, nil},
+		{"root has parent", 0, []int{1, -1}, nil},
+		{"cycle", 0, []int{-1, 2, 1}, nil},
+		{"parent out of range", 0, []int{-1, 9}, nil},
+		{"bad capacity", 0, []int{-1, 0}, []float64{0, 0}},
+		{"cap length", 0, []int{-1, 0}, []float64{1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.root, tc.parent, tc.caps); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestSubtreeSumsChain(t *testing.T) {
+	tr := chain(4)
+	x := []float64{1, 2, 3, 4}
+	got := tr.SubtreeSums(x)
+	want := []float64{10, 9, 7, 4}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Errorf("sum[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestRootPathSumsChain(t *testing.T) {
+	tr := chain(4)
+	p := []float64{0, 10, 100, 1000}
+	got := tr.RootPathSums(p)
+	want := []float64{0, 10, 110, 1110}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Errorf("pfx[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+// Adjoint property: <SubtreeSums(x), p> == <x, RootPathSums(p)>. This is
+// exactly R and Rᵀ being transposes of each other, the identity the
+// gradient computation (Eq. 3/4) relies on.
+func TestSweepAdjointProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		tr := randomTree(2+rng.Intn(60), rng)
+		n := tr.N()
+		x := make([]float64, n)
+		p := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = rng.NormFloat64()
+			p[i] = rng.NormFloat64()
+		}
+		p[tr.Root] = 0
+		s := tr.SubtreeSums(x)
+		q := tr.RootPathSums(p)
+		var lhs, rhs float64
+		for i := 0; i < n; i++ {
+			lhs += s[i] * p[i]
+			rhs += x[i] * q[i]
+		}
+		if math.Abs(lhs-rhs) > 1e-9*math.Max(1, math.Abs(lhs)) {
+			t.Fatalf("trial %d: adjoint identity broken: %v vs %v", trial, lhs, rhs)
+		}
+	}
+}
+
+func TestRouteDemandMatchesCutDemand(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 25; trial++ {
+		tr := randomTree(2+rng.Intn(40), rng)
+		n := tr.N()
+		b := make([]float64, n)
+		var sum float64
+		for i := 1; i < n; i++ {
+			b[i] = rng.NormFloat64()
+			sum += b[i]
+		}
+		b[0] = -sum // feasible demand
+		f := tr.RouteDemand(b)
+		// Flow on (v,parent) equals demand inside the subtree cut.
+		for v := 0; v < n; v++ {
+			if v == tr.Root {
+				continue
+			}
+			side := tr.InSubtree(v)
+			var want float64
+			for u, in := range side {
+				if in {
+					want += b[u]
+				}
+			}
+			if math.Abs(f[v]-want) > 1e-9 {
+				t.Fatalf("trial %d: flow[%d] = %v, want %v", trial, v, f[v], want)
+			}
+		}
+	}
+}
+
+func TestCongestion(t *testing.T) {
+	tr := chain(3)
+	tr.Cap[1] = 2
+	tr.Cap[2] = 4
+	// Demand: +3 at node 2, -3 at root.
+	b := []float64{-3, 0, 3}
+	// Edge 2→1 carries 3 (cong 0.75), edge 1→0 carries 3 (cong 1.5).
+	if c := tr.Congestion(b); math.Abs(c-1.5) > 1e-12 {
+		t.Errorf("Congestion = %v, want 1.5", c)
+	}
+}
+
+func TestLCA(t *testing.T) {
+	// Tree:      0
+	//          /   \
+	//         1     2
+	//        / \     \
+	//       3   4     5
+	//      /
+	//     6
+	parent := []int{-1, 0, 0, 1, 1, 2, 3}
+	tr, err := New(0, parent, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lca := NewLCA(tr)
+	cases := []struct{ u, v, want int }{
+		{3, 4, 1}, {6, 4, 1}, {6, 5, 0}, {3, 3, 3}, {1, 6, 1}, {0, 5, 0}, {4, 2, 0},
+	}
+	for _, tc := range cases {
+		if got := lca.Query(tc.u, tc.v); got != tc.want {
+			t.Errorf("LCA(%d,%d) = %d, want %d", tc.u, tc.v, got, tc.want)
+		}
+		if got := lca.Query(tc.v, tc.u); got != tc.want {
+			t.Errorf("LCA(%d,%d) = %d, want %d (symmetric)", tc.v, tc.u, got, tc.want)
+		}
+	}
+}
+
+func TestLCARandomAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tr := randomTree(80, rng)
+	lca := NewLCA(tr)
+	naive := func(u, v int) int {
+		anc := map[int]bool{}
+		for x := u; ; x = tr.Parent[x] {
+			anc[x] = true
+			if x == tr.Root {
+				break
+			}
+		}
+		for x := v; ; x = tr.Parent[x] {
+			if anc[x] {
+				return x
+			}
+		}
+	}
+	for i := 0; i < 200; i++ {
+		u, v := rng.Intn(80), rng.Intn(80)
+		if got, want := lca.Query(u, v), naive(u, v); got != want {
+			t.Fatalf("LCA(%d,%d) = %d, want %d", u, v, got, want)
+		}
+	}
+}
+
+func TestTreeFlowStar(t *testing.T) {
+	// Star center 0 with leaves 1,2,3; route edges (1,2) cap 5 and (2,3)
+	// cap 2. Leaf loads: 1:5, 2:7, 3:2.
+	tr := star(4)
+	load := tr.TreeFlow([]EdgeEndpoint{{U: 1, V: 2, Cap: 5}, {U: 2, V: 3, Cap: 2}})
+	want := []float64{0, 5, 7, 2}
+	for v := range want {
+		if load[v] != want[v] {
+			t.Errorf("load[%d] = %v, want %v", v, load[v], want[v])
+		}
+	}
+}
+
+// TreeFlow must dominate the cut capacity: for every tree edge, the load
+// equals the total capacity of graph edges crossing the subtree cut —
+// the Fig. 2 identity. Verified against direct cut computation.
+func TestTreeFlowEqualsCutCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 20; trial++ {
+		tr := randomTree(2+rng.Intn(50), rng)
+		n := tr.N()
+		var edges []EdgeEndpoint
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			edges = append(edges, EdgeEndpoint{U: u, V: v, Cap: float64(1 + rng.Intn(9))})
+		}
+		load := tr.TreeFlow(edges)
+		for v := 0; v < n; v++ {
+			if v == tr.Root {
+				continue
+			}
+			side := tr.InSubtree(v)
+			var want float64
+			for _, e := range edges {
+				if side[e.U] != side[e.V] {
+					want += e.Cap
+				}
+			}
+			if math.Abs(load[v]-want) > 1e-9 {
+				t.Fatalf("trial %d edge above %d: load %v, want cut cap %v", trial, v, load[v], want)
+			}
+		}
+	}
+}
+
+func TestTreeFlowSelfLoopIgnored(t *testing.T) {
+	tr := chain(3)
+	load := tr.TreeFlow([]EdgeEndpoint{{U: 1, V: 1, Cap: 99}})
+	for v, x := range load {
+		if x != 0 {
+			t.Errorf("load[%d] = %v, want 0", v, x)
+		}
+	}
+}
+
+func TestStretchSumChain(t *testing.T) {
+	tr := chain(4)
+	lengths := []float64{0, 1, 2, 4}
+	// Pair (3,0): path length 1+2+4 = 7, weight 2 → 14.
+	// Pair (1,2): length 2 → 2. Total 16.
+	got := tr.StretchSum([]EdgeEndpoint{{U: 3, V: 0, Cap: 2}, {U: 1, V: 2, Cap: 1}}, lengths)
+	if got != 16 {
+		t.Errorf("StretchSum = %v, want 16", got)
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	tr := chain(5)
+	lengths := []float64{0, 1, 1, 1, 1}
+	lca := NewLCA(tr)
+	if d := tr.PathLength(lca, lengths, 4, 1); d != 3 {
+		t.Errorf("PathLength = %v, want 3", d)
+	}
+	if d := tr.PathLength(lca, lengths, 2, 2); d != 0 {
+		t.Errorf("PathLength same vertex = %v, want 0", d)
+	}
+}
+
+func TestDecomposeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	n := 1024
+	tr := chain(n)
+	sqrtN := math.Sqrt(float64(n))
+	d := tr.Decompose(nil, sqrtN, rng)
+
+	// Components partition the vertices and each has its root marked.
+	for v := 0; v < n; v++ {
+		if d.Comp[v] < 0 || d.Comp[v] >= d.NumComponents() {
+			t.Fatalf("vertex %d unassigned", v)
+		}
+	}
+	for i, r := range d.CompRoot {
+		if d.Comp[r] != i {
+			t.Fatalf("component %d root %d misassigned", i, r)
+		}
+	}
+	// Expected #components ≈ √n = 32; depth Õ(√n). Allow generous slack.
+	if c := d.NumComponents(); c < 5 || c > 8*int(sqrtN) {
+		t.Errorf("components = %d, want ≈ %v", c, sqrtN)
+	}
+	if d.MaxDepth > 16*int(sqrtN*math.Log(float64(n))) {
+		t.Errorf("max depth %d exceeds Õ(√n)", d.MaxDepth)
+	}
+	// Components must be contiguous on the chain (each is an interval).
+	for v := 1; v < n; v++ {
+		if !d.Removed[v] && d.Comp[v] != d.Comp[v-1] {
+			t.Fatalf("non-removed edge %d splits components", v)
+		}
+	}
+}
+
+func TestDecomposeWeighted(t *testing.T) {
+	// Weight √n on every vertex forces every edge to be removed.
+	rng := rand.New(rand.NewSource(18))
+	tr := chain(50)
+	size := make([]float64, 50)
+	for i := range size {
+		size[i] = 1000
+	}
+	d := tr.Decompose(size, 7, rng)
+	if d.NumComponents() != 50 {
+		t.Errorf("components = %d, want 50 (all edges cut)", d.NumComponents())
+	}
+	if d.MaxDepth != 0 {
+		t.Errorf("MaxDepth = %d, want 0", d.MaxDepth)
+	}
+}
+
+func TestDecomposeDepthBoundManyTrials(t *testing.T) {
+	// Lemma 8.2 depth bound d + O(√n log n) over repeated samples.
+	rng := rand.New(rand.NewSource(20))
+	n := 2048
+	tr := chain(n)
+	sqrtN := math.Sqrt(float64(n))
+	bound := int(6 * sqrtN * math.Log(float64(n)))
+	for trial := 0; trial < 10; trial++ {
+		d := tr.Decompose(nil, sqrtN, rng)
+		if d.MaxDepth > bound {
+			t.Errorf("trial %d: depth %d exceeds bound %d", trial, d.MaxDepth, bound)
+		}
+	}
+}
+
+func TestHeightAndOrder(t *testing.T) {
+	tr := chain(6)
+	if tr.Height() != 5 {
+		t.Errorf("Height = %d, want 5", tr.Height())
+	}
+	ord := tr.Order()
+	if len(ord) != 6 || ord[0] != tr.Root {
+		t.Errorf("Order wrong: %v", ord)
+	}
+	seen := make([]bool, 6)
+	seen[tr.Root] = true
+	for _, v := range ord[1:] {
+		if !seen[tr.Parent[v]] {
+			t.Fatalf("order not topological at %d", v)
+		}
+		seen[v] = true
+	}
+}
