@@ -1,0 +1,160 @@
+package main
+
+// The -flow mode benchmarks the end-to-end solver on a single large
+// random graph: congestion-approximator construction, then a stream of
+// max-flow queries issued one at a time (the sequential reference) and,
+// when the batch API is enabled, the same queries through
+// Router.MaxFlowBatch. Results can be written as JSON (-json) so that
+// successive runs are diffable; BENCH_seed.json in the repository root
+// is the pre-parallel-core baseline recorded with this command.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"distflow"
+	"distflow/internal/graph"
+)
+
+// FlowBenchConfig parameterizes one -flow run.
+type FlowBenchConfig struct {
+	N       int     `json:"n"`
+	Degree  float64 `json:"degree"`
+	MaxCap  int64   `json:"max_cap"`
+	Seed    int64   `json:"seed"`
+	Queries int     `json:"queries"`
+	Epsilon float64 `json:"epsilon"`
+	Workers int     `json:"workers"`
+}
+
+// FlowBenchResult is the JSON document emitted by -flow -json.
+type FlowBenchResult struct {
+	Config     FlowBenchConfig `json:"config"`
+	GoMaxProcs int             `json:"go_max_procs"`
+	NumCPU     int             `json:"num_cpu"`
+	M          int             `json:"m"`
+
+	RouterBuildSeconds float64 `json:"router_build_seconds"`
+	// SequentialSeconds is the wall time of issuing every query
+	// one-at-a-time on a single goroutine.
+	SequentialSeconds float64 `json:"sequential_seconds"`
+	// BatchSeconds is the wall time of the same queries through
+	// Router.MaxFlowBatch (0 when the run predates the batch API).
+	BatchSeconds float64 `json:"batch_seconds,omitempty"`
+	// SpeedupBatch = SequentialSeconds / BatchSeconds.
+	SpeedupBatch float64 `json:"speedup_batch_vs_sequential,omitempty"`
+
+	// ValueSum fingerprints the results: the sum of all query flow
+	// values. Runs that must agree bit-for-bit can diff this field.
+	ValueSum      float64 `json:"value_sum"`
+	BatchValueSum float64 `json:"batch_value_sum,omitempty"`
+	Iterations    int     `json:"iterations"`
+}
+
+func runFlowBench(cfg FlowBenchConfig, jsonPath string) error {
+	if cfg.N < 2 {
+		return fmt.Errorf("-flow needs -n >= 2 (no s-t pair exists on %d vertices)", cfg.N)
+	}
+	if cfg.Queries < 1 {
+		return fmt.Errorf("-flow needs -queries >= 1")
+	}
+	if cfg.Workers != 0 {
+		distflow.SetParallelism(cfg.Workers)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gg := graph.CapUniform(graph.GNP(cfg.N, cfg.Degree/float64(cfg.N), rng), cfg.MaxCap, rng)
+	G := distflow.NewGraph(gg.N())
+	for _, e := range gg.Edges() {
+		G.AddEdge(e.U, e.V, e.Cap)
+	}
+	res := FlowBenchResult{
+		Config:     cfg,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		M:          G.M(),
+	}
+	fmt.Printf("flow bench: n=%d m=%d queries=%d eps=%v workers=%d GOMAXPROCS=%d\n",
+		G.N(), G.M(), cfg.Queries, cfg.Epsilon, cfg.Workers, res.GoMaxProcs)
+
+	start := time.Now()
+	r, err := distflow.NewRouter(G, distflow.Options{Epsilon: cfg.Epsilon, Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	res.RouterBuildSeconds = time.Since(start).Seconds()
+	fmt.Printf("  router build          %8.3fs (alpha=%.3f)\n", res.RouterBuildSeconds, r.Alpha())
+
+	pairs := flowBenchPairs(G.N(), cfg.Queries, cfg.Seed)
+
+	start = time.Now()
+	for _, p := range pairs {
+		fr, err := r.MaxFlow(p.S, p.T)
+		if err != nil {
+			return fmt.Errorf("sequential query %d-%d: %w", p.S, p.T, err)
+		}
+		res.ValueSum += fr.Value
+		res.Iterations += fr.Iterations
+	}
+	res.SequentialSeconds = time.Since(start).Seconds()
+	fmt.Printf("  sequential queries    %8.3fs (%.3fs/query, value sum %.6f)\n",
+		res.SequentialSeconds, res.SequentialSeconds/float64(len(pairs)), res.ValueSum)
+
+	if err := runFlowBenchBatch(r, pairs, &res); err != nil {
+		return err
+	}
+
+	if jsonPath != "" {
+		doc, err := json.MarshalIndent(&res, "", "  ")
+		if err != nil {
+			return err
+		}
+		doc = append(doc, '\n')
+		if err := os.WriteFile(jsonPath, doc, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// runFlowBenchBatch issues the same queries through Router.MaxFlowBatch
+// and cross-checks that the batch results match the sequential ones.
+func runFlowBenchBatch(r *distflow.Router, pairs []distflow.STPair, res *FlowBenchResult) error {
+	start := time.Now()
+	batch, err := r.MaxFlowBatch(pairs)
+	if err != nil {
+		return fmt.Errorf("batch: %w", err)
+	}
+	res.BatchSeconds = time.Since(start).Seconds()
+	for _, fr := range batch {
+		res.BatchValueSum += fr.Value
+	}
+	if res.BatchSeconds > 0 {
+		res.SpeedupBatch = res.SequentialSeconds / res.BatchSeconds
+	}
+	fmt.Printf("  batch queries         %8.3fs (%.2fx vs sequential, value sum %.6f)\n",
+		res.BatchSeconds, res.SpeedupBatch, res.BatchValueSum)
+	if res.BatchValueSum != res.ValueSum {
+		return fmt.Errorf("batch value sum %v differs from sequential %v: batch results are not bit-identical",
+			res.BatchValueSum, res.ValueSum)
+	}
+	return nil
+}
+
+// flowBenchPairs derives the query workload deterministically from the
+// seed: distinct random s-t pairs.
+func flowBenchPairs(n, queries int, seed int64) []distflow.STPair {
+	rng := rand.New(rand.NewSource(seed + 1))
+	pairs := make([]distflow.STPair, 0, queries)
+	for len(pairs) < queries {
+		s, t := rng.Intn(n), rng.Intn(n)
+		if s != t {
+			pairs = append(pairs, distflow.STPair{S: s, T: t})
+		}
+	}
+	return pairs
+}

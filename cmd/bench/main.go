@@ -7,6 +7,13 @@
 //	bench            # all experiments at full scale
 //	bench -exp e4    # one experiment
 //	bench -quick     # reduced sizes (the configuration CI runs)
+//
+// The -flow mode instead benchmarks the solver serving path (router
+// construction, then sequential vs batched max-flow queries) and can
+// record the measurements as JSON:
+//
+//	bench -flow -n 2500 -queries 8 -json BENCH.json
+//	bench -flow -workers 1          # pin the solver core to one worker
 package main
 
 import (
@@ -30,8 +37,29 @@ func run() error {
 	var (
 		exp   = flag.String("exp", "", "comma-separated experiment ids (e1..e10); empty = all")
 		quick = flag.Bool("quick", false, "reduced instance sizes")
+
+		flow     = flag.Bool("flow", false, "benchmark the solver serving path instead of the experiment tables")
+		flowN    = flag.Int("n", 2500, "-flow: vertex count of the benchmark graph")
+		flowDeg  = flag.Float64("deg", 8, "-flow: expected average degree")
+		flowCap  = flag.Int64("cap", 64, "-flow: maximum edge capacity")
+		flowSeed = flag.Int64("seed", 3, "-flow: graph/query PRNG seed")
+		queries  = flag.Int("queries", 8, "-flow: number of s-t queries")
+		epsilon  = flag.Float64("eps", 0.5, "-flow: approximation target")
+		workers  = flag.Int("workers", 0, "-flow: solver worker count (0 = GOMAXPROCS)")
+		jsonOut  = flag.String("json", "", "-flow: write measurements to this JSON file")
 	)
 	flag.Parse()
+	if *flow {
+		return runFlowBench(FlowBenchConfig{
+			N:       *flowN,
+			Degree:  *flowDeg,
+			MaxCap:  *flowCap,
+			Seed:    *flowSeed,
+			Queries: *queries,
+			Epsilon: *epsilon,
+			Workers: *workers,
+		}, *jsonOut)
+	}
 	scale := experiments.Full
 	if *quick {
 		scale = experiments.Quick

@@ -27,9 +27,18 @@ import (
 
 	"distflow/internal/capprox"
 	"distflow/internal/graph"
+	"distflow/internal/par"
 	"distflow/internal/seqflow"
 	"distflow/internal/sherman"
 )
+
+// SetParallelism sets the number of workers the solver core uses for
+// its parallel operators and batch queries, returning the previous
+// value. n <= 0 resets to runtime.GOMAXPROCS(0), the default. Solver
+// results never depend on this value — the parallel reductions combine
+// partials in an order fixed by the problem size alone (see DESIGN.md
+// §4) — so it only trades latency for CPU.
+func SetParallelism(n int) int { return par.SetWorkers(n) }
 
 // Graph is an undirected capacitated multigraph under construction.
 // Vertices are 0..n-1; parallel edges are allowed; capacities are
@@ -122,6 +131,13 @@ func ExactMaxFlow(G *Graph, s, t int) (value int64, flow []int64) {
 
 // Router holds a congestion approximator built once for a graph and
 // reusable across many flow and routing queries.
+//
+// A Router is safe for concurrent use: after NewRouter returns, the
+// graph and the approximator are never mutated, and every query works
+// on its own solver workspace with its own round ledger. Any number of
+// goroutines may call MaxFlow / RouteDemand on one shared Router, and
+// the batch methods amortize the approximator across many simultaneous
+// queries on the internal worker pool.
 type Router struct {
 	g    *graph.Graph
 	apx  *capprox.Approximator
@@ -241,4 +257,64 @@ func (r *Router) RouteDemand(b []float64, eps float64) (flow []float64, congesti
 // scaling this is a true cut-based bound).
 func (r *Router) CongestionLowerBound(b []float64) float64 {
 	return r.apx.NormRb(b)
+}
+
+// STPair names one s-t max-flow query of a batch.
+type STPair struct {
+	S, T int
+}
+
+// MaxFlowBatch computes a (1+ε)-approximate maximum flow for every
+// pair, running the queries concurrently on the internal worker pool
+// while sharing the router's congestion approximator. results[i]
+// corresponds to pairs[i] and carries its own isolated round ledger.
+// Every query is deterministic, so the batch results are identical to
+// issuing the same queries one at a time.
+//
+// On error, the first failing query's error (by index order) is
+// returned together with the partial results; failed entries are nil.
+func (r *Router) MaxFlowBatch(pairs []STPair) ([]*Result, error) {
+	results := make([]*Result, len(pairs))
+	errs := make([]error, len(pairs))
+	par.Do(len(pairs), func(i int) {
+		results[i], errs[i] = r.MaxFlow(pairs[i].S, pairs[i].T)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("distflow: batch query %d (%d→%d): %w", i, pairs[i].S, pairs[i].T, err)
+		}
+	}
+	return results, nil
+}
+
+// Routing is the outcome of one demand-routing query of a batch.
+type Routing struct {
+	// Flow meets the queried demand exactly (per-edge signed flow).
+	Flow []float64
+	// Congestion is max_e |Flow_e|/cap_e.
+	Congestion float64
+}
+
+// RouteDemandBatch routes every demand vector concurrently on the
+// internal worker pool, sharing the router's congestion approximator.
+// results[i] corresponds to demands[i]. Like MaxFlowBatch, batch
+// results are identical to sequential one-at-a-time calls; on error the
+// first failing query's error is returned with the partial results.
+func (r *Router) RouteDemandBatch(demands [][]float64, eps float64) ([]*Routing, error) {
+	results := make([]*Routing, len(demands))
+	errs := make([]error, len(demands))
+	par.Do(len(demands), func(i int) {
+		flow, cong, err := r.RouteDemand(demands[i], eps)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		results[i] = &Routing{Flow: flow, Congestion: cong}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("distflow: batch demand %d: %w", i, err)
+		}
+	}
+	return results, nil
 }

@@ -1,0 +1,3 @@
+module distflow
+
+go 1.24.0

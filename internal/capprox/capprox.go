@@ -25,6 +25,7 @@ import (
 	"distflow/internal/congest"
 	"distflow/internal/graph"
 	"distflow/internal/jtree"
+	"distflow/internal/par"
 	"distflow/internal/sparsify"
 	"distflow/internal/vtree"
 )
@@ -103,26 +104,49 @@ func Build(g *graph.Graph, cfg Config, rng *rand.Rand) (*Approximator, error) {
 	a := &Approximator{Ledger: congest.NewLedger()}
 	diameter := g.DiameterApprox()
 
-	for k := 0; k < trees; k++ {
-		t, levels, err := sampleTree(g, cfg, diameter, a.Ledger, rng)
-		if err != nil {
-			return nil, fmt.Errorf("capprox: tree %d: %w", k, err)
+	// Draw one PRNG seed per tree from the master stream up front, then
+	// sample the ⌈log₂n⌉+1 virtual trees concurrently on the shared
+	// worker pool, each from its own independently seeded PRNG. The
+	// seeds — and hence every tree — are a pure function of the master
+	// seed, so builds are reproducible at every worker count. Round
+	// charges accumulate in per-tree ledgers merged in tree order.
+	seeds := make([]int64, trees)
+	for k := range seeds {
+		seeds[k] = rng.Int63()
+	}
+	type sampled struct {
+		t      *vtree.VTree
+		levels []int
+		ledger *congest.Ledger
+		err    error
+	}
+	outs := make([]sampled, trees)
+	par.Do(trees, func(k int) {
+		led := congest.NewLedger()
+		t, levels, err := sampleTree(g, cfg, diameter, led, rand.New(rand.NewSource(seeds[k])))
+		outs[k] = sampled{t: t, levels: levels, ledger: led, err: err}
+	})
+	for k := range outs {
+		if outs[k].err != nil {
+			return nil, fmt.Errorf("capprox: tree %d: %w", k, outs[k].err)
 		}
-		a.Trees = append(a.Trees, t)
-		a.Levels = append(a.Levels, levels)
+		a.Trees = append(a.Trees, outs[k].t)
+		a.Levels = append(a.Levels, outs[k].levels)
+		a.Ledger.Add(outs[k].ledger)
 	}
 
-	// Exact subtree-cut capacities via the tree-flow identity, and the
+	// Exact subtree-cut capacities via the tree-flow identity (one
+	// independent LCA sweep per tree, run tree-parallel), and the
 	// realized distortion α.
 	pairs := make([]vtree.EdgeEndpoint, g.M())
 	for i, e := range g.Edges() {
 		pairs[i] = vtree.EdgeEndpoint{U: e.U, V: e.V, Cap: float64(e.Cap)}
 	}
-	a.Alpha = 1
-	a.AlphaLow = 1
-	for _, t := range a.Trees {
+	a.CutCap = make([][]float64, trees)
+	a.Scale = make([][]float64, trees)
+	par.Do(trees, func(k int) {
+		t := a.Trees[k]
 		cc := t.TreeFlow(pairs)
-		a.CutCap = append(a.CutCap, cc)
 		scale := make([]float64, n)
 		for v := 0; v < n; v++ {
 			if v == t.Root {
@@ -133,16 +157,25 @@ func Build(g *graph.Graph, cfg Config, rng *rand.Rand) (*Approximator, error) {
 			} else {
 				scale[v] = t.Cap[v]
 			}
-			if cc[v] > 0 {
-				if r := t.Cap[v] / cc[v]; r > a.Alpha {
-					a.Alpha = r
-				}
-				if r := cc[v] / t.Cap[v]; r > a.AlphaLow {
-					a.AlphaLow = r
-				}
+		}
+		a.CutCap[k] = cc
+		a.Scale[k] = scale
+	})
+	a.Alpha = 1
+	a.AlphaLow = 1
+	for k, t := range a.Trees {
+		cc := a.CutCap[k]
+		for v := 0; v < n; v++ {
+			if v == t.Root || cc[v] <= 0 {
+				continue
+			}
+			if r := t.Cap[v] / cc[v]; r > a.Alpha {
+				a.Alpha = r
+			}
+			if r := cc[v] / t.Cap[v]; r > a.AlphaLow {
+				a.AlphaLow = r
 			}
 		}
-		a.Scale = append(a.Scale, scale)
 	}
 
 	// Measured Cor. 9.3 evaluation schedule (see field doc).
@@ -358,20 +391,34 @@ func sparsifyCluster(cg *cluster.Graph, rng *rand.Rand) (*cluster.Graph, int64, 
 
 // ApplyR returns y with y[k][v] = (Σ_{u∈subtree_k(v)} b[u]) / Scale[k][v]
 // for every tree k and non-root v (root entries are 0): the congestion
-// estimates of all subtree cuts. One bottom-up sweep per tree.
+// estimates of all subtree cuts. One bottom-up sweep per tree; the
+// trees are independent, so the sweeps run tree-parallel.
 func (a *Approximator) ApplyR(b []float64) [][]float64 {
 	out := make([][]float64, len(a.Trees))
 	for k, t := range a.Trees {
-		s := t.SubtreeSums(b)
-		y := make([]float64, t.N())
+		out[k] = make([]float64, t.N())
+	}
+	return a.ApplyRInto(b, out)
+}
+
+// ApplyRInto is ApplyR writing into caller-provided per-tree buffers
+// (out[k] of length N each), for solvers that re-apply R every
+// iteration and reuse the workspace.
+func (a *Approximator) ApplyRInto(b []float64, out [][]float64) [][]float64 {
+	if len(out) != len(a.Trees) {
+		panic("capprox: output tree count mismatch")
+	}
+	par.Do(len(a.Trees), func(k int) {
+		t := a.Trees[k]
+		y := t.SubtreeSumsInto(b, out[k])
 		for v := 0; v < t.N(); v++ {
 			if v == t.Root || a.Scale[k][v] == 0 {
+				y[v] = 0
 				continue
 			}
-			y[v] = s[v] / a.Scale[k][v]
+			y[v] /= a.Scale[k][v]
 		}
-		out[k] = y
-	}
+	})
 	return out
 }
 
@@ -379,27 +426,50 @@ func (a *Approximator) ApplyR(b []float64) [][]float64 {
 // (v,parent), the node potentials π[u] = Σ_k Σ_{cuts above u} p/scale.
 // One top-down sweep per tree.
 func (a *Approximator) ApplyRT(p [][]float64) []float64 {
-	if len(p) != len(a.Trees) {
-		panic("capprox: price tree count mismatch")
-	}
 	n := 0
 	if len(a.Trees) > 0 {
 		n = a.Trees[0].N()
 	}
-	out := make([]float64, n)
-	for k, t := range a.Trees {
-		scaled := make([]float64, t.N())
+	scratch := make([][]float64, len(a.Trees))
+	for k := range scratch {
+		scratch[k] = make([]float64, n)
+	}
+	return a.ApplyRTInto(p, make([]float64, n), scratch)
+}
+
+// ApplyRTInto is ApplyRT with caller-provided buffers: the per-tree
+// sweeps run tree-parallel into scratch (len Trees, each len N), then
+// out[v] accumulates across trees in fixed tree order chunk-parallel
+// over vertices — the combination order never depends on the worker
+// count, keeping potentials bit-reproducible.
+func (a *Approximator) ApplyRTInto(p [][]float64, out []float64, scratch [][]float64) []float64 {
+	if len(p) != len(a.Trees) {
+		panic("capprox: price tree count mismatch")
+	}
+	if len(scratch) != len(a.Trees) {
+		panic("capprox: scratch tree count mismatch")
+	}
+	par.Do(len(a.Trees), func(k int) {
+		t := a.Trees[k]
+		buf := scratch[k]
 		for v := 0; v < t.N(); v++ {
 			if v == t.Root || a.Scale[k][v] == 0 {
+				buf[v] = 0
 				continue
 			}
-			scaled[v] = p[k][v] / a.Scale[k][v]
+			buf[v] = p[k][v] / a.Scale[k][v]
 		}
-		pfx := t.RootPathSums(scaled)
-		for v := 0; v < t.N(); v++ {
-			out[v] += pfx[v]
+		t.RootPathSumsInto(buf, buf)
+	})
+	par.For(len(out), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			s := 0.0
+			for k := range scratch {
+				s += scratch[k][v]
+			}
+			out[v] = s
 		}
-	}
+	})
 	return out
 }
 

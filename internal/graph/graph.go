@@ -21,6 +21,8 @@ package graph
 import (
 	"errors"
 	"fmt"
+
+	"distflow/internal/par"
 )
 
 // Edge is an undirected capacitated edge with a fixed orientation U→V.
@@ -127,14 +129,34 @@ func (g *Graph) Orientation(e, v int) float64 {
 // (len(f) must equal M). Divergence(f)[v] = Σ_{e out of v} f[e] −
 // Σ_{e into v} f[e] with respect to each edge's fixed orientation.
 func (g *Graph) Divergence(f []float64) []float64 {
+	return g.DivergenceInto(f, make([]float64, g.n))
+}
+
+// DivergenceInto computes Divergence(f) into div (len N) and returns it.
+// The accumulation is organized per vertex over its incidence list —
+// each entry is written by exactly one vertex, so the sweep runs
+// chunk-parallel on the shared worker pool, and the per-vertex addend
+// order is fixed by the adjacency structure regardless of worker count.
+func (g *Graph) DivergenceInto(f, div []float64) []float64 {
 	if len(f) != len(g.edges) {
 		panic("graph: flow length mismatch")
 	}
-	div := make([]float64, g.n)
-	for e, ed := range g.edges {
-		div[ed.U] += f[e]
-		div[ed.V] -= f[e]
+	if len(div) != g.n {
+		panic("graph: divergence length mismatch")
 	}
+	par.For(g.n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			s := 0.0
+			for _, a := range g.adj[v] {
+				if g.edges[a.E].U == v {
+					s += f[a.E]
+				} else {
+					s -= f[a.E]
+				}
+			}
+			div[v] = s
+		}
+	})
 	return div
 }
 

@@ -12,7 +12,11 @@
 // in shifted form.
 package numutil
 
-import "math"
+import (
+	"math"
+
+	"distflow/internal/par"
+)
 
 // SoftMax returns smax(y) = log Σ_i (e^{y_i} + e^{-y_i}) evaluated stably.
 // For an empty slice it returns math.Inf(-1) (the log of an empty sum).
@@ -63,6 +67,47 @@ func SoftMaxGrad(y []float64, grad []float64) float64 {
 	for i := range grad {
 		grad[i] *= inv
 	}
+	return m + math.Log(sum)
+}
+
+// SoftMaxGradPar is SoftMaxGrad evaluated on the shared worker pool
+// (internal/par): the max shift, the shifted exponential sum, and the
+// gradient scaling each run chunk-parallel. The chunked summation order
+// is fixed by the input length alone, so the result is bit-identical at
+// every worker count — but it differs in the last ulps from the
+// single-sweep SoftMaxGrad, which remains the reference for tests.
+func SoftMaxGradPar(y []float64, grad []float64) float64 {
+	if len(grad) != len(y) {
+		panic("numutil: grad length mismatch")
+	}
+	if len(y) == 0 {
+		return math.Inf(-1)
+	}
+	m := par.Max(len(y), func(lo, hi int) float64 {
+		mm := 0.0
+		for i := lo; i < hi; i++ {
+			if a := math.Abs(y[i]); a > mm {
+				mm = a
+			}
+		}
+		return mm
+	})
+	sum := par.Sum(len(y), func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			p := math.Exp(y[i] - m)
+			q := math.Exp(-y[i] - m)
+			s += p + q
+			grad[i] = p - q
+		}
+		return s
+	})
+	inv := 1 / sum
+	par.For(len(y), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			grad[i] *= inv
+		}
+	})
 	return m + math.Log(sum)
 }
 

@@ -30,6 +30,7 @@ import (
 	"distflow/internal/graph"
 	"distflow/internal/mst"
 	"distflow/internal/numutil"
+	"distflow/internal/par"
 	"distflow/internal/vtree"
 )
 
@@ -89,6 +90,12 @@ type workspace struct {
 	x      []float64
 	w1     []float64
 	grad   []float64
+	// reused per-iteration buffers for the R/Rᵀ applications
+	div      []float64
+	r        []float64
+	rr       [][]float64
+	pi       []float64
+	ptSweeps [][]float64
 }
 
 func newWorkspace(g *graph.Graph, apx *capprox.Approximator, alpha float64) *workspace {
@@ -104,52 +111,76 @@ func newWorkspace(g *graph.Graph, apx *capprox.Approximator, alpha float64) *wor
 	ws.y = make([]float64, len(ws.treeOf))
 	ws.w2 = make([]float64, len(ws.treeOf))
 	ws.prices = make([][]float64, len(apx.Trees))
+	ws.rr = make([][]float64, len(apx.Trees))
+	ws.ptSweeps = make([][]float64, len(apx.Trees))
 	for k, t := range apx.Trees {
 		ws.prices[k] = make([]float64, t.N())
+		ws.rr[k] = make([]float64, t.N())
+		ws.ptSweeps[k] = make([]float64, t.N())
 	}
 	ws.x = make([]float64, g.M())
 	ws.w1 = make([]float64, g.M())
 	ws.grad = make([]float64, g.M())
+	ws.div = make([]float64, g.N())
+	ws.r = make([]float64, g.N())
+	ws.pi = make([]float64, g.N())
 	return ws
 }
 
 // eval computes φ(f), the gradient, and δ = Σ_e cap_e·|grad_e| for the
-// scaled demand bs.
+// scaled demand bs. Every stage runs chunk-parallel on the shared
+// worker pool (internal/par): the per-edge maps and the soft-max are
+// element-wise or chunk-reduced, the R/Rᵀ applications are
+// tree-parallel, and the δ reduction combines per-chunk partials in
+// fixed chunk order — so eval is a pure function of (f, bs) at every
+// worker count.
 func (ws *workspace) eval(f, bs []float64) (phi, delta float64) {
 	g := ws.g
+	edges := g.Edges()
 	// φ1 = smax(C⁻¹f).
-	for e, ed := range g.Edges() {
-		ws.x[e] = f[e] / float64(ed.Cap)
-	}
-	phi1 := numutil.SoftMaxGrad(ws.x, ws.w1)
+	par.For(g.M(), func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			ws.x[e] = f[e] / float64(edges[e].Cap)
+		}
+	})
+	phi1 := numutil.SoftMaxGradPar(ws.x, ws.w1)
 
 	// φ2 = smax(2α·R·r), r = bs − Div(f).
-	div := g.Divergence(f)
-	r := make([]float64, len(bs))
-	for v := range r {
-		r[v] = bs[v] - div[v]
-	}
-	rr := ws.apx.ApplyR(r)
-	for i := range ws.y {
-		ws.y[i] = 2 * ws.alpha * rr[ws.treeOf[i]][ws.vertOf[i]]
-	}
-	phi2 := numutil.SoftMaxGrad(ws.y, ws.w2)
-
-	// Node potentials π = Rᵀ·w2 (Eq. 4).
-	for k := range ws.prices {
-		for v := range ws.prices[k] {
-			ws.prices[k][v] = 0
+	g.DivergenceInto(f, ws.div)
+	par.For(g.N(), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			ws.r[v] = bs[v] - ws.div[v]
 		}
-	}
-	for i, w := range ws.w2 {
-		ws.prices[ws.treeOf[i]][ws.vertOf[i]] = w
-	}
-	pi := ws.apx.ApplyRT(ws.prices)
+	})
+	ws.apx.ApplyRInto(ws.r, ws.rr)
+	par.For(len(ws.y), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ws.y[i] = 2 * ws.alpha * ws.rr[ws.treeOf[i]][ws.vertOf[i]]
+		}
+	})
+	phi2 := numutil.SoftMaxGradPar(ws.y, ws.w2)
 
-	for e, ed := range g.Edges() {
-		ws.grad[e] = ws.w1[e]/float64(ed.Cap) + 2*ws.alpha*(pi[ed.V]-pi[ed.U])
-		delta += float64(ed.Cap) * math.Abs(ws.grad[e])
-	}
+	// Node potentials π = Rᵀ·w2 (Eq. 4). Every non-root (tree, vertex)
+	// slot appears exactly once in the flat index, so the scatter
+	// overwrites all price entries ApplyRT reads; root entries are
+	// ignored by the sweep.
+	par.For(len(ws.w2), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ws.prices[ws.treeOf[i]][ws.vertOf[i]] = ws.w2[i]
+		}
+	})
+	ws.apx.ApplyRTInto(ws.prices, ws.pi, ws.ptSweeps)
+
+	delta = par.Sum(g.M(), func(lo, hi int) float64 {
+		d := 0.0
+		for e := lo; e < hi; e++ {
+			ed := edges[e]
+			gr := ws.w1[e]/float64(ed.Cap) + 2*ws.alpha*(ws.pi[ed.V]-ws.pi[ed.U])
+			ws.grad[e] = gr
+			d += float64(ed.Cap) * math.Abs(gr)
+		}
+		return d
+	})
 	return phi1 + phi2, delta
 }
 
@@ -257,36 +288,49 @@ func almostRouteFixedAlpha(g *graph.Graph, apx *capprox.Approximator, b []float6
 		// Scaling loop (lines 4-5): zoom until the potential reaches the
 		// working range Θ(ε⁻¹ log n).
 		for phi < target {
-			for e := range f {
-				f[e] *= 17.0 / 16
-			}
-			for v := range bs {
-				bs[v] *= 17.0 / 16
-			}
+			par.For(len(f), func(lo, hi int) {
+				for e := lo; e < hi; e++ {
+					f[e] *= 17.0 / 16
+				}
+			})
+			par.For(len(bs), func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					bs[v] *= 17.0 / 16
+				}
+			})
 			sigma *= 17.0 / 16
 			phi, delta = ws.eval(f, bs)
 			charge()
 		}
 		if delta < eps/4 {
 			out := make([]float64, len(f))
-			for e := range f {
-				out[e] = f[e] / sigma
-			}
+			par.For(len(f), func(lo, hi int) {
+				for e := lo; e < hi; e++ {
+					out[e] = f[e] / sigma
+				}
+			})
 			return &RouteResult{Flow: out, Iterations: iters, AlphaUsed: alpha}, nil
 		}
-		for e, ed := range g.Edges() {
-			stepVec[e] = numutil.Sgn(ws.grad[e]) * float64(ed.Cap) * delta * step
-		}
+		edges := g.Edges()
+		par.For(len(edges), func(lo, hi int) {
+			for e := lo; e < hi; e++ {
+				stepVec[e] = numutil.Sgn(ws.grad[e]) * float64(edges[e].Cap) * delta * step
+			}
+		})
 		for {
 			if useMomentum {
 				mu := cfg.Momentum
-				for e := range fTry {
-					fTry[e] = f[e] - eta*stepVec[e] + mu*(f[e]-fPrev[e])
-				}
+				par.For(len(fTry), func(lo, hi int) {
+					for e := lo; e < hi; e++ {
+						fTry[e] = f[e] - eta*stepVec[e] + mu*(f[e]-fPrev[e])
+					}
+				})
 			} else {
-				for e := range fTry {
-					fTry[e] = f[e] - eta*stepVec[e]
-				}
+				par.For(len(fTry), func(lo, hi int) {
+					for e := lo; e < hi; e++ {
+						fTry[e] = f[e] - eta*stepVec[e]
+					}
+				})
 			}
 			phiTry, deltaTry := ws.eval(fTry, bs)
 			charge()
@@ -379,13 +423,17 @@ func MaxFlow(g *graph.Graph, apx *capprox.Approximator, s, t int, cfg Config) (*
 		if rr.AlphaUsed > res.AlphaUsed {
 			res.AlphaUsed = rr.AlphaUsed
 		}
-		for e := range total {
-			total[e] += rr.Flow[e]
-		}
+		par.For(len(total), func(lo, hi int) {
+			for e := lo; e < hi; e++ {
+				total[e] += rr.Flow[e]
+			}
+		})
 		div := g.Divergence(total)
-		for v := range resid {
-			resid[v] = b[v] - div[v]
-		}
+		par.For(len(resid), func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				resid[v] = b[v] - div[v]
+			}
+		})
 		res.Outer = i + 1
 		if apx.NormRb(resid) <= norm0*1e-9 {
 			break

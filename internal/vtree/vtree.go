@@ -109,10 +109,19 @@ func (t *VTree) Height() int {
 // SubtreeSums returns, for every vertex v, the sum of x over the subtree
 // rooted at v (one O(n) bottom-up sweep).
 func (t *VTree) SubtreeSums(x []float64) []float64 {
+	return t.SubtreeSumsInto(x, make([]float64, t.N()))
+}
+
+// SubtreeSumsInto is SubtreeSums writing into out (len N, may alias x),
+// for callers that reuse sweep buffers across iterations.
+func (t *VTree) SubtreeSumsInto(x, out []float64) []float64 {
 	if len(x) != t.N() {
 		panic("vtree: input length mismatch")
 	}
-	out := append([]float64(nil), x...)
+	if len(out) != t.N() {
+		panic("vtree: output length mismatch")
+	}
+	copy(out, x)
 	for i := len(t.order) - 1; i > 0; i-- {
 		v := t.order[i]
 		out[t.Parent[v]] += out[v]
@@ -125,10 +134,19 @@ func (t *VTree) SubtreeSums(x []float64) []float64 {
 // Convention: p[v] is the price attached to edge (v, parent(v)); the
 // root's entry is included as-is and is normally 0.
 func (t *VTree) RootPathSums(p []float64) []float64 {
+	return t.RootPathSumsInto(p, make([]float64, t.N()))
+}
+
+// RootPathSumsInto is RootPathSums writing into out (len N, may alias
+// p), for callers that reuse sweep buffers across iterations.
+func (t *VTree) RootPathSumsInto(p, out []float64) []float64 {
 	if len(p) != t.N() {
 		panic("vtree: input length mismatch")
 	}
-	out := append([]float64(nil), p...)
+	if len(out) != t.N() {
+		panic("vtree: output length mismatch")
+	}
+	copy(out, p)
 	for _, v := range t.order[1:] {
 		out[v] += out[t.Parent[v]]
 	}

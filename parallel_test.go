@@ -1,0 +1,250 @@
+package distflow
+
+// Concurrency tests for the parallel solver core: many goroutines
+// sharing one Router, batch-vs-sequential equivalence, and bit-level
+// determinism of results under every worker count. All of these must
+// stay clean under `go test -race`.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"distflow/internal/graph"
+)
+
+// largeTestGraph is big enough that the chunked parallel operators
+// actually split work (flat soft-max index and edge count both exceed
+// one chunk), so the determinism tests exercise real parallel paths.
+func largeTestGraph(seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	gg := graph.CapUniform(graph.GNP(600, 8.0/600, rng), 32, rng)
+	G := NewGraph(gg.N())
+	for _, e := range gg.Edges() {
+		G.AddEdge(e.U, e.V, e.Cap)
+	}
+	return G
+}
+
+// Eight goroutines hammer one shared Router with interleaved max-flow
+// and demand-routing queries; every goroutine must see exactly the
+// answers a lone caller gets.
+func TestRouterConcurrentSharing(t *testing.T) {
+	g := gridGraph(6, 6)
+	r, err := NewRouter(g, Options{Seed: 11, Epsilon: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []STPair{{0, 35}, {5, 30}, {0, 30}, {5, 35}}
+	wantFlow := make([]*Result, len(pairs))
+	for i, p := range pairs {
+		if wantFlow[i], err = r.MaxFlow(p.S, p.T); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := make([]float64, g.N())
+	b[0], b[35] = 2, -2
+	wantDemand, wantCong, err := r.RouteDemand(b, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				i := (gi + rep) % len(pairs)
+				res, err := r.MaxFlow(pairs[i].S, pairs[i].T)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if res.Value != wantFlow[i].Value {
+					t.Errorf("goroutine %d: pair %v value %v, want %v", gi, pairs[i], res.Value, wantFlow[i].Value)
+					return
+				}
+				flow, cong, err := r.RouteDemand(b, 0.4)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if cong != wantCong {
+					t.Errorf("goroutine %d: congestion %v, want %v", gi, cong, wantCong)
+					return
+				}
+				for e := range flow {
+					if flow[e] != wantDemand[e] {
+						t.Errorf("goroutine %d: demand flow differs at edge %d", gi, e)
+						return
+					}
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// Batch queries must be bit-identical to issuing the same queries one
+// at a time on a single goroutine.
+func TestMaxFlowBatchMatchesSequential(t *testing.T) {
+	g := gridGraph(5, 5)
+	r, err := NewRouter(g, Options{Seed: 7, Epsilon: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []STPair{{0, 24}, {4, 20}, {2, 22}, {0, 20}, {4, 24}, {1, 23}}
+	sequential := make([]*Result, len(pairs))
+	for i, p := range pairs {
+		if sequential[i], err = r.MaxFlow(p.S, p.T); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, err := r.MaxFlowBatch(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		if batch[i].Value != sequential[i].Value {
+			t.Errorf("pair %v: batch value %v, sequential %v", pairs[i], batch[i].Value, sequential[i].Value)
+		}
+		if batch[i].Iterations != sequential[i].Iterations {
+			t.Errorf("pair %v: batch iterations %d, sequential %d", pairs[i], batch[i].Iterations, sequential[i].Iterations)
+		}
+		if batch[i].Rounds != sequential[i].Rounds {
+			t.Errorf("pair %v: batch rounds %d, sequential %d (ledger not isolated?)", pairs[i], batch[i].Rounds, sequential[i].Rounds)
+		}
+		for e := range batch[i].Flow {
+			if batch[i].Flow[e] != sequential[i].Flow[e] {
+				t.Fatalf("pair %v: flow differs at edge %d", pairs[i], e)
+			}
+		}
+	}
+}
+
+func TestRouteDemandBatchMatchesSequential(t *testing.T) {
+	g := gridGraph(5, 5)
+	r, err := NewRouter(g, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	demands := make([][]float64, 5)
+	for i := range demands {
+		b := make([]float64, g.N())
+		s, t1 := rng.Intn(g.N()), rng.Intn(g.N())
+		for s == t1 {
+			t1 = rng.Intn(g.N())
+		}
+		amount := 1 + rng.Float64()*3
+		b[s] += amount
+		b[t1] -= amount
+		demands[i] = b
+	}
+	sequential := make([]*Routing, len(demands))
+	for i, b := range demands {
+		flow, cong, err := r.RouteDemand(b, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sequential[i] = &Routing{Flow: flow, Congestion: cong}
+	}
+	batch, err := r.RouteDemandBatch(demands, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range demands {
+		if batch[i].Congestion != sequential[i].Congestion {
+			t.Errorf("demand %d: batch congestion %v, sequential %v", i, batch[i].Congestion, sequential[i].Congestion)
+		}
+		for e := range batch[i].Flow {
+			if batch[i].Flow[e] != sequential[i].Flow[e] {
+				t.Fatalf("demand %d: flow differs at edge %d", i, e)
+			}
+		}
+	}
+}
+
+func TestBatchReportsFirstError(t *testing.T) {
+	g := gridGraph(4, 4)
+	r, err := NewRouter(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := r.MaxFlowBatch([]STPair{{0, 15}, {3, 3}, {2, 2}})
+	if err == nil {
+		t.Fatal("invalid pair accepted")
+	}
+	if results[0] == nil {
+		t.Error("valid query missing from partial results")
+	}
+	if results[1] != nil || results[2] != nil {
+		t.Error("failed queries produced results")
+	}
+}
+
+// For a fixed Options.Seed, Result.Value and Result.Flow must be
+// bit-identical at every worker count: the chunked reductions combine
+// partials in an order fixed by the problem size alone.
+func TestWorkerCountDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large graph in short mode")
+	}
+	g := largeTestGraph(13)
+	b := make([]float64, g.N())
+	b[1], b[2] = 3, 1
+	b[g.N()-1] = -4
+
+	type outcome struct {
+		value      float64
+		iterations int
+		flow       []float64
+		demandFlow []float64
+		congestion float64
+	}
+	run := func(workers int) outcome {
+		defer SetParallelism(SetParallelism(workers))
+		r, err := NewRouter(g, Options{Seed: 4242, Epsilon: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.MaxFlow(0, g.N()-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dFlow, cong, err := r.RouteDemand(b, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{res.Value, res.Iterations, res.Flow, dFlow, cong}
+	}
+
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if got.value != want.value || got.iterations != want.iterations {
+			t.Fatalf("workers=%d: value/iterations %v/%d, want %v/%d",
+				workers, got.value, got.iterations, want.value, want.iterations)
+		}
+		for e := range want.flow {
+			if got.flow[e] != want.flow[e] {
+				t.Fatalf("workers=%d: flow differs at edge %d: %v vs %v", workers, e, got.flow[e], want.flow[e])
+			}
+		}
+		if got.congestion != want.congestion {
+			t.Fatalf("workers=%d: congestion %v, want %v", workers, got.congestion, want.congestion)
+		}
+		for e := range want.demandFlow {
+			if got.demandFlow[e] != want.demandFlow[e] {
+				t.Fatalf("workers=%d: demand flow differs at edge %d", workers, e)
+			}
+		}
+	}
+}
