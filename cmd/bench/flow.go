@@ -2,11 +2,19 @@ package main
 
 // The -flow mode benchmarks the end-to-end solver on a single large
 // random graph: congestion-approximator construction, then a stream of
-// max-flow queries issued one at a time (the sequential reference) and,
-// when the batch API is enabled, the same queries through
-// Router.MaxFlowBatch. Results can be written as JSON (-json) so that
-// successive runs are diffable; BENCH_seed.json in the repository root
-// is the pre-parallel-core baseline recorded with this command.
+// max-flow queries issued one at a time (the sequential reference),
+// the same queries through Router.MaxFlowBatch, and a warm-repeat pass
+// that re-issues them against the Router's warm cache. Results can be
+// written as JSON (-json) so that successive runs are diffable;
+// BENCH_seed.json in the repository root is the pre-parallel-core
+// baseline and BENCH_accel.json the accelerated-stepper run recorded
+// with -compare.
+//
+// The schema of the JSON document is versioned here (benchSchema): v2
+// fixes the config key order to the FlowBenchConfig struct order below
+// (v1 files were recorded with inconsistent orders), adds per-query
+// statistics, the warm-repeat pass, the -compare baseline block, and
+// the batch worker-count determinism check.
 
 import (
 	"encoding/json"
@@ -14,13 +22,19 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"distflow"
 	"distflow/internal/graph"
 )
 
-// FlowBenchConfig parameterizes one -flow run.
+// benchSchema is the single definition of the bench JSON schema
+// version.
+const benchSchema = 2
+
+// FlowBenchConfig parameterizes one -flow run. The JSON key order of
+// this struct IS the schema-2 config layout; do not reorder fields.
 type FlowBenchConfig struct {
 	N       int     `json:"n"`
 	Degree  float64 `json:"degree"`
@@ -31,8 +45,30 @@ type FlowBenchConfig struct {
 	Workers int     `json:"workers"`
 }
 
+// QueryStat records one sequential query (schema 2: the
+// hardware-independent per-query metrics next to wall clock).
+type QueryStat struct {
+	S          int     `json:"s"`
+	T          int     `json:"t"`
+	Value      float64 `json:"value"`
+	Iterations int     `json:"iterations"`
+	Restarts   int     `json:"restarts"`
+	AlphaUsed  float64 `json:"alpha_used"`
+	Seconds    float64 `json:"seconds"`
+}
+
+// CompareStats summarizes one solver configuration over the workload
+// (-compare records the plain-stepper baseline in this shape).
+type CompareStats struct {
+	Iterations int     `json:"iterations"`
+	Restarts   int     `json:"restarts"`
+	ValueSum   float64 `json:"value_sum"`
+	Seconds    float64 `json:"seconds"`
+}
+
 // FlowBenchResult is the JSON document emitted by -flow -json.
 type FlowBenchResult struct {
+	Schema     int             `json:"schema"`
 	Config     FlowBenchConfig `json:"config"`
 	GoMaxProcs int             `json:"go_max_procs"`
 	NumCPU     int             `json:"num_cpu"`
@@ -40,10 +76,10 @@ type FlowBenchResult struct {
 
 	RouterBuildSeconds float64 `json:"router_build_seconds"`
 	// SequentialSeconds is the wall time of issuing every query
-	// one-at-a-time on a single goroutine.
+	// one-at-a-time on a single goroutine (warm cache disabled).
 	SequentialSeconds float64 `json:"sequential_seconds"`
 	// BatchSeconds is the wall time of the same queries through
-	// Router.MaxFlowBatch (0 when the run predates the batch API).
+	// Router.MaxFlowBatch.
 	BatchSeconds float64 `json:"batch_seconds,omitempty"`
 	// SpeedupBatch = SequentialSeconds / BatchSeconds.
 	SpeedupBatch float64 `json:"speedup_batch_vs_sequential,omitempty"`
@@ -52,10 +88,39 @@ type FlowBenchResult struct {
 	// values. Runs that must agree bit-for-bit can diff this field.
 	ValueSum      float64 `json:"value_sum"`
 	BatchValueSum float64 `json:"batch_value_sum,omitempty"`
-	Iterations    int     `json:"iterations"`
+	// Iterations totals the gradient iterations of the sequential pass —
+	// the hardware-independent cost metric.
+	Iterations int `json:"iterations"`
+	// Queries holds the per-query breakdown of the sequential pass.
+	Queries []QueryStat `json:"queries"`
+
+	// BatchDeterministic reports the cross-check that two batch runs on
+	// fresh routers at different worker counts produced bit-identical
+	// value sums.
+	BatchDeterministic bool `json:"batch_bit_identical_across_workers"`
+
+	// Warm-repeat pass: the same queries re-issued against a router
+	// whose warm cache has just answered them.
+	RepeatSeconds    float64 `json:"repeat_seconds,omitempty"`
+	RepeatIterations int     `json:"repeat_iterations"`
+	RepeatValueSum   float64 `json:"repeat_value_sum,omitempty"`
+
+	// Baseline is the plain-stepper run of -compare (acceleration and
+	// ε-continuation disabled), with IterationRatio =
+	// Baseline.Iterations / Iterations.
+	Baseline       *CompareStats `json:"baseline,omitempty"`
+	IterationRatio float64       `json:"iteration_ratio_baseline_over_accel,omitempty"`
 }
 
-func runFlowBench(cfg FlowBenchConfig, jsonPath string) error {
+// FlowBenchFlags carries the mode flags of one -flow invocation.
+type FlowBenchFlags struct {
+	Compare     bool
+	IterCeiling int
+	CPUProfile  string
+	MemProfile  string
+}
+
+func runFlowBench(cfg FlowBenchConfig, jsonPath string, flags FlowBenchFlags) error {
 	if cfg.N < 2 {
 		return fmt.Errorf("-flow needs -n >= 2 (no s-t pair exists on %d vertices)", cfg.N)
 	}
@@ -65,6 +130,17 @@ func runFlowBench(cfg FlowBenchConfig, jsonPath string) error {
 	if cfg.Workers != 0 {
 		distflow.SetParallelism(cfg.Workers)
 	}
+	if flags.CPUProfile != "" {
+		f, err := os.Create(flags.CPUProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	gg := graph.CapUniform(graph.GNP(cfg.N, cfg.Degree/float64(cfg.N), rng), cfg.MaxCap, rng)
 	G := distflow.NewGraph(gg.N())
@@ -72,6 +148,7 @@ func runFlowBench(cfg FlowBenchConfig, jsonPath string) error {
 		G.AddEdge(e.U, e.V, e.Cap)
 	}
 	res := FlowBenchResult{
+		Schema:     benchSchema,
 		Config:     cfg,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
@@ -80,8 +157,13 @@ func runFlowBench(cfg FlowBenchConfig, jsonPath string) error {
 	fmt.Printf("flow bench: n=%d m=%d queries=%d eps=%v workers=%d GOMAXPROCS=%d\n",
 		G.N(), G.M(), cfg.Queries, cfg.Epsilon, cfg.Workers, res.GoMaxProcs)
 
+	// The measurement router disables the warm cache so the sequential
+	// and batch passes stay strictly comparable (the cache would let the
+	// batch warm-start from the sequential pass's results); the cache's
+	// own effect is measured separately below.
+	opts := distflow.Options{Epsilon: cfg.Epsilon, Seed: cfg.Seed, DisableWarmStart: true}
 	start := time.Now()
-	r, err := distflow.NewRouter(G, distflow.Options{Epsilon: cfg.Epsilon, Seed: cfg.Seed})
+	r, err := distflow.NewRouter(G, opts)
 	if err != nil {
 		return err
 	}
@@ -92,21 +174,52 @@ func runFlowBench(cfg FlowBenchConfig, jsonPath string) error {
 
 	start = time.Now()
 	for _, p := range pairs {
+		qStart := time.Now()
 		fr, err := r.MaxFlow(p.S, p.T)
 		if err != nil {
 			return fmt.Errorf("sequential query %d-%d: %w", p.S, p.T, err)
 		}
 		res.ValueSum += fr.Value
 		res.Iterations += fr.Iterations
+		res.Queries = append(res.Queries, QueryStat{
+			S: p.S, T: p.T,
+			Value:      fr.Value,
+			Iterations: fr.Iterations,
+			Restarts:   fr.Restarts,
+			AlphaUsed:  fr.AlphaUsed,
+			Seconds:    time.Since(qStart).Seconds(),
+		})
 	}
 	res.SequentialSeconds = time.Since(start).Seconds()
-	fmt.Printf("  sequential queries    %8.3fs (%.3fs/query, value sum %.6f)\n",
-		res.SequentialSeconds, res.SequentialSeconds/float64(len(pairs)), res.ValueSum)
+	fmt.Printf("  sequential queries    %8.3fs (%.3fs/query, %d iterations, value sum %.6f)\n",
+		res.SequentialSeconds, res.SequentialSeconds/float64(len(pairs)), res.Iterations, res.ValueSum)
 
 	if err := runFlowBenchBatch(r, pairs, &res); err != nil {
 		return err
 	}
+	if err := runFlowBenchBatchDeterminism(G, opts, pairs, &res); err != nil {
+		return err
+	}
+	if err := runFlowBenchWarmRepeat(G, cfg, pairs, &res); err != nil {
+		return err
+	}
+	if flags.Compare {
+		if err := runFlowBenchBaseline(G, cfg, pairs, &res); err != nil {
+			return err
+		}
+	}
 
+	if flags.MemProfile != "" {
+		f, err := os.Create(flags.MemProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
 	if jsonPath != "" {
 		doc, err := json.MarshalIndent(&res, "", "  ")
 		if err != nil {
@@ -117,6 +230,9 @@ func runFlowBench(cfg FlowBenchConfig, jsonPath string) error {
 			return err
 		}
 		fmt.Printf("  wrote %s\n", jsonPath)
+	}
+	if flags.IterCeiling > 0 && res.Iterations > flags.IterCeiling {
+		return fmt.Errorf("iteration budget exceeded: %d > ceiling %d", res.Iterations, flags.IterCeiling)
 	}
 	return nil
 }
@@ -142,6 +258,107 @@ func runFlowBenchBatch(r *distflow.Router, pairs []distflow.STPair, res *FlowBen
 		return fmt.Errorf("batch value sum %v differs from sequential %v: batch results are not bit-identical",
 			res.BatchValueSum, res.ValueSum)
 	}
+	return nil
+}
+
+// runFlowBenchBatchDeterminism runs the batch on two fresh routers at
+// different worker counts and verifies the results are bit-identical.
+func runFlowBenchBatchDeterminism(G *distflow.Graph, opts distflow.Options, pairs []distflow.STPair, res *FlowBenchResult) error {
+	runAt := func(workers int) ([]*distflow.Result, error) {
+		defer distflow.SetParallelism(distflow.SetParallelism(workers))
+		r, err := distflow.NewRouter(G, opts)
+		if err != nil {
+			return nil, err
+		}
+		return r.MaxFlowBatch(pairs)
+	}
+	a, err := runAt(1)
+	if err != nil {
+		return fmt.Errorf("determinism check (workers=1): %w", err)
+	}
+	b, err := runAt(2)
+	if err != nil {
+		return fmt.Errorf("determinism check (workers=2): %w", err)
+	}
+	res.BatchDeterministic = true
+	for i := range a {
+		if a[i].Value != b[i].Value || a[i].Iterations != b[i].Iterations {
+			res.BatchDeterministic = false
+		}
+		// Bit-identical means the full flow vectors, not just the
+		// value/iteration fingerprints.
+		for e := range a[i].Flow {
+			if a[i].Flow[e] != b[i].Flow[e] {
+				res.BatchDeterministic = false
+				break
+			}
+		}
+	}
+	if !res.BatchDeterministic {
+		return fmt.Errorf("batch results differ between worker counts 1 and 2")
+	}
+	fmt.Printf("  batch determinism     bit-identical at workers=1 and workers=2\n")
+	return nil
+}
+
+// runFlowBenchWarmRepeat answers the workload on a cache-enabled router
+// and then re-issues it, measuring how the warm cache collapses the
+// repeat cost.
+func runFlowBenchWarmRepeat(G *distflow.Graph, cfg FlowBenchConfig, pairs []distflow.STPair, res *FlowBenchResult) error {
+	r, err := distflow.NewRouter(G, distflow.Options{Epsilon: cfg.Epsilon, Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	if _, err := r.MaxFlowBatch(pairs); err != nil {
+		return fmt.Errorf("warm prime: %w", err)
+	}
+	start := time.Now()
+	repeat, err := r.MaxFlowBatch(pairs)
+	if err != nil {
+		return fmt.Errorf("warm repeat: %w", err)
+	}
+	res.RepeatSeconds = time.Since(start).Seconds()
+	for _, fr := range repeat {
+		res.RepeatValueSum += fr.Value
+		res.RepeatIterations += fr.Iterations
+	}
+	fmt.Printf("  warm repeat           %8.3fs (%d iterations, value sum %.6f)\n",
+		res.RepeatSeconds, res.RepeatIterations, res.RepeatValueSum)
+	return nil
+}
+
+// runFlowBenchBaseline re-solves the workload with the accelerated
+// stepper and ε-continuation disabled (the plain backtracking stepper)
+// on a fresh router, recording the -compare baseline.
+func runFlowBenchBaseline(G *distflow.Graph, cfg FlowBenchConfig, pairs []distflow.STPair, res *FlowBenchResult) error {
+	r, err := distflow.NewRouter(G, distflow.Options{
+		Epsilon:             cfg.Epsilon,
+		Seed:                cfg.Seed,
+		DisableWarmStart:    true,
+		DisableAcceleration: true,
+		DisableContinuation: true,
+	})
+	if err != nil {
+		return err
+	}
+	base := &CompareStats{}
+	start := time.Now()
+	for _, p := range pairs {
+		fr, err := r.MaxFlow(p.S, p.T)
+		if err != nil {
+			return fmt.Errorf("baseline query %d-%d: %w", p.S, p.T, err)
+		}
+		base.ValueSum += fr.Value
+		base.Iterations += fr.Iterations
+		base.Restarts += fr.Restarts
+	}
+	base.Seconds = time.Since(start).Seconds()
+	res.Baseline = base
+	if res.Iterations > 0 {
+		res.IterationRatio = float64(base.Iterations) / float64(res.Iterations)
+	}
+	fmt.Printf("  baseline (no accel)   %8.3fs (%d iterations, value sum %.6f) — accel cuts iterations %.2fx\n",
+		base.Seconds, base.Iterations, base.ValueSum, res.IterationRatio)
 	return nil
 }
 

@@ -9,11 +9,17 @@
 //	bench -quick     # reduced sizes (the configuration CI runs)
 //
 // The -flow mode instead benchmarks the solver serving path (router
-// construction, then sequential vs batched max-flow queries) and can
-// record the measurements as JSON:
+// construction, then sequential vs batched max-flow queries, a
+// batch-determinism cross-check, and a warm-cache repeat pass) and can
+// record the measurements as JSON (schema 2, versioned in flow.go):
 //
 //	bench -flow -n 2500 -queries 8 -json BENCH.json
 //	bench -flow -workers 1          # pin the solver core to one worker
+//	bench -flow -compare            # also run the plain-stepper baseline
+//	                                # and record the iteration ratio
+//	bench -flow -iter-ceiling 1900  # fail if the workload exceeds the
+//	                                # gradient-iteration budget (CI)
+//	bench -flow -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 package main
 
 import (
@@ -38,15 +44,19 @@ func run() error {
 		exp   = flag.String("exp", "", "comma-separated experiment ids (e1..e10); empty = all")
 		quick = flag.Bool("quick", false, "reduced instance sizes")
 
-		flow     = flag.Bool("flow", false, "benchmark the solver serving path instead of the experiment tables")
-		flowN    = flag.Int("n", 2500, "-flow: vertex count of the benchmark graph")
-		flowDeg  = flag.Float64("deg", 8, "-flow: expected average degree")
-		flowCap  = flag.Int64("cap", 64, "-flow: maximum edge capacity")
-		flowSeed = flag.Int64("seed", 3, "-flow: graph/query PRNG seed")
-		queries  = flag.Int("queries", 8, "-flow: number of s-t queries")
-		epsilon  = flag.Float64("eps", 0.5, "-flow: approximation target")
-		workers  = flag.Int("workers", 0, "-flow: solver worker count (0 = GOMAXPROCS)")
-		jsonOut  = flag.String("json", "", "-flow: write measurements to this JSON file")
+		flow        = flag.Bool("flow", false, "benchmark the solver serving path instead of the experiment tables")
+		flowN       = flag.Int("n", 2500, "-flow: vertex count of the benchmark graph")
+		flowDeg     = flag.Float64("deg", 8, "-flow: expected average degree")
+		flowCap     = flag.Int64("cap", 64, "-flow: maximum edge capacity")
+		flowSeed    = flag.Int64("seed", 3, "-flow: graph/query PRNG seed")
+		queries     = flag.Int("queries", 8, "-flow: number of s-t queries")
+		epsilon     = flag.Float64("eps", 0.5, "-flow: approximation target")
+		workers     = flag.Int("workers", 0, "-flow: solver worker count (0 = GOMAXPROCS)")
+		jsonOut     = flag.String("json", "", "-flow: write measurements to this JSON file")
+		compare     = flag.Bool("compare", false, "-flow: also run the plain-stepper baseline (no acceleration/continuation) and record the iteration ratio")
+		iterCeiling = flag.Int("iter-ceiling", 0, "-flow: fail when sequential gradient iterations exceed this budget (0 = off)")
+		cpuProfile  = flag.String("cpuprofile", "", "-flow: write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "-flow: write a heap profile to this file")
 	)
 	flag.Parse()
 	if *flow {
@@ -58,7 +68,12 @@ func run() error {
 			Queries: *queries,
 			Epsilon: *epsilon,
 			Workers: *workers,
-		}, *jsonOut)
+		}, *jsonOut, FlowBenchFlags{
+			Compare:     *compare,
+			IterCeiling: *iterCeiling,
+			CPUProfile:  *cpuProfile,
+			MemProfile:  *memProfile,
+		})
 	}
 	scale := experiments.Full
 	if *quick {

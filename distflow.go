@@ -90,6 +90,23 @@ type Options struct {
 	// MaxIters bounds gradient iterations per AlmostRoute call
 	// (0 = the paper's O(α²ε⁻³ log n) with engineering constants).
 	MaxIters int
+	// DisableAcceleration restores the plain backtracking gradient step
+	// instead of the default safeguarded accelerated stepper
+	// (DESIGN.md §5).
+	DisableAcceleration bool
+	// DisableContinuation turns off the ε-continuation schedule
+	// (DESIGN.md §5).
+	DisableContinuation bool
+	// DisableWarmStart turns off the Router's query warm-start cache.
+	// With the cache on (the default), repeated and similar queries
+	// start near-converged and finish in a fraction of the iterations;
+	// their results satisfy the same (1+ε) guarantee but are generally
+	// not bit-identical to cold-started runs (DESIGN.md §5). Disable it
+	// when results must be a pure function of the query alone.
+	DisableWarmStart bool
+	// WarmCacheSize caps the warm-start cache entries (0 = 64). Each
+	// entry stores one flow vector of length M.
+	WarmCacheSize int
 }
 
 // Result is the outcome of a max-flow computation.
@@ -102,8 +119,17 @@ type Result struct {
 	Flow []float64
 	// Alpha is the measured congestion-approximator distortion.
 	Alpha float64
+	// AlphaUsed is the α the gradient descent settled on (≥ the starting
+	// value when adaptive stall-restarts fired).
+	AlphaUsed float64
 	// Iterations counts gradient steps across the computation.
 	Iterations int
+	// Restarts counts potential-monotonicity restarts of the accelerated
+	// stepper's momentum sequence (DESIGN.md §5).
+	Restarts int
+	// WarmStarted reports whether this query started from a warm-cache
+	// hit rather than the zero flow.
+	WarmStarted bool
 	// Rounds is the total charged CONGEST rounds (approximator
 	// construction plus flow computation).
 	Rounds int64
@@ -134,14 +160,20 @@ func ExactMaxFlow(G *Graph, s, t int) (value int64, flow []int64) {
 //
 // A Router is safe for concurrent use: after NewRouter returns, the
 // graph and the approximator are never mutated, and every query works
-// on its own solver workspace with its own round ledger. Any number of
-// goroutines may call MaxFlow / RouteDemand on one shared Router, and
-// the batch methods amortize the approximator across many simultaneous
-// queries on the internal worker pool.
+// on its own pooled solver workspace with its own round ledger. Any
+// number of goroutines may call MaxFlow / RouteDemand on one shared
+// Router, and the batch methods amortize the approximator across many
+// simultaneous queries on the internal worker pool.
+//
+// Unless Options.DisableWarmStart is set, the Router keeps an LRU cache
+// of recent query results and warm-starts repeated queries from them
+// (see Options.DisableWarmStart for the determinism trade-off).
 type Router struct {
-	g    *graph.Graph
-	apx  *capprox.Approximator
-	opts Options
+	g      *graph.Graph
+	apx    *capprox.Approximator
+	solver *sherman.Solver
+	cache  *warmCache
+	opts   Options
 }
 
 // NewRouter samples the congestion approximator for G (the expensive,
@@ -162,7 +194,15 @@ func NewRouter(G *Graph, opts Options) (*Router, error) {
 	if err != nil {
 		return nil, fmt.Errorf("distflow: %w", err)
 	}
-	return &Router{g: G.g, apx: apx, opts: opts}, nil
+	r := &Router{g: G.g, apx: apx, solver: sherman.NewSolver(G.g, apx), opts: opts}
+	if !opts.DisableWarmStart {
+		size := opts.WarmCacheSize
+		if size <= 0 {
+			size = defaultWarmCacheSize
+		}
+		r.cache = newWarmCache(size)
+	}
+	return r, nil
 }
 
 // Alpha returns the measured per-tree cut distortion of the sampled
@@ -175,18 +215,40 @@ func (r *Router) ConstructionRounds() int64 { return r.apx.Ledger.Total() }
 
 func (r *Router) shermanConfig() sherman.Config {
 	return sherman.Config{
-		Epsilon:  r.opts.Epsilon,
-		Alpha:    r.opts.Alpha,
-		MaxIters: r.opts.MaxIters,
+		Epsilon:             r.opts.Epsilon,
+		Alpha:               r.opts.Alpha,
+		MaxIters:            r.opts.MaxIters,
+		DisableAcceleration: r.opts.DisableAcceleration,
+		DisableContinuation: r.opts.DisableContinuation,
 	}
 }
 
 // MaxFlow computes a (1+ε)-approximate maximum s-t flow using the
-// router's approximator.
+// router's approximator, warm-starting from the cache when the same
+// pair was queried recently.
 func (r *Router) MaxFlow(s, t int) (*Result, error) {
-	fr, err := sherman.MaxFlow(r.g, r.apx, s, t, r.shermanConfig())
+	var warm []float64
+	if r.cache != nil {
+		warm = r.cache.get(stKey(s, t))
+	}
+	res, routing, err := r.maxFlowWarm(s, t, warm)
 	if err != nil {
-		return nil, fmt.Errorf("distflow: %w", err)
+		return nil, err
+	}
+	if r.cache != nil {
+		r.cache.put(stKey(s, t), routing)
+	}
+	return res, nil
+}
+
+// maxFlowWarm runs one warm-started max-flow query without touching the
+// cache. It additionally returns the unnormalized routing of the unit
+// s-t demand — the vector a future query of the same pair warm-starts
+// from.
+func (r *Router) maxFlowWarm(s, t int, warm []float64) (*Result, []float64, error) {
+	fr, err := r.solver.MaxFlowWarm(s, t, r.shermanConfig(), warm)
+	if err != nil {
+		return nil, nil, fmt.Errorf("distflow: %w", err)
 	}
 	byPhase := map[string]int64{}
 	total := int64(0)
@@ -205,14 +267,26 @@ func (r *Router) MaxFlow(s, t int) (*Result, error) {
 			byPhase[name] = v
 		}
 	}
+	// The cacheable routing vector is only materialized when there is a
+	// cache to hold it (queries with DisableWarmStart skip the pass).
+	var routing []float64
+	if r.cache != nil {
+		routing = make([]float64, len(fr.Flow))
+		for e, fe := range fr.Flow {
+			routing[e] = fe * fr.Congestion
+		}
+	}
 	return &Result{
 		Value:         fr.Value,
 		Flow:          fr.Flow,
 		Alpha:         r.apx.Alpha,
+		AlphaUsed:     fr.AlphaUsed,
 		Iterations:    fr.Iterations,
+		Restarts:      fr.Restarts,
+		WarmStarted:   warm != nil,
 		Rounds:        total,
 		RoundsByPhase: byPhase,
-	}, nil
+	}, routing, nil
 }
 
 // RouteDemand computes a flow approximately routing an arbitrary demand
@@ -221,17 +295,43 @@ func (r *Router) MaxFlow(s, t int) (*Result, error) {
 // (residuals are routed on a spanning tree); congestion is its maximum
 // |f_e|/cap_e.
 func (r *Router) RouteDemand(b []float64, eps float64) (flow []float64, congestion float64, err error) {
+	eps = normalizeEps(eps)
+	key := ""
+	var warm []float64
+	if r.cache != nil {
+		key = demandKey(b, eps)
+		warm = r.cache.get(key)
+	}
+	flow, congestion, err = r.routeDemandWarm(b, eps, warm)
+	if err == nil && r.cache != nil {
+		r.cache.put(key, append([]float64(nil), flow...))
+	}
+	return flow, congestion, err
+}
+
+// normalizeEps maps the zero value to the documented default accuracy.
+// Every query path — and the warm-cache key derivation — must go
+// through this one definition so cached entries always correspond to
+// the accuracy the solve actually uses.
+func normalizeEps(eps float64) float64 {
+	if eps == 0 {
+		return 0.5
+	}
+	return eps
+}
+
+// routeDemandWarm runs one warm-started demand query without touching
+// the cache.
+func (r *Router) routeDemandWarm(b []float64, eps float64, warm []float64) (flow []float64, congestion float64, err error) {
 	if len(b) != r.g.N() {
 		return nil, 0, fmt.Errorf("distflow: demand length %d, want %d", len(b), r.g.N())
 	}
 	if !graph.IsFeasibleDemand(b, 1e-6) {
 		return nil, 0, fmt.Errorf("distflow: demand does not sum to zero")
 	}
-	if eps == 0 {
-		eps = 0.5
-	}
+	eps = normalizeEps(eps)
 	cfg := r.shermanConfig()
-	rr, err := sherman.AlmostRoute(r.g, r.apx, b, eps, cfg, nil)
+	rr, err := r.solver.AlmostRouteWarm(b, eps, cfg, nil, warm)
 	if err != nil {
 		return nil, 0, fmt.Errorf("distflow: %w", err)
 	}
@@ -241,7 +341,7 @@ func (r *Router) RouteDemand(b []float64, eps float64) (flow []float64, congesti
 	for v := range resid {
 		resid[v] = b[v] - div[v]
 	}
-	fTree, err := sherman.RouteOnMaxWeightST(r.g, resid)
+	fTree, err := r.solver.RouteResidualOnST(resid)
 	if err != nil {
 		return nil, 0, fmt.Errorf("distflow: %w", err)
 	}
@@ -268,17 +368,36 @@ type STPair struct {
 // pair, running the queries concurrently on the internal worker pool
 // while sharing the router's congestion approximator. results[i]
 // corresponds to pairs[i] and carries its own isolated round ledger.
-// Every query is deterministic, so the batch results are identical to
-// issuing the same queries one at a time.
+//
+// Warm-cache interaction is deterministic: lookups happen before the
+// parallel region and insertions after it, both in index order, so for
+// a fixed router state the batch results are bit-identical at every
+// worker count. (Issuing the same queries one at a time instead mutates
+// the cache between queries; disable the cache for strict
+// batch-vs-sequential equivalence.)
 //
 // On error, the first failing query's error (by index order) is
 // returned together with the partial results; failed entries are nil.
 func (r *Router) MaxFlowBatch(pairs []STPair) ([]*Result, error) {
 	results := make([]*Result, len(pairs))
+	routings := make([][]float64, len(pairs))
+	warms := make([][]float64, len(pairs))
 	errs := make([]error, len(pairs))
+	if r.cache != nil {
+		for i, p := range pairs {
+			warms[i] = r.cache.get(stKey(p.S, p.T))
+		}
+	}
 	par.Do(len(pairs), func(i int) {
-		results[i], errs[i] = r.MaxFlow(pairs[i].S, pairs[i].T)
+		results[i], routings[i], errs[i] = r.maxFlowWarm(pairs[i].S, pairs[i].T, warms[i])
 	})
+	if r.cache != nil {
+		for i, p := range pairs {
+			if errs[i] == nil {
+				r.cache.put(stKey(p.S, p.T), routings[i])
+			}
+		}
+	}
 	for i, err := range errs {
 		if err != nil {
 			return results, fmt.Errorf("distflow: batch query %d (%d→%d): %w", i, pairs[i].S, pairs[i].T, err)
@@ -297,20 +416,38 @@ type Routing struct {
 
 // RouteDemandBatch routes every demand vector concurrently on the
 // internal worker pool, sharing the router's congestion approximator.
-// results[i] corresponds to demands[i]. Like MaxFlowBatch, batch
-// results are identical to sequential one-at-a-time calls; on error the
-// first failing query's error is returned with the partial results.
+// results[i] corresponds to demands[i]. Warm-cache reads and writes
+// bracket the parallel region in index order exactly as in
+// MaxFlowBatch, so batch results are bit-identical at every worker
+// count for a fixed router state. On error the first failing query's
+// error is returned with the partial results.
 func (r *Router) RouteDemandBatch(demands [][]float64, eps float64) ([]*Routing, error) {
 	results := make([]*Routing, len(demands))
+	warms := make([][]float64, len(demands))
+	keys := make([]string, len(demands))
 	errs := make([]error, len(demands))
+	eps = normalizeEps(eps)
+	if r.cache != nil {
+		for i, b := range demands {
+			keys[i] = demandKey(b, eps)
+			warms[i] = r.cache.get(keys[i])
+		}
+	}
 	par.Do(len(demands), func(i int) {
-		flow, cong, err := r.RouteDemand(demands[i], eps)
+		flow, cong, err := r.routeDemandWarm(demands[i], eps, warms[i])
 		if err != nil {
 			errs[i] = err
 			return
 		}
 		results[i] = &Routing{Flow: flow, Congestion: cong}
 	})
+	if r.cache != nil {
+		for i := range demands {
+			if errs[i] == nil {
+				r.cache.put(keys[i], append([]float64(nil), results[i].Flow...))
+			}
+		}
+	}
 	for i, err := range errs {
 		if err != nil {
 			return results, fmt.Errorf("distflow: batch demand %d: %w", i, err)

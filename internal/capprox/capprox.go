@@ -473,6 +473,141 @@ func (a *Approximator) ApplyRTInto(p [][]float64, out []float64, scratch [][]flo
 	return out
 }
 
+// EvalScratch holds the per-tree buffers one fused PotentialRT
+// evaluation needs. Solvers keep one per workspace (pooled across
+// queries) so the per-tree [][]float64 scratch is never reallocated on
+// the hot path.
+type EvalScratch struct {
+	// Sub holds per-tree subtree aggregates, then soft-max gradient
+	// numerators (len Trees, each len N).
+	Sub [][]float64
+	// PT holds the per-tree root-path sweeps of Rᵀ (len Trees, each
+	// len N).
+	PT [][]float64
+	// tm and ts are per-tree partial maxima and exponential sums,
+	// combined in tree order so the reduction is worker-count
+	// independent.
+	tm, ts []float64
+}
+
+// NewEvalScratch allocates an EvalScratch sized for the approximator.
+func (a *Approximator) NewEvalScratch() *EvalScratch {
+	s := &EvalScratch{
+		Sub: make([][]float64, len(a.Trees)),
+		PT:  make([][]float64, len(a.Trees)),
+		tm:  make([]float64, len(a.Trees)),
+		ts:  make([]float64, len(a.Trees)),
+	}
+	for k, t := range a.Trees {
+		s.Sub[k] = make([]float64, t.N())
+		s.PT[k] = make([]float64, t.N())
+	}
+	return s
+}
+
+// PotentialRT computes, in fused tree-parallel sweeps, the φ₂ part of
+// Sherman's potential for the residual demand r: with y = ta·R·r
+// (ta = 2α), it returns smax(y) = log Σ (e^{y}+e^{-y}) over every
+// non-root (tree, vertex) slot and writes the node potentials
+// π = Rᵀ·∇smax(y) into pi (len N).
+//
+// This is the fusion of ApplyRInto → SoftMaxGradPar → ApplyRTInto: the
+// 2α scaling and the 1/Scale row scalings are folded into the tree
+// sweeps, the soft-max works per tree instead of over a flat scatter
+// index, and the gradient numerators overwrite the subtree aggregates
+// in place — three full passes over K·N temporaries (and both scatter
+// copies) disappear from every gradient iteration.
+//
+// Determinism: per-tree partial maxima and sums are combined in tree
+// order on the calling goroutine, and the final accumulation over
+// trees is chunk-parallel over vertices in fixed tree order, so the
+// result is a pure function of (r, ta) at every worker count. The
+// summation order differs from the flat-index SoftMaxGradPar
+// composition in the last ulps; tests compare against the unfused
+// reference with a tolerance.
+func (a *Approximator) PotentialRT(r []float64, ta float64, s *EvalScratch, pi []float64) float64 {
+	if len(s.Sub) != len(a.Trees) || len(s.PT) != len(a.Trees) {
+		panic("capprox: scratch tree count mismatch")
+	}
+	// Pass 1: per-tree subtree sums, scaled to y = ta·(Σ_subtree r)/Scale,
+	// tracking the per-tree max |y| for the shifted exponentials.
+	par.Do(len(a.Trees), func(k int) {
+		t := a.Trees[k]
+		y := t.SubtreeSumsInto(r, s.Sub[k])
+		scale := a.Scale[k]
+		m := 0.0
+		for v := 0; v < t.N(); v++ {
+			if v == t.Root || scale[v] == 0 {
+				y[v] = 0
+				continue
+			}
+			y[v] = ta * y[v] / scale[v]
+			if ay := math.Abs(y[v]); ay > m {
+				m = ay
+			}
+		}
+		s.tm[k] = m
+	})
+	m := 0.0
+	for _, v := range s.tm {
+		if v > m {
+			m = v
+		}
+	}
+	// Pass 2: shifted exponential sums per tree; the gradient numerators
+	// e^{y-m} − e^{-y-m} overwrite y in place. Root slots are excluded
+	// (they are not rows of R); zero-scale slots contribute like the
+	// flat index always did.
+	par.Do(len(a.Trees), func(k int) {
+		t := a.Trees[k]
+		y := s.Sub[k]
+		sum := 0.0
+		for v := 0; v < t.N(); v++ {
+			if v == t.Root {
+				y[v] = 0
+				continue
+			}
+			p := math.Exp(y[v] - m)
+			q := math.Exp(-y[v] - m)
+			sum += p + q
+			y[v] = p - q
+		}
+		s.ts[k] = sum
+	})
+	sum := 0.0
+	for _, v := range s.ts {
+		sum += v
+	}
+	inv := 1 / sum
+	// Pass 3: π = Rᵀ·∇smax — the 1/sum normalization and the row scaling
+	// fold into the top-down sweeps, then the per-vertex accumulation
+	// combines trees in fixed order.
+	par.Do(len(a.Trees), func(k int) {
+		t := a.Trees[k]
+		y := s.Sub[k]
+		scale := a.Scale[k]
+		buf := s.PT[k]
+		for v := 0; v < t.N(); v++ {
+			if v == t.Root || scale[v] == 0 {
+				buf[v] = 0
+				continue
+			}
+			buf[v] = y[v] * inv / scale[v]
+		}
+		t.RootPathSumsInto(buf, buf)
+	})
+	par.For(len(pi), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			acc := 0.0
+			for k := range s.PT {
+				acc += s.PT[k][v]
+			}
+			pi[v] = acc
+		}
+	})
+	return m + math.Log(sum)
+}
+
 // NormRb returns ‖Rb‖∞ — with the default (virtual) scaling this is a
 // lower bound on the optimal congestion opt(b).
 func (a *Approximator) NormRb(b []float64) float64 {

@@ -149,7 +149,14 @@ func E7GradientIterations(s Scale) (*Table, error) {
 	alphas := pick(s, []float64{0, 2}, []float64{0, 1.5, 2, 4})
 	for _, eps := range epss {
 		for _, alpha := range alphas {
-			rr, err := sherman.AlmostRoute(g, apx, b, eps, sherman.Config{Alpha: alpha}, nil)
+			// The claim under test is the PLAIN gradient bound, so the
+			// accelerated stepper and ε-continuation (on by default
+			// since DESIGN.md §5) are disabled for these rows.
+			rr, err := sherman.AlmostRoute(g, apx, b, eps, sherman.Config{
+				Alpha:               alpha,
+				DisableAcceleration: true,
+				DisableContinuation: true,
+			}, nil)
 			if err != nil {
 				return nil, fmt.Errorf("e7 eps=%v alpha=%v: %w", eps, alpha, err)
 			}
@@ -160,13 +167,22 @@ func E7GradientIterations(s Scale) (*Table, error) {
 			}
 			t.AddRow(fmt.Sprint(eps), label, fmt.Sprint(rr.Iterations), fmt.Sprintf("%.3f", norm))
 		}
-		// Footnote 3 territory: the safeguarded momentum variant.
-		rr, err := sherman.AlmostRoute(g, apx, b, eps, sherman.Config{Momentum: 0.9}, nil)
+		// Footnote 3 territory: the fixed-coefficient heavy-ball variant
+		// (continuation still off so the row isolates the momentum term).
+		rr, err := sherman.AlmostRoute(g, apx, b, eps, sherman.Config{Momentum: 0.9, DisableContinuation: true}, nil)
 		if err != nil {
 			return nil, fmt.Errorf("e7 momentum eps=%v: %w", eps, err)
 		}
 		norm := float64(rr.Iterations) * math.Pow(eps, 3) / (rr.AlphaUsed * rr.AlphaUsed)
 		t.AddRow(fmt.Sprint(eps), "auto+mom0.9", fmt.Sprint(rr.Iterations), fmt.Sprintf("%.3f", norm))
+		// The default accelerated stepper with continuation (§5), for
+		// comparison against the plain rows above.
+		rr, err = sherman.AlmostRoute(g, apx, b, eps, sherman.Config{}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("e7 accel eps=%v: %w", eps, err)
+		}
+		norm = float64(rr.Iterations) * math.Pow(eps, 3) / (rr.AlphaUsed * rr.AlphaUsed)
+		t.AddRow(fmt.Sprint(eps), "auto+accel", fmt.Sprint(rr.Iterations), fmt.Sprintf("%.3f", norm))
 	}
 	return t, nil
 }

@@ -111,6 +111,50 @@ func SoftMaxGradPar(y []float64, grad []float64) float64 {
 	return m + math.Log(sum)
 }
 
+// SoftMaxGradScaledPar is SoftMaxGradPar evaluated at the implicit
+// vector y_i = f_i·scale_i without materializing y: every chunk pass
+// reads f and scale directly, fusing the element-wise scaling into the
+// max shift, the shifted exponential sum, and the gradient scaling.
+// grad receives ∂smax/∂y (not ∂/∂f). The fusion removes one full
+// write+read pass over a len(f) temporary from the solver's hot loop;
+// the chunked reduction order is fixed by len(f) alone, so the result
+// is bit-identical at every worker count.
+func SoftMaxGradScaledPar(f, scale, grad []float64) float64 {
+	if len(scale) != len(f) || len(grad) != len(f) {
+		panic("numutil: scale/grad length mismatch")
+	}
+	if len(f) == 0 {
+		return math.Inf(-1)
+	}
+	m := par.Max(len(f), func(lo, hi int) float64 {
+		mm := 0.0
+		for i := lo; i < hi; i++ {
+			if a := math.Abs(f[i] * scale[i]); a > mm {
+				mm = a
+			}
+		}
+		return mm
+	})
+	sum := par.Sum(len(f), func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			y := f[i] * scale[i]
+			p := math.Exp(y - m)
+			q := math.Exp(-y - m)
+			s += p + q
+			grad[i] = p - q
+		}
+		return s
+	})
+	inv := 1 / sum
+	par.For(len(f), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			grad[i] *= inv
+		}
+	})
+	return m + math.Log(sum)
+}
+
 // LogSumExp returns log Σ_i e^{y_i} evaluated stably.
 func LogSumExp(y []float64) float64 {
 	if len(y) == 0 {

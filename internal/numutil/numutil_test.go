@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"distflow/internal/par"
 )
 
 func TestSoftMaxSmall(t *testing.T) {
@@ -212,5 +214,44 @@ func TestAbsMax(t *testing.T) {
 	}
 	if got := AbsMax([]float64{-5, 3}); got != 5 {
 		t.Errorf("AbsMax = %v, want 5", got)
+	}
+}
+
+// SoftMaxGradScaledPar at y = f·scale must agree with the single-sweep
+// reference evaluated on the materialized product, up to reduction-order
+// ulps, and be bit-identical at every worker count.
+func TestSoftMaxGradScaledParMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{1, 5, 4096, 9001} {
+		f := make([]float64, n)
+		scale := make([]float64, n)
+		y := make([]float64, n)
+		for i := range f {
+			f[i] = rng.NormFloat64() * 20
+			scale[i] = rng.Float64() + 0.01
+			y[i] = f[i] * scale[i]
+		}
+		want := make([]float64, n)
+		wantV := SoftMaxGrad(y, want)
+		got := make([]float64, n)
+		gotV := SoftMaxGradScaledPar(f, scale, got)
+		if math.Abs(gotV-wantV) > 1e-12*math.Max(1, math.Abs(wantV)) {
+			t.Fatalf("n=%d: value %v, want %v", n, gotV, wantV)
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("n=%d: grad[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+		run := func(workers int) float64 {
+			defer par.SetWorkers(par.SetWorkers(workers))
+			return SoftMaxGradScaledPar(f, scale, got)
+		}
+		w1 := run(1)
+		for _, w := range []int{3, 8} {
+			if v := run(w); v != w1 {
+				t.Fatalf("n=%d workers=%d: %v != %v", n, w, v, w1)
+			}
+		}
 	}
 }

@@ -190,6 +190,21 @@ func Do(n int, body func(i int)) {
 	runChunked(n, 1, n, func(i, _, _ int) { body(i) })
 }
 
+// partialPool recycles the per-chunk partial buffers of Sum and Max.
+// Reductions sit on the solver's per-iteration hot path (several per
+// gradient evaluation), so a fresh []float64 per call is measurable
+// allocation traffic; chunk counts are capped at maxChunks, so every
+// pooled buffer is full size. The pool stores *[]float64 so Get/Put
+// move a pointer instead of boxing a slice header per call
+// (staticcheck SA6002). The buffer only carries data within one call —
+// pooling cannot affect results.
+var partialPool = sync.Pool{
+	New: func() any {
+		b := make([]float64, maxChunks)
+		return &b
+	},
+}
+
 // Sum reduces body over a partition of [0,n): body returns the partial
 // sum of its range, and the partials are combined in chunk-index order
 // on the calling goroutine. Because the partition depends only on n,
@@ -203,12 +218,14 @@ func Sum(n int, body func(lo, hi int) float64) float64 {
 	if count == 1 {
 		return body(0, n)
 	}
-	partial := make([]float64, count)
+	pp := partialPool.Get().(*[]float64)
+	partial := *pp
 	runChunked(n, size, count, func(i, lo, hi int) { partial[i] = body(lo, hi) })
 	s := 0.0
-	for _, p := range partial {
+	for _, p := range partial[:count] {
 		s += p
 	}
+	partialPool.Put(pp)
 	return s
 }
 
@@ -222,13 +239,15 @@ func Max(n int, body func(lo, hi int) float64) float64 {
 	if count == 1 {
 		return body(0, n)
 	}
-	partial := make([]float64, count)
+	pp := partialPool.Get().(*[]float64)
+	partial := *pp
 	runChunked(n, size, count, func(i, lo, hi int) { partial[i] = body(lo, hi) })
 	m := math.Inf(-1)
-	for _, p := range partial {
+	for _, p := range partial[:count] {
 		if p > m {
 			m = p
 		}
 	}
+	partialPool.Put(pp)
 	return m
 }

@@ -15,6 +15,16 @@
 // demand is r = b − Divergence(f). The gradient of φ2 at edge e=(u,v)
 // is 2α(π_v − π_u) for the node potentials π = Rᵀ·∇smax(y), Eq. (3)/(4).
 //
+// The stepper is, by default, a safeguarded accelerated-gradient method
+// (Nesterov's momentum schedule with potential-monotonicity restarts,
+// DESIGN.md §5) — Sherman's footnote 3 observes acceleration improves
+// the ε⁻³ iteration bound toward ε⁻², and Grunau–Kyng–Zuzic (2025) make
+// it the centerpiece of the state of the art. Small target accuracies
+// are additionally reached through an ε-continuation schedule that
+// warm-starts each refinement level from the previous level's flow.
+// Config.DisableAcceleration and Config.DisableContinuation restore the
+// plain stepper.
+//
 // Every gradient iteration charges the distributed cost of its two
 // R-applications (Corollary 9.3) and its BFS-tree aggregations to the
 // ledger, using the measured tree count and diameter.
@@ -24,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"distflow/internal/capprox"
 	"distflow/internal/congest"
@@ -35,7 +46,7 @@ import (
 )
 
 // Config tunes the solver. The zero value selects the paper's
-// parameters.
+// parameters with the accelerated stepper enabled.
 type Config struct {
 	// Epsilon is the approximation target (default 0.5).
 	Epsilon float64
@@ -51,13 +62,21 @@ type Config struct {
 	// (ablation A2: paper-faithful fixed step size).
 	DisableAdaptiveAlpha bool
 	// Momentum enables a safeguarded heavy-ball term μ·(f_k − f_{k-1})
-	// on top of the gradient step. Sherman's footnote 3 notes that
-	// Nesterov's accelerated method improves the ε⁻³ iteration bound to
-	// ε⁻²; this option explores that territory while retaining the
-	// fixed-step fallback (momentum is dropped whenever a step fails to
-	// decrease the potential, so the worst case is unchanged). 0 = off;
-	// typical value 0.9.
+	// with a FIXED coefficient on top of the gradient step (the
+	// pre-acceleration exploratory option; momentum is dropped whenever
+	// a step fails to decrease the potential, so the worst case is
+	// unchanged). 0 = off; typical value 0.9. When set it takes
+	// precedence over the default accelerated schedule.
 	Momentum float64
+	// DisableAcceleration turns off the default safeguarded
+	// accelerated-gradient stepper (Nesterov's θ_k = k/(k+3) momentum
+	// schedule with potential-monotonicity restarts, DESIGN.md §5) and
+	// restores the plain backtracking gradient step.
+	DisableAcceleration bool
+	// DisableContinuation turns off the ε-continuation schedule that
+	// solves AlmostRoute at a coarse accuracy first and warm-starts each
+	// refinement level from the previous flow (DESIGN.md §5).
+	DisableContinuation bool
 	// OuterIters bounds Algorithm 1 repetitions (default ⌈log₂ m⌉+1).
 	OuterIters int
 }
@@ -66,116 +85,137 @@ type Config struct {
 // budget even after adaptive-α restarts.
 var ErrNoConvergence = errors.New("sherman: gradient descent did not converge")
 
+// muCap bounds the accelerated momentum coefficient μ_k = k/(k+3). The
+// descent direction is a sign-gradient (ℓ∞-geometry) step whose length
+// the η line search already adapts, so the classical μ→1 schedule
+// overshoots into restart-thrash; capping at 0.4 measured best on the
+// BENCH workload (swept 0.3–0.9: 1126 iterations at 0.4 vs 1420
+// without momentum and 1858 uncapped, DESIGN.md §5).
+const muCap = 0.4
+
 // RouteResult is the outcome of AlmostRoute.
 type RouteResult struct {
 	// Flow is the computed (near-)routing of the demand.
 	Flow []float64
-	// Iterations is the number of gradient steps performed.
+	// Iterations is the number of gradient steps performed (summed over
+	// continuation levels).
 	Iterations int
+	// Restarts counts potential-monotonicity restarts of the momentum
+	// sequence (steps where the safeguard dropped the momentum term).
+	Restarts int
 	// AlphaUsed is the α the run converged with (≥ Config.Alpha when
 	// adaptive restarts fired).
 	AlphaUsed float64
 }
 
-type workspace struct {
-	g     *graph.Graph
-	apx   *capprox.Approximator
-	alpha float64
-	// flat index of (tree, non-root vertex) pairs for φ2
-	treeOf []int
-	vertOf []int
-	y      []float64
-	w2     []float64
-	prices [][]float64
-	x      []float64
-	w1     []float64
-	grad   []float64
-	// reused per-iteration buffers for the R/Rᵀ applications
-	div      []float64
-	r        []float64
-	rr       [][]float64
-	pi       []float64
-	ptSweeps [][]float64
+// Solver bundles a graph and its congestion approximator with reusable
+// solve state: a pool of gradient workspaces (the per-tree [][]float64
+// scratch is recycled across queries instead of reallocated) and the
+// lazily built maximum-weight spanning tree used for residual routing.
+// A Solver is safe for concurrent use; every query draws its own
+// workspace from the pool.
+type Solver struct {
+	g   *graph.Graph
+	apx *capprox.Approximator
+
+	wsPool sync.Pool
+
+	stOnce sync.Once
+	st     *stRouter
+	stErr  error
 }
 
-func newWorkspace(g *graph.Graph, apx *capprox.Approximator, alpha float64) *workspace {
-	ws := &workspace{g: g, apx: apx, alpha: alpha}
-	for k, t := range apx.Trees {
-		for v := 0; v < t.N(); v++ {
-			if v != t.Root {
-				ws.treeOf = append(ws.treeOf, k)
-				ws.vertOf = append(ws.vertOf, v)
-			}
-		}
+// NewSolver returns a Solver for (g, apx). Long-lived callers (the
+// distflow.Router) should create one Solver and reuse it across
+// queries; the package-level AlmostRoute/MaxFlow wrappers create a
+// throwaway Solver per call.
+func NewSolver(g *graph.Graph, apx *capprox.Approximator) *Solver {
+	return &Solver{g: g, apx: apx}
+}
+
+func (s *Solver) getWS() *workspace {
+	if ws, ok := s.wsPool.Get().(*workspace); ok {
+		return ws
 	}
-	ws.y = make([]float64, len(ws.treeOf))
-	ws.w2 = make([]float64, len(ws.treeOf))
-	ws.prices = make([][]float64, len(apx.Trees))
-	ws.rr = make([][]float64, len(apx.Trees))
-	ws.ptSweeps = make([][]float64, len(apx.Trees))
-	for k, t := range apx.Trees {
-		ws.prices[k] = make([]float64, t.N())
-		ws.rr[k] = make([]float64, t.N())
-		ws.ptSweeps[k] = make([]float64, t.N())
+	return newWorkspace(s.g, s.apx)
+}
+
+func (s *Solver) putWS(ws *workspace) { s.wsPool.Put(ws) }
+
+// stTree returns the cached maximum-weight-spanning-tree router.
+func (s *Solver) stTree() (*stRouter, error) {
+	s.stOnce.Do(func() { s.st, s.stErr = newSTRouter(s.g) })
+	return s.st, s.stErr
+}
+
+type workspace struct {
+	g   *graph.Graph
+	apx *capprox.Approximator
+	// invCap[e] = 1/cap_e, fused into the φ1 soft-max and the gradient
+	// assembly (multiplies instead of divides on the hot path).
+	invCap []float64
+	// scratch holds the per-tree buffers of the fused φ2 pipeline
+	// (capprox.PotentialRT).
+	scratch *capprox.EvalScratch
+	w1      []float64
+	grad    []float64
+	div     []float64
+	r       []float64
+	pi      []float64
+	// iterate buffers reused across calls (fully overwritten each call)
+	f       []float64
+	fPrev   []float64
+	fTry    []float64
+	stepVec []float64
+	bs      []float64
+}
+
+func newWorkspace(g *graph.Graph, apx *capprox.Approximator) *workspace {
+	ws := &workspace{g: g, apx: apx, scratch: apx.NewEvalScratch()}
+	ws.invCap = make([]float64, g.M())
+	for e, ed := range g.Edges() {
+		ws.invCap[e] = 1 / float64(ed.Cap)
 	}
-	ws.x = make([]float64, g.M())
 	ws.w1 = make([]float64, g.M())
 	ws.grad = make([]float64, g.M())
 	ws.div = make([]float64, g.N())
 	ws.r = make([]float64, g.N())
 	ws.pi = make([]float64, g.N())
+	ws.f = make([]float64, g.M())
+	ws.fPrev = make([]float64, g.M())
+	ws.fTry = make([]float64, g.M())
+	ws.stepVec = make([]float64, g.M())
+	ws.bs = make([]float64, g.N())
 	return ws
 }
 
 // eval computes φ(f), the gradient, and δ = Σ_e cap_e·|grad_e| for the
-// scaled demand bs. Every stage runs chunk-parallel on the shared
-// worker pool (internal/par): the per-edge maps and the soft-max are
-// element-wise or chunk-reduced, the R/Rᵀ applications are
-// tree-parallel, and the δ reduction combines per-chunk partials in
-// fixed chunk order — so eval is a pure function of (f, bs) at every
-// worker count.
-func (ws *workspace) eval(f, bs []float64) (phi, delta float64) {
+// scaled demand bs. The passes are fused (DESIGN.md §5): φ1 evaluates
+// the soft-max directly on f with the 1/cap scaling folded into every
+// chunk pass, and φ2 runs ApplyR → ∇smax → ApplyRᵀ as single per-tree
+// sweeps via capprox.PotentialRT. All reductions combine partials in an
+// order fixed by the problem size alone, so eval is a pure function of
+// (f, bs, alpha) at every worker count.
+func (ws *workspace) eval(f, bs []float64, alpha float64) (phi, delta float64) {
 	g := ws.g
 	edges := g.Edges()
-	// φ1 = smax(C⁻¹f).
-	par.For(g.M(), func(lo, hi int) {
-		for e := lo; e < hi; e++ {
-			ws.x[e] = f[e] / float64(edges[e].Cap)
-		}
-	})
-	phi1 := numutil.SoftMaxGradPar(ws.x, ws.w1)
+	// φ1 = smax(C⁻¹f), fused scaling.
+	phi1 := numutil.SoftMaxGradScaledPar(f, ws.invCap, ws.w1)
 
-	// φ2 = smax(2α·R·r), r = bs − Div(f).
+	// φ2 = smax(2α·R·r), r = bs − Div(f), with π = Rᵀ·∇smax fused in.
 	g.DivergenceInto(f, ws.div)
 	par.For(g.N(), func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			ws.r[v] = bs[v] - ws.div[v]
 		}
 	})
-	ws.apx.ApplyRInto(ws.r, ws.rr)
-	par.For(len(ws.y), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ws.y[i] = 2 * ws.alpha * ws.rr[ws.treeOf[i]][ws.vertOf[i]]
-		}
-	})
-	phi2 := numutil.SoftMaxGradPar(ws.y, ws.w2)
-
-	// Node potentials π = Rᵀ·w2 (Eq. 4). Every non-root (tree, vertex)
-	// slot appears exactly once in the flat index, so the scatter
-	// overwrites all price entries ApplyRT reads; root entries are
-	// ignored by the sweep.
-	par.For(len(ws.w2), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ws.prices[ws.treeOf[i]][ws.vertOf[i]] = ws.w2[i]
-		}
-	})
-	ws.apx.ApplyRTInto(ws.prices, ws.pi, ws.ptSweeps)
+	phi2 := ws.apx.PotentialRT(ws.r, 2*alpha, ws.scratch, ws.pi)
 
 	delta = par.Sum(g.M(), func(lo, hi int) float64 {
 		d := 0.0
 		for e := lo; e < hi; e++ {
 			ed := edges[e]
-			gr := ws.w1[e]/float64(ed.Cap) + 2*ws.alpha*(ws.pi[ed.V]-ws.pi[ed.U])
+			gr := ws.w1[e]*ws.invCap[e] + 2*alpha*(ws.pi[ed.V]-ws.pi[ed.U])
 			ws.grad[e] = gr
 			d += float64(ed.Cap) * math.Abs(gr)
 		}
@@ -184,44 +224,110 @@ func (ws *workspace) eval(f, bs []float64) (phi, delta float64) {
 	return phi1 + phi2, delta
 }
 
+// stepState carries warm-started optimizer state across continuation
+// levels and across the outer AlmostRoute calls of one MaxFlow: the
+// line-search scale η (so later calls skip the slow ramp from 1) and
+// the last α that converged (so later calls skip re-discovering it
+// through stall restarts). Deterministic: both are pure functions of
+// the preceding solve sequence.
+type stepState struct {
+	eta   float64
+	alpha float64
+}
+
 // AlmostRoute runs Algorithm 2 for the demand b with accuracy eps. The
 // returned flow approximately routes b: its congestion is within
 // (1+eps) of optimal and the residual b − Div(f) is small enough for
 // Algorithm 1's geometric decrease (Sherman, Theorem 1.2 of [30]).
 // Charged rounds are appended to ledger when non-nil.
-func AlmostRoute(g *graph.Graph, apx *capprox.Approximator, b []float64, eps float64, cfg Config, ledger *congest.Ledger) (*RouteResult, error) {
+func (s *Solver) AlmostRoute(b []float64, eps float64, cfg Config, ledger *congest.Ledger) (*RouteResult, error) {
+	return s.AlmostRouteWarm(b, eps, cfg, ledger, nil)
+}
+
+// AlmostRouteWarm is AlmostRoute starting the descent from the given
+// warm flow (in demand units; nil = cold start from zero). A warm flow
+// near the optimum lets the run terminate in few iterations; any flow
+// is safe — it only biases the initial iterate, never the guarantee.
+func (s *Solver) AlmostRouteWarm(b []float64, eps float64, cfg Config, ledger *congest.Ledger, warm []float64) (*RouteResult, error) {
+	st := &stepState{eta: 1}
+	return s.almostRoute(b, eps, cfg, ledger, warm, st)
+}
+
+// continuationLevels returns the ε schedule, coarse to fine, ending at
+// eps. Each level is 3× coarser than the next: a level costs Θ(ε⁻²..⁻³)
+// iterations, so the prefix sums are dominated by the final level while
+// every level starts from the previous level's nearly-converged flow.
+func continuationLevels(eps float64, cfg Config) []float64 {
+	if cfg.DisableContinuation {
+		return []float64{eps}
+	}
+	levels := []float64{eps}
+	for e := eps * 3; e <= 0.6; e *= 3 {
+		levels = append([]float64{e}, levels...)
+	}
+	return levels
+}
+
+// resolveAlpha returns the starting α for cfg. The α the descent needs
+// is the congestion-approximation quality of the cut family, i.e.
+// max_b opt(b)/‖Rb‖∞ — NOT the cap_T/cap_G distortion (with exact-cut
+// row scaling the latter cancels entirely). That quality is measured in
+// experiment E4 to sit in the low single digits on all tested families,
+// and the step size pays α²: start at 2 and let the adaptive restart
+// double on stall (ablation A2). The Lemma 3.3 worst case
+// 2·Alpha²·AlphaLow remains available via Config.Alpha.
+func resolveAlpha(cfg Config) float64 {
+	alpha := cfg.Alpha
+	if alpha == 0 {
+		alpha = 2
+	}
+	if alpha < 1 {
+		alpha = 1
+	}
+	return alpha
+}
+
+func (s *Solver) almostRoute(b []float64, eps float64, cfg Config, ledger *congest.Ledger, warm []float64, st *stepState) (*RouteResult, error) {
+	g := s.g
 	if len(b) != g.N() {
 		return nil, fmt.Errorf("sherman: demand length %d, want %d", len(b), g.N())
 	}
 	if eps <= 0 || eps >= 1 {
 		return nil, fmt.Errorf("sherman: eps %v out of (0,1)", eps)
 	}
-	alpha := cfg.Alpha
-	if alpha == 0 {
-		// The α the descent needs is the congestion-approximation
-		// quality of the cut family, i.e. max_b opt(b)/‖Rb‖∞ — NOT the
-		// cap_T/cap_G distortion (with exact-cut row scaling the latter
-		// cancels entirely). That quality is measured in experiment E4
-		// to sit in the low single digits on all tested families, and
-		// the step size pays α²: start at 2 and let the adaptive
-		// restart double on stall (ablation A2). The Lemma 3.3 worst
-		// case 2·Alpha²·AlphaLow remains available via Config.Alpha.
-		alpha = 2
+	if st.alpha == 0 {
+		st.alpha = resolveAlpha(cfg)
 	}
-	if alpha < 1 {
-		alpha = 1
+	rb := s.apx.NormRb(b)
+	if rb == 0 {
+		return &RouteResult{Flow: make([]float64, g.M()), AlphaUsed: st.alpha}, nil
 	}
 	n := float64(g.N())
 	diameter := g.DiameterApprox()
 
-	rb := apx.NormRb(b)
-	if rb == 0 {
-		return &RouteResult{Flow: make([]float64, g.M()), AlphaUsed: alpha}, nil
+	out := &RouteResult{}
+	cur := warm
+	for _, le := range continuationLevels(eps, cfg) {
+		res, err := s.almostRouteAdaptive(b, le, cfg, n, diameter, ledger, rb, cur, st)
+		if err != nil {
+			return nil, err
+		}
+		out.Flow = res.Flow
+		out.Iterations += res.Iterations
+		out.Restarts += res.Restarts
+		out.AlphaUsed = res.AlphaUsed
+		cur = res.Flow
 	}
+	return out, nil
+}
 
+// almostRouteAdaptive wraps the fixed-α descent with the stall-doubling
+// restarts of ablation A2, resuming from the α the preceding solves
+// settled on.
+func (s *Solver) almostRouteAdaptive(b []float64, eps float64, cfg Config, n float64, diameter int, ledger *congest.Ledger, rb float64, warm []float64, st *stepState) (*RouteResult, error) {
 	restarts := 0
 	for {
-		res, err := almostRouteFixedAlpha(g, apx, b, eps, alpha, cfg, n, diameter, ledger, rb)
+		res, err := s.almostRouteFixedAlpha(b, eps, st.alpha, cfg, n, diameter, ledger, rb, warm, st)
 		if err == nil {
 			return res, nil
 		}
@@ -231,22 +337,45 @@ func AlmostRoute(g *graph.Graph, apx *capprox.Approximator, b []float64, eps flo
 		// Stall: the measured α under-estimated the true approximation
 		// ratio; double and restart (engineering fallback documented in
 		// DESIGN.md ablation A2).
-		alpha *= 2
+		st.alpha *= 2
 		restarts++
 	}
 }
 
-func almostRouteFixedAlpha(g *graph.Graph, apx *capprox.Approximator, b []float64, eps, alpha float64, cfg Config, n float64, diameter int, ledger *congest.Ledger, rb float64) (*RouteResult, error) {
-	ws := newWorkspace(g, apx, alpha)
+func (s *Solver) almostRouteFixedAlpha(b []float64, eps, alpha float64, cfg Config, n float64, diameter int, ledger *congest.Ledger, rb float64, warm []float64, st *stepState) (*RouteResult, error) {
+	g := s.g
+	ws := s.getWS()
+	defer s.putWS(ws)
 	target := 16 * math.Log(n+2) / eps
 
-	// Initial scaling: 2α‖R(σb)‖∞ = target (Algorithm 2 line 1).
+	// Initial scaling: 2α‖R(σb)‖∞ = target (Algorithm 2 line 1). With a
+	// warm start the scale is chosen so that the warm flow's φ1 also
+	// starts inside the working range — σ = target/max(2α‖Rb‖∞, cong(w))
+	// — which skips most of the 17/16 zoom steps.
 	sigma := target / (2 * alpha * rb)
-	bs := make([]float64, g.N())
-	for v := range bs {
-		bs[v] = sigma * b[v]
+	f := ws.f
+	if warm != nil {
+		if cw := g.MaxCongestion(warm); cw > 0 && target/cw < sigma {
+			sigma = target / cw
+		}
+		par.For(len(f), func(lo, hi int) {
+			for e := lo; e < hi; e++ {
+				f[e] = sigma * warm[e]
+			}
+		})
+	} else {
+		par.For(len(f), func(lo, hi int) {
+			for e := lo; e < hi; e++ {
+				f[e] = 0
+			}
+		})
 	}
-	f := make([]float64, g.M())
+	bs := ws.bs
+	par.For(len(bs), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			bs[v] = sigma * b[v]
+		}
+	})
 
 	maxIters := cfg.MaxIters
 	if maxIters == 0 {
@@ -265,22 +394,34 @@ func almostRouteFixedAlpha(g *graph.Graph, apx *capprox.Approximator, b []float6
 	// unconditionally — exactly the paper's rule — so the worst case
 	// matches Sherman's O(α²ε⁻³ log n) bound while typical runs take
 	// orders of magnitude fewer iterations. Rejected probes charge their
-	// distributed evaluation rounds like accepted ones.
+	// distributed evaluation rounds like accepted ones. η is warm-started
+	// from the preceding solve (stepState), skipping the ramp from 1.
 	iters := 0
-	eta := 1.0
-	stepVec := make([]float64, g.M())
-	fTry := make([]float64, g.M())
-	var fPrev []float64
-	if cfg.Momentum > 0 {
-		fPrev = append([]float64(nil), f...)
-	}
+	restarts := 0
+	eta := math.Max(1, st.eta)
+	stepVec := ws.stepVec
+	fTry := ws.fTry
+	fPrev := ws.fPrev
+
+	// Momentum mode: an explicit Config.Momentum keeps the legacy fixed
+	// heavy-ball coefficient; otherwise the default is the accelerated
+	// schedule μ_k = k/(k+3) (Nesterov's θ-sequence) over the k accepted
+	// steps since the last restart. Both are safeguarded: a momentum
+	// step that fails to decrease φ is retried without the term, which
+	// for the accelerated schedule is a potential-monotonicity restart
+	// (k returns to 0 and the sequence rebuilds).
+	heavyBall := cfg.Momentum > 0
+	accel := !heavyBall && !cfg.DisableAcceleration
+	trackPrev := heavyBall || accel
+	k := 0
 	useMomentum := false
-	phi, delta := ws.eval(f, bs)
+
+	phi, delta := ws.eval(f, bs, alpha)
 	charge := func() {
 		if ledger != nil {
 			// Two R-applications (Cor. 9.3) + two BFS aggregations per
 			// potential/gradient evaluation (§9.1).
-			ledger.ChargeAccounted("gradient", apx.EvalRounds(g.N(), diameter)*2+2*int64(diameter+1))
+			ledger.ChargeAccounted("gradient", s.apx.EvalRounds(g.N(), diameter)*2+2*int64(diameter+1))
 		}
 	}
 	charge()
@@ -299,17 +440,19 @@ func almostRouteFixedAlpha(g *graph.Graph, apx *capprox.Approximator, b []float6
 				}
 			})
 			sigma *= 17.0 / 16
-			phi, delta = ws.eval(f, bs)
+			phi, delta = ws.eval(f, bs, alpha)
 			charge()
 		}
 		if delta < eps/4 {
 			out := make([]float64, len(f))
+			inv := 1 / sigma
 			par.For(len(f), func(lo, hi int) {
 				for e := lo; e < hi; e++ {
-					out[e] = f[e] / sigma
+					out[e] = f[e] * inv
 				}
 			})
-			return &RouteResult{Flow: out, Iterations: iters, AlphaUsed: alpha}, nil
+			st.eta = eta
+			return &RouteResult{Flow: out, Iterations: iters, Restarts: restarts, AlphaUsed: alpha}, nil
 		}
 		edges := g.Edges()
 		par.For(len(edges), func(lo, hi int) {
@@ -318,8 +461,15 @@ func almostRouteFixedAlpha(g *graph.Graph, apx *capprox.Approximator, b []float6
 			}
 		})
 		for {
+			mu := 0.0
 			if useMomentum {
-				mu := cfg.Momentum
+				if heavyBall {
+					mu = cfg.Momentum
+				} else {
+					mu = math.Min(float64(k)/float64(k+3), muCap)
+				}
+			}
+			if mu > 0 {
 				par.For(len(fTry), func(lo, hi int) {
 					for e := lo; e < hi; e++ {
 						fTry[e] = f[e] - eta*stepVec[e] + mu*(f[e]-fPrev[e])
@@ -332,15 +482,15 @@ func almostRouteFixedAlpha(g *graph.Graph, apx *capprox.Approximator, b []float6
 					}
 				})
 			}
-			phiTry, deltaTry := ws.eval(fTry, bs)
+			phiTry, deltaTry := ws.eval(fTry, bs, alpha)
 			charge()
 			iters++
 			if iters > maxIters {
 				return nil, fmt.Errorf("%w after %d iterations (alpha=%v, eps=%v)", ErrNoConvergence, iters, alpha, eps)
 			}
 			decreased := phiTry < phi
-			if decreased || (eta <= 1 && !useMomentum) {
-				if fPrev != nil {
+			if decreased || (eta <= 1 && mu == 0) {
+				if trackPrev {
 					copy(fPrev, f)
 				}
 				f, fTry = fTry, f
@@ -348,19 +498,35 @@ func almostRouteFixedAlpha(g *graph.Graph, apx *capprox.Approximator, b []float6
 				if decreased {
 					// decreased at this η: try a larger one next time
 					eta = math.Min(eta*1.25, 1024)
-					useMomentum = cfg.Momentum > 0
+					k++
+					useMomentum = trackPrev
+				} else {
+					// forced paper-rule step without decrease: the local
+					// model is off, rebuild the momentum sequence
+					k = 0
 				}
 				break
 			}
-			// Safeguard order: first drop the momentum term, then shrink
-			// the step back toward the paper's guaranteed size.
+			// Safeguard order: first drop the momentum term (a
+			// potential-monotonicity restart of the accelerated
+			// sequence), then shrink the step back toward the paper's
+			// guaranteed size.
 			if useMomentum {
 				useMomentum = false
+				k = 0
+				restarts++
 				continue
 			}
 			eta = math.Max(eta/2, 1)
 		}
 	}
+}
+
+// AlmostRoute runs Algorithm 2 on a throwaway Solver. Long-lived
+// callers should construct a Solver (or distflow.Router) and use its
+// methods so workspaces are pooled across queries.
+func AlmostRoute(g *graph.Graph, apx *capprox.Approximator, b []float64, eps float64, cfg Config, ledger *congest.Ledger) (*RouteResult, error) {
+	return NewSolver(g, apx).AlmostRoute(b, eps, cfg, ledger)
 }
 
 // FlowResult is the outcome of the top-level max-flow computation.
@@ -376,6 +542,8 @@ type FlowResult struct {
 	Congestion float64
 	// Iterations totals gradient steps across all AlmostRoute calls.
 	Iterations int
+	// Restarts totals momentum restarts across all AlmostRoute calls.
+	Restarts int
 	// Outer is the number of Algorithm 1 repetitions executed.
 	Outer int
 	// AlphaUsed is the largest α any AlmostRoute call settled on.
@@ -386,40 +554,92 @@ type FlowResult struct {
 }
 
 // MaxFlow runs Algorithm 1 for the s-t pair: route the unit s-t demand
-// near-optimally, drive the residual down over O(log m) AlmostRoute
-// calls, route the leftovers exactly on a maximum-weight spanning tree,
-// and rescale the combined flow to feasibility. The value of the result
-// is a (1+ε)(1+o(1))-approximation of the maximum flow.
-func MaxFlow(g *graph.Graph, apx *capprox.Approximator, s, t int, cfg Config) (*FlowResult, error) {
-	if s == t || s < 0 || t < 0 || s >= g.N() || t >= g.N() {
-		return nil, fmt.Errorf("sherman: invalid terminals %d, %d", s, t)
+// near-optimally, drive the residual down over AlmostRoute calls, route
+// the leftovers exactly on a maximum-weight spanning tree, and rescale
+// the combined flow to feasibility. The value of the result is a
+// (1+ε)(1+o(1))-approximation of the maximum flow.
+func (s *Solver) MaxFlow(src, dst int, cfg Config) (*FlowResult, error) {
+	return s.MaxFlowWarm(src, dst, cfg, nil)
+}
+
+// MaxFlowWarm is MaxFlow with the first AlmostRoute call warm-started
+// from the given routing of the unit s-t demand (nil = cold start).
+// Callers obtain such a routing from a previous result of the same
+// query as Flow/Value (the distflow.Router's warm cache does exactly
+// this). The warm flow only biases the initial iterate: the returned
+// flow satisfies the same (1+ε) guarantee, but is generally not
+// bit-identical to the cold-started result (DESIGN.md §5).
+func (s *Solver) MaxFlowWarm(src, dst int, cfg Config, warm []float64) (*FlowResult, error) {
+	g := s.g
+	if src == dst || src < 0 || dst < 0 || src >= g.N() || dst >= g.N() {
+		return nil, fmt.Errorf("sherman: invalid terminals %d, %d", src, dst)
 	}
 	eps := cfg.Epsilon
 	if eps == 0 {
 		eps = 0.5
 	}
+	tr, err := s.stTree()
+	if err != nil {
+		return nil, err
+	}
 	ledger := congest.NewLedger()
-	b := graph.STDemand(g.N(), s, t, 1)
+	b := graph.STDemand(g.N(), src, dst, 1)
 
 	outer := cfg.OuterIters
 	if outer == 0 {
 		outer = int(math.Ceil(math.Log2(float64(g.M()+2)))) + 1
 	}
 
-	res := &FlowResult{Ledger: ledger}
+	// AlphaUsed must report a valid α even when the certificate
+	// short-circuit below skips every gradient step; the descent raises
+	// it when adaptive restarts fire.
+	res := &FlowResult{Ledger: ledger, AlphaUsed: resolveAlpha(cfg)}
 	total := make([]float64, g.M())
 	resid := append([]float64(nil), b...)
-	norm0 := apx.NormRb(b)
-	for i := 0; i < outer; i++ {
+	norm0 := s.apx.NormRb(b)
+	st := &stepState{eta: 1}
+	var fTree []float64
+
+	// Certificate short-circuit for warm starts: a cached routing of the
+	// same unit demand is usually exactly conserving, so its residual
+	// passes the tree-routing certificate below outright — the gradient
+	// loop is skipped and the query is served by rescaling (bit-identical
+	// to the cached answer when the residual is exactly met). A warm
+	// vector that fails the certificate (stale or partial) falls through
+	// to a warm-started descent.
+	skip := false
+	if warm != nil {
+		copy(total, warm)
+		div := g.Divergence(total)
+		par.For(len(resid), func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				resid[v] = b[v] - div[v]
+			}
+		})
+		fTree = tr.route(resid)
+		if g.MaxCongestion(fTree) <= 0.01*eps*g.MaxCongestion(total) {
+			skip = true
+		} else {
+			for e := range total {
+				total[e] = 0
+			}
+			copy(resid, b)
+			fTree = nil
+		}
+	}
+	for i := 0; !skip && i < outer; i++ {
 		epsI := eps
+		w := warm
 		if i > 0 {
 			epsI = 0.5
+			w = nil
 		}
-		rr, err := AlmostRoute(g, apx, resid, epsI, cfg, ledger)
+		rr, err := s.almostRoute(resid, epsI, cfg, ledger, w, st)
 		if err != nil {
 			return nil, fmt.Errorf("sherman: outer %d: %w", i, err)
 		}
 		res.Iterations += rr.Iterations
+		res.Restarts += rr.Restarts
 		if rr.AlphaUsed > res.AlphaUsed {
 			res.AlphaUsed = rr.AlphaUsed
 		}
@@ -435,17 +655,25 @@ func MaxFlow(g *graph.Graph, apx *capprox.Approximator, s, t int, cfg Config) (*
 			}
 		})
 		res.Outer = i + 1
-		if apx.NormRb(resid) <= norm0*1e-9 {
+		// Measured residual certificate: tree-route the current residual
+		// and stop once its congestion is negligible at the target
+		// accuracy — the tree flow is about to be added verbatim, so
+		// cong(fTree) ≤ ε/100·cong(total) bounds the final perturbation
+		// directly (no approximator slack involved). This replaces the
+		// fixed 1e-9 norm cutoff, which over-solved by 2-3 outer rounds
+		// on typical instances (DESIGN.md §5).
+		fTree = tr.route(resid)
+		if g.MaxCongestion(fTree) <= 0.01*eps*g.MaxCongestion(total) ||
+			s.apx.NormRb(resid) <= norm0*1e-9 {
 			break
 		}
+	}
+	if fTree == nil {
+		fTree = tr.route(resid)
 	}
 
 	// Lemma 9.1: route the residual demand on a maximum-weight spanning
 	// tree — routing on trees is exact, restoring conservation.
-	fTree, err := RouteOnMaxWeightST(g, resid)
-	if err != nil {
-		return nil, err
-	}
 	for e := range total {
 		total[e] += fTree[e]
 	}
@@ -465,12 +693,33 @@ func MaxFlow(g *graph.Graph, apx *capprox.Approximator, s, t int, cfg Config) (*
 	return res, nil
 }
 
-// RouteOnMaxWeightST routes the (feasible: Σb=0) demand b exactly on
-// the maximum-weight spanning tree of g (weights = capacities) and
-// returns the per-edge flow. This is the centralized counterpart of the
-// Lemma 9.1 protocol; internal/mst provides the message-passing
-// construction of the same tree (identical under the shared tie-break).
-func RouteOnMaxWeightST(g *graph.Graph, b []float64) ([]float64, error) {
+// MaxFlow runs Algorithm 1 on a throwaway Solver; see Solver.MaxFlow.
+func MaxFlow(g *graph.Graph, apx *capprox.Approximator, s, t int, cfg Config) (*FlowResult, error) {
+	return NewSolver(g, apx).MaxFlow(s, t, cfg)
+}
+
+// RouteResidualOnST routes the (feasible: Σb=0) demand b exactly on the
+// Solver's cached maximum-weight spanning tree; see RouteOnMaxWeightST.
+func (s *Solver) RouteResidualOnST(b []float64) ([]float64, error) {
+	tr, err := s.stTree()
+	if err != nil {
+		return nil, err
+	}
+	return tr.route(b), nil
+}
+
+// stRouter routes demands exactly on the maximum-weight spanning tree
+// of g. The tree, its BFS parent structure, and the per-vertex edge
+// orientations are computed once and reused for every residual-routing
+// call (each call was previously a fresh Kruskal + BFS).
+type stRouter struct {
+	t          *vtree.VTree
+	parentEdge []int
+	orient     []float64
+	m          int
+}
+
+func newSTRouter(g *graph.Graph) (*stRouter, error) {
 	inTree, _ := mst.Kruskal(g, true)
 	n := g.N()
 	parent := make([]int, n)
@@ -509,15 +758,38 @@ func RouteOnMaxWeightST(g *graph.Graph, b []float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	sums := t.RouteDemand(b)
-	f := make([]float64, g.M())
+	orient := make([]float64, n)
 	for v := 0; v < n; v++ {
+		if v != 0 {
+			orient[v] = g.Orientation(parentEdge[v], v)
+		}
+	}
+	return &stRouter{t: t, parentEdge: parentEdge, orient: orient, m: g.M()}, nil
+}
+
+// route returns the per-edge flow meeting b exactly on the tree.
+func (tr *stRouter) route(b []float64) []float64 {
+	sums := tr.t.RouteDemand(b)
+	f := make([]float64, tr.m)
+	for v := range sums {
 		if v == 0 {
 			continue
 		}
-		e := parentEdge[v]
 		// sums[v] flows from v toward parent[v].
-		f[e] += sums[v] * g.Orientation(e, v)
+		f[tr.parentEdge[v]] += sums[v] * tr.orient[v]
 	}
-	return f, nil
+	return f
+}
+
+// RouteOnMaxWeightST routes the (feasible: Σb=0) demand b exactly on
+// the maximum-weight spanning tree of g (weights = capacities) and
+// returns the per-edge flow. This is the centralized counterpart of the
+// Lemma 9.1 protocol; internal/mst provides the message-passing
+// construction of the same tree (identical under the shared tie-break).
+func RouteOnMaxWeightST(g *graph.Graph, b []float64) ([]float64, error) {
+	tr, err := newSTRouter(g)
+	if err != nil {
+		return nil, err
+	}
+	return tr.route(b), nil
 }

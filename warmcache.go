@@ -1,0 +1,109 @@
+package distflow
+
+// The Router's query warm-start cache: an LRU of recent demand
+// signatures → converged flow vectors. A hit starts the gradient
+// descent near-converged instead of from zero, which collapses the
+// iteration count of repeated and clustered queries (DESIGN.md §5).
+//
+// Correctness never depends on the cache: a cached vector only biases
+// the initial iterate of a solve that still runs to its own (1+ε)
+// termination test, so even a colliding or stale entry costs iterations
+// rather than accuracy. Determinism story (DESIGN.md §5): cache-hit
+// results satisfy the same guarantee but are generally not bit-identical
+// to cold-started ones; batch queries read and write the cache outside
+// the parallel region, in index order, so batch results remain a pure
+// function of (router state, query list) at every worker count.
+
+import (
+	"container/list"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"sync"
+)
+
+// defaultWarmCacheSize is the per-Router entry cap when
+// Options.WarmCacheSize is 0. An entry holds one []float64 of length M,
+// so the default bounds cache memory at 64·M floats.
+const defaultWarmCacheSize = 64
+
+type warmCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type warmEntry struct {
+	key  string
+	flow []float64
+}
+
+func newWarmCache(capacity int) *warmCache {
+	return &warmCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// get returns the cached flow for key (nil on miss) and marks the entry
+// most-recently used. The returned slice is shared: callers must treat
+// it as read-only (the solver copies it into its workspace).
+func (c *warmCache) get(key string) []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*warmEntry).flow
+}
+
+// put stores flow under key (the caller passes ownership; it must not
+// mutate the slice afterwards), evicting the least-recently-used entry
+// beyond capacity.
+func (c *warmCache) put(key string, flow []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*warmEntry).flow = flow
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&warmEntry{key: key, flow: flow})
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*warmEntry).key)
+	}
+}
+
+// len reports the current entry count (tests).
+func (c *warmCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// stKey is the cache key of a max-flow query.
+func stKey(s, t int) string {
+	return "f:" + strconv.Itoa(s) + ":" + strconv.Itoa(t)
+}
+
+// demandKey fingerprints a demand vector and accuracy with FNV-1a over
+// the raw float bits. A collision is harmless — the colliding entry is
+// merely a bad warm start — so 64 bits are plenty.
+func demandKey(b []float64, eps float64) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range b {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(eps))
+	h.Write(buf[:])
+	return "d:" + strconv.FormatUint(h.Sum64(), 16)
+}

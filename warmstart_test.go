@@ -1,0 +1,202 @@
+package distflow
+
+// Tests for the Router's query warm-start cache (DESIGN.md §5): hits
+// collapse iteration counts, stay within the documented quality
+// tolerance of cold runs, evict LRU, and never break the batch API's
+// worker-count determinism.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distflow/internal/graph"
+)
+
+func warmTestGraph(seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	gg := graph.CapUniform(graph.GNP(300, 8.0/300, rng), 32, rng)
+	G := NewGraph(gg.N())
+	for _, e := range gg.Edges() {
+		G.AddEdge(e.U, e.V, e.Cap)
+	}
+	return G
+}
+
+// A repeated max-flow query warm-starts from the cache, takes (far)
+// fewer iterations, and lands within the (1+ε) guarantee of the cold
+// value.
+func TestWarmStartRepeatedMaxFlow(t *testing.T) {
+	g := warmTestGraph(51)
+	eps := 0.4
+	r, err := NewRouter(g, Options{Seed: 5, Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, tt := 0, g.N()-1
+	cold, err := r.MaxFlow(s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.WarmStarted {
+		t.Error("first query reported a warm start")
+	}
+	warm, err := r.MaxFlow(s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmStarted {
+		t.Error("repeated query did not warm-start")
+	}
+	if warm.Iterations >= cold.Iterations {
+		t.Errorf("warm repeat took %d iterations, cold %d", warm.Iterations, cold.Iterations)
+	}
+	// Documented tolerance: warm results satisfy the same (1+ε) band, so
+	// two answers to the same query differ by at most that factor.
+	lo, hi := cold.Value/(1+eps), cold.Value*(1+eps)
+	if warm.Value < lo || warm.Value > hi {
+		t.Errorf("warm value %v outside tolerance of cold %v", warm.Value, cold.Value)
+	}
+	// The warm flow is still feasible and conserving.
+	div := divergence(g, warm.Flow)
+	for v := 1; v < g.N()-1; v++ {
+		if math.Abs(div[v]) > 1e-6*math.Max(1, warm.Value) {
+			t.Fatalf("conservation broken at %d: %v", v, div[v])
+		}
+	}
+	for e, fe := range warm.Flow {
+		_, _, capacity := g.EdgeEndpoints(e)
+		if math.Abs(fe) > float64(capacity)*(1+1e-9) {
+			t.Fatalf("edge %d overloaded", e)
+		}
+	}
+	t.Logf("iterations: cold=%d warm=%d", cold.Iterations, warm.Iterations)
+}
+
+// A repeated RouteDemand query warm-starts and keeps exact conservation
+// with congestion within tolerance.
+func TestWarmStartRepeatedRouteDemand(t *testing.T) {
+	g := warmTestGraph(52)
+	r, err := NewRouter(g, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, g.N())
+	b[1], b[2], b[g.N()-1] = 2, 1, -3
+	_, congCold, err := r.RouteDemand(b, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow, congWarm, err := r.RouteDemand(b, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if congWarm > congCold*(1+0.4) || congCold > congWarm*(1+0.4) {
+		t.Errorf("warm congestion %v vs cold %v outside tolerance", congWarm, congCold)
+	}
+	div := divergence(g, flow)
+	for v := range b {
+		if math.Abs(div[v]-b[v]) > 1e-6 {
+			t.Fatalf("warm routing broke conservation at %d", v)
+		}
+	}
+}
+
+// DisableWarmStart restores pure-function queries: repeats are
+// bit-identical.
+func TestDisableWarmStartBitStable(t *testing.T) {
+	g := gridGraph(5, 5)
+	r, err := NewRouter(g, Options{Seed: 8, Epsilon: 0.4, DisableWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.MaxFlow(0, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.MaxFlow(0, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value || a.Iterations != b.Iterations || b.WarmStarted {
+		t.Fatalf("repeat differed with cache disabled: %v/%d vs %v/%d (warm=%v)",
+			a.Value, a.Iterations, b.Value, b.Iterations, b.WarmStarted)
+	}
+}
+
+// The cache evicts least-recently-used entries at WarmCacheSize.
+func TestWarmCacheEviction(t *testing.T) {
+	g := gridGraph(4, 4)
+	r, err := NewRouter(g, Options{Seed: 9, WarmCacheSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []STPair{{0, 15}, {1, 14}, {2, 13}}
+	for _, p := range pairs {
+		if _, err := r.MaxFlow(p.S, p.T); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := r.cache.len(); n != 2 {
+		t.Fatalf("cache holds %d entries, want 2", n)
+	}
+	// {0,15} was evicted; {2,13} is resident.
+	evicted, err := r.MaxFlow(0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted.WarmStarted {
+		t.Error("evicted entry produced a warm start")
+	}
+	resident, err := r.MaxFlow(2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resident.WarmStarted {
+		t.Error("resident entry did not warm-start")
+	}
+}
+
+// Batch queries with the warm cache enabled remain bit-identical at
+// every worker count: cache reads and writes bracket the parallel
+// region in index order, so for a fixed prior cache state the batch is
+// a pure function of the query list.
+func TestWarmBatchWorkerCountDeterminism(t *testing.T) {
+	g := warmTestGraph(53)
+	pairs := []STPair{{0, 299}, {5, 250}, {0, 299}, {17, 180}}
+	run := func(workers int) []*Result {
+		defer SetParallelism(SetParallelism(workers))
+		r, err := NewRouter(g, Options{Seed: 12, Epsilon: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Prime the cache, then re-issue the batch so the second round
+		// exercises warm-started parallel queries.
+		if _, err := r.MaxFlowBatch(pairs); err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.MaxFlowBatch(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := run(1)
+	for _, w := range []int{2, 8} {
+		got := run(w)
+		for i := range want {
+			if got[i].Value != want[i].Value || got[i].Iterations != want[i].Iterations {
+				t.Fatalf("workers=%d query %d: %v/%d, want %v/%d",
+					w, i, got[i].Value, got[i].Iterations, want[i].Value, want[i].Iterations)
+			}
+			if !got[i].WarmStarted {
+				t.Errorf("workers=%d query %d: second batch round not warm-started", w, i)
+			}
+			for e := range want[i].Flow {
+				if got[i].Flow[e] != want[i].Flow[e] {
+					t.Fatalf("workers=%d query %d: flow differs at edge %d", w, i, e)
+				}
+			}
+		}
+	}
+}
