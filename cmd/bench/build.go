@@ -1,0 +1,197 @@
+package main
+
+// The -build mode benchmarks the Router construction path (the
+// congestion-approximator build of Theorem 8.10) on the same workload
+// as -flow: one large random graph, followed by the query stream issued
+// once to fingerprint the build (value_sum must stay put when the build
+// gets faster). The JSON document (schema 3) records a per-phase build
+// breakdown — tree sampling, sparsifier, TreeFlow/cut-cap, α
+// measurement — so future build regressions are attributable, plus the
+// incremental-update benchmark: a single-edge Router.UpdateCapacities
+// against a full rebuild.
+//
+// BENCH_build_pre.json in the repository root is the pre-CSR baseline;
+// BENCH_build.json the optimized run.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"distflow"
+	"distflow/internal/graph"
+)
+
+// BuildBenchResult is the JSON document emitted by -build -json.
+type BuildBenchResult struct {
+	Schema     int             `json:"schema"`
+	Mode       string          `json:"mode"`
+	Config     FlowBenchConfig `json:"config"`
+	GoMaxProcs int             `json:"go_max_procs"`
+	NumCPU     int             `json:"num_cpu"`
+	M          int             `json:"m"`
+
+	// RouterBuildSeconds is the wall clock of one NewRouter call.
+	RouterBuildSeconds float64 `json:"router_build_seconds"`
+	Alpha              float64 `json:"alpha"`
+	Trees              int     `json:"trees"`
+	// Phases is the per-phase breakdown of the build (per-tree phases
+	// are summed per-tree durations, i.e. CPU seconds).
+	Phases distflow.BuildBreakdown `json:"build_phases"`
+
+	// Serving fingerprint: the -flow query workload issued once,
+	// sequentially, against the built router (warm cache disabled).
+	// A build change that alters results moves ValueSum.
+	ValueSum   float64 `json:"value_sum"`
+	Iterations int     `json:"iterations"`
+
+	// Incremental update benchmark: single-edge capacity edits applied
+	// via Router.UpdateCapacities, against a full rebuild of the edited
+	// graph. Zero until the update path exists.
+	UpdateEdits            int     `json:"update_edits,omitempty"`
+	UpdatePerEditSeconds   float64 `json:"update_per_edit_seconds,omitempty"`
+	RebuildSeconds         float64 `json:"rebuild_seconds,omitempty"`
+	UpdateSpeedupVsRebuild float64 `json:"update_speedup_vs_rebuild,omitempty"`
+	// UpdateMaxValueErr is the largest relative deviation between the
+	// updated router's query values and a freshly built router's on the
+	// edited graph (both (1+ε)-approximate; the property test pins the
+	// Dinic bound, this field just records the drift).
+	UpdateMaxValueErr float64 `json:"update_max_value_err,omitempty"`
+}
+
+func runBuildBench(cfg FlowBenchConfig, jsonPath string, buildCeiling float64) error {
+	if cfg.N < 2 {
+		return fmt.Errorf("-build needs -n >= 2")
+	}
+	if cfg.Workers != 0 {
+		distflow.SetParallelism(cfg.Workers)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gg := graph.CapUniform(graph.GNP(cfg.N, cfg.Degree/float64(cfg.N), rng), cfg.MaxCap, rng)
+	G := distflow.NewGraph(gg.N())
+	for _, e := range gg.Edges() {
+		G.AddEdge(e.U, e.V, e.Cap)
+	}
+	res := BuildBenchResult{
+		Schema:     benchSchema,
+		Mode:       "build",
+		Config:     cfg,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		M:          G.M(),
+	}
+	fmt.Printf("build bench: n=%d m=%d eps=%v workers=%d GOMAXPROCS=%d\n",
+		G.N(), G.M(), cfg.Epsilon, cfg.Workers, res.GoMaxProcs)
+
+	opts := distflow.Options{Epsilon: cfg.Epsilon, Seed: cfg.Seed, DisableWarmStart: true}
+	start := time.Now()
+	r, err := distflow.NewRouter(G, opts)
+	if err != nil {
+		return err
+	}
+	res.RouterBuildSeconds = time.Since(start).Seconds()
+	res.Alpha = r.Alpha()
+	res.Trees = r.Trees()
+	res.Phases = r.BuildBreakdown()
+	fmt.Printf("  router build          %8.3fs (alpha=%.3f)\n", res.RouterBuildSeconds, res.Alpha)
+	fmt.Printf("    tree sampling       %8.3fs (of which sparsifier %.3fs)\n",
+		res.Phases.SampleSeconds, res.Phases.SparsifySeconds)
+	fmt.Printf("    cut capacities      %8.3fs\n", res.Phases.CutCapSeconds)
+	fmt.Printf("    alpha measurement   %8.3fs\n", res.Phases.AlphaSeconds)
+
+	// Serving fingerprint on the -flow workload.
+	pairs := flowBenchPairs(G.N(), cfg.Queries, cfg.Seed)
+	for _, p := range pairs {
+		fr, err := r.MaxFlow(p.S, p.T)
+		if err != nil {
+			return fmt.Errorf("fingerprint query %d-%d: %w", p.S, p.T, err)
+		}
+		res.ValueSum += fr.Value
+		res.Iterations += fr.Iterations
+	}
+	fmt.Printf("  fingerprint           value sum %.6f (%d iterations)\n", res.ValueSum, res.Iterations)
+
+	if err := runBuildBenchUpdate(r, G, cfg, opts, pairs, &res); err != nil {
+		return err
+	}
+
+	if jsonPath != "" {
+		doc, err := json.MarshalIndent(&res, "", "  ")
+		if err != nil {
+			return err
+		}
+		doc = append(doc, '\n')
+		if err := os.WriteFile(jsonPath, doc, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", jsonPath)
+	}
+	if buildCeiling > 0 && res.RouterBuildSeconds > buildCeiling {
+		return fmt.Errorf("router build budget exceeded: %.3fs > ceiling %.3fs",
+			res.RouterBuildSeconds, buildCeiling)
+	}
+	return nil
+}
+
+// runBuildBenchUpdate measures single-edge Router.UpdateCapacities
+// against a full rebuild on the edited graph: a handful of halving
+// edits on seed-chosen edges, applied one at a time to the serving
+// router, then one NewRouter on the final edited graph, then a query
+// cross-check of updated-vs-fresh values.
+func runBuildBenchUpdate(r *distflow.Router, G *distflow.Graph, cfg FlowBenchConfig, opts distflow.Options, pairs []distflow.STPair, res *BuildBenchResult) error {
+	const edits = 5
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	var updateTotal float64
+	for i := 0; i < edits; i++ {
+		e := rng.Intn(G.M())
+		_, _, c := G.EdgeEndpoints(e)
+		newCap := c / 2
+		if newCap < 1 {
+			newCap = 1
+		}
+		start := time.Now()
+		ur, err := r.UpdateCapacities([]distflow.CapEdit{{Edge: e, Cap: newCap}})
+		if err != nil {
+			return fmt.Errorf("update %d (edge %d): %w", i, e, err)
+		}
+		updateTotal += time.Since(start).Seconds()
+		if ur.Rebuilt {
+			fmt.Printf("  update %d fell back to a rebuild (alpha %.3f)\n", i, ur.Alpha)
+		}
+	}
+	res.UpdateEdits = edits
+	res.UpdatePerEditSeconds = updateTotal / edits
+
+	start := time.Now()
+	fresh, err := distflow.NewRouter(G, opts)
+	if err != nil {
+		return fmt.Errorf("rebuild on edited graph: %w", err)
+	}
+	res.RebuildSeconds = time.Since(start).Seconds()
+	if res.UpdatePerEditSeconds > 0 {
+		res.UpdateSpeedupVsRebuild = res.RebuildSeconds / res.UpdatePerEditSeconds
+	}
+
+	for _, p := range pairs {
+		a, err := r.MaxFlow(p.S, p.T)
+		if err != nil {
+			return fmt.Errorf("updated query %d-%d: %w", p.S, p.T, err)
+		}
+		b, err := fresh.MaxFlow(p.S, p.T)
+		if err != nil {
+			return fmt.Errorf("fresh query %d-%d: %w", p.S, p.T, err)
+		}
+		if b.Value != 0 {
+			if d := math.Abs(a.Value-b.Value) / math.Abs(b.Value); d > res.UpdateMaxValueErr {
+				res.UpdateMaxValueErr = d
+			}
+		}
+	}
+	fmt.Printf("  incremental update    %8.5fs/edit vs rebuild %.3fs (%.0fx; max value drift %.2f%%)\n",
+		res.UpdatePerEditSeconds, res.RebuildSeconds, res.UpdateSpeedupVsRebuild, 100*res.UpdateMaxValueErr)
+	return nil
+}

@@ -14,7 +14,10 @@ package main
 // fixes the config key order to the FlowBenchConfig struct order below
 // (v1 files were recorded with inconsistent orders), adds per-query
 // statistics, the warm-repeat pass, the -compare baseline block, and
-// the batch worker-count determinism check.
+// the batch worker-count determinism check. v3 adds the -build document
+// (mode:"build", see build.go) with the per-phase construction
+// breakdown and the incremental-update-vs-rebuild measurements; the
+// -flow document is unchanged apart from the version bump.
 
 import (
 	"encoding/json"
@@ -31,7 +34,7 @@ import (
 
 // benchSchema is the single definition of the bench JSON schema
 // version.
-const benchSchema = 2
+const benchSchema = 3
 
 // FlowBenchConfig parameterizes one -flow run. The JSON key order of
 // this struct IS the schema-2 config layout; do not reorder fields.

@@ -20,6 +20,16 @@
 //	bench -flow -iter-ceiling 1900  # fail if the workload exceeds the
 //	                                # gradient-iteration budget (CI)
 //	bench -flow -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//
+// The -build mode benchmarks the router construction path instead: one
+// NewRouter call with its per-phase breakdown (tree sampling,
+// sparsifier, cut capacities, α measurement), a serving fingerprint on
+// the same query workload, and the incremental-update-vs-rebuild
+// comparison (schema 3, see build.go):
+//
+//	bench -build -n 2500 -json BENCH_build.json
+//	bench -build -build-ceiling 0.7   # fail when router_build_seconds
+//	                                  # exceeds the budget (CI)
 package main
 
 import (
@@ -44,21 +54,34 @@ func run() error {
 		exp   = flag.String("exp", "", "comma-separated experiment ids (e1..e10); empty = all")
 		quick = flag.Bool("quick", false, "reduced instance sizes")
 
-		flow        = flag.Bool("flow", false, "benchmark the solver serving path instead of the experiment tables")
-		flowN       = flag.Int("n", 2500, "-flow: vertex count of the benchmark graph")
-		flowDeg     = flag.Float64("deg", 8, "-flow: expected average degree")
-		flowCap     = flag.Int64("cap", 64, "-flow: maximum edge capacity")
-		flowSeed    = flag.Int64("seed", 3, "-flow: graph/query PRNG seed")
-		queries     = flag.Int("queries", 8, "-flow: number of s-t queries")
-		epsilon     = flag.Float64("eps", 0.5, "-flow: approximation target")
-		workers     = flag.Int("workers", 0, "-flow: solver worker count (0 = GOMAXPROCS)")
-		jsonOut     = flag.String("json", "", "-flow: write measurements to this JSON file")
-		compare     = flag.Bool("compare", false, "-flow: also run the plain-stepper baseline (no acceleration/continuation) and record the iteration ratio")
-		iterCeiling = flag.Int("iter-ceiling", 0, "-flow: fail when sequential gradient iterations exceed this budget (0 = off)")
-		cpuProfile  = flag.String("cpuprofile", "", "-flow: write a CPU profile to this file")
-		memProfile  = flag.String("memprofile", "", "-flow: write a heap profile to this file")
+		flow         = flag.Bool("flow", false, "benchmark the solver serving path instead of the experiment tables")
+		build        = flag.Bool("build", false, "benchmark the router construction path (per-phase breakdown + incremental update vs rebuild)")
+		buildCeiling = flag.Float64("build-ceiling", 0, "-build: fail when router_build_seconds exceeds this many seconds (0 = off)")
+		flowN        = flag.Int("n", 2500, "-flow: vertex count of the benchmark graph")
+		flowDeg      = flag.Float64("deg", 8, "-flow: expected average degree")
+		flowCap      = flag.Int64("cap", 64, "-flow: maximum edge capacity")
+		flowSeed     = flag.Int64("seed", 3, "-flow: graph/query PRNG seed")
+		queries      = flag.Int("queries", 8, "-flow: number of s-t queries")
+		epsilon      = flag.Float64("eps", 0.5, "-flow: approximation target")
+		workers      = flag.Int("workers", 0, "-flow: solver worker count (0 = GOMAXPROCS)")
+		jsonOut      = flag.String("json", "", "-flow: write measurements to this JSON file")
+		compare      = flag.Bool("compare", false, "-flow: also run the plain-stepper baseline (no acceleration/continuation) and record the iteration ratio")
+		iterCeiling  = flag.Int("iter-ceiling", 0, "-flow: fail when sequential gradient iterations exceed this budget (0 = off)")
+		cpuProfile   = flag.String("cpuprofile", "", "-flow: write a CPU profile to this file")
+		memProfile   = flag.String("memprofile", "", "-flow: write a heap profile to this file")
 	)
 	flag.Parse()
+	if *build {
+		return runBuildBench(FlowBenchConfig{
+			N:       *flowN,
+			Degree:  *flowDeg,
+			MaxCap:  *flowCap,
+			Seed:    *flowSeed,
+			Queries: *queries,
+			Epsilon: *epsilon,
+			Workers: *workers,
+		}, *jsonOut, *buildCeiling)
+	}
 	if *flow {
 		return runFlowBench(FlowBenchConfig{
 			N:       *flowN,

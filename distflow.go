@@ -87,8 +87,10 @@ type Options struct {
 	// Alpha overrides the approximator quality parameter α (0 = use the
 	// measured distortion with adaptive restarts).
 	Alpha float64
-	// MaxIters bounds gradient iterations per AlmostRoute call
-	// (0 = the paper's O(α²ε⁻³ log n) with engineering constants).
+	// MaxIters bounds gradient iterations per fixed-α descent; each
+	// ε-continuation level and adaptive-α restart of a query gets a
+	// fresh budget (0 = the paper's O(α²ε⁻³ log n) with engineering
+	// constants).
 	MaxIters int
 	// DisableAcceleration restores the plain backtracking gradient step
 	// instead of the default safeguarded accelerated stepper
@@ -107,6 +109,13 @@ type Options struct {
 	// WarmCacheSize caps the warm-start cache entries (0 = 64). Each
 	// entry stores one flow vector of length M.
 	WarmCacheSize int
+	// AlphaRebuildFactor bounds the distortion degradation
+	// UpdateCapacities tolerates before falling back to a full
+	// congestion-approximator rebuild: an update that leaves the
+	// measured α above AlphaRebuildFactor × the α of the last full
+	// build triggers the rebuild (0 = 8). Values < 1 rebuild on every
+	// update.
+	AlphaRebuildFactor float64
 }
 
 // Result is the outcome of a max-flow computation.
@@ -158,12 +167,14 @@ func ExactMaxFlow(G *Graph, s, t int) (value int64, flow []int64) {
 // Router holds a congestion approximator built once for a graph and
 // reusable across many flow and routing queries.
 //
-// A Router is safe for concurrent use: after NewRouter returns, the
-// graph and the approximator are never mutated, and every query works
-// on its own pooled solver workspace with its own round ledger. Any
-// number of goroutines may call MaxFlow / RouteDemand on one shared
-// Router, and the batch methods amortize the approximator across many
-// simultaneous queries on the internal worker pool.
+// A Router is safe for concurrent querying: queries never mutate the
+// graph or the approximator, and every query works on its own pooled
+// solver workspace with its own round ledger. Any number of goroutines
+// may call MaxFlow / RouteDemand on one shared Router, and the batch
+// methods amortize the approximator across many simultaneous queries
+// on the internal worker pool. The one mutating operation is
+// UpdateCapacities, which must be externally serialized against
+// queries (see its doc).
 //
 // Unless Options.DisableWarmStart is set, the Router keeps an LRU cache
 // of recent query results and warm-starts repeated queries from them
@@ -174,6 +185,10 @@ type Router struct {
 	solver *sherman.Solver
 	cache  *warmCache
 	opts   Options
+	// buildAlpha is the measured distortion of the last full build —
+	// the reference the UpdateCapacities rebuild fallback compares
+	// against.
+	buildAlpha float64
 }
 
 // NewRouter samples the congestion approximator for G (the expensive,
@@ -186,15 +201,11 @@ func NewRouter(G *Graph, opts Options) (*Router, error) {
 	if seed == 0 {
 		seed = 1
 	}
-	cfg := capprox.Config{
-		Trees:     opts.Trees,
-		ExactCuts: !opts.PaperScaling,
-	}
-	apx, err := capprox.Build(G.g, cfg, rand.New(rand.NewSource(seed)))
+	apx, err := capprox.Build(G.g, capproxConfig(opts), rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return nil, fmt.Errorf("distflow: %w", err)
 	}
-	r := &Router{g: G.g, apx: apx, solver: sherman.NewSolver(G.g, apx), opts: opts}
+	r := &Router{g: G.g, apx: apx, solver: sherman.NewSolver(G.g, apx), opts: opts, buildAlpha: apx.Alpha}
 	if !opts.DisableWarmStart {
 		size := opts.WarmCacheSize
 		if size <= 0 {
@@ -209,9 +220,147 @@ func NewRouter(G *Graph, opts Options) (*Router, error) {
 // congestion approximator.
 func (r *Router) Alpha() float64 { return r.apx.Alpha }
 
+// Trees returns the number of sampled virtual trees in the router's
+// congestion approximator.
+func (r *Router) Trees() int { return len(r.apx.Trees) }
+
+// BuildBreakdown reports the cost of each congestion-approximator
+// construction phase of NewRouter (or of the rebuild fallback of
+// UpdateCapacities). Tree-parallel phases (sampling, sparsifier, cut
+// capacities) are summed per-tree durations (CPU seconds — above wall
+// clock on multicore); AlphaSeconds and TotalSeconds are wall clock.
+type BuildBreakdown struct {
+	// SampleSeconds is the tree-sampling time across all j-tree levels
+	// (includes SparsifySeconds).
+	SampleSeconds float64 `json:"sample_seconds"`
+	// SparsifySeconds is the cluster-sparsification share of sampling.
+	SparsifySeconds float64 `json:"sparsify_seconds"`
+	// CutCapSeconds is the exact subtree-cut capacity phase (one
+	// TreeFlow sweep per tree).
+	CutCapSeconds float64 `json:"cutcap_seconds"`
+	// AlphaSeconds is the distortion measurement phase (sequential).
+	AlphaSeconds float64 `json:"alpha_seconds"`
+	// TotalSeconds is the wall clock of the whole build.
+	TotalSeconds float64 `json:"total_seconds"`
+}
+
+// BuildBreakdown returns the per-phase timing of the router's
+// congestion-approximator build.
+func (r *Router) BuildBreakdown() BuildBreakdown {
+	s := r.apx.Stats
+	return BuildBreakdown{
+		SampleSeconds:   s.SampleSeconds,
+		SparsifySeconds: s.SparsifySeconds,
+		CutCapSeconds:   s.CutCapSeconds,
+		AlphaSeconds:    s.AlphaSeconds,
+		TotalSeconds:    s.TotalSeconds,
+	}
+}
+
 // ConstructionRounds returns the CONGEST rounds charged to build the
 // congestion approximator.
 func (r *Router) ConstructionRounds() int64 { return r.apx.Ledger.Total() }
+
+// capproxConfig maps solver options to the approximator configuration
+// (one definition shared by NewRouter and the UpdateCapacities rebuild
+// fallback).
+func capproxConfig(opts Options) capprox.Config {
+	return capprox.Config{
+		Trees:     opts.Trees,
+		ExactCuts: !opts.PaperScaling,
+	}
+}
+
+// CapEdit is one capacity edit applied by UpdateCapacities.
+type CapEdit struct {
+	// Edge is the edge index returned by AddEdge.
+	Edge int
+	// Cap is the new capacity. It must be positive: model a failed
+	// link with a small positive capacity so the graph stays connected
+	// (the solver's standing requirement).
+	Cap int64
+}
+
+// UpdateResult reports what an UpdateCapacities call did.
+type UpdateResult struct {
+	// Rebuilt is true when the α-degradation fallback discarded the
+	// incremental refresh and re-sampled the approximator from scratch.
+	Rebuilt bool
+	// Alpha is the measured congestion-approximator distortion after
+	// the update (or rebuild).
+	Alpha float64
+}
+
+// UpdateCapacities applies capacity edits to the router's graph (in
+// place — the Graph passed to NewRouter observes them) and refreshes
+// the congestion approximator incrementally instead of rebuilding it:
+// the sampled tree topologies are kept, one TreeFlow sweep per tree
+// recomputes the exact subtree-cut capacities, the virtual capacities
+// are rescaled by the measured cut deltas, and the distortion α is
+// re-measured. When the refreshed α exceeds
+// Options.AlphaRebuildFactor × the α of the last full build, the
+// incremental result is judged too distorted and a full deterministic
+// rebuild (same seed) runs instead; UpdateResult.Rebuilt reports which
+// path was taken.
+//
+// Either way the solver state and the warm-start cache are reset, so
+// subsequent queries are a pure function of the updated router state —
+// the same answers a freshly built router of the same α would give up
+// to the (1+ε) guarantee, at a fraction of the cost for small edit
+// batches.
+//
+// UpdateCapacities must not run concurrently with queries on the same
+// Router; queries may resume as soon as it returns.
+func (r *Router) UpdateCapacities(edits []CapEdit) (*UpdateResult, error) {
+	for _, ed := range edits {
+		if ed.Edge < 0 || ed.Edge >= r.g.M() {
+			return nil, fmt.Errorf("distflow: capacity edit names edge %d (m=%d)", ed.Edge, r.g.M())
+		}
+		if ed.Cap <= 0 {
+			return nil, fmt.Errorf("distflow: capacity edit for edge %d has non-positive capacity %d", ed.Edge, ed.Cap)
+		}
+	}
+	for _, ed := range edits {
+		r.g.SetCap(ed.Edge, ed.Cap)
+	}
+	r.apx.UpdateCapacities(r.g, capproxConfig(r.opts))
+	// The graph and approximator are mutated from here on: the solver
+	// caches capacity-derived state (1/cap workspace tables, the
+	// residual-routing max-weight spanning tree) and the warm cache
+	// holds flows for the old capacities, so both are reset before any
+	// return — including the rebuild-failure path below, which would
+	// otherwise leave stale solver state paired with the edited graph.
+	refresh := func() {
+		r.solver = sherman.NewSolver(r.g, r.apx)
+		if r.cache != nil {
+			r.cache.clear()
+		}
+	}
+	out := &UpdateResult{Alpha: r.apx.Alpha}
+	factor := r.opts.AlphaRebuildFactor
+	if factor == 0 {
+		factor = 8
+	}
+	if r.apx.Alpha > factor*r.buildAlpha {
+		seed := r.opts.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		apx, err := capprox.Build(r.g, capproxConfig(r.opts), rand.New(rand.NewSource(seed)))
+		if err != nil {
+			// The incremental refresh above still succeeded; keep the
+			// router consistent (if distorted) and report the failure.
+			refresh()
+			return nil, fmt.Errorf("distflow: rebuild after capacity update: %w", err)
+		}
+		r.apx = apx
+		r.buildAlpha = apx.Alpha
+		out.Rebuilt = true
+		out.Alpha = apx.Alpha
+	}
+	refresh()
+	return out, nil
+}
 
 func (r *Router) shermanConfig() sherman.Config {
 	return sherman.Config{

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"distflow/internal/cluster"
 	"distflow/internal/congest"
@@ -56,6 +57,29 @@ type Config struct {
 	Step jtree.Config
 }
 
+// BuildStats breaks the wall-clock cost of one Build down by phase, so
+// build-path regressions are attributable (cmd/bench -build records
+// them). Tree-parallel phases (sampling, sparsification, cut
+// capacities) record summed per-tree durations, i.e. CPU seconds —
+// equal to wall clock on one worker, larger than wall clock on many;
+// AlphaSeconds and TotalSeconds are wall clock.
+type BuildStats struct {
+	// SampleSeconds is the total tree-sampling time (all j-tree levels,
+	// including candidate evaluation; includes SparsifySeconds).
+	SampleSeconds float64 `json:"sample_seconds"`
+	// SparsifySeconds is the cluster-graph sparsification share of
+	// sampling (0 unless Config.UseSparsifier).
+	SparsifySeconds float64 `json:"sparsify_seconds"`
+	// CutCapSeconds is the exact subtree-cut capacity phase (one
+	// TreeFlow sweep per tree).
+	CutCapSeconds float64 `json:"cutcap_seconds"`
+	// AlphaSeconds is the distortion measurement plus the Cor. 9.3
+	// evaluation-schedule draw (sequential, wall clock).
+	AlphaSeconds float64 `json:"alpha_seconds"`
+	// TotalSeconds is the wall clock of the whole Build call.
+	TotalSeconds float64 `json:"total_seconds"`
+}
+
 // Approximator is the sampled congestion approximator R.
 type Approximator struct {
 	// Trees are the sampled virtual rooted spanning trees on V(G); the
@@ -79,6 +103,8 @@ type Approximator struct {
 	// Levels records the cluster-graph sizes of the sampled hierarchy
 	// (one history per tree).
 	Levels [][]int
+	// Stats carries the per-phase build timing breakdown.
+	Stats BuildStats
 
 	// evalSchedule is the measured Corollary 9.3 cost of one R (or Rᵀ)
 	// application: per tree, a Lemma 8.2 decomposition is drawn and the
@@ -102,6 +128,7 @@ func Build(g *graph.Graph, cfg Config, rng *rand.Rand) (*Approximator, error) {
 		trees = int(math.Ceil(math.Log2(float64(n)+2))) + 1
 	}
 	a := &Approximator{Ledger: congest.NewLedger()}
+	buildStart := time.Now()
 	diameter := g.DiameterApprox()
 
 	// Draw one PRNG seed per tree from the master stream up front, then
@@ -115,16 +142,23 @@ func Build(g *graph.Graph, cfg Config, rng *rand.Rand) (*Approximator, error) {
 		seeds[k] = rng.Int63()
 	}
 	type sampled struct {
-		t      *vtree.VTree
-		levels []int
-		ledger *congest.Ledger
-		err    error
+		t        *vtree.VTree
+		levels   []int
+		ledger   *congest.Ledger
+		seconds  float64
+		sparsify float64
+		err      error
 	}
 	outs := make([]sampled, trees)
 	par.Do(trees, func(k int) {
 		led := congest.NewLedger()
-		t, levels, err := sampleTree(g, cfg, diameter, led, rand.New(rand.NewSource(seeds[k])))
-		outs[k] = sampled{t: t, levels: levels, ledger: led, err: err}
+		treeStart := time.Now()
+		var sparsifySec float64
+		t, levels, err := sampleTree(g, cfg, diameter, led, rand.New(rand.NewSource(seeds[k])), &sparsifySec)
+		outs[k] = sampled{
+			t: t, levels: levels, ledger: led, err: err,
+			seconds: time.Since(treeStart).Seconds(), sparsify: sparsifySec,
+		}
 	})
 	for k := range outs {
 		if outs[k].err != nil {
@@ -133,18 +167,24 @@ func Build(g *graph.Graph, cfg Config, rng *rand.Rand) (*Approximator, error) {
 		a.Trees = append(a.Trees, outs[k].t)
 		a.Levels = append(a.Levels, outs[k].levels)
 		a.Ledger.Add(outs[k].ledger)
+		a.Stats.SampleSeconds += outs[k].seconds
+		a.Stats.SparsifySeconds += outs[k].sparsify
 	}
 
 	// Exact subtree-cut capacities via the tree-flow identity (one
 	// independent LCA sweep per tree, run tree-parallel), and the
-	// realized distortion α.
+	// realized distortion α. Timing is per tree, summed — the same CPU-
+	// seconds convention as the sampling phase, so the breakdown stays
+	// unit-consistent on multicore runs.
 	pairs := make([]vtree.EdgeEndpoint, g.M())
 	for i, e := range g.Edges() {
 		pairs[i] = vtree.EdgeEndpoint{U: e.U, V: e.V, Cap: float64(e.Cap)}
 	}
 	a.CutCap = make([][]float64, trees)
 	a.Scale = make([][]float64, trees)
+	cutcapSec := make([]float64, trees)
 	par.Do(trees, func(k int) {
+		treeStart := time.Now()
 		t := a.Trees[k]
 		cc := t.TreeFlow(pairs)
 		scale := make([]float64, n)
@@ -160,7 +200,12 @@ func Build(g *graph.Graph, cfg Config, rng *rand.Rand) (*Approximator, error) {
 		}
 		a.CutCap[k] = cc
 		a.Scale[k] = scale
+		cutcapSec[k] = time.Since(treeStart).Seconds()
 	})
+	for _, s := range cutcapSec {
+		a.Stats.CutCapSeconds += s
+	}
+	alphaStart := time.Now()
 	a.Alpha = 1
 	a.AlphaLow = 1
 	for k, t := range a.Trees {
@@ -184,11 +229,84 @@ func Build(g *graph.Graph, cfg Config, rng *rand.Rand) (*Approximator, error) {
 		dec := t.Decompose(nil, sqrtN, rng)
 		a.evalSchedule += int64(2*(dec.MaxDepth+1) + diameter + dec.NumComponents())
 	}
+	a.Stats.AlphaSeconds = time.Since(alphaStart).Seconds()
+	a.Stats.TotalSeconds = time.Since(buildStart).Seconds()
 	return a, nil
 }
 
+// UpdateCapacities refreshes the approximator in place after edge
+// capacity edits were applied to g, keeping every sampled tree
+// topology. Per tree — tree-parallel, deterministically — one TreeFlow
+// sweep recomputes the exact subtree-cut capacities; each virtual
+// capacity is shifted by its cut's measured delta (each tree's
+// hierarchical routing is held fixed, so a capacity edit transports
+// additively along the tree paths crossing the cut), clamped to the
+// exact cut capacity if the shift would drive it nonpositive. Scale is
+// refreshed per cfg.ExactCuts and the distortion α re-measured — under
+// adversarial edits (say, a slashed cut) α degrades honestly, which is
+// what the caller's rebuild fallback watches.
+//
+// Cost: one O((n+m)log n) sweep per tree versus the full recursive
+// reconstruction — the reason single-edge updates are orders of
+// magnitude cheaper than Build. Not safe concurrently with ApplyR/
+// ApplyRT/PotentialRT on the same approximator.
+func (a *Approximator) UpdateCapacities(g *graph.Graph, cfg Config) {
+	n := g.N()
+	pairs := make([]vtree.EdgeEndpoint, g.M())
+	for i, e := range g.Edges() {
+		pairs[i] = vtree.EdgeEndpoint{U: e.U, V: e.V, Cap: float64(e.Cap)}
+	}
+	par.Do(len(a.Trees), func(k int) {
+		t := a.Trees[k]
+		cc := t.TreeFlow(pairs)
+		old := a.CutCap[k]
+		scale := a.Scale[k]
+		for v := 0; v < n; v++ {
+			if v == t.Root {
+				continue
+			}
+			nv := t.Cap[v] + (cc[v] - old[v])
+			if nv <= 0 {
+				nv = cc[v]
+			}
+			t.Cap[v] = nv
+			if cfg.ExactCuts {
+				scale[v] = cc[v]
+			} else {
+				scale[v] = nv
+			}
+		}
+		a.CutCap[k] = cc
+	})
+	// Re-measure α in fixed tree order (a pure function of the state).
+	a.Alpha = 1
+	a.AlphaLow = 1
+	for k, t := range a.Trees {
+		cc := a.CutCap[k]
+		for v := 0; v < n; v++ {
+			if v == t.Root || cc[v] <= 0 {
+				continue
+			}
+			if r := t.Cap[v] / cc[v]; r > a.Alpha {
+				a.Alpha = r
+			}
+			if r := cc[v] / t.Cap[v]; r > a.AlphaLow {
+				a.AlphaLow = r
+			}
+		}
+	}
+	// Charge the distributed cost: one Lemma 8.3 tree-flow aggregation
+	// per tree, Õ(√n + D).
+	sq := int64(math.Ceil(math.Sqrt(float64(n))))
+	diameter := int64(g.DiameterApprox())
+	for range a.Trees {
+		a.Ledger.ChargeAccounted("update-treeflow", diameter+sq)
+	}
+}
+
 // sampleTree draws one virtual tree from the recursive distribution.
-func sampleTree(g *graph.Graph, cfg Config, diameter int, ledger *congest.Ledger, rng *rand.Rand) (*vtree.VTree, []int, error) {
+// sparsifySec accumulates the time spent in cluster sparsification.
+func sampleTree(g *graph.Graph, cfg Config, diameter int, ledger *congest.Ledger, rng *rand.Rand, sparsifySec *float64) (*vtree.VTree, []int, error) {
 	n := g.N()
 	beta := cfg.Beta
 	if beta == 0 {
@@ -216,6 +334,21 @@ func sampleTree(g *graph.Graph, cfg Config, diameter int, ledger *congest.Ledger
 
 	cg := cluster.FromGraph(g)
 	levels := []int{cg.N}
+
+	// One pooled construction arena per candidate slot plus one for the
+	// terminal collapse, reused across all levels of this tree. A
+	// StepResult is consumed (place + next-level input) before its
+	// slot's workspace runs again, and the alternating core buffers
+	// inside each workspace keep the current input cluster graph intact
+	// while its successor is built.
+	wss := make([]*jtree.Workspace, candidates)
+	for c := range wss {
+		wss[c] = jtree.NewWorkspace()
+	}
+	wsCollapse := jtree.NewWorkspace()
+	candSeeds := make([]int64, candidates)
+	candRes := make([]*jtree.StepResult, candidates)
+	candErr := make([]error, candidates)
 
 	place := func(res *jtree.StepResult) {
 		for _, fe := range res.Forest {
@@ -256,7 +389,9 @@ func sampleTree(g *graph.Graph, cfg Config, diameter int, ledger *congest.Ledger
 		// Optional sparsification of dense cluster graphs (§8.4 step 1).
 		logN := math.Log2(float64(cg.N) + 2)
 		if cfg.UseSparsifier && float64(len(cg.Edges)) > 4*float64(cg.N)*logN {
+			sparsifyStart := time.Now()
 			cg2, acct, err := sparsifyCluster(cg, rng)
+			*sparsifySec += time.Since(sparsifyStart).Seconds()
 			if err != nil {
 				return nil, nil, err
 			}
@@ -266,8 +401,20 @@ func sampleTree(g *graph.Graph, cfg Config, diameter int, ledger *congest.Ledger
 			cg = cg2
 		}
 
-		// Multiplicative-weights candidates; sample one uniformly
-		// (Theorem 8.10 step 4: O(log n) random bits over a BFS tree).
+		// Candidate j-trees (Theorem 8.10 step 4). The candidates are
+		// evaluated concurrently on the shared worker pool: the uniform
+		// pick and each candidate's PRNG seed are drawn from the tree
+		// stream in candidate order before the parallel region, and the
+		// candidates then run independently from the same edge lengths —
+		// so the adopted tree is a pure function of (cluster graph, tree
+		// seed) at every worker count. Candidate diversity comes from
+		// the independent seeds; the sequential multiplicative-weights
+		// sweep it replaces coupled each candidate to its predecessors
+		// and forced serial evaluation. Selection stays the paper's
+		// uniform draw: the greedy alternative (argmin of MaxRload,
+		// ties by index) measured strictly worse approximators — E1's
+		// charged-round growth exponent left the sub-quadratic band and
+		// benchmark iterations rose 20% (DESIGN.md §6).
 		lengths := make([]float64, len(cg.Edges))
 		for i, e := range cg.Edges {
 			lengths[i] = 1 / e.Cap
@@ -281,20 +428,21 @@ func sampleTree(g *graph.Graph, cfg Config, diameter int, ledger *congest.Ledger
 				stepCfg.DisableF = true
 			}
 		}
-		pick := rng.Intn(candidates)
+		pickU := rng.Intn(candidates)
+		for c := 0; c < candidates; c++ {
+			candSeeds[c] = rng.Int63()
+		}
+		par.Do(candidates, func(c int) {
+			candRes[c], candErr[c] = jtree.StepWS(cg, lengths, j, sqrtN, stepCfg,
+				rand.New(rand.NewSource(candSeeds[c])), wss[c])
+		})
 		var chosen *jtree.StepResult
 		for c := 0; c < candidates; c++ {
-			res, err := jtree.Step(cg, lengths, j, sqrtN, stepCfg, rng)
-			if err != nil {
-				return nil, nil, err
+			if candErr[c] != nil {
+				return nil, nil, candErr[c]
 			}
-			if c == pick {
-				chosen = res
-			}
-			if res.MaxRload > 0 {
-				for i := range lengths {
-					lengths[i] *= 1 + res.EdgeRload[i]/res.MaxRload
-				}
+			if c == pickU {
+				chosen = candRes[c]
 			}
 			if distributed {
 				// Charge the per-candidate distributed cost: the LSST
@@ -319,7 +467,7 @@ func sampleTree(g *graph.Graph, cfg Config, diameter int, ledger *congest.Ledger
 				continue
 			}
 			stepCfg.DisableF = true
-			res, err := jtree.Step(cg, lengths, 1, sqrtN, stepCfg, rng)
+			res, err := jtree.StepWS(cg, lengths, 1, sqrtN, stepCfg, rng, wsCollapse)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -370,12 +518,16 @@ func sparsifyCluster(cg *cluster.Graph, rng *rand.Rand) (*cluster.Graph, int64, 
 	if err != nil {
 		return nil, 0, fmt.Errorf("capprox: sparsify: %w", err)
 	}
+	// The bookkeeping arrays are deep-copied, not shared: cg may live in
+	// a jtree workspace arena, and the sparsified graph must survive the
+	// arena's next reuse (it becomes the level input while candidate
+	// steps write their cores).
 	out := &cluster.Graph{
 		N:     cg.N,
 		Edges: make([]cluster.Edge, len(res.Edges)),
-		Rep:   cg.Rep,
-		Size:  cg.Size,
-		Depth: cg.Depth,
+		Rep:   append([]int(nil), cg.Rep...),
+		Size:  append([]float64(nil), cg.Size...),
+		Depth: append([]int(nil), cg.Depth...),
 	}
 	for i, e := range res.Edges {
 		out.Edges[i] = cluster.Edge{

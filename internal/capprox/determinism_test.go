@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"distflow/internal/graph"
+	"distflow/internal/par"
 )
 
 // The construction is randomized but seed-reproducible: identical seeds
@@ -36,6 +37,44 @@ func TestBuildDeterministic(t *testing.T) {
 	}
 	if a.Ledger.Total() != b.Ledger.Total() {
 		t.Errorf("ledger totals differ: %d vs %d", a.Ledger.Total(), b.Ledger.Total())
+	}
+}
+
+// Candidate evaluation runs tree- and candidate-parallel; the sampled
+// hierarchy must still be a pure function of the master seed at every
+// worker count (per-candidate PRNGs are seeded before the parallel
+// region and the argmin selection runs in candidate order after it).
+func TestBuildWorkerCountDeterminism(t *testing.T) {
+	g := graph.CapUniform(graph.GNP(300, 8.0/300, rand.New(rand.NewSource(4))), 32, rand.New(rand.NewSource(5)))
+	build := func(workers int) *Approximator {
+		defer par.SetWorkers(par.SetWorkers(workers))
+		a, err := Build(g, Config{}, rand.New(rand.NewSource(21)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	a, b, c := build(1), build(3), build(16)
+	for _, other := range []*Approximator{b, c} {
+		if a.Alpha != other.Alpha || a.AlphaLow != other.AlphaLow {
+			t.Fatalf("alpha differs across worker counts: %v/%v vs %v/%v",
+				a.Alpha, a.AlphaLow, other.Alpha, other.AlphaLow)
+		}
+		if len(a.Trees) != len(other.Trees) {
+			t.Fatal("tree count differs across worker counts")
+		}
+		for k := range a.Trees {
+			for v := 0; v < a.Trees[k].N(); v++ {
+				if a.Trees[k].Parent[v] != other.Trees[k].Parent[v] ||
+					a.Trees[k].Cap[v] != other.Trees[k].Cap[v] {
+					t.Fatalf("tree %d differs at vertex %d across worker counts", k, v)
+				}
+			}
+		}
+		if a.Ledger.Total() != other.Ledger.Total() {
+			t.Fatalf("ledger totals differ across worker counts: %d vs %d",
+				a.Ledger.Total(), other.Ledger.Total())
+		}
 	}
 }
 

@@ -114,16 +114,34 @@ func (cg *Graph) TotalSize() float64 {
 	return s
 }
 
-// Connected reports whether the cluster multigraph is connected.
+// Connected reports whether the cluster multigraph is connected. The
+// adjacency is assembled as a flat CSR neighbour array (one counting
+// pass), not per-vertex slices.
 func (cg *Graph) Connected() bool {
 	if cg.N <= 1 {
 		return true
 	}
-	adj := make([][]int, cg.N)
+	off := make([]int, cg.N+1)
 	for _, e := range cg.Edges {
-		adj[e.A] = append(adj[e.A], e.B)
-		adj[e.B] = append(adj[e.B], e.A)
+		off[e.A]++
+		off[e.B]++
 	}
+	sum := 0
+	for v := 0; v < cg.N; v++ {
+		c := off[v]
+		off[v] = sum
+		sum += c
+	}
+	off[cg.N] = sum
+	nbr := make([]int, sum)
+	for _, e := range cg.Edges {
+		nbr[off[e.A]] = e.B
+		off[e.A]++
+		nbr[off[e.B]] = e.A
+		off[e.B]++
+	}
+	copy(off[1:], off[:cg.N])
+	off[0] = 0
 	seen := make([]bool, cg.N)
 	stack := []int{0}
 	seen[0] = true
@@ -131,7 +149,7 @@ func (cg *Graph) Connected() bool {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, w := range adj[v] {
+		for _, w := range nbr[off[v]:off[v+1]] {
 			if !seen[w] {
 				seen[w] = true
 				count++

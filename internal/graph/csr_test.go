@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"distflow/internal/par"
+)
+
+// The CSR layout must reproduce the incidence order of the old
+// per-vertex append representation: within each vertex, arcs appear in
+// edge-insertion order.
+func TestCSRIncidenceOrder(t *testing.T) {
+	g := New(4)
+	e0 := g.AddEdge(0, 1, 1)
+	e1 := g.AddEdge(1, 2, 2)
+	e2 := g.AddEdge(0, 2, 3)
+	e3 := g.AddEdge(0, 1, 4) // parallel edge
+	want := map[int][]Arc{
+		0: {{To: 1, E: e0}, {To: 2, E: e2}, {To: 1, E: e3}},
+		1: {{To: 0, E: e0}, {To: 2, E: e1}, {To: 0, E: e3}},
+		2: {{To: 1, E: e1}, {To: 0, E: e2}},
+		3: {},
+	}
+	for v, w := range want {
+		got := g.Adj(v)
+		if len(got) != len(w) {
+			t.Fatalf("Adj(%d) = %v, want %v", v, got, w)
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Fatalf("Adj(%d)[%d] = %v, want %v", v, i, got[i], w[i])
+			}
+		}
+	}
+}
+
+// AddEdge after a Finalize must invalidate and rebuild the CSR.
+func TestCSRRebuildAfterAddEdge(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	if d := g.Degree(0); d != 1 { // forces a Finalize
+		t.Fatalf("degree 0 = %d, want 1", d)
+	}
+	g.AddEdge(0, 2, 1)
+	if d := g.Degree(0); d != 2 {
+		t.Fatalf("degree 0 after AddEdge = %d, want 2", d)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// SetCap edits capacities in place without touching the CSR layout.
+func TestSetCap(t *testing.T) {
+	g := New(2)
+	e := g.AddEdge(0, 1, 5)
+	g.Finalize()
+	arcs := g.Adj(0)
+	g.SetCap(e, 9)
+	if g.Cap(e) != 9 {
+		t.Fatalf("cap = %d, want 9", g.Cap(e))
+	}
+	if &arcs[0] != &g.Adj(0)[0] {
+		t.Fatal("SetCap rebuilt the CSR adjacency")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive SetCap did not panic")
+		}
+	}()
+	g.SetCap(e, 0)
+}
+
+// ForEachArc and the divergence sweep must not allocate: they are the
+// per-iteration hot loops of the solver and the build path.
+func TestZeroAllocSweeps(t *testing.T) {
+	defer par.SetWorkers(par.SetWorkers(1)) // keep the pool out of the measurement
+	rng := rand.New(rand.NewSource(7))
+	g := CapUniform(GNP(300, 8.0/300, rng), 16, rng)
+	g.Finalize()
+	f := make([]float64, g.M())
+	for e := range f {
+		f[e] = rng.Float64()
+	}
+	div := make([]float64, g.N())
+
+	if avg := testing.AllocsPerRun(20, func() {
+		g.DivergenceInto(f, div)
+	}); avg != 0 {
+		t.Errorf("DivergenceInto allocates %.1f per sweep, want 0", avg)
+	}
+
+	var sum float64
+	if avg := testing.AllocsPerRun(20, func() {
+		for v := 0; v < g.N(); v++ {
+			g.ForEachArc(v, func(a Arc) {
+				sum += float64(a.E)
+			})
+		}
+	}); avg != 0 {
+		t.Errorf("ForEachArc sweep allocates %.1f per run, want 0", avg)
+	}
+	_ = sum
+}

@@ -40,10 +40,27 @@ type Arc struct {
 
 // Graph is an undirected capacitated multigraph.
 // The zero value is an empty graph with no vertices; use New.
+//
+// Adjacency is stored in compressed-sparse-row (CSR) form: one flat
+// arc array packed by vertex, delimited by an offset table, instead of
+// per-vertex slices. The CSR core is rebuilt lazily — AddEdge only
+// appends to the edge list and marks the structure stale; the first
+// adjacency access after a mutation runs one O(n+m) counting pass
+// (Finalize). Neighbor iteration is therefore allocation-free and
+// pointer-chase-free, and capacity edits (SetCap) never invalidate the
+// layout.
+//
+// Concurrency: a finalized graph is safe for concurrent readers. Call
+// Finalize (or perform any adjacency read) before sharing the graph
+// across goroutines; AddEdge is not safe concurrently with anything.
 type Graph struct {
 	n     int
 	edges []Edge
-	adj   [][]Arc
+	// CSR adjacency: arcs[off[v]:off[v+1]] are v's incidences, in edge
+	// insertion order (the order the old per-vertex appends produced).
+	off   []int
+	arcs  []Arc
+	dirty bool
 }
 
 // New returns an empty graph on n vertices.
@@ -51,7 +68,7 @@ func New(n int) *Graph {
 	if n < 0 {
 		panic("graph: negative vertex count")
 	}
-	return &Graph{n: n, adj: make([][]Arc, n)}
+	return &Graph{n: n, dirty: true}
 }
 
 // N returns the number of vertices.
@@ -60,8 +77,10 @@ func (g *Graph) N() int { return g.n }
 // M returns the number of edges (parallel edges counted individually).
 func (g *Graph) M() int { return len(g.edges) }
 
-// Edges returns the underlying edge list. The slice is shared; callers
-// must not modify it.
+// Edges returns the underlying edge list. The slice is shared with the
+// graph (a documentation-only contract: callers must not modify it or
+// retain it across AddEdge calls). For per-vertex iteration prefer
+// ForEachArc, which cannot leak a mutable view.
 func (g *Graph) Edges() []Edge { return g.edges }
 
 // Edge returns the e-th edge.
@@ -85,17 +104,90 @@ func (g *Graph) AddEdge(u, v int, capacity int64) int {
 	}
 	e := len(g.edges)
 	g.edges = append(g.edges, Edge{U: u, V: v, Cap: capacity})
-	g.adj[u] = append(g.adj[u], Arc{To: v, E: e})
-	g.adj[v] = append(g.adj[v], Arc{To: u, E: e})
+	g.dirty = true
 	return e
 }
 
-// Adj returns the incidence list of v. The slice is shared; callers must
-// not modify it.
-func (g *Graph) Adj(v int) []Arc { return g.adj[v] }
+// SetCap changes the capacity of edge e. The CSR layout is untouched —
+// capacity edits are O(1) and never trigger a Finalize.
+func (g *Graph) SetCap(e int, capacity int64) {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("graph: non-positive capacity %d on edge %d", capacity, e))
+	}
+	g.edges[e].Cap = capacity
+}
+
+// Finalize (re)builds the CSR adjacency if edges were added since the
+// last build. It is called implicitly by every adjacency accessor; call
+// it explicitly before sharing the graph across goroutines. One
+// counting pass over the edge list, O(n+m); no per-vertex allocations.
+func (g *Graph) Finalize() {
+	if !g.dirty {
+		return
+	}
+	n := g.n
+	if cap(g.off) >= n+1 {
+		g.off = g.off[:n+1]
+		for i := range g.off {
+			g.off[i] = 0
+		}
+	} else {
+		g.off = make([]int, n+1)
+	}
+	off := g.off
+	for _, e := range g.edges {
+		off[e.U]++
+		off[e.V]++
+	}
+	sum := 0
+	for v := 0; v < n; v++ {
+		c := off[v]
+		off[v] = sum
+		sum += c
+	}
+	off[n] = sum
+	if cap(g.arcs) >= sum {
+		g.arcs = g.arcs[:sum]
+	} else {
+		g.arcs = make([]Arc, sum)
+	}
+	// Place arcs in edge order: within each vertex the incidences land
+	// in edge-insertion order, matching the old append-based layout.
+	for i, e := range g.edges {
+		g.arcs[off[e.U]] = Arc{To: e.V, E: i}
+		off[e.U]++
+		g.arcs[off[e.V]] = Arc{To: e.U, E: i}
+		off[e.V]++
+	}
+	// off[v] now holds end(v) = start(v+1); shift right to restore the
+	// offset convention.
+	copy(off[1:], off[:n])
+	off[0] = 0
+	g.dirty = false
+}
+
+// Adj returns the incidence list of v: a subslice of the packed CSR arc
+// array. The slice is shared; callers must not modify it.
+func (g *Graph) Adj(v int) []Arc {
+	g.Finalize()
+	return g.arcs[g.off[v]:g.off[v+1]]
+}
+
+// ForEachArc calls fn for every incidence of v without allocating. It
+// is the preferred neighbor iterator on hot paths: the CSR range is
+// resolved once and the arcs stream linearly from the packed array.
+func (g *Graph) ForEachArc(v int, fn func(Arc)) {
+	g.Finalize()
+	for _, a := range g.arcs[g.off[v]:g.off[v+1]] {
+		fn(a)
+	}
+}
 
 // Degree returns the number of edge incidences at v (parallel edges count).
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int {
+	g.Finalize()
+	return g.off[v+1] - g.off[v]
+}
 
 // Other returns the endpoint of edge e that is not v.
 // It panics if v is not an endpoint of e.
@@ -144,20 +236,32 @@ func (g *Graph) DivergenceInto(f, div []float64) []float64 {
 	if len(div) != g.n {
 		panic("graph: divergence length mismatch")
 	}
+	g.Finalize()
+	if par.Sequential(g.n) {
+		g.divergenceRange(f, div, 0, g.n)
+		return div
+	}
 	par.For(g.n, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			s := 0.0
-			for _, a := range g.adj[v] {
-				if g.edges[a.E].U == v {
-					s += f[a.E]
-				} else {
-					s -= f[a.E]
-				}
-			}
-			div[v] = s
-		}
+		g.divergenceRange(f, div, lo, hi)
 	})
 	return div
+}
+
+// divergenceRange is the allocation-free sweep body of DivergenceInto
+// over vertices [lo,hi).
+func (g *Graph) divergenceRange(f, div []float64, lo, hi int) {
+	off, arcs := g.off, g.arcs
+	for v := lo; v < hi; v++ {
+		s := 0.0
+		for _, a := range arcs[off[v]:off[v+1]] {
+			if g.edges[a.E].U == v {
+				s += f[a.E]
+			} else {
+				s -= f[a.E]
+			}
+		}
+		div[v] = s
+	}
 }
 
 // MaxCongestion returns max_e |f[e]|/cap(e), the objective of problem (1)
@@ -188,6 +292,7 @@ func (g *Graph) Connected() bool {
 	if g.n <= 1 {
 		return true
 	}
+	g.Finalize()
 	seen := make([]bool, g.n)
 	stack := []int{0}
 	seen[0] = true
@@ -195,7 +300,7 @@ func (g *Graph) Connected() bool {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, a := range g.adj[v] {
+		for _, a := range g.arcs[g.off[v]:g.off[v+1]] {
 			if !seen[a.To] {
 				seen[a.To] = true
 				count++
@@ -217,11 +322,12 @@ func (g *Graph) BFS(root int) (dist []int, parentEdge []int) {
 		parentEdge[i] = -1
 	}
 	dist[root] = 0
+	g.Finalize()
 	queue := []int{root}
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, a := range g.adj[v] {
+		for _, a := range g.arcs[g.off[v]:g.off[v+1]] {
 			if dist[a.To] < 0 {
 				dist[a.To] = dist[v] + 1
 				parentEdge[a.To] = a.E
@@ -307,8 +413,9 @@ func (g *Graph) Clone() *Graph {
 // Validate checks structural invariants and returns an error describing
 // the first violation found, or nil.
 func (g *Graph) Validate() error {
-	if len(g.adj) != g.n {
-		return errors.New("graph: adjacency size mismatch")
+	g.Finalize()
+	if len(g.off) != g.n+1 {
+		return errors.New("graph: CSR offset table size mismatch")
 	}
 	deg := make([]int, g.n)
 	for i, e := range g.edges {
@@ -325,10 +432,10 @@ func (g *Graph) Validate() error {
 		deg[e.V]++
 	}
 	for v := 0; v < g.n; v++ {
-		if len(g.adj[v]) != deg[v] {
-			return fmt.Errorf("graph: vertex %d degree mismatch: adj=%d edges=%d", v, len(g.adj[v]), deg[v])
+		if g.off[v+1]-g.off[v] != deg[v] {
+			return fmt.Errorf("graph: vertex %d degree mismatch: adj=%d edges=%d", v, g.off[v+1]-g.off[v], deg[v])
 		}
-		for _, a := range g.adj[v] {
+		for _, a := range g.arcs[g.off[v]:g.off[v+1]] {
 			if a.E < 0 || a.E >= len(g.edges) {
 				return fmt.Errorf("graph: vertex %d has arc with bad edge index %d", v, a.E)
 			}

@@ -11,6 +11,12 @@
 //
 // such that the input graph is 1-embeddable into forest+core and the
 // j-tree is O(1)-embeddable back (Lemmas 8.6/8.7).
+//
+// The hot path is StepWS, which runs one construction step against a
+// Workspace: a pooled arena holding every scratch array and the
+// successor cluster-graph storage, reused across levels and trees so a
+// full congestion-approximator build performs no per-level map or
+// slice churn. Step is the allocate-per-call convenience wrapper.
 package jtree
 
 import (
@@ -32,7 +38,10 @@ type ForestEdge struct {
 	Phys          int
 }
 
-// StepResult is the outcome of one j-tree construction step.
+// StepResult is the outcome of one j-tree construction step. When
+// produced by StepWS, every slice (including the Core's) aliases the
+// workspace and is only valid until the next StepWS call with the same
+// workspace.
 type StepResult struct {
 	// Forest holds the virtual tree edges adopted at this level.
 	Forest []ForestEdge
@@ -69,11 +78,123 @@ type Config struct {
 	DisableF bool
 }
 
+// fedge is a forest-adjacency arc: the neighbour and the child endpoint
+// of the realizing tree edge (which carries capT and phys).
+type fedge struct {
+	to  int
+	via int
+}
+
+// Workspace is the pooled arena of StepWS. Arrays are sized to the
+// largest cluster graph seen and reused across calls; the two core
+// buffers alternate between calls, so a step never overwrites the
+// cluster graph it is reading (the input is always the most recent
+// output of whichever workspace produced it).
+type Workspace struct {
+	// multiplicity expansion of the LSST input
+	ledges []lsst.Edge
+	lorig  []int
+	// pooled subroutine scratch: the spanning-tree construction arena
+	// and the tree-flow LCA tables
+	lws lsst.Workspace
+	tfs vtree.TreeFlowScratch
+	// per-cluster scratch
+	treeEdge []int
+	pairs    []vtree.EdgeEndpoint
+	rload    []float64
+	removed  []bool
+	byLoad   []vcLoad
+	compTF   []int
+	compOff  []int
+	compMem  []int
+	isP1     []bool
+	fOff     []int
+	fArcs    []fedge
+	deg      []int
+	inSkel   []bool
+	isP      []bool
+	visited  []bool
+	inD      []bool
+	isPortal []bool
+	queue    []int
+	newComp  []int
+	newOff   []int
+	newMem   []int
+	portal   []int
+	parentTo []int
+	parentVi []int
+	seen     []bool
+	dist     []int
+	hasDist  []bool
+	// result storage
+	forest    []ForestEdge
+	dEdges    []ForestEdge
+	edgeRload []float64
+	// successor cluster graphs: two buffers; each step writes into
+	// whichever one is not its input
+	cores [2]coreArena
+}
+
+// coreArena is the pooled storage of one successor cluster graph.
+type coreArena struct {
+	core  cluster.Graph
+	edges []cluster.Edge
+	rep   []int
+	size  []float64
+	depth []int
+}
+
+type vcLoad struct {
+	v  int
+	rl float64
+}
+
+// NewWorkspace returns an empty workspace; it grows on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// grow readies the per-cluster scratch for an N-node cluster graph.
+func (ws *Workspace) grow(n int) {
+	if cap(ws.treeEdge) >= n {
+		return
+	}
+	ws.treeEdge = make([]int, n)
+	ws.rload = make([]float64, n)
+	ws.removed = make([]bool, n)
+	ws.compTF = make([]int, n)
+	ws.compOff = make([]int, n+1)
+	ws.compMem = make([]int, n)
+	ws.isP1 = make([]bool, n)
+	ws.fOff = make([]int, n+1)
+	ws.fArcs = make([]fedge, 2*n)
+	ws.deg = make([]int, n)
+	ws.inSkel = make([]bool, n)
+	ws.isP = make([]bool, n)
+	ws.visited = make([]bool, n)
+	ws.inD = make([]bool, n)
+	ws.isPortal = make([]bool, n)
+	ws.newComp = make([]int, n)
+	ws.newOff = make([]int, n+1)
+	ws.newMem = make([]int, n)
+	ws.parentTo = make([]int, n)
+	ws.parentVi = make([]int, n)
+	ws.seen = make([]bool, n)
+	ws.dist = make([]int, n)
+	ws.hasDist = make([]bool, n)
+}
+
 // Step runs one construction step with target parameter j ≥ 1 on a
-// connected cluster multigraph. lengths gives the current multiplicative
-// weight ℓ(e) per edge (nil = 1/cap(e), Madry's initialization). sqrtN
-// is the √n of the underlying network (the Lemma 8.2 threshold).
+// connected cluster multigraph, with a throwaway workspace. lengths
+// gives the current multiplicative weight ℓ(e) per edge (nil =
+// 1/cap(e), Madry's initialization). sqrtN is the √n of the underlying
+// network (the Lemma 8.2 threshold).
 func Step(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Config, rng *rand.Rand) (*StepResult, error) {
+	return StepWS(cg, lengths, j, sqrtN, cfg, rng, NewWorkspace())
+}
+
+// StepWS is Step against a caller-held workspace. The result (and its
+// Core) aliases the workspace: it is valid until the next StepWS call
+// with the same ws. Builds are bit-identical to Step's.
+func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Config, rng *rand.Rand, ws *Workspace) (*StepResult, error) {
 	if cg.N < 2 {
 		return nil, fmt.Errorf("jtree: cluster graph has %d nodes", cg.N)
 	}
@@ -89,13 +210,15 @@ func Step(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Config
 	if len(lengths) != len(cg.Edges) {
 		return nil, fmt.Errorf("jtree: lengths size %d, want %d", len(lengths), len(cg.Edges))
 	}
+	n := cg.N
+	ws.grow(n)
 
 	// --- 1. Low average-stretch spanning tree w.r.t. ℓ, with
 	// capacity-weighted multiplicities (§8.1: the weighted average
 	// stretch of Eq. (2) is realized by duplicating edges proportionally
 	// to cap(e)·ℓ(e), at most doubling the edge count).
-	var ledges []lsst.Edge
-	var lorig []int // lsst edge -> cluster edge index
+	ledges := ws.ledges[:0]
+	lorig := ws.lorig[:0]
 	var totalW float64
 	for i, e := range cg.Edges {
 		totalW += e.Cap * lengths[i]
@@ -114,14 +237,16 @@ func Step(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Config
 			lorig = append(lorig, i)
 		}
 	}
-	lres, err := lsst.SpanningTree(cg.N, ledges, cfg.LSST, rng)
+	ws.ledges = ledges
+	ws.lorig = lorig
+	lres, err := lsst.SpanningTreeWS(n, ledges, cfg.LSST, rng, &ws.lws)
 	if err != nil {
 		return nil, fmt.Errorf("jtree: spanning tree: %w", err)
 	}
 	t := lres.Tree
 	// treeEdge[v] = cluster edge realizing (v, parent(v)); -1 at root.
-	treeEdge := make([]int, cg.N)
-	for v := 0; v < cg.N; v++ {
+	treeEdge := ws.treeEdge[:n]
+	for v := 0; v < n; v++ {
 		if ei := lres.EdgeOf[v]; ei >= 0 {
 			treeEdge[v] = lorig[ei]
 		} else {
@@ -130,19 +255,27 @@ func Step(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Config
 	}
 
 	// --- 2. Tree flow |f'| (Fig. 2): route cap(e) for every edge.
-	pairs := make([]vtree.EdgeEndpoint, len(cg.Edges))
-	for i, e := range cg.Edges {
-		pairs[i] = vtree.EdgeEndpoint{U: e.A, V: e.B, Cap: e.Cap}
+	pairs := ws.pairs[:0]
+	for _, e := range cg.Edges {
+		pairs = append(pairs, vtree.EdgeEndpoint{U: e.A, V: e.B, Cap: e.Cap})
 	}
-	capT := t.TreeFlow(pairs)
+	ws.pairs = pairs
+	capT := t.TreeFlowWS(pairs, &ws.tfs)
 
+	if cap(ws.edgeRload) < len(cg.Edges) {
+		ws.edgeRload = make([]float64, len(cg.Edges))
+	}
 	res := &StepResult{
-		EdgeRload:  make([]float64, len(cg.Edges)),
+		EdgeRload:  ws.edgeRload[:len(cg.Edges)],
 		TreeHeight: t.Height(),
 	}
-	rload := make([]float64, cg.N)
-	for v := 0; v < cg.N; v++ {
+	for i := range res.EdgeRload {
+		res.EdgeRload[i] = 0
+	}
+	rload := ws.rload[:n]
+	for v := 0; v < n; v++ {
 		if v == t.Root {
+			rload[v] = 0
 			continue
 		}
 		rload[v] = capT[v] / cg.Edges[treeEdge[v]].Cap
@@ -154,18 +287,18 @@ func Step(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Config
 
 	// --- 3. F: maximal prefix of rload classes (R/2^i, R/2^{i-1}] with
 	// |F| ≤ j (§4 step 3 / §8.2).
-	removed := make([]bool, cg.N)
+	removed := ws.removed[:n]
+	for v := range removed {
+		removed[v] = false
+	}
 	if res.MaxRload > 0 && !cfg.DisableF {
-		type vc struct {
-			v  int
-			rl float64
-		}
-		byLoad := make([]vc, 0, cg.N-1)
-		for v := 0; v < cg.N; v++ {
+		byLoad := ws.byLoad[:0]
+		for v := 0; v < n; v++ {
 			if v != t.Root {
-				byLoad = append(byLoad, vc{v: v, rl: rload[v]})
+				byLoad = append(byLoad, vcLoad{v: v, rl: rload[v]})
 			}
 		}
+		ws.byLoad = byLoad
 		sort.Slice(byLoad, func(a, b int) bool { return byLoad[a].rl > byLoad[b].rl })
 		classOf := func(rl float64) int {
 			// class i ≥ 1 such that rl ∈ (R/2^i, R/2^{i-1}].
@@ -198,7 +331,7 @@ func Step(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Config
 	// --- 4. R: Lemma 8.2 random removal with q = min(1, |c|/√n) keeps
 	// new cluster trees shallow.
 	if !cfg.DisableR {
-		for v := 0; v < cg.N; v++ {
+		for v := 0; v < n; v++ {
 			if v == t.Root || removed[v] {
 				continue
 			}
@@ -211,30 +344,47 @@ func Step(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Config
 	}
 
 	// --- 5. Components of T \ (F ∪ R) and the skeleton machinery.
-	compTF := make([]int, cg.N) // component of T\(F∪R)
-	children := make([][]int, cg.N)
-	for v := 0; v < cg.N; v++ {
-		if v != t.Root && !removed[v] {
-			children[t.Parent[v]] = append(children[t.Parent[v]], v)
-		}
-	}
+	// Members are bucketed in t.Order() traversal order (the order the
+	// append-based version produced).
+	compTF := ws.compTF[:n]
 	numComp := 0
-	compMembers := [][]int{}
 	for _, v := range t.Order() {
 		if v == t.Root || removed[v] {
 			compTF[v] = numComp
 			numComp++
-			compMembers = append(compMembers, []int{v})
 		} else {
 			compTF[v] = compTF[t.Parent[v]]
-			compMembers[compTF[v]] = append(compMembers[compTF[v]], v)
 		}
 	}
+	compOff := ws.compOff[:numComp+1]
+	for i := range compOff {
+		compOff[i] = 0
+	}
+	for v := 0; v < n; v++ {
+		compOff[compTF[v]]++
+	}
+	sum := 0
+	for c := 0; c < numComp; c++ {
+		cnt := compOff[c]
+		compOff[c] = sum
+		sum += cnt
+	}
+	compOff[numComp] = sum
+	compMem := ws.compMem[:n]
+	for _, v := range t.Order() {
+		compMem[compOff[compTF[v]]] = v
+		compOff[compTF[v]]++
+	}
+	copy(compOff[1:], compOff[:numComp])
+	compOff[0] = 0
 
 	// P1: clusters incident to removed edges.
-	isP1 := make([]bool, cg.N)
+	isP1 := ws.isP1[:n]
+	for v := range isP1 {
+		isP1[v] = false
+	}
 	anyRemoved := false
-	for v := 0; v < cg.N; v++ {
+	for v := 0; v < n; v++ {
 		if v != t.Root && removed[v] {
 			isP1[v] = true
 			isP1[t.Parent[v]] = true
@@ -242,32 +392,68 @@ func Step(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Config
 		}
 	}
 
-	// Forest adjacency (within components).
-	type fedge struct {
-		to  int
-		via int // child endpoint (carries capT/phys of tree edge)
+	// Forest adjacency (within components), CSR form. Arcs land in the
+	// same per-vertex order as the old appends: the v-loop adds (v→p)
+	// at v and (p→v) at p, in v order.
+	fOff := ws.fOff[:n+1]
+	for i := range fOff {
+		fOff[i] = 0
 	}
-	fadj := make([][]fedge, cg.N)
-	for v := 0; v < cg.N; v++ {
+	for v := 0; v < n; v++ {
+		if v != t.Root && !removed[v] {
+			fOff[v]++
+			fOff[t.Parent[v]]++
+		}
+	}
+	sum = 0
+	for v := 0; v < n; v++ {
+		c := fOff[v]
+		fOff[v] = sum
+		sum += c
+	}
+	fOff[n] = sum
+	fArcs := ws.fArcs[:cap(ws.fArcs)]
+	if len(fArcs) < sum {
+		fArcs = make([]fedge, sum)
+		ws.fArcs = fArcs
+	}
+	fArcs = fArcs[:sum]
+	for v := 0; v < n; v++ {
 		if v != t.Root && !removed[v] {
 			p := t.Parent[v]
-			fadj[v] = append(fadj[v], fedge{to: p, via: v})
-			fadj[p] = append(fadj[p], fedge{to: v, via: v})
+			fArcs[fOff[v]] = fedge{to: p, via: v}
+			fOff[v]++
+			fArcs[fOff[p]] = fedge{to: v, via: v}
+			fOff[p]++
 		}
 	}
+	copy(fOff[1:], fOff[:n])
+	fOff[0] = 0
+	fadj := func(v int) []fedge { return fArcs[fOff[v]:fOff[v+1]] }
 
-	inD := make([]bool, cg.N) // inD[v]: tree edge (v,parent) deleted into D
-	isPortal := make([]bool, cg.N)
+	inD := ws.inD[:n] // inD[v]: tree edge (v,parent) deleted into D
+	isPortal := ws.isPortal[:n]
+	for v := 0; v < n; v++ {
+		inD[v] = false
+		isPortal[v] = false
+	}
 
-	for ci := range compMembers {
-		members := compMembers[ci]
-		var p1 []int
+	// Per-component scratch: deg/inSkel/isP/visited entries are only
+	// touched at member indices and reset after each component.
+	deg := ws.deg[:n]
+	inSkel := ws.inSkel[:n]
+	isP := ws.isP[:n]
+	visited := ws.visited[:n]
+
+	for ci := 0; ci < numComp; ci++ {
+		members := compMem[compOff[ci]:compOff[ci+1]]
+		p1 := 0
 		for _, v := range members {
 			if isP1[v] {
-				p1 = append(p1, v)
+				p1++
 			}
 		}
-		if len(p1) == 0 {
+		if p1 == 0 {
 			// No incident removed edge (only possible when nothing was
 			// removed at all): the whole component is one cluster rooted
 			// anywhere.
@@ -278,28 +464,23 @@ func Step(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Config
 			continue
 		}
 		// Skeleton: prune non-P1 leaves iteratively.
-		deg := map[int]int{}
 		for _, v := range members {
-			deg[v] = len(fadj[v])
-		}
-		inSkel := map[int]bool{}
-		for _, v := range members {
+			deg[v] = len(fadj(v))
 			inSkel[v] = true
 		}
-		queue := []int{}
+		queue := ws.queue[:0]
 		for _, v := range members {
 			if deg[v] <= 1 && !isP1[v] {
 				queue = append(queue, v)
 			}
 		}
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
 			if !inSkel[v] {
 				continue
 			}
 			inSkel[v] = false
-			for _, fe := range fadj[v] {
+			for _, fe := range fadj(v) {
 				if inSkel[fe.to] {
 					deg[fe.to]--
 					if deg[fe.to] <= 1 && !isP1[fe.to] {
@@ -308,8 +489,8 @@ func Step(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Config
 				}
 			}
 		}
+		ws.queue = queue
 		// P2: skeleton degree ≥ 3 and not P1.
-		isP := map[int]bool{}
 		for _, v := range members {
 			if !inSkel[v] {
 				continue
@@ -321,12 +502,11 @@ func Step(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Config
 		}
 		// Walk the skeleton paths between P nodes; delete the minimum
 		// capT edge on each into D.
-		visited := map[int]bool{} // via-vertex of walked skeleton edges
 		for _, start := range members {
 			if !isP[start] || !inSkel[start] {
 				continue
 			}
-			for _, fe := range fadj[start] {
+			for _, fe := range fadj(start) {
 				if !inSkel[fe.to] || visited[fe.via] {
 					continue
 				}
@@ -337,7 +517,7 @@ func Step(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Config
 				for !isP[cur] {
 					var next fedge
 					found := false
-					for _, g := range fadj[cur] {
+					for _, g := range fadj(cur) {
 						if inSkel[g.to] && g.to != prev {
 							next = g
 							found = true
@@ -361,34 +541,62 @@ func Step(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Config
 				}
 			}
 		}
+		// Reset the per-component scratch (only member indices were
+		// touched; visited is keyed by via vertices, all members).
+		for _, v := range members {
+			deg[v] = 0
+			inSkel[v] = false
+			isP[v] = false
+			visited[v] = false
+		}
 	}
 
 	// --- 6. New clusters: components of T \ (F ∪ R ∪ D), each owning
 	// exactly one portal.
-	newComp := make([]int, cg.N)
-	for v := range newComp {
-		newComp[v] = -1
-	}
+	newComp := ws.newComp[:n]
 	numNew := 0
-	var newMembers [][]int
 	for _, v := range t.Order() {
 		if v == t.Root || removed[v] || inD[v] {
 			newComp[v] = numNew
 			numNew++
-			newMembers = append(newMembers, []int{v})
 		} else {
 			newComp[v] = newComp[t.Parent[v]]
-			newMembers[newComp[v]] = append(newMembers[newComp[v]], v)
 		}
 	}
+	newOff := ws.newOff[:numNew+1]
+	for i := range newOff {
+		newOff[i] = 0
+	}
+	for v := 0; v < n; v++ {
+		newOff[newComp[v]]++
+	}
+	sum = 0
+	for k := 0; k < numNew; k++ {
+		c := newOff[k]
+		newOff[k] = sum
+		sum += c
+	}
+	newOff[numNew] = sum
+	newMem := ws.newMem[:n]
+	for _, v := range t.Order() {
+		newMem[newOff[newComp[v]]] = v
+		newOff[newComp[v]]++
+	}
+	copy(newOff[1:], newOff[:numNew])
+	newOff[0] = 0
+	members := func(k int) []int { return newMem[newOff[k]:newOff[k+1]] }
+
 	// Portal per new component; components without a marked portal take
 	// their top vertex (possible when D-cutting isolates a path segment
 	// whose portal sits on the other side).
-	portalOf := make([]int, numNew)
+	if cap(ws.portal) < numNew {
+		ws.portal = make([]int, n)
+	}
+	portalOf := ws.portal[:numNew]
 	for k := range portalOf {
 		portalOf[k] = -1
 	}
-	for v := 0; v < cg.N; v++ {
+	for v := 0; v < n; v++ {
 		if isPortal[v] {
 			if got := portalOf[newComp[v]]; got >= 0 {
 				return nil, fmt.Errorf("jtree: component %d has two portals (%d, %d)", newComp[v], got, v)
@@ -396,90 +604,125 @@ func Step(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Config
 			portalOf[newComp[v]] = v
 		}
 	}
-	for k, members := range newMembers {
+	for k := 0; k < numNew; k++ {
 		if portalOf[k] < 0 {
-			portalOf[k] = members[0]
+			portalOf[k] = members(k)[0]
 		}
 	}
 
-	// --- 7. Forest edges re-rooted at portals.
-	for k, members := range newMembers {
+	// --- 7. Forest edges re-rooted at portals. parentTo/parentVi/seen
+	// are only touched at member indices and reset per component.
+	parentTo := ws.parentTo[:n]
+	parentVi := ws.parentVi[:n]
+	seen := ws.seen[:n]
+	forest := ws.forest[:0]
+	for k := 0; k < numNew; k++ {
+		mem := members(k)
 		root := portalOf[k]
-		// BFS from the portal over forest edges inside the component.
-		parent := map[int]fedge{}
-		seen := map[int]bool{root: true}
-		q := []int{root}
-		for len(q) > 0 {
-			v := q[0]
-			q = q[1:]
-			for _, fe := range fadj[v] {
+		seen[root] = true
+		queue := ws.queue[:0]
+		queue = append(queue, root)
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			for _, fe := range fadj(v) {
 				if inD[fe.via] || seen[fe.to] || newComp[fe.to] != k {
 					continue
 				}
 				seen[fe.to] = true
-				parent[fe.to] = fedge{to: v, via: fe.via}
-				q = append(q, fe.to)
+				parentTo[fe.to] = v
+				parentVi[fe.to] = fe.via
+				queue = append(queue, fe.to)
 			}
 		}
-		for _, v := range members {
+		ws.queue = queue
+		for _, v := range mem {
 			if v == root {
 				continue
 			}
-			fe, ok := parent[v]
-			if !ok {
+			if !seen[v] {
 				return nil, fmt.Errorf("jtree: cluster %d unreachable from portal %d", v, root)
 			}
-			res.Forest = append(res.Forest, ForestEdge{
+			forest = append(forest, ForestEdge{
 				Child:  v,
-				Parent: fe.to,
-				Cap:    capT[fe.via],
-				Phys:   cg.Edges[treeEdge[fe.via]].Phys,
+				Parent: parentTo[v],
+				Cap:    capT[parentVi[v]],
+				Phys:   cg.Edges[treeEdge[parentVi[v]]].Phys,
 			})
 		}
+		for _, v := range mem {
+			seen[v] = false
+		}
 	}
+	ws.forest = forest
+	res.Forest = forest
 
-	// --- 8. Core multigraph on portals.
-	core := &cluster.Graph{
-		N:     numNew,
-		Rep:   make([]int, numNew),
-		Size:  make([]float64, numNew),
-		Depth: make([]int, numNew),
+	// --- 8. Core multigraph on portals, built into whichever of the
+	// workspace's two arenas does not hold the input cluster graph —
+	// selected by pointer identity, so re-running a step on the same
+	// input (the no-contraction retry of the sampler) can never clobber
+	// what it is reading. The only live cluster graphs at any moment
+	// are the current input and the current level's fresh outputs (one
+	// per workspace), so the other buffer is always dead.
+	arena := &ws.cores[0]
+	if cg == &ws.cores[0].core {
+		arena = &ws.cores[1]
 	}
-	for k, members := range newMembers {
+	if cap(arena.rep) < numNew {
+		arena.rep = make([]int, numNew)
+		arena.size = make([]float64, numNew)
+		arena.depth = make([]int, numNew)
+	}
+	core := &arena.core
+	core.N = numNew
+	core.Rep = arena.rep[:numNew]
+	core.Size = arena.size[:numNew]
+	core.Depth = arena.depth[:numNew]
+	for k := 0; k < numNew; k++ {
 		core.Rep[k] = cg.Rep[portalOf[k]]
-		for _, v := range members {
+		core.Size[k] = 0
+		for _, v := range members(k) {
 			core.Size[k] += cg.Size[v]
 		}
 	}
 	// Depth accounting: hop-weighted BFS from the portal, where crossing
-	// cluster c costs 2·Depth[c]+1 physical hops.
-	for k := range newMembers {
+	// cluster c costs 2·Depth[c]+1 physical hops. dist/hasDist are only
+	// touched at member indices and reset per component.
+	dist := ws.dist[:n]
+	hasDist := ws.hasDist[:n]
+	for k := 0; k < numNew; k++ {
 		root := portalOf[k]
-		w := func(c int) int { return 2*cg.Depth[c] + 1 }
-		dist := map[int]int{root: cg.Depth[root]}
-		q := []int{root}
+		dist[root] = cg.Depth[root]
+		hasDist[root] = true
 		maxD := cg.Depth[root]
-		for len(q) > 0 {
-			v := q[0]
-			q = q[1:]
-			for _, fe := range fadj[v] {
+		queue := ws.queue[:0]
+		queue = append(queue, root)
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			for _, fe := range fadj(v) {
 				if inD[fe.via] || newComp[fe.to] != k {
 					continue
 				}
-				if _, ok := dist[fe.to]; ok {
+				if hasDist[fe.to] {
 					continue
 				}
-				dist[fe.to] = dist[v] + w(fe.to)
+				hasDist[fe.to] = true
+				dist[fe.to] = dist[v] + 2*cg.Depth[fe.to] + 1
 				if dist[fe.to] > maxD {
 					maxD = dist[fe.to]
 				}
-				q = append(q, fe.to)
+				queue = append(queue, fe.to)
 			}
 		}
+		ws.queue = queue
 		core.Depth[k] = maxD
+		for _, v := range members(k) {
+			hasDist[v] = false
+		}
 	}
 	// Inter-component cluster edges (between different T\(F∪R)
 	// components) keep their capacity; D edges are replaced at cap_T.
+	coreEdges := arena.edges[:0]
+	dEdges := ws.dEdges[:0]
 	for _, e := range cg.Edges {
 		if compTF[e.A] == compTF[e.B] {
 			continue
@@ -488,9 +731,9 @@ func Step(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Config
 		if a == b {
 			continue
 		}
-		core.Edges = append(core.Edges, cluster.Edge{A: a, B: b, Cap: e.Cap, Phys: e.Phys})
+		coreEdges = append(coreEdges, cluster.Edge{A: a, B: b, Cap: e.Cap, Phys: e.Phys})
 	}
-	for v := 0; v < cg.N; v++ {
+	for v := 0; v < n; v++ {
 		if !inD[v] {
 			continue
 		}
@@ -498,11 +741,15 @@ func Step(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Config
 		if a == b {
 			return nil, fmt.Errorf("jtree: D edge endpoints in same component")
 		}
-		core.Edges = append(core.Edges, cluster.Edge{A: a, B: b, Cap: capT[v], Phys: cg.Edges[treeEdge[v]].Phys})
-		res.DEdges = append(res.DEdges, ForestEdge{
+		coreEdges = append(coreEdges, cluster.Edge{A: a, B: b, Cap: capT[v], Phys: cg.Edges[treeEdge[v]].Phys})
+		dEdges = append(dEdges, ForestEdge{
 			Child: v, Parent: t.Parent[v], Cap: capT[v], Phys: cg.Edges[treeEdge[v]].Phys,
 		})
 	}
+	arena.edges = coreEdges
+	core.Edges = coreEdges
+	ws.dEdges = dEdges
+	res.DEdges = dEdges
 
 	res.NewCluster = newComp
 	res.Portal = portalOf

@@ -54,10 +54,73 @@ type Config struct {
 	MaxRestarts int
 }
 
+// Workspace pools every scratch array of the construction — the
+// contraction stamps, the compact working graph, the SplitGraph race
+// queue, and the assembly buffers — so repeated SpanningTreeWS calls
+// (three candidates per j-tree level, many levels per sampled tree)
+// allocate nothing but the returned tree. The zero value is ready to
+// use; it grows to the largest (n, m) seen.
+type Workspace struct {
+	class      []int
+	chosen     []bool
+	sn         []int
+	snIdx      []int
+	snStamp    []int
+	remapTo    []int
+	remapStamp []int
+	seenStamp  []int
+	rev        []int
+	active     []classedEdge
+	classCount []int
+	off        []int
+	arcs       []splitEdge
+	sws        splitWS
+	epoch      int
+	// assemble scratch
+	aOff   []int
+	aArc   []int
+	parent []int
+	edgeOf []int
+	queue  []int
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+func (ws *Workspace) grow(n, m int) {
+	if cap(ws.sn) < n {
+		ws.sn = make([]int, n)
+		ws.snIdx = make([]int, n)
+		ws.snStamp = make([]int, n)
+		ws.remapTo = make([]int, n)
+		ws.remapStamp = make([]int, n)
+		ws.seenStamp = make([]int, n)
+		ws.rev = make([]int, 0, n)
+		ws.aOff = make([]int, n+1)
+		ws.parent = make([]int, n)
+		ws.edgeOf = make([]int, n)
+	}
+	if cap(ws.class) < m {
+		ws.class = make([]int, m)
+		ws.chosen = make([]bool, m)
+	}
+	if cap(ws.aArc) < 2*m {
+		ws.aArc = make([]int, 2*m)
+	}
+}
+
 // SpanningTree builds a spanning tree of expected average stretch
 // 2^{O(√(log n log log n))} over the n-vertex multigraph given by edges.
 // The multigraph must be connected.
 func SpanningTree(n int, edges []Edge, cfg Config, rng *rand.Rand) (*Result, error) {
+	return SpanningTreeWS(n, edges, cfg, rng, NewWorkspace())
+}
+
+// SpanningTreeWS is SpanningTree against a caller-held workspace. The
+// returned Result's EdgeOf aliases the workspace and is valid until the
+// next call with the same ws; the Tree is freshly allocated. Output is
+// bit-identical to SpanningTree's.
+func SpanningTreeWS(n int, edges []Edge, cfg Config, rng *rand.Rand, ws *Workspace) (*Result, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("lsst: empty graph")
 	}
@@ -98,7 +161,8 @@ func SpanningTree(n int, edges []Edge, cfg Config, rng *rand.Rand) (*Result, err
 	if math.IsInf(minLen, 1) {
 		minLen = 1
 	}
-	class := make([]int, len(edges)) // 1-based class index
+	ws.grow(n, len(edges))
+	class := ws.class[:len(edges)] // 1-based class index
 	maxClass := 1
 	for i, e := range edges {
 		c := 1
@@ -114,19 +178,39 @@ func SpanningTree(n int, edges []Edge, cfg Config, rng *rand.Rand) (*Result, err
 	}
 
 	res := &Result{
-		EdgeOf: make([]int, n),
+		EdgeOf: ws.edgeOf[:n],
 		Rho:    rho,
 		Z:      z,
 	}
 	// Spanning tree assembled as a union of original edges.
-	chosen := make([]bool, len(edges))
+	chosen := ws.chosen[:len(edges)]
+	for i := range chosen {
+		chosen[i] = false
+	}
 
 	// sn maps original vertices to current supernodes (contraction).
-	sn := make([]int, n)
+	sn := ws.sn[:n]
 	for v := range sn {
 		sn[v] = v
 	}
 	super := n // number of live supernodes
+
+	// Epoch-stamped scratch replacing the per-iteration maps of the
+	// contraction loop: compact supernode ids, cluster remaps and the
+	// live-supernode census are all answered by O(1) array reads, with
+	// one shared arena (including the SplitGraph race workspace) reused
+	// across iterations — and, through the workspaces held in package
+	// jtree and capprox, across j-tree levels and sampled trees.
+	snIdx := ws.snIdx[:n]           // supernode -> compact index (valid when snStamp matches)
+	snStamp := ws.snStamp[:n]       // epoch stamp for snIdx
+	remapTo := ws.remapTo[:n]       // supernode -> contracted supernode
+	remapStamp := ws.remapStamp[:n] // epoch stamp for remapTo
+	seenStamp := ws.seenStamp[:n]   // epoch stamp for the census
+	rev := ws.rev[:0]               // compact index -> supernode
+	active := ws.active
+	classCount := ws.classCount
+	off := ws.off
+	arcs := ws.arcs
 
 	curRho := rho
 	for j := 1; super > 1; j++ {
@@ -134,23 +218,26 @@ func SpanningTree(n int, edges []Edge, cfg Config, rng *rand.Rand) (*Result, err
 			return nil, fmt.Errorf("lsst: no convergence after %d iterations (disconnected input?)", j-1)
 		}
 		res.Iterations++
+		ws.epoch++
+		ep := ws.epoch
 		useClass := j
 		if useClass > maxClass {
 			useClass = maxClass
 		}
 		// Build the contracted working graph over supernodes with edges
-		// of classes ≤ useClass, dropping self-loops.
-		ids := make(map[int]int, super) // supernode -> compact index
-		var rev []int
+		// of classes ≤ useClass, dropping self-loops. Compact indices
+		// are assigned in first-seen order (as the map version did).
+		rev = rev[:0]
 		idx := func(s int) int {
-			if i, ok := ids[s]; ok {
-				return i
+			if snStamp[s] == ep {
+				return snIdx[s]
 			}
-			ids[s] = len(rev)
+			snStamp[s] = ep
+			snIdx[s] = len(rev)
 			rev = append(rev, s)
 			return len(rev) - 1
 		}
-		var active []classedEdge
+		active = active[:0]
 		for i, e := range edges {
 			if class[i] > useClass {
 				continue
@@ -168,11 +255,47 @@ func SpanningTree(n int, edges []Edge, cfg Config, rng *rand.Rand) (*Result, err
 			// All remaining edges are in higher classes; advance j.
 			continue
 		}
-		adj := make([][]splitEdge, nn)
-		classCount := make([]int, useClass+1)
+		// CSR adjacency over the compact working graph, placed in active
+		// order per vertex (the order the per-vertex appends produced).
+		if cap(off) < nn+1 {
+			off = make([]int, nn+1)
+		}
+		off = off[:nn+1]
+		for i := range off {
+			off[i] = 0
+		}
 		for _, w := range active {
-			adj[w.e.u] = append(adj[w.e.u], w.e)
-			adj[w.e.v] = append(adj[w.e.v], w.e)
+			off[w.e.u]++
+			off[w.e.v]++
+		}
+		sum := 0
+		for v := 0; v < nn; v++ {
+			c := off[v]
+			off[v] = sum
+			sum += c
+		}
+		off[nn] = sum
+		if cap(arcs) < sum {
+			arcs = make([]splitEdge, sum)
+		}
+		arcs = arcs[:sum]
+		for _, w := range active {
+			arcs[off[w.e.u]] = w.e
+			off[w.e.u]++
+			arcs[off[w.e.v]] = w.e
+			off[w.e.v]++
+		}
+		copy(off[1:], off[:nn])
+		off[0] = 0
+
+		if cap(classCount) < useClass+1 {
+			classCount = make([]int, useClass+1)
+		}
+		classCount = classCount[:useClass+1]
+		for i := range classCount {
+			classCount[i] = 0
+		}
+		for _, w := range active {
 			classCount[w.cl]++
 		}
 
@@ -182,7 +305,7 @@ func SpanningTree(n int, edges []Edge, cfg Config, rng *rand.Rand) (*Result, err
 		var sg *splitResult
 		for attempt := 0; ; attempt++ {
 			res.PartitionCalls++
-			sg = splitGraph(nn, adj, curRho, rng)
+			sg = splitGraph(nn, off, arcs, curRho, rng, &ws.sws)
 			if attempt >= maxRestarts || !overSplit(sg, active, classCount, curRho, nn) {
 				break
 			}
@@ -198,18 +321,20 @@ func SpanningTree(n int, edges []Edge, cfg Config, rng *rand.Rand) (*Result, err
 		}
 		if progress {
 			// Contract: supernode -> its cluster's seed supernode.
-			remap := make(map[int]int, super)
 			for v := 0; v < nn; v++ {
-				remap[rev[v]] = rev[sg.cluster[v]]
+				remapTo[rev[v]] = rev[sg.cluster[v]]
+				remapStamp[rev[v]] = ep
 			}
-			seen := make(map[int]bool, super)
+			super = 0
 			for v := 0; v < n; v++ {
-				if t, ok := remap[sn[v]]; ok {
-					sn[v] = t
+				if remapStamp[sn[v]] == ep {
+					sn[v] = remapTo[sn[v]]
 				}
-				seen[sn[v]] = true
+				if seenStamp[sn[v]] != ep {
+					seenStamp[sn[v]] = ep
+					super++
+				}
 			}
-			super = len(seen)
 		} else if useClass == maxClass {
 			// Degenerate randomness: widen the radius and retry (keeps
 			// the worst-case guarantee; exercised only on tiny inputs).
@@ -220,7 +345,14 @@ func SpanningTree(n int, edges []Edge, cfg Config, rng *rand.Rand) (*Result, err
 		}
 	}
 
-	tree, edgeOf, err := assemble(n, edges, chosen)
+	// Save grown scratch back into the workspace for the next call.
+	ws.rev = rev[:0]
+	ws.active = active
+	ws.classCount = classCount
+	ws.off = off
+	ws.arcs = arcs
+
+	tree, edgeOf, err := assemble(n, edges, chosen, ws)
 	if err != nil {
 		return nil, err
 	}
@@ -257,33 +389,58 @@ func overSplit(sg *splitResult, active []classedEdge, classCount []int, rho, nn 
 	return false
 }
 
-// assemble roots the chosen edge set at vertex 0.
-func assemble(n int, edges []Edge, chosen []bool) (*vtree.VTree, []int, error) {
-	adj := make([][]int, n) // edge indices
+// assemble roots the chosen edge set at vertex 0, building the chosen
+// adjacency in CSR form from the workspace (per-vertex edge order is
+// the chosen-index order the old appends produced).
+func assemble(n int, edges []Edge, chosen []bool, ws *Workspace) (*vtree.VTree, []int, error) {
+	aOff := ws.aOff[:n+1]
+	for i := range aOff {
+		aOff[i] = 0
+	}
 	count := 0
 	for i, c := range chosen {
 		if !c {
 			continue
 		}
-		adj[edges[i].U] = append(adj[edges[i].U], i)
-		adj[edges[i].V] = append(adj[edges[i].V], i)
+		aOff[edges[i].U]++
+		aOff[edges[i].V]++
 		count++
 	}
 	if count != n-1 {
 		return nil, nil, fmt.Errorf("lsst: chose %d edges, want %d", count, n-1)
 	}
-	parent := make([]int, n)
-	edgeOf := make([]int, n)
+	sum := 0
+	for v := 0; v < n; v++ {
+		c := aOff[v]
+		aOff[v] = sum
+		sum += c
+	}
+	aOff[n] = sum
+	aArc := ws.aArc[:sum]
+	for i, c := range chosen {
+		if !c {
+			continue
+		}
+		aArc[aOff[edges[i].U]] = i
+		aOff[edges[i].U]++
+		aArc[aOff[edges[i].V]] = i
+		aOff[edges[i].V]++
+	}
+	copy(aOff[1:], aOff[:n])
+	aOff[0] = 0
+
+	parent := ws.parent[:n]
+	edgeOf := ws.edgeOf[:n]
 	for v := range parent {
 		parent[v] = -2
 		edgeOf[v] = -1
 	}
 	parent[0] = -1
-	queue := []int{0}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, ei := range adj[v] {
+	queue := ws.queue[:0]
+	queue = append(queue, 0)
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		for _, ei := range aArc[aOff[v]:aOff[v+1]] {
 			w := edges[ei].U + edges[ei].V - v
 			if parent[w] == -2 {
 				parent[w] = v
@@ -292,6 +449,7 @@ func assemble(n int, edges []Edge, chosen []bool) (*vtree.VTree, []int, error) {
 			}
 		}
 	}
+	ws.queue = queue
 	for v, p := range parent {
 		if p == -2 {
 			return nil, nil, fmt.Errorf("lsst: vertex %d not spanned", v)

@@ -13,7 +13,6 @@
 package lsst
 
 import (
-	"container/heap"
 	"math/rand"
 )
 
@@ -23,7 +22,8 @@ type splitEdge struct {
 	id   int // index into the caller's edge array
 }
 
-// splitResult is one SplitGraph clustering.
+// splitResult is one SplitGraph clustering. The arrays live in the
+// caller's workspace and are overwritten by the next splitGraph call.
 type splitResult struct {
 	cluster    []int // cluster id per node (source-node index)
 	parent     []int // BFS-tree parent per node (-1 at cluster centers)
@@ -33,42 +33,115 @@ type splitResult struct {
 }
 
 // raceItem is a pending BFS arrival in the delayed multi-source race.
+// The priority (time, source) is packed into one uint64 key —
+// time<<32 | source, both nonnegative and far below 2³¹/2³² — so the
+// lexicographic comparison is a single integer compare; the payload is
+// packed to int32 to halve the bytes every sift swap moves.
 type raceItem struct {
-	time   int // arrival time = delay + hops
-	source int // seeding node (race winner identity, ties by smaller)
-	node   int
-	parent int
-	edge   int
+	key    uint64 // time<<32 | source
+	node   int32
+	parent int32 // -1 at seeds
+	edge   int32 // -1 at seeds
 }
 
+func raceKey(time, source int) uint64 {
+	return uint64(time)<<32 | uint64(uint32(source))
+}
+
+func (it raceItem) time() int   { return int(it.key >> 32) }
+func (it raceItem) source() int { return int(uint32(it.key)) }
+
+// raceHeap is a binary min-heap of raceItems ordered by key. It
+// replicates container/heap's sift algorithm exactly — identical
+// comparison and swap sequences, hence an identical pop order including
+// the (unspecified but deterministic) order among equal keys — while
+// removing the interface boxing and indirect calls that made the
+// generic heap the hottest part of the build profile.
 type raceHeap []raceItem
 
-func (h raceHeap) Len() int { return len(h) }
-func (h raceHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+func (h *raceHeap) push(x raceItem) {
+	*h = append(*h, x)
+	// Sift up (container/heap's up).
+	hh := *h
+	j := len(hh) - 1
+	for {
+		i := (j - 1) / 2
+		if i == j || hh[j].key >= hh[i].key {
+			break
+		}
+		hh[i], hh[j] = hh[j], hh[i]
+		j = i
 	}
-	return h[i].source < h[j].source
 }
-func (h raceHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *raceHeap) Push(x any)   { *h = append(*h, x.(raceItem)) }
-func (h *raceHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h *raceHeap) pop() raceItem {
+	hh := *h
+	n := len(hh) - 1
+	hh[0], hh[n] = hh[n], hh[0]
+	// Sift down over hh[:n] (container/heap's down).
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && hh[j2].key < hh[j1].key {
+			j = j2
+		}
+		if hh[j].key >= hh[i].key {
+			break
+		}
+		hh[i], hh[j] = hh[j], hh[i]
+		i = j
+	}
+	x := hh[n]
+	*h = hh[:n]
+	return x
+}
+
+// splitWS holds splitGraph's scratch, reused across Partition calls,
+// SpanningTree iterations, levels and trees (the build-path arena).
+type splitWS struct {
+	h         raceHeap
+	budget    []int // per seeding node: delay + remaining radius
+	seeds     []int
+	uncovered []int
+	res       splitResult
+}
+
+// grow readies the workspace for an n-node working graph.
+func (ws *splitWS) grow(n int) {
+	if cap(ws.budget) < n {
+		ws.budget = make([]int, n)
+		ws.res.cluster = make([]int, n)
+		ws.res.parent = make([]int, n)
+		ws.res.parentEdge = make([]int, n)
+		ws.res.depth = make([]int, n)
+	}
+	ws.budget = ws.budget[:n]
+	ws.res.cluster = ws.res.cluster[:n]
+	ws.res.parent = ws.res.parent[:n]
+	ws.res.parentEdge = ws.res.parentEdge[:n]
+	ws.res.depth = ws.res.depth[:n]
+}
 
 // splitGraph runs Algorithm SplitGraph (Fig. 4) on an n-node unweighted
-// multigraph with target radius rho. The BFS races are resolved exactly
-// as in the distributed execution: a node joins the cluster of the first
-// BFS to visit it, ties broken by smaller source ID.
-func splitGraph(n int, adj [][]splitEdge, rho int, rng *rand.Rand) *splitResult {
-	res := &splitResult{
-		cluster:    make([]int, n),
-		parent:     make([]int, n),
-		parentEdge: make([]int, n),
-		depth:      make([]int, n),
-	}
-	for i := range res.cluster {
+// multigraph with target radius rho; adjacency is given in CSR form
+// (arcs[off[v]:off[v+1]] are v's incidences, each naming the neighbour
+// via its endpoints). The BFS races are resolved exactly as in the
+// distributed execution: a node joins the cluster of the first BFS to
+// visit it, ties broken by smaller source ID. The returned result
+// aliases ws and is valid until the next call with the same ws.
+func splitGraph(n int, off []int, arcs []splitEdge, rho int, rng *rand.Rand, ws *splitWS) *splitResult {
+	ws.grow(n)
+	res := &ws.res
+	res.maxDepth = 0
+	for i := 0; i < n; i++ {
 		res.cluster[i] = -1
 		res.parent[i] = -1
 		res.parentEdge[i] = -1
+		res.depth[i] = 0
 	}
 	// When the target radius reaches the graph size, every seed's ball
 	// covers its whole connected component, so the race degenerates to
@@ -77,7 +150,7 @@ func splitGraph(n int, adj [][]splitEdge, rho int, rng *rand.Rand) *splitResult 
 	// graphs, where the asymptotic seed fractions are ≥ 1 and the
 	// delayed race would otherwise produce all-singleton clusterings.
 	if rho >= n {
-		componentClusters(n, adj, res)
+		componentClusters(n, off, arcs, res)
 		return res
 	}
 	logN := 1
@@ -86,15 +159,16 @@ func splitGraph(n int, adj [][]splitEdge, rho int, rng *rand.Rand) *splitResult 
 	}
 	maxDelay := rho / (2 * logN)
 
-	uncovered := make([]int, n)
-	for i := range uncovered {
-		uncovered[i] = i
+	uncovered := ws.uncovered[:0]
+	for i := 0; i < n; i++ {
+		uncovered = append(uncovered, i)
 	}
-	var h raceHeap
+	h := ws.h[:0]
+	budget := ws.budget
 	for t := 1; t <= 2*logN && len(uncovered) > 0; t++ {
 		// Seed fraction 12·2^{t/2}/n of the uncovered nodes (Fig. 4 2a).
 		frac := 12.0 * pow2half(t) / float64(n)
-		var seeds []int
+		seeds := ws.seeds[:0]
 		if frac >= 1 {
 			seeds = append(seeds, uncovered...)
 		} else {
@@ -109,7 +183,6 @@ func splitGraph(n int, adj [][]splitEdge, rho int, rng *rand.Rand) *splitResult 
 		}
 		radius := rho * (2*logN - (t - 1)) / (2 * logN)
 		h = h[:0]
-		budget := make(map[int]int, len(seeds))
 		for _, s := range seeds {
 			delay := 0
 			if maxDelay > 0 {
@@ -122,35 +195,38 @@ func splitGraph(n int, adj [][]splitEdge, rho int, rng *rand.Rand) *splitResult 
 			// Encode the race deadline by pushing the seed at its delay;
 			// expansion stops when time-delay exceeds r (tracked below via
 			// the per-source budget).
-			heap.Push(&h, raceItem{time: delay, source: s, node: s, parent: -1, edge: -1})
+			h.push(raceItem{key: raceKey(delay, s), node: int32(s), parent: -1, edge: -1})
 			budget[s] = delay + r
 		}
 		// Run the race restricted to uncovered nodes.
-		for h.Len() > 0 {
-			it := heap.Pop(&h).(raceItem)
-			v := it.node
+		for len(h) > 0 {
+			it := h.pop()
+			v := int(it.node)
 			if res.cluster[v] >= 0 {
 				continue
 			}
-			res.cluster[v] = it.source
-			res.parent[v] = it.parent
-			res.parentEdge[v] = it.edge
+			res.cluster[v] = it.source()
+			res.parent[v] = int(it.parent)
+			res.parentEdge[v] = int(it.edge)
 			if it.parent >= 0 {
 				res.depth[v] = res.depth[it.parent] + 1
 				if res.depth[v] > res.maxDepth {
 					res.maxDepth = res.depth[v]
 				}
 			}
-			if it.time+1 > budget[it.source] {
+			t := it.time()
+			if t+1 > budget[it.source()] {
 				continue
 			}
-			for _, e := range adj[v] {
+			nextKey := it.key + 1<<32 // same source, time+1
+			for _, e := range arcs[off[v]:off[v+1]] {
 				w := other(e, v)
 				if res.cluster[w] < 0 {
-					heap.Push(&h, raceItem{time: it.time + 1, source: it.source, node: w, parent: v, edge: e.id})
+					h.push(raceItem{key: nextKey, node: int32(w), parent: int32(v), edge: int32(e.id)})
 				}
 			}
 		}
+		ws.seeds = seeds
 		next := uncovered[:0]
 		for _, v := range uncovered {
 			if res.cluster[v] < 0 {
@@ -163,12 +239,14 @@ func splitGraph(n int, adj [][]splitEdge, rho int, rng *rand.Rand) *splitResult 
 	for _, v := range uncovered {
 		res.cluster[v] = v
 	}
+	ws.uncovered = uncovered[:0]
+	ws.h = h
 	return res
 }
 
 // componentClusters assigns one cluster per connected component, with a
 // BFS tree rooted at the smallest-index node of each component.
-func componentClusters(n int, adj [][]splitEdge, res *splitResult) {
+func componentClusters(n int, off []int, arcs []splitEdge, res *splitResult) {
 	for s := 0; s < n; s++ {
 		if res.cluster[s] >= 0 {
 			continue
@@ -178,7 +256,7 @@ func componentClusters(n int, adj [][]splitEdge, res *splitResult) {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, e := range adj[v] {
+			for _, e := range arcs[off[v]:off[v+1]] {
 				w := other(e, v)
 				if res.cluster[w] < 0 {
 					res.cluster[w] = s

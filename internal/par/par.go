@@ -157,6 +157,19 @@ func runChunked(n, size, count int, fn func(i, lo, hi int)) {
 	done.Wait()
 }
 
+// Sequential reports whether a For/Sum/Max call over n elements would
+// run entirely on the calling goroutine (input below one chunk, or the
+// pool width is 1). Hot sweeps use it to take an inline loop instead of
+// a closure — keeping the sequential fallback allocation-free — without
+// duplicating the scheduling policy.
+func Sequential(n int) bool {
+	if n <= 0 {
+		return true
+	}
+	_, count := chunks(n)
+	return count <= 1 || Workers() <= 1
+}
+
 // For runs body over a partition of [0,n) in parallel. body must be
 // safe to run concurrently on disjoint ranges. Element-wise bodies
 // (out[i] depends only on index i) produce identical results at every

@@ -28,34 +28,56 @@ type Result struct {
 type dinicArc struct {
 	to   int
 	capa int64 // residual capacity
-	rev  int   // index of reverse arc in adj[to]
+	rev  int   // index of reverse arc in the flat arc array
 	edge int   // originating graph edge index, -1 for reverse bookkeeping
 	fwd  bool  // true if this arc follows the edge orientation U→V
 }
 
+// dinic stores the residual network in CSR form: arcs[off[v]:off[v+1]]
+// are v's outgoing arcs, packed flat instead of per-vertex slices.
 type dinic struct {
 	n     int
-	adj   [][]dinicArc
+	off   []int
+	arcs  []dinicArc
 	level []int
-	iter  []int
+	iter  []int // absolute cursor into arcs during blocking-flow DFS
 }
 
 func newDinic(g *graph.Graph) *dinic {
+	n := g.N()
 	d := &dinic{
-		n:     g.N(),
-		adj:   make([][]dinicArc, g.N()),
-		level: make([]int, g.N()),
-		iter:  make([]int, g.N()),
+		n:     n,
+		off:   make([]int, n+1),
+		arcs:  make([]dinicArc, 2*g.M()),
+		level: make([]int, n),
+		iter:  make([]int, n),
 	}
+	off := d.off
+	for _, ed := range g.Edges() {
+		off[ed.U]++
+		off[ed.V]++
+	}
+	sum := 0
+	for v := 0; v < n; v++ {
+		c := off[v]
+		off[v] = sum
+		sum += c
+	}
+	off[n] = sum
 	for e, ed := range g.Edges() {
 		// An undirected edge of capacity c becomes two directed arcs of
 		// capacity c each that act as each other's reverse. Net flow on
-		// the edge is then (c - capa of forward arc + ...)/..., recovered
-		// below by comparing residuals to the original capacity.
+		// the edge is recovered below by comparing residuals to the
+		// original capacity.
 		u, v, c := ed.U, ed.V, ed.Cap
-		d.adj[u] = append(d.adj[u], dinicArc{to: v, capa: c, rev: len(d.adj[v]), edge: e, fwd: true})
-		d.adj[v] = append(d.adj[v], dinicArc{to: u, capa: c, rev: len(d.adj[u]) - 1, edge: e, fwd: false})
+		pu, pv := off[u], off[v]
+		d.arcs[pu] = dinicArc{to: v, capa: c, rev: pv, edge: e, fwd: true}
+		d.arcs[pv] = dinicArc{to: u, capa: c, rev: pu, edge: e, fwd: false}
+		off[u]++
+		off[v]++
 	}
+	copy(off[1:], off[:n])
+	off[0] = 0
 	return d
 }
 
@@ -69,7 +91,7 @@ func (d *dinic) bfs(s int) {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, a := range d.adj[v] {
+		for _, a := range d.arcs[d.off[v]:d.off[v+1]] {
 			if a.capa > 0 && d.level[a.to] < 0 {
 				d.level[a.to] = d.level[v] + 1
 				queue = append(queue, a.to)
@@ -82,8 +104,8 @@ func (d *dinic) dfs(v, t int, limit int64) int64 {
 	if v == t {
 		return limit
 	}
-	for ; d.iter[v] < len(d.adj[v]); d.iter[v]++ {
-		a := &d.adj[v][d.iter[v]]
+	for ; d.iter[v] < d.off[v+1]; d.iter[v]++ {
+		a := &d.arcs[d.iter[v]]
 		if a.capa <= 0 || d.level[a.to] != d.level[v]+1 {
 			continue
 		}
@@ -94,7 +116,7 @@ func (d *dinic) dfs(v, t int, limit int64) int64 {
 		got := d.dfs(a.to, t, push)
 		if got > 0 {
 			a.capa -= got
-			d.adj[a.to][a.rev].capa += got
+			d.arcs[a.rev].capa += got
 			return got
 		}
 	}
@@ -117,9 +139,7 @@ func MaxFlow(g *graph.Graph, s, t int) Result {
 		if d.level[t] < 0 {
 			break
 		}
-		for i := range d.iter {
-			d.iter[i] = 0
-		}
+		copy(d.iter, d.off[:d.n])
 		for {
 			f := d.dfs(s, t, math.MaxInt64)
 			if f == 0 {
@@ -134,12 +154,11 @@ func MaxFlow(g *graph.Graph, s, t int) Result {
 	// forward arc holds c-x and the backward arc c+x. Hence
 	// x = (capa_backward - capa_forward)/2.
 	flow := make([]int64, g.M())
-	for v := range d.adj {
-		for _, a := range d.adj[v] {
-			if a.fwd {
-				rev := d.adj[a.to][a.rev].capa
-				flow[a.edge] = (rev - a.capa) / 2
-			}
+	for i := range d.arcs {
+		a := &d.arcs[i]
+		if a.fwd {
+			rev := d.arcs[a.rev].capa
+			flow[a.edge] = (rev - a.capa) / 2
 		}
 	}
 	// Min cut: vertices reachable from s in final residual graph.
@@ -149,7 +168,7 @@ func MaxFlow(g *graph.Graph, s, t int) Result {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, a := range d.adj[v] {
+		for _, a := range d.arcs[d.off[v]:d.off[v+1]] {
 			if a.capa > 0 && !side[a.to] {
 				side[a.to] = true
 				stack = append(stack, a.to)

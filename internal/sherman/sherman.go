@@ -54,9 +54,11 @@ type Config struct {
 	// used in the potential (default 2·Alpha²·AlphaLow from the
 	// measured approximator distortion, the Lemma 3.3 composition).
 	Alpha float64
-	// MaxIters bounds gradient iterations per AlmostRoute call
-	// (default 200·⌈α²·ε⁻³·ln n⌉, a generous multiple of the paper's
-	// O(α²ε⁻³log n) bound).
+	// MaxIters bounds gradient iterations per fixed-α descent (default
+	// 200·⌈α²·ε⁻³·ln n⌉, a generous multiple of the paper's
+	// O(α²ε⁻³log n) bound). One AlmostRoute call may run several such
+	// descents — one per ε-continuation level, times adaptive-α
+	// restarts — each with a fresh budget.
 	MaxIters int
 	// DisableAdaptiveAlpha turns off the stall-doubling of α
 	// (ablation A2: paper-faithful fixed step size).
@@ -730,19 +732,13 @@ func newSTRouter(g *graph.Graph) (*stRouter, error) {
 	}
 	parent[0] = -1
 	queue := []int{0}
-	adj := make([][]graph.Arc, n)
-	for v := 0; v < n; v++ {
-		for _, a := range g.Adj(v) {
-			if inTree[a.E] {
-				adj[v] = append(adj[v], a)
-			}
-		}
-	}
+	// BFS straight over the graph's CSR adjacency, filtering to tree
+	// edges inline (no intermediate per-vertex slices).
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, a := range adj[v] {
-			if parent[a.To] == -2 {
+		for _, a := range g.Adj(v) {
+			if inTree[a.E] && parent[a.To] == -2 {
 				parent[a.To] = v
 				parentEdge[a.To] = a.E
 				queue = append(queue, a.To)

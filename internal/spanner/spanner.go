@@ -33,18 +33,40 @@ func Spanner(n int, edges []Edge, k int, rng *rand.Rand) []int {
 	if k < 1 {
 		panic("spanner: k must be >= 1")
 	}
+	// CSR adjacency (flat arc array, one counting pass) instead of
+	// per-vertex slices.
 	type arc struct {
 		to int
 		id int
 	}
-	adj := make([][]arc, n)
+	off := make([]int, n+1)
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		off[e.U]++
+		off[e.V]++
+	}
+	sum := 0
+	for v := 0; v < n; v++ {
+		c := off[v]
+		off[v] = sum
+		sum += c
+	}
+	off[n] = sum
+	arcs := make([]arc, sum)
 	for i, e := range edges {
 		if e.U == e.V {
 			continue
 		}
-		adj[e.U] = append(adj[e.U], arc{to: e.V, id: i})
-		adj[e.V] = append(adj[e.V], arc{to: e.U, id: i})
+		arcs[off[e.U]] = arc{to: e.V, id: i}
+		off[e.U]++
+		arcs[off[e.V]] = arc{to: e.U, id: i}
+		off[e.V]++
 	}
+	copy(off[1:], off[:n])
+	off[0] = 0
+	adjOf := func(v int) []arc { return arcs[off[v]:off[v+1]] }
 
 	// lighter reports whether edge a is lighter than edge b
 	// (weight, then index).
@@ -89,7 +111,7 @@ func Spanner(n int, edges []Edge, k int, rng *rand.Rand) []int {
 			// marked cluster.
 			bestPerCluster := make(map[int]int) // cluster -> edge id
 			bestMarked := -1
-			for _, a := range adj[v] {
+			for _, a := range adjOf(v) {
 				cc := cluster[a.to]
 				if cc < 0 || cc == c {
 					continue
@@ -129,7 +151,7 @@ func Spanner(n int, edges []Edge, k int, rng *rand.Rand) []int {
 	// cluster it is adjacent to.
 	for v := 0; v < n; v++ {
 		bestPerCluster := make(map[int]int)
-		for _, a := range adj[v] {
+		for _, a := range adjOf(v) {
 			cc := cluster[a.to]
 			if cc < 0 || cc == cluster[v] && cluster[v] >= 0 {
 				continue

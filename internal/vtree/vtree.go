@@ -66,8 +66,10 @@ func New(root int, parent []int, capacity []float64) (*VTree, error) {
 			return nil, fmt.Errorf("vtree: edge %d→%d has capacity %v", v, parent[v], c)
 		}
 	}
-	// Build children counts, then a BFS order from the root.
-	kids := make([][]int, n)
+	// Build a CSR child table (children in ascending vertex order, the
+	// order the old per-parent appends produced), then a BFS order from
+	// the root.
+	kidOff := make([]int, n+1)
 	for v, p := range parent {
 		if v == root {
 			continue
@@ -75,13 +77,30 @@ func New(root int, parent []int, capacity []float64) (*VTree, error) {
 		if p < 0 || p >= n {
 			return nil, fmt.Errorf("vtree: vertex %d has parent %d", v, p)
 		}
-		kids[p] = append(kids[p], v)
+		kidOff[p]++
 	}
+	sum := 0
+	for v := 0; v < n; v++ {
+		c := kidOff[v]
+		kidOff[v] = sum
+		sum += c
+	}
+	kidOff[n] = sum
+	kids := make([]int, sum)
+	for v, p := range parent {
+		if v == root {
+			continue
+		}
+		kids[kidOff[p]] = v
+		kidOff[p]++
+	}
+	copy(kidOff[1:], kidOff[:n])
+	kidOff[0] = 0
 	t.order = make([]int, 0, n)
 	t.order = append(t.order, root)
 	for i := 0; i < len(t.order); i++ {
 		v := t.order[i]
-		for _, c := range kids[v] {
+		for _, c := range kids[kidOff[v]:kidOff[v+1]] {
 			t.Depth[c] = t.Depth[v] + 1
 			t.order = append(t.order, c)
 		}
@@ -203,13 +222,27 @@ type LCA struct {
 
 // NewLCA preprocesses t (O(n log n)).
 func NewLCA(t *VTree) *LCA {
+	return newLCAInto(t, &TreeFlowScratch{})
+}
+
+// newLCAInto builds the lifting tables into the scratch's pooled rows.
+func newLCAInto(t *VTree, sc *TreeFlowScratch) *LCA {
 	n := t.N()
 	levels := 1
 	for (1 << levels) < n {
 		levels++
 	}
-	up := make([][]int32, levels+1)
-	up[0] = make([]int32, n)
+	for len(sc.rows) < levels+1 {
+		sc.rows = append(sc.rows, nil)
+	}
+	up := sc.rows[:levels+1]
+	for k := range up {
+		if cap(up[k]) < n {
+			up[k] = make([]int32, n)
+			sc.rows[k] = up[k]
+		}
+		up[k] = up[k][:n]
+	}
 	for v := 0; v < n; v++ {
 		p := t.Parent[v]
 		if p < 0 {
@@ -218,12 +251,12 @@ func NewLCA(t *VTree) *LCA {
 		up[0][v] = int32(p)
 	}
 	for k := 1; k <= levels; k++ {
-		up[k] = make([]int32, n)
 		for v := 0; v < n; v++ {
 			up[k][v] = up[k-1][up[k-1][v]]
 		}
 	}
-	return &LCA{t: t, up: up}
+	sc.lca = LCA{t: t, up: up}
+	return &sc.lca
 }
 
 // Query returns the lowest common ancestor of u and v.
@@ -265,8 +298,33 @@ type EdgeEndpoint struct {
 // (v, parent(v)). Implemented with the LCA difference trick in
 // O((n+m) log n).
 func (t *VTree) TreeFlow(edges []EdgeEndpoint) []float64 {
-	lca := NewLCA(t)
-	delta := make([]float64, t.N())
+	return t.TreeFlowWS(edges, &TreeFlowScratch{})
+}
+
+// TreeFlowScratch pools the LCA tables and sweep buffers of TreeFlowWS
+// across trees of comparable size (the j-tree construction calls it
+// once per candidate per level). The zero value is ready to use.
+type TreeFlowScratch struct {
+	lca   LCA
+	rows  [][]int32
+	delta []float64
+	load  []float64
+}
+
+// TreeFlowWS is TreeFlow against caller-held scratch. The returned
+// slice aliases the scratch and is valid until the next call with the
+// same scratch; values are bit-identical to TreeFlow's.
+func (t *VTree) TreeFlowWS(edges []EdgeEndpoint, sc *TreeFlowScratch) []float64 {
+	lca := newLCAInto(t, sc)
+	n := t.N()
+	if cap(sc.delta) < n {
+		sc.delta = make([]float64, n)
+		sc.load = make([]float64, n)
+	}
+	delta := sc.delta[:n]
+	for i := range delta {
+		delta[i] = 0
+	}
 	for _, e := range edges {
 		if e.U == e.V {
 			continue // self-loop after contraction: routes nowhere
@@ -276,7 +334,7 @@ func (t *VTree) TreeFlow(edges []EdgeEndpoint) []float64 {
 		delta[e.V] += e.Cap
 		delta[a] -= 2 * e.Cap
 	}
-	load := t.SubtreeSums(delta)
+	load := t.SubtreeSumsInto(delta, sc.load[:n])
 	load[t.Root] = 0
 	return load
 }

@@ -1,0 +1,209 @@
+package distflow
+
+// Tests of Router.UpdateCapacities: the incrementally updated router
+// must answer queries with the same (1+ε)²-of-Dinic guarantee as a
+// freshly built one on fuzzed edit sequences, updates must be
+// bit-identical at every worker count, the α-degradation fallback must
+// fire when asked to, and the warm cache must forget pre-edit flows.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomConnectedGraph builds a connected multigraph with random
+// capacities (spanning chain plus chords).
+func randomConnectedGraph(n int, rng *rand.Rand) *Graph {
+	g := NewGraph(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, rng.Intn(v), 1+rng.Int63n(15))
+	}
+	for k := 0; k < n; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v, 1+rng.Int63n(15))
+		}
+	}
+	return g
+}
+
+// randomEdits draws 1–3 random capacity edits.
+func randomEdits(g *Graph, rng *rand.Rand) []CapEdit {
+	edits := make([]CapEdit, 1+rng.Intn(3))
+	for i := range edits {
+		edits[i] = CapEdit{Edge: rng.Intn(g.M()), Cap: 1 + rng.Int63n(31)}
+	}
+	return edits
+}
+
+// After every fuzzed edit batch, the updated router's MaxFlow must stay
+// within the compound (1+ε)² bound of the exact Dinic value on the
+// edited graph — the same contract a freshly built router satisfies —
+// and return a feasible flow.
+func TestUpdateCapacitiesAgreesWithDinic(t *testing.T) {
+	const eps = 0.3
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 4; trial++ {
+		n := 8 + rng.Intn(16)
+		g := randomConnectedGraph(n, rng)
+		r, err := NewRouter(g, Options{Epsilon: eps, Seed: int64(trial + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for batch := 0; batch < 4; batch++ {
+			if _, err := r.UpdateCapacities(randomEdits(g, rng)); err != nil {
+				t.Fatalf("trial %d batch %d: %v", trial, batch, err)
+			}
+			s, tt := 0, g.N()-1
+			exact, _ := ExactMaxFlow(g, s, tt)
+			res, err := r.MaxFlow(s, tt)
+			if err != nil {
+				t.Fatalf("trial %d batch %d: %v", trial, batch, err)
+			}
+			if res.Value > float64(exact)*1.0001 {
+				t.Fatalf("trial %d batch %d: value %v exceeds exact %d", trial, batch, res.Value, exact)
+			}
+			if res.Value < float64(exact)/((1+eps)*(1+eps))-1e-9 {
+				t.Fatalf("trial %d batch %d: value %v below (1+ε)² bound of %d", trial, batch, res.Value, exact)
+			}
+			for e, fe := range res.Flow {
+				_, _, capacity := g.EdgeEndpoints(e)
+				if math.Abs(fe) > float64(capacity)*(1+1e-9) {
+					t.Fatalf("trial %d batch %d: edge %d overloaded after update: |%v| > %d",
+						trial, batch, e, fe, capacity)
+				}
+			}
+		}
+	}
+}
+
+// The same edit sequence applied at different worker counts must leave
+// bit-identical approximators (tree topologies, virtual capacities, cut
+// capacities, α) and bit-identical query answers.
+func TestUpdateCapacitiesWorkerDeterminism(t *testing.T) {
+	buildAndUpdate := func(workers int) *Router {
+		defer SetParallelism(SetParallelism(workers))
+		rng := rand.New(rand.NewSource(7))
+		g := randomConnectedGraph(40, rng)
+		r, err := NewRouter(g, Options{Seed: 5, DisableWarmStart: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for batch := 0; batch < 3; batch++ {
+			if _, err := r.UpdateCapacities(randomEdits(g, rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return r
+	}
+	a, b := buildAndUpdate(1), buildAndUpdate(4)
+	if a.apx.Alpha != b.apx.Alpha || a.apx.AlphaLow != b.apx.AlphaLow {
+		t.Fatalf("alpha differs across worker counts: %v/%v vs %v/%v",
+			a.apx.Alpha, a.apx.AlphaLow, b.apx.Alpha, b.apx.AlphaLow)
+	}
+	if len(a.apx.Trees) != len(b.apx.Trees) {
+		t.Fatal("tree count differs across worker counts")
+	}
+	for k := range a.apx.Trees {
+		ta, tb := a.apx.Trees[k], b.apx.Trees[k]
+		for v := 0; v < ta.N(); v++ {
+			if ta.Parent[v] != tb.Parent[v] || ta.Cap[v] != tb.Cap[v] {
+				t.Fatalf("tree %d differs at vertex %d after updates", k, v)
+			}
+			if a.apx.CutCap[k][v] != b.apx.CutCap[k][v] {
+				t.Fatalf("cut capacity %d/%d differs after updates", k, v)
+			}
+		}
+	}
+	ra, err := a.MaxFlow(0, a.g.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.MaxFlow(0, b.g.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Value != rb.Value || ra.Iterations != rb.Iterations {
+		t.Fatalf("post-update queries differ: %v/%d vs %v/%d",
+			ra.Value, ra.Iterations, rb.Value, rb.Iterations)
+	}
+}
+
+// A tight AlphaRebuildFactor must route the update through the full
+// rebuild fallback, and the rebuilt state must equal a fresh build on
+// the edited graph.
+func TestUpdateCapacitiesRebuildFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomConnectedGraph(30, rng)
+	// Factor below 1 makes any measured α exceed the bound.
+	r, err := NewRouter(g, Options{Seed: 3, AlphaRebuildFactor: 0.5, DisableWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ur, err := r.UpdateCapacities([]CapEdit{{Edge: 0, Cap: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ur.Rebuilt {
+		t.Fatal("AlphaRebuildFactor 0.5 did not force a rebuild")
+	}
+	fresh, err := NewRouter(&Graph{g: r.g}, Options{Seed: 3, DisableWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.apx.Alpha != fresh.apx.Alpha {
+		t.Fatalf("rebuilt alpha %v differs from fresh build %v", r.apx.Alpha, fresh.apx.Alpha)
+	}
+	for k := range r.apx.Trees {
+		for v := 0; v < r.apx.Trees[k].N(); v++ {
+			if r.apx.Trees[k].Parent[v] != fresh.apx.Trees[k].Parent[v] {
+				t.Fatalf("rebuilt tree %d differs from fresh build at %d", k, v)
+			}
+		}
+	}
+}
+
+// Edits must be validated before anything mutates.
+func TestUpdateCapacitiesValidation(t *testing.T) {
+	g := NewGraph(3)
+	e0 := g.AddEdge(0, 1, 4)
+	g.AddEdge(1, 2, 4)
+	r, err := NewRouter(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.UpdateCapacities([]CapEdit{{Edge: 99, Cap: 1}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := r.UpdateCapacities([]CapEdit{{Edge: e0, Cap: 0}}); err == nil {
+		t.Fatal("non-positive capacity accepted")
+	}
+	// The failed batches must not have touched the graph.
+	if _, _, c := g.EdgeEndpoints(e0); c != 4 {
+		t.Fatalf("failed update mutated capacity to %d", c)
+	}
+}
+
+// The warm cache must forget pre-edit flows: a repeat query that would
+// warm-start before the update starts cold after it.
+func TestUpdateCapacitiesClearsWarmCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomConnectedGraph(20, rng)
+	r, err := NewRouter(g, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := r.MaxFlow(0, g.N()-1); err != nil || res.WarmStarted {
+		t.Fatalf("first query warm-started (err %v)", err)
+	}
+	if res, err := r.MaxFlow(0, g.N()-1); err != nil || !res.WarmStarted {
+		t.Fatalf("repeat query did not warm-start (err %v)", err)
+	}
+	if _, err := r.UpdateCapacities([]CapEdit{{Edge: 0, Cap: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := r.MaxFlow(0, g.N()-1); err != nil || res.WarmStarted {
+		t.Fatalf("post-update query warm-started from a stale entry (err %v)", err)
+	}
+}

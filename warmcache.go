@@ -81,6 +81,14 @@ func (c *warmCache) put(key string, flow []float64) {
 	}
 }
 
+// clear drops every entry (capacity updates invalidate cached flows).
+func (c *warmCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*list.Element)
+	c.order = list.New()
+}
+
 // len reports the current entry count (tests).
 func (c *warmCache) len() int {
 	c.mu.Lock()
