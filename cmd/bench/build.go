@@ -4,14 +4,16 @@ package main
 // congestion-approximator build of Theorem 8.10) on the same workload
 // as -flow: one large random graph, followed by the query stream issued
 // once to fingerprint the build (value_sum must stay put when the build
-// gets faster). The JSON document (schema 3) records a per-phase build
+// gets faster). The JSON document (schema 4) records a per-phase build
 // breakdown — tree sampling, sparsifier, TreeFlow/cut-cap, α
 // measurement — so future build regressions are attributable, plus the
-// incremental-update benchmark: a single-edge Router.UpdateCapacities
-// against a full rebuild.
+// single-edge capacity-update ladder: the dirty-path refresh vs the
+// full per-tree re-sweep vs a full rebuild, and the no-op early-return
+// cost.
 //
-// BENCH_build_pre.json in the repository root is the pre-CSR baseline;
-// BENCH_build.json the optimized run.
+// BENCH_build_pre.json in the repository root is the pre-CSR baseline,
+// BENCH_build.json the CSR run (schema 3), and BENCH_update.json the
+// dirty-path ladder (schema 4).
 
 import (
 	"encoding/json"
@@ -49,13 +51,25 @@ type BuildBenchResult struct {
 	ValueSum   float64 `json:"value_sum"`
 	Iterations int     `json:"iterations"`
 
-	// Incremental update benchmark: single-edge capacity edits applied
-	// via Router.UpdateCapacities, against a full rebuild of the edited
-	// graph. Zero until the update path exists.
-	UpdateEdits            int     `json:"update_edits,omitempty"`
-	UpdatePerEditSeconds   float64 `json:"update_per_edit_seconds,omitempty"`
-	RebuildSeconds         float64 `json:"rebuild_seconds,omitempty"`
-	UpdateSpeedupVsRebuild float64 `json:"update_speedup_vs_rebuild,omitempty"`
+	// Incremental update ladder (schema 4): the same single-edge
+	// capacity edits applied via Router.UpdateCapacities down three
+	// rungs — the dirty-path refresh (default), the full per-tree
+	// TreeFlow re-sweep (Options.UpdateDirtyFraction < 0, the PR 3
+	// behavior), and a full NewRouter rebuild of the edited graph.
+	UpdateEdits int `json:"update_edits,omitempty"`
+	// DirtyUpdateSeconds is the per-edit wall clock of the dirty-path
+	// update (O(edits × depth) patching along the edited tree paths).
+	DirtyUpdateSeconds float64 `json:"dirty_update_seconds,omitempty"`
+	// FullUpdateSeconds is the per-edit wall clock with the dirty path
+	// disabled: one full TreeFlow sweep per tree.
+	FullUpdateSeconds float64 `json:"full_update_seconds,omitempty"`
+	// RebuildSeconds is one NewRouter call on the edited graph.
+	RebuildSeconds float64 `json:"rebuild_seconds,omitempty"`
+	// NoopUpdateSeconds is the per-call cost of a batch that coalesces
+	// to nothing (the early return: no sweep, no solver reset).
+	NoopUpdateSeconds       float64 `json:"noop_update_seconds,omitempty"`
+	UpdateSpeedupVsFull     float64 `json:"update_speedup_vs_full,omitempty"`
+	UpdateSpeedupVsRebuild  float64 `json:"update_speedup_vs_rebuild,omitempty"`
 	// UpdateMaxValueErr is the largest relative deviation between the
 	// updated router's query values and a freshly built router's on the
 	// edited graph (both (1+ε)-approximate; the property test pins the
@@ -63,7 +77,7 @@ type BuildBenchResult struct {
 	UpdateMaxValueErr float64 `json:"update_max_value_err,omitempty"`
 }
 
-func runBuildBench(cfg FlowBenchConfig, jsonPath string, buildCeiling float64) error {
+func runBuildBench(cfg FlowBenchConfig, jsonPath string, buildCeiling, updateCeiling float64) error {
 	if cfg.N < 2 {
 		return fmt.Errorf("-build needs -n >= 2")
 	}
@@ -134,46 +148,108 @@ func runBuildBench(cfg FlowBenchConfig, jsonPath string, buildCeiling float64) e
 		return fmt.Errorf("router build budget exceeded: %.3fs > ceiling %.3fs",
 			res.RouterBuildSeconds, buildCeiling)
 	}
+	if updateCeiling > 0 && res.DirtyUpdateSeconds > updateCeiling {
+		return fmt.Errorf("dirty update budget exceeded: %.5fs/edit > ceiling %.5fs",
+			res.DirtyUpdateSeconds, updateCeiling)
+	}
 	return nil
 }
 
-// runBuildBenchUpdate measures single-edge Router.UpdateCapacities
-// against a full rebuild on the edited graph: a handful of halving
-// edits on seed-chosen edges, applied one at a time to the serving
-// router, then one NewRouter on the final edited graph, then a query
+// runBuildBenchUpdate measures the single-edge update ladder: the same
+// seed-chosen halving edits applied one at a time through (1) the
+// dirty-path refresh on the serving router, (2) the full per-tree
+// re-sweep on an identically built router over a twin graph, and (3)
+// one NewRouter on the final edited graph; plus the per-call cost of a
+// no-op batch, a dirty-vs-full α bit-identity check, and a query
 // cross-check of updated-vs-fresh values.
 func runBuildBenchUpdate(r *distflow.Router, G *distflow.Graph, cfg FlowBenchConfig, opts distflow.Options, pairs []distflow.STPair, res *BuildBenchResult) error {
-	const edits = 5
+	// The edit script: halve seed-chosen edges, drawn as a prefix of a
+	// seeded permutation so every pick is a distinct edge whose halving
+	// actually changes the capacity — a repeat pick or a cap-1 edge
+	// would coalesce to a no-op and deflate the timed averages the
+	// -update-ceiling gate watches. Tiny or all-unit-capacity graphs
+	// cap the script at what is available.
 	rng := rand.New(rand.NewSource(cfg.Seed + 2))
-	var updateTotal float64
-	for i := 0; i < edits; i++ {
-		e := rng.Intn(G.M())
+	type edit struct {
+		e   int
+		cap int64
+	}
+	script := make([]edit, 0, 5)
+	for _, e := range rng.Perm(G.M()) {
+		if len(script) == cap(script) {
+			break
+		}
 		_, _, c := G.EdgeEndpoints(e)
-		newCap := c / 2
-		if newCap < 1 {
-			newCap = 1
+		if c <= 1 {
+			continue
 		}
+		script = append(script, edit{e: e, cap: c / 2})
+	}
+	edits := len(script)
+	if edits == 0 {
+		return nil
+	}
+
+	// Twin graph + router for the full-sweep rung, built before any
+	// edit lands on G.
+	twin := distflow.NewGraph(G.N())
+	for e := 0; e < G.M(); e++ {
+		u, v, c := G.EdgeEndpoints(e)
+		twin.AddEdge(u, v, c)
+	}
+	optsFull := opts
+	optsFull.UpdateDirtyFraction = -1
+	rFull, err := distflow.NewRouter(twin, optsFull)
+	if err != nil {
+		return fmt.Errorf("full-sweep twin router: %w", err)
+	}
+
+	var dirtyTotal, fullTotal float64
+	for i, ed := range script {
 		start := time.Now()
-		ur, err := r.UpdateCapacities([]distflow.CapEdit{{Edge: e, Cap: newCap}})
+		ur, err := r.UpdateCapacities([]distflow.CapEdit{{Edge: ed.e, Cap: ed.cap}})
 		if err != nil {
-			return fmt.Errorf("update %d (edge %d): %w", i, e, err)
+			return fmt.Errorf("dirty update %d (edge %d): %w", i, ed.e, err)
 		}
-		updateTotal += time.Since(start).Seconds()
+		dirtyTotal += time.Since(start).Seconds()
 		if ur.Rebuilt {
-			fmt.Printf("  update %d fell back to a rebuild (alpha %.3f)\n", i, ur.Alpha)
+			fmt.Printf("  dirty update %d fell back to a rebuild (alpha %.3f)\n", i, ur.Alpha)
+		} else if ur.SweptTrees > 0 {
+			fmt.Printf("  dirty update %d re-swept %d/%d trees\n", i, ur.SweptTrees, ur.SweptTrees+ur.DirtyTrees)
+		}
+		start = time.Now()
+		uf, err := rFull.UpdateCapacities([]distflow.CapEdit{{Edge: ed.e, Cap: ed.cap}})
+		if err != nil {
+			return fmt.Errorf("full update %d (edge %d): %w", i, ed.e, err)
+		}
+		fullTotal += time.Since(start).Seconds()
+		if !ur.Rebuilt && !uf.Rebuilt && ur.Alpha != uf.Alpha {
+			return fmt.Errorf("update %d: dirty-path alpha %v differs from full sweep %v",
+				i, ur.Alpha, uf.Alpha)
 		}
 	}
 	res.UpdateEdits = edits
-	res.UpdatePerEditSeconds = updateTotal / edits
+	res.DirtyUpdateSeconds = dirtyTotal / float64(edits)
+	res.FullUpdateSeconds = fullTotal / float64(edits)
 
+	// No-op rung: a batch restating the current capacities must cost
+	// nothing (early return, warm cache kept).
+	last := script[edits-1]
 	start := time.Now()
+	if _, err := r.UpdateCapacities([]distflow.CapEdit{{Edge: last.e, Cap: last.cap}}); err != nil {
+		return fmt.Errorf("no-op update: %w", err)
+	}
+	res.NoopUpdateSeconds = time.Since(start).Seconds()
+
+	start = time.Now()
 	fresh, err := distflow.NewRouter(G, opts)
 	if err != nil {
 		return fmt.Errorf("rebuild on edited graph: %w", err)
 	}
 	res.RebuildSeconds = time.Since(start).Seconds()
-	if res.UpdatePerEditSeconds > 0 {
-		res.UpdateSpeedupVsRebuild = res.RebuildSeconds / res.UpdatePerEditSeconds
+	if res.DirtyUpdateSeconds > 0 {
+		res.UpdateSpeedupVsFull = res.FullUpdateSeconds / res.DirtyUpdateSeconds
+		res.UpdateSpeedupVsRebuild = res.RebuildSeconds / res.DirtyUpdateSeconds
 	}
 
 	for _, p := range pairs {
@@ -191,7 +267,10 @@ func runBuildBenchUpdate(r *distflow.Router, G *distflow.Graph, cfg FlowBenchCon
 			}
 		}
 	}
-	fmt.Printf("  incremental update    %8.5fs/edit vs rebuild %.3fs (%.0fx; max value drift %.2f%%)\n",
-		res.UpdatePerEditSeconds, res.RebuildSeconds, res.UpdateSpeedupVsRebuild, 100*res.UpdateMaxValueErr)
+	fmt.Printf("  update ladder         dirty %8.5fs/edit | full sweep %8.5fs/edit (%.0fx) | rebuild %.3fs (%.0fx)\n",
+		res.DirtyUpdateSeconds, res.FullUpdateSeconds, res.UpdateSpeedupVsFull,
+		res.RebuildSeconds, res.UpdateSpeedupVsRebuild)
+	fmt.Printf("  no-op update          %8.6fs (early return; max value drift %.2f%%)\n",
+		res.NoopUpdateSeconds, 100*res.UpdateMaxValueErr)
 	return nil
 }

@@ -17,7 +17,11 @@ package main
 // the batch worker-count determinism check. v3 adds the -build document
 // (mode:"build", see build.go) with the per-phase construction
 // breakdown and the incremental-update-vs-rebuild measurements; the
-// -flow document is unchanged apart from the version bump.
+// -flow document is unchanged apart from the version bump. v4 replaces
+// the -build document's single update measurement with the
+// dirty-vs-full-vs-rebuild ladder (dirty_update_seconds /
+// full_update_seconds / rebuild_seconds, see build.go); again the
+// -flow document only bumps the version.
 
 import (
 	"encoding/json"
@@ -34,7 +38,7 @@ import (
 
 // benchSchema is the single definition of the bench JSON schema
 // version.
-const benchSchema = 3
+const benchSchema = 4
 
 // FlowBenchConfig parameterizes one -flow run. The JSON key order of
 // this struct IS the schema-2 config layout; do not reorder fields.

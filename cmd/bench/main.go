@@ -24,12 +24,16 @@
 // The -build mode benchmarks the router construction path instead: one
 // NewRouter call with its per-phase breakdown (tree sampling,
 // sparsifier, cut capacities, α measurement), a serving fingerprint on
-// the same query workload, and the incremental-update-vs-rebuild
-// comparison (schema 3, see build.go):
+// the same query workload, and the capacity-update ladder — dirty-path
+// update vs full per-tree re-sweep vs rebuild (schema 4, see build.go).
+// The graph/query flags (-n, -deg, -cap, -seed, -queries, -eps,
+// -workers, -json) are shared between -flow and -build:
 //
-//	bench -build -n 2500 -json BENCH_build.json
+//	bench -build -n 2500 -json BENCH_update.json
 //	bench -build -build-ceiling 0.7   # fail when router_build_seconds
 //	                                  # exceeds the budget (CI)
+//	bench -build -update-ceiling 0.01 # fail when a single-edge dirty
+//	                                  # update exceeds the budget (CI)
 package main
 
 import (
@@ -54,21 +58,22 @@ func run() error {
 		exp   = flag.String("exp", "", "comma-separated experiment ids (e1..e10); empty = all")
 		quick = flag.Bool("quick", false, "reduced instance sizes")
 
-		flow         = flag.Bool("flow", false, "benchmark the solver serving path instead of the experiment tables")
-		build        = flag.Bool("build", false, "benchmark the router construction path (per-phase breakdown + incremental update vs rebuild)")
-		buildCeiling = flag.Float64("build-ceiling", 0, "-build: fail when router_build_seconds exceeds this many seconds (0 = off)")
-		flowN        = flag.Int("n", 2500, "-flow: vertex count of the benchmark graph")
-		flowDeg      = flag.Float64("deg", 8, "-flow: expected average degree")
-		flowCap      = flag.Int64("cap", 64, "-flow: maximum edge capacity")
-		flowSeed     = flag.Int64("seed", 3, "-flow: graph/query PRNG seed")
-		queries      = flag.Int("queries", 8, "-flow: number of s-t queries")
-		epsilon      = flag.Float64("eps", 0.5, "-flow: approximation target")
-		workers      = flag.Int("workers", 0, "-flow: solver worker count (0 = GOMAXPROCS)")
-		jsonOut      = flag.String("json", "", "-flow: write measurements to this JSON file")
-		compare      = flag.Bool("compare", false, "-flow: also run the plain-stepper baseline (no acceleration/continuation) and record the iteration ratio")
-		iterCeiling  = flag.Int("iter-ceiling", 0, "-flow: fail when sequential gradient iterations exceed this budget (0 = off)")
-		cpuProfile   = flag.String("cpuprofile", "", "-flow: write a CPU profile to this file")
-		memProfile   = flag.String("memprofile", "", "-flow: write a heap profile to this file")
+		flow          = flag.Bool("flow", false, "benchmark the solver serving path instead of the experiment tables")
+		build         = flag.Bool("build", false, "benchmark the router construction path (per-phase breakdown + the dirty/full/rebuild update ladder)")
+		buildCeiling  = flag.Float64("build-ceiling", 0, "-build: fail when router_build_seconds exceeds this many seconds (0 = off)")
+		updateCeiling = flag.Float64("update-ceiling", 0, "-build: fail when dirty_update_seconds (per single-edge edit) exceeds this many seconds (0 = off)")
+		flowN         = flag.Int("n", 2500, "-flow/-build: vertex count of the benchmark graph")
+		flowDeg       = flag.Float64("deg", 8, "-flow/-build: expected average degree")
+		flowCap       = flag.Int64("cap", 64, "-flow/-build: maximum edge capacity")
+		flowSeed      = flag.Int64("seed", 3, "-flow/-build: graph/query PRNG seed")
+		queries       = flag.Int("queries", 8, "-flow/-build: number of s-t queries")
+		epsilon       = flag.Float64("eps", 0.5, "-flow/-build: approximation target")
+		workers       = flag.Int("workers", 0, "-flow/-build: solver worker count (0 = GOMAXPROCS)")
+		jsonOut       = flag.String("json", "", "-flow/-build: write measurements to this JSON file")
+		compare       = flag.Bool("compare", false, "-flow: also run the plain-stepper baseline (no acceleration/continuation) and record the iteration ratio")
+		iterCeiling   = flag.Int("iter-ceiling", 0, "-flow: fail when sequential gradient iterations exceed this budget (0 = off)")
+		cpuProfile    = flag.String("cpuprofile", "", "-flow: write a CPU profile to this file")
+		memProfile    = flag.String("memprofile", "", "-flow: write a heap profile to this file")
 	)
 	flag.Parse()
 	if *build {
@@ -80,7 +85,7 @@ func run() error {
 			Queries: *queries,
 			Epsilon: *epsilon,
 			Workers: *workers,
-		}, *jsonOut, *buildCeiling)
+		}, *jsonOut, *buildCeiling, *updateCeiling)
 	}
 	if *flow {
 		return runFlowBench(FlowBenchConfig{

@@ -24,8 +24,10 @@ package distflow
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"distflow/internal/capprox"
+	"distflow/internal/congest"
 	"distflow/internal/graph"
 	"distflow/internal/par"
 	"distflow/internal/seqflow"
@@ -116,6 +118,13 @@ type Options struct {
 	// build triggers the rebuild (0 = 8). Values < 1 rebuild on every
 	// update.
 	AlphaRebuildFactor float64
+	// UpdateDirtyFraction tunes UpdateCapacities' per-tree dirty-path
+	// refresh: a sampled tree whose summed edit-path length exceeds
+	// this fraction of n+m falls back to the full TreeFlow re-sweep
+	// (0 = 0.25; negative disables the dirty path entirely — every
+	// update re-sweeps every tree, the bit-identical slow path used as
+	// the property-test oracle and the bench baseline).
+	UpdateDirtyFraction float64
 }
 
 // Result is the outcome of a max-flow computation.
@@ -266,12 +275,21 @@ func (r *Router) ConstructionRounds() int64 { return r.apx.Ledger.Total() }
 // fallback).
 func capproxConfig(opts Options) capprox.Config {
 	return capprox.Config{
-		Trees:     opts.Trees,
-		ExactCuts: !opts.PaperScaling,
+		Trees:               opts.Trees,
+		ExactCuts:           !opts.PaperScaling,
+		UpdateDirtyFraction: opts.UpdateDirtyFraction,
 	}
 }
 
 // CapEdit is one capacity edit applied by UpdateCapacities.
+//
+// Batches are coalesced before anything is applied: when a batch names
+// the same edge more than once the last edit wins (earlier edits to
+// that edge are never observable), and edits equal to the edge's
+// current capacity are dropped as no-ops. A batch that is empty after
+// coalescing — including a nil or empty slice — leaves the router
+// completely untouched: no tree re-sweep, no solver rebuild, and the
+// warm-start cache survives.
 type CapEdit struct {
 	// Edge is the edge index returned by AddEdge.
 	Edge int
@@ -289,25 +307,40 @@ type UpdateResult struct {
 	// Alpha is the measured congestion-approximator distortion after
 	// the update (or rebuild).
 	Alpha float64
+	// Edits is the effective edit count after coalescing (0 for a
+	// no-op batch, which leaves the router untouched).
+	Edits int
+	// DirtyTrees and SweptTrees count the sampled trees the incremental
+	// refresh patched along dirty paths vs re-swept in full (both 0 for
+	// a no-op batch; on Rebuilt they describe the discarded incremental
+	// attempt).
+	DirtyTrees, SweptTrees int
 }
 
 // UpdateCapacities applies capacity edits to the router's graph (in
 // place — the Graph passed to NewRouter observes them) and refreshes
-// the congestion approximator incrementally instead of rebuilding it:
-// the sampled tree topologies are kept, one TreeFlow sweep per tree
-// recomputes the exact subtree-cut capacities, the virtual capacities
-// are rescaled by the measured cut deltas, and the distortion α is
-// re-measured. When the refreshed α exceeds
+// the congestion approximator incrementally instead of rebuilding it.
+// The batch is first coalesced (last edit per edge wins, edits equal to
+// the current capacity dropped — see CapEdit); a batch that coalesces
+// to nothing returns immediately without touching the router, so no-op
+// churn costs nothing and the warm cache survives it. Otherwise the
+// sampled tree topologies are kept and each tree is refreshed along the
+// dirty paths only: a capacity edit on edge (u,v) changes exactly the
+// subtree cuts on the tree path u→LCA(u,v)→v (Lemma 8.3), so cut and
+// virtual capacities are patched along those paths in O(edits × depth),
+// falling back to the full per-tree TreeFlow re-sweep past
+// Options.UpdateDirtyFraction; the distortion α is re-measured from
+// maintained per-tree maxima. When the refreshed α exceeds
 // Options.AlphaRebuildFactor × the α of the last full build, the
 // incremental result is judged too distorted and a full deterministic
 // rebuild (same seed) runs instead; UpdateResult.Rebuilt reports which
 // path was taken.
 //
-// Either way the solver state and the warm-start cache are reset, so
-// subsequent queries are a pure function of the updated router state —
-// the same answers a freshly built router of the same α would give up
-// to the (1+ε) guarantee, at a fraction of the cost for small edit
-// batches.
+// On any effective (non-no-op) update the solver state and the
+// warm-start cache are reset, so subsequent queries are a pure function
+// of the updated router state — the same answers a freshly built router
+// of the same α would give up to the (1+ε) guarantee, at a fraction of
+// the cost for small edit batches.
 //
 // UpdateCapacities must not run concurrently with queries on the same
 // Router; queries may resume as soon as it returns.
@@ -320,10 +353,32 @@ func (r *Router) UpdateCapacities(edits []CapEdit) (*UpdateResult, error) {
 			return nil, fmt.Errorf("distflow: capacity edit for edge %d has non-positive capacity %d", ed.Edge, ed.Cap)
 		}
 	}
+	// Coalesce: last write per edge wins, then no-ops (edits equal to
+	// the edge's current capacity) drop out.
+	final := make(map[int]int64, len(edits))
 	for _, ed := range edits {
-		r.g.SetCap(ed.Edge, ed.Cap)
+		final[ed.Edge] = ed.Cap
 	}
-	r.apx.UpdateCapacities(r.g, capproxConfig(r.opts))
+	effective := make([]int, 0, len(final))
+	for e, c := range final {
+		if r.g.Cap(e) != c {
+			effective = append(effective, e)
+		}
+	}
+	if len(effective) == 0 {
+		// Nothing changes: keep the solver state and the warm cache.
+		return &UpdateResult{Alpha: r.apx.Alpha}, nil
+	}
+	// Apply in ascending edge order (map iteration is randomized; the
+	// refresh must be a pure function of the router state and batch).
+	sort.Ints(effective)
+	deltas := make([]capprox.CapDelta, len(effective))
+	for i, e := range effective {
+		ed := r.g.Edge(e)
+		deltas[i] = capprox.CapDelta{U: ed.U, V: ed.V, Diff: float64(final[e]) - float64(ed.Cap)}
+		r.g.SetCap(e, final[e])
+	}
+	dirty, swept := r.apx.UpdateCapacities(r.g, capproxConfig(r.opts), deltas)
 	// The graph and approximator are mutated from here on: the solver
 	// caches capacity-derived state (1/cap workspace tables, the
 	// residual-routing max-weight spanning tree) and the warm cache
@@ -336,7 +391,7 @@ func (r *Router) UpdateCapacities(edits []CapEdit) (*UpdateResult, error) {
 			r.cache.clear()
 		}
 	}
-	out := &UpdateResult{Alpha: r.apx.Alpha}
+	out := &UpdateResult{Alpha: r.apx.Alpha, Edits: len(effective), DirtyTrees: dirty, SweptTrees: swept}
 	factor := r.opts.AlphaRebuildFactor
 	if factor == 0 {
 		factor = 8
@@ -399,21 +454,17 @@ func (r *Router) maxFlowWarm(s, t int, warm []float64) (*Result, []float64, erro
 	if err != nil {
 		return nil, nil, fmt.Errorf("distflow: %w", err)
 	}
+	// Enumerate the ledgers' actual phases rather than whitelisting
+	// names: a hardcoded list silently stops summing to Rounds the
+	// moment a new phase is charged (as "update-treeflow" once did).
 	byPhase := map[string]int64{}
 	total := int64(0)
-	for _, src := range []interface {
-		Total() int64
-	}{r.apx.Ledger, fr.Ledger} {
-		total += src.Total()
-	}
-	for _, name := range []string{"lsst", "treeflow", "skeleton", "sample", "sparsify", "core-publish"} {
-		if v := r.apx.Ledger.Phase(name); v > 0 {
-			byPhase[name] = v
-		}
-	}
-	for _, name := range []string{"gradient", "residual-tree-routing"} {
-		if v := fr.Ledger.Phase(name); v > 0 {
-			byPhase[name] = v
+	for _, led := range []*congest.Ledger{r.apx.Ledger, fr.Ledger} {
+		total += led.Total()
+		for _, name := range led.PhaseNames() {
+			if v := led.Phase(name); v > 0 {
+				byPhase[name] += v
+			}
 		}
 	}
 	// The cacheable routing vector is only materialized when there is a

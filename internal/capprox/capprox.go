@@ -53,6 +53,13 @@ type Config struct {
 	// the virtual tree capacities (tightening ablation; the distributed
 	// algorithm uses the virtual capacities).
 	ExactCuts bool
+	// UpdateDirtyFraction tunes the per-tree fallback of
+	// UpdateCapacities: a tree whose summed edit-path length exceeds
+	// this fraction of n+m (the full sweep's linear cost) abandons the
+	// dirty path and re-sweeps in full (0 = 0.25; negative = every tree
+	// full-sweeps on every update — the pre-dirty-path behavior and the
+	// property-test oracle).
+	UpdateDirtyFraction float64
 	// Step forwards to the per-level construction.
 	Step jtree.Config
 }
@@ -112,6 +119,77 @@ type Approximator struct {
 	// component solves plus D + #components for pipelining the component
 	// summaries over the BFS tree.
 	evalSchedule int64
+
+	// treeMax maintains, per tree, the maximum distortion ratios and
+	// their argmax slots. Alpha/AlphaLow are the tree-order maxima of
+	// these; dirty-path updates keep them current from the edited slots
+	// alone, rescanning a tree only when its argmax slot itself is
+	// dirtied (see UpdateCapacities).
+	treeMax []ratioMax
+	// diameter is the hop diameter measured at Build time. Capacity
+	// edits never change the topology, so update-path round charges
+	// reuse it instead of re-running the O(n+m) BFS approximation —
+	// the update must stay O(edits × depth), not O(n+m).
+	diameter int
+	// updWS pools each tree's dirty-path scratch across updates.
+	updWS []vtree.DeltaScratch
+}
+
+// ratioMax is one tree's measured distortion extrema: the largest
+// overestimate hi = max cap_T/cap_G and underestimate lo = max
+// cap_G/cap_T over the tree's non-root slots, with their argmax
+// vertices (ties resolved toward the lowest vertex, the scan order).
+type ratioMax struct {
+	hi, lo       float64
+	hiArg, loArg int
+}
+
+// measureTreeRatios scans one tree's slots in vertex order.
+func measureTreeRatios(t *vtree.VTree, cc []float64) ratioMax {
+	m := ratioMax{hi: 1, lo: 1, hiArg: -1, loArg: -1}
+	for v := 0; v < t.N(); v++ {
+		if v == t.Root || cc[v] <= 0 {
+			continue
+		}
+		if r := t.Cap[v] / cc[v]; r > m.hi {
+			m.hi = r
+			m.hiArg = v
+		}
+		if r := cc[v] / t.Cap[v]; r > m.lo {
+			m.lo = r
+			m.loArg = v
+		}
+	}
+	return m
+}
+
+// remeasure recomputes every per-tree extremum (tree-parallel) and the
+// global Alpha/AlphaLow. The per-tree scans are independent and the
+// combination runs in fixed tree order, so the result is a pure
+// function of the state at every worker count.
+func (a *Approximator) remeasure() {
+	if len(a.treeMax) != len(a.Trees) {
+		a.treeMax = make([]ratioMax, len(a.Trees))
+	}
+	par.Do(len(a.Trees), func(k int) {
+		a.treeMax[k] = measureTreeRatios(a.Trees[k], a.CutCap[k])
+	})
+	a.combineAlpha()
+}
+
+// combineAlpha folds the maintained per-tree extrema into Alpha and
+// AlphaLow in tree order.
+func (a *Approximator) combineAlpha() {
+	a.Alpha = 1
+	a.AlphaLow = 1
+	for _, m := range a.treeMax {
+		if m.hi > a.Alpha {
+			a.Alpha = m.hi
+		}
+		if m.lo > a.AlphaLow {
+			a.AlphaLow = m.lo
+		}
+	}
 }
 
 // Build samples the congestion approximator for g.
@@ -130,6 +208,7 @@ func Build(g *graph.Graph, cfg Config, rng *rand.Rand) (*Approximator, error) {
 	a := &Approximator{Ledger: congest.NewLedger()}
 	buildStart := time.Now()
 	diameter := g.DiameterApprox()
+	a.diameter = diameter
 
 	// Draw one PRNG seed per tree from the master stream up front, then
 	// sample the ⌈log₂n⌉+1 virtual trees concurrently on the shared
@@ -206,22 +285,7 @@ func Build(g *graph.Graph, cfg Config, rng *rand.Rand) (*Approximator, error) {
 		a.Stats.CutCapSeconds += s
 	}
 	alphaStart := time.Now()
-	a.Alpha = 1
-	a.AlphaLow = 1
-	for k, t := range a.Trees {
-		cc := a.CutCap[k]
-		for v := 0; v < n; v++ {
-			if v == t.Root || cc[v] <= 0 {
-				continue
-			}
-			if r := t.Cap[v] / cc[v]; r > a.Alpha {
-				a.Alpha = r
-			}
-			if r := cc[v] / t.Cap[v]; r > a.AlphaLow {
-				a.AlphaLow = r
-			}
-		}
-	}
+	a.remeasure()
 
 	// Measured Cor. 9.3 evaluation schedule (see field doc).
 	sqrtN := math.Sqrt(float64(n))
@@ -234,74 +298,225 @@ func Build(g *graph.Graph, cfg Config, rng *rand.Rand) (*Approximator, error) {
 	return a, nil
 }
 
-// UpdateCapacities refreshes the approximator in place after edge
+// CapDelta is one coalesced capacity edit handed to UpdateCapacities:
+// the edited graph edge's endpoints and its capacity change new−old.
+// Callers coalesce first — at most one delta per edge, no zero diffs —
+// so the edit list is exactly the dirty work.
+type CapDelta struct {
+	U, V int
+	Diff float64
+}
+
+// UpdateCapacities refreshes the approximator in place after the given
 // capacity edits were applied to g, keeping every sampled tree
-// topology. Per tree — tree-parallel, deterministically — one TreeFlow
-// sweep recomputes the exact subtree-cut capacities; each virtual
-// capacity is shifted by its cut's measured delta (each tree's
-// hierarchical routing is held fixed, so a capacity edit transports
-// additively along the tree paths crossing the cut), clamped to the
-// exact cut capacity if the shift would drive it nonpositive. Scale is
-// refreshed per cfg.ExactCuts and the distortion α re-measured — under
-// adversarial edits (say, a slashed cut) α degrades honestly, which is
-// what the caller's rebuild fallback watches.
+// topology. Per tree — tree-parallel, deterministically — the refresh
+// is dirty-path: by the Lemma 8.3 tree-flow identity, editing edge
+// (u,v) by Δ changes exactly the subtree cuts along the tree path
+// u→LCA(u,v)→v, each by Δ, so the exact cut capacities are patched
+// along those paths in O(edits × depth) instead of re-swept in
+// O((n+m) log n). Each dirty virtual capacity shifts by its cut's delta
+// (the tree's hierarchical routing is held fixed, so a capacity edit
+// transports additively along the tree paths crossing the cut),
+// clamped to the exact cut capacity if the shift would drive it
+// nonpositive; Scale is refreshed per cfg.ExactCuts. A tree whose
+// summed edit-path length exceeds cfg.UpdateDirtyFraction × (n+m)
+// falls back to the full TreeFlow sweep — the identical-result slow
+// path.
 //
-// Cost: one O((n+m)log n) sweep per tree versus the full recursive
-// reconstruction — the reason single-edge updates are orders of
-// magnitude cheaper than Build. Not safe concurrently with ApplyR/
-// ApplyRT/PotentialRT on the same approximator.
-func (a *Approximator) UpdateCapacities(g *graph.Graph, cfg Config) {
+// α is re-measured from the maintained per-tree extrema: only the
+// dirty slots' ratios changed, so each tree's maximum is updated from
+// those alone, unless the tree's previous argmax slot is itself dirty
+// (its ratio may have dropped), in which case that tree is rescanned.
+// Under adversarial edits (say, a slashed cut) α degrades honestly,
+// which is what the caller's rebuild fallback watches. In the solver's
+// integer-capacity regime the refreshed state is bit-identical to
+// RefreshCapacities' full sweep at every worker count.
+//
+// The return values report how many trees took the dirty path and how
+// many fell back to a full re-sweep.
+//
+// Not safe concurrently with ApplyR/ApplyRT/PotentialRT on the same
+// approximator.
+func (a *Approximator) UpdateCapacities(g *graph.Graph, cfg Config, edits []CapDelta) (dirtyTrees, sweptTrees int) {
+	if len(edits) == 0 {
+		return 0, 0
+	}
+	frac := cfg.UpdateDirtyFraction
+	if frac == 0 {
+		frac = 0.25
+	}
+	if frac < 0 {
+		a.RefreshCapacities(g, cfg)
+		return 0, len(a.Trees)
+	}
+	if len(a.treeMax) != len(a.Trees) {
+		// Hand-assembled approximator: establish the extrema first.
+		a.remeasure()
+	}
+	n := g.N()
+	dedits := make([]vtree.DeltaEdit, len(edits))
+	for i, ed := range edits {
+		dedits[i] = vtree.DeltaEdit{U: ed.U, V: ed.V, Diff: ed.Diff}
+	}
+	if len(a.updWS) != len(a.Trees) {
+		a.updWS = make([]vtree.DeltaScratch, len(a.Trees))
+	}
+	// Per-tree dirty work (also builds each tree's cached LCA tables,
+	// tree-parallel, on the first update).
+	work := make([]int, len(a.Trees))
+	par.Do(len(a.Trees), func(k int) {
+		work[k] = a.Trees[k].PathWork(dedits)
+	})
+	budget := frac * float64(n+g.M())
+	sweep := make([]bool, len(a.Trees))
+	var pairs []vtree.EdgeEndpoint
+	for k := range a.Trees {
+		if float64(work[k]) > budget {
+			sweep[k] = true
+			sweptTrees++
+		}
+	}
+	dirtyTrees = len(a.Trees) - sweptTrees
+	if sweptTrees > 0 {
+		// At least one tree re-sweeps: materialize the edge list once.
+		pairs = make([]vtree.EdgeEndpoint, g.M())
+		for i, e := range g.Edges() {
+			pairs[i] = vtree.EdgeEndpoint{U: e.U, V: e.V, Cap: float64(e.Cap)}
+		}
+	}
+	par.Do(len(a.Trees), func(k int) {
+		t := a.Trees[k]
+		if sweep[k] {
+			a.treeMax[k] = refreshTree(t, pairs, a.CutCap[k], a.Scale[k], cfg)
+			return
+		}
+		cc := a.CutCap[k]
+		scale := a.Scale[k]
+		dirty, delta := t.PathDeltas(dedits, &a.updWS[k])
+		for _, v := range dirty {
+			d := delta[v]
+			ccv := cc[v] + d
+			nv := t.Cap[v] + d
+			if nv <= 0 {
+				nv = ccv
+			}
+			t.Cap[v] = nv
+			cc[v] = ccv
+			if cfg.ExactCuts {
+				scale[v] = ccv
+			} else {
+				scale[v] = nv
+			}
+		}
+		// Maintain the tree's distortion extrema. If the previous argmax
+		// slot was edited its ratio may have shrunk, leaving the stored
+		// maximum stale — rescan; otherwise the non-dirty maximum is
+		// exactly the stored one and only dirty ratios can exceed it.
+		m := a.treeMax[k]
+		stale := false
+		for _, v := range dirty {
+			if v == m.hiArg || v == m.loArg {
+				stale = true
+				break
+			}
+		}
+		if stale {
+			a.treeMax[k] = measureTreeRatios(t, cc)
+			return
+		}
+		for _, v := range dirty {
+			if cc[v] <= 0 {
+				continue
+			}
+			if r := t.Cap[v] / cc[v]; r > m.hi {
+				m.hi = r
+				m.hiArg = v
+			}
+			if r := cc[v] / t.Cap[v]; r > m.lo {
+				m.lo = r
+				m.loArg = v
+			}
+		}
+		a.treeMax[k] = m
+	})
+	a.combineAlpha()
+	// Charge the distributed cost in fixed tree order: a dirty-path
+	// update fixes only the edited tree paths — D to disseminate the
+	// edits plus one round per patched tree edge — and never more than
+	// the full Lemma 8.3 aggregation Õ(√n + D) a re-swept tree pays.
+	sq := int64(math.Ceil(math.Sqrt(float64(n))))
+	diameter := a.buildDiameter(g)
+	for k := range a.Trees {
+		c := diameter + int64(work[k])
+		if sweep[k] || c > diameter+sq {
+			c = diameter + sq
+		}
+		a.Ledger.ChargeAccounted("update-treeflow", c)
+	}
+	return dirtyTrees, sweptTrees
+}
+
+// buildDiameter returns the hop diameter measured at Build time,
+// measuring it once for hand-assembled approximators. Capacity edits
+// never change topology, so the cached value stays exact and the
+// update path avoids an O(n+m) BFS per call.
+func (a *Approximator) buildDiameter(g *graph.Graph) int64 {
+	if a.diameter == 0 && g.N() > 1 {
+		a.diameter = g.DiameterApprox()
+	}
+	return int64(a.diameter)
+}
+
+// RefreshCapacities is the full-sweep refresh: one TreeFlow sweep per
+// tree recomputes every exact subtree-cut capacity from g's current
+// edge list, virtual capacities shift by the measured cut deltas, and
+// α is re-measured from full per-tree scans. It is UpdateCapacities'
+// per-tree fallback and its property-test oracle; results agree bit for
+// bit in the integer-capacity regime. Cost: O((n+m) log n) per tree.
+func (a *Approximator) RefreshCapacities(g *graph.Graph, cfg Config) {
 	n := g.N()
 	pairs := make([]vtree.EdgeEndpoint, g.M())
 	for i, e := range g.Edges() {
 		pairs[i] = vtree.EdgeEndpoint{U: e.U, V: e.V, Cap: float64(e.Cap)}
 	}
-	par.Do(len(a.Trees), func(k int) {
-		t := a.Trees[k]
-		cc := t.TreeFlow(pairs)
-		old := a.CutCap[k]
-		scale := a.Scale[k]
-		for v := 0; v < n; v++ {
-			if v == t.Root {
-				continue
-			}
-			nv := t.Cap[v] + (cc[v] - old[v])
-			if nv <= 0 {
-				nv = cc[v]
-			}
-			t.Cap[v] = nv
-			if cfg.ExactCuts {
-				scale[v] = cc[v]
-			} else {
-				scale[v] = nv
-			}
-		}
-		a.CutCap[k] = cc
-	})
-	// Re-measure α in fixed tree order (a pure function of the state).
-	a.Alpha = 1
-	a.AlphaLow = 1
-	for k, t := range a.Trees {
-		cc := a.CutCap[k]
-		for v := 0; v < n; v++ {
-			if v == t.Root || cc[v] <= 0 {
-				continue
-			}
-			if r := t.Cap[v] / cc[v]; r > a.Alpha {
-				a.Alpha = r
-			}
-			if r := cc[v] / t.Cap[v]; r > a.AlphaLow {
-				a.AlphaLow = r
-			}
-		}
+	if len(a.treeMax) != len(a.Trees) {
+		a.treeMax = make([]ratioMax, len(a.Trees))
 	}
+	par.Do(len(a.Trees), func(k int) {
+		a.treeMax[k] = refreshTree(a.Trees[k], pairs, a.CutCap[k], a.Scale[k], cfg)
+	})
+	a.combineAlpha()
 	// Charge the distributed cost: one Lemma 8.3 tree-flow aggregation
 	// per tree, Õ(√n + D).
 	sq := int64(math.Ceil(math.Sqrt(float64(n))))
-	diameter := int64(g.DiameterApprox())
+	diameter := a.buildDiameter(g)
 	for range a.Trees {
 		a.Ledger.ChargeAccounted("update-treeflow", diameter+sq)
 	}
+}
+
+// refreshTree full-sweeps one tree: recomputes its cut capacities into
+// cc (in place), shifts the virtual capacities by the cut deltas, and
+// returns the rescanned distortion extrema.
+func refreshTree(t *vtree.VTree, pairs []vtree.EdgeEndpoint, cc, scale []float64, cfg Config) ratioMax {
+	fresh := t.TreeFlow(pairs)
+	for v := 0; v < t.N(); v++ {
+		if v == t.Root {
+			continue
+		}
+		nv := t.Cap[v] + (fresh[v] - cc[v])
+		if nv <= 0 {
+			nv = fresh[v]
+		}
+		t.Cap[v] = nv
+		if cfg.ExactCuts {
+			scale[v] = fresh[v]
+		} else {
+			scale[v] = nv
+		}
+	}
+	copy(cc, fresh)
+	return measureTreeRatios(t, cc)
 }
 
 // sampleTree draws one virtual tree from the recursive distribution.

@@ -1,0 +1,156 @@
+package capprox
+
+// Tests of the dirty-path UpdateCapacities against its full-sweep
+// oracle (RefreshCapacities): in the integer-capacity regime the two
+// must leave bit-identical approximator state — virtual capacities,
+// cut capacities, row scalings, and distortion extrema — on fuzzed
+// edit batches, whichever side of the dirty-fraction threshold each
+// tree lands on.
+
+import (
+	"math/rand"
+	"testing"
+
+	"distflow/internal/graph"
+)
+
+// randomConnected builds a connected multigraph: spanning chain plus
+// random chords, integer capacities.
+func randomConnected(n int, rng *rand.Rand) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, rng.Intn(v), 1+rng.Int63n(20))
+	}
+	for k := 0; k < n; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v, 1+rng.Int63n(20))
+		}
+	}
+	return g
+}
+
+// applyEdits mutates g with random capacity edits (one per edge at
+// most, as a coalesced batch) and returns the matching delta list.
+func applyEdits(g *graph.Graph, count int, rng *rand.Rand) []CapDelta {
+	picked := map[int]bool{}
+	var deltas []CapDelta
+	for len(deltas) < count {
+		e := rng.Intn(g.M())
+		if picked[e] {
+			continue
+		}
+		picked[e] = true
+		ed := g.Edge(e)
+		newCap := 1 + rng.Int63n(40)
+		if newCap == ed.Cap {
+			continue
+		}
+		deltas = append(deltas, CapDelta{U: ed.U, V: ed.V, Diff: float64(newCap) - float64(ed.Cap)})
+		g.SetCap(e, newCap)
+	}
+	return deltas
+}
+
+func sameState(t *testing.T, label string, a, b *Approximator) {
+	t.Helper()
+	if a.Alpha != b.Alpha || a.AlphaLow != b.AlphaLow {
+		t.Fatalf("%s: alpha %v/%v vs %v/%v", label, a.Alpha, a.AlphaLow, b.Alpha, b.AlphaLow)
+	}
+	for k := range a.Trees {
+		for v := 0; v < a.Trees[k].N(); v++ {
+			if a.Trees[k].Cap[v] != b.Trees[k].Cap[v] {
+				t.Fatalf("%s: tree %d virtual cap differs at %d: %v vs %v",
+					label, k, v, a.Trees[k].Cap[v], b.Trees[k].Cap[v])
+			}
+			if a.CutCap[k][v] != b.CutCap[k][v] {
+				t.Fatalf("%s: tree %d cut cap differs at %d: %v vs %v",
+					label, k, v, a.CutCap[k][v], b.CutCap[k][v])
+			}
+			if a.Scale[k][v] != b.Scale[k][v] {
+				t.Fatalf("%s: tree %d scale differs at %d: %v vs %v",
+					label, k, v, a.Scale[k][v], b.Scale[k][v])
+			}
+		}
+	}
+}
+
+// Dirty-path updates must be bit-identical to the full-sweep oracle on
+// fuzzed batches, across successive updates, for both the exact-cut and
+// the paper (virtual) scaling.
+func TestUpdateCapacitiesDirtyMatchesFullSweep(t *testing.T) {
+	for _, exact := range []bool{true, false} {
+		rng := rand.New(rand.NewSource(31))
+		for trial := 0; trial < 4; trial++ {
+			n := 12 + rng.Intn(40)
+			g := randomConnected(n, rng)
+			// Two identical approximators over structurally equal graphs
+			// (the oracle mutates its own copy of the capacities).
+			g2 := graph.New(n)
+			for _, e := range g.Edges() {
+				g2.AddEdge(e.U, e.V, e.Cap)
+			}
+			cfgDirty := Config{Trees: 3, ExactCuts: exact, UpdateDirtyFraction: 1e9}
+			cfgFull := Config{Trees: 3, ExactCuts: exact, UpdateDirtyFraction: -1}
+			ad := build(t, g, cfgDirty, int64(trial+1))
+			af := build(t, g2, cfgFull, int64(trial+1))
+			sameState(t, "post-build", ad, af)
+			for batch := 0; batch < 5; batch++ {
+				deltas := applyEdits(g, 1+rng.Intn(4), rng)
+				for i, e := range g.Edges() {
+					g2.SetCap(i, e.Cap)
+				}
+				dirty, swept := ad.UpdateCapacities(g, cfgDirty, deltas)
+				if swept != 0 || dirty != len(ad.Trees) {
+					t.Fatalf("trial %d batch %d: forced-dirty update swept %d trees", trial, batch, swept)
+				}
+				if d, s := af.UpdateCapacities(g2, cfgFull, deltas); d != 0 || s != len(af.Trees) {
+					t.Fatalf("trial %d batch %d: oracle took the dirty path (%d/%d)", trial, batch, d, s)
+				}
+				sameState(t, "post-update", ad, af)
+			}
+		}
+	}
+}
+
+// The dirty-fraction threshold routes trees to the right path: a
+// microscopic budget sweeps every tree, a huge one sweeps none, and the
+// default splits by measured path work — all with identical results.
+func TestUpdateCapacitiesFallbackThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	n := 30
+	g := randomConnected(n, rng)
+	g2 := graph.New(n)
+	for _, e := range g.Edges() {
+		g2.AddEdge(e.U, e.V, e.Cap)
+	}
+	tiny := Config{Trees: 3, ExactCuts: true, UpdateDirtyFraction: 1e-9}
+	huge := Config{Trees: 3, ExactCuts: true, UpdateDirtyFraction: 1e9}
+	at := build(t, g, tiny, 7)
+	ah := build(t, g2, huge, 7)
+	deltas := applyEdits(g, 2, rng)
+	for i, e := range g.Edges() {
+		g2.SetCap(i, e.Cap)
+	}
+	if d, s := at.UpdateCapacities(g, tiny, deltas); s != len(at.Trees) || d != 0 {
+		t.Fatalf("tiny budget: %d dirty / %d swept, want all swept", d, s)
+	}
+	if d, s := ah.UpdateCapacities(g2, huge, deltas); d != len(ah.Trees) || s != 0 {
+		t.Fatalf("huge budget: %d dirty / %d swept, want all dirty", d, s)
+	}
+	sameState(t, "threshold", at, ah)
+}
+
+// An empty edit list is a no-op at this layer too.
+func TestUpdateCapacitiesEmptyBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	g := randomConnected(16, rng)
+	a := build(t, g, Config{Trees: 2}, 3)
+	alpha, rounds := a.Alpha, a.Ledger.Total()
+	if d, s := a.UpdateCapacities(g, Config{Trees: 2}, nil); d != 0 || s != 0 {
+		t.Fatalf("empty batch touched trees: %d/%d", d, s)
+	}
+	if a.Alpha != alpha || a.Ledger.Total() != rounds {
+		t.Fatal("empty batch changed alpha or charged rounds")
+	}
+}

@@ -53,6 +53,19 @@ func (l *Ledger) Accounted() int64 { return l.accounted }
 // Phase returns the rounds charged to one phase label.
 func (l *Ledger) Phase(name string) int64 { return l.phases[name] }
 
+// PhaseNames returns every phase label charged so far, sorted. Callers
+// that report per-phase breakdowns enumerate the ledger's actual phases
+// through this — hardcoded name lists go stale the moment a new phase
+// is charged, and their breakdowns silently stop summing to Total.
+func (l *Ledger) PhaseNames() []string {
+	names := make([]string, 0, len(l.phases))
+	for k := range l.phases {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Add merges another ledger into l.
 func (l *Ledger) Add(other *Ledger) {
 	l.measured += other.measured
@@ -64,11 +77,7 @@ func (l *Ledger) Add(other *Ledger) {
 
 // String renders a stable per-phase breakdown for reports.
 func (l *Ledger) String() string {
-	names := make([]string, 0, len(l.phases))
-	for k := range l.phases {
-		names = append(names, k)
-	}
-	sort.Strings(names)
+	names := l.PhaseNames()
 	var b strings.Builder
 	fmt.Fprintf(&b, "rounds total=%d (measured=%d accounted=%d)", l.Total(), l.measured, l.accounted)
 	for _, k := range names {

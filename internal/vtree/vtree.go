@@ -33,6 +33,7 @@ type VTree struct {
 	Depth  []int
 
 	order []int // vertices in root-first topological order
+	lca   *LCA  // cached lifting tables for dirty-path updates (EnsureLCA)
 }
 
 // New builds a VTree from parent pointers, validating shape. cap may be
@@ -225,6 +226,18 @@ func NewLCA(t *VTree) *LCA {
 	return newLCAInto(t, &TreeFlowScratch{})
 }
 
+// EnsureLCA returns the tree's cached LCA table, building it on first
+// use (O(n log n)); later calls are O(1). The topology of a VTree never
+// changes after New, so the cache is never invalidated. The first call
+// mutates the tree and must not race with anything; once built, the
+// table is safe for concurrent Query use.
+func (t *VTree) EnsureLCA() *LCA {
+	if t.lca == nil {
+		t.lca = NewLCA(t)
+	}
+	return t.lca
+}
+
 // newLCAInto builds the lifting tables into the scratch's pooled rows.
 func newLCAInto(t *VTree, sc *TreeFlowScratch) *LCA {
 	n := t.N()
@@ -337,6 +350,92 @@ func (t *VTree) TreeFlowWS(edges []EdgeEndpoint, sc *TreeFlowScratch) []float64 
 	load := t.SubtreeSumsInto(delta, sc.load[:n])
 	load[t.Root] = 0
 	return load
+}
+
+// DeltaEdit describes one capacity change of a routed pair for
+// PathDeltas: the pair's endpoints and the capacity change new−old.
+type DeltaEdit struct {
+	U, V int
+	Diff float64
+}
+
+// DeltaScratch pools the per-vertex accumulators and dirty-vertex marks
+// of PathDeltas across successive update batches on the same tree. The
+// zero value is ready to use; a scratch must not be shared between
+// trees of different vertex counts without zeroing (PathDeltas clears
+// only the vertices its previous call dirtied).
+type DeltaScratch struct {
+	delta []float64
+	mark  []bool
+	dirty []int
+}
+
+// PathDeltas accumulates, per tree vertex v, the summed Diff of every
+// edit whose tree path u→LCA(u,v)→v crosses the tree edge (v, parent):
+// exactly the change a full TreeFlow re-sweep would report for that
+// edge's load. It returns the deduplicated dirty vertices in first-touch
+// order and the per-vertex delta array (aliases the scratch; entries are
+// meaningful for the returned vertices only, and both are valid until
+// the next call with the same scratch). Nothing else is touched — the
+// caller applies the deltas.
+//
+// Cost: O(Σ path length) = O(edits × depth), versus TreeFlow's
+// O((n+m) log n) full sweep. In the solver's integer-capacity regime
+// every load is an exact small integer in float64, so adding deltas to
+// a previously swept load vector reproduces the full sweep bit for bit;
+// with non-integer capacities the two can differ in the last ulps.
+func (t *VTree) PathDeltas(edits []DeltaEdit, sc *DeltaScratch) (dirty []int, delta []float64) {
+	n := t.N()
+	if cap(sc.delta) < n {
+		sc.delta = make([]float64, n)
+		sc.mark = make([]bool, n)
+		sc.dirty = sc.dirty[:0]
+	}
+	delta = sc.delta[:n]
+	mark := sc.mark[:n]
+	for _, v := range sc.dirty {
+		delta[v] = 0
+		mark[v] = false
+	}
+	sc.dirty = sc.dirty[:0]
+	lca := t.EnsureLCA()
+	for _, e := range edits {
+		if e.U == e.V || e.Diff == 0 {
+			continue
+		}
+		a := lca.Query(e.U, e.V)
+		for x := e.U; x != a; x = t.Parent[x] {
+			if !mark[x] {
+				mark[x] = true
+				sc.dirty = append(sc.dirty, x)
+			}
+			delta[x] += e.Diff
+		}
+		for x := e.V; x != a; x = t.Parent[x] {
+			if !mark[x] {
+				mark[x] = true
+				sc.dirty = append(sc.dirty, x)
+			}
+			delta[x] += e.Diff
+		}
+	}
+	return sc.dirty, delta
+}
+
+// PathWork returns Σ over edits of the u-v tree path length — the exact
+// number of per-edge delta additions PathDeltas would perform. Callers
+// use it to decide between the dirty path and a full re-sweep.
+func (t *VTree) PathWork(edits []DeltaEdit) int {
+	lca := t.EnsureLCA()
+	work := 0
+	for _, e := range edits {
+		if e.U == e.V || e.Diff == 0 {
+			continue
+		}
+		a := lca.Query(e.U, e.V)
+		work += t.Depth[e.U] + t.Depth[e.V] - 2*t.Depth[a]
+	}
+	return work
 }
 
 // PathLength returns the length of the unique u-v path where each tree

@@ -388,3 +388,84 @@ func TestHeightAndOrder(t *testing.T) {
 		seen[v] = true
 	}
 }
+
+// PathDeltas applied to a swept load vector must reproduce a full
+// TreeFlow re-sweep bit for bit (integer capacities), across fuzzed
+// trees, pair sets, and successive edit batches that reuse one scratch.
+func TestPathDeltasMatchesTreeFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(60)
+		tr := randomTree(n, rng)
+		pairs := make([]EdgeEndpoint, 3+rng.Intn(3*n))
+		for i := range pairs {
+			pairs[i] = EdgeEndpoint{U: rng.Intn(n), V: rng.Intn(n), Cap: float64(1 + rng.Intn(30))}
+		}
+		load := append([]float64(nil), tr.TreeFlow(pairs)...)
+		var sc DeltaScratch
+		for batch := 0; batch < 4; batch++ {
+			// Edit a few pairs: record the delta, apply to the pair list.
+			edits := make([]DeltaEdit, 1+rng.Intn(4))
+			for i := range edits {
+				p := rng.Intn(len(pairs))
+				newCap := float64(1 + rng.Intn(30))
+				edits[i] = DeltaEdit{U: pairs[p].U, V: pairs[p].V, Diff: newCap - pairs[p].Cap}
+				pairs[p].Cap = newCap
+			}
+			dirty, delta := tr.PathDeltas(edits, &sc)
+			seen := make(map[int]bool, len(dirty))
+			for _, v := range dirty {
+				if v == tr.Root {
+					t.Fatalf("trial %d: root reported dirty", trial)
+				}
+				if seen[v] {
+					t.Fatalf("trial %d: vertex %d reported dirty twice", trial, v)
+				}
+				seen[v] = true
+				load[v] += delta[v]
+			}
+			want := tr.TreeFlow(pairs)
+			for v := 0; v < n; v++ {
+				if load[v] != want[v] {
+					if !seen[v] {
+						t.Fatalf("trial %d batch %d: vertex %d changed but not dirty", trial, batch, v)
+					}
+					t.Fatalf("trial %d batch %d: load[%d] = %v after PathDeltas, full sweep %v",
+						trial, batch, v, load[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+// Self-loops and zero diffs contribute nothing and no dirty vertices.
+func TestPathDeltasNoOps(t *testing.T) {
+	tr := chain(6)
+	var sc DeltaScratch
+	dirty, _ := tr.PathDeltas([]DeltaEdit{{U: 3, V: 3, Diff: 5}, {U: 1, V: 4, Diff: 0}}, &sc)
+	if len(dirty) != 0 {
+		t.Fatalf("no-op edits dirtied %v", dirty)
+	}
+	if w := tr.PathWork([]DeltaEdit{{U: 3, V: 3, Diff: 5}, {U: 1, V: 4, Diff: 0}}); w != 0 {
+		t.Fatalf("no-op edits report work %d", w)
+	}
+}
+
+// PathWork counts exactly the additions PathDeltas performs.
+func TestPathWorkCountsPathEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	tr := randomTree(50, rng)
+	edits := make([]DeltaEdit, 8)
+	for i := range edits {
+		edits[i] = DeltaEdit{U: rng.Intn(50), V: rng.Intn(50), Diff: 1}
+	}
+	var sc DeltaScratch
+	_, delta := tr.PathDeltas(edits, &sc)
+	sum := 0.0
+	for _, v := range sc.dirty {
+		sum += delta[v]
+	}
+	if got := tr.PathWork(edits); got != int(sum) {
+		t.Fatalf("PathWork %d, PathDeltas performed %v additions", got, sum)
+	}
+}

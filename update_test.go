@@ -207,3 +207,264 @@ func TestUpdateCapacitiesClearsWarmCache(t *testing.T) {
 		t.Fatalf("post-update query warm-started from a stale entry (err %v)", err)
 	}
 }
+
+// Regression for the RoundsByPhase accounting bug: the breakdown must
+// sum to Rounds before AND after UpdateCapacities. The old code
+// whitelisted phase names and omitted "update-treeflow", so the sum
+// silently diverged after any update.
+func TestRoundsByPhaseSumsToRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := randomConnectedGraph(24, rng)
+	r, err := NewRouter(g, Options{Seed: 4, DisableWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(res *Result) int64 {
+		var s int64
+		for _, v := range res.RoundsByPhase {
+			s += v
+		}
+		return s
+	}
+	res, err := r.MaxFlow(0, g.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum(res); got != res.Rounds {
+		t.Fatalf("pre-update breakdown sums to %d, Rounds %d", got, res.Rounds)
+	}
+	if _, err := r.UpdateCapacities([]CapEdit{{Edge: 0, Cap: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = r.MaxFlow(0, g.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum(res); got != res.Rounds {
+		t.Fatalf("post-update breakdown sums to %d, Rounds %d (phases: %v)",
+			got, res.Rounds, res.RoundsByPhase)
+	}
+	if res.RoundsByPhase["update-treeflow"] <= 0 {
+		t.Fatalf("update-treeflow missing from breakdown: %v", res.RoundsByPhase)
+	}
+}
+
+// A batch that coalesces to nothing — nil, empty, edits equal to the
+// current capacities, or duplicates whose last write restores the
+// current value — must leave the router untouched: same solver state,
+// warm cache intact (the repeat query still warm-starts).
+func TestUpdateCapacitiesNoOpKeepsWarmCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	g := randomConnectedGraph(20, rng)
+	r, err := NewRouter(g, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.MaxFlow(0, g.N()-1); err != nil {
+		t.Fatal(err)
+	}
+	_, _, c0 := g.EdgeEndpoints(0)
+	solver := r.solver
+	for name, batch := range map[string][]CapEdit{
+		"nil":           nil,
+		"empty":         {},
+		"current-value": {{Edge: 0, Cap: c0}},
+		"dup-restoring": {{Edge: 0, Cap: c0 + 5}, {Edge: 0, Cap: c0}},
+	} {
+		ur, err := r.UpdateCapacities(batch)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ur.Edits != 0 || ur.DirtyTrees != 0 || ur.SweptTrees != 0 || ur.Rebuilt {
+			t.Fatalf("%s: not reported as a no-op: %+v", name, ur)
+		}
+		if r.solver != solver {
+			t.Fatalf("%s: no-op update rebuilt the solver", name)
+		}
+		if n := r.cache.len(); n == 0 {
+			t.Fatalf("%s: no-op update emptied the warm cache", name)
+		}
+	}
+	if res, err := r.MaxFlow(0, g.N()-1); err != nil || !res.WarmStarted {
+		t.Fatalf("repeat query after no-op updates did not warm-start (err %v)", err)
+	}
+	if _, _, c := g.EdgeEndpoints(0); c != c0 {
+		t.Fatalf("no-op batches changed edge 0 capacity to %d", c)
+	}
+}
+
+// Duplicate edits to one edge coalesce last-wins before anything is
+// applied: a conflicting batch must leave exactly the state a
+// single-edit batch of the final value leaves.
+func TestUpdateCapacitiesCoalescesDuplicates(t *testing.T) {
+	build := func() (*Graph, *Router) {
+		rng := rand.New(rand.NewSource(45))
+		g := randomConnectedGraph(24, rng)
+		r, err := NewRouter(g, Options{Seed: 6, DisableWarmStart: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, r
+	}
+	ga, ra := build()
+	gb, rb := build()
+	ua, err := ra.UpdateCapacities([]CapEdit{
+		{Edge: 2, Cap: 31}, {Edge: 5, Cap: 1}, {Edge: 2, Cap: 4}, {Edge: 2, Cap: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ua.Edits != 2 {
+		t.Fatalf("conflicting batch applied %d effective edits, want 2", ua.Edits)
+	}
+	if _, err := rb.UpdateCapacities([]CapEdit{{Edge: 2, Cap: 9}, {Edge: 5, Cap: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, c := ga.EdgeEndpoints(2); c != 9 {
+		t.Fatalf("last-wins violated: edge 2 capacity %d, want 9", c)
+	}
+	if ra.apx.Alpha != rb.apx.Alpha {
+		t.Fatalf("coalesced batch alpha %v differs from explicit batch %v", ra.apx.Alpha, rb.apx.Alpha)
+	}
+	for k := range ra.apx.Trees {
+		for v := 0; v < ra.apx.Trees[k].N(); v++ {
+			if ra.apx.Trees[k].Cap[v] != rb.apx.Trees[k].Cap[v] ||
+				ra.apx.CutCap[k][v] != rb.apx.CutCap[k][v] {
+				t.Fatalf("tree %d differs at %d between duplicate and coalesced batches", k, v)
+			}
+		}
+	}
+	_ = gb
+}
+
+// The dirty-path refresh must leave the same router state as the
+// full-sweep slow path (UpdateDirtyFraction < 0) on fuzzed batches —
+// the distflow-level bit-identity acceptance check.
+func TestUpdateCapacitiesDirtyMatchesFullSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 3; trial++ {
+		seedGraph := func() *Graph {
+			r2 := rand.New(rand.NewSource(int64(100 + trial)))
+			return randomConnectedGraph(10+r2.Intn(20), r2)
+		}
+		ga, gb := seedGraph(), seedGraph()
+		opts := Options{Seed: int64(trial + 1), DisableWarmStart: true, UpdateDirtyFraction: 1e9}
+		optsFull := opts
+		optsFull.UpdateDirtyFraction = -1
+		ra, err := NewRouter(ga, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := NewRouter(gb, optsFull)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for batch := 0; batch < 6; batch++ {
+			edits := randomEdits(ga, rng)
+			ua, err := ra.UpdateCapacities(edits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ub, err := rb.UpdateCapacities(edits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ua.Edits > 0 && (ua.SweptTrees != 0 || ub.DirtyTrees != 0) {
+				t.Fatalf("trial %d batch %d: paths not exercised as intended (%+v vs %+v)",
+					trial, batch, ua, ub)
+			}
+			if ua.Alpha != ub.Alpha {
+				t.Fatalf("trial %d batch %d: alpha %v (dirty) vs %v (full)", trial, batch, ua.Alpha, ub.Alpha)
+			}
+			for k := range ra.apx.Trees {
+				for v := 0; v < ra.apx.Trees[k].N(); v++ {
+					if ra.apx.Trees[k].Cap[v] != rb.apx.Trees[k].Cap[v] ||
+						ra.apx.CutCap[k][v] != rb.apx.CutCap[k][v] ||
+						ra.apx.Scale[k][v] != rb.apx.Scale[k][v] {
+						t.Fatalf("trial %d batch %d: tree %d state differs at %d", trial, batch, k, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Serving under sustained churn: ≥20 successive dirty-path updates with
+// a query after each must keep the (1+ε)² Dinic bound, and a final
+// adversarial batch must drive α past AlphaRebuildFactor and trip the
+// rebuild fallback.
+func TestRepeatedEditQueryCycles(t *testing.T) {
+	const eps = 0.3
+	rng := rand.New(rand.NewSource(49))
+	g := randomConnectedGraph(24, rng)
+	// UpdateDirtyFraction 1e9 pins every refresh to the dirty path (the
+	// graph is tiny, so edit paths easily exceed the default budget);
+	// bit-identity with the full sweep is pinned by
+	// TestUpdateCapacitiesDirtyMatchesFullSweep.
+	r, err := NewRouter(g, Options{Epsilon: eps, Seed: 8, AlphaRebuildFactor: 3, UpdateDirtyFraction: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle < 20; cycle++ {
+		// Mild churn: nudge 1–3 capacities within a factor of 2.
+		edits := make([]CapEdit, 1+rng.Intn(3))
+		for i := range edits {
+			e := rng.Intn(g.M())
+			_, _, c := g.EdgeEndpoints(e)
+			nc := c + 1 + rng.Int63n(c)
+			if rng.Intn(2) == 0 && c > 1 {
+				nc = 1 + c/2
+			}
+			edits[i] = CapEdit{Edge: e, Cap: nc}
+		}
+		ur, err := r.UpdateCapacities(edits)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		if ur.Rebuilt {
+			t.Fatalf("cycle %d: mild churn tripped the rebuild fallback (alpha %v)", cycle, ur.Alpha)
+		}
+		if ur.Edits > 0 && ur.DirtyTrees == 0 {
+			t.Fatalf("cycle %d: no tree took the dirty path (%+v)", cycle, ur)
+		}
+		s, tt := 0, g.N()-1
+		exact, _ := ExactMaxFlow(g, s, tt)
+		res, err := r.MaxFlow(s, tt)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		if res.Value > float64(exact)*1.0001 {
+			t.Fatalf("cycle %d: value %v exceeds exact %d", cycle, res.Value, exact)
+		}
+		if res.Value < float64(exact)/((1+eps)*(1+eps))-1e-9 {
+			t.Fatalf("cycle %d: value %v below (1+ε)² bound of %d", cycle, res.Value, exact)
+		}
+	}
+	// Adversarial finale: starve every edge down to capacity 1 except a
+	// single chord, whose capacity explodes. The kept tree routings
+	// overestimate the starved cuts massively, so the measured α spikes
+	// past AlphaRebuildFactor and the update must fall back to a full
+	// deterministic rebuild.
+	slash := make([]CapEdit, g.M())
+	for e := range slash {
+		slash[e] = CapEdit{Edge: e, Cap: 1}
+	}
+	slash[g.M()-1].Cap = 1 << 20
+	ur, err := r.UpdateCapacities(slash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ur.Rebuilt {
+		t.Fatalf("adversarial batch did not trip the rebuild fallback (alpha %v, buildAlpha %v)",
+			ur.Alpha, r.buildAlpha)
+	}
+	s, tt := 0, g.N()-1
+	exact, _ := ExactMaxFlow(g, s, tt)
+	res, err := r.MaxFlow(s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value < float64(exact)/((1+eps)*(1+eps))-1e-9 || res.Value > float64(exact)*1.0001 {
+		t.Fatalf("post-rebuild value %v outside bounds of exact %d", res.Value, exact)
+	}
+}
