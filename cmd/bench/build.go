@@ -67,9 +67,9 @@ type BuildBenchResult struct {
 	RebuildSeconds float64 `json:"rebuild_seconds,omitempty"`
 	// NoopUpdateSeconds is the per-call cost of a batch that coalesces
 	// to nothing (the early return: no sweep, no solver reset).
-	NoopUpdateSeconds       float64 `json:"noop_update_seconds,omitempty"`
-	UpdateSpeedupVsFull     float64 `json:"update_speedup_vs_full,omitempty"`
-	UpdateSpeedupVsRebuild  float64 `json:"update_speedup_vs_rebuild,omitempty"`
+	NoopUpdateSeconds      float64 `json:"noop_update_seconds,omitempty"`
+	UpdateSpeedupVsFull    float64 `json:"update_speedup_vs_full,omitempty"`
+	UpdateSpeedupVsRebuild float64 `json:"update_speedup_vs_rebuild,omitempty"`
 	// UpdateMaxValueErr is the largest relative deviation between the
 	// updated router's query values and a freshly built router's on the
 	// edited graph (both (1+ε)-approximate; the property test pins the

@@ -21,7 +21,11 @@ package main
 // the -build document's single update measurement with the
 // dirty-vs-full-vs-rebuild ladder (dirty_update_seconds /
 // full_update_seconds / rebuild_seconds, see build.go); again the
-// -flow document only bumps the version.
+// -flow document only bumps the version. v5 adds the -churn document
+// (mode:"churn", see churn.go) with the batched topology-edit vs
+// full-rebuild ladder (churn_update_seconds / rebuild_seconds), the
+// resample/sweep counters, and the updated-vs-rebuilt query drift; the
+// -flow and -build documents only bump the version.
 
 import (
 	"encoding/json"
@@ -38,7 +42,7 @@ import (
 
 // benchSchema is the single definition of the bench JSON schema
 // version.
-const benchSchema = 4
+const benchSchema = 5
 
 // FlowBenchConfig parameterizes one -flow run. The JSON key order of
 // this struct IS the schema-2 config layout; do not reorder fields.

@@ -34,6 +34,16 @@
 //	                                  # exceeds the budget (CI)
 //	bench -build -update-ceiling 0.01 # fail when a single-edge dirty
 //	                                  # update exceeds the budget (CI)
+//
+// The -churn mode benchmarks dynamic topology churn: batched
+// edge/vertex inserts and deletes through Router.UpdateTopology against
+// a full rebuild of the router on the final graph, plus the query drift
+// between the two (schema 5, see churn.go). It shares the graph/query
+// flags with -flow and -build:
+//
+//	bench -churn -n 2500 -json BENCH_churn.json
+//	bench -churn -churn-ceiling 0.05  # fail when one topology batch
+//	                                  # exceeds the budget (CI)
 package main
 
 import (
@@ -60,8 +70,10 @@ func run() error {
 
 		flow          = flag.Bool("flow", false, "benchmark the solver serving path instead of the experiment tables")
 		build         = flag.Bool("build", false, "benchmark the router construction path (per-phase breakdown + the dirty/full/rebuild update ladder)")
+		churn         = flag.Bool("churn", false, "benchmark dynamic topology churn (batched UpdateTopology vs full rebuild)")
 		buildCeiling  = flag.Float64("build-ceiling", 0, "-build: fail when router_build_seconds exceeds this many seconds (0 = off)")
 		updateCeiling = flag.Float64("update-ceiling", 0, "-build: fail when dirty_update_seconds (per single-edge edit) exceeds this many seconds (0 = off)")
+		churnCeiling  = flag.Float64("churn-ceiling", 0, "-churn: fail when churn_update_seconds (per topology batch) exceeds this many seconds (0 = off)")
 		flowN         = flag.Int("n", 2500, "-flow/-build: vertex count of the benchmark graph")
 		flowDeg       = flag.Float64("deg", 8, "-flow/-build: expected average degree")
 		flowCap       = flag.Int64("cap", 64, "-flow/-build: maximum edge capacity")
@@ -76,6 +88,17 @@ func run() error {
 		memProfile    = flag.String("memprofile", "", "-flow: write a heap profile to this file")
 	)
 	flag.Parse()
+	if *churn {
+		return runChurnBench(FlowBenchConfig{
+			N:       *flowN,
+			Degree:  *flowDeg,
+			MaxCap:  *flowCap,
+			Seed:    *flowSeed,
+			Queries: *queries,
+			Epsilon: *epsilon,
+			Workers: *workers,
+		}, *jsonOut, *churnCeiling)
+	}
 	if *build {
 		return runBuildBench(FlowBenchConfig{
 			N:       *flowN,

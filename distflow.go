@@ -65,11 +65,26 @@ func (G *Graph) N() int { return G.g.N() }
 // M returns the number of edges.
 func (G *Graph) M() int { return G.g.M() }
 
-// EdgeEndpoints returns the endpoints and capacity of edge e.
+// EdgeEndpoints returns the endpoints and capacity of edge e (capacity
+// 0 for an edge deleted by Router.UpdateTopology).
 func (G *Graph) EdgeEndpoints(e int) (u, v int, capacity int64) {
 	ed := G.g.Edge(e)
 	return ed.U, ed.V, ed.Cap
 }
+
+// ActiveN returns the number of live vertices (N minus the vertices
+// removed by Router.UpdateTopology).
+func (G *Graph) ActiveN() int { return G.g.ActiveN() }
+
+// LiveM returns the number of live edges (M minus the edges deleted by
+// Router.UpdateTopology).
+func (G *Graph) LiveM() int { return G.g.LiveM() }
+
+// Removed reports whether vertex v was removed by Router.UpdateTopology.
+func (G *Graph) Removed(v int) bool { return G.g.Removed(v) }
+
+// DeadEdge reports whether edge e was deleted by Router.UpdateTopology.
+func (G *Graph) DeadEdge(e int) bool { return G.g.Dead(e) }
 
 // Options configures the solver. The zero value uses the paper's
 // defaults: ε = 0.5, ⌈log₂ n⌉+1 sampled virtual trees, measured-α
@@ -125,6 +140,15 @@ type Options struct {
 	// update re-sweeps every tree, the bit-identical slow path used as
 	// the property-test oracle and the bench baseline).
 	UpdateDirtyFraction float64
+	// CutShiftResample tunes UpdateTopology's structural-degradation
+	// detector: a sampled tree one of whose pre-existing cuts a
+	// topology batch multiplies or divides by more than this factor is
+	// individually resampled — its topology was drawn for a cut
+	// landscape that no longer exists, a staleness the measured α
+	// cannot see (DESIGN.md §8). 0 = 3; negative disables the detector
+	// (trees then resample only on α degradation; the query-path
+	// quality escalation still catches under-serving).
+	CutShiftResample float64
 }
 
 // Result is the outcome of a max-flow computation.
@@ -145,6 +169,11 @@ type Result struct {
 	// Restarts counts potential-monotonicity restarts of the accelerated
 	// stepper's momentum sequence (DESIGN.md §5).
 	Restarts int
+	// Escalations counts quality escalations: re-solves at a boosted α
+	// after the measured residual certificate caught the congestion
+	// approximator under-serving this query (DESIGN.md §8; 0 on
+	// healthy queries).
+	Escalations int
 	// WarmStarted reports whether this query started from a warm-cache
 	// hit rather than the zero flow.
 	WarmStarted bool
@@ -181,9 +210,10 @@ func ExactMaxFlow(G *Graph, s, t int) (value int64, flow []int64) {
 // solver workspace with its own round ledger. Any number of goroutines
 // may call MaxFlow / RouteDemand on one shared Router, and the batch
 // methods amortize the approximator across many simultaneous queries
-// on the internal worker pool. The one mutating operation is
-// UpdateCapacities, which must be externally serialized against
-// queries (see its doc).
+// on the internal worker pool. The mutating operations are
+// UpdateCapacities (capacity edits) and UpdateTopology (edge and
+// vertex inserts/removes), which must be externally serialized against
+// queries (see their docs).
 //
 // Unless Options.DisableWarmStart is set, the Router keeps an LRU cache
 // of recent query results and warm-starts repeated queries from them
@@ -195,9 +225,13 @@ type Router struct {
 	cache  *warmCache
 	opts   Options
 	// buildAlpha is the measured distortion of the last full build —
-	// the reference the UpdateCapacities rebuild fallback compares
-	// against.
+	// the reference the UpdateCapacities/UpdateTopology rebuild
+	// fallbacks compare against.
 	buildAlpha float64
+	// topoSeq counts effective UpdateTopology batches; the per-tree
+	// resample seeds are a pure function of (Options.Seed, topoSeq), so
+	// replaying the same batch history reproduces the same trees.
+	topoSeq int64
 }
 
 // NewRouter samples the congestion approximator for G (the expensive,
@@ -206,11 +240,7 @@ func NewRouter(G *Graph, opts Options) (*Router, error) {
 	if !G.g.Connected() {
 		return nil, fmt.Errorf("distflow: graph must be connected")
 	}
-	seed := opts.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	apx, err := capprox.Build(G.g, capproxConfig(opts), rand.New(rand.NewSource(seed)))
+	apx, err := capprox.Build(G.g, capproxConfig(opts), rand.New(rand.NewSource(normalizeSeed(opts.Seed))))
 	if err != nil {
 		return nil, fmt.Errorf("distflow: %w", err)
 	}
@@ -278,6 +308,7 @@ func capproxConfig(opts Options) capprox.Config {
 		Trees:               opts.Trees,
 		ExactCuts:           !opts.PaperScaling,
 		UpdateDirtyFraction: opts.UpdateDirtyFraction,
+		CutShiftResample:    opts.CutShiftResample,
 	}
 }
 
@@ -315,6 +346,14 @@ type UpdateResult struct {
 	// a no-op batch; on Rebuilt they describe the discarded incremental
 	// attempt).
 	DirtyTrees, SweptTrees int
+	// ResampledTrees counts the trees UpdateTopology individually
+	// resampled because the batch degraded them past
+	// Options.AlphaRebuildFactor (always 0 for UpdateCapacities, whose
+	// fallback is the full rebuild).
+	ResampledTrees int
+	// AddedVertices and AddedEdges report the ids UpdateTopology
+	// assigned, in batch order (vertex link edges follow their vertex).
+	AddedVertices, AddedEdges []int
 }
 
 // UpdateCapacities applies capacity edits to the router's graph (in
@@ -351,6 +390,9 @@ func (r *Router) UpdateCapacities(edits []CapEdit) (*UpdateResult, error) {
 		}
 		if ed.Cap <= 0 {
 			return nil, fmt.Errorf("distflow: capacity edit for edge %d has non-positive capacity %d", ed.Edge, ed.Cap)
+		}
+		if r.g.Dead(ed.Edge) {
+			return nil, fmt.Errorf("distflow: capacity edit names deleted edge %d (topology edits cannot be undone by SetCap)", ed.Edge)
 		}
 	}
 	// Coalesce: last write per edge wins, then no-ops (edits equal to
@@ -397,11 +439,7 @@ func (r *Router) UpdateCapacities(edits []CapEdit) (*UpdateResult, error) {
 		factor = 8
 	}
 	if r.apx.Alpha > factor*r.buildAlpha {
-		seed := r.opts.Seed
-		if seed == 0 {
-			seed = 1
-		}
-		apx, err := capprox.Build(r.g, capproxConfig(r.opts), rand.New(rand.NewSource(seed)))
+		apx, err := capprox.Build(r.g, capproxConfig(r.opts), rand.New(rand.NewSource(r.seed())))
 		if err != nil {
 			// The incremental refresh above still succeeded; keep the
 			// router consistent (if distorted) and report the failure.
@@ -450,6 +488,12 @@ func (r *Router) MaxFlow(s, t int) (*Result, error) {
 // s-t demand — the vector a future query of the same pair warm-starts
 // from.
 func (r *Router) maxFlowWarm(s, t int, warm []float64) (*Result, []float64, error) {
+	if s >= 0 && s < r.g.N() && r.g.Removed(s) {
+		return nil, nil, fmt.Errorf("distflow: source %d was removed", s)
+	}
+	if t >= 0 && t < r.g.N() && r.g.Removed(t) {
+		return nil, nil, fmt.Errorf("distflow: sink %d was removed", t)
+	}
 	fr, err := r.solver.MaxFlowWarm(s, t, r.shermanConfig(), warm)
 	if err != nil {
 		return nil, nil, fmt.Errorf("distflow: %w", err)
@@ -483,6 +527,7 @@ func (r *Router) maxFlowWarm(s, t int, warm []float64) (*Result, []float64, erro
 		AlphaUsed:     fr.AlphaUsed,
 		Iterations:    fr.Iterations,
 		Restarts:      fr.Restarts,
+		Escalations:   fr.Escalations,
 		WarmStarted:   warm != nil,
 		Rounds:        total,
 		RoundsByPhase: byPhase,
@@ -528,6 +573,13 @@ func (r *Router) routeDemandWarm(b []float64, eps float64, warm []float64) (flow
 	}
 	if !graph.IsFeasibleDemand(b, 1e-6) {
 		return nil, 0, fmt.Errorf("distflow: demand does not sum to zero")
+	}
+	if r.g.RemovedN() > 0 {
+		for v, bv := range b {
+			if bv != 0 && r.g.Removed(v) {
+				return nil, 0, fmt.Errorf("distflow: demand %v at removed vertex %d", bv, v)
+			}
+		}
 	}
 	eps = normalizeEps(eps)
 	cfg := r.shermanConfig()

@@ -1,7 +1,9 @@
 // Linkfailure: capacity planning for a datacenter-style topology. Two
 // dense pods joined by a thin spine (a barbell graph — the worst case
-// for cut-based routing). We estimate the pod-to-pod throughput, then
-// sweep single-link failures on the spine and rank them by impact.
+// for cut-based routing). We estimate the pod-to-pod throughput, sweep
+// single-link failures on the spine and rank them by impact, then
+// sweep whole-node failures — a spine router vanishing with all its
+// links, and coming back as new hardware — via Router.UpdateTopology.
 //
 // The failure sweep uses Router.UpdateCapacities: instead of rebuilding
 // the congestion approximator for every what-if (the old approach),
@@ -140,4 +142,55 @@ func main() {
 	}
 	fmt.Printf("fail+restore batch coalesced to %d edits in %.4fms; repeat query warm-started: %v\n",
 		ur.Edits, 1000*noopSeconds, rr.WarmStarted)
+
+	// Node failure/recovery sweep: each spine *router* (the midpoint
+	// vertex of one spine path) fails outright — it disappears with
+	// both its links — and is then replaced by new hardware: a fresh
+	// vertex id wired to the same pod endpoints. Both directions are
+	// single UpdateTopology batches on the SAME router; the sampled
+	// trees are patched (the failed node stays behind as an inert
+	// Steiner point, the replacement enters as a leaf under its
+	// heaviest link), and only trees the churn measurably degrades are
+	// individually resampled.
+	fmt.Println("\nspine-node failure/recovery sweep (topology updates):")
+	k := 6
+	off := k + len(spineCaps) // first pod-B vertex
+	var topoSeconds float64
+	for i := range spineCaps {
+		mid := k + i // original midpoint of spine path i; replaced ids follow
+		podA, podB := i%k, off+(i%k)
+		start := time.Now()
+		ur, err := router.UpdateTopology([]distflow.TopoEdit{
+			distflow.RemoveVertexEdit(mid),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		topoSeconds += time.Since(start).Seconds()
+		down, err := router.MaxFlow(s, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start = time.Now()
+		rec, err := router.UpdateTopology([]distflow.TopoEdit{
+			distflow.AddVertexEdit(
+				distflow.Link{To: podA, Cap: spineCaps[i]},
+				distflow.Link{To: podB, Cap: spineCaps[i]},
+			),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		topoSeconds += time.Since(start).Seconds()
+		up, err := router.MaxFlow(s, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  node %d down: %.2f (Δ %.2f, resampled %d trees) | replaced by id %d: %.2f\n",
+			mid, down.Value, res.Value-down.Value, ur.ResampledTrees+rec.ResampledTrees,
+			rec.AddedVertices[0], up.Value)
+	}
+	fmt.Printf("\nnode churn: %.2fms/topology batch vs %.1fms full rebuild (%.0fx faster)\n",
+		1000*topoSeconds/float64(2*len(spineCaps)), 1000*buildSeconds,
+		buildSeconds/(topoSeconds/float64(2*len(spineCaps))))
 }

@@ -60,6 +60,15 @@ type Config struct {
 	// full-sweeps on every update — the pre-dirty-path behavior and the
 	// property-test oracle).
 	UpdateDirtyFraction float64
+	// CutShiftResample tunes UpdateTopology's structural-degradation
+	// detector: a tree one of whose pre-existing subtree cuts a batch
+	// multiplies (or divides) by more than this factor is reported for
+	// resampling — its sampled topology was drawn for a cut landscape
+	// that no longer exists, a quality loss the cap_T/cap_G distortion
+	// α cannot see (DESIGN.md §8). 0 = 3 — past the distortion slack
+	// the sampler's own construction tolerates; negative disables the
+	// detector.
+	CutShiftResample float64
 	// Step forwards to the per-level construction.
 	Step jtree.Config
 }
@@ -192,7 +201,10 @@ func (a *Approximator) combineAlpha() {
 	}
 }
 
-// Build samples the congestion approximator for g.
+// Build samples the congestion approximator for g. A churned graph
+// (tombstoned edges or removed vertices) is compacted to its active
+// subgraph for sampling and the result expanded back to the full id
+// space (see churn.go), so long-lived routers can rebuild in place.
 func Build(g *graph.Graph, cfg Config, rng *rand.Rand) (*Approximator, error) {
 	n := g.N()
 	if n == 0 {
@@ -200,6 +212,9 @@ func Build(g *graph.Graph, cfg Config, rng *rand.Rand) (*Approximator, error) {
 	}
 	if !g.Connected() {
 		return nil, fmt.Errorf("capprox: graph must be connected")
+	}
+	if g.Churned() {
+		return buildChurned(g, cfg, rng)
 	}
 	trees := cfg.Trees
 	if trees == 0 {
@@ -251,21 +266,20 @@ func Build(g *graph.Graph, cfg Config, rng *rand.Rand) (*Approximator, error) {
 	}
 
 	// Exact subtree-cut capacities via the tree-flow identity (one
-	// independent LCA sweep per tree, run tree-parallel), and the
-	// realized distortion α. Timing is per tree, summed — the same CPU-
-	// seconds convention as the sampling phase, so the breakdown stays
-	// unit-consistent on multicore runs.
-	pairs := make([]vtree.EdgeEndpoint, g.M())
-	for i, e := range g.Edges() {
-		pairs[i] = vtree.EdgeEndpoint{U: e.U, V: e.V, Cap: float64(e.Cap)}
-	}
+	// independent LCA sweep per tree, run tree-parallel, each against
+	// pooled scratch — the lifting tables and delta buffers are reused
+	// across trees and workers instead of allocated fresh per tree), and
+	// the realized distortion α. Timing is per tree, summed — the same
+	// CPU-seconds convention as the sampling phase, so the breakdown
+	// stays unit-consistent on multicore runs.
+	pairs := livePairs(g)
 	a.CutCap = make([][]float64, trees)
 	a.Scale = make([][]float64, trees)
 	cutcapSec := make([]float64, trees)
 	par.Do(trees, func(k int) {
 		treeStart := time.Now()
 		t := a.Trees[k]
-		cc := t.TreeFlow(pairs)
+		cc := treeFlowPooled(t, pairs, nil)
 		scale := make([]float64, n)
 		for v := 0; v < n; v++ {
 			if v == t.Root {
@@ -379,65 +393,14 @@ func (a *Approximator) UpdateCapacities(g *graph.Graph, cfg Config, edits []CapD
 	dirtyTrees = len(a.Trees) - sweptTrees
 	if sweptTrees > 0 {
 		// At least one tree re-sweeps: materialize the edge list once.
-		pairs = make([]vtree.EdgeEndpoint, g.M())
-		for i, e := range g.Edges() {
-			pairs[i] = vtree.EdgeEndpoint{U: e.U, V: e.V, Cap: float64(e.Cap)}
-		}
+		pairs = livePairs(g)
 	}
 	par.Do(len(a.Trees), func(k int) {
-		t := a.Trees[k]
 		if sweep[k] {
-			a.treeMax[k] = refreshTree(t, pairs, a.CutCap[k], a.Scale[k], cfg)
+			a.treeMax[k], _ = refreshTree(a.Trees[k], pairs, a.CutCap[k], a.Scale[k], cfg, n, nil)
 			return
 		}
-		cc := a.CutCap[k]
-		scale := a.Scale[k]
-		dirty, delta := t.PathDeltas(dedits, &a.updWS[k])
-		for _, v := range dirty {
-			d := delta[v]
-			ccv := cc[v] + d
-			nv := t.Cap[v] + d
-			if nv <= 0 {
-				nv = ccv
-			}
-			t.Cap[v] = nv
-			cc[v] = ccv
-			if cfg.ExactCuts {
-				scale[v] = ccv
-			} else {
-				scale[v] = nv
-			}
-		}
-		// Maintain the tree's distortion extrema. If the previous argmax
-		// slot was edited its ratio may have shrunk, leaving the stored
-		// maximum stale — rescan; otherwise the non-dirty maximum is
-		// exactly the stored one and only dirty ratios can exceed it.
-		m := a.treeMax[k]
-		stale := false
-		for _, v := range dirty {
-			if v == m.hiArg || v == m.loArg {
-				stale = true
-				break
-			}
-		}
-		if stale {
-			a.treeMax[k] = measureTreeRatios(t, cc)
-			return
-		}
-		for _, v := range dirty {
-			if cc[v] <= 0 {
-				continue
-			}
-			if r := t.Cap[v] / cc[v]; r > m.hi {
-				m.hi = r
-				m.hiArg = v
-			}
-			if r := cc[v] / t.Cap[v]; r > m.lo {
-				m.lo = r
-				m.loArg = v
-			}
-		}
-		a.treeMax[k] = m
+		a.patchTree(k, cfg, dedits, n, nil)
 	})
 	a.combineAlpha()
 	// Charge the distributed cost in fixed tree order: a dirty-path
@@ -475,15 +438,12 @@ func (a *Approximator) buildDiameter(g *graph.Graph) int64 {
 // bit in the integer-capacity regime. Cost: O((n+m) log n) per tree.
 func (a *Approximator) RefreshCapacities(g *graph.Graph, cfg Config) {
 	n := g.N()
-	pairs := make([]vtree.EdgeEndpoint, g.M())
-	for i, e := range g.Edges() {
-		pairs[i] = vtree.EdgeEndpoint{U: e.U, V: e.V, Cap: float64(e.Cap)}
-	}
+	pairs := livePairs(g)
 	if len(a.treeMax) != len(a.Trees) {
 		a.treeMax = make([]ratioMax, len(a.Trees))
 	}
 	par.Do(len(a.Trees), func(k int) {
-		a.treeMax[k] = refreshTree(a.Trees[k], pairs, a.CutCap[k], a.Scale[k], cfg)
+		a.treeMax[k], _ = refreshTree(a.Trees[k], pairs, a.CutCap[k], a.Scale[k], cfg, n, nil)
 	})
 	a.combineAlpha()
 	// Charge the distributed cost: one Lemma 8.3 tree-flow aggregation
@@ -497,26 +457,43 @@ func (a *Approximator) RefreshCapacities(g *graph.Graph, cfg Config) {
 
 // refreshTree full-sweeps one tree: recomputes its cut capacities into
 // cc (in place), shifts the virtual capacities by the cut deltas, and
-// returns the rescanned distortion extrema.
-func refreshTree(t *vtree.VTree, pairs []vtree.EdgeEndpoint, cc, scale []float64, cfg Config) ratioMax {
-	fresh := t.TreeFlow(pairs)
+// returns the rescanned distortion extrema plus the largest
+// multiplicative change among pre-existing cuts (slots below freshFrom
+// whose values moved — the same structural-degradation signal
+// patchTree reports). A slot whose cut holds no live capacity (an
+// all-removed subtree after topology churn) keeps a unit
+// virtual-capacity sentinel and a zero scale — its row is excluded
+// from R exactly as the dirty path excludes it.
+func refreshTree(t *vtree.VTree, pairs []vtree.EdgeEndpoint, cc, scale []float64, cfg Config, freshFrom int, skipShift []bool) (ratioMax, float64) {
+	fresh := treeFlowPooled(t, pairs, nil)
+	shift := 1.0
 	for v := 0; v < t.N(); v++ {
 		if v == t.Root {
 			continue
 		}
+		if v < freshFrom && fresh[v] != cc[v] && (skipShift == nil || !skipShift[v]) {
+			if s := shiftRatio(cc[v], fresh[v]); s > shift {
+				shift = s
+			}
+		}
 		nv := t.Cap[v] + (fresh[v] - cc[v])
 		if nv <= 0 {
 			nv = fresh[v]
+			if nv <= 0 {
+				nv = 1
+			}
 		}
 		t.Cap[v] = nv
-		if cfg.ExactCuts {
+		if fresh[v] <= 0 {
+			scale[v] = 0
+		} else if cfg.ExactCuts {
 			scale[v] = fresh[v]
 		} else {
 			scale[v] = nv
 		}
 	}
 	copy(cc, fresh)
-	return measureTreeRatios(t, cc)
+	return measureTreeRatios(t, cc), shift
 }
 
 // sampleTree draws one virtual tree from the recursive distribution.

@@ -1,0 +1,312 @@
+package capprox
+
+// Tests of the topology-churn layer: dirty-path structural updates must
+// match full re-sweeps bit for bit in the integer regime, Build must
+// compact-and-expand churned graphs, ResampleTrees must be a pure
+// function of (graph, cfg, seeds), and the pooled TreeFlow scratch must
+// not allocate.
+
+import (
+	"math/rand"
+	"testing"
+
+	"distflow/internal/graph"
+	"distflow/internal/par"
+)
+
+// churnGraph builds a connected graph and applies a scripted batch of
+// structural edits, returning the graph plus the TopoDelta describing
+// the batch (the same bookkeeping distflow's Router derives).
+func churnGraph(n int, seed int64) (*graph.Graph, TopoDelta) {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, rng.Intn(v), 1+rng.Int63n(15))
+	}
+	for k := 0; k < 2*n; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v, 1+rng.Int63n(15))
+		}
+	}
+	g.Finalize()
+	var d TopoDelta
+	// Delete a few non-bridge edges (chords beyond the spanning chain).
+	for i := 0; i < 3; i++ {
+		e := n - 1 + rng.Intn(g.M()-(n-1))
+		if g.Dead(e) {
+			continue
+		}
+		ed := g.Edge(e)
+		d.Deltas = append(d.Deltas, CapDelta{U: ed.U, V: ed.V, Diff: -float64(ed.Cap)})
+		g.DeleteEdge(e)
+	}
+	// Insert a few edges.
+	for i := 0; i < 3; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		c := 1 + rng.Int63n(15)
+		g.AddEdge(u, v, c)
+		d.Deltas = append(d.Deltas, CapDelta{U: u, V: v, Diff: float64(c)})
+	}
+	// Add two vertices, each linked to two anchors.
+	for i := 0; i < 2; i++ {
+		w := g.AddVertex()
+		a1, a2 := rng.Intn(n), rng.Intn(n)
+		c1, c2 := 1+rng.Int63n(15), 1+rng.Int63n(15)
+		g.AddEdge(w, a1, c1)
+		d.Deltas = append(d.Deltas, CapDelta{U: w, V: a1, Diff: float64(c1)})
+		d.NewVertices = append(d.NewVertices, NewVertex{ID: w, Anchor: a1})
+		if a2 != a1 {
+			g.AddEdge(w, a2, c2)
+			d.Deltas = append(d.Deltas, CapDelta{U: w, V: a2, Diff: float64(c2)})
+		}
+	}
+	return g, d
+}
+
+// The dirty-path topology update must leave exactly the state the
+// full-sweep path leaves (UpdateDirtyFraction < 0) — cut capacities bit
+// for bit, α included.
+func TestUpdateTopologyDirtyMatchesFullSweep(t *testing.T) {
+	for trial := 0; trial < 3; trial++ {
+		// Build the approximator on a pre-churn graph, apply the same
+		// scripted batch to the graph, then UpdateTopology at both
+		// settings and compare the full resulting state.
+		mk := func(frac float64) (*graph.Graph, *Approximator, TopoDelta) {
+			rng := rand.New(rand.NewSource(int64(60 + trial)))
+			n := 16 + 4*trial
+			g := graph.New(n)
+			for v := 1; v < n; v++ {
+				g.AddEdge(v, rng.Intn(v), 1+rng.Int63n(15))
+			}
+			for k := 0; k < 2*n; k++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u != v {
+					g.AddEdge(u, v, 1+rng.Int63n(15))
+				}
+			}
+			g.Finalize()
+			cfg := Config{ExactCuts: true, UpdateDirtyFraction: frac}
+			a, err := Build(g, cfg, rand.New(rand.NewSource(5)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var d TopoDelta
+			// Delete three chords, insert three edges, add a linked vertex.
+			for i := 0; i < 3; i++ {
+				e := n - 1 + i*2
+				if e >= g.M() || g.Dead(e) {
+					continue
+				}
+				ed := g.Edge(e)
+				d.Deltas = append(d.Deltas, CapDelta{U: ed.U, V: ed.V, Diff: -float64(ed.Cap)})
+				g.DeleteEdge(e)
+			}
+			for i := 0; i < 3; i++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u == v {
+					continue
+				}
+				c := 1 + rng.Int63n(15)
+				g.AddEdge(u, v, c)
+				d.Deltas = append(d.Deltas, CapDelta{U: u, V: v, Diff: float64(c)})
+			}
+			w := g.AddVertex()
+			c := 1 + rng.Int63n(15)
+			g.AddEdge(w, 0, c)
+			d.NewVertices = append(d.NewVertices, NewVertex{ID: w, Anchor: 0})
+			d.Deltas = append(d.Deltas, CapDelta{U: w, V: 0, Diff: float64(c)})
+			dirty, swept, _ := a.UpdateTopology(g, cfg, d)
+			if frac > 0 && swept != 0 {
+				t.Fatalf("trial %d: dirty run swept %d trees", trial, swept)
+			}
+			if frac < 0 && dirty != 0 {
+				t.Fatalf("trial %d: full run patched %d trees", trial, dirty)
+			}
+			return g, a, d
+		}
+		_, ad, _ := mk(1e9)
+		_, af, _ := mk(-1)
+		if ad.Alpha != af.Alpha || ad.AlphaLow != af.AlphaLow {
+			t.Fatalf("trial %d: alpha %v/%v (dirty) vs %v/%v (full)",
+				trial, ad.Alpha, ad.AlphaLow, af.Alpha, af.AlphaLow)
+		}
+		for k := range ad.Trees {
+			for v := 0; v < ad.Trees[k].N(); v++ {
+				if ad.CutCap[k][v] != af.CutCap[k][v] {
+					t.Fatalf("trial %d: cut cap tree %d slot %d: %v vs %v",
+						trial, k, v, ad.CutCap[k][v], af.CutCap[k][v])
+				}
+				if ad.Trees[k].Cap[v] != af.Trees[k].Cap[v] || ad.Scale[k][v] != af.Scale[k][v] {
+					t.Fatalf("trial %d: tree %d slot %d virtual/scale differ", trial, k, v)
+				}
+			}
+		}
+	}
+}
+
+// Build on a churned graph must compact, sample, and expand: removed
+// vertices become excluded root leaves, live slots match a direct build
+// on the equivalent compacted graph.
+func TestBuildOnChurnedGraph(t *testing.T) {
+	g, _ := churnGraph(20, 77)
+	// Remove one low-degree vertex (keeping the rest connected: vertex
+	// ids beyond the spanning chain root; retry until connected).
+	for v := g.N() - 1; v > 0; v-- {
+		if g.Removed(v) {
+			continue
+		}
+		clone := g.Clone()
+		clone.RemoveVertex(v)
+		if clone.Connected() {
+			g.RemoveVertex(v)
+			break
+		}
+	}
+	if !g.Churned() {
+		t.Fatal("test graph is not churned")
+	}
+	cfg := Config{ExactCuts: true}
+	a, err := Build(g, cfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Alpha < 1 {
+		t.Fatalf("alpha %v < 1", a.Alpha)
+	}
+	for k, tr := range a.Trees {
+		if tr.N() != g.N() {
+			t.Fatalf("tree %d spans %d of %d vertices", k, tr.N(), g.N())
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Removed(v) {
+				if a.Scale[k][v] != 0 || a.CutCap[k][v] != 0 {
+					t.Fatalf("removed vertex %d has live row in tree %d", v, k)
+				}
+			}
+		}
+	}
+	// R application must still be well-defined on a demand over live
+	// vertices.
+	b := make([]float64, g.N())
+	s, tt := -1, -1
+	for v := 0; v < g.N(); v++ {
+		if !g.Removed(v) {
+			if s < 0 {
+				s = v
+			} else {
+				tt = v
+			}
+		}
+	}
+	b[s], b[tt] = 1, -1
+	if norm := a.NormRb(b); norm <= 0 {
+		t.Fatalf("NormRb %v on live demand", norm)
+	}
+}
+
+// ResampleTrees must replace exactly the named trees, reproduce
+// identically for identical seeds, and differ for different seeds.
+func TestResampleTreesDeterministic(t *testing.T) {
+	mk := func(workers int) *Approximator {
+		defer par.SetWorkers(par.SetWorkers(workers))
+		g, d := churnGraph(24, 88)
+		cfg := Config{ExactCuts: true}
+		// Build pre-churn is impossible here (churnGraph already applied
+		// the batch), so build on the churned graph and resample.
+		a, err := Build(g, cfg, rand.New(rand.NewSource(4)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = d
+		if err := a.ResampleTrees(g, cfg, []int{0, 2}, []int64{101, 202}); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	a1, a4 := mk(1), mk(4)
+	if a1.Alpha != a4.Alpha {
+		t.Fatalf("resample alpha differs across workers: %v vs %v", a1.Alpha, a4.Alpha)
+	}
+	for k := range a1.Trees {
+		for v := 0; v < a1.Trees[k].N(); v++ {
+			if a1.Trees[k].Parent[v] != a4.Trees[k].Parent[v] ||
+				a1.CutCap[k][v] != a4.CutCap[k][v] {
+				t.Fatalf("tree %d differs at %d across worker counts", k, v)
+			}
+		}
+	}
+}
+
+// The pooled TreeFlow sweep must not allocate once warm (the ROADMAP
+// cut-capacity scratch-reuse item).
+func TestTreeFlowPooledAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation defeats sync.Pool caching")
+	}
+	rng := rand.New(rand.NewSource(3))
+	g := graph.New(64)
+	for v := 1; v < 64; v++ {
+		g.AddEdge(v, rng.Intn(v), 1+rng.Int63n(9))
+	}
+	a, err := Build(g, Config{ExactCuts: true}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := a.Trees[0]
+	pairs := livePairs(g)
+	dst := make([]float64, g.N())
+	treeFlowPooled(tr, pairs, dst) // warm the pool
+	if avg := testing.AllocsPerRun(50, func() {
+		treeFlowPooled(tr, pairs, dst)
+	}); avg > 0.5 {
+		t.Errorf("pooled TreeFlow allocates %.1f per sweep, want 0", avg)
+	}
+	// And the pooled sweep is bit-identical to the allocating one.
+	want := tr.TreeFlow(pairs)
+	for v := range want {
+		if dst[v] != want[v] {
+			t.Fatalf("pooled sweep differs at %d: %v vs %v", v, dst[v], want[v])
+		}
+	}
+}
+
+// vtree sanity: the AddLeaf used by UpdateTopology keeps ids aligned
+// with graph AddVertex order.
+func TestUpdateTopologyLeafIDs(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 2)
+	g.AddEdge(3, 0, 2)
+	g.Finalize()
+	cfg := Config{ExactCuts: true}
+	a, err := Build(g, cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := g.AddVertex()
+	g.AddEdge(w, 1, 7)
+	d := TopoDelta{
+		NewVertices: []NewVertex{{ID: w, Anchor: 1}},
+		Deltas:      []CapDelta{{U: w, V: 1, Diff: 7}},
+	}
+	a.UpdateTopology(g, cfg, d)
+	for k, tr := range a.Trees {
+		if tr.N() != g.N() {
+			t.Fatalf("tree %d did not grow", k)
+		}
+		if tr.Parent[w] != 1 {
+			t.Fatalf("tree %d leaf parent %d, want anchor 1", k, tr.Parent[w])
+		}
+		if a.CutCap[k][w] != 7 {
+			t.Fatalf("tree %d new-leaf cut %v, want 7", k, a.CutCap[k][w])
+		}
+		if tr.Cap[w] != 7 {
+			t.Fatalf("tree %d new-leaf virtual cap %v, want 7", k, tr.Cap[w])
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package capprox
+
+// raceEnabled reports that the race detector is active: its
+// instrumentation defeats sync.Pool's per-P caches, so zero-allocation
+// assertions on pooled paths are skipped.
+const raceEnabled = true

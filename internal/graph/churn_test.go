@@ -1,0 +1,285 @@
+package graph
+
+// Tests of the CSR delta overlay: post-finalize AddEdge lands in the
+// overlay without a re-finalize, DeleteEdge tombstones in place,
+// AddVertex/RemoveVertex keep ids stable, iteration order is stable
+// under churn, and Compact folds everything back into a base CSR that
+// is indistinguishable from a fresh build.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// collectArcs returns v's live incidences via ForEachArc.
+func collectArcs(g *Graph, v int) []Arc {
+	var out []Arc
+	g.ForEachArc(v, func(a Arc) { out = append(out, a) })
+	return out
+}
+
+// naiveArcs recomputes v's live incidences straight from the edge list
+// in insertion order — the reference iteration order.
+func naiveArcs(g *Graph, v int) []Arc {
+	var out []Arc
+	for e, ed := range g.Edges() {
+		if ed.Cap == 0 {
+			continue
+		}
+		if ed.U == v {
+			out = append(out, Arc{To: ed.V, E: e})
+		} else if ed.V == v {
+			out = append(out, Arc{To: ed.U, E: e})
+		}
+	}
+	return out
+}
+
+func sameArcs(a, b []Arc) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fuzzed churn: random interleavings of adds, deletes, vertex adds and
+// removals must keep every iterator consistent with the naive edge-list
+// recomputation, before and after Compact.
+func TestChurnIterationMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(8)
+		g := New(n)
+		g.OverlayCompactFraction = -1 // no auto-compact: exercise the overlay hard
+		for v := 1; v < n; v++ {
+			g.AddEdge(v, rng.Intn(v), 1+rng.Int63n(9))
+		}
+		g.Finalize()
+		live := func() []int {
+			var out []int
+			for e := range g.Edges() {
+				if !g.Dead(e) {
+					out = append(out, e)
+				}
+			}
+			return out
+		}
+		for step := 0; step < 30; step++ {
+			switch op := rng.Intn(4); {
+			case op == 0: // add edge between live vertices
+				u, v := rng.Intn(g.N()), rng.Intn(g.N())
+				if u != v && !g.Removed(u) && !g.Removed(v) {
+					g.AddEdge(u, v, 1+rng.Int63n(9))
+				}
+			case op == 1: // delete a live edge
+				if l := live(); len(l) > 0 {
+					g.DeleteEdge(l[rng.Intn(len(l))])
+				}
+			case op == 2: // add a vertex plus one anchoring edge
+				anchor := rng.Intn(g.N())
+				if !g.Removed(anchor) {
+					w := g.AddVertex()
+					g.AddEdge(w, anchor, 1+rng.Int63n(9))
+				}
+			case op == 3: // remove a random live vertex
+				v := rng.Intn(g.N())
+				if !g.Removed(v) && g.ActiveN() > 1 {
+					g.RemoveVertex(v)
+				}
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+			for v := 0; v < g.N(); v++ {
+				if got, want := collectArcs(g, v), naiveArcs(g, v); !sameArcs(got, want) {
+					t.Fatalf("trial %d step %d: vertex %d arcs %v, want %v", trial, step, v, got, want)
+				}
+				if d := g.Degree(v); d != len(naiveArcs(g, v)) {
+					t.Fatalf("trial %d step %d: Degree(%d)=%d, want %d", trial, step, v, d, len(naiveArcs(g, v)))
+				}
+			}
+		}
+		g.Compact()
+		if g.OverlayArcs() != 0 {
+			t.Fatalf("trial %d: Compact left %d overlay arcs", trial, g.OverlayArcs())
+		}
+		for v := 0; v < g.N(); v++ {
+			if got, want := collectArcs(g, v), naiveArcs(g, v); !sameArcs(got, want) {
+				t.Fatalf("trial %d post-compact: vertex %d arcs %v, want %v", trial, v, got, want)
+			}
+			if got, want := g.Adj(v), naiveArcs(g, v); !sameArcs(got, want) {
+				t.Fatalf("trial %d post-compact: Adj(%d)=%v, want %v", trial, v, got, want)
+			}
+		}
+	}
+}
+
+// Overlay adds must not re-finalize; crossing the compact threshold
+// must.
+func TestOverlayCompactThreshold(t *testing.T) {
+	g := New(10)
+	for v := 1; v < 10; v++ {
+		g.AddEdge(v, v-1, 1)
+	}
+	g.Finalize()
+	g.AddEdge(0, 5, 2)
+	if g.OverlayArcs() != 2 {
+		t.Fatalf("overlay arcs %d after one post-finalize add, want 2", g.OverlayArcs())
+	}
+	// Default threshold 0.25 of 18 base arcs: the third overlay edge
+	// (6 arcs > 4.5) schedules the compact, observable after the next
+	// adjacency access.
+	g.AddEdge(1, 6, 2)
+	g.AddEdge(2, 7, 2)
+	g.ForEachArc(0, func(Arc) {})
+	if g.OverlayArcs() != 0 {
+		t.Fatalf("auto-compact did not fire: %d overlay arcs", g.OverlayArcs())
+	}
+}
+
+// Tombstones: deletion keeps ids, skips iteration, and the flow-space
+// dimension (M) is unchanged.
+func TestDeleteEdgeTombstone(t *testing.T) {
+	g := New(3)
+	e0 := g.AddEdge(0, 1, 5)
+	e1 := g.AddEdge(1, 2, 7)
+	g.Finalize()
+	g.DeleteEdge(e0)
+	if g.M() != 2 || g.LiveM() != 1 {
+		t.Fatalf("M=%d LiveM=%d, want 2/1", g.M(), g.LiveM())
+	}
+	if !g.Dead(e0) || g.Dead(e1) {
+		t.Fatal("tombstone marks wrong")
+	}
+	if got := collectArcs(g, 1); len(got) != 1 || got[0].E != e1 {
+		t.Fatalf("vertex 1 arcs %v, want only edge %d", got, e1)
+	}
+	if g.Connected() {
+		t.Fatal("deleting the only 0-1 edge must disconnect vertex 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double delete did not panic")
+		}
+	}()
+	g.DeleteEdge(e0)
+}
+
+// RemoveVertex tombstones the incident edges, reports them, and the
+// active subgraph semantics (Connected, ActiveN) follow.
+func TestRemoveVertex(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	e12 := g.AddEdge(1, 2, 1)
+	e13 := g.AddEdge(1, 3, 1)
+	g.AddEdge(2, 3, 1)
+	g.Finalize()
+	killed := g.RemoveVertex(1)
+	if len(killed) != 3 {
+		t.Fatalf("killed %v, want 3 edges", killed)
+	}
+	if g.ActiveN() != 3 || !g.Removed(1) {
+		t.Fatalf("ActiveN=%d Removed(1)=%v", g.ActiveN(), g.Removed(1))
+	}
+	// 0 is now isolated from {2,3}.
+	if g.Connected() {
+		t.Fatal("active subgraph should be disconnected after removing vertex 1")
+	}
+	if !g.Dead(e12) || !g.Dead(e13) {
+		t.Fatal("incident edges not tombstoned")
+	}
+	// Re-attach 0 via a new edge: connected again.
+	g.AddEdge(0, 2, 1)
+	if !g.Connected() {
+		t.Fatal("active subgraph should be connected after re-attaching 0")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// AddVertex past the finalized base: adjacency works without a rebuild,
+// ids are dense, and BFS/Divergence cover the new range.
+func TestAddVertexAfterFinalize(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 3)
+	g.Finalize()
+	w := g.AddVertex()
+	if w != 2 || g.N() != 3 {
+		t.Fatalf("AddVertex id %d N %d", w, g.N())
+	}
+	if d := g.Degree(w); d != 0 {
+		t.Fatalf("fresh vertex degree %d", d)
+	}
+	e := g.AddEdge(w, 0, 4)
+	if got := collectArcs(g, w); len(got) != 1 || got[0] != (Arc{To: 0, E: e}) {
+		t.Fatalf("new vertex arcs %v", got)
+	}
+	dist, _ := g.BFS(1)
+	if dist[w] != 2 {
+		t.Fatalf("BFS dist to new vertex %d, want 2", dist[w])
+	}
+	div := g.Divergence([]float64{1, 2}) // e0: 0→1 carries 1; e1: 2→0 carries 2
+	if div[0] != -1 || div[1] != -1 || div[2] != 2 {
+		t.Fatalf("divergence %v", div)
+	}
+}
+
+// Clone must preserve churn state.
+func TestClonePreservesChurn(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	e := g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 0, 1)
+	g.Finalize()
+	g.DeleteEdge(e)
+	g.RemoveVertex(3) // kills 2-3 and 3-0
+	h := g.Clone()
+	if h.M() != g.M() || h.LiveM() != g.LiveM() || h.ActiveN() != g.ActiveN() || !h.Removed(3) {
+		t.Fatalf("clone lost churn state: M=%d LiveM=%d ActiveN=%d", h.M(), h.LiveM(), h.ActiveN())
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < h.N(); v++ {
+		if !sameArcs(collectArcs(h, v), collectArcs(g, v)) {
+			t.Fatalf("clone arcs differ at %d", v)
+		}
+	}
+}
+
+// The overlay iterators must stay allocation-free.
+func TestChurnZeroAllocIteration(t *testing.T) {
+	g := New(64)
+	for v := 1; v < 64; v++ {
+		g.AddEdge(v, v-1, 1)
+	}
+	g.Finalize()
+	g.OverlayCompactFraction = -1
+	for i := 0; i < 16; i++ {
+		g.AddEdge(i, 32+i, 1)
+	}
+	g.DeleteEdge(0)
+	f := make([]float64, g.M())
+	div := make([]float64, g.N())
+	if avg := testing.AllocsPerRun(20, func() {
+		g.DivergenceInto(f, div)
+	}); avg > 0 {
+		t.Errorf("DivergenceInto allocates %.1f per sweep under churn, want 0", avg)
+	}
+	sink := 0
+	if avg := testing.AllocsPerRun(20, func() {
+		for v := 0; v < g.N(); v++ {
+			g.ForEachArc(v, func(a Arc) { sink += a.E })
+		}
+	}); avg > 0 {
+		t.Errorf("ForEachArc allocates %.1f per sweep under churn, want 0", avg)
+	}
+	_ = sink
+}

@@ -356,15 +356,19 @@ func assembleTree(g *graph.Graph, inTree []bool) (*proto.Tree, error) {
 }
 
 // Kruskal is the centralized reference implementation. It returns the
-// selected edge set and total (minimization) weight.
+// selected edge set and total (minimization) weight. Tombstoned edges
+// (capacity 0) are never selected.
 func Kruskal(g *graph.Graph, maximize bool) ([]bool, int64) {
 	type we struct {
 		w int64
 		e int
 	}
-	edges := make([]we, g.M())
-	for e := range edges {
-		edges[e] = we{w: weight(g, e, maximize), e: e}
+	edges := make([]we, 0, g.M())
+	for e := 0; e < g.M(); e++ {
+		if g.Cap(e) == 0 {
+			continue
+		}
+		edges = append(edges, we{w: weight(g, e, maximize), e: e})
 	}
 	sort.Slice(edges, func(i, j int) bool {
 		if edges[i].w != edges[j].w {

@@ -176,6 +176,12 @@ func newWorkspace(g *graph.Graph, apx *capprox.Approximator) *workspace {
 	ws := &workspace{g: g, apx: apx, scratch: apx.NewEvalScratch()}
 	ws.invCap = make([]float64, g.M())
 	for e, ed := range g.Edges() {
+		if ed.Cap == 0 {
+			// Tombstoned edge: zero inverse capacity keeps it out of φ1
+			// and the gradient never moves flow onto it (the step vector
+			// scales by cap = 0), so its flow stays exactly 0.
+			continue
+		}
 		ws.invCap[e] = 1 / float64(ed.Cap)
 	}
 	ws.w1 = make([]float64, g.M())
@@ -550,6 +556,13 @@ type FlowResult struct {
 	Outer int
 	// AlphaUsed is the largest α any AlmostRoute call settled on.
 	AlphaUsed float64
+	// Escalations counts quality escalations: full re-solves at a 4×
+	// boosted α after the measured residual certificate failed at the
+	// end of the outer loop — the congestion approximator was weaker
+	// than the working α assumed (possible after aggressive topology
+	// churn, or for an unlucky tree sample), so the descent "converged"
+	// while leaving real residual behind. 0 on healthy queries.
+	Escalations int
 	// Ledger holds the charged rounds for the flow computation phases
 	// (approximator construction is ledgered separately in capprox).
 	Ledger *congest.Ledger
@@ -599,7 +612,6 @@ func (s *Solver) MaxFlowWarm(src, dst int, cfg Config, warm []float64) (*FlowRes
 	total := make([]float64, g.M())
 	resid := append([]float64(nil), b...)
 	norm0 := s.apx.NormRb(b)
-	st := &stepState{eta: 1}
 	var fTree []float64
 
 	// Certificate short-circuit for warm starts: a cached routing of the
@@ -629,46 +641,76 @@ func (s *Solver) MaxFlowWarm(src, dst int, cfg Config, warm []float64) (*FlowRes
 			fTree = nil
 		}
 	}
-	for i := 0; !skip && i < outer; i++ {
-		epsI := eps
-		w := warm
-		if i > 0 {
-			epsI = 0.5
-			w = nil
-		}
-		rr, err := s.almostRoute(resid, epsI, cfg, ledger, w, st)
-		if err != nil {
-			return nil, fmt.Errorf("sherman: outer %d: %w", i, err)
-		}
-		res.Iterations += rr.Iterations
-		res.Restarts += rr.Restarts
-		if rr.AlphaUsed > res.AlphaUsed {
-			res.AlphaUsed = rr.AlphaUsed
-		}
-		par.For(len(total), func(lo, hi int) {
-			for e := lo; e < hi; e++ {
-				total[e] += rr.Flow[e]
+	// Quality-escalation loop around Algorithm 1: run the outer
+	// AlmostRoute loop at the working α; if it exhausts its repetitions
+	// with the measured residual certificate still unmet, the
+	// approximator's real quality is worse than α assumed — the descent
+	// kept "converging" while R under-weighted the leftover residual —
+	// so the whole solve retries at 4× the α (the premature-convergence
+	// analogue of the stall-doubling restarts of ablation A2). Healthy
+	// queries never enter a second attempt.
+	const maxEscalations = 4
+	baseAlpha := resolveAlpha(cfg)
+	for attempt := 0; !skip; attempt++ {
+		st := &stepState{eta: 1, alpha: baseAlpha * math.Pow(4, float64(attempt))}
+		certMet := false
+		for i := 0; i < outer; i++ {
+			epsI := 0.5
+			if i == 0 {
+				epsI = eps
 			}
-		})
-		div := g.Divergence(total)
-		par.For(len(resid), func(lo, hi int) {
-			for v := lo; v < hi; v++ {
-				resid[v] = b[v] - div[v]
+			var w []float64
+			if i == 0 && attempt == 0 {
+				w = warm
 			}
-		})
-		res.Outer = i + 1
-		// Measured residual certificate: tree-route the current residual
-		// and stop once its congestion is negligible at the target
-		// accuracy — the tree flow is about to be added verbatim, so
-		// cong(fTree) ≤ ε/100·cong(total) bounds the final perturbation
-		// directly (no approximator slack involved). This replaces the
-		// fixed 1e-9 norm cutoff, which over-solved by 2-3 outer rounds
-		// on typical instances (DESIGN.md §5).
-		fTree = tr.route(resid)
-		if g.MaxCongestion(fTree) <= 0.01*eps*g.MaxCongestion(total) ||
-			s.apx.NormRb(resid) <= norm0*1e-9 {
+			rr, err := s.almostRoute(resid, epsI, cfg, ledger, w, st)
+			if err != nil {
+				return nil, fmt.Errorf("sherman: outer %d: %w", i, err)
+			}
+			res.Iterations += rr.Iterations
+			res.Restarts += rr.Restarts
+			if rr.AlphaUsed > res.AlphaUsed {
+				res.AlphaUsed = rr.AlphaUsed
+			}
+			par.For(len(total), func(lo, hi int) {
+				for e := lo; e < hi; e++ {
+					total[e] += rr.Flow[e]
+				}
+			})
+			div := g.Divergence(total)
+			par.For(len(resid), func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					resid[v] = b[v] - div[v]
+				}
+			})
+			res.Outer++
+			// Measured residual certificate: tree-route the current
+			// residual and stop once its congestion is negligible at the
+			// target accuracy — the tree flow is about to be added
+			// verbatim, so cong(fTree) ≤ ε/100·cong(total) bounds the
+			// final perturbation directly (no approximator slack
+			// involved). This replaces the fixed 1e-9 norm cutoff, which
+			// over-solved by 2-3 outer rounds on typical instances
+			// (DESIGN.md §5).
+			fTree = tr.route(resid)
+			if g.MaxCongestion(fTree) <= 0.01*eps*g.MaxCongestion(total) ||
+				s.apx.NormRb(resid) <= norm0*1e-9 {
+				certMet = true
+				break
+			}
+		}
+		if certMet || attempt >= maxEscalations {
 			break
 		}
+		// Escalate: restart the solve from zero at a boosted α.
+		res.Escalations++
+		par.For(len(total), func(lo, hi int) {
+			for e := lo; e < hi; e++ {
+				total[e] = 0
+			}
+		})
+		copy(resid, b)
+		fTree = nil
 	}
 	if fTree == nil {
 		fTree = tr.route(resid)
@@ -724,39 +766,52 @@ type stRouter struct {
 func newSTRouter(g *graph.Graph) (*stRouter, error) {
 	inTree, _ := mst.Kruskal(g, true)
 	n := g.N()
+	root := 0
+	for root < n && g.Removed(root) {
+		root++
+	}
+	if root == n {
+		return nil, fmt.Errorf("sherman: no active vertex")
+	}
 	parent := make([]int, n)
 	parentEdge := make([]int, n)
 	for v := range parent {
 		parent[v] = -2
 		parentEdge[v] = -1
 	}
-	parent[0] = -1
-	queue := []int{0}
-	// BFS straight over the graph's CSR adjacency, filtering to tree
-	// edges inline (no intermediate per-vertex slices).
+	parent[root] = -1
+	queue := []int{root}
+	// BFS over the graph's live adjacency (base CSR plus any churn
+	// overlay), filtering to tree edges inline.
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, a := range g.Adj(v) {
+		g.ForEachArc(v, func(a graph.Arc) {
 			if inTree[a.E] && parent[a.To] == -2 {
 				parent[a.To] = v
 				parentEdge[a.To] = a.E
 				queue = append(queue, a.To)
 			}
-		}
+		})
 	}
 	for v, p := range parent {
 		if p == -2 {
+			if g.Removed(v) {
+				// Removed vertices carry no demand; hang them off the
+				// root as inert leaves so the tree stays spanning.
+				parent[v] = root
+				continue
+			}
 			return nil, fmt.Errorf("sherman: graph disconnected at %d", v)
 		}
 	}
-	t, err := vtree.New(0, parent, nil)
+	t, err := vtree.New(root, parent, nil)
 	if err != nil {
 		return nil, err
 	}
 	orient := make([]float64, n)
 	for v := 0; v < n; v++ {
-		if v != 0 {
+		if v != root && parentEdge[v] >= 0 {
 			orient[v] = g.Orientation(parentEdge[v], v)
 		}
 	}
@@ -768,7 +823,9 @@ func (tr *stRouter) route(b []float64) []float64 {
 	sums := tr.t.RouteDemand(b)
 	f := make([]float64, tr.m)
 	for v := range sums {
-		if v == 0 {
+		if v == tr.t.Root || tr.parentEdge[v] < 0 {
+			// Root, or an inert removed-vertex leaf (whose subtree sum is
+			// 0 for any live demand).
 			continue
 		}
 		// sums[v] flows from v toward parent[v].

@@ -115,6 +115,43 @@ func New(root int, parent []int, capacity []float64) (*VTree, error) {
 // N returns the number of vertices.
 func (t *VTree) N() int { return len(t.Parent) }
 
+// AddLeaf appends a new vertex as a child of parent with the given
+// virtual capacity and returns its id (the previous N). Appending a
+// leaf preserves every existing path, depth, and topological prefix, so
+// all sweep state stays valid; the cached LCA table (EnsureLCA) is
+// extended by one column in O(log n), unless the vertex count crosses
+// the table's 2^levels capacity, in which case it is invalidated and
+// lazily rebuilt. capacity may be 0 transiently — the congestion
+// approximator's topology updates set it before anything sweeps — but
+// must be positive before Congestion or New-style validation runs.
+func (t *VTree) AddLeaf(parent int, capacity float64) int {
+	if parent < 0 || parent >= len(t.Parent) {
+		panic(fmt.Sprintf("vtree: AddLeaf parent %d out of range", parent))
+	}
+	v := len(t.Parent)
+	t.Parent = append(t.Parent, parent)
+	t.Cap = append(t.Cap, capacity)
+	t.Depth = append(t.Depth, t.Depth[parent]+1)
+	// A leaf appended at the end keeps the order topological: its parent
+	// already precedes it.
+	t.order = append(t.order, v)
+	if t.lca != nil {
+		levels := len(t.lca.up) - 1
+		if (1 << levels) < v+1 {
+			// The lifting table can no longer cover the depth range;
+			// rebuild lazily on the next EnsureLCA.
+			t.lca = nil
+		} else {
+			up := t.lca.up
+			up[0] = append(up[0], int32(parent))
+			for k := 1; k <= levels; k++ {
+				up[k] = append(up[k], up[k-1][up[k-1][v]])
+			}
+		}
+	}
+	return v
+}
+
 // Height returns the maximum depth.
 func (t *VTree) Height() int {
 	h := 0

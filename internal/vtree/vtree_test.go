@@ -469,3 +469,71 @@ func TestPathWorkCountsPathEdges(t *testing.T) {
 		t.Fatalf("PathWork %d, PathDeltas performed %v additions", got, sum)
 	}
 }
+
+// AddLeaf must keep the cached LCA table exact: grow a random tree leaf
+// by leaf past a power-of-two boundary and compare every query against
+// a freshly built table.
+func TestAddLeafExtendsLCA(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tr := randomTree(12, rng)
+	lca := tr.EnsureLCA()
+	_ = lca
+	// 12 → 40 vertices crosses the 16 and 32 boundaries, exercising both
+	// the O(log n) column append and the invalidate-and-rebuild path.
+	for tr.N() < 40 {
+		parent := rng.Intn(tr.N())
+		v := tr.AddLeaf(parent, 1)
+		if tr.Parent[v] != parent || tr.Depth[v] != tr.Depth[parent]+1 {
+			t.Fatalf("leaf %d parent/depth wrong", v)
+		}
+		cur := tr.EnsureLCA()
+		fresh := NewLCA(tr)
+		for i := 0; i < 60; i++ {
+			a, b := rng.Intn(tr.N()), rng.Intn(tr.N())
+			if got, want := cur.Query(a, b), fresh.Query(a, b); got != want {
+				t.Fatalf("n=%d: LCA(%d,%d)=%d, want %d", tr.N(), a, b, got, want)
+			}
+		}
+	}
+}
+
+// After AddLeaf, PathDeltas on the grown tree must still reproduce the
+// difference of full TreeFlow sweeps (the dirty-path identity the
+// topology updates rely on).
+func TestAddLeafPathDeltasMatchTreeFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	tr := randomTree(20, rng)
+	pairs := []EdgeEndpoint{}
+	for i := 0; i < 30; i++ {
+		u, v := rng.Intn(20), rng.Intn(20)
+		if u != v {
+			pairs = append(pairs, EdgeEndpoint{U: u, V: v, Cap: float64(1 + rng.Intn(9))})
+		}
+	}
+	before := tr.TreeFlow(pairs)
+	sc := &DeltaScratch{}
+	// Grow two leaves and route three new pairs touching them.
+	w1 := tr.AddLeaf(rng.Intn(tr.N()), 0)
+	w2 := tr.AddLeaf(w1, 0)
+	newPairs := []EdgeEndpoint{
+		{U: w1, V: rng.Intn(20), Cap: 3},
+		{U: w2, V: rng.Intn(20), Cap: 5},
+		{U: w2, V: w1, Cap: 2},
+	}
+	edits := make([]DeltaEdit, len(newPairs))
+	for i, p := range newPairs {
+		edits[i] = DeltaEdit{U: p.U, V: p.V, Diff: p.Cap}
+	}
+	dirty, delta := tr.PathDeltas(edits, sc)
+	got := make([]float64, tr.N())
+	copy(got, before) // new slots start at 0
+	for _, v := range dirty {
+		got[v] += delta[v]
+	}
+	want := tr.TreeFlow(append(append([]EdgeEndpoint{}, pairs...), newPairs...))
+	for v := 0; v < tr.N(); v++ {
+		if got[v] != want[v] {
+			t.Fatalf("load at %d: dirty-path %v, full sweep %v", v, got[v], want[v])
+		}
+	}
+}

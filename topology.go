@@ -1,0 +1,415 @@
+package distflow
+
+// Dynamic topology churn: Router.UpdateTopology applies batched edge
+// inserts/deletes and vertex adds/removes to a live router without
+// rebuilding the congestion approximator (DESIGN.md §8). Structural
+// edits ride the same Lemma 8.3 dirty-path machinery as capacity edits;
+// only trees whose measured distortion degrades past the rebuild
+// threshold are individually resampled.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"distflow/internal/capprox"
+	"distflow/internal/graph"
+	"distflow/internal/sherman"
+)
+
+// TopoOp selects the kind of one TopoEdit.
+type TopoOp uint8
+
+const (
+	// TopoAddEdge inserts an undirected edge U—V with capacity Cap.
+	TopoAddEdge TopoOp = iota
+	// TopoDeleteEdge tombstones the edge with index Edge. Its id stays
+	// allocated (flow vectors keep their length); deleting an already
+	// deleted edge is elided as a no-op.
+	TopoDeleteEdge
+	// TopoAddVertex appends a new vertex with the initial Links. The new
+	// vertex's id is the graph's vertex count at the time the edit
+	// applies (ids grow densely in batch order; UpdateResult.AddedVertices
+	// reports them). At least one link is required — an isolated vertex
+	// would disconnect the graph.
+	TopoAddVertex
+	// TopoRemoveVertex removes vertex Vertex: all its live incident
+	// edges are tombstoned and the id is permanently retired (never
+	// reused). Removing an already removed vertex is elided.
+	TopoRemoveVertex
+)
+
+// Link is one initial edge of a TopoAddVertex edit: the new vertex is
+// connected to To with capacity Cap. The heaviest link's target (ties:
+// earliest) serves as the vertex's deterministic anchor in every
+// sampled tree — the tree then routes the leaf's flow along its
+// dominant edge, which keeps the grafted family a faithful cut sketch.
+type Link struct {
+	To  int
+	Cap int64
+}
+
+// anchorOf picks the tree anchor of an added vertex: the heaviest
+// link's target, earliest on ties.
+func anchorOf(links []Link) int {
+	best := 0
+	for i := 1; i < len(links); i++ {
+		if links[i].Cap > links[best].Cap {
+			best = i
+		}
+	}
+	return links[best].To
+}
+
+// TopoEdit is one structural edit of an UpdateTopology batch. Exactly
+// the fields of its Op are read; constructors below fill them.
+type TopoEdit struct {
+	Op TopoOp
+	// TopoAddEdge:
+	U, V int
+	Cap  int64
+	// TopoDeleteEdge:
+	Edge int
+	// TopoRemoveVertex:
+	Vertex int
+	// TopoAddVertex:
+	Links []Link
+}
+
+// AddEdgeEdit inserts an edge u—v with the given capacity. u and v may
+// name vertices added earlier in the same batch.
+func AddEdgeEdit(u, v int, capacity int64) TopoEdit {
+	return TopoEdit{Op: TopoAddEdge, U: u, V: v, Cap: capacity}
+}
+
+// DeleteEdgeEdit tombstones edge e (an index returned by AddEdge or
+// reported in UpdateResult.AddedEdges).
+func DeleteEdgeEdit(e int) TopoEdit { return TopoEdit{Op: TopoDeleteEdge, Edge: e} }
+
+// AddVertexEdit appends a vertex linked by the given edges.
+func AddVertexEdit(links ...Link) TopoEdit { return TopoEdit{Op: TopoAddVertex, Links: links} }
+
+// RemoveVertexEdit removes vertex v and all its live edges.
+func RemoveVertexEdit(v int) TopoEdit { return TopoEdit{Op: TopoRemoveVertex, Vertex: v} }
+
+// UpdateTopology applies a batch of structural edits to the router's
+// graph (in place — the Graph passed to NewRouter observes them) and
+// refreshes the congestion approximator incrementally instead of
+// rebuilding it.
+//
+// Semantics, in order:
+//
+//   - Edits apply sequentially. Vertex ids are assigned densely in
+//     batch order (N, N+1, …); edge ids likewise (M, M+1, …); both are
+//     reported in the UpdateResult. Later edits may reference earlier
+//     ones' vertices.
+//   - The batch is elided where it says nothing new: deleting a dead
+//     edge, deleting the same edge twice, removing a removed vertex.
+//     A batch that elides to nothing returns immediately without
+//     touching the router — no tree work, no solver reset, the warm
+//     cache survives.
+//   - The whole batch is validated first, including a connectivity
+//     pre-flight of the resulting active graph; on a validation error
+//     nothing is applied. (An internal resample/rebuild failure after
+//     the batch applied — possible only if the tree sampler itself
+//     fails — also returns an error, with the graph edited and the
+//     approximator consistently patched but possibly degraded; such an
+//     error is not fixed by replaying the batch, whose deletes would
+//     elide but whose inserts would duplicate.)
+//
+// The sampled tree topologies are kept and patched: new vertices enter
+// each tree as leaves under a deterministic anchor, inserted edges bump
+// the cut capacities along the existing tree path between their
+// endpoints, deleted edges subtract theirs (the Lemma 8.3 identity —
+// exact cut capacities stay bit-identical to a full re-sweep), and α is
+// re-measured from the maintained per-tree extrema. Trees whose
+// distortion degrades past Options.AlphaRebuildFactor × the last full
+// build's α are individually resampled on the active subgraph
+// (UpdateResult.ResampledTrees); only if the re-measured α still
+// exceeds the bound afterwards does a full deterministic rebuild run
+// (UpdateResult.Rebuilt).
+//
+// On any effective batch the solver state and warm-start cache are
+// reset. UpdateTopology must not run concurrently with queries on the
+// same Router; queries may resume as soon as it returns.
+func (r *Router) UpdateTopology(edits []TopoEdit) (*UpdateResult, error) {
+	eff, err := r.planTopology(edits)
+	if err != nil {
+		return nil, err
+	}
+	if len(eff) == 0 {
+		// Nothing changes: keep the solver state and the warm cache.
+		return &UpdateResult{Alpha: r.apx.Alpha}, nil
+	}
+
+	// Apply to the graph, accumulating the approximator's delta view.
+	var delta capprox.TopoDelta
+	out := &UpdateResult{Edits: len(eff)}
+	for _, ed := range eff {
+		switch ed.Op {
+		case TopoAddEdge:
+			e := r.g.AddEdge(ed.U, ed.V, ed.Cap)
+			out.AddedEdges = append(out.AddedEdges, e)
+			delta.Deltas = append(delta.Deltas, capprox.CapDelta{U: ed.U, V: ed.V, Diff: float64(ed.Cap)})
+		case TopoDeleteEdge:
+			de := r.g.Edge(ed.Edge)
+			r.g.DeleteEdge(ed.Edge)
+			delta.Deltas = append(delta.Deltas, capprox.CapDelta{U: de.U, V: de.V, Diff: -float64(de.Cap)})
+		case TopoAddVertex:
+			w := r.g.AddVertex()
+			out.AddedVertices = append(out.AddedVertices, w)
+			delta.NewVertices = append(delta.NewVertices, capprox.NewVertex{ID: w, Anchor: anchorOf(ed.Links)})
+			for _, l := range ed.Links {
+				e := r.g.AddEdge(w, l.To, l.Cap)
+				out.AddedEdges = append(out.AddedEdges, e)
+				delta.Deltas = append(delta.Deltas, capprox.CapDelta{U: w, V: l.To, Diff: float64(l.Cap)})
+			}
+		case TopoRemoveVertex:
+			// Capture capacities before the tombstones land: each killed
+			// edge is an ordinary delete delta.
+			r.g.ForEachArc(ed.Vertex, func(a graph.Arc) {
+				de := r.g.Edge(a.E)
+				delta.Deltas = append(delta.Deltas, capprox.CapDelta{U: de.U, V: de.V, Diff: -float64(de.Cap)})
+			})
+			r.g.RemoveVertex(ed.Vertex)
+			delta.Removed = append(delta.Removed, ed.Vertex)
+		}
+	}
+	cfg := capproxConfig(r.opts)
+	dirty, swept, shifted := r.apx.UpdateTopology(r.g, cfg, delta)
+	out.DirtyTrees, out.SweptTrees = dirty, swept
+
+	// Patch-vs-resample rule: individually resample the trees the batch
+	// degraded — by measured α past the rebuild threshold, or by the
+	// cut-shift detector (a reshaped cut landscape the frozen sample no
+	// longer sketches) — with seeds drawn from the router's
+	// deterministic resample stream (a pure function of the option seed
+	// and the batch sequence number).
+	factor := r.opts.AlphaRebuildFactor
+	if factor == 0 {
+		factor = 8
+	}
+	refresh := func() {
+		r.solver = sherman.NewSolver(r.g, r.apx)
+		if r.cache != nil {
+			r.cache.clear()
+		}
+	}
+	if degraded := mergeSorted(r.apx.DegradedTrees(factor*r.buildAlpha), shifted); len(degraded) > 0 {
+		seeds := make([]int64, len(degraded))
+		rng := rand.New(rand.NewSource(r.seed()*1_000_003 + r.topoSeq))
+		for i := range seeds {
+			seeds[i] = rng.Int63()
+		}
+		if err := r.apx.ResampleTrees(r.g, cfg, degraded, seeds); err != nil {
+			refresh()
+			return nil, fmt.Errorf("distflow: resample after topology update: %w", err)
+		}
+		out.ResampledTrees = len(degraded)
+	}
+	r.topoSeq++
+	out.Alpha = r.apx.Alpha
+	// Resampling is honest: if α is still past the bound the graph
+	// itself degraded — fall back to the full deterministic rebuild and
+	// adopt its α as the new reference.
+	if r.apx.Alpha > factor*r.buildAlpha {
+		apx, err := capprox.Build(r.g, cfg, rand.New(rand.NewSource(r.seed())))
+		if err != nil {
+			refresh()
+			return nil, fmt.Errorf("distflow: rebuild after topology update: %w", err)
+		}
+		r.apx = apx
+		r.buildAlpha = apx.Alpha
+		out.Rebuilt = true
+		out.Alpha = apx.Alpha
+	}
+	refresh()
+	return out, nil
+}
+
+// planTopology validates the batch against a lightweight simulation of
+// the graph and returns the effective (non-elided) edits in application
+// order. Nothing is mutated; any error leaves the router untouched.
+func (r *Router) planTopology(edits []TopoEdit) ([]TopoEdit, error) {
+	if len(edits) == 0 {
+		return nil, nil
+	}
+	g := r.g
+	// Simulated state: vertex count, removal marks, edge list.
+	type simEdge struct {
+		u, v int
+		dead bool
+	}
+	simN := g.N()
+	sim := make([]simEdge, g.M(), g.M()+len(edits))
+	for e := 0; e < g.M(); e++ {
+		ed := g.Edge(e)
+		sim[e] = simEdge{u: ed.U, v: ed.V, dead: g.Dead(e)}
+	}
+	removed := make([]bool, simN, simN+len(edits))
+	anyRemoved := g.RemovedN() > 0
+	for v := 0; v < simN; v++ {
+		if anyRemoved && g.Removed(v) {
+			removed[v] = true
+		}
+	}
+	vertexOK := func(v int) error {
+		if v < 0 || v >= simN {
+			return fmt.Errorf("vertex %d out of range (n=%d)", v, simN)
+		}
+		if removed[v] {
+			return fmt.Errorf("vertex %d is removed", v)
+		}
+		return nil
+	}
+	// simDead treats a removed endpoint as an implicit tombstone, so
+	// vertex removals need no per-edge marking sweep.
+	simDead := func(e simEdge) bool {
+		return e.dead || removed[e.u] || removed[e.v]
+	}
+	eff := make([]TopoEdit, 0, len(edits))
+	for i, ed := range edits {
+		switch ed.Op {
+		case TopoAddEdge:
+			if ed.U == ed.V {
+				return nil, fmt.Errorf("distflow: topology edit %d: self-loop at %d", i, ed.U)
+			}
+			if err := vertexOK(ed.U); err != nil {
+				return nil, fmt.Errorf("distflow: topology edit %d: %v", i, err)
+			}
+			if err := vertexOK(ed.V); err != nil {
+				return nil, fmt.Errorf("distflow: topology edit %d: %v", i, err)
+			}
+			if ed.Cap <= 0 {
+				return nil, fmt.Errorf("distflow: topology edit %d: non-positive capacity %d", i, ed.Cap)
+			}
+			sim = append(sim, simEdge{u: ed.U, v: ed.V})
+			eff = append(eff, ed)
+		case TopoDeleteEdge:
+			if ed.Edge < 0 || ed.Edge >= len(sim) {
+				return nil, fmt.Errorf("distflow: topology edit %d: edge %d out of range (m=%d)", i, ed.Edge, len(sim))
+			}
+			if simDead(sim[ed.Edge]) {
+				// Elide: already deleted — explicitly, or implicitly by
+				// an earlier removal of an endpoint in this batch.
+				continue
+			}
+			sim[ed.Edge].dead = true
+			eff = append(eff, ed)
+		case TopoAddVertex:
+			if len(ed.Links) == 0 {
+				return nil, fmt.Errorf("distflow: topology edit %d: vertex added without links would disconnect the graph", i)
+			}
+			w := simN
+			for j, l := range ed.Links {
+				if err := vertexOK(l.To); err != nil {
+					return nil, fmt.Errorf("distflow: topology edit %d link %d: %v", i, j, err)
+				}
+				if l.Cap <= 0 {
+					return nil, fmt.Errorf("distflow: topology edit %d link %d: non-positive capacity %d", i, j, l.Cap)
+				}
+			}
+			simN++
+			removed = append(removed, false)
+			for _, l := range ed.Links {
+				sim = append(sim, simEdge{u: w, v: l.To})
+			}
+			eff = append(eff, ed)
+		case TopoRemoveVertex:
+			if ed.Vertex < 0 || ed.Vertex >= simN {
+				return nil, fmt.Errorf("distflow: topology edit %d: vertex %d out of range (n=%d)", i, ed.Vertex, simN)
+			}
+			if removed[ed.Vertex] {
+				continue // elide: already removed
+			}
+			// The vertex's incident edges die implicitly: simDead below
+			// treats a removed endpoint as a tombstone, so later delete
+			// edits elide and the DSU sweep skips them — no O(M) scan
+			// per removal.
+			removed[ed.Vertex] = true
+			eff = append(eff, ed)
+		default:
+			return nil, fmt.Errorf("distflow: topology edit %d: unknown op %d", i, ed.Op)
+		}
+	}
+	if len(eff) == 0 {
+		return nil, nil
+	}
+	// Connectivity pre-flight on the simulated active graph: the solver's
+	// standing requirement must survive the batch.
+	active := 0
+	root := -1
+	for v := 0; v < simN; v++ {
+		if !removed[v] {
+			active++
+			if root < 0 {
+				root = v
+			}
+		}
+	}
+	if active < 2 {
+		return nil, fmt.Errorf("distflow: topology batch leaves %d active vertices (need ≥ 2)", active)
+	}
+	parent := make([]int, simN)
+	for v := range parent {
+		parent[v] = v
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	comps := active
+	for _, e := range sim {
+		if simDead(e) {
+			continue
+		}
+		ru, rv := find(e.u), find(e.v)
+		if ru != rv {
+			parent[ru] = rv
+			comps--
+		}
+	}
+	if comps != 1 {
+		return nil, fmt.Errorf("distflow: topology batch would disconnect the active graph (%d components)", comps)
+	}
+	return eff, nil
+}
+
+// mergeSorted unions two ascending int slices, ascending and deduped.
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j == len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i == len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// normalizeSeed maps the zero value to the documented default seed.
+// Every seed consumer — NewRouter, the rebuild fallbacks, the resample
+// stream — must go through this one definition so the determinism
+// contract (same Options.Seed ⇒ same trees) has a single source of
+// truth.
+func normalizeSeed(s int64) int64 {
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+// seed returns the router's normalized option seed.
+func (r *Router) seed() int64 { return normalizeSeed(r.opts.Seed) }
