@@ -184,24 +184,24 @@ func TestUpdateTopologyWorkerDeterminism(t *testing.T) {
 	a := run(1)
 	for _, workers := range []int{3, 16} {
 		b := run(workers)
-		if a.apx.Alpha != b.apx.Alpha || a.apx.AlphaLow != b.apx.AlphaLow {
+		if a.curEpoch().apx.Alpha != b.curEpoch().apx.Alpha || a.curEpoch().apx.AlphaLow != b.curEpoch().apx.AlphaLow {
 			t.Fatalf("alpha differs at workers=%d: %v/%v vs %v/%v",
-				workers, a.apx.Alpha, a.apx.AlphaLow, b.apx.Alpha, b.apx.AlphaLow)
+				workers, a.curEpoch().apx.Alpha, a.curEpoch().apx.AlphaLow, b.curEpoch().apx.Alpha, b.curEpoch().apx.AlphaLow)
 		}
-		if a.g.N() != b.g.N() || a.g.M() != b.g.M() {
+		if a.curEpoch().g.N() != b.curEpoch().g.N() || a.curEpoch().g.M() != b.curEpoch().g.M() {
 			t.Fatalf("graphs diverged at workers=%d", workers)
 		}
-		for k := range a.apx.Trees {
-			ta, tb := a.apx.Trees[k], b.apx.Trees[k]
+		for k := range a.curEpoch().apx.Trees {
+			ta, tb := a.curEpoch().apx.Trees[k], b.curEpoch().apx.Trees[k]
 			for v := 0; v < ta.N(); v++ {
 				if ta.Parent[v] != tb.Parent[v] || ta.Cap[v] != tb.Cap[v] ||
-					a.apx.CutCap[k][v] != b.apx.CutCap[k][v] ||
-					a.apx.Scale[k][v] != b.apx.Scale[k][v] {
+					a.curEpoch().apx.CutCap[k][v] != b.curEpoch().apx.CutCap[k][v] ||
+					a.curEpoch().apx.Scale[k][v] != b.curEpoch().apx.Scale[k][v] {
 					t.Fatalf("tree %d differs at vertex %d at workers=%d", k, v, workers)
 				}
 			}
 		}
-		s, tt := activePair(&Graph{g: a.g})
+		s, tt := activePair(&Graph{g: a.curEpoch().g})
 		ra, err := a.MaxFlow(s, tt)
 		if err != nil {
 			t.Fatal(err)
@@ -261,7 +261,7 @@ func TestUpdateTopologyNoOpKeepsWarmCache(t *testing.T) {
 	if _, err := r.MaxFlow(s, tt); err != nil {
 		t.Fatal(err)
 	}
-	solver := r.solver
+	solver := r.curEpoch().solver
 	for name, batch := range map[string][]TopoEdit{
 		"nil":            nil,
 		"empty":          {},
@@ -276,7 +276,7 @@ func TestUpdateTopologyNoOpKeepsWarmCache(t *testing.T) {
 		if ur.Edits != 0 || ur.DirtyTrees != 0 || ur.SweptTrees != 0 || ur.ResampledTrees != 0 || ur.Rebuilt {
 			t.Fatalf("%s: not reported as a no-op: %+v", name, ur)
 		}
-		if r.solver != solver {
+		if r.curEpoch().solver != solver {
 			t.Fatalf("%s: no-op topology batch rebuilt the solver", name)
 		}
 	}

@@ -25,7 +25,12 @@ package main
 // (mode:"churn", see churn.go) with the batched topology-edit vs
 // full-rebuild ladder (churn_update_seconds / rebuild_seconds), the
 // resample/sweep counters, and the updated-vs-rebuilt query drift; the
-// -flow and -build documents only bump the version.
+// -flow and -build documents only bump the version. v6 adds the -serve
+// document (mode:"serve", see serve.go) with the sustained-load
+// throughput/latency block (qps, serve_p50_seconds, serve_p99_seconds),
+// the scheduler counters (coalesced/batches/rejected), and the
+// quiesced-vs-rebuilt drift (serve_max_value_err); the other documents
+// only bump the version.
 
 import (
 	"encoding/json"
@@ -42,7 +47,7 @@ import (
 
 // benchSchema is the single definition of the bench JSON schema
 // version.
-const benchSchema = 5
+const benchSchema = 6
 
 // FlowBenchConfig parameterizes one -flow run. The JSON key order of
 // this struct IS the schema-2 config layout; do not reorder fields.

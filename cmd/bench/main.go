@@ -44,6 +44,17 @@
 //	bench -churn -n 2500 -json BENCH_churn.json
 //	bench -churn -churn-ceiling 0.05  # fail when one topology batch
 //	                                  # exceeds the budget (CI)
+//
+// The -serve mode benchmarks the concurrent serving front-end: a
+// sustained closed-loop query load through distflow.Server (admission
+// control + coalescing batch scheduler) with topology churn publishing
+// epochs underneath, then the quiesced-vs-rebuilt query drift on the
+// final graph (schema 6, see serve.go). It shares the graph/query
+// flags with the other modes:
+//
+//	bench -serve -n 2500 -json BENCH_serve.json
+//	bench -serve -serve-ceiling 2     # fail when the p99 query latency
+//	                                  # exceeds the budget (CI)
 package main
 
 import (
@@ -71,9 +82,11 @@ func run() error {
 		flow          = flag.Bool("flow", false, "benchmark the solver serving path instead of the experiment tables")
 		build         = flag.Bool("build", false, "benchmark the router construction path (per-phase breakdown + the dirty/full/rebuild update ladder)")
 		churn         = flag.Bool("churn", false, "benchmark dynamic topology churn (batched UpdateTopology vs full rebuild)")
+		serve         = flag.Bool("serve", false, "benchmark the concurrent serving front-end (sustained load + churn through distflow.Server)")
 		buildCeiling  = flag.Float64("build-ceiling", 0, "-build: fail when router_build_seconds exceeds this many seconds (0 = off)")
 		updateCeiling = flag.Float64("update-ceiling", 0, "-build: fail when dirty_update_seconds (per single-edge edit) exceeds this many seconds (0 = off)")
 		churnCeiling  = flag.Float64("churn-ceiling", 0, "-churn: fail when churn_update_seconds (per topology batch) exceeds this many seconds (0 = off)")
+		serveCeiling  = flag.Float64("serve-ceiling", 0, "-serve: fail when serve_p99_seconds (query latency under load) exceeds this many seconds (0 = off)")
 		flowN         = flag.Int("n", 2500, "-flow/-build: vertex count of the benchmark graph")
 		flowDeg       = flag.Float64("deg", 8, "-flow/-build: expected average degree")
 		flowCap       = flag.Int64("cap", 64, "-flow/-build: maximum edge capacity")
@@ -88,6 +101,17 @@ func run() error {
 		memProfile    = flag.String("memprofile", "", "-flow: write a heap profile to this file")
 	)
 	flag.Parse()
+	if *serve {
+		return runServeBench(FlowBenchConfig{
+			N:       *flowN,
+			Degree:  *flowDeg,
+			MaxCap:  *flowCap,
+			Seed:    *flowSeed,
+			Queries: *queries,
+			Epsilon: *epsilon,
+			Workers: *workers,
+		}, *jsonOut, *serveCeiling)
+	}
 	if *churn {
 		return runChurnBench(FlowBenchConfig{
 			N:       *flowN,

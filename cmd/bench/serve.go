@@ -1,0 +1,293 @@
+package main
+
+// The -serve mode benchmarks the concurrent serving front-end
+// (DESIGN.md §9): closed-loop workers drive max-flow queries through
+// distflow.Server — admission control plus the coalescing batch
+// scheduler — while topology churn batches publish new epochs
+// underneath. The JSON document (schema 6) records throughput (qps)
+// and latency quantiles (p50/p99) for the sustained-load phase — both
+// hardware-dependent and info-only — plus the gated drift fingerprint:
+// after the load quiesces, a fixed query workload on the served router
+// vs a fresh rebuild on the same final graph (serve_max_value_err, the
+// ≤ 0.1% acceptance gate).
+//
+// The bench disables the warm-start cache so the drift fingerprint is
+// a pure function of (seed, churn schedule, final graph) — identical
+// across worker counts and load timing. Coalescing does not depend on
+// the cache: concurrent repeats of one (s,t) pair still share a single
+// solve, which is what the coalesced/batch counters measure.
+// BENCH_serve.json in the repository root is the recorded n=2500 run;
+// the -serve-ceiling flag turns the p99 latency into a CI smoke gate.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"distflow"
+	"distflow/internal/graph"
+)
+
+// serveLoadWorkers is the closed-loop client count of the sustained
+// load phase. Fixed (not GOMAXPROCS-derived) so the query schedule is
+// comparable across runners; the solve parallelism underneath still
+// scales with the machine.
+const serveLoadWorkers = 8
+
+// ServeBenchResult is the JSON document emitted by -serve -json.
+type ServeBenchResult struct {
+	Schema     int             `json:"schema"`
+	Mode       string          `json:"mode"`
+	Config     FlowBenchConfig `json:"config"`
+	GoMaxProcs int             `json:"go_max_procs"`
+	NumCPU     int             `json:"num_cpu"`
+	M          int             `json:"m"`
+
+	// RouterBuildSeconds is the wall clock of the initial NewRouter.
+	RouterBuildSeconds float64 `json:"router_build_seconds"`
+
+	// Sustained-load phase shape: closed-loop workers issuing
+	// TotalQueries max-flow submissions, half of them drawn from a hot
+	// pool of HotPairs pairs (the coalescing targets).
+	LoadWorkers  int `json:"load_workers"`
+	TotalQueries int `json:"serve_total_queries"`
+	HotPairs     int `json:"serve_hot_pairs"`
+
+	// Churn applied during the load: fixed batches through
+	// Server.UpdateTopology, the same mixed batches the -churn mode
+	// draws (edge deletes/inserts, vertex adds/removals).
+	ChurnBatches     int `json:"churn_batches"`
+	OpsEdgeDeletes   int `json:"ops_edge_deletes"`
+	OpsEdgeInserts   int `json:"ops_edge_inserts"`
+	OpsVertexAdds    int `json:"ops_vertex_adds"`
+	OpsVertexRemoves int `json:"ops_vertex_removes"`
+
+	// Throughput and latency of the load phase (wall clock,
+	// hardware-dependent, never gated by benchdiff).
+	LoadSeconds float64 `json:"serve_load_seconds"`
+	QPS         float64 `json:"qps"`
+	P50Seconds  float64 `json:"serve_p50_seconds"`
+	P99Seconds  float64 `json:"serve_p99_seconds"`
+
+	// Scheduler counters for the load phase.
+	CoalescedQueries int64 `json:"serve_coalesced"`
+	BatchSolves      int64 `json:"serve_batches"`
+	RejectedQueries  int64 `json:"serve_rejected"`
+	// QueryErrors counts load queries that failed because churn removed
+	// their endpoint mid-load — expected under vertex churn, and the
+	// only error class tolerated.
+	QueryErrors int64  `json:"serve_query_errors"`
+	FinalEpoch  uint64 `json:"serve_final_epoch"`
+
+	// Final graph shape (deterministic: the churn schedule is a pure
+	// function of the seed; the serving load never mutates the graph).
+	FinalN     int `json:"final_n"`
+	FinalLiveM int `json:"final_live_m"`
+	FinalM     int `json:"final_m"`
+
+	// Drift fingerprint after quiescing: the fixed query workload
+	// through the (now idle) server vs a fresh rebuild on the final
+	// graph. Both are (1+ε)-approximate; ServeMaxValueErr is the largest
+	// relative per-query deviation (the ≤ 0.1% acceptance gate).
+	ValueSumServed   float64 `json:"value_sum_served"`
+	ValueSumRebuilt  float64 `json:"value_sum_rebuilt"`
+	ServeMaxValueErr float64 `json:"serve_max_value_err"`
+	Escalations      int     `json:"escalations"`
+	Alpha            float64 `json:"alpha"`
+}
+
+func runServeBench(cfg FlowBenchConfig, jsonPath string, p99Ceiling float64) error {
+	if cfg.N < 16 {
+		return fmt.Errorf("-serve needs -n >= 16")
+	}
+	if cfg.Workers != 0 {
+		distflow.SetParallelism(cfg.Workers)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gg := graph.CapUniform(graph.GNP(cfg.N, cfg.Degree/float64(cfg.N), rng), cfg.MaxCap, rng)
+	G := distflow.NewGraph(gg.N())
+	for _, e := range gg.Edges() {
+		G.AddEdge(e.U, e.V, e.Cap)
+	}
+	res := ServeBenchResult{
+		Schema:       benchSchema,
+		Mode:         "serve",
+		Config:       cfg,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		M:            G.M(),
+		LoadWorkers:  serveLoadWorkers,
+		TotalQueries: 12 * cfg.Queries,
+		HotPairs:     cfg.Queries,
+		// Same batch count and churn seed as the -churn mode, so the two
+		// benches drive the router through an identical update sequence
+		// and their drift fingerprints are directly comparable.
+		ChurnBatches: 10,
+	}
+	fmt.Printf("serve bench: n=%d m=%d eps=%v workers=%d GOMAXPROCS=%d\n",
+		G.N(), G.M(), cfg.Epsilon, cfg.Workers, res.GoMaxProcs)
+
+	opts := distflow.Options{Epsilon: cfg.Epsilon, Seed: cfg.Seed, DisableWarmStart: true}
+	start := time.Now()
+	r, err := distflow.NewRouter(G, opts)
+	if err != nil {
+		return err
+	}
+	res.RouterBuildSeconds = time.Since(start).Seconds()
+	fmt.Printf("  router build          %8.3fs (alpha=%.3f)\n", res.RouterBuildSeconds, r.Alpha())
+	srv := distflow.NewServer(r, distflow.ServeOptions{})
+
+	// Hot pairs: the coalescing targets every worker revisits.
+	hot := churnBenchPairs(G, res.HotPairs, cfg.Seed+2)
+
+	// Sustained load: closed-loop workers, fixed total query budget
+	// handed out via a shared ticket counter, per-query latency
+	// collected per worker and merged after the join.
+	var (
+		tickets   = make(chan struct{}, res.TotalQueries)
+		latencies = make([][]float64, serveLoadWorkers)
+		qErrs     = make([]int64, serveLoadWorkers)
+		wg        sync.WaitGroup
+	)
+	for i := 0; i < res.TotalQueries; i++ {
+		tickets <- struct{}{}
+	}
+	close(tickets)
+	loadStart := time.Now()
+	for w := 0; w < serveLoadWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(cfg.Seed + 100 + int64(w)))
+			for range tickets {
+				var p distflow.STPair
+				if wrng.Intn(2) == 0 {
+					p = hot[wrng.Intn(len(hot))]
+				} else {
+					p = distflow.STPair{S: wrng.Intn(cfg.N), T: wrng.Intn(cfg.N)}
+					if p.S == p.T {
+						p.T = (p.S + 1) % cfg.N
+					}
+				}
+				qs := time.Now()
+				_, err := srv.MaxFlow(p.S, p.T)
+				latencies[w] = append(latencies[w], time.Since(qs).Seconds())
+				if err != nil {
+					// Vertex churn can invalidate a pair mid-load; that is
+					// the serving reality this bench models, not a failure.
+					qErrs[w]++
+				}
+			}
+		}(w)
+	}
+
+	// Churn thread (this goroutine): the fixed batch schedule, spaced
+	// across the load by the served-query counter. Timing does not
+	// affect the final state — only the batch sequence does.
+	churnRng := rand.New(rand.NewSource(cfg.Seed + 3))
+	var churnOps ChurnBenchResult
+	for b := 0; b < res.ChurnBatches; b++ {
+		target := int64(res.TotalQueries * (b + 1) / (res.ChurnBatches + 1))
+		for srv.Stats().Queries < target {
+			time.Sleep(time.Millisecond)
+		}
+		batch := makeChurnBatch(G, churnRng, &churnOps)
+		if _, err := srv.UpdateTopology(batch); err != nil {
+			return fmt.Errorf("churn batch %d during load: %w", b, err)
+		}
+	}
+	wg.Wait()
+	res.LoadSeconds = time.Since(loadStart).Seconds()
+	res.OpsEdgeDeletes = churnOps.OpsEdgeDeletes
+	res.OpsEdgeInserts = churnOps.OpsEdgeInserts
+	res.OpsVertexAdds = churnOps.OpsVertexAdds
+	res.OpsVertexRemoves = churnOps.OpsVertexRemoves
+
+	var all []float64
+	for w := range latencies {
+		all = append(all, latencies[w]...)
+		res.QueryErrors += qErrs[w]
+	}
+	sort.Float64s(all)
+	res.QPS = float64(res.TotalQueries) / res.LoadSeconds
+	res.P50Seconds = quantile(all, 0.50)
+	res.P99Seconds = quantile(all, 0.99)
+	st := srv.Stats()
+	res.CoalescedQueries = st.Coalesced
+	res.BatchSolves = st.Batches
+	res.RejectedQueries = st.Rejected
+	res.FinalEpoch = st.EpochSeq
+	res.FinalN = G.N()
+	res.FinalM = G.M()
+	res.FinalLiveM = G.LiveM()
+	res.Alpha = r.Alpha()
+	fmt.Printf("  sustained load        %d queries / %.3fs = %.1f qps (p50 %.1fms, p99 %.1fms)\n",
+		res.TotalQueries, res.LoadSeconds, res.QPS, 1000*res.P50Seconds, 1000*res.P99Seconds)
+	fmt.Printf("  scheduler             %d batches | %d coalesced | %d rejected | %d churn-invalidated | epoch %d\n",
+		res.BatchSolves, res.CoalescedQueries, res.RejectedQueries, res.QueryErrors, res.FinalEpoch)
+
+	// Drift: quiesced serving vs a fresh router on the final graph.
+	fresh, err := distflow.NewRouter(G, opts)
+	if err != nil {
+		return fmt.Errorf("rebuild on churned graph: %w", err)
+	}
+	pairs := churnBenchPairs(G, cfg.Queries, cfg.Seed)
+	for _, p := range pairs {
+		a, err := srv.MaxFlow(p.S, p.T)
+		if err != nil {
+			return fmt.Errorf("served query %d-%d: %w", p.S, p.T, err)
+		}
+		b, err := fresh.MaxFlow(p.S, p.T)
+		if err != nil {
+			return fmt.Errorf("fresh query %d-%d: %w", p.S, p.T, err)
+		}
+		res.ValueSumServed += a.Value
+		res.ValueSumRebuilt += b.Value
+		res.Escalations += a.Escalations
+		if b.Value != 0 {
+			if d := math.Abs(a.Value-b.Value) / math.Abs(b.Value); d > res.ServeMaxValueErr {
+				res.ServeMaxValueErr = d
+			}
+		}
+	}
+	fmt.Printf("  query drift           served %.6f vs rebuilt %.6f (max %.3f%%, %d escalations)\n",
+		res.ValueSumServed, res.ValueSumRebuilt, 100*res.ServeMaxValueErr, res.Escalations)
+
+	if jsonPath != "" {
+		doc, err := json.MarshalIndent(&res, "", "  ")
+		if err != nil {
+			return err
+		}
+		doc = append(doc, '\n')
+		if err := os.WriteFile(jsonPath, doc, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", jsonPath)
+	}
+	if p99Ceiling > 0 && res.P99Seconds > p99Ceiling {
+		return fmt.Errorf("serve latency budget exceeded: p99 %.3fs > ceiling %.3fs",
+			res.P99Seconds, p99Ceiling)
+	}
+	return nil
+}
+
+// quantile returns the q-quantile of sorted (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,227 @@
+// Command serve runs a long-lived max-flow serving daemon on top of
+// the epoch-snapshot Router (DESIGN.md §9): an HTTP JSON front-end
+// with admission control and a scheduler that coalesces concurrent
+// repeat (s,t) queries into warm-cache-aware batch solves. Topology
+// and capacity updates apply while queries keep being served — each
+// update publishes a new epoch; in-flight queries finish against the
+// epoch they started on.
+//
+// The daemon serves a synthetic benchmark graph described by the same
+// flags cmd/bench uses (swap in a real topology by constructing the
+// graph where the generator is called):
+//
+//	serve -addr :8080 -n 2500 -deg 8 -cap 64 -seed 3 -eps 0.5
+//
+// Endpoints:
+//
+//	POST /maxflow   {"s": 0, "t": 17}
+//	  → {"value":..., "iterations":..., "warm_started":..., "epoch":...}
+//	    503 + {"error":...} when admission control sheds the query.
+//	POST /update/capacities  {"edits": [{"edge": 3, "cap": 9}, ...]}
+//	POST /update/topology    {"edits": [
+//	      {"op": "add_edge", "u": 1, "v": 2, "cap": 5},
+//	      {"op": "delete_edge", "edge": 7},
+//	      {"op": "add_vertex", "links": [{"to": 4, "cap": 2}]},
+//	      {"op": "remove_vertex", "vertex": 9}]}
+//	  → the UpdateResult (α, edit counts, resample/rebuild flags,
+//	    assigned vertex/edge ids).
+//	GET  /stats
+//	  → server counters (queries, coalesced, batches, rejected),
+//	    the published epoch sequence number, and the router's α.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"distflow"
+	"distflow/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		n           = flag.Int("n", 2500, "vertex count of the served graph")
+		deg         = flag.Float64("deg", 8, "expected average degree")
+		maxCap      = flag.Int64("cap", 64, "maximum edge capacity")
+		seed        = flag.Int64("seed", 3, "graph/router PRNG seed")
+		epsilon     = flag.Float64("eps", 0.5, "approximation target")
+		maxInFlight = flag.Int("max-inflight", 0, "admission control: concurrent admitted queries (0 = default)")
+		maxBatch    = flag.Int("max-batch", 0, "scheduler: distinct pairs per batch solve (0 = default)")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	gg := graph.CapUniform(graph.GNP(*n, *deg/float64(*n), rng), *maxCap, rng)
+	G := distflow.NewGraph(gg.N())
+	for _, e := range gg.Edges() {
+		G.AddEdge(e.U, e.V, e.Cap)
+	}
+	fmt.Printf("serve: building router (n=%d m=%d)...\n", G.N(), G.M())
+	start := time.Now()
+	r, err := distflow.NewRouter(G, distflow.Options{Epsilon: *epsilon, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serve: router ready in %v (alpha=%.3f, %d trees)\n", time.Since(start).Round(time.Millisecond), r.Alpha(), r.Trees())
+	srv := distflow.NewServer(r, distflow.ServeOptions{MaxInFlight: *maxInFlight, MaxBatch: *maxBatch})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /maxflow", func(w http.ResponseWriter, req *http.Request) {
+		var q struct{ S, T int }
+		if err := json.NewDecoder(req.Body).Decode(&q); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err := srv.MaxFlow(q.S, q.T)
+		if err != nil {
+			code := http.StatusUnprocessableEntity
+			if errors.Is(err, distflow.ErrOverloaded) {
+				code = http.StatusServiceUnavailable
+			}
+			writeErr(w, code, err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"value":        res.Value,
+			"iterations":   res.Iterations,
+			"warm_started": res.WarmStarted,
+			"alpha":        res.Alpha,
+			"rounds":       res.Rounds,
+			"epoch":        r.EpochSeq(),
+		})
+	})
+	mux.HandleFunc("POST /update/capacities", func(w http.ResponseWriter, req *http.Request) {
+		var body struct {
+			Edits []struct {
+				Edge int   `json:"edge"`
+				Cap  int64 `json:"cap"`
+			} `json:"edits"`
+		}
+		if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		edits := make([]distflow.CapEdit, len(body.Edits))
+		for i, e := range body.Edits {
+			edits[i] = distflow.CapEdit{Edge: e.Edge, Cap: e.Cap}
+		}
+		ur, err := srv.UpdateCapacities(edits)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeUpdate(w, ur, r.EpochSeq())
+	})
+	mux.HandleFunc("POST /update/topology", func(w http.ResponseWriter, req *http.Request) {
+		var body struct {
+			Edits []topoEditJSON `json:"edits"`
+		}
+		if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		edits := make([]distflow.TopoEdit, len(body.Edits))
+		for i, e := range body.Edits {
+			ed, err := e.toEdit()
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("edit %d: %w", i, err))
+				return
+			}
+			edits[i] = ed
+		}
+		ur, err := srv.UpdateTopology(edits)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeUpdate(w, ur, r.EpochSeq())
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, req *http.Request) {
+		st := srv.Stats()
+		writeJSON(w, map[string]any{
+			"queries":   st.Queries,
+			"coalesced": st.Coalesced,
+			"batches":   st.Batches,
+			"rejected":  st.Rejected,
+			"epoch":     st.EpochSeq,
+			"alpha":     r.Alpha(),
+			"n":         G.ActiveN(),
+			"live_m":    G.LiveM(),
+		})
+	})
+
+	fmt.Printf("serve: listening on %s\n", *addr)
+	return http.ListenAndServe(*addr, mux)
+}
+
+// topoEditJSON is the wire form of one TopoEdit.
+type topoEditJSON struct {
+	Op     string `json:"op"`
+	U      int    `json:"u"`
+	V      int    `json:"v"`
+	Cap    int64  `json:"cap"`
+	Edge   int    `json:"edge"`
+	Vertex int    `json:"vertex"`
+	Links  []struct {
+		To  int   `json:"to"`
+		Cap int64 `json:"cap"`
+	} `json:"links"`
+}
+
+func (e topoEditJSON) toEdit() (distflow.TopoEdit, error) {
+	switch e.Op {
+	case "add_edge":
+		return distflow.AddEdgeEdit(e.U, e.V, e.Cap), nil
+	case "delete_edge":
+		return distflow.DeleteEdgeEdit(e.Edge), nil
+	case "add_vertex":
+		links := make([]distflow.Link, len(e.Links))
+		for i, l := range e.Links {
+			links[i] = distflow.Link{To: l.To, Cap: l.Cap}
+		}
+		return distflow.AddVertexEdit(links...), nil
+	case "remove_vertex":
+		return distflow.RemoveVertexEdit(e.Vertex), nil
+	default:
+		return distflow.TopoEdit{}, fmt.Errorf("unknown op %q", e.Op)
+	}
+}
+
+func writeUpdate(w http.ResponseWriter, ur *distflow.UpdateResult, epoch uint64) {
+	writeJSON(w, map[string]any{
+		"alpha":           ur.Alpha,
+		"edits":           ur.Edits,
+		"rebuilt":         ur.Rebuilt,
+		"dirty_trees":     ur.DirtyTrees,
+		"swept_trees":     ur.SweptTrees,
+		"resampled_trees": ur.ResampledTrees,
+		"added_vertices":  ur.AddedVertices,
+		"added_edges":     ur.AddedEdges,
+		"epoch":           epoch,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"distflow/internal/capprox"
 	"distflow/internal/congest"
@@ -205,38 +207,55 @@ func ExactMaxFlow(G *Graph, s, t int) (value int64, flow []int64) {
 // Router holds a congestion approximator built once for a graph and
 // reusable across many flow and routing queries.
 //
-// A Router is safe for concurrent querying: queries never mutate the
-// graph or the approximator, and every query works on its own pooled
-// solver workspace with its own round ledger. Any number of goroutines
-// may call MaxFlow / RouteDemand on one shared Router, and the batch
-// methods amortize the approximator across many simultaneous queries
-// on the internal worker pool. The mutating operations are
-// UpdateCapacities (capacity edits) and UpdateTopology (edge and
-// vertex inserts/removes), which must be externally serialized against
-// queries (see their docs).
+// Concurrency contract: a Router is safe for fully concurrent use.
+// Queries (MaxFlow, RouteDemand, the batch methods, and the read-only
+// accessors) may run from any number of goroutines, concurrently with
+// each other AND with the mutating operations UpdateCapacities and
+// UpdateTopology. Internally the router is MVCC: each query pins the
+// immutable published epoch — graph, approximator, solver, and an
+// epoch-scoped warm cache — while an update applies its batch to a
+// private copy and atomically publishes the result (DESIGN.md §9).
+// A query therefore sees either the whole update or none of it, never
+// a partial state; queries already in flight when an update publishes
+// complete against their original snapshot. Updates serialize against
+// each other on an internal mutex. The one thing left to the caller is
+// the Graph wrapper passed to NewRouter: it tracks the latest epoch
+// and must not be read concurrently with an update.
 //
-// Unless Options.DisableWarmStart is set, the Router keeps an LRU cache
-// of recent query results and warm-starts repeated queries from them
-// (see Options.DisableWarmStart for the determinism trade-off).
+// Unless Options.DisableWarmStart is set, each epoch keeps an LRU
+// cache of recent query results and warm-starts repeated queries from
+// them (see Options.DisableWarmStart for the determinism trade-off);
+// every effective update starts the new epoch with an empty cache, so
+// a cached flow never warm-starts a query against different state.
 type Router struct {
-	g      *graph.Graph
-	apx    *capprox.Approximator
-	solver *sherman.Solver
-	cache  *warmCache
-	opts   Options
+	// cur is the published epoch; queries pin it via acquire/release
+	// (epoch.go). Never nil after NewRouter.
+	cur atomic.Pointer[epoch]
+	// mu serializes the update paths (fork → apply → publish).
+	mu sync.Mutex
+	// userG is the caller's Graph wrapper, re-pointed at each publish so
+	// it keeps observing the latest epoch's graph.
+	userG *Graph
+	opts  Options
 	// buildAlpha is the measured distortion of the last full build —
 	// the reference the UpdateCapacities/UpdateTopology rebuild
-	// fallbacks compare against.
+	// fallbacks compare against. Guarded by mu.
 	buildAlpha float64
-	// topoSeq counts effective UpdateTopology batches; the per-tree
+	// topoSeq counts published UpdateTopology batches; the per-tree
 	// resample seeds are a pure function of (Options.Seed, topoSeq), so
 	// replaying the same batch history reproduces the same trees.
+	// Guarded by mu; a discarded (failed) batch does not advance it.
 	topoSeq int64
+	// epochsFreed counts retired epochs whose last query drained.
+	epochsFreed atomic.Int64
 }
 
 // NewRouter samples the congestion approximator for G (the expensive,
 // query-independent part of the algorithm: Theorem 8.10).
 func NewRouter(G *Graph, opts Options) (*Router, error) {
+	if _, err := sherman.NormalizeEps(opts.Epsilon); err != nil {
+		return nil, fmt.Errorf("distflow: Options.Epsilon: %w", err)
+	}
 	if !G.g.Connected() {
 		return nil, fmt.Errorf("distflow: graph must be connected")
 	}
@@ -244,24 +263,23 @@ func NewRouter(G *Graph, opts Options) (*Router, error) {
 	if err != nil {
 		return nil, fmt.Errorf("distflow: %w", err)
 	}
-	r := &Router{g: G.g, apx: apx, solver: sherman.NewSolver(G.g, apx), opts: opts, buildAlpha: apx.Alpha}
+	r := &Router{userG: G, opts: opts, buildAlpha: apx.Alpha}
+	ep := &epoch{seq: 1, g: G.g, apx: apx, solver: sherman.NewSolver(G.g, apx), opts: opts, freed: &r.epochsFreed}
 	if !opts.DisableWarmStart {
-		size := opts.WarmCacheSize
-		if size <= 0 {
-			size = defaultWarmCacheSize
-		}
-		r.cache = newWarmCache(size)
+		ep.cache = newWarmCache(warmCacheCap(opts))
 	}
+	ep.refs.Store(1) // the publish pin
+	r.cur.Store(ep)
 	return r, nil
 }
 
 // Alpha returns the measured per-tree cut distortion of the sampled
-// congestion approximator.
-func (r *Router) Alpha() float64 { return r.apx.Alpha }
+// congestion approximator (of the currently published epoch).
+func (r *Router) Alpha() float64 { return r.cur.Load().apx.Alpha }
 
 // Trees returns the number of sampled virtual trees in the router's
 // congestion approximator.
-func (r *Router) Trees() int { return len(r.apx.Trees) }
+func (r *Router) Trees() int { return len(r.cur.Load().apx.Trees) }
 
 // BuildBreakdown reports the cost of each congestion-approximator
 // construction phase of NewRouter (or of the rebuild fallback of
@@ -286,7 +304,7 @@ type BuildBreakdown struct {
 // BuildBreakdown returns the per-phase timing of the router's
 // congestion-approximator build.
 func (r *Router) BuildBreakdown() BuildBreakdown {
-	s := r.apx.Stats
+	s := r.cur.Load().apx.Stats
 	return BuildBreakdown{
 		SampleSeconds:   s.SampleSeconds,
 		SparsifySeconds: s.SparsifySeconds,
@@ -298,7 +316,7 @@ func (r *Router) BuildBreakdown() BuildBreakdown {
 
 // ConstructionRounds returns the CONGEST rounds charged to build the
 // congestion approximator.
-func (r *Router) ConstructionRounds() int64 { return r.apx.Ledger.Total() }
+func (r *Router) ConstructionRounds() int64 { return r.cur.Load().apx.Ledger.Total() }
 
 // capproxConfig maps solver options to the approximator configuration
 // (one definition shared by NewRouter and the UpdateCapacities rebuild
@@ -375,23 +393,29 @@ type UpdateResult struct {
 // rebuild (same seed) runs instead; UpdateResult.Rebuilt reports which
 // path was taken.
 //
-// On any effective (non-no-op) update the solver state and the
-// warm-start cache are reset, so subsequent queries are a pure function
-// of the updated router state — the same answers a freshly built router
-// of the same α would give up to the (1+ε) guarantee, at a fraction of
-// the cost for small edit batches.
+// On any effective (non-no-op) update a new epoch is published with a
+// fresh solver and an empty warm-start cache, so subsequent queries are
+// a pure function of the updated router state — the same answers a
+// freshly built router of the same α would give up to the (1+ε)
+// guarantee, at a fraction of the cost for small edit batches.
 //
-// UpdateCapacities must not run concurrently with queries on the same
-// Router; queries may resume as soon as it returns.
+// UpdateCapacities may run concurrently with queries (they complete
+// against the epoch they started on) and is atomic: on any error —
+// including a rebuild failure past the point edits were applied — the
+// private epoch is discarded and the router keeps serving the
+// pre-update state unchanged.
 func (r *Router) UpdateCapacities(edits []CapEdit) (*UpdateResult, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.cur.Load()
 	for _, ed := range edits {
-		if ed.Edge < 0 || ed.Edge >= r.g.M() {
-			return nil, fmt.Errorf("distflow: capacity edit names edge %d (m=%d)", ed.Edge, r.g.M())
+		if ed.Edge < 0 || ed.Edge >= cur.g.M() {
+			return nil, fmt.Errorf("distflow: capacity edit names edge %d (m=%d)", ed.Edge, cur.g.M())
 		}
 		if ed.Cap <= 0 {
 			return nil, fmt.Errorf("distflow: capacity edit for edge %d has non-positive capacity %d", ed.Edge, ed.Cap)
 		}
-		if r.g.Dead(ed.Edge) {
+		if cur.g.Dead(ed.Edge) {
 			return nil, fmt.Errorf("distflow: capacity edit names deleted edge %d (topology edits cannot be undone by SetCap)", ed.Edge)
 		}
 	}
@@ -403,65 +427,55 @@ func (r *Router) UpdateCapacities(edits []CapEdit) (*UpdateResult, error) {
 	}
 	effective := make([]int, 0, len(final))
 	for e, c := range final {
-		if r.g.Cap(e) != c {
+		if cur.g.Cap(e) != c {
 			effective = append(effective, e)
 		}
 	}
 	if len(effective) == 0 {
-		// Nothing changes: keep the solver state and the warm cache.
-		return &UpdateResult{Alpha: r.apx.Alpha}, nil
+		// Nothing changes: the published epoch — solver state, warm
+		// cache and all — survives untouched.
+		return &UpdateResult{Alpha: cur.apx.Alpha}, nil
 	}
 	// Apply in ascending edge order (map iteration is randomized; the
-	// refresh must be a pure function of the router state and batch).
+	// refresh must be a pure function of the router state and batch) —
+	// on the private fork, never on the published epoch.
+	next := r.fork()
 	sort.Ints(effective)
 	deltas := make([]capprox.CapDelta, len(effective))
 	for i, e := range effective {
-		ed := r.g.Edge(e)
+		ed := next.g.Edge(e)
 		deltas[i] = capprox.CapDelta{U: ed.U, V: ed.V, Diff: float64(final[e]) - float64(ed.Cap)}
-		r.g.SetCap(e, final[e])
+		next.g.SetCap(e, final[e])
 	}
-	dirty, swept := r.apx.UpdateCapacities(r.g, capproxConfig(r.opts), deltas)
-	// The graph and approximator are mutated from here on: the solver
-	// caches capacity-derived state (1/cap workspace tables, the
-	// residual-routing max-weight spanning tree) and the warm cache
-	// holds flows for the old capacities, so both are reset before any
-	// return — including the rebuild-failure path below, which would
-	// otherwise leave stale solver state paired with the edited graph.
-	refresh := func() {
-		r.solver = sherman.NewSolver(r.g, r.apx)
-		if r.cache != nil {
-			r.cache.clear()
-		}
-	}
-	out := &UpdateResult{Alpha: r.apx.Alpha, Edits: len(effective), DirtyTrees: dirty, SweptTrees: swept}
+	dirty, swept := next.apx.UpdateCapacities(next.g, capproxConfig(r.opts), deltas)
+	out := &UpdateResult{Alpha: next.apx.Alpha, Edits: len(effective), DirtyTrees: dirty, SweptTrees: swept}
 	factor := r.opts.AlphaRebuildFactor
 	if factor == 0 {
 		factor = 8
 	}
-	if r.apx.Alpha > factor*r.buildAlpha {
-		apx, err := capprox.Build(r.g, capproxConfig(r.opts), rand.New(rand.NewSource(r.seed())))
+	if next.apx.Alpha > factor*r.buildAlpha {
+		apx, err := capprox.Build(next.g, capproxConfig(r.opts), rand.New(rand.NewSource(r.seed())))
 		if err != nil {
-			// The incremental refresh above still succeeded; keep the
-			// router consistent (if distorted) and report the failure.
-			refresh()
+			// Atomic failure: drop the fork; the published epoch never
+			// saw the edits.
 			return nil, fmt.Errorf("distflow: rebuild after capacity update: %w", err)
 		}
-		r.apx = apx
+		next.apx = apx
 		r.buildAlpha = apx.Alpha
 		out.Rebuilt = true
 		out.Alpha = apx.Alpha
 	}
-	refresh()
+	r.publish(next)
 	return out, nil
 }
 
-func (r *Router) shermanConfig() sherman.Config {
+func (ep *epoch) shermanConfig() sherman.Config {
 	return sherman.Config{
-		Epsilon:             r.opts.Epsilon,
-		Alpha:               r.opts.Alpha,
-		MaxIters:            r.opts.MaxIters,
-		DisableAcceleration: r.opts.DisableAcceleration,
-		DisableContinuation: r.opts.DisableContinuation,
+		Epsilon:             ep.opts.Epsilon,
+		Alpha:               ep.opts.Alpha,
+		MaxIters:            ep.opts.MaxIters,
+		DisableAcceleration: ep.opts.DisableAcceleration,
+		DisableContinuation: ep.opts.DisableContinuation,
 	}
 }
 
@@ -469,32 +483,34 @@ func (r *Router) shermanConfig() sherman.Config {
 // router's approximator, warm-starting from the cache when the same
 // pair was queried recently.
 func (r *Router) MaxFlow(s, t int) (*Result, error) {
+	ep := r.acquire()
+	defer ep.release()
 	var warm []float64
-	if r.cache != nil {
-		warm = r.cache.get(stKey(s, t))
+	if ep.cache != nil {
+		warm = ep.cache.get(stKey(s, t))
 	}
-	res, routing, err := r.maxFlowWarm(s, t, warm)
+	res, routing, err := ep.maxFlowWarm(s, t, warm)
 	if err != nil {
 		return nil, err
 	}
-	if r.cache != nil {
-		r.cache.put(stKey(s, t), routing)
+	if ep.cache != nil {
+		ep.cache.put(stKey(s, t), routing)
 	}
 	return res, nil
 }
 
-// maxFlowWarm runs one warm-started max-flow query without touching the
-// cache. It additionally returns the unnormalized routing of the unit
-// s-t demand — the vector a future query of the same pair warm-starts
-// from.
-func (r *Router) maxFlowWarm(s, t int, warm []float64) (*Result, []float64, error) {
-	if s >= 0 && s < r.g.N() && r.g.Removed(s) {
+// maxFlowWarm runs one warm-started max-flow query against this epoch
+// without touching the cache. It additionally returns the unnormalized
+// routing of the unit s-t demand — the vector a future query of the
+// same pair warm-starts from.
+func (ep *epoch) maxFlowWarm(s, t int, warm []float64) (*Result, []float64, error) {
+	if s >= 0 && s < ep.g.N() && ep.g.Removed(s) {
 		return nil, nil, fmt.Errorf("distflow: source %d was removed", s)
 	}
-	if t >= 0 && t < r.g.N() && r.g.Removed(t) {
+	if t >= 0 && t < ep.g.N() && ep.g.Removed(t) {
 		return nil, nil, fmt.Errorf("distflow: sink %d was removed", t)
 	}
-	fr, err := r.solver.MaxFlowWarm(s, t, r.shermanConfig(), warm)
+	fr, err := ep.solver.MaxFlowWarm(s, t, ep.shermanConfig(), warm)
 	if err != nil {
 		return nil, nil, fmt.Errorf("distflow: %w", err)
 	}
@@ -503,7 +519,7 @@ func (r *Router) maxFlowWarm(s, t int, warm []float64) (*Result, []float64, erro
 	// moment a new phase is charged (as "update-treeflow" once did).
 	byPhase := map[string]int64{}
 	total := int64(0)
-	for _, led := range []*congest.Ledger{r.apx.Ledger, fr.Ledger} {
+	for _, led := range []*congest.Ledger{ep.apx.Ledger, fr.Ledger} {
 		total += led.Total()
 		for _, name := range led.PhaseNames() {
 			if v := led.Phase(name); v > 0 {
@@ -514,7 +530,7 @@ func (r *Router) maxFlowWarm(s, t int, warm []float64) (*Result, []float64, erro
 	// The cacheable routing vector is only materialized when there is a
 	// cache to hold it (queries with DisableWarmStart skip the pass).
 	var routing []float64
-	if r.cache != nil {
+	if ep.cache != nil {
 		routing = make([]float64, len(fr.Flow))
 		for e, fe := range fr.Flow {
 			routing[e] = fe * fr.Congestion
@@ -523,7 +539,7 @@ func (r *Router) maxFlowWarm(s, t int, warm []float64) (*Result, []float64, erro
 	return &Result{
 		Value:         fr.Value,
 		Flow:          fr.Flow,
-		Alpha:         r.apx.Alpha,
+		Alpha:         ep.apx.Alpha,
 		AlphaUsed:     fr.AlphaUsed,
 		Iterations:    fr.Iterations,
 		Restarts:      fr.Restarts,
@@ -540,75 +556,85 @@ func (r *Router) maxFlowWarm(s, t int, warm []float64) (*Result, []float64, erro
 // (residuals are routed on a spanning tree); congestion is its maximum
 // |f_e|/cap_e.
 func (r *Router) RouteDemand(b []float64, eps float64) (flow []float64, congestion float64, err error) {
-	eps = normalizeEps(eps)
+	eps, err = normalizeEps(eps)
+	if err != nil {
+		return nil, 0, err
+	}
+	ep := r.acquire()
+	defer ep.release()
 	key := ""
 	var warm []float64
-	if r.cache != nil {
+	if ep.cache != nil {
 		key = demandKey(b, eps)
-		warm = r.cache.get(key)
+		warm = ep.cache.get(key)
 	}
-	flow, congestion, err = r.routeDemandWarm(b, eps, warm)
-	if err == nil && r.cache != nil {
-		r.cache.put(key, append([]float64(nil), flow...))
+	flow, congestion, err = ep.routeDemandWarm(b, eps, warm)
+	if err == nil && ep.cache != nil {
+		ep.cache.put(key, append([]float64(nil), flow...))
 	}
 	return flow, congestion, err
 }
 
-// normalizeEps maps the zero value to the documented default accuracy.
-// Every query path — and the warm-cache key derivation — must go
-// through this one definition so cached entries always correspond to
-// the accuracy the solve actually uses.
-func normalizeEps(eps float64) float64 {
-	if eps == 0 {
-		return 0.5
+// normalizeEps maps the zero value to the documented default accuracy
+// and rejects values outside (0,1) — including NaN — with a clear
+// error at the API boundary. Every query path — and the warm-cache key
+// derivation — must go through this one definition so cached entries
+// always correspond to the accuracy the solve actually uses; it
+// delegates to sherman.NormalizeEps, the single definition the solver
+// core itself uses, so the default cannot desync between the layers.
+func normalizeEps(eps float64) (float64, error) {
+	out, err := sherman.NormalizeEps(eps)
+	if err != nil {
+		return 0, fmt.Errorf("distflow: %w", err)
 	}
-	return eps
+	return out, nil
 }
 
-// routeDemandWarm runs one warm-started demand query without touching
-// the cache.
-func (r *Router) routeDemandWarm(b []float64, eps float64, warm []float64) (flow []float64, congestion float64, err error) {
-	if len(b) != r.g.N() {
-		return nil, 0, fmt.Errorf("distflow: demand length %d, want %d", len(b), r.g.N())
+// routeDemandWarm runs one warm-started demand query against this
+// epoch without touching the cache. eps is already normalized.
+func (ep *epoch) routeDemandWarm(b []float64, eps float64, warm []float64) (flow []float64, congestion float64, err error) {
+	if len(b) != ep.g.N() {
+		return nil, 0, fmt.Errorf("distflow: demand length %d, want %d", len(b), ep.g.N())
 	}
 	if !graph.IsFeasibleDemand(b, 1e-6) {
 		return nil, 0, fmt.Errorf("distflow: demand does not sum to zero")
 	}
-	if r.g.RemovedN() > 0 {
+	if ep.g.RemovedN() > 0 {
 		for v, bv := range b {
-			if bv != 0 && r.g.Removed(v) {
+			if bv != 0 && ep.g.Removed(v) {
 				return nil, 0, fmt.Errorf("distflow: demand %v at removed vertex %d", bv, v)
 			}
 		}
 	}
-	eps = normalizeEps(eps)
-	cfg := r.shermanConfig()
-	rr, err := r.solver.AlmostRouteWarm(b, eps, cfg, nil, warm)
+	cfg := ep.shermanConfig()
+	rr, err := ep.solver.AlmostRouteWarm(b, eps, cfg, nil, warm)
 	if err != nil {
 		return nil, 0, fmt.Errorf("distflow: %w", err)
 	}
 	// Restore exact conservation via spanning-tree routing (Lemma 9.1).
-	div := r.g.Divergence(rr.Flow)
+	div := ep.g.Divergence(rr.Flow)
 	resid := make([]float64, len(b))
 	for v := range resid {
 		resid[v] = b[v] - div[v]
 	}
-	fTree, err := r.solver.RouteResidualOnST(resid)
+	fTree, err := ep.solver.RouteResidualOnST(resid)
 	if err != nil {
 		return nil, 0, fmt.Errorf("distflow: %w", err)
 	}
-	out := make([]float64, r.g.M())
+	out := make([]float64, ep.g.M())
 	for e := range out {
 		out[e] = rr.Flow[e] + fTree[e]
 	}
-	return out, r.g.MaxCongestion(out), nil
+	return out, ep.g.MaxCongestion(out), nil
 }
 
 // CongestionLowerBound returns ‖Rb‖∞, a certified lower bound on the
 // congestion any routing of b must incur (with the default exact-cut
 // scaling this is a true cut-based bound).
 func (r *Router) CongestionLowerBound(b []float64) float64 {
-	return r.apx.NormRb(b)
+	ep := r.acquire()
+	defer ep.release()
+	return ep.apx.NormRb(b)
 }
 
 // STPair names one s-t max-flow query of a batch.
@@ -620,6 +646,8 @@ type STPair struct {
 // pair, running the queries concurrently on the internal worker pool
 // while sharing the router's congestion approximator. results[i]
 // corresponds to pairs[i] and carries its own isolated round ledger.
+// The whole batch runs against one epoch snapshot: an update published
+// mid-batch is not observed by any of its queries.
 //
 // Warm-cache interaction is deterministic: lookups happen before the
 // parallel region and insertions after it, both in index order, so for
@@ -631,22 +659,24 @@ type STPair struct {
 // On error, the first failing query's error (by index order) is
 // returned together with the partial results; failed entries are nil.
 func (r *Router) MaxFlowBatch(pairs []STPair) ([]*Result, error) {
+	ep := r.acquire()
+	defer ep.release()
 	results := make([]*Result, len(pairs))
 	routings := make([][]float64, len(pairs))
 	warms := make([][]float64, len(pairs))
 	errs := make([]error, len(pairs))
-	if r.cache != nil {
+	if ep.cache != nil {
 		for i, p := range pairs {
-			warms[i] = r.cache.get(stKey(p.S, p.T))
+			warms[i] = ep.cache.get(stKey(p.S, p.T))
 		}
 	}
 	par.Do(len(pairs), func(i int) {
-		results[i], routings[i], errs[i] = r.maxFlowWarm(pairs[i].S, pairs[i].T, warms[i])
+		results[i], routings[i], errs[i] = ep.maxFlowWarm(pairs[i].S, pairs[i].T, warms[i])
 	})
-	if r.cache != nil {
+	if ep.cache != nil {
 		for i, p := range pairs {
 			if errs[i] == nil {
-				r.cache.put(stKey(p.S, p.T), routings[i])
+				ep.cache.put(stKey(p.S, p.T), routings[i])
 			}
 		}
 	}
@@ -674,29 +704,34 @@ type Routing struct {
 // count for a fixed router state. On error the first failing query's
 // error is returned with the partial results.
 func (r *Router) RouteDemandBatch(demands [][]float64, eps float64) ([]*Routing, error) {
+	eps, err := normalizeEps(eps)
+	if err != nil {
+		return nil, err
+	}
+	ep := r.acquire()
+	defer ep.release()
 	results := make([]*Routing, len(demands))
 	warms := make([][]float64, len(demands))
 	keys := make([]string, len(demands))
 	errs := make([]error, len(demands))
-	eps = normalizeEps(eps)
-	if r.cache != nil {
+	if ep.cache != nil {
 		for i, b := range demands {
 			keys[i] = demandKey(b, eps)
-			warms[i] = r.cache.get(keys[i])
+			warms[i] = ep.cache.get(keys[i])
 		}
 	}
 	par.Do(len(demands), func(i int) {
-		flow, cong, err := r.routeDemandWarm(demands[i], eps, warms[i])
+		flow, cong, err := ep.routeDemandWarm(demands[i], eps, warms[i])
 		if err != nil {
 			errs[i] = err
 			return
 		}
 		results[i] = &Routing{Flow: flow, Congestion: cong}
 	})
-	if r.cache != nil {
+	if ep.cache != nil {
 		for i := range demands {
 			if errs[i] == nil {
-				r.cache.put(keys[i], append([]float64(nil), results[i].Flow...))
+				ep.cache.put(keys[i], append([]float64(nil), results[i].Flow...))
 			}
 		}
 	}

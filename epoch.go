@@ -1,0 +1,145 @@
+package distflow
+
+// Epoch-snapshot (MVCC) router core (DESIGN.md §9). The Router's
+// mutable state is one pointer to an immutable epoch: the graph, the
+// congestion approximator, the solver, and the warm-start cache that
+// together answer queries. Queries pin the published epoch with a
+// refcount and run entirely against it; updates fork a private copy,
+// apply the batch there, and atomically publish the result. The old
+// epoch is retired at publish and freed (left to the GC) once its last
+// draining query releases it. Two properties fall out for free:
+//
+//   - Queries never race updates: nothing a query reads is ever
+//     written after publish, so MaxFlow/RouteDemand/the batch methods
+//     may run concurrently with UpdateCapacities/UpdateTopology.
+//   - Updates are atomic: an error anywhere past planning (a failed
+//     resample or rebuild) discards the private epoch and leaves the
+//     published one untouched — there is no half-mutated router state
+//     to observe, and replaying the same batch is safe.
+//
+// Writers are serialized by Router.mu; the publish itself is one
+// atomic pointer swap, so readers never block.
+
+import (
+	"sync/atomic"
+
+	"distflow/internal/capprox"
+	"distflow/internal/graph"
+	"distflow/internal/sherman"
+)
+
+// epoch is one immutable published router state. Every field is frozen
+// at publish time: the graph's CSR is compacted (no lazy rebuilds left
+// for a query to trigger), the approximator is never written again
+// (updates write a clone), and the warm cache — the one mutable member
+// — is scoped to this epoch alone and internally locked, so a cached
+// flow can never warm-start a query against a different epoch's graph.
+type epoch struct {
+	// seq numbers epochs from 1 (NewRouter); each published update
+	// increments it.
+	seq    uint64
+	g      *graph.Graph
+	apx    *capprox.Approximator
+	solver *sherman.Solver
+	cache  *warmCache // nil when Options.DisableWarmStart
+	opts   Options
+
+	// refs counts the publish pin (1, dropped at retirement) plus every
+	// in-flight query pinned to this epoch.
+	refs atomic.Int64
+	// retired flips when a newer epoch replaces this one; the epoch is
+	// drained when retired and refs reaches 0.
+	retired atomic.Bool
+	// drainedOnce makes the drained-accounting fire exactly once even if
+	// a late acquire transiently revives the refcount.
+	drainedOnce atomic.Bool
+	// freed points at the owning Router's drained-epoch counter.
+	freed *atomic.Int64
+}
+
+// acquire pins the currently published epoch for one query (or one
+// batch) and returns it. The pin keeps the epoch's drained accounting
+// honest; memory safety never depends on it — a retired epoch stays
+// valid for as long as anyone holds the pointer (the GC owns
+// reclamation), so a reader that loads the pointer just before a
+// publish simply runs against the snapshot it saw.
+func (r *Router) acquire() *epoch {
+	ep := r.cur.Load()
+	ep.refs.Add(1)
+	return ep
+}
+
+// release drops one query pin. The last release of a retired epoch
+// marks it drained: from that point nothing references it but the
+// caller's dying pointer, and the GC reclaims the whole snapshot.
+func (ep *epoch) release() {
+	if ep.refs.Add(-1) == 0 && ep.retired.Load() {
+		if ep.drainedOnce.CompareAndSwap(false, true) {
+			ep.freed.Add(1)
+		}
+	}
+}
+
+// fork returns the next epoch as a private deep copy of the published
+// one: same graph and approximator state, nothing shared that any
+// update path writes. The caller (who must hold r.mu) applies the
+// batch to the fork and either publishes it or drops it on the floor —
+// discarding a fork is how a failed resample/rebuild stays atomic.
+// The solver and cache are deliberately absent until publish: both are
+// rebuilt fresh there, exactly as the in-place update paths always
+// reset them.
+func (r *Router) fork() *epoch {
+	cur := r.cur.Load()
+	next := &epoch{
+		seq:   cur.seq + 1,
+		g:     cur.g.Clone(),
+		apx:   cur.apx.Clone(),
+		opts:  cur.opts,
+		freed: &r.epochsFreed,
+	}
+	next.refs.Store(1) // the publish pin
+	return next
+}
+
+// publish finishes the fork and atomically installs it as the current
+// epoch, retiring the old one. Everything that must not happen lazily
+// under concurrent readers happens here, on the writer: the graph's
+// CSR is compacted (folding overlay arcs and tombstones so every
+// adjacency accessor is read-only afterwards), the solver is built,
+// and a fresh epoch-scoped warm cache is created. The user's Graph
+// wrapper is re-pointed so it keeps observing the latest state, as its
+// documentation promises. Callers hold r.mu; publish cannot fail.
+func (r *Router) publish(next *epoch) {
+	next.g.Compact()
+	next.solver = sherman.NewSolver(next.g, next.apx)
+	if !r.opts.DisableWarmStart {
+		next.cache = newWarmCache(warmCacheCap(r.opts))
+	}
+	old := r.cur.Swap(next)
+	r.userG.g = next.g
+	old.retired.Store(true)
+	old.release() // drop the publish pin; drains when the last query ends
+}
+
+// warmCacheCap resolves Options.WarmCacheSize to the effective entry
+// cap.
+func warmCacheCap(opts Options) int {
+	if opts.WarmCacheSize > 0 {
+		return opts.WarmCacheSize
+	}
+	return defaultWarmCacheSize
+}
+
+// EpochSeq returns the sequence number of the currently published
+// epoch: 1 after NewRouter, +1 per effective update batch. Serving
+// layers expose it as a cheap "did the world change" cursor.
+func (r *Router) EpochSeq() uint64 { return r.cur.Load().seq }
+
+// epochsDrained reports how many retired epochs have fully drained
+// (tests assert retirement actually releases snapshots).
+func (r *Router) epochsDrained() int64 { return r.epochsFreed.Load() }
+
+// curEpoch returns the published epoch without pinning it — for tests
+// and writer-side code that inspect the current state, not for query
+// paths (those must acquire/release).
+func (r *Router) curEpoch() *epoch { return r.cur.Load() }

@@ -66,6 +66,19 @@ func (l *Ledger) PhaseNames() []string {
 	return names
 }
 
+// Clone returns a deep copy of the ledger. Epoch snapshots fork the
+// approximator's construction ledger through this: the published copy
+// stays frozen for concurrent per-query reads while the update path
+// keeps charging the private copy.
+func (l *Ledger) Clone() *Ledger {
+	c := &Ledger{measured: l.measured, accounted: l.accounted,
+		phases: make(map[string]int64, len(l.phases))}
+	for k, v := range l.phases {
+		c.phases[k] = v
+	}
+	return c
+}
+
 // Add merges another ledger into l.
 func (l *Ledger) Add(other *Ledger) {
 	l.measured += other.measured

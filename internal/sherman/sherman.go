@@ -295,13 +295,33 @@ func resolveAlpha(cfg Config) float64 {
 	return alpha
 }
 
+// NormalizeEps maps the zero value to the documented default accuracy
+// (0.5) and rejects everything else outside (0,1) with a clear error —
+// including NaN, which sails through a naive `eps <= 0 || eps >= 1`
+// check (both comparisons are false) and would otherwise reach the
+// gradient loop as an unreachable termination target. This is the ONE
+// definition of the ε default: every solve path and every warm-cache
+// key derivation must go through it (directly or via
+// distflow.normalizeEps), because a second copy of the default
+// silently desyncs cache keys from the accuracy a solve actually uses.
+func NormalizeEps(eps float64) (float64, error) {
+	if eps == 0 {
+		return 0.5, nil
+	}
+	if math.IsNaN(eps) || eps < 0 || eps >= 1 {
+		return 0, fmt.Errorf("sherman: eps %v out of (0,1)", eps)
+	}
+	return eps, nil
+}
+
 func (s *Solver) almostRoute(b []float64, eps float64, cfg Config, ledger *congest.Ledger, warm []float64, st *stepState) (*RouteResult, error) {
 	g := s.g
 	if len(b) != g.N() {
 		return nil, fmt.Errorf("sherman: demand length %d, want %d", len(b), g.N())
 	}
-	if eps <= 0 || eps >= 1 {
-		return nil, fmt.Errorf("sherman: eps %v out of (0,1)", eps)
+	eps, err := NormalizeEps(eps)
+	if err != nil {
+		return nil, err
 	}
 	if st.alpha == 0 {
 		st.alpha = resolveAlpha(cfg)
@@ -589,9 +609,9 @@ func (s *Solver) MaxFlowWarm(src, dst int, cfg Config, warm []float64) (*FlowRes
 	if src == dst || src < 0 || dst < 0 || src >= g.N() || dst >= g.N() {
 		return nil, fmt.Errorf("sherman: invalid terminals %d, %d", src, dst)
 	}
-	eps := cfg.Epsilon
-	if eps == 0 {
-		eps = 0.5
+	eps, err := NormalizeEps(cfg.Epsilon)
+	if err != nil {
+		return nil, err
 	}
 	tr, err := s.stTree()
 	if err != nil {

@@ -127,8 +127,16 @@ func TestAlmostRouteErrors(t *testing.T) {
 	if _, err := AlmostRoute(g, a, make([]float64, 3), 0.5, Config{}, nil); err == nil {
 		t.Error("bad demand length accepted")
 	}
-	if _, err := AlmostRoute(g, a, make([]float64, 4), 0, Config{}, nil); err == nil {
-		t.Error("eps=0 accepted")
+	// eps=0 selects the documented default accuracy (NormalizeEps);
+	// everything else outside (0,1) — including NaN, which defeats naive
+	// range comparisons — is rejected before the gradient loop.
+	if _, err := AlmostRoute(g, a, make([]float64, 4), 0, Config{}, nil); err != nil {
+		t.Errorf("eps=0 (default) rejected: %v", err)
+	}
+	for _, bad := range []float64{-0.1, 1, 1.5, math.NaN()} {
+		if _, err := AlmostRoute(g, a, make([]float64, 4), bad, Config{}, nil); err == nil {
+			t.Errorf("eps=%v accepted", bad)
+		}
 	}
 	if _, err := MaxFlow(g, a, 1, 1, Config{}); err == nil {
 		t.Error("s==t accepted")

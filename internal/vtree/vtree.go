@@ -115,6 +115,23 @@ func New(root int, parent []int, capacity []float64) (*VTree, error) {
 // N returns the number of vertices.
 func (t *VTree) N() int { return len(t.Parent) }
 
+// Clone returns a deep copy of the tree that shares no mutable state
+// with the original: AddLeaf on either side appends to private arrays.
+// The cached LCA table is dropped rather than copied — the clone's
+// first EnsureLCA rebuilds it in O(n log n), which costs the same as a
+// deep copy would and keeps the copy trivially correct. Epoch forks use
+// this: the published tree stays frozen for concurrent query sweeps
+// while the update path grows the private clone.
+func (t *VTree) Clone() *VTree {
+	return &VTree{
+		Root:   t.Root,
+		Parent: append([]int(nil), t.Parent...),
+		Cap:    append([]float64(nil), t.Cap...),
+		Depth:  append([]int(nil), t.Depth...),
+		order:  append([]int(nil), t.order...),
+	}
+}
+
 // AddLeaf appends a new vertex as a child of parent with the given
 // virtual capacity and returns its id (the previous N). Appending a
 // leaf preserves every existing path, depth, and topological prefix, so

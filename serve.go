@@ -1,0 +1,204 @@
+package distflow
+
+// Serving front-end (DESIGN.md §9): admission control plus a scheduler
+// that coalesces concurrently submitted max-flow queries into
+// warm-cache-aware MaxFlowBatch calls. The epoch-snapshot Router makes
+// this safe without any stop-the-world: queries batch and run while
+// topology/capacity updates publish new epochs underneath.
+//
+// The coalescing model is leader-based: the first goroutine to submit
+// into an idle server becomes the batch leader and drains the queue
+// inline, one MaxFlowBatch per drain; everyone else parks on a result
+// channel. Concurrent repeats of the same (s,t) pair collapse into ONE
+// solve whose *Result all waiters share — with the per-epoch warm
+// cache behind the batch, a popular pair costs one near-converged
+// solve per batch rather than one per caller.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned by Server.MaxFlow when admission control
+// rejects the query: MaxInFlight queries are already admitted. Callers
+// shed load (HTTP 503) rather than queue without bound.
+var ErrOverloaded = errors.New("distflow: server overloaded")
+
+// ServeOptions configures a Server. The zero value serves with the
+// defaults noted per field.
+type ServeOptions struct {
+	// MaxInFlight caps admitted-but-unfinished queries; submissions
+	// beyond it fail fast with ErrOverloaded (0 = 1024).
+	MaxInFlight int
+	// MaxBatch caps the distinct pairs per MaxFlowBatch call the
+	// scheduler issues (0 = 64). Smaller batches bound the latency a
+	// query can absorb waiting for stragglers sharing its batch.
+	MaxBatch int
+}
+
+// ServeStats is a point-in-time snapshot of a Server's counters.
+type ServeStats struct {
+	// Queries counts admitted max-flow submissions.
+	Queries int64
+	// Coalesced counts submissions served by another submission's solve
+	// (a concurrent repeat of the same (s,t) pair).
+	Coalesced int64
+	// Batches counts MaxFlowBatch calls issued by the scheduler.
+	Batches int64
+	// Rejected counts submissions refused by admission control.
+	Rejected int64
+	// EpochSeq is the router's published epoch sequence number.
+	EpochSeq uint64
+}
+
+// Server wraps a Router with admission control and the coalescing
+// batch scheduler. All methods are safe for concurrent use; updates
+// pass straight through to the router, whose epoch machinery isolates
+// them from in-flight batches.
+type Server struct {
+	r    *Router
+	opts ServeOptions
+
+	inflight atomic.Int64
+
+	mu      sync.Mutex
+	order   []STPair             // distinct pending pairs, submission order
+	waiters map[STPair][]chan serveOut
+	leading bool // a leader is currently draining the queue
+
+	queries   atomic.Int64
+	coalesced atomic.Int64
+	batches   atomic.Int64
+	rejected  atomic.Int64
+}
+
+type serveOut struct {
+	res *Result
+	err error
+}
+
+// NewServer wraps r. The router may be shared: the server adds no
+// state to it beyond issuing queries and updates.
+func NewServer(r *Router, opts ServeOptions) *Server {
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 1024
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 64
+	}
+	return &Server{r: r, opts: opts, waiters: make(map[STPair][]chan serveOut)}
+}
+
+// Router returns the wrapped router (for updates and direct queries).
+func (s *Server) Router() *Router { return s.r }
+
+// MaxFlow submits one s-t max-flow query through admission control and
+// the coalescing scheduler, blocking until its batch completes. A
+// query failing the batch returns its own error; concurrent repeats of
+// the same pair all receive the same result.
+func (s *Server) MaxFlow(src, dst int) (*Result, error) {
+	if s.inflight.Add(1) > int64(s.opts.MaxInFlight) {
+		s.inflight.Add(-1)
+		s.rejected.Add(1)
+		return nil, fmt.Errorf("%w: %d queries in flight", ErrOverloaded, s.opts.MaxInFlight)
+	}
+	defer s.inflight.Add(-1)
+	s.queries.Add(1)
+
+	p := STPair{S: src, T: dst}
+	ch := make(chan serveOut, 1)
+	s.mu.Lock()
+	if ws, ok := s.waiters[p]; ok {
+		// Coalesce: ride the already-queued solve of the same pair.
+		s.waiters[p] = append(ws, ch)
+		s.coalesced.Add(1)
+	} else {
+		s.waiters[p] = []chan serveOut{ch}
+		s.order = append(s.order, p)
+	}
+	lead := !s.leading
+	if lead {
+		s.leading = true
+	}
+	s.mu.Unlock()
+
+	if lead {
+		s.drain()
+	}
+	out := <-ch
+	return out.res, out.err
+}
+
+// drain runs batches until the queue empties, on the leader's own
+// goroutine (no background worker to manage or leak). Queries that
+// arrive while a batch is solving are picked up by the next loop
+// iteration, so under sustained load the batch size grows toward
+// MaxBatch by itself — the coalescing window is exactly the solve time
+// of the previous batch.
+func (s *Server) drain() {
+	for {
+		s.mu.Lock()
+		if len(s.order) == 0 {
+			s.leading = false
+			s.mu.Unlock()
+			return
+		}
+		n := len(s.order)
+		if n > s.opts.MaxBatch {
+			n = s.opts.MaxBatch
+		}
+		pairs := make([]STPair, n)
+		copy(pairs, s.order)
+		s.order = append(s.order[:0], s.order[n:]...)
+		taken := make([][]chan serveOut, n)
+		for i, p := range pairs {
+			taken[i] = s.waiters[p]
+			delete(s.waiters, p)
+		}
+		s.mu.Unlock()
+
+		s.batches.Add(1)
+		results, err := s.r.MaxFlowBatch(pairs)
+		for i := range pairs {
+			out := serveOut{res: results[i]}
+			if results[i] == nil {
+				// MaxFlowBatch reports the first failure; entries left nil
+				// failed individually — re-derive a per-pair error so every
+				// waiter learns its own fate.
+				if err != nil {
+					out.err = err
+				} else {
+					out.err = fmt.Errorf("distflow: batch query %d→%d failed", pairs[i].S, pairs[i].T)
+				}
+			}
+			for _, ch := range taken[i] {
+				ch <- out
+			}
+		}
+	}
+}
+
+// UpdateCapacities forwards to the router (safe concurrently with
+// serving; see Router.UpdateCapacities).
+func (s *Server) UpdateCapacities(edits []CapEdit) (*UpdateResult, error) {
+	return s.r.UpdateCapacities(edits)
+}
+
+// UpdateTopology forwards to the router (safe concurrently with
+// serving; see Router.UpdateTopology).
+func (s *Server) UpdateTopology(edits []TopoEdit) (*UpdateResult, error) {
+	return s.r.UpdateTopology(edits)
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() ServeStats {
+	return ServeStats{
+		Queries:   s.queries.Load(),
+		Coalesced: s.coalesced.Load(),
+		Batches:   s.batches.Load(),
+		Rejected:  s.rejected.Load(),
+		EpochSeq:  s.r.EpochSeq(),
+	}
+}

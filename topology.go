@@ -13,7 +13,6 @@ import (
 
 	"distflow/internal/capprox"
 	"distflow/internal/graph"
-	"distflow/internal/sherman"
 )
 
 // TopoOp selects the kind of one TopoEdit.
@@ -109,12 +108,12 @@ func RemoveVertexEdit(v int) TopoEdit { return TopoEdit{Op: TopoRemoveVertex, Ve
 //     cache survives.
 //   - The whole batch is validated first, including a connectivity
 //     pre-flight of the resulting active graph; on a validation error
-//     nothing is applied. (An internal resample/rebuild failure after
-//     the batch applied — possible only if the tree sampler itself
-//     fails — also returns an error, with the graph edited and the
-//     approximator consistently patched but possibly degraded; such an
-//     error is not fixed by replaying the batch, whose deletes would
-//     elide but whose inserts would duplicate.)
+//     nothing is applied. Errors past planning are atomic too: the
+//     batch is applied to a private epoch, so an internal
+//     resample/rebuild failure (possible only if the tree sampler
+//     itself fails) discards that epoch and the router keeps serving
+//     the pre-update state bit-identically — replaying the same batch
+//     is safe.
 //
 // The sampled tree topologies are kept and patched: new vertices enter
 // each tree as leaves under a deterministic anchor, inserted edges bump
@@ -128,112 +127,132 @@ func RemoveVertexEdit(v int) TopoEdit { return TopoEdit{Op: TopoRemoveVertex, Ve
 // exceeds the bound afterwards does a full deterministic rebuild run
 // (UpdateResult.Rebuilt).
 //
-// On any effective batch the solver state and warm-start cache are
-// reset. UpdateTopology must not run concurrently with queries on the
-// same Router; queries may resume as soon as it returns.
+// On any effective batch a new epoch is published with a fresh solver
+// and an empty warm-start cache. UpdateTopology may run concurrently
+// with queries (they complete against the epoch they started on); see
+// the Router godoc for the full concurrency contract.
 func (r *Router) UpdateTopology(edits []TopoEdit) (*UpdateResult, error) {
-	eff, err := r.planTopology(edits)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.cur.Load()
+	eff, err := planTopology(cur.g, edits)
 	if err != nil {
 		return nil, err
 	}
 	if len(eff) == 0 {
-		// Nothing changes: keep the solver state and the warm cache.
-		return &UpdateResult{Alpha: r.apx.Alpha}, nil
+		// Nothing changes: the published epoch — solver state, warm
+		// cache and all — survives untouched.
+		return &UpdateResult{Alpha: cur.apx.Alpha}, nil
 	}
 
-	// Apply to the graph, accumulating the approximator's delta view.
+	// Apply the batch to a private epoch fork, accumulating the
+	// approximator's delta view. The published epoch is never written:
+	// any failure below just drops the fork.
+	next := r.fork()
 	var delta capprox.TopoDelta
 	out := &UpdateResult{Edits: len(eff)}
 	for _, ed := range eff {
 		switch ed.Op {
 		case TopoAddEdge:
-			e := r.g.AddEdge(ed.U, ed.V, ed.Cap)
+			e := next.g.AddEdge(ed.U, ed.V, ed.Cap)
 			out.AddedEdges = append(out.AddedEdges, e)
 			delta.Deltas = append(delta.Deltas, capprox.CapDelta{U: ed.U, V: ed.V, Diff: float64(ed.Cap)})
 		case TopoDeleteEdge:
-			de := r.g.Edge(ed.Edge)
-			r.g.DeleteEdge(ed.Edge)
+			de := next.g.Edge(ed.Edge)
+			next.g.DeleteEdge(ed.Edge)
 			delta.Deltas = append(delta.Deltas, capprox.CapDelta{U: de.U, V: de.V, Diff: -float64(de.Cap)})
 		case TopoAddVertex:
-			w := r.g.AddVertex()
+			w := next.g.AddVertex()
 			out.AddedVertices = append(out.AddedVertices, w)
 			delta.NewVertices = append(delta.NewVertices, capprox.NewVertex{ID: w, Anchor: anchorOf(ed.Links)})
 			for _, l := range ed.Links {
-				e := r.g.AddEdge(w, l.To, l.Cap)
+				e := next.g.AddEdge(w, l.To, l.Cap)
 				out.AddedEdges = append(out.AddedEdges, e)
 				delta.Deltas = append(delta.Deltas, capprox.CapDelta{U: w, V: l.To, Diff: float64(l.Cap)})
 			}
 		case TopoRemoveVertex:
 			// Capture capacities before the tombstones land: each killed
 			// edge is an ordinary delete delta.
-			r.g.ForEachArc(ed.Vertex, func(a graph.Arc) {
-				de := r.g.Edge(a.E)
+			next.g.ForEachArc(ed.Vertex, func(a graph.Arc) {
+				de := next.g.Edge(a.E)
 				delta.Deltas = append(delta.Deltas, capprox.CapDelta{U: de.U, V: de.V, Diff: -float64(de.Cap)})
 			})
-			r.g.RemoveVertex(ed.Vertex)
+			next.g.RemoveVertex(ed.Vertex)
 			delta.Removed = append(delta.Removed, ed.Vertex)
 		}
 	}
 	cfg := capproxConfig(r.opts)
-	dirty, swept, shifted := r.apx.UpdateTopology(r.g, cfg, delta)
+	dirty, swept, shifted := next.apx.UpdateTopology(next.g, cfg, delta)
 	out.DirtyTrees, out.SweptTrees = dirty, swept
+	if topoFailHook != nil {
+		// Test injection point: the batch is fully applied to the fork,
+		// exactly the state a ResampleTrees/Build failure surfaces in.
+		if err := topoFailHook(); err != nil {
+			return nil, fmt.Errorf("distflow: resample after topology update: %w", err)
+		}
+	}
 
 	// Patch-vs-resample rule: individually resample the trees the batch
 	// degraded — by measured α past the rebuild threshold, or by the
 	// cut-shift detector (a reshaped cut landscape the frozen sample no
 	// longer sketches) — with seeds drawn from the router's
 	// deterministic resample stream (a pure function of the option seed
-	// and the batch sequence number).
+	// and the batch sequence number; a failed batch does not advance
+	// the stream, so replaying it reproduces the same trees).
 	factor := r.opts.AlphaRebuildFactor
 	if factor == 0 {
 		factor = 8
 	}
-	refresh := func() {
-		r.solver = sherman.NewSolver(r.g, r.apx)
-		if r.cache != nil {
-			r.cache.clear()
-		}
-	}
-	if degraded := mergeSorted(r.apx.DegradedTrees(factor*r.buildAlpha), shifted); len(degraded) > 0 {
+	if degraded := mergeSorted(next.apx.DegradedTrees(factor*r.buildAlpha), shifted); len(degraded) > 0 {
 		seeds := make([]int64, len(degraded))
 		rng := rand.New(rand.NewSource(r.seed()*1_000_003 + r.topoSeq))
 		for i := range seeds {
 			seeds[i] = rng.Int63()
 		}
-		if err := r.apx.ResampleTrees(r.g, cfg, degraded, seeds); err != nil {
-			refresh()
+		if err := next.apx.ResampleTrees(next.g, cfg, degraded, seeds); err != nil {
 			return nil, fmt.Errorf("distflow: resample after topology update: %w", err)
 		}
 		out.ResampledTrees = len(degraded)
 	}
-	r.topoSeq++
-	out.Alpha = r.apx.Alpha
+	out.Alpha = next.apx.Alpha
 	// Resampling is honest: if α is still past the bound the graph
 	// itself degraded — fall back to the full deterministic rebuild and
 	// adopt its α as the new reference.
-	if r.apx.Alpha > factor*r.buildAlpha {
-		apx, err := capprox.Build(r.g, cfg, rand.New(rand.NewSource(r.seed())))
+	rebuilt := false
+	if next.apx.Alpha > factor*r.buildAlpha {
+		apx, err := capprox.Build(next.g, cfg, rand.New(rand.NewSource(r.seed())))
 		if err != nil {
-			refresh()
 			return nil, fmt.Errorf("distflow: rebuild after topology update: %w", err)
 		}
-		r.apx = apx
-		r.buildAlpha = apx.Alpha
+		next.apx = apx
+		rebuilt = true
 		out.Rebuilt = true
 		out.Alpha = apx.Alpha
 	}
-	refresh()
+	// Nothing can fail past this point: commit the writer-side state and
+	// publish atomically.
+	if rebuilt {
+		r.buildAlpha = next.apx.Alpha
+	}
+	r.topoSeq++
+	r.publish(next)
 	return out, nil
 }
+
+// topoFailHook, when set (tests only), injects an error into
+// UpdateTopology after the batch has been applied to the private epoch
+// — the point where a ResampleTrees/Build failure would surface. The
+// regression test for the old "errors mutate nothing" violation uses
+// it to assert the failed epoch is discarded whole.
+var topoFailHook func() error
 
 // planTopology validates the batch against a lightweight simulation of
 // the graph and returns the effective (non-elided) edits in application
 // order. Nothing is mutated; any error leaves the router untouched.
-func (r *Router) planTopology(edits []TopoEdit) ([]TopoEdit, error) {
+func planTopology(g *graph.Graph, edits []TopoEdit) ([]TopoEdit, error) {
 	if len(edits) == 0 {
 		return nil, nil
 	}
-	g := r.g
 	// Simulated state: vertex count, removal marks, edge list.
 	type simEdge struct {
 		u, v int

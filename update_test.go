@@ -98,29 +98,29 @@ func TestUpdateCapacitiesWorkerDeterminism(t *testing.T) {
 		return r
 	}
 	a, b := buildAndUpdate(1), buildAndUpdate(4)
-	if a.apx.Alpha != b.apx.Alpha || a.apx.AlphaLow != b.apx.AlphaLow {
+	if a.curEpoch().apx.Alpha != b.curEpoch().apx.Alpha || a.curEpoch().apx.AlphaLow != b.curEpoch().apx.AlphaLow {
 		t.Fatalf("alpha differs across worker counts: %v/%v vs %v/%v",
-			a.apx.Alpha, a.apx.AlphaLow, b.apx.Alpha, b.apx.AlphaLow)
+			a.curEpoch().apx.Alpha, a.curEpoch().apx.AlphaLow, b.curEpoch().apx.Alpha, b.curEpoch().apx.AlphaLow)
 	}
-	if len(a.apx.Trees) != len(b.apx.Trees) {
+	if len(a.curEpoch().apx.Trees) != len(b.curEpoch().apx.Trees) {
 		t.Fatal("tree count differs across worker counts")
 	}
-	for k := range a.apx.Trees {
-		ta, tb := a.apx.Trees[k], b.apx.Trees[k]
+	for k := range a.curEpoch().apx.Trees {
+		ta, tb := a.curEpoch().apx.Trees[k], b.curEpoch().apx.Trees[k]
 		for v := 0; v < ta.N(); v++ {
 			if ta.Parent[v] != tb.Parent[v] || ta.Cap[v] != tb.Cap[v] {
 				t.Fatalf("tree %d differs at vertex %d after updates", k, v)
 			}
-			if a.apx.CutCap[k][v] != b.apx.CutCap[k][v] {
+			if a.curEpoch().apx.CutCap[k][v] != b.curEpoch().apx.CutCap[k][v] {
 				t.Fatalf("cut capacity %d/%d differs after updates", k, v)
 			}
 		}
 	}
-	ra, err := a.MaxFlow(0, a.g.N()-1)
+	ra, err := a.MaxFlow(0, a.curEpoch().g.N()-1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := b.MaxFlow(0, b.g.N()-1)
+	rb, err := b.MaxFlow(0, b.curEpoch().g.N()-1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,16 +148,16 @@ func TestUpdateCapacitiesRebuildFallback(t *testing.T) {
 	if !ur.Rebuilt {
 		t.Fatal("AlphaRebuildFactor 0.5 did not force a rebuild")
 	}
-	fresh, err := NewRouter(&Graph{g: r.g}, Options{Seed: 3, DisableWarmStart: true})
+	fresh, err := NewRouter(&Graph{g: r.curEpoch().g}, Options{Seed: 3, DisableWarmStart: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.apx.Alpha != fresh.apx.Alpha {
-		t.Fatalf("rebuilt alpha %v differs from fresh build %v", r.apx.Alpha, fresh.apx.Alpha)
+	if r.curEpoch().apx.Alpha != fresh.curEpoch().apx.Alpha {
+		t.Fatalf("rebuilt alpha %v differs from fresh build %v", r.curEpoch().apx.Alpha, fresh.curEpoch().apx.Alpha)
 	}
-	for k := range r.apx.Trees {
-		for v := 0; v < r.apx.Trees[k].N(); v++ {
-			if r.apx.Trees[k].Parent[v] != fresh.apx.Trees[k].Parent[v] {
+	for k := range r.curEpoch().apx.Trees {
+		for v := 0; v < r.curEpoch().apx.Trees[k].N(); v++ {
+			if r.curEpoch().apx.Trees[k].Parent[v] != fresh.curEpoch().apx.Trees[k].Parent[v] {
 				t.Fatalf("rebuilt tree %d differs from fresh build at %d", k, v)
 			}
 		}
@@ -264,7 +264,7 @@ func TestUpdateCapacitiesNoOpKeepsWarmCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, _, c0 := g.EdgeEndpoints(0)
-	solver := r.solver
+	solver := r.curEpoch().solver
 	for name, batch := range map[string][]CapEdit{
 		"nil":           nil,
 		"empty":         {},
@@ -278,10 +278,10 @@ func TestUpdateCapacitiesNoOpKeepsWarmCache(t *testing.T) {
 		if ur.Edits != 0 || ur.DirtyTrees != 0 || ur.SweptTrees != 0 || ur.Rebuilt {
 			t.Fatalf("%s: not reported as a no-op: %+v", name, ur)
 		}
-		if r.solver != solver {
+		if r.curEpoch().solver != solver {
 			t.Fatalf("%s: no-op update rebuilt the solver", name)
 		}
-		if n := r.cache.len(); n == 0 {
+		if n := r.curEpoch().cache.len(); n == 0 {
 			t.Fatalf("%s: no-op update emptied the warm cache", name)
 		}
 	}
@@ -323,13 +323,13 @@ func TestUpdateCapacitiesCoalescesDuplicates(t *testing.T) {
 	if _, _, c := ga.EdgeEndpoints(2); c != 9 {
 		t.Fatalf("last-wins violated: edge 2 capacity %d, want 9", c)
 	}
-	if ra.apx.Alpha != rb.apx.Alpha {
-		t.Fatalf("coalesced batch alpha %v differs from explicit batch %v", ra.apx.Alpha, rb.apx.Alpha)
+	if ra.curEpoch().apx.Alpha != rb.curEpoch().apx.Alpha {
+		t.Fatalf("coalesced batch alpha %v differs from explicit batch %v", ra.curEpoch().apx.Alpha, rb.curEpoch().apx.Alpha)
 	}
-	for k := range ra.apx.Trees {
-		for v := 0; v < ra.apx.Trees[k].N(); v++ {
-			if ra.apx.Trees[k].Cap[v] != rb.apx.Trees[k].Cap[v] ||
-				ra.apx.CutCap[k][v] != rb.apx.CutCap[k][v] {
+	for k := range ra.curEpoch().apx.Trees {
+		for v := 0; v < ra.curEpoch().apx.Trees[k].N(); v++ {
+			if ra.curEpoch().apx.Trees[k].Cap[v] != rb.curEpoch().apx.Trees[k].Cap[v] ||
+				ra.curEpoch().apx.CutCap[k][v] != rb.curEpoch().apx.CutCap[k][v] {
 				t.Fatalf("tree %d differs at %d between duplicate and coalesced batches", k, v)
 			}
 		}
@@ -376,11 +376,11 @@ func TestUpdateCapacitiesDirtyMatchesFullSweep(t *testing.T) {
 			if ua.Alpha != ub.Alpha {
 				t.Fatalf("trial %d batch %d: alpha %v (dirty) vs %v (full)", trial, batch, ua.Alpha, ub.Alpha)
 			}
-			for k := range ra.apx.Trees {
-				for v := 0; v < ra.apx.Trees[k].N(); v++ {
-					if ra.apx.Trees[k].Cap[v] != rb.apx.Trees[k].Cap[v] ||
-						ra.apx.CutCap[k][v] != rb.apx.CutCap[k][v] ||
-						ra.apx.Scale[k][v] != rb.apx.Scale[k][v] {
+			for k := range ra.curEpoch().apx.Trees {
+				for v := 0; v < ra.curEpoch().apx.Trees[k].N(); v++ {
+					if ra.curEpoch().apx.Trees[k].Cap[v] != rb.curEpoch().apx.Trees[k].Cap[v] ||
+						ra.curEpoch().apx.CutCap[k][v] != rb.curEpoch().apx.CutCap[k][v] ||
+						ra.curEpoch().apx.Scale[k][v] != rb.curEpoch().apx.Scale[k][v] {
 						t.Fatalf("trial %d batch %d: tree %d state differs at %d", trial, batch, k, v)
 					}
 				}

@@ -137,7 +137,7 @@ func TestWarmCacheEviction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if n := r.cache.len(); n != 2 {
+	if n := r.curEpoch().cache.len(); n != 2 {
 		t.Fatalf("cache holds %d entries, want 2", n)
 	}
 	// {0,15} was evicted; {2,13} is resident.
