@@ -30,7 +30,14 @@ package main
 // throughput/latency block (qps, serve_p50_seconds, serve_p99_seconds),
 // the scheduler counters (coalesced/batches/rejected), and the
 // quiesced-vs-rebuilt drift (serve_max_value_err); the other documents
-// only bump the version.
+// only bump the version. v7 adds the -scale document (mode:"scale",
+// see scale.go) — a flat map with per-rung `_n{n}` keys carrying the
+// instance-ladder phase times, heap deltas/peaks, and per-rung
+// fingerprints — AND changes the recorded distributions of every mode:
+// the SplitGraph race switched from a binary heap to a bucket queue
+// (lsst.RaceOrderVersion 2), which reorders pops among fully equal
+// (time, source) keys, so all value_sum/alpha/iteration baselines were
+// re-recorded at v7 (see DESIGN.md §10).
 
 import (
 	"encoding/json"
@@ -47,7 +54,7 @@ import (
 
 // benchSchema is the single definition of the bench JSON schema
 // version.
-const benchSchema = 6
+const benchSchema = 7
 
 // FlowBenchConfig parameterizes one -flow run. The JSON key order of
 // this struct IS the schema-2 config layout; do not reorder fields.

@@ -55,6 +55,17 @@
 //	bench -serve -n 2500 -json BENCH_serve.json
 //	bench -serve -serve-ceiling 2     # fail when the p99 query latency
 //	                                  # exceeds the budget (CI)
+//
+// The -scale mode climbs the instance ladder n = 10⁴, 10⁵, 10⁶ and
+// measures every pipeline phase — streamed generation, streamed load,
+// router build — in wall time and memory (retained heap delta + peak,
+// schema 7, see scale.go). It reuses -deg/-cap/-seed/-queries/-eps/
+// -workers; -n is ignored (the ladder fixes the rungs):
+//
+//	bench -scale -scale-max-n 100000 -json BENCH_scale.json
+//	bench -scale -scale-max-n 10000 -scale-mem-ceiling 1024
+//	                                  # fail when peak heap exceeds the
+//	                                  # budget in MB (CI smoke)
 package main
 
 import (
@@ -83,6 +94,9 @@ func run() error {
 		build         = flag.Bool("build", false, "benchmark the router construction path (per-phase breakdown + the dirty/full/rebuild update ladder)")
 		churn         = flag.Bool("churn", false, "benchmark dynamic topology churn (batched UpdateTopology vs full rebuild)")
 		serve         = flag.Bool("serve", false, "benchmark the concurrent serving front-end (sustained load + churn through distflow.Server)")
+		scaleMode     = flag.Bool("scale", false, "benchmark the instance ladder n=10⁴..10⁶ (per-phase wall time + memory)")
+		scaleMaxN     = flag.Int("scale-max-n", 1_000_000, "-scale: climb rungs up to this vertex count")
+		scaleMemCeil  = flag.Float64("scale-mem-ceiling", 0, "-scale: pin the soft memory limit to this many MB and fail when peak heap exceeds it (0 = off)")
 		buildCeiling  = flag.Float64("build-ceiling", 0, "-build: fail when router_build_seconds exceeds this many seconds (0 = off)")
 		updateCeiling = flag.Float64("update-ceiling", 0, "-build: fail when dirty_update_seconds (per single-edge edit) exceeds this many seconds (0 = off)")
 		churnCeiling  = flag.Float64("churn-ceiling", 0, "-churn: fail when churn_update_seconds (per topology batch) exceeds this many seconds (0 = off)")
@@ -101,6 +115,16 @@ func run() error {
 		memProfile    = flag.String("memprofile", "", "-flow: write a heap profile to this file")
 	)
 	flag.Parse()
+	if *scaleMode {
+		return runScaleBench(FlowBenchConfig{
+			Degree:  *flowDeg,
+			MaxCap:  *flowCap,
+			Seed:    *flowSeed,
+			Queries: *queries,
+			Epsilon: *epsilon,
+			Workers: *workers,
+		}, *jsonOut, *scaleMaxN, *scaleMemCeil)
+	}
 	if *serve {
 		return runServeBench(FlowBenchConfig{
 			N:       *flowN,

@@ -74,6 +74,22 @@ var gatesByMode = map[string][]gate{
 		{key: "escalations", dir: up, abs: 4},
 		{key: "resampled_trees_total", dir: up, abs: 26},
 	},
+	// The scale document is a flat per-rung map (keys suffixed _n{n}).
+	// Wall-clock and memory keys are hardware-dependent and ungated —
+	// race_speedup included, it is a wall-clock ratio. The gates are the
+	// hardware-independent per-rung fingerprints of the rungs the
+	// committed baseline climbs (n ≤ 10⁵); keys of rungs beyond the
+	// fresh run's -scale-max-n are absent and reported as skipped.
+	"scale": {
+		{key: "m_n10000", dir: both, rel: 1e-9},
+		{key: "m_n100000", dir: both, rel: 1e-9},
+		{key: "alpha_n10000", dir: up},
+		{key: "alpha_n100000", dir: up},
+		{key: "trees_n10000", dir: both, rel: 1e-9},
+		{key: "trees_n100000", dir: both, rel: 1e-9},
+		{key: "value_sum_n10000", dir: both, rel: 0.01},
+		{key: "iterations_n10000", dir: up},
+	},
 	// qps and the latency quantiles of the serve document are wall-clock
 	// metrics and deliberately ungated; the drift fingerprint and value
 	// sums are pure functions of (seed, churn schedule) — the serve bench

@@ -31,6 +31,26 @@ func run() error {
 		seed   = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
+	// The capacity sweep families default to maxcap 16; an explicit
+	// -maxcap > 1 overrides it (matching the materializing path, which
+	// re-draws capacities on top of the family's).
+	famCap := *maxCap
+	if famCap <= 1 {
+		famCap = 16
+	}
+	// gnp and grid stream edge-at-a-time — at n=10⁶ the full edge list
+	// never exists in memory, only the text stream. The remaining
+	// families are small-n experiment topologies and materialize.
+	switch *family {
+	case "gnp":
+		return graph.StreamGNP(os.Stdout, *n, 4.0/float64(*n), famCap, *seed)
+	case "grid":
+		side := 1
+		for side*side < *n {
+			side++
+		}
+		return graph.StreamGrid(os.Stdout, side, side, famCap, *seed)
+	}
 	rng := rand.New(rand.NewSource(*seed))
 	for _, fam := range graph.Families() {
 		if fam.Name == *family {

@@ -31,6 +31,8 @@ import (
 	"distflow/internal/capprox"
 	"distflow/internal/congest"
 	"distflow/internal/graph"
+	"distflow/internal/jtree"
+	"distflow/internal/lsst"
 	"distflow/internal/par"
 	"distflow/internal/seqflow"
 	"distflow/internal/sherman"
@@ -142,6 +144,14 @@ type Options struct {
 	// update re-sweeps every tree, the bit-identical slow path used as
 	// the property-test oracle and the bench baseline).
 	UpdateDirtyFraction float64
+	// HeapRace selects the legacy binary-heap SplitGraph race inside the
+	// spanning-tree construction instead of the default bucket queue
+	// (lsst.RaceOrderVersion 1 vs 2). Measurement-only: the two resolve
+	// equal-priority race ties in different orders, so sampled trees —
+	// and hence flows — differ between the settings (each is
+	// individually deterministic). The scale ladder uses this for its
+	// race A/B phase breakdown.
+	HeapRace bool
 	// CutShiftResample tunes UpdateTopology's structural-degradation
 	// detector: a sampled tree one of whose pre-existing cuts a
 	// topology batch multiplies or divides by more than this factor is
@@ -292,6 +302,8 @@ type BuildBreakdown struct {
 	SampleSeconds float64 `json:"sample_seconds"`
 	// SparsifySeconds is the cluster-sparsification share of sampling.
 	SparsifySeconds float64 `json:"sparsify_seconds"`
+	// RaceSeconds is the SplitGraph-race share of sampling.
+	RaceSeconds float64 `json:"race_seconds"`
 	// CutCapSeconds is the exact subtree-cut capacity phase (one
 	// TreeFlow sweep per tree).
 	CutCapSeconds float64 `json:"cutcap_seconds"`
@@ -308,6 +320,7 @@ func (r *Router) BuildBreakdown() BuildBreakdown {
 	return BuildBreakdown{
 		SampleSeconds:   s.SampleSeconds,
 		SparsifySeconds: s.SparsifySeconds,
+		RaceSeconds:     s.RaceSeconds,
 		CutCapSeconds:   s.CutCapSeconds,
 		AlphaSeconds:    s.AlphaSeconds,
 		TotalSeconds:    s.TotalSeconds,
@@ -327,6 +340,7 @@ func capproxConfig(opts Options) capprox.Config {
 		ExactCuts:           !opts.PaperScaling,
 		UpdateDirtyFraction: opts.UpdateDirtyFraction,
 		CutShiftResample:    opts.CutShiftResample,
+		Step:                jtree.Config{LSST: lsst.Config{HeapRace: opts.HeapRace}},
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"distflow/internal/cluster"
@@ -86,6 +87,10 @@ type BuildStats struct {
 	// SparsifySeconds is the cluster-graph sparsification share of
 	// sampling (0 unless Config.UseSparsifier).
 	SparsifySeconds float64 `json:"sparsify_seconds"`
+	// RaceSeconds is the SplitGraph-race share of sampling (summed over
+	// candidates and trees, CPU seconds like SampleSeconds) — the
+	// quantity the bucket-queue race targets.
+	RaceSeconds float64 `json:"race_seconds"`
 	// CutCapSeconds is the exact subtree-cut capacity phase (one
 	// TreeFlow sweep per tree).
 	CutCapSeconds float64 `json:"cutcap_seconds"`
@@ -236,22 +241,22 @@ func Build(g *graph.Graph, cfg Config, rng *rand.Rand) (*Approximator, error) {
 		seeds[k] = rng.Int63()
 	}
 	type sampled struct {
-		t        *vtree.VTree
-		levels   []int
-		ledger   *congest.Ledger
-		seconds  float64
-		sparsify float64
-		err      error
+		t       *vtree.VTree
+		levels  []int
+		ledger  *congest.Ledger
+		seconds float64
+		phases  samplePhases
+		err     error
 	}
 	outs := make([]sampled, trees)
 	par.Do(trees, func(k int) {
 		led := congest.NewLedger()
 		treeStart := time.Now()
-		var sparsifySec float64
-		t, levels, err := sampleTree(g, cfg, diameter, led, rand.New(rand.NewSource(seeds[k])), &sparsifySec)
+		var ph samplePhases
+		t, levels, err := sampleTree(g, cfg, diameter, led, rand.New(rand.NewSource(seeds[k])), &ph)
 		outs[k] = sampled{
 			t: t, levels: levels, ledger: led, err: err,
-			seconds: time.Since(treeStart).Seconds(), sparsify: sparsifySec,
+			seconds: time.Since(treeStart).Seconds(), phases: ph,
 		}
 	})
 	for k := range outs {
@@ -262,7 +267,8 @@ func Build(g *graph.Graph, cfg Config, rng *rand.Rand) (*Approximator, error) {
 		a.Levels = append(a.Levels, outs[k].levels)
 		a.Ledger.Add(outs[k].ledger)
 		a.Stats.SampleSeconds += outs[k].seconds
-		a.Stats.SparsifySeconds += outs[k].sparsify
+		a.Stats.SparsifySeconds += outs[k].phases.sparsify
+		a.Stats.RaceSeconds += outs[k].phases.race
 	}
 
 	// Exact subtree-cut capacities via the tree-flow identity (one
@@ -496,9 +502,30 @@ func refreshTree(t *vtree.VTree, pairs []vtree.EdgeEndpoint, cc, scale []float64
 	return measureTreeRatios(t, cc), shift
 }
 
+// samplePhases accumulates one sampleTree call's sub-phase durations.
+type samplePhases struct {
+	sparsify float64 // cluster sparsification
+	race     float64 // SplitGraph races inside the LSST, all candidates
+}
+
+// samplerWS bundles the j-tree construction arenas of one sampleTree
+// call (one per candidate slot), pooled across trees: a 1-worker build
+// then reuses a single bundle for all ~log n trees instead of
+// allocating full arenas per tree, which at n=10⁶ is the difference
+// between one working set and twenty. The terminal collapse borrows
+// slot 0 rather than owning a fourth arena — each arena is a quarter
+// gigabyte at n=10⁶, and StepWS's pointer-identity arena selection
+// already guarantees a step can never clobber the cluster graph it is
+// reading, wherever that graph lives.
+type samplerWS struct {
+	wss []*jtree.Workspace
+}
+
+var samplerPool = sync.Pool{New: func() any { return &samplerWS{} }}
+
 // sampleTree draws one virtual tree from the recursive distribution.
-// sparsifySec accumulates the time spent in cluster sparsification.
-func sampleTree(g *graph.Graph, cfg Config, diameter int, ledger *congest.Ledger, rng *rand.Rand, sparsifySec *float64) (*vtree.VTree, []int, error) {
+// phases accumulates the time spent in the instrumented sub-phases.
+func sampleTree(g *graph.Graph, cfg Config, diameter int, ledger *congest.Ledger, rng *rand.Rand, phases *samplePhases) (*vtree.VTree, []int, error) {
 	n := g.N()
 	beta := cfg.Beta
 	if beta == 0 {
@@ -527,17 +554,20 @@ func sampleTree(g *graph.Graph, cfg Config, diameter int, ledger *congest.Ledger
 	cg := cluster.FromGraph(g)
 	levels := []int{cg.N}
 
-	// One pooled construction arena per candidate slot plus one for the
-	// terminal collapse, reused across all levels of this tree. A
-	// StepResult is consumed (place + next-level input) before its
-	// slot's workspace runs again, and the alternating core buffers
-	// inside each workspace keep the current input cluster graph intact
-	// while its successor is built.
-	wss := make([]*jtree.Workspace, candidates)
-	for c := range wss {
-		wss[c] = jtree.NewWorkspace()
+	// One pooled construction arena per candidate slot, reused across
+	// all levels of this tree — and, via samplerPool, across trees
+	// sharing a worker. A StepResult is consumed (place + next-level
+	// input) before its slot's workspace runs again, and the alternating
+	// core buffers inside each workspace keep the current input cluster
+	// graph intact while its successor is built. The bundle returns to
+	// the pool only after the sampled tree has been copied out into its
+	// own storage (vtree.New).
+	sw := samplerPool.Get().(*samplerWS)
+	defer samplerPool.Put(sw)
+	for len(sw.wss) < candidates {
+		sw.wss = append(sw.wss, jtree.NewWorkspace())
 	}
-	wsCollapse := jtree.NewWorkspace()
+	wss := sw.wss[:candidates]
 	candSeeds := make([]int64, candidates)
 	candRes := make([]*jtree.StepResult, candidates)
 	candErr := make([]error, candidates)
@@ -583,7 +613,7 @@ func sampleTree(g *graph.Graph, cfg Config, diameter int, ledger *congest.Ledger
 		if cfg.UseSparsifier && float64(len(cg.Edges)) > 4*float64(cg.N)*logN {
 			sparsifyStart := time.Now()
 			cg2, acct, err := sparsifyCluster(cg, rng)
-			*sparsifySec += time.Since(sparsifyStart).Seconds()
+			phases.sparsify += time.Since(sparsifyStart).Seconds()
 			if err != nil {
 				return nil, nil, err
 			}
@@ -633,6 +663,7 @@ func sampleTree(g *graph.Graph, cfg Config, diameter int, ledger *congest.Ledger
 			if candErr[c] != nil {
 				return nil, nil, candErr[c]
 			}
+			phases.race += candRes[c].LSSTRaceSeconds
 			if c == pickU {
 				chosen = candRes[c]
 			}
@@ -659,10 +690,14 @@ func sampleTree(g *graph.Graph, cfg Config, diameter int, ledger *congest.Ledger
 				continue
 			}
 			stepCfg.DisableF = true
-			res, err := jtree.StepWS(cg, lengths, 1, sqrtN, stepCfg, rng, wsCollapse)
+			// Borrow candidate slot 0's arena: every candRes of this
+			// level is dead in this branch, and the arena selection
+			// inside StepWS keeps cg safe even when cg lives in wss[0].
+			res, err := jtree.StepWS(cg, lengths, 1, sqrtN, stepCfg, rng, wss[0])
 			if err != nil {
 				return nil, nil, err
 			}
+			phases.race += res.LSSTRaceSeconds
 			if res.Core.N >= cg.N {
 				return nil, nil, fmt.Errorf("capprox: no progress at N=%d", cg.N)
 			}

@@ -502,8 +502,8 @@ func (a *Approximator) ResampleTrees(g *graph.Graph, cfg Config, ks []int, seeds
 	par.Do(len(ks), func(i int) {
 		led := congest.NewLedger()
 		treeStart := time.Now()
-		var sparsifySec float64
-		tc, levels, err := sampleTree(cv.g, cfg, diameter, led, rand.New(rand.NewSource(seeds[i])), &sparsifySec)
+		var ph samplePhases
+		tc, levels, err := sampleTree(cv.g, cfg, diameter, led, rand.New(rand.NewSource(seeds[i])), &ph)
 		if err == nil {
 			tc, err = cv.expandTree(tc)
 		}

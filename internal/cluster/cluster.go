@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"distflow/internal/csr"
 	"distflow/internal/graph"
 )
 
@@ -126,22 +127,14 @@ func (cg *Graph) Connected() bool {
 		off[e.A]++
 		off[e.B]++
 	}
-	sum := 0
-	for v := 0; v < cg.N; v++ {
-		c := off[v]
-		off[v] = sum
-		sum += c
-	}
-	off[cg.N] = sum
-	nbr := make([]int, sum)
+	nbr := make([]int, csr.Offsets(off))
 	for _, e := range cg.Edges {
 		nbr[off[e.A]] = e.B
 		off[e.A]++
 		nbr[off[e.B]] = e.A
 		off[e.B]++
 	}
-	copy(off[1:], off[:cg.N])
-	off[0] = 0
+	csr.Shift(off)
 	seen := make([]bool, cg.N)
 	stack := []int{0}
 	seen[0] = true

@@ -1,0 +1,52 @@
+// Package csr holds the one counting-sort offsets builder behind every
+// compressed-sparse-row table in the repository (graph adjacency,
+// cluster/jtree component membership, lsst working graphs, vtree child
+// tables, spanner/seqflow arc arrays).
+//
+// The idiom has four steps — count, prefix-sum, place, shift — of which
+// the two index-juggling ones live here:
+//
+//	off := make([]T, n+1)
+//	for each item { off[bucket]++ }        // count (caller)
+//	csr.Offsets(off)                       // prefix-sum
+//	for each item {                        // place (caller):
+//	    dst[off[bucket]] = item            //   items land in first-seen
+//	    off[bucket]++                      //   order within each bucket
+//	}
+//	csr.Shift(off)                         // restore start offsets
+//
+// After Shift, bucket v occupies dst[off[v]:off[v+1]]. Both helpers are
+// generic over the index width so the int32-compacted build path and
+// the int-indexed serving structures share one implementation.
+package csr
+
+// Index is any integer type used as a CSR offset.
+type Index interface {
+	~int | ~int32 | ~int64
+}
+
+// Offsets converts per-bucket counts into start offsets in place and
+// returns the total. off must have length n+1 for n buckets: entries
+// 0..n-1 hold counts on entry; on return off[v] is the start of bucket
+// v and off[n] the total.
+func Offsets[T Index](off []T) T {
+	n := len(off) - 1
+	var sum T
+	for v := 0; v < n; v++ {
+		c := off[v]
+		off[v] = sum
+		sum += c
+	}
+	off[n] = sum
+	return sum
+}
+
+// Shift restores the offset convention after placement: placing items
+// with off[bucket]++ leaves off[v] = end(v) = start(v+1), so one shift
+// right (and zeroing the first entry) makes off[v] the start of bucket
+// v again.
+func Shift[T Index](off []T) {
+	n := len(off) - 1
+	copy(off[1:], off[:n])
+	off[0] = 0
+}

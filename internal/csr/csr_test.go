@@ -1,0 +1,74 @@
+package csr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The contract: count, Offsets, place with off[b]++, Shift — items of
+// bucket v end at dst[off[v]:off[v+1]] in first-seen order.
+func TestOffsetsShiftRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n, m = 17, 200
+	items := make([]int, m)
+	for i := range items {
+		items[i] = rng.Intn(n)
+	}
+	off := make([]int, n+1)
+	for _, b := range items {
+		off[b]++
+	}
+	if total := Offsets(off); total != m {
+		t.Fatalf("Offsets total = %d, want %d", total, m)
+	}
+	dst := make([]int, m)
+	for i, b := range items {
+		dst[off[b]] = i
+		off[b]++
+	}
+	Shift(off)
+	if off[0] != 0 || off[n] != m {
+		t.Fatalf("off ends = [%d, %d], want [0, %d]", off[0], off[n], m)
+	}
+	seen := 0
+	for v := 0; v < n; v++ {
+		last := -1
+		for _, i := range dst[off[v]:off[v+1]] {
+			if items[i] != v {
+				t.Fatalf("bucket %d holds item %d of bucket %d", v, i, items[i])
+			}
+			if i <= last {
+				t.Fatalf("bucket %d not in first-seen order: %d after %d", v, i, last)
+			}
+			last = i
+			seen++
+		}
+	}
+	if seen != m {
+		t.Fatalf("placed %d of %d items", seen, m)
+	}
+}
+
+func TestOffsetsInt32(t *testing.T) {
+	off := []int32{2, 0, 3, 0}
+	if total := Offsets(off); total != 5 {
+		t.Fatalf("total = %d", total)
+	}
+	want := []int32{0, 2, 2, 5}
+	for i, w := range want {
+		if off[i] != w {
+			t.Fatalf("off = %v, want %v", off, want)
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	off := []int{0}
+	if total := Offsets(off); total != 0 {
+		t.Fatalf("total = %d", total)
+	}
+	Shift(off)
+	if off[0] != 0 {
+		t.Fatalf("off = %v", off)
+	}
+}

@@ -2,6 +2,8 @@ package graph
 
 import (
 	"fmt"
+	"io"
+	"math"
 	"math/rand"
 )
 
@@ -81,6 +83,79 @@ func GNP(n int, p float64, rng *rand.Rand) *Graph {
 	}
 	return g
 }
+
+// GNPSparse samples the same distribution as GNP — a uniform random
+// attachment tree plus each of the C(n,2) vertex pairs independently
+// with probability p — in O(n + m) expected time: instead of one coin
+// per pair it jumps between successes with geometric skips, the only
+// workable form at n=10⁶ (GNP's pair scan would draw 5·10¹¹ variates
+// there). The PRNG consumption differs from GNP's, so a fixed seed
+// yields a different (identically distributed) graph.
+func GNPSparse(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	if n > 1 {
+		g.Reserve(n - 1 + int(p*float64(n)*float64(n-1)/2))
+	}
+	gnpSparseEdges(n, p, rng, func(u, v int) {
+		g.AddEdge(u, v, 1)
+	})
+	return g
+}
+
+// gnpSparseEdges runs the GNPSparse generation process, emitting each
+// edge. Both GNPSparse and the streaming writer drive it, so a seed
+// maps to one edge sequence regardless of the consumer.
+func gnpSparseEdges(n int, p float64, rng *rand.Rand, emit func(u, v int)) {
+	// Attachment tree (identical process to Tree).
+	for v := 1; v < n; v++ {
+		emit(v, rng.Intn(v))
+	}
+	if p <= 0 || n < 2 {
+		return
+	}
+	// Geometric skips over the lexicographic pair sequence: after a
+	// success, the gap to the next one is Geom(p), realized as
+	// ⌊log(1-U)/log(1-p)⌋. p ≥ 1 degenerates to skip 0 — every pair.
+	total := n * (n - 1) / 2
+	logq := math.Log1p(-p) // log(1-p), -Inf when p >= 1
+	k := -1
+	for {
+		skip := 0
+		if u := rng.Float64(); logq < 0 {
+			skip = int(math.Log1p(-u) / logq)
+		}
+		k += 1 + skip
+		if k < 0 || k >= total { // k < 0: integer overflow on huge skips
+			return
+		}
+		u, v := pairAt(k, n)
+		emit(u, v)
+	}
+}
+
+// pairAt maps a linear index into the lexicographic sequence of pairs
+// (u,v), u < v, over n vertices. Row u starts at u·n − u(u+1)/2; the
+// closed-form inverse is fixed up by a step or two of scanning to
+// absorb float rounding.
+func pairAt(k, n int) (int, int) {
+	h := float64(n) - 0.5
+	u := int(h - math.Sqrt(h*h-2*float64(k)))
+	if u < 0 {
+		u = 0
+	}
+	if u > n-2 {
+		u = n - 2
+	}
+	for u < n-2 && pairRowStart(u+1, n) <= k {
+		u++
+	}
+	for u > 0 && pairRowStart(u, n) > k {
+		u--
+	}
+	return u, u + 1 + (k - pairRowStart(u, n))
+}
+
+func pairRowStart(u, n int) int { return u*n - u*(u+1)/2 }
 
 // RandomRegular returns an (approximately) d-regular random graph on n
 // vertices via the configuration model with rejection of self-loops and
@@ -238,6 +313,80 @@ func Families() []Family {
 			return ExpanderPath(k, 4, n-k, rng)
 		}},
 	}
+}
+
+// --- Streaming generation (cmd/graphgen) ---
+//
+// The streaming writers emit the text format without materializing a
+// Graph: structure edges regenerate in two identically seeded passes
+// (count for the header, then emit), and capacities come from a
+// separate stream derived from the seed — inline capacities cannot
+// replicate CapUniform's all-structure-then-all-caps draw order
+// without buffering, which is the thing being avoided.
+
+// capDraw returns the next uniform capacity in [1, maxCap].
+func capDraw(rng *rand.Rand, maxCap int64) int64 {
+	if maxCap <= 1 {
+		return 1
+	}
+	return 1 + rng.Int63n(maxCap)
+}
+
+// capSeed derives the capacity stream's seed (any fixed mix works; it
+// only has to be deterministic and distinct from the structure seed).
+func capSeed(seed int64) int64 { return seed ^ 0x5deece66d }
+
+// StreamGNP writes a GNPSparse(n, p) graph with uniform capacities in
+// [1, maxCap] to w, edge at a time.
+func StreamGNP(w io.Writer, n int, p float64, maxCap int64, seed int64) error {
+	count := 0
+	gnpSparseEdges(n, p, rand.New(rand.NewSource(seed)), func(u, v int) { count++ })
+	sw, err := NewStreamWriter(w, n, count)
+	if err != nil {
+		return err
+	}
+	capRng := rand.New(rand.NewSource(capSeed(seed)))
+	var emitErr error
+	gnpSparseEdges(n, p, rand.New(rand.NewSource(seed)), func(u, v int) {
+		if emitErr == nil {
+			emitErr = sw.Edge(u, v, capDraw(capRng, maxCap))
+		}
+	})
+	if emitErr != nil {
+		return emitErr
+	}
+	return sw.Close()
+}
+
+// StreamGrid writes the w×h grid with uniform capacities in [1, maxCap]
+// to out, edge at a time (the structure is deterministic, so no
+// counting pass is needed).
+func StreamGrid(out io.Writer, w, h int, maxCap int64, seed int64) error {
+	m := 0
+	if w > 0 && h > 0 {
+		m = h*(w-1) + w*(h-1)
+	}
+	sw, err := NewStreamWriter(out, w*h, m)
+	if err != nil {
+		return err
+	}
+	capRng := rand.New(rand.NewSource(capSeed(seed)))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := y*w + x
+			if x+1 < w {
+				if err := sw.Edge(v, v+1, capDraw(capRng, maxCap)); err != nil {
+					return err
+				}
+			}
+			if y+1 < h {
+				if err := sw.Edge(v, v+w, capDraw(capRng, maxCap)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return sw.Close()
 }
 
 // String implements fmt.Stringer for diagnostics.

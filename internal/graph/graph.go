@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 
+	"distflow/internal/csr"
 	"distflow/internal/par"
 )
 
@@ -119,6 +120,19 @@ func (g *Graph) N() int { return g.n }
 // M returns the number of edges (parallel edges counted individually,
 // tombstones included; see LiveM for the live count).
 func (g *Graph) M() int { return len(g.edges) }
+
+// Reserve pre-sizes the edge array for m additional AddEdge calls, so
+// bulk loaders (graph.Read, the generators) pay one allocation instead
+// of append doublings — at n=10⁶ the doubling overshoot alone is
+// hundreds of megabytes of transient heap.
+func (g *Graph) Reserve(m int) {
+	if m <= 0 || cap(g.edges)-len(g.edges) >= m {
+		return
+	}
+	edges := make([]Edge, len(g.edges), len(g.edges)+m)
+	copy(edges, g.edges)
+	g.edges = edges
+}
 
 // LiveM returns the number of live (non-tombstoned) edges.
 func (g *Graph) LiveM() int { return len(g.edges) - g.deadM }
@@ -331,13 +345,7 @@ func (g *Graph) Finalize() {
 		off[e.U]++
 		off[e.V]++
 	}
-	sum := 0
-	for v := 0; v < n; v++ {
-		c := off[v]
-		off[v] = sum
-		sum += c
-	}
-	off[n] = sum
+	sum := csr.Offsets(off)
 	if cap(g.arcs) >= sum {
 		g.arcs = g.arcs[:sum]
 	} else {
@@ -354,10 +362,7 @@ func (g *Graph) Finalize() {
 		g.arcs[off[e.V]] = Arc{To: e.U, E: i}
 		off[e.V]++
 	}
-	// off[v] now holds end(v) = start(v+1); shift right to restore the
-	// offset convention.
-	copy(off[1:], off[:n])
-	off[0] = 0
+	csr.Shift(off)
 	g.baseN = n
 	g.deadArc = 0
 	g.ovArena = g.ovArena[:0]

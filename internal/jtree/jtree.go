@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"distflow/internal/cluster"
+	"distflow/internal/csr"
 	"distflow/internal/lsst"
 	"distflow/internal/vtree"
 )
@@ -62,6 +63,9 @@ type StepResult struct {
 	FSize, RSize, DSize int
 	MaxRload            float64
 	TreeHeight          int
+	// LSSTRaceSeconds is the wall time the spanning-tree construction
+	// spent in SplitGraph races (the scale ladder's breakdown signal).
+	LSSTRaceSeconds float64
 }
 
 // Config tunes a construction step.
@@ -91,9 +95,8 @@ type fedge struct {
 // cluster graph it is reading (the input is always the most recent
 // output of whichever workspace produced it).
 type Workspace struct {
-	// multiplicity expansion of the LSST input
+	// LSST input (one edge per cluster edge, multiplicities implicit)
 	ledges []lsst.Edge
-	lorig  []int
 	// pooled subroutine scratch: the spanning-tree construction arena
 	// and the tree-flow LCA tables
 	lws lsst.Workspace
@@ -216,9 +219,13 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 	// --- 1. Low average-stretch spanning tree w.r.t. ℓ, with
 	// capacity-weighted multiplicities (§8.1: the weighted average
 	// stretch of Eq. (2) is realized by duplicating edges proportionally
-	// to cap(e)·ℓ(e), at most doubling the edge count).
+	// to cap(e)·ℓ(e), at most doubling the edge count). The duplicates
+	// are carried implicitly: one lsst.Edge per cluster edge, with the
+	// copy count as its Mult — the race runs each parallel bundle once
+	// and the class/cut censuses weight by Mult, which is observationally
+	// the expanded multigraph (all copies of a bundle map to the same
+	// original, and an original joins the tree at most once).
 	ledges := ws.ledges[:0]
-	lorig := ws.lorig[:0]
 	var totalW float64
 	for i, e := range cg.Edges {
 		totalW += e.Cap * lengths[i]
@@ -232,27 +239,18 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 				mult = 1
 			}
 		}
-		for k := 0; k < mult; k++ {
-			ledges = append(ledges, lsst.Edge{U: e.A, V: e.B, Len: lengths[i]})
-			lorig = append(lorig, i)
-		}
+		ledges = append(ledges, lsst.Edge{U: e.A, V: e.B, Len: lengths[i], Mult: int32(mult)})
 	}
 	ws.ledges = ledges
-	ws.lorig = lorig
 	lres, err := lsst.SpanningTreeWS(n, ledges, cfg.LSST, rng, &ws.lws)
 	if err != nil {
 		return nil, fmt.Errorf("jtree: spanning tree: %w", err)
 	}
 	t := lres.Tree
 	// treeEdge[v] = cluster edge realizing (v, parent(v)); -1 at root.
+	// ledges is index-aligned with cg.Edges, so EdgeOf maps directly.
 	treeEdge := ws.treeEdge[:n]
-	for v := 0; v < n; v++ {
-		if ei := lres.EdgeOf[v]; ei >= 0 {
-			treeEdge[v] = lorig[ei]
-		} else {
-			treeEdge[v] = -1
-		}
-	}
+	copy(treeEdge, lres.EdgeOf)
 
 	// --- 2. Tree flow |f'| (Fig. 2): route cap(e) for every edge.
 	pairs := ws.pairs[:0]
@@ -266,8 +264,9 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 		ws.edgeRload = make([]float64, len(cg.Edges))
 	}
 	res := &StepResult{
-		EdgeRload:  ws.edgeRload[:len(cg.Edges)],
-		TreeHeight: t.Height(),
+		EdgeRload:       ws.edgeRload[:len(cg.Edges)],
+		TreeHeight:      t.Height(),
+		LSSTRaceSeconds: lres.RaceSeconds,
 	}
 	for i := range res.EdgeRload {
 		res.EdgeRload[i] = 0
@@ -363,20 +362,13 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 	for v := 0; v < n; v++ {
 		compOff[compTF[v]]++
 	}
-	sum := 0
-	for c := 0; c < numComp; c++ {
-		cnt := compOff[c]
-		compOff[c] = sum
-		sum += cnt
-	}
-	compOff[numComp] = sum
+	csr.Offsets(compOff)
 	compMem := ws.compMem[:n]
 	for _, v := range t.Order() {
 		compMem[compOff[compTF[v]]] = v
 		compOff[compTF[v]]++
 	}
-	copy(compOff[1:], compOff[:numComp])
-	compOff[0] = 0
+	csr.Shift(compOff)
 
 	// P1: clusters incident to removed edges.
 	isP1 := ws.isP1[:n]
@@ -405,13 +397,7 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 			fOff[t.Parent[v]]++
 		}
 	}
-	sum = 0
-	for v := 0; v < n; v++ {
-		c := fOff[v]
-		fOff[v] = sum
-		sum += c
-	}
-	fOff[n] = sum
+	sum := csr.Offsets(fOff)
 	fArcs := ws.fArcs[:cap(ws.fArcs)]
 	if len(fArcs) < sum {
 		fArcs = make([]fedge, sum)
@@ -427,8 +413,7 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 			fOff[p]++
 		}
 	}
-	copy(fOff[1:], fOff[:n])
-	fOff[0] = 0
+	csr.Shift(fOff)
 	fadj := func(v int) []fedge { return fArcs[fOff[v]:fOff[v+1]] }
 
 	inD := ws.inD[:n] // inD[v]: tree edge (v,parent) deleted into D
@@ -570,20 +555,13 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 	for v := 0; v < n; v++ {
 		newOff[newComp[v]]++
 	}
-	sum = 0
-	for k := 0; k < numNew; k++ {
-		c := newOff[k]
-		newOff[k] = sum
-		sum += c
-	}
-	newOff[numNew] = sum
+	csr.Offsets(newOff)
 	newMem := ws.newMem[:n]
 	for _, v := range t.Order() {
 		newMem[newOff[newComp[v]]] = v
 		newOff[newComp[v]]++
 	}
-	copy(newOff[1:], newOff[:numNew])
-	newOff[0] = 0
+	csr.Shift(newOff)
 	members := func(k int) []int { return newMem[newOff[k]:newOff[k+1]] }
 
 	// Portal per new component; components without a marked portal take

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
+	"distflow/internal/csr"
 	"distflow/internal/vtree"
 )
 
@@ -16,6 +18,14 @@ import (
 type Edge struct {
 	U, V int
 	Len  float64
+	// Mult is the edge's multiplicity (§8.1's capacity-proportional
+	// copies, carried implicitly); 0 means 1. A multiplicity-k edge is
+	// distributionally one parallel class-weight unit counted k times —
+	// it contributes k to its class's size and cut census — while the
+	// race and the output tree see a single edge, which is exactly the
+	// §8.1 expansion with duplicates collapsed (all k copies map to the
+	// same original, and an original is chosen at most once).
+	Mult int32
 }
 
 // Result is a low average-stretch spanning tree of the input multigraph.
@@ -33,6 +43,10 @@ type Result struct {
 	Rho int
 	// Z is the edge-class base (class i holds lengths in [z^{i-1}, z^i)).
 	Z float64
+	// RaceSeconds is the wall time spent inside splitGraph (the BFS
+	// races), summed over Partition calls — the scale ladder's
+	// per-phase breakdown feeds from this.
+	RaceSeconds float64
 }
 
 // AccountRounds charges the distributed cost of the construction per §7:
@@ -52,6 +66,10 @@ type Config struct {
 	ZExponent float64
 	// MaxRestarts bounds Partition restarts per iteration (default 2·log₂ n).
 	MaxRestarts int
+	// HeapRace selects the RaceOrderVersion-1 heap race instead of the
+	// bucket queue. Measurement-only: outputs differ (in tie order, and
+	// hence distribution) from the default path.
+	HeapRace bool
 }
 
 // Workspace pools every scratch array of the construction — the
@@ -72,7 +90,7 @@ type Workspace struct {
 	rev        []int
 	active     []classedEdge
 	classCount []int
-	off        []int
+	off        []int32
 	arcs       []splitEdge
 	sws        splitWS
 	epoch      int
@@ -123,6 +141,9 @@ func SpanningTree(n int, edges []Edge, cfg Config, rng *rand.Rand) (*Result, err
 func SpanningTreeWS(n int, edges []Edge, cfg Config, rng *rand.Rand, ws *Workspace) (*Result, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("lsst: empty graph")
+	}
+	if int64(len(edges)) > math.MaxInt32 {
+		return nil, fmt.Errorf("lsst: %d edges exceed the int32 build path", len(edges))
 	}
 	for i, e := range edges {
 		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
@@ -246,7 +267,15 @@ func SpanningTreeWS(n int, edges []Edge, cfg Config, rng *rand.Rand, ws *Workspa
 			if a == b {
 				continue
 			}
-			active = append(active, classedEdge{e: splitEdge{u: idx(a), v: idx(b), id: i}, cl: class[i]})
+			mult := e.Mult
+			if mult <= 0 {
+				mult = 1
+			}
+			active = append(active, classedEdge{
+				e:    splitEdge{u: int32(idx(a)), v: int32(idx(b)), id: int32(i)},
+				cl:   class[i],
+				mult: mult,
+			})
 		}
 		// Supernodes not touched by active edges still exist; they just
 		// don't participate this iteration.
@@ -258,7 +287,7 @@ func SpanningTreeWS(n int, edges []Edge, cfg Config, rng *rand.Rand, ws *Workspa
 		// CSR adjacency over the compact working graph, placed in active
 		// order per vertex (the order the per-vertex appends produced).
 		if cap(off) < nn+1 {
-			off = make([]int, nn+1)
+			off = make([]int32, nn+1)
 		}
 		off = off[:nn+1]
 		for i := range off {
@@ -268,13 +297,7 @@ func SpanningTreeWS(n int, edges []Edge, cfg Config, rng *rand.Rand, ws *Workspa
 			off[w.e.u]++
 			off[w.e.v]++
 		}
-		sum := 0
-		for v := 0; v < nn; v++ {
-			c := off[v]
-			off[v] = sum
-			sum += c
-		}
-		off[nn] = sum
+		sum := int(csr.Offsets(off))
 		if cap(arcs) < sum {
 			arcs = make([]splitEdge, sum)
 		}
@@ -285,8 +308,7 @@ func SpanningTreeWS(n int, edges []Edge, cfg Config, rng *rand.Rand, ws *Workspa
 			arcs[off[w.e.v]] = w.e
 			off[w.e.v]++
 		}
-		copy(off[1:], off[:nn])
-		off[0] = 0
+		csr.Shift(off)
 
 		if cap(classCount) < useClass+1 {
 			classCount = make([]int, useClass+1)
@@ -295,8 +317,10 @@ func SpanningTreeWS(n int, edges []Edge, cfg Config, rng *rand.Rand, ws *Workspa
 		for i := range classCount {
 			classCount[i] = 0
 		}
+		// Class sizes count multiplicities: a weight-k edge is k parallel
+		// copies of the §8.1 expansion.
 		for _, w := range active {
-			classCount[w.cl]++
+			classCount[w.cl] += int(w.mult)
 		}
 
 		// Partition: run SplitGraph, restart while some class is
@@ -305,7 +329,9 @@ func SpanningTreeWS(n int, edges []Edge, cfg Config, rng *rand.Rand, ws *Workspa
 		var sg *splitResult
 		for attempt := 0; ; attempt++ {
 			res.PartitionCalls++
-			sg = splitGraph(nn, off, arcs, curRho, rng, &ws.sws)
+			raceStart := time.Now()
+			sg = splitGraph(nn, off, arcs, curRho, rng, &ws.sws, cfg.HeapRace)
+			res.RaceSeconds += time.Since(raceStart).Seconds()
 			if attempt >= maxRestarts || !overSplit(sg, active, classCount, curRho, nn) {
 				break
 			}
@@ -361,20 +387,24 @@ func SpanningTreeWS(n int, edges []Edge, cfg Config, rng *rand.Rand, ws *Workspa
 	return res, nil
 }
 
-// classedEdge pairs a working edge with its length class.
+// classedEdge pairs a working edge with its length class and implicit
+// multiplicity.
 type classedEdge struct {
-	e  splitEdge
-	cl int
+	e    splitEdge
+	cl   int
+	mult int32
 }
 
 // overSplit reports whether some participating class has too many of its
-// edges cut between clusters.
+// edges cut between clusters. Cut edges count their multiplicity, same
+// as the class census — the restart rule sees exactly the §8.1-expanded
+// multigraph.
 func overSplit(sg *splitResult, active []classedEdge, classCount []int, rho, nn int) bool {
 	logN := math.Log2(float64(nn) + 2)
 	cut := make([]int, len(classCount))
 	for _, w := range active {
 		if sg.cluster[w.e.u] != sg.cluster[w.e.v] {
-			cut[w.cl]++
+			cut[w.cl] += int(w.mult)
 		}
 	}
 	for c := 1; c < len(classCount); c++ {
@@ -409,13 +439,7 @@ func assemble(n int, edges []Edge, chosen []bool, ws *Workspace) (*vtree.VTree, 
 	if count != n-1 {
 		return nil, nil, fmt.Errorf("lsst: chose %d edges, want %d", count, n-1)
 	}
-	sum := 0
-	for v := 0; v < n; v++ {
-		c := aOff[v]
-		aOff[v] = sum
-		sum += c
-	}
-	aOff[n] = sum
+	sum := csr.Offsets(aOff)
 	aArc := ws.aArc[:sum]
 	for i, c := range chosen {
 		if !c {
@@ -426,8 +450,7 @@ func assemble(n int, edges []Edge, chosen []bool, ws *Workspace) (*vtree.VTree, 
 		aArc[aOff[edges[i].V]] = i
 		aOff[edges[i].V]++
 	}
-	copy(aOff[1:], aOff[:n])
-	aOff[0] = 0
+	csr.Shift(aOff)
 
 	parent := ws.parent[:n]
 	edgeOf := ws.edgeOf[:n]

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"distflow/internal/csr"
 	"distflow/internal/graph"
 )
 
@@ -197,5 +198,127 @@ func TestConfigOverrides(t *testing.T) {
 	}
 	if res.Z <= 4 {
 		t.Errorf("Z = %v, want > 4 with exponent 2", res.Z)
+	}
+}
+
+// buildCSR assembles the working-graph CSR the way lsst.go does, so the
+// race can be driven directly.
+func buildCSR(n int, edges []Edge) ([]int32, []splitEdge) {
+	off := make([]int32, n+1)
+	for _, e := range edges {
+		off[e.U]++
+		off[e.V]++
+	}
+	total := csr.Offsets(off)
+	arcs := make([]splitEdge, total)
+	for i, e := range edges {
+		se := splitEdge{u: int32(e.U), v: int32(e.V), id: int32(i)}
+		arcs[off[e.U]] = se
+		off[e.U]++
+		arcs[off[e.V]] = se
+		off[e.V]++
+	}
+	csr.Shift(off)
+	return off, arcs
+}
+
+// The bucket queue (RaceOrderVersion 2) and the heap (version 1) are the
+// same priority queue up to the order among fully equal (time, source)
+// keys — and the cluster assignment is provably invariant under that
+// residual order: a node is claimed by the minimal key targeting it, all
+// items carrying that key share one source, and depth = time − delay is
+// a function of the claim. So the two implementations must produce
+// bit-identical cluster and depth arrays on every input; only the race
+// trees (parent/parentEdge) may differ. This is the exactness check that
+// pins the bucket queue to Fig. 4 rather than to "some BFS".
+func TestRaceBucketMatchesHeapClusters(t *testing.T) {
+	for _, n := range []int{40, 200} {
+		g := graph.GNP(n, 6.0/float64(n), rand.New(rand.NewSource(int64(n))))
+		edges := fromGraph(g)
+		off, arcs := buildCSR(n, edges)
+		for _, rho := range []int{4, 8, 16, 32} {
+			if rho >= n {
+				continue // component shortcut: trivially identical
+			}
+			for seed := int64(0); seed < 5; seed++ {
+				var wsB, wsH splitWS
+				rb := splitGraph(n, off, arcs, rho, rand.New(rand.NewSource(seed)), &wsB, false)
+				rh := splitGraph(n, off, arcs, rho, rand.New(rand.NewSource(seed)), &wsH, true)
+				if rb.maxDepth != rh.maxDepth {
+					t.Fatalf("n=%d rho=%d seed=%d: maxDepth %d (bucket) vs %d (heap)", n, rho, seed, rb.maxDepth, rh.maxDepth)
+				}
+				for v := 0; v < n; v++ {
+					if rb.cluster[v] != rh.cluster[v] {
+						t.Fatalf("n=%d rho=%d seed=%d: cluster[%d] = %d (bucket) vs %d (heap)",
+							n, rho, seed, v, rb.cluster[v], rh.cluster[v])
+					}
+					if rb.depth[v] != rh.depth[v] {
+						t.Fatalf("n=%d rho=%d seed=%d: depth[%d] = %d (bucket) vs %d (heap)",
+							n, rho, seed, v, rb.depth[v], rh.depth[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// treeFingerprint hashes the tree structure (parent + supporting edge
+// per vertex) — the part of the output the race pop order can move.
+func treeFingerprint(res *Result) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for v := 0; v < res.Tree.N(); v++ {
+		h = (h ^ uint64(uint32(res.Tree.Parent[v]))) * prime
+		h = (h ^ uint64(uint32(res.EdgeOf[v]))) * prime
+	}
+	return h
+}
+
+// Both race implementations must be deterministic functions of
+// (input, seed): two runs with the same seed produce bit-identical
+// trees. The heap path is the version-1 distribution kept for A/B
+// measurement; it must stay deterministic too.
+func TestRaceDeterminism(t *testing.T) {
+	g := graph.GNP(300, 8.0/300, rand.New(rand.NewSource(42)))
+	edges := fromGraph(g)
+	for _, cfg := range []Config{{}, {HeapRace: true}} {
+		name := "bucket"
+		if cfg.HeapRace {
+			name = "heap"
+		}
+		t.Run(name, func(t *testing.T) {
+			a, err := SpanningTree(g.N(), edges, cfg, rand.New(rand.NewSource(7)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := SpanningTree(g.N(), edges, cfg, rand.New(rand.NewSource(7)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fa, fb := treeFingerprint(a), treeFingerprint(b); fa != fb {
+				t.Fatalf("%s race not deterministic: %x vs %x", name, fa, fb)
+			}
+		})
+	}
+}
+
+// The version-2 fingerprint: the pop order among equal keys is part of
+// the output distribution, so changing it silently would move every
+// committed BENCH baseline. This pins the version-2 tree on one fixed
+// input; if an intentional order change trips it, bump RaceOrderVersion,
+// re-record this constant AND the BENCH baselines (DESIGN.md §10).
+func TestRaceOrderVersionFingerprint(t *testing.T) {
+	if RaceOrderVersion != 2 {
+		t.Fatalf("RaceOrderVersion = %d; this fingerprint pins version 2", RaceOrderVersion)
+	}
+	g := graph.GNP(200, 8.0/200, rand.New(rand.NewSource(11)))
+	res, err := SpanningTree(g.N(), fromGraph(g), Config{}, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = uint64(0xccb2d418862394b4)
+	if got := treeFingerprint(res); got != want {
+		t.Fatalf("version-%d tree fingerprint = %#x, recorded %#x — if the pop order changed on purpose, bump RaceOrderVersion and re-record (see DESIGN.md §10)",
+			RaceOrderVersion, got, want)
 	}
 }

@@ -14,21 +14,40 @@ package lsst
 
 import (
 	"math/rand"
+
+	"distflow/internal/csr"
 )
 
+// RaceOrderVersion versions the pop order of the SplitGraph race among
+// equal (time, source) keys — the one degree of freedom Fig. 4 leaves
+// unspecified. Outputs are a deterministic function of (input, seed,
+// version); bumping the version is a distribution change that moves
+// every downstream build fingerprint and requires re-committing the
+// BENCH baselines (DESIGN.md §10).
+//
+// Version 1: container/heap sift order (the raceHeap, kept behind
+// Config.HeapRace for A/B measurement). Version 2: the bucket queue's
+// order — within one arrival time, ascending source; within one
+// (time, source), insertion order (a seed before any same-source
+// expansion, expansions in the pop order of the previous bucket).
+const RaceOrderVersion = 2
+
 // splitEdge is an edge of the (contracted, unweighted) working graph.
+// Ids are compacted to int32 — working graphs are bounded by the input
+// edge count, far below 2³¹ — so the race-phase arc array at n=10⁶
+// stays cache- and memory-lean.
 type splitEdge struct {
-	u, v int
-	id   int // index into the caller's edge array
+	u, v int32
+	id   int32 // index into the caller's edge array
 }
 
 // splitResult is one SplitGraph clustering. The arrays live in the
 // caller's workspace and are overwritten by the next splitGraph call.
 type splitResult struct {
-	cluster    []int // cluster id per node (source-node index)
-	parent     []int // BFS-tree parent per node (-1 at cluster centers)
-	parentEdge []int // edge id used to reach parent (-1 at centers)
-	depth      []int
+	cluster    []int32 // cluster id per node (source-node index)
+	parent     []int32 // BFS-tree parent per node (-1 at cluster centers)
+	parentEdge []int32 // edge id used to reach parent (-1 at centers)
+	depth      []int32
 	maxDepth   int
 }
 
@@ -36,7 +55,7 @@ type splitResult struct {
 // The priority (time, source) is packed into one uint64 key —
 // time<<32 | source, both nonnegative and far below 2³¹/2³² — so the
 // lexicographic comparison is a single integer compare; the payload is
-// packed to int32 to halve the bytes every sift swap moves.
+// packed to int32.
 type raceItem struct {
 	key    uint64 // time<<32 | source
 	node   int32
@@ -54,9 +73,9 @@ func (it raceItem) source() int { return int(uint32(it.key)) }
 // raceHeap is a binary min-heap of raceItems ordered by key. It
 // replicates container/heap's sift algorithm exactly — identical
 // comparison and swap sequences, hence an identical pop order including
-// the (unspecified but deterministic) order among equal keys — while
-// removing the interface boxing and indirect calls that made the
-// generic heap the hottest part of the build profile.
+// the (unspecified but deterministic) order among equal keys. This is
+// the RaceOrderVersion-1 ordering, kept behind Config.HeapRace so the
+// scale ladder can measure the bucket queue against it.
 type raceHeap []raceItem
 
 func (h *raceHeap) push(x raceItem) {
@@ -103,21 +122,31 @@ func (h *raceHeap) pop() raceItem {
 // splitWS holds splitGraph's scratch, reused across Partition calls,
 // SpanningTree iterations, levels and trees (the build-path arena).
 type splitWS struct {
-	h         raceHeap
-	budget    []int // per seeding node: delay + remaining radius
-	seeds     []int
-	uncovered []int
+	h         raceHeap // legacy heap race (Config.HeapRace)
+	budget    []int32  // per seeding node: delay + remaining radius
+	seeds     []int32
+	uncovered []int32
 	res       splitResult
+	// Bucket/dial queue of the RaceOrderVersion-2 race. Arrival times
+	// are small integers bounded by the phase radius, and a pop at time
+	// t only ever pushes at t+1, so two expansion buckets (drain/fill)
+	// plus the delay-bucketed seeds replace the heap: O(1) push and pop,
+	// no sifting. Sizing derives from the measured radius, not a tuned
+	// constant.
+	seedBuf   []raceItem
+	seedOff   []int32
+	seedItems []raceItem
+	cur, next []raceItem
 }
 
 // grow readies the workspace for an n-node working graph.
 func (ws *splitWS) grow(n int) {
 	if cap(ws.budget) < n {
-		ws.budget = make([]int, n)
-		ws.res.cluster = make([]int, n)
-		ws.res.parent = make([]int, n)
-		ws.res.parentEdge = make([]int, n)
-		ws.res.depth = make([]int, n)
+		ws.budget = make([]int32, n)
+		ws.res.cluster = make([]int32, n)
+		ws.res.parent = make([]int32, n)
+		ws.res.parentEdge = make([]int32, n)
+		ws.res.depth = make([]int32, n)
 	}
 	ws.budget = ws.budget[:n]
 	ws.res.cluster = ws.res.cluster[:n]
@@ -131,9 +160,10 @@ func (ws *splitWS) grow(n int) {
 // (arcs[off[v]:off[v+1]] are v's incidences, each naming the neighbour
 // via its endpoints). The BFS races are resolved exactly as in the
 // distributed execution: a node joins the cluster of the first BFS to
-// visit it, ties broken by smaller source ID. The returned result
-// aliases ws and is valid until the next call with the same ws.
-func splitGraph(n int, off []int, arcs []splitEdge, rho int, rng *rand.Rand, ws *splitWS) *splitResult {
+// visit it, ties broken by smaller source ID; the residual tie order is
+// RaceOrderVersion's (the heap's when heapRace is set). The returned
+// result aliases ws and is valid until the next call with the same ws.
+func splitGraph(n int, off []int32, arcs []splitEdge, rho int, rng *rand.Rand, ws *splitWS, heapRace bool) *splitResult {
 	ws.grow(n)
 	res := &ws.res
 	res.maxDepth = 0
@@ -161,9 +191,8 @@ func splitGraph(n int, off []int, arcs []splitEdge, rho int, rng *rand.Rand, ws 
 
 	uncovered := ws.uncovered[:0]
 	for i := 0; i < n; i++ {
-		uncovered = append(uncovered, i)
+		uncovered = append(uncovered, int32(i))
 	}
-	h := ws.h[:0]
 	budget := ws.budget
 	for t := 1; t <= 2*logN && len(uncovered) > 0; t++ {
 		// Seed fraction 12·2^{t/2}/n of the uncovered nodes (Fig. 4 2a).
@@ -182,7 +211,13 @@ func splitGraph(n int, off []int, arcs []splitEdge, rho int, rng *rand.Rand, ws 
 			seeds = append(seeds, uncovered...)
 		}
 		radius := rho * (2*logN - (t - 1)) / (2 * logN)
-		h = h[:0]
+		// Draw the seed delays in seed order (one shared PRNG stream for
+		// both race implementations) and encode each race deadline by
+		// entering the seed at its delay; expansion stops when
+		// time-delay exceeds the remaining radius (tracked below via the
+		// per-source budget).
+		seedBuf := ws.seedBuf[:0]
+		maxTime := 0
 		for _, s := range seeds {
 			delay := 0
 			if maxDelay > 0 {
@@ -192,41 +227,19 @@ func splitGraph(n int, off []int, arcs []splitEdge, rho int, rng *rand.Rand, ws 
 			if r < 0 {
 				r = 0
 			}
-			// Encode the race deadline by pushing the seed at its delay;
-			// expansion stops when time-delay exceeds r (tracked below via
-			// the per-source budget).
-			h.push(raceItem{key: raceKey(delay, s), node: int32(s), parent: -1, edge: -1})
-			budget[s] = delay + r
-		}
-		// Run the race restricted to uncovered nodes.
-		for len(h) > 0 {
-			it := h.pop()
-			v := int(it.node)
-			if res.cluster[v] >= 0 {
-				continue
-			}
-			res.cluster[v] = it.source()
-			res.parent[v] = int(it.parent)
-			res.parentEdge[v] = int(it.edge)
-			if it.parent >= 0 {
-				res.depth[v] = res.depth[it.parent] + 1
-				if res.depth[v] > res.maxDepth {
-					res.maxDepth = res.depth[v]
-				}
-			}
-			t := it.time()
-			if t+1 > budget[it.source()] {
-				continue
-			}
-			nextKey := it.key + 1<<32 // same source, time+1
-			for _, e := range arcs[off[v]:off[v+1]] {
-				w := other(e, v)
-				if res.cluster[w] < 0 {
-					h.push(raceItem{key: nextKey, node: int32(w), parent: int32(v), edge: int32(e.id)})
-				}
+			seedBuf = append(seedBuf, raceItem{key: raceKey(delay, int(s)), node: s, parent: -1, edge: -1})
+			budget[s] = int32(delay + r)
+			if int(budget[s]) > maxTime {
+				maxTime = int(budget[s])
 			}
 		}
+		ws.seedBuf = seedBuf
 		ws.seeds = seeds
+		if heapRace {
+			raceWithHeap(seedBuf, off, arcs, budget, res, ws)
+		} else {
+			raceWithBuckets(seedBuf, maxTime, off, arcs, budget, res, ws)
+		}
 		next := uncovered[:0]
 		for _, v := range uncovered {
 			if res.cluster[v] < 0 {
@@ -240,33 +253,139 @@ func splitGraph(n int, off []int, arcs []splitEdge, rho int, rng *rand.Rand, ws 
 		res.cluster[v] = v
 	}
 	ws.uncovered = uncovered[:0]
-	ws.h = h
 	return res
+}
+
+// claim processes one race arrival: the first arrival at an unclaimed
+// node claims it and reports whether the BFS may expand from it.
+func claim(it raceItem, budget []int32, res *splitResult) (v int, expand bool) {
+	v = int(it.node)
+	if res.cluster[v] >= 0 {
+		return v, false
+	}
+	res.cluster[v] = int32(it.source())
+	res.parent[v] = it.parent
+	res.parentEdge[v] = it.edge
+	if it.parent >= 0 {
+		res.depth[v] = res.depth[it.parent] + 1
+		if int(res.depth[v]) > res.maxDepth {
+			res.maxDepth = int(res.depth[v])
+		}
+	}
+	return v, it.time()+1 <= int(budget[it.source()])
+}
+
+// raceWithBuckets runs one phase's delayed BFS race through the dial
+// queue. Invariant: every bucket is drained in ascending-source order —
+// the seeds of one delay arrive pre-sorted (seed scan order is
+// ascending), and expansions inherit the order of the pops that pushed
+// them — so a two-run merge reproduces the exact (time, source)
+// lexicographic priority with O(1) queue operations. A seed and a
+// same-source expansion can never share a bucket (a source expands only
+// after its own delay has passed), so the merge needs no tie rule
+// across the two runs.
+func raceWithBuckets(seedBuf []raceItem, maxTime int, off []int32, arcs []splitEdge, budget []int32, res *splitResult, ws *splitWS) {
+	// Bucket the seeds by delay: one counting sort, stable, so each
+	// bucket keeps the ascending-source scan order.
+	if cap(ws.seedOff) < maxTime+2 {
+		ws.seedOff = make([]int32, maxTime+2)
+	}
+	seedOff := ws.seedOff[:maxTime+2]
+	for i := range seedOff {
+		seedOff[i] = 0
+	}
+	for _, it := range seedBuf {
+		seedOff[it.time()]++
+	}
+	csr.Offsets(seedOff)
+	if cap(ws.seedItems) < len(seedBuf) {
+		ws.seedItems = make([]raceItem, len(seedBuf))
+	}
+	seedItems := ws.seedItems[:len(seedBuf)]
+	for _, it := range seedBuf {
+		seedItems[seedOff[it.time()]] = it
+		seedOff[it.time()]++
+	}
+	csr.Shift(seedOff)
+
+	cur := ws.cur[:0]
+	next := ws.next[:0]
+	for time := 0; time <= maxTime; time++ {
+		sb := seedItems[seedOff[time]:seedOff[time+1]]
+		i, j := 0, 0
+		for i < len(sb) || j < len(cur) {
+			var it raceItem
+			if j >= len(cur) || (i < len(sb) && uint32(sb[i].key) < uint32(cur[j].key)) {
+				it = sb[i]
+				i++
+			} else {
+				it = cur[j]
+				j++
+			}
+			v, expand := claim(it, budget, res)
+			if !expand {
+				continue
+			}
+			nextKey := it.key + 1<<32 // same source, time+1
+			for _, e := range arcs[off[v]:off[v+1]] {
+				w := other(e, v)
+				if res.cluster[w] < 0 {
+					next = append(next, raceItem{key: nextKey, node: int32(w), parent: int32(v), edge: e.id})
+				}
+			}
+		}
+		cur, next = next, cur[:0]
+	}
+	ws.cur, ws.next = cur[:0], next[:0]
+}
+
+// raceWithHeap is the RaceOrderVersion-1 race: identical claims, pop
+// order among equal keys per container/heap's sift sequence.
+func raceWithHeap(seedBuf []raceItem, off []int32, arcs []splitEdge, budget []int32, res *splitResult, ws *splitWS) {
+	h := ws.h[:0]
+	for _, it := range seedBuf {
+		h.push(it)
+	}
+	for len(h) > 0 {
+		it := h.pop()
+		v, expand := claim(it, budget, res)
+		if !expand {
+			continue
+		}
+		nextKey := it.key + 1<<32 // same source, time+1
+		for _, e := range arcs[off[v]:off[v+1]] {
+			w := other(e, v)
+			if res.cluster[w] < 0 {
+				h.push(raceItem{key: nextKey, node: int32(w), parent: int32(v), edge: e.id})
+			}
+		}
+	}
+	ws.h = h
 }
 
 // componentClusters assigns one cluster per connected component, with a
 // BFS tree rooted at the smallest-index node of each component.
-func componentClusters(n int, off []int, arcs []splitEdge, res *splitResult) {
+func componentClusters(n int, off []int32, arcs []splitEdge, res *splitResult) {
 	for s := 0; s < n; s++ {
 		if res.cluster[s] >= 0 {
 			continue
 		}
-		res.cluster[s] = s
-		queue := []int{s}
+		res.cluster[s] = int32(s)
+		queue := []int32{int32(s)}
 		for len(queue) > 0 {
-			v := queue[0]
+			v := int(queue[0])
 			queue = queue[1:]
 			for _, e := range arcs[off[v]:off[v+1]] {
 				w := other(e, v)
 				if res.cluster[w] < 0 {
-					res.cluster[w] = s
-					res.parent[w] = v
+					res.cluster[w] = int32(s)
+					res.parent[w] = int32(v)
 					res.parentEdge[w] = e.id
 					res.depth[w] = res.depth[v] + 1
-					if res.depth[w] > res.maxDepth {
-						res.maxDepth = res.depth[w]
+					if int(res.depth[w]) > res.maxDepth {
+						res.maxDepth = int(res.depth[w])
 					}
-					queue = append(queue, w)
+					queue = append(queue, int32(w))
 				}
 			}
 		}
@@ -274,10 +393,10 @@ func componentClusters(n int, off []int, arcs []splitEdge, res *splitResult) {
 }
 
 func other(e splitEdge, v int) int {
-	if e.u == v {
-		return e.v
+	if int(e.u) == v {
+		return int(e.v)
 	}
-	return e.u
+	return int(e.u)
 }
 
 func pow2half(t int) float64 {

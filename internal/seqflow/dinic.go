@@ -10,6 +10,7 @@ package seqflow
 import (
 	"math"
 
+	"distflow/internal/csr"
 	"distflow/internal/graph"
 )
 
@@ -57,13 +58,7 @@ func newDinic(g *graph.Graph) *dinic {
 		off[ed.U]++
 		off[ed.V]++
 	}
-	sum := 0
-	for v := 0; v < n; v++ {
-		c := off[v]
-		off[v] = sum
-		sum += c
-	}
-	off[n] = sum
+	csr.Offsets(off)
 	for e, ed := range g.Edges() {
 		// An undirected edge of capacity c becomes two directed arcs of
 		// capacity c each that act as each other's reverse. Net flow on
@@ -76,8 +71,7 @@ func newDinic(g *graph.Graph) *dinic {
 		off[u]++
 		off[v]++
 	}
-	copy(off[1:], off[:n])
-	off[0] = 0
+	csr.Shift(off)
 	return d
 }
 

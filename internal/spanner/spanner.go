@@ -18,6 +18,8 @@ package spanner
 import (
 	"math"
 	"math/rand"
+
+	"distflow/internal/csr"
 )
 
 // Edge is a weighted undirected multigraph edge.
@@ -47,14 +49,7 @@ func Spanner(n int, edges []Edge, k int, rng *rand.Rand) []int {
 		off[e.U]++
 		off[e.V]++
 	}
-	sum := 0
-	for v := 0; v < n; v++ {
-		c := off[v]
-		off[v] = sum
-		sum += c
-	}
-	off[n] = sum
-	arcs := make([]arc, sum)
+	arcs := make([]arc, csr.Offsets(off))
 	for i, e := range edges {
 		if e.U == e.V {
 			continue
@@ -64,8 +59,7 @@ func Spanner(n int, edges []Edge, k int, rng *rand.Rand) []int {
 		arcs[off[e.V]] = arc{to: e.U, id: i}
 		off[e.V]++
 	}
-	copy(off[1:], off[:n])
-	off[0] = 0
+	csr.Shift(off)
 	adjOf := func(v int) []arc { return arcs[off[v]:off[v+1]] }
 
 	// lighter reports whether edge a is lighter than edge b

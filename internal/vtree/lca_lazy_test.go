@@ -1,0 +1,68 @@
+package vtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// attachmentTree builds an n-vertex random attachment tree.
+func attachmentTree(n int, seed int64) *VTree {
+	rng := rand.New(rand.NewSource(seed))
+	parent := make([]int, n)
+	capacity := make([]float64, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = rng.Intn(v)
+		capacity[v] = float64(1 + rng.Intn(9))
+	}
+	t, err := New(0, parent, capacity)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TreeFlowWS must reuse a cached EnsureLCA table instead of rebuilding
+// the lifting rows per call — on a serving tree the query path is
+// allocation-free once the scratch is warm — and must NOT build the
+// cache as a side effect on trees that never called EnsureLCA (the
+// build path's candidate trees stay lazy; eager per-candidate tables
+// were one of the n=10⁶ memory costs the scale ladder exposed).
+func TestTreeFlowWSLazyLCA(t *testing.T) {
+	tr := attachmentTree(300, 5)
+	rng := rand.New(rand.NewSource(6))
+	edges := make([]EdgeEndpoint, 64)
+	for i := range edges {
+		edges[i] = EdgeEndpoint{U: rng.Intn(300), V: rng.Intn(300), Cap: float64(1 + rng.Intn(5))}
+	}
+
+	// Lazy path: no cached table before or after.
+	var sc TreeFlowScratch
+	want := append([]float64(nil), tr.TreeFlowWS(edges, &sc)...)
+	if tr.lca != nil {
+		t.Fatal("TreeFlowWS built the cached LCA table on a lazy tree")
+	}
+
+	// Cached path: bit-identical loads (the tables are a pure function
+	// of the immutable topology).
+	tr.EnsureLCA()
+	var sc2 TreeFlowScratch
+	got := tr.TreeFlowWS(edges, &sc2)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("load[%d] = %v cached vs %v lazy", v, got[v], want[v])
+		}
+	}
+	if len(sc2.rows) != 0 {
+		t.Fatalf("cached-LCA sweep built %d scratch rows, want 0", len(sc2.rows))
+	}
+
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on the query path")
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		tr.TreeFlowWS(edges, &sc2)
+	}); avg > 0.5 {
+		t.Errorf("warm TreeFlowWS with cached LCA allocates %.1f per sweep, want 0", avg)
+	}
+}

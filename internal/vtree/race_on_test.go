@@ -1,0 +1,8 @@
+//go:build race
+
+package vtree
+
+// raceEnabled reports that the race detector is active: its
+// instrumentation allocates on paths that are allocation-free without
+// it, so zero-allocation assertions are skipped.
+const raceEnabled = true

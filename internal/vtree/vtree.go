@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"distflow/internal/csr"
 )
 
 // VTree is a rooted tree on vertices 0..n-1. Edge v→Parent[v] has
@@ -80,13 +82,7 @@ func New(root int, parent []int, capacity []float64) (*VTree, error) {
 		}
 		kidOff[p]++
 	}
-	sum := 0
-	for v := 0; v < n; v++ {
-		c := kidOff[v]
-		kidOff[v] = sum
-		sum += c
-	}
-	kidOff[n] = sum
+	sum := csr.Offsets(kidOff)
 	kids := make([]int, sum)
 	for v, p := range parent {
 		if v == root {
@@ -95,8 +91,7 @@ func New(root int, parent []int, capacity []float64) (*VTree, error) {
 		kids[kidOff[p]] = v
 		kidOff[p]++
 	}
-	copy(kidOff[1:], kidOff[:n])
-	kidOff[0] = 0
+	csr.Shift(kidOff)
 	t.order = make([]int, 0, n)
 	t.order = append(t.order, root)
 	for i := 0; i < len(t.order); i++ {
@@ -382,7 +377,16 @@ type TreeFlowScratch struct {
 // slice aliases the scratch and is valid until the next call with the
 // same scratch; values are bit-identical to TreeFlow's.
 func (t *VTree) TreeFlowWS(edges []EdgeEndpoint, sc *TreeFlowScratch) []float64 {
-	lca := newLCAInto(t, sc)
+	// The lifting tables are a pure function of the (immutable) topology,
+	// so a cached EnsureLCA table answers the same queries as a fresh
+	// build; reuse it and spare the O(n log n) rebuild plus the scratch
+	// rows. Trees without a cached table (the build path's candidates)
+	// build into the pooled scratch as before — build-path trees must
+	// stay lazy, or every candidate would pay the O(n log n) table.
+	lca := t.lca
+	if lca == nil {
+		lca = newLCAInto(t, sc)
+	}
 	n := t.N()
 	if cap(sc.delta) < n {
 		sc.delta = make([]float64, n)
