@@ -1,0 +1,344 @@
+package distflow
+
+// Cancellation and deadline-degradation tests (DESIGN.md §11): aborted
+// queries return the context's error without touching router state,
+// deadline-expired queries degrade to feasible best-effort answers with
+// a measured certificate, cancelled batch members leave their coalesced
+// survivors bit-identical, and a cancelled update publishes nothing —
+// including its effect on the deterministic resample-seed stream.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"distflow/internal/faultinject"
+	"distflow/internal/par"
+)
+
+// TestMaxFlowCtxCancelled pins the abort contract: a cancelled context
+// surfaces as context.Canceled (never a degraded result), and the
+// router serves the identical answer afterwards.
+func TestMaxFlowCtxCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := randomConnectedGraph(40, rng)
+	r, err := NewRouter(g, Options{Seed: 2, DisableWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, tt := activePair(g)
+	ref, err := r.MaxFlow(s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if res, err := r.MaxFlowCtx(ctx, s, tt); !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("cancelled query returned (%+v, %v), want (nil, context.Canceled)", res, err)
+	}
+	if _, _, err := r.RouteDemandCtx(ctx, unitDemand(g.N(), s, tt), 0.5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RouteDemand returned %v, want context.Canceled", err)
+	}
+	if _, err := r.UpdateCapacitiesCtx(ctx, []CapEdit{{Edge: 0, Cap: g.g.Cap(0) + 1}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled UpdateCapacities returned %v, want context.Canceled", err)
+	}
+
+	// The aborted calls left nothing behind: the reference query repeats
+	// bit-identically.
+	res, err := r.MaxFlow(s, tt)
+	if err != nil || res.Value != ref.Value || res.Iterations != ref.Iterations {
+		t.Fatalf("query after cancellations drifted: %v, value %v→%v", err, ref.Value, res.Value)
+	}
+}
+
+func unitDemand(n, s, t int) []float64 {
+	b := make([]float64, n)
+	b[s], b[t] = 1, -1
+	return b
+}
+
+// TestMaxFlowCtxDeadlineDegraded submits a query whose deadline is
+// already unreachable: the solve must stop at its first poll and
+// return the spanning-tree iterate as a flagged best-effort answer —
+// feasible, exactly conserving, with a truthful measured certificate —
+// instead of an error.
+func TestMaxFlowCtxDeadlineDegraded(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	g := randomConnectedGraph(60, rng)
+	r, err := NewRouter(g, Options{Seed: 2, DisableWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, tt := activePair(g)
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	res, err := r.MaxFlowCtx(ctx, s, tt)
+	if err != nil {
+		t.Fatalf("deadline-expired query errored (%v), want degraded answer", err)
+	}
+	if !res.Degraded {
+		t.Fatal("deadline-expired query not flagged Degraded")
+	}
+	if res.Value <= 0 {
+		t.Fatalf("degraded value = %v, want > 0", res.Value)
+	}
+	if res.CertBound < 1 {
+		t.Fatalf("CertBound = %v, want ≥ 1 (it bounds OPT/Value)", res.CertBound)
+	}
+	// Feasibility: |f_e| ≤ cap_e.
+	for e, fe := range res.Flow {
+		if math.Abs(fe) > float64(g.g.Cap(e))+1e-9 {
+			t.Fatalf("degraded flow violates capacity on edge %d: %v > %d", e, fe, g.g.Cap(e))
+		}
+	}
+	// Exact conservation: divergence is res.Value at s, -res.Value at t,
+	// 0 elsewhere.
+	div := g.g.Divergence(res.Flow)
+	for v := range div {
+		want := 0.0
+		if v == s {
+			want = res.Value
+		} else if v == tt {
+			want = -res.Value
+		}
+		if math.Abs(div[v]-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("degraded flow not conserving at %d: div=%v want %v", v, div[v], want)
+		}
+	}
+	// The certificate is honest: the exact max flow really is ≤
+	// Value × CertBound.
+	exact, _ := ExactMaxFlow(g, s, tt)
+	if float64(exact) > res.Value*res.CertBound*(1+1e-9) {
+		t.Fatalf("certificate violated: exact %d > value %v × bound %v", exact, res.Value, res.CertBound)
+	}
+	// A degraded answer must not poison any warm cache (this router has
+	// none; the flag documents the contract for ones that do).
+	full, err := r.MaxFlow(s, tt)
+	if err != nil || full.Degraded {
+		t.Fatalf("follow-up query: %v degraded=%v", err, full != nil && full.Degraded)
+	}
+	if full.Value < res.Value-1e-9 {
+		t.Fatalf("full solve (%v) worse than degraded iterate (%v)", full.Value, res.Value)
+	}
+}
+
+// TestRouteDemandCtxDeadlineDegrades: the demand-routing path degrades
+// silently — the returned flow still meets the demand exactly and the
+// reported congestion is the measured congestion of that flow.
+func TestRouteDemandCtxDeadlineDegrades(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	g := randomConnectedGraph(50, rng)
+	r, err := NewRouter(g, Options{Seed: 2, DisableWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, tt := activePair(g)
+	b := unitDemand(g.N(), s, tt)
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	flow, cong, err := r.RouteDemandCtx(ctx, b, 0.5)
+	if err != nil {
+		t.Fatalf("deadline-expired routing errored: %v", err)
+	}
+	if cong <= 0 {
+		t.Fatalf("congestion = %v, want > 0", cong)
+	}
+	div := g.g.Divergence(flow)
+	for v := range div {
+		if math.Abs(div[v]-b[v]) > 1e-9 {
+			t.Fatalf("degraded routing misses demand at %d: %v want %v", v, div[v], b[v])
+		}
+	}
+	if got := g.g.MaxCongestion(flow); math.Abs(got-cong) > 1e-12*(1+cong) {
+		t.Fatalf("reported congestion %v ≠ measured %v", cong, got)
+	}
+}
+
+// TestCancelMidBatchSurvivorsBitIdentical: cancelling one member of a
+// batch must not perturb the other members at any worker count — their
+// flows stay bit-identical to the same batch run without the
+// cancellation.
+func TestCancelMidBatchSurvivorsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	g := randomConnectedGraph(50, rng)
+	r, err := NewRouter(g, Options{Seed: 2, DisableWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	pairs := []STPair{{S: 0, T: n - 1}, {S: 1, T: n - 2}, {S: 2, T: n - 3}, {S: 3, T: n - 4}}
+
+	// Reference: the full batch, no cancellations.
+	ref, err := r.MaxFlowBatch(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 3, 16} {
+		prev := par.SetWorkers(workers)
+		ctxs := make([]context.Context, len(pairs))
+		for i := range ctxs {
+			ctxs[i] = context.Background()
+		}
+		ctxs[1] = cancelled
+		results, errs := r.maxFlowBatchCtxs(ctxs, pairs)
+		par.SetWorkers(prev)
+
+		if !errors.Is(errs[1], context.Canceled) || results[1] != nil {
+			t.Fatalf("workers=%d: cancelled member got (%v, %v), want (nil, Canceled)", workers, results[1], errs[1])
+		}
+		for i := range pairs {
+			if i == 1 {
+				continue
+			}
+			if errs[i] != nil {
+				t.Fatalf("workers=%d: survivor %d errored: %v", workers, i, errs[i])
+			}
+			if results[i].Value != ref[i].Value || results[i].Iterations != ref[i].Iterations {
+				t.Fatalf("workers=%d: survivor %d perturbed: value %v→%v, iters %d→%d",
+					workers, i, ref[i].Value, results[i].Value, ref[i].Iterations, results[i].Iterations)
+			}
+			for e := range results[i].Flow {
+				if results[i].Flow[e] != ref[i].Flow[e] {
+					t.Fatalf("workers=%d: survivor %d flow differs at edge %d", workers, i, e)
+				}
+			}
+		}
+	}
+}
+
+// TestCancelMidUpdatePublishesNothing injects a context cancellation at
+// the exact point the topology batch is fully applied to the private
+// fork, and asserts total atomicity: nothing publishes, the epoch and
+// seed stream are untouched, and a replay of the identical batch lands
+// bit-identically to a twin router that never saw the cancellation —
+// i.e. the aborted attempt did not consume resample seeds.
+func TestCancelMidUpdatePublishesNothing(t *testing.T) {
+	build := func() (*Graph, *Router) {
+		rng := rand.New(rand.NewSource(35))
+		g := randomConnectedGraph(40, rng)
+		r, err := NewRouter(g, Options{Seed: 2, DisableWarmStart: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, r
+	}
+	g, r := build()
+	gTwin, rTwin := build()
+	if gTwin.N() != g.N() {
+		t.Fatal("twin construction diverged")
+	}
+	batch := []TopoEdit{
+		AddEdgeEdit(0, g.N()-1, 7),
+		AddVertexEdit(Link{To: 1, Cap: 3}, Link{To: 2, Cap: 5}),
+	}
+
+	seq0, n0 := r.EpochSeq(), g.N()
+	ctx, cancel := context.WithCancel(context.Background())
+	disarm := faultinject.Arm(topoResampleSite, faultinject.Fault{Call: cancel})
+	_, uerr := r.UpdateTopologyCtx(ctx, batch)
+	disarm()
+	if !errors.Is(uerr, context.Canceled) {
+		t.Fatalf("cancelled update returned %v, want context.Canceled", uerr)
+	}
+	if r.EpochSeq() != seq0 || g.N() != n0 {
+		t.Fatalf("cancelled update published: epoch %d→%d, n %d→%d", seq0, r.EpochSeq(), n0, g.N())
+	}
+
+	// Replay on the cancelled router; run the same batch on the twin.
+	if _, err := r.UpdateTopology(batch); err != nil {
+		t.Fatalf("replay after cancelled update: %v", err)
+	}
+	if _, err := rTwin.UpdateTopology(batch); err != nil {
+		t.Fatalf("twin update: %v", err)
+	}
+	if r.Alpha() != rTwin.Alpha() {
+		t.Fatalf("replayed alpha %v ≠ twin alpha %v — the aborted attempt moved the seed stream", r.Alpha(), rTwin.Alpha())
+	}
+	s, tt := activePair(g)
+	a, err := r.MaxFlow(s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rTwin.MaxFlow(s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value || a.Iterations != b.Iterations {
+		t.Fatalf("replayed router drifted from twin: value %v vs %v, iters %d vs %d",
+			a.Value, b.Value, a.Iterations, b.Iterations)
+	}
+}
+
+// TestRollingRefresh pins Options.RollingRefreshK: every K-th effective
+// topology batch resamples exactly one tree round-robin, the refresh is
+// deterministic (twin routers agree), and K=0 keeps the legacy
+// behavior (no refresh).
+func TestRollingRefresh(t *testing.T) {
+	build := func(k int, seed int64) (*Graph, *Router) {
+		rng := rand.New(rand.NewSource(36))
+		g := randomConnectedGraph(40, rng)
+		r, err := NewRouter(g, Options{Seed: seed, DisableWarmStart: true, RollingRefreshK: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, r
+	}
+	g, r := build(2, 2)
+	_, rTwin := build(2, 2)
+	_, rOff := build(0, 2)
+
+	urng := rand.New(rand.NewSource(37))
+	refreshed := make([]int, 0, 4)
+	for i := 0; i < 4; i++ {
+		u, v := urng.Intn(g.N()), urng.Intn(g.N())
+		if u == v {
+			v = (u + 1) % g.N()
+		}
+		batch := []TopoEdit{AddEdgeEdit(u, v, 1+urng.Int63n(9))}
+		ur, err := r.UpdateTopology(batch)
+		if err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		refreshed = append(refreshed, ur.RefreshedTrees)
+		if _, err := rTwin.UpdateTopology(batch); err != nil {
+			t.Fatalf("twin update %d: %v", i, err)
+		}
+		urOff, err := rOff.UpdateTopology(batch)
+		if err != nil {
+			t.Fatalf("off update %d: %v", i, err)
+		}
+		if urOff.RefreshedTrees != 0 {
+			t.Fatalf("K=0 refreshed a tree on batch %d", i)
+		}
+	}
+	want := []int{0, 1, 0, 1} // K=2: batches 2 and 4 refresh
+	for i := range want {
+		if refreshed[i] != want[i] {
+			t.Fatalf("RefreshedTrees per batch = %v, want %v", refreshed, want)
+		}
+	}
+	if r.Alpha() != rTwin.Alpha() {
+		t.Fatalf("rolling refresh nondeterministic: alpha %v vs twin %v", r.Alpha(), rTwin.Alpha())
+	}
+	s, tt := activePair(g)
+	a, err := r.MaxFlow(s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rTwin.MaxFlow(s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value || a.Iterations != b.Iterations {
+		t.Fatalf("refreshed routers drifted: value %v vs %v", a.Value, b.Value)
+	}
+}

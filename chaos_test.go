@@ -1,0 +1,304 @@
+package distflow
+
+// Chaos tests of the serving stack (DESIGN.md §11): queries, churn,
+// cancellations, injected update failures, a solver panic, and overload
+// all running concurrently (these tests are in CI's -race matrix). The
+// invariants checked are the robustness contract itself — no hung or
+// leaked goroutines, every submission accounted for in exactly one
+// counter bucket, the server still serving correct answers afterwards.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"distflow/internal/faultinject"
+)
+
+// TestServerPanicRecovery: a panic below the solver is recovered at the
+// batch boundary — the query fails with an error naming the panic, the
+// counters record it, and the very next query succeeds.
+func TestServerPanicRecovery(t *testing.T) {
+	defer faultinject.Reset()
+	rng := rand.New(rand.NewSource(41))
+	g := randomConnectedGraph(40, rng)
+	r, err := NewRouter(g, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(r, ServeOptions{})
+	s, tt := activePair(g)
+
+	disarm := faultinject.Arm(serveSolveSite, faultinject.Fault{Panic: true, Limit: 1})
+	defer disarm()
+	res, err := srv.MaxFlow(s, tt)
+	if err == nil || res != nil {
+		t.Fatalf("panicked batch returned (%v, %v), want error", res, err)
+	}
+	if !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("error %q does not name the recovered panic", err)
+	}
+	st := srv.Stats()
+	if st.Panics != 1 || st.RejectedPanic != 1 || st.Rejected != 1 {
+		t.Fatalf("after panic: Panics=%d RejectedPanic=%d Rejected=%d, want 1/1/1",
+			st.Panics, st.RejectedPanic, st.Rejected)
+	}
+
+	// Limit=1: the fault is spent, the server serves again.
+	res, err = srv.MaxFlow(s, tt)
+	if err != nil || res == nil || res.Value <= 0 {
+		t.Fatalf("query after recovered panic: (%+v, %v)", res, err)
+	}
+}
+
+// TestServerDrainingRejects pins the drain contract used by cmd/serve's
+// SIGTERM path: a draining server refuses new submissions with
+// ErrDraining and counts them, then serves again once drained state is
+// lifted.
+func TestServerDrainingRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := randomConnectedGraph(30, rng)
+	r, err := NewRouter(g, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(r, ServeOptions{})
+	s, tt := activePair(g)
+
+	srv.SetDraining(true)
+	if _, err := srv.MaxFlow(s, tt); !errors.Is(err, ErrDraining) {
+		t.Fatalf("draining server returned %v, want ErrDraining", err)
+	}
+	st := srv.Stats()
+	if !st.Draining || st.RejectedDraining != 1 {
+		t.Fatalf("stats after draining reject: Draining=%v RejectedDraining=%d", st.Draining, st.RejectedDraining)
+	}
+	srv.SetDraining(false)
+	if _, err := srv.MaxFlow(s, tt); err != nil {
+		t.Fatalf("query after drain lifted: %v", err)
+	}
+}
+
+// TestChaosServing runs the full fault mix concurrently against one
+// server: plain queries, deadline-bounded queries, caller
+// cancellations, capacity and topology churn with injected resample
+// failures, and a solver panic. Afterwards it asserts the accounting
+// identity (every admitted query either answered, degraded, rejected,
+// or canceled — nothing lost), that goroutines settle back to the
+// post-warmup baseline (no leaked drain loops or parked waiters), and
+// that the server still answers correctly.
+func TestChaosServing(t *testing.T) {
+	defer faultinject.Reset()
+	rng := rand.New(rand.NewSource(43))
+	g := randomConnectedGraph(60, rng)
+	r, err := NewRouter(g, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(r, ServeOptions{MaxBatch: 8})
+	s0, t0 := activePair(g)
+
+	// Warm up once so the lazily started par pool workers are part of
+	// the goroutine baseline.
+	if _, err := srv.MaxFlow(s0, t0); err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+
+	// Every third topology resample fails (injected), exercising the
+	// drop-the-fork path under live queries; one batch solve panics.
+	disarmTopo := faultinject.Arm(topoResampleSite,
+		faultinject.Fault{Every: 3, Err: errors.New("injected resample failure")})
+	defer disarmTopo()
+	disarmPanic := faultinject.Arm(serveSolveSite, faultinject.Fault{Panic: true, Every: 5, Limit: 1})
+	defer disarmPanic()
+
+	var (
+		wg        sync.WaitGroup
+		answered  atomic.Int64 // non-degraded results delivered
+		degraded  atomic.Int64
+		failed    atomic.Int64 // ctx errors / panic errors / validation
+		updates   atomic.Int64
+		updFails  atomic.Int64
+		canceled  atomic.Int64 // cancellations we actively issued
+		doaOrShed atomic.Int64 // rejected before admission
+	)
+
+	// Query workers: a mix of plain, deadline-bounded, and
+	// caller-cancelled submissions.
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < 25; i++ {
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				switch i % 3 {
+				case 1: // tight deadline — may degrade or reject
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(1+wrng.Intn(20))*time.Millisecond)
+				case 2: // cancel shortly after submit
+					ctx, cancel = context.WithCancel(ctx)
+					delay := time.Duration(wrng.Intn(2)) * time.Millisecond
+					go func(c context.CancelFunc) {
+						time.Sleep(delay)
+						c()
+					}(cancel)
+					canceled.Add(1)
+				}
+				res, err := srv.MaxFlowCtx(ctx, s0, t0)
+				switch {
+				case err == nil && res.Degraded:
+					degraded.Add(1)
+				case err == nil:
+					answered.Add(1)
+				case errors.Is(err, ErrOverloaded) || errors.Is(err, ErrDraining):
+					doaOrShed.Add(1)
+				default:
+					failed.Add(1)
+				}
+				cancel()
+			}
+		}(w)
+	}
+
+	// Churn worker: capacity edits plus topology edits whose resamples
+	// fail deterministically every third attempt. A single goroutine —
+	// updates are serialized by the router anyway, and the dimension
+	// reads (g.M, g.N) feeding edit generation are not synchronized
+	// against a concurrent writer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wrng := rand.New(rand.NewSource(200))
+		for i := 0; i < 30; i++ {
+			var err error
+			if i%2 == 0 {
+				_, err = srv.UpdateCapacities(randomEdits(g, wrng))
+			} else {
+				u := wrng.Intn(g.N())
+				v := (u + 1 + wrng.Intn(g.N()-1)) % g.N()
+				_, err = srv.UpdateTopology([]TopoEdit{AddEdgeEdit(u, v, 1+wrng.Int63n(9))})
+			}
+			if err != nil {
+				updFails.Add(1)
+			} else {
+				updates.Add(1)
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// Nothing lost: Queries = delivered + in-solve failures + abandons,
+	// and rejections/cancellations all landed in a per-cause bucket.
+	st := srv.Stats()
+	if st.Rejected != st.RejectedOverload+st.RejectedDraining+st.RejectedDeadline+
+		st.RejectedValidation+st.RejectedPanic {
+		t.Fatalf("Rejected (%d) is not the sum of its causes: %+v", st.Rejected, st)
+	}
+	delivered := answered.Load() + degraded.Load()
+	if delivered == 0 {
+		t.Fatal("chaos run delivered zero successful answers")
+	}
+	if updates.Load() == 0 || updFails.Load() == 0 {
+		t.Fatalf("churn mix degenerate: %d applied, %d injected failures (want both > 0)",
+			updates.Load(), updFails.Load())
+	}
+	if st.Panics != 1 {
+		t.Fatalf("Panics = %d, want exactly 1 (Limit=1)", st.Panics)
+	}
+	// Degraded counts once per solved pair; coalesced callers sharing a
+	// degraded result each observe the flag, so callers ≥ server, and a
+	// caller can only see it if the server counted it.
+	if cd := degraded.Load(); st.Degraded > cd || (cd > 0 && st.Degraded == 0) {
+		t.Fatalf("server counted %d degraded pairs, callers saw %d degraded answers", st.Degraded, cd)
+	}
+
+	// Goroutine settle: abandoned waiters and drain loops must all exit.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+2 {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutines leaked: %d > baseline %d\n%s", n, baseline, buf[:runtime.Stack(buf, true)])
+	}
+
+	// Pinned epochs drained: superseded snapshots are all freed.
+	if st2 := srv.Stats(); st2.EpochsRetired != st2.EpochsDrained {
+		t.Fatalf("epochs pinned after chaos: retired %d, drained %d", st2.EpochsRetired, st2.EpochsDrained)
+	}
+
+	// The server is still healthy and exact: disarm the faults and check
+	// the answer against Dinic on the churned graph.
+	faultinject.Reset()
+	res, err := srv.MaxFlow(s0, t0)
+	if err != nil {
+		t.Fatalf("query after chaos: %v", err)
+	}
+	exact, _ := ExactMaxFlow(g, s0, t0)
+	if res.Value > float64(exact)*1.7 || float64(exact) > res.Value*1.7 {
+		t.Fatalf("post-chaos answer %v too far from exact %d", res.Value, exact)
+	}
+}
+
+// TestServerCancelDoesNotPerturbCoalescedSibling: two submissions of
+// the same pair coalesce into one solve; cancelling one must leave the
+// other's answer bit-identical to an undisturbed solve of that pair.
+func TestServerCancelDoesNotPerturbCoalescedSibling(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	g := randomConnectedGraph(50, rng)
+	r, err := NewRouter(g, Options{Seed: 2, DisableWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, t0 := activePair(g)
+	ref, err := r.MaxFlow(s0, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewServer(r, ServeOptions{})
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var sibRes *Result
+	var sibErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		sibRes, sibErr = srv.MaxFlow(s0, t0)
+	}()
+	go func() {
+		defer wg.Done()
+		// Same pair under a context we cancel mid-flight; whichever of
+		// the two submissions leads, the shared solve is detached from
+		// this context.
+		go func() {
+			time.Sleep(time.Millisecond)
+			cancel()
+		}()
+		srv.MaxFlowCtx(ctx, s0, t0) //nolint:errcheck — either outcome is legal
+	}()
+	wg.Wait()
+
+	if sibErr != nil {
+		t.Fatalf("sibling errored: %v", sibErr)
+	}
+	if sibRes.Value != ref.Value || sibRes.Iterations != ref.Iterations {
+		t.Fatalf("sibling perturbed: value %v→%v, iters %d→%d",
+			ref.Value, sibRes.Value, ref.Iterations, sibRes.Iterations)
+	}
+	for e := range sibRes.Flow {
+		if sibRes.Flow[e] != ref.Flow[e] {
+			t.Fatalf("sibling flow differs at edge %d", e)
+		}
+	}
+}

@@ -48,13 +48,18 @@
 // The -serve mode benchmarks the concurrent serving front-end: a
 // sustained closed-loop query load through distflow.Server (admission
 // control + coalescing batch scheduler) with topology churn publishing
-// epochs underneath, then the quiesced-vs-rebuilt query drift on the
-// final graph (schema 6, see serve.go). It shares the graph/query
-// flags with the other modes:
+// epochs underneath, a chaos phase (deadline-bounded queries with
+// cancellations, injected update failures, a recovered solver panic,
+// an overload burst, and a goroutine-leak check), then the
+// quiesced-vs-rebuilt query drift on the final graph (schema 8, see
+// serve.go). It shares the graph/query flags with the other modes:
 //
 //	bench -serve -n 2500 -json BENCH_serve.json
 //	bench -serve -serve-ceiling 2     # fail when the p99 query latency
 //	                                  # exceeds the budget (CI)
+//	bench -serve -serve-deadline 500ms -serve-deadline-ceiling 2
+//	                                  # fail when the chaos p99 exceeds
+//	                                  # 2 × the per-query deadline (CI)
 //
 // The -scale mode climbs the instance ladder n = 10⁴, 10⁵, 10⁶ and
 // measures every pipeline phase — streamed generation, streamed load,
@@ -101,6 +106,8 @@ func run() error {
 		updateCeiling = flag.Float64("update-ceiling", 0, "-build: fail when dirty_update_seconds (per single-edge edit) exceeds this many seconds (0 = off)")
 		churnCeiling  = flag.Float64("churn-ceiling", 0, "-churn: fail when churn_update_seconds (per topology batch) exceeds this many seconds (0 = off)")
 		serveCeiling  = flag.Float64("serve-ceiling", 0, "-serve: fail when serve_p99_seconds (query latency under load) exceeds this many seconds (0 = off)")
+		serveDeadline = flag.Duration("serve-deadline", 750*time.Millisecond, "-serve: per-query deadline of the chaos phase (degraded answers past it)")
+		serveDLCeil   = flag.Float64("serve-deadline-ceiling", 0, "-serve: fail when the chaos-phase p99 exceeds this multiple of -serve-deadline (0 = off)")
 		flowN         = flag.Int("n", 2500, "-flow/-build: vertex count of the benchmark graph")
 		flowDeg       = flag.Float64("deg", 8, "-flow/-build: expected average degree")
 		flowCap       = flag.Int64("cap", 64, "-flow/-build: maximum edge capacity")
@@ -134,7 +141,7 @@ func run() error {
 			Queries: *queries,
 			Epsilon: *epsilon,
 			Workers: *workers,
-		}, *jsonOut, *serveCeiling)
+		}, *jsonOut, *serveCeiling, *serveDeadline, *serveDLCeil)
 	}
 	if *churn {
 		return runChurnBench(FlowBenchConfig{

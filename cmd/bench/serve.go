@@ -4,12 +4,23 @@ package main
 // (DESIGN.md §9): closed-loop workers drive max-flow queries through
 // distflow.Server — admission control plus the coalescing batch
 // scheduler — while topology churn batches publish new epochs
-// underneath. The JSON document (schema 6) records throughput (qps)
+// underneath. The JSON document (schema 8) records throughput (qps)
 // and latency quantiles (p50/p99) for the sustained-load phase — both
 // hardware-dependent and info-only — plus the gated drift fingerprint:
 // after the load quiesces, a fixed query workload on the served router
 // vs a fresh rebuild on the same final graph (serve_max_value_err, the
 // ≤ 0.1% acceptance gate).
+//
+// Between load and drift sits the chaos phase (DESIGN.md §11,
+// schema 8): deadline-bounded queries with caller cancellations, churn
+// batches whose resamples fail on an injected deterministic schedule, a
+// recovered solver panic, and an overload burst against a MaxInFlight=1
+// server — all against the same router. The phase records the deadline
+// hit rate, degraded-answer count and worst certificate bound, the
+// per-cause rejection counters, and the two deterministic fault counts
+// (serve_panics, serve_injected_update_failures — benchdiff-gated). It
+// ends with a goroutine-settle check: leaked drain loops or parked
+// waiters fail the bench.
 //
 // The bench disables the warm-start cache so the drift fingerprint is
 // a pure function of (seed, churn schedule, final graph) — identical
@@ -20,7 +31,9 @@ package main
 // the -serve-ceiling flag turns the p99 latency into a CI smoke gate.
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -28,9 +41,11 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"distflow"
+	"distflow/internal/faultinject"
 	"distflow/internal/graph"
 )
 
@@ -85,6 +100,34 @@ type ServeBenchResult struct {
 	QueryErrors int64  `json:"serve_query_errors"`
 	FinalEpoch  uint64 `json:"serve_final_epoch"`
 
+	// Chaos phase (schema 8). Deadline-bounded queries: hit rate and
+	// chaos-phase latency are hardware-dependent (info-only, optionally
+	// smoke-gated by -serve-deadline-ceiling); the two injected fault
+	// counts are deterministic and benchdiff-gated.
+	DeadlineSeconds float64 `json:"serve_deadline_seconds"`
+	ChaosQueries    int     `json:"serve_chaos_queries"`
+	ChaosSeconds    float64 `json:"serve_chaos_seconds"`
+	ChaosP99Seconds float64 `json:"serve_chaos_p99_seconds"`
+	// DeadlineHitRate is the fraction of deadline-bounded chaos queries
+	// that delivered an answer (full or degraded) before their deadline.
+	DeadlineHitRate float64 `json:"serve_deadline_hit_rate"`
+	// Degraded answers delivered during chaos, and the worst measured
+	// certificate bound among them (Result.CertBound: Value ≥
+	// OPT/CertBound).
+	DegradedAnswers      int64   `json:"serve_degraded"`
+	DegradedMaxCertBound float64 `json:"serve_degraded_max_cert_bound"`
+	// Per-cause rejection/abandon counters over the chaos phase.
+	CanceledQueries  int64 `json:"serve_canceled"`
+	RejectedOverload int64 `json:"serve_rejected_overload"`
+	RejectedDeadline int64 `json:"serve_rejected_deadline"`
+	// Panics counts recovered solve panics (deterministically 1: the
+	// panic probe fires once, Limit=1). InjectedUpdateFailures counts
+	// chaos churn batches dropped by the injected resample failure
+	// (deterministic: Every=3 over ChaosChurnBatches hits).
+	Panics                 int64 `json:"serve_panics"`
+	ChaosChurnBatches      int   `json:"serve_chaos_churn_batches"`
+	InjectedUpdateFailures int64 `json:"serve_injected_update_failures"`
+
 	// Final graph shape (deterministic: the churn schedule is a pure
 	// function of the seed; the serving load never mutates the graph).
 	FinalN     int `json:"final_n"`
@@ -102,7 +145,7 @@ type ServeBenchResult struct {
 	Alpha            float64 `json:"alpha"`
 }
 
-func runServeBench(cfg FlowBenchConfig, jsonPath string, p99Ceiling float64) error {
+func runServeBench(cfg FlowBenchConfig, jsonPath string, p99Ceiling float64, deadline time.Duration, deadlineCeiling float64) error {
 	if cfg.N < 16 {
 		return fmt.Errorf("-serve needs -n >= 16")
 	}
@@ -232,6 +275,10 @@ func runServeBench(cfg FlowBenchConfig, jsonPath string, p99Ceiling float64) err
 	fmt.Printf("  scheduler             %d batches | %d coalesced | %d rejected | %d churn-invalidated | epoch %d\n",
 		res.BatchSolves, res.CoalescedQueries, res.RejectedQueries, res.QueryErrors, res.FinalEpoch)
 
+	if err := runServeChaos(&res, cfg, srv, r, G, deadline, deadlineCeiling); err != nil {
+		return err
+	}
+
 	// Drift: quiesced serving vs a fresh router on the final graph.
 	fresh, err := distflow.NewRouter(G, opts)
 	if err != nil {
@@ -274,6 +321,191 @@ func runServeBench(cfg FlowBenchConfig, jsonPath string, p99Ceiling float64) err
 		return fmt.Errorf("serve latency budget exceeded: p99 %.3fs > ceiling %.3fs",
 			res.P99Seconds, p99Ceiling)
 	}
+	return nil
+}
+
+// serveChaosChurnBatches is the fixed topology batch count of the
+// chaos phase; with the resample fault armed at Every=3 the batches at
+// hits 1 and 4 fail deterministically (2 injected failures).
+const serveChaosChurnBatches = 6
+
+// runServeChaos is the chaos phase between load and drift: it probes
+// the panic boundary once, then runs deadline-bounded queries (with a
+// deterministic fraction cancelled by their callers) concurrently with
+// churn whose resamples fail on an injected schedule, bursts an
+// overloaded server, and finally checks that every goroutine the phase
+// started has exited. Faults are disarmed before returning so the
+// drift phase measures the clean path.
+func runServeChaos(res *ServeBenchResult, cfg FlowBenchConfig, srv *distflow.Server,
+	r *distflow.Router, G *distflow.Graph, deadline time.Duration, deadlineCeiling float64) error {
+	if deadline <= 0 {
+		deadline = 750 * time.Millisecond
+	}
+	defer faultinject.Reset()
+	res.DeadlineSeconds = deadline.Seconds()
+	res.ChaosQueries = 16 * cfg.Queries
+	res.ChaosChurnBatches = serveChaosChurnBatches
+	st0 := srv.Stats()
+	baseline := runtime.NumGoroutine()
+	chaosStart := time.Now()
+
+	// Panic probe: exactly one batch solve panics (Limit=1) and is
+	// recovered at the server boundary; the query fails, serving
+	// continues. Sequential, so the count is deterministic.
+	probe := churnBenchPairs(G, 1, cfg.Seed+4)[0]
+	disarmPanic := faultinject.Arm(distflow.FaultSiteServeSolve, faultinject.Fault{Panic: true, Limit: 1})
+	if _, err := srv.MaxFlow(probe.S, probe.T); err == nil {
+		disarmPanic()
+		return fmt.Errorf("panic probe: injected panic did not fail the query")
+	}
+	disarmPanic()
+	if _, err := srv.MaxFlow(probe.S, probe.T); err != nil {
+		return fmt.Errorf("query after recovered panic: %w", err)
+	}
+
+	// Deadline-bounded load with caller cancellations: every 5th query
+	// is abandoned at deadline/4.
+	hot := churnBenchPairs(G, cfg.Queries, cfg.Seed+5)
+	var (
+		tickets   = make(chan int, res.ChaosQueries)
+		wg        sync.WaitGroup
+		delivered atomic.Int64
+		degraded  atomic.Int64
+		maxCert   = make([]float64, serveLoadWorkers)
+		lats      = make([][]float64, serveLoadWorkers)
+	)
+	for i := 0; i < res.ChaosQueries; i++ {
+		tickets <- i
+	}
+	close(tickets)
+	for w := 0; w < serveLoadWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(cfg.Seed + 300 + int64(w)))
+			for i := range tickets {
+				p := hot[wrng.Intn(len(hot))]
+				ctx, cancel := context.WithTimeout(context.Background(), deadline)
+				var timer *time.Timer
+				if i%5 == 4 {
+					timer = time.AfterFunc(deadline/4, cancel)
+				}
+				qs := time.Now()
+				qres, err := srv.MaxFlowCtx(ctx, p.S, p.T)
+				lats[w] = append(lats[w], time.Since(qs).Seconds())
+				cancel()
+				if timer != nil {
+					timer.Stop()
+				}
+				if err == nil {
+					delivered.Add(1)
+					if qres.Degraded {
+						degraded.Add(1)
+						if qres.CertBound > maxCert[w] {
+							maxCert[w] = qres.CertBound
+						}
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Chaos churn (this goroutine), spaced across the chaos queries:
+	// every third resample attempt fails by injection, exercising the
+	// drop-the-fork path under live deadline queries.
+	disarmTopo := faultinject.Arm(distflow.FaultSiteTopoResample, faultinject.Fault{Every: 3})
+	churnRng := rand.New(rand.NewSource(cfg.Seed + 7))
+	var chaosOps ChurnBenchResult
+	for b := 0; b < res.ChaosChurnBatches; b++ {
+		target := st0.Queries + int64(res.ChaosQueries*(b+1)/(res.ChaosChurnBatches+1))
+		for srv.Stats().Queries < target {
+			time.Sleep(time.Millisecond)
+		}
+		batch := makeChurnBatch(G, churnRng, &chaosOps)
+		if _, err := srv.UpdateTopology(batch); err != nil {
+			if !errors.Is(err, faultinject.ErrInjected) {
+				disarmTopo()
+				return fmt.Errorf("chaos churn batch %d: %w", b, err)
+			}
+			res.InjectedUpdateFailures++
+		}
+	}
+	wg.Wait()
+	disarmTopo()
+
+	// Overload burst: a MaxInFlight=1 server on the same router, hit by
+	// concurrent submissions — the surplus must shed fast with
+	// ErrOverloaded, never queue. (The count is scheduling-dependent:
+	// info-only.)
+	srv2 := distflow.NewServer(r, distflow.ServeOptions{MaxInFlight: 1})
+	var burstWG sync.WaitGroup
+	for w := 0; w < serveLoadWorkers; w++ {
+		burstWG.Add(1)
+		go func() {
+			defer burstWG.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), deadline)
+			defer cancel()
+			srv2.MaxFlowCtx(ctx, probe.S, probe.T) //nolint:errcheck — overload errors are the point
+		}()
+	}
+	burstWG.Wait()
+	res.ChaosSeconds = time.Since(chaosStart).Seconds()
+
+	var all []float64
+	for w := range lats {
+		all = append(all, lats[w]...)
+		if maxCert[w] > res.DegradedMaxCertBound {
+			res.DegradedMaxCertBound = maxCert[w]
+		}
+	}
+	sort.Float64s(all)
+	res.ChaosP99Seconds = quantile(all, 0.99)
+	res.DeadlineHitRate = float64(delivered.Load()) / float64(res.ChaosQueries)
+	res.DegradedAnswers = degraded.Load()
+	st1 := srv.Stats()
+	st2 := srv2.Stats()
+	res.CanceledQueries = st1.Canceled - st0.Canceled
+	res.RejectedOverload = st1.RejectedOverload - st0.RejectedOverload + st2.RejectedOverload
+	res.RejectedDeadline = st1.RejectedDeadline - st0.RejectedDeadline + st2.RejectedDeadline
+	res.Panics = st1.Panics - st0.Panics + st2.Panics
+
+	// Post-chaos graph is what the drift phase rebuilds against;
+	// re-snapshot the final-shape fields the load phase recorded.
+	res.FinalEpoch = st1.EpochSeq
+	res.FinalN = G.N()
+	res.FinalM = G.M()
+	res.FinalLiveM = G.LiveM()
+	res.Alpha = r.Alpha()
+
+	// Settle: every goroutine the chaos phase started (drain loops,
+	// abandoned waiters' deliveries, cancel timers) must exit — a leak
+	// here is a hung query and fails the bench.
+	settleBy := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(settleBy) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+2 {
+		return fmt.Errorf("goroutine leak after chaos phase: %d > baseline %d", n, baseline)
+	}
+
+	fmt.Printf("  chaos                 %d queries / %.3fs (p99 %.1fms, deadline %.0fms hit %.1f%%) | %d degraded (cert ≤ %.2f) | %d canceled\n",
+		res.ChaosQueries, res.ChaosSeconds, 1000*res.ChaosP99Seconds, 1000*res.DeadlineSeconds,
+		100*res.DeadlineHitRate, res.DegradedAnswers, res.DegradedMaxCertBound, res.CanceledQueries)
+	fmt.Printf("  chaos faults          %d/%d churn batches dropped (injected) | %d panic recovered | %d overload-shed | %d deadline-rejected\n",
+		res.InjectedUpdateFailures, res.ChaosChurnBatches, res.Panics, res.RejectedOverload, res.RejectedDeadline)
+
+	if res.Panics != 1 {
+		return fmt.Errorf("chaos panic count = %d, want exactly 1", res.Panics)
+	}
+	if want := int64((res.ChaosChurnBatches + 2) / 3); res.InjectedUpdateFailures != want {
+		return fmt.Errorf("injected update failures = %d, want %d (Every=3 over %d batches)",
+			res.InjectedUpdateFailures, want, res.ChaosChurnBatches)
+	}
+	if deadlineCeiling > 0 && res.ChaosP99Seconds > deadlineCeiling*deadline.Seconds() {
+		return fmt.Errorf("chaos latency budget exceeded: p99 %.3fs > %.1f × deadline %.3fs",
+			res.ChaosP99Seconds, deadlineCeiling, deadline.Seconds())
+	}
+	faultinject.Reset()
 	return nil
 }
 

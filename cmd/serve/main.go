@@ -1,6 +1,7 @@
 // Command serve runs a long-lived max-flow serving daemon on top of
-// the epoch-snapshot Router (DESIGN.md §9): an HTTP JSON front-end
-// with admission control and a scheduler that coalesces concurrent
+// the epoch-snapshot Router (DESIGN.md §9, failure contract §11): an
+// HTTP JSON front-end with admission control, per-query deadlines with
+// graceful degradation, and a scheduler that coalesces concurrent
 // repeat (s,t) queries into warm-cache-aware batch solves. Topology
 // and capacity updates apply while queries keep being served — each
 // update publishes a new epoch; in-flight queries finish against the
@@ -10,13 +11,19 @@
 // flags cmd/bench uses (swap in a real topology by constructing the
 // graph where the generator is called):
 //
-//	serve -addr :8080 -n 2500 -deg 8 -cap 64 -seed 3 -eps 0.5
+//	serve -addr :8080 -n 2500 -deg 8 -cap 64 -seed 3 -eps 0.5 -deadline 750ms
 //
 // Endpoints:
 //
 //	POST /maxflow   {"s": 0, "t": 17}
-//	  → {"value":..., "iterations":..., "warm_started":..., "epoch":...}
-//	    503 + {"error":...} when admission control sheds the query.
+//	  → {"value":..., "iterations":..., "warm_started":...,
+//	     "degraded":..., "cert_bound":..., "epoch":...}
+//	    A query whose deadline (the X-Deadline-Ms request header, else
+//	    -deadline) expires mid-solve returns its best-effort iterate
+//	    with "degraded": true and the measured "cert_bound" (value ≥
+//	    opt/cert_bound). 503 + Retry-After when admission control or
+//	    shutdown draining sheds the query; 504 when the deadline was
+//	    too tight to return even a degraded iterate.
 //	POST /update/capacities  {"edits": [{"edge": 3, "cap": 9}, ...]}
 //	POST /update/topology    {"edits": [
 //	      {"op": "add_edge", "u": 1, "v": 2, "cap": 5},
@@ -24,13 +31,24 @@
 //	      {"op": "add_vertex", "links": [{"to": 4, "cap": 2}]},
 //	      {"op": "remove_vertex", "vertex": 9}]}
 //	  → the UpdateResult (α, edit counts, resample/rebuild flags,
-//	    assigned vertex/edge ids).
+//	    assigned vertex/edge ids). An update aborted by client
+//	    disconnect publishes nothing (the router discards the fork).
 //	GET  /stats
-//	  → server counters (queries, coalesced, batches, rejected),
-//	    the published epoch sequence number, and the router's α.
+//	  → server counters (queries, coalesced, batches, per-cause
+//	    rejections, degraded answers, recovered panics, epoch
+//	    retirement), the published epoch sequence number, and α.
+//	GET  /healthz
+//	  → 200 "ok" while serving, 503 "draining" once shutdown began —
+//	    load balancers stop routing here while in-flight queries drain.
+//
+// Shutdown: SIGINT/SIGTERM flips the server to draining (new queries
+// get 503 + Retry-After, /healthz fails), then http.Server.Shutdown
+// waits up to -drain-timeout for in-flight queries to finish before
+// the process exits.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -38,6 +56,9 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
 	"time"
 
 	"distflow"
@@ -53,14 +74,16 @@ func main() {
 
 func run() error {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		n           = flag.Int("n", 2500, "vertex count of the served graph")
-		deg         = flag.Float64("deg", 8, "expected average degree")
-		maxCap      = flag.Int64("cap", 64, "maximum edge capacity")
-		seed        = flag.Int64("seed", 3, "graph/router PRNG seed")
-		epsilon     = flag.Float64("eps", 0.5, "approximation target")
-		maxInFlight = flag.Int("max-inflight", 0, "admission control: concurrent admitted queries (0 = default)")
-		maxBatch    = flag.Int("max-batch", 0, "scheduler: distinct pairs per batch solve (0 = default)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		n            = flag.Int("n", 2500, "vertex count of the served graph")
+		deg          = flag.Float64("deg", 8, "expected average degree")
+		maxCap       = flag.Int64("cap", 64, "maximum edge capacity")
+		seed         = flag.Int64("seed", 3, "graph/router PRNG seed")
+		epsilon      = flag.Float64("eps", 0.5, "approximation target")
+		maxInFlight  = flag.Int("max-inflight", 0, "admission control: concurrent admitted queries (0 = default)")
+		maxBatch     = flag.Int("max-batch", 0, "scheduler: distinct pairs per batch solve (0 = default)")
+		deadline     = flag.Duration("deadline", 0, "default per-query deadline; expired solves return degraded best-effort answers (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown: how long to wait for in-flight queries")
 	)
 	flag.Parse()
 
@@ -77,7 +100,11 @@ func run() error {
 		return err
 	}
 	fmt.Printf("serve: router ready in %v (alpha=%.3f, %d trees)\n", time.Since(start).Round(time.Millisecond), r.Alpha(), r.Trees())
-	srv := distflow.NewServer(r, distflow.ServeOptions{MaxInFlight: *maxInFlight, MaxBatch: *maxBatch})
+	srv := distflow.NewServer(r, distflow.ServeOptions{
+		MaxInFlight:     *maxInFlight,
+		MaxBatch:        *maxBatch,
+		DefaultDeadline: *deadline,
+	})
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /maxflow", func(w http.ResponseWriter, req *http.Request) {
@@ -86,19 +113,42 @@ func run() error {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		res, err := srv.MaxFlow(q.S, q.T)
-		if err != nil {
-			code := http.StatusUnprocessableEntity
-			if errors.Is(err, distflow.ErrOverloaded) {
-				code = http.StatusServiceUnavailable
+		// Per-query deadline: the X-Deadline-Ms header overrides the
+		// -deadline default; the request context also carries client
+		// disconnects, so an abandoned request cancels its submission.
+		ctx := req.Context()
+		if ms := req.Header.Get("X-Deadline-Ms"); ms != "" {
+			v, err := strconv.ParseInt(ms, 10, 64)
+			if err != nil || v <= 0 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad X-Deadline-Ms %q", ms))
+				return
 			}
-			writeErr(w, code, err)
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(v)*time.Millisecond)
+			defer cancel()
+		}
+		res, err := srv.MaxFlowCtx(ctx, q.S, q.T)
+		if err != nil {
+			switch {
+			case errors.Is(err, distflow.ErrOverloaded), errors.Is(err, distflow.ErrDraining):
+				w.Header().Set("Retry-After", "1")
+				writeErr(w, http.StatusServiceUnavailable, err)
+			case errors.Is(err, context.DeadlineExceeded):
+				writeErr(w, http.StatusGatewayTimeout, err)
+			case errors.Is(err, context.Canceled):
+				// Client went away; the status is for logs only.
+				writeErr(w, 499, err)
+			default:
+				writeErr(w, http.StatusUnprocessableEntity, err)
+			}
 			return
 		}
 		writeJSON(w, map[string]any{
 			"value":        res.Value,
 			"iterations":   res.Iterations,
 			"warm_started": res.WarmStarted,
+			"degraded":     res.Degraded,
+			"cert_bound":   res.CertBound,
 			"alpha":        res.Alpha,
 			"rounds":       res.Rounds,
 			"epoch":        r.EpochSeq(),
@@ -119,9 +169,9 @@ func run() error {
 		for i, e := range body.Edits {
 			edits[i] = distflow.CapEdit{Edge: e.Edge, Cap: e.Cap}
 		}
-		ur, err := srv.UpdateCapacities(edits)
+		ur, err := srv.UpdateCapacitiesCtx(req.Context(), edits)
 		if err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, err)
+			writeUpdateErr(w, err)
 			return
 		}
 		writeUpdate(w, ur, r.EpochSeq())
@@ -143,9 +193,9 @@ func run() error {
 			}
 			edits[i] = ed
 		}
-		ur, err := srv.UpdateTopology(edits)
+		ur, err := srv.UpdateTopologyCtx(req.Context(), edits)
 		if err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, err)
+			writeUpdateErr(w, err)
 			return
 		}
 		writeUpdate(w, ur, r.EpochSeq())
@@ -153,19 +203,62 @@ func run() error {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, req *http.Request) {
 		st := srv.Stats()
 		writeJSON(w, map[string]any{
-			"queries":   st.Queries,
-			"coalesced": st.Coalesced,
-			"batches":   st.Batches,
-			"rejected":  st.Rejected,
-			"epoch":     st.EpochSeq,
-			"alpha":     r.Alpha(),
-			"n":         G.ActiveN(),
-			"live_m":    G.LiveM(),
+			"queries":             st.Queries,
+			"coalesced":           st.Coalesced,
+			"batches":             st.Batches,
+			"rejected":            st.Rejected,
+			"rejected_overload":   st.RejectedOverload,
+			"rejected_draining":   st.RejectedDraining,
+			"rejected_deadline":   st.RejectedDeadline,
+			"rejected_validation": st.RejectedValidation,
+			"rejected_panic":      st.RejectedPanic,
+			"canceled":            st.Canceled,
+			"degraded":            st.Degraded,
+			"panics":              st.Panics,
+			"draining":            st.Draining,
+			"epoch":               st.EpochSeq,
+			"epochs_retired":      st.EpochsRetired,
+			"epochs_drained":      st.EpochsDrained,
+			"alpha":               r.Alpha(),
+			"n":                   G.ActiveN(),
+			"live_m":              G.LiveM(),
 		})
 	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		if srv.Draining() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
 
-	fmt.Printf("serve: listening on %s\n", *addr)
-	return http.ListenAndServe(*addr, mux)
+	hs := &http.Server{Addr: *addr, Handler: mux}
+	// Graceful shutdown: on SIGINT/SIGTERM flip to draining (new
+	// submissions shed with 503 + Retry-After, /healthz fails so load
+	// balancers stop routing), then let Shutdown drain in-flight
+	// requests up to -drain-timeout.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	serveErr := make(chan error, 1)
+	go func() {
+		fmt.Printf("serve: listening on %s\n", *addr)
+		serveErr <- hs.ListenAndServe()
+	}()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-sigCtx.Done():
+	}
+	fmt.Println("serve: draining...")
+	srv.SetDraining(true)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("serve: drained, bye")
+	return nil
 }
 
 // topoEditJSON is the wire form of one TopoEdit.
@@ -209,10 +302,25 @@ func writeUpdate(w http.ResponseWriter, ur *distflow.UpdateResult, epoch uint64)
 		"dirty_trees":     ur.DirtyTrees,
 		"swept_trees":     ur.SweptTrees,
 		"resampled_trees": ur.ResampledTrees,
+		"refreshed_trees": ur.RefreshedTrees,
 		"added_vertices":  ur.AddedVertices,
 		"added_edges":     ur.AddedEdges,
 		"epoch":           epoch,
 	})
+}
+
+// writeUpdateErr maps an update failure to its HTTP shape: an aborted
+// context (client disconnect mid-update) means the router discarded the
+// fork — nothing published, safe to retry verbatim.
+func writeUpdateErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		writeErr(w, 499, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, http.StatusGatewayTimeout, err)
+	default:
+		writeErr(w, http.StatusUnprocessableEntity, err)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

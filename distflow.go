@@ -22,6 +22,7 @@
 package distflow
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -161,6 +162,16 @@ type Options struct {
 	// (trees then resample only on α degradation; the query-path
 	// quality escalation still catches under-serving).
 	CutShiftResample float64
+	// RollingRefreshK enables rolling tree refresh under sustained
+	// churn: every K-th effective UpdateTopology batch additionally
+	// resamples one tree, round-robin over the tree indices, so after
+	// trees×K batches every sample has been refreshed even when none
+	// individually tripped the degradation detectors. The refresh seeds
+	// come from a stream disjoint from the degradation-resample stream,
+	// both pure functions of (Options.Seed, batch sequence), so replay
+	// determinism is preserved. 0 (the default) disables the refresh —
+	// existing churn baselines are unaffected unless opted in.
+	RollingRefreshK int
 }
 
 // Result is the outcome of a max-flow computation.
@@ -189,6 +200,21 @@ type Result struct {
 	// WarmStarted reports whether this query started from a warm-cache
 	// hit rather than the zero flow.
 	WarmStarted bool
+	// Degraded reports a best-effort answer: the query's context hit its
+	// deadline before the solve met its residual certificate, so Flow is
+	// the current iterate — still capacity-feasible and exactly
+	// conserving, but with the (1+ε) guarantee replaced by the measured
+	// CertBound. Degraded results are timing-dependent: they are never
+	// written to the warm cache, and two identical degraded queries need
+	// not return identical flows.
+	Degraded bool
+	// CertBound is the measured quality certificate: Value ≥
+	// OPT/CertBound, from the approximator's cut lower bound ‖Rb‖∞ ≤
+	// congestion of any routing (a true cut bound under the default
+	// exact-cut scaling; an estimate under Options.PaperScaling).
+	// Healthy queries sit near 1+ε; degraded answers report however far
+	// the iterate got.
+	CertBound float64
 	// Rounds is the total charged CONGEST rounds (approximator
 	// construction plus flow computation).
 	Rounds int64
@@ -256,21 +282,35 @@ type Router struct {
 	// replaying the same batch history reproduces the same trees.
 	// Guarded by mu; a discarded (failed) batch does not advance it.
 	topoSeq int64
-	// epochsFreed counts retired epochs whose last query drained.
-	epochsFreed atomic.Int64
+	// epochsRetired counts epochs replaced by a publish; epochsFreed
+	// counts retired epochs whose last query drained. retired − freed is
+	// the number of old snapshots still pinned by in-flight queries.
+	epochsRetired atomic.Int64
+	epochsFreed   atomic.Int64
 }
 
 // NewRouter samples the congestion approximator for G (the expensive,
 // query-independent part of the algorithm: Theorem 8.10).
 func NewRouter(G *Graph, opts Options) (*Router, error) {
+	return NewRouterCtx(context.Background(), G, opts)
+}
+
+// NewRouterCtx is NewRouter under a context: a done context (cancelled
+// or past its deadline) aborts the approximator build with the
+// context's error at tree-level granularity. An aborted construction
+// publishes nothing.
+func NewRouterCtx(ctx context.Context, G *Graph, opts Options) (*Router, error) {
 	if _, err := sherman.NormalizeEps(opts.Epsilon); err != nil {
 		return nil, fmt.Errorf("distflow: Options.Epsilon: %w", err)
 	}
 	if !G.g.Connected() {
 		return nil, fmt.Errorf("distflow: graph must be connected")
 	}
-	apx, err := capprox.Build(G.g, capproxConfig(opts), rand.New(rand.NewSource(normalizeSeed(opts.Seed))))
+	apx, err := capprox.BuildCtx(ctx, G.g, capproxConfig(opts), rand.New(rand.NewSource(normalizeSeed(opts.Seed))))
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("distflow: %w", err)
 	}
 	r := &Router{userG: G, opts: opts, buildAlpha: apx.Alpha}
@@ -383,6 +423,10 @@ type UpdateResult struct {
 	// Options.AlphaRebuildFactor (always 0 for UpdateCapacities, whose
 	// fallback is the full rebuild).
 	ResampledTrees int
+	// RefreshedTrees counts the trees this batch resampled under the
+	// Options.RollingRefreshK round-robin refresh (0 or 1 per batch;
+	// always 0 when the option is off or the batch rebuilt in full).
+	RefreshedTrees int
 	// AddedVertices and AddedEdges report the ids UpdateTopology
 	// assigned, in batch order (vertex link edges follow their vertex).
 	AddedVertices, AddedEdges []int
@@ -419,8 +463,21 @@ type UpdateResult struct {
 // private epoch is discarded and the router keeps serving the
 // pre-update state unchanged.
 func (r *Router) UpdateCapacities(edits []CapEdit) (*UpdateResult, error) {
+	return r.UpdateCapacitiesCtx(context.Background(), edits)
+}
+
+// UpdateCapacitiesCtx is UpdateCapacities under a context. A done
+// context — cancelled or past its deadline; updates do not degrade —
+// aborts the update with the context's error and the same atomicity as
+// any other failure: the private epoch fork is discarded whole and the
+// router keeps serving the pre-update state bit-identically, so
+// retrying the same batch with a fresh context is always safe.
+func (r *Router) UpdateCapacitiesCtx(ctx context.Context, edits []CapEdit) (*UpdateResult, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cur := r.cur.Load()
 	for _, ed := range edits {
 		if ed.Edge < 0 || ed.Edge >= cur.g.M() {
@@ -467,17 +524,31 @@ func (r *Router) UpdateCapacities(edits []CapEdit) (*UpdateResult, error) {
 	if factor == 0 {
 		factor = 8
 	}
+	rebuilt := false
 	if next.apx.Alpha > factor*r.buildAlpha {
-		apx, err := capprox.Build(next.g, capproxConfig(r.opts), rand.New(rand.NewSource(r.seed())))
+		apx, err := capprox.BuildCtx(ctx, next.g, capproxConfig(r.opts), rand.New(rand.NewSource(r.seed())))
 		if err != nil {
 			// Atomic failure: drop the fork; the published epoch never
 			// saw the edits.
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("distflow: rebuild after capacity update: %w", err)
 		}
 		next.apx = apx
-		r.buildAlpha = apx.Alpha
+		rebuilt = true
 		out.Rebuilt = true
 		out.Alpha = apx.Alpha
+	}
+	if err := ctx.Err(); err != nil {
+		// Final pre-publish check: a caller that abandoned the update
+		// must never have it appear later. Dropping the fork here — with
+		// every writer-side field untouched — is exactly the
+		// failed-rebuild path, so replaying the batch is safe.
+		return nil, err
+	}
+	if rebuilt {
+		r.buildAlpha = next.apx.Alpha
 	}
 	r.publish(next)
 	return out, nil
@@ -497,17 +568,34 @@ func (ep *epoch) shermanConfig() sherman.Config {
 // router's approximator, warm-starting from the cache when the same
 // pair was queried recently.
 func (r *Router) MaxFlow(s, t int) (*Result, error) {
+	return r.MaxFlowCtx(context.Background(), s, t)
+}
+
+// MaxFlowCtx is MaxFlow under a context. Cancelling the context aborts
+// the query with the context's error within one descent-iteration
+// granule; the router state is untouched (queries never mutate it). A
+// deadline expiry instead degrades gracefully: the solve stops where it
+// is and returns its current iterate as a feasible, exactly conserving
+// best-effort flow flagged Result.Degraded, carrying the measured
+// Result.CertBound. Degraded answers are never written to the warm
+// cache, so they cannot perturb later queries.
+//
+// Retryability: an error with errors.Is(err, context.Canceled) or
+// context.DeadlineExceeded reflects the caller's context, not router
+// state — the same query retried with a fresh context is expected to
+// succeed. All other errors are validation errors and will repeat.
+func (r *Router) MaxFlowCtx(ctx context.Context, s, t int) (*Result, error) {
 	ep := r.acquire()
 	defer ep.release()
 	var warm []float64
 	if ep.cache != nil {
 		warm = ep.cache.get(stKey(s, t))
 	}
-	res, routing, err := ep.maxFlowWarm(s, t, warm)
+	res, routing, err := ep.maxFlowWarm(ctx, s, t, warm)
 	if err != nil {
 		return nil, err
 	}
-	if ep.cache != nil {
+	if ep.cache != nil && !res.Degraded {
 		ep.cache.put(stKey(s, t), routing)
 	}
 	return res, nil
@@ -516,16 +604,20 @@ func (r *Router) MaxFlow(s, t int) (*Result, error) {
 // maxFlowWarm runs one warm-started max-flow query against this epoch
 // without touching the cache. It additionally returns the unnormalized
 // routing of the unit s-t demand — the vector a future query of the
-// same pair warm-starts from.
-func (ep *epoch) maxFlowWarm(s, t int, warm []float64) (*Result, []float64, error) {
+// same pair warm-starts from (nil for degraded answers: a
+// timing-dependent iterate must never seed future queries).
+func (ep *epoch) maxFlowWarm(ctx context.Context, s, t int, warm []float64) (*Result, []float64, error) {
 	if s >= 0 && s < ep.g.N() && ep.g.Removed(s) {
 		return nil, nil, fmt.Errorf("distflow: source %d was removed", s)
 	}
 	if t >= 0 && t < ep.g.N() && ep.g.Removed(t) {
 		return nil, nil, fmt.Errorf("distflow: sink %d was removed", t)
 	}
-	fr, err := ep.solver.MaxFlowWarm(s, t, ep.shermanConfig(), warm)
+	fr, err := ep.solver.MaxFlowCtx(ctx, s, t, ep.shermanConfig(), warm)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, nil, ctx.Err()
+		}
 		return nil, nil, fmt.Errorf("distflow: %w", err)
 	}
 	// Enumerate the ledgers' actual phases rather than whitelisting
@@ -542,9 +634,11 @@ func (ep *epoch) maxFlowWarm(s, t int, warm []float64) (*Result, []float64, erro
 		}
 	}
 	// The cacheable routing vector is only materialized when there is a
-	// cache to hold it (queries with DisableWarmStart skip the pass).
+	// cache to hold it (queries with DisableWarmStart skip the pass) and
+	// the answer is not degraded (a deadline-shaped iterate must never
+	// warm-start a future query).
 	var routing []float64
-	if ep.cache != nil {
+	if ep.cache != nil && !fr.Degraded {
 		routing = make([]float64, len(fr.Flow))
 		for e, fe := range fr.Flow {
 			routing[e] = fe * fr.Congestion
@@ -559,6 +653,8 @@ func (ep *epoch) maxFlowWarm(s, t int, warm []float64) (*Result, []float64, erro
 		Restarts:      fr.Restarts,
 		Escalations:   fr.Escalations,
 		WarmStarted:   warm != nil,
+		Degraded:      fr.Degraded,
+		CertBound:     fr.CertBound,
 		Rounds:        total,
 		RoundsByPhase: byPhase,
 	}, routing, nil
@@ -570,6 +666,18 @@ func (ep *epoch) maxFlowWarm(s, t int, warm []float64) (*Result, []float64, erro
 // (residuals are routed on a spanning tree); congestion is its maximum
 // |f_e|/cap_e.
 func (r *Router) RouteDemand(b []float64, eps float64) (flow []float64, congestion float64, err error) {
+	return r.RouteDemandCtx(context.Background(), b, eps)
+}
+
+// RouteDemandCtx is RouteDemand under a context. Cancellation aborts
+// with the context's error within one descent-iteration granule. A
+// deadline expiry degrades gracefully: the returned flow still meets b
+// exactly (the residual of the current iterate is tree-routed), only
+// its congestion is whatever the truncated descent reached — the
+// reported congestion is always the measured value of the returned
+// flow, so the answer remains honest. Deadline-degraded routings are
+// never cached.
+func (r *Router) RouteDemandCtx(ctx context.Context, b []float64, eps float64) (flow []float64, congestion float64, err error) {
 	eps, err = normalizeEps(eps)
 	if err != nil {
 		return nil, 0, err
@@ -582,8 +690,8 @@ func (r *Router) RouteDemand(b []float64, eps float64) (flow []float64, congesti
 		key = demandKey(b, eps)
 		warm = ep.cache.get(key)
 	}
-	flow, congestion, err = ep.routeDemandWarm(b, eps, warm)
-	if err == nil && ep.cache != nil {
+	flow, congestion, degraded, err := ep.routeDemandWarm(ctx, b, eps, warm)
+	if err == nil && !degraded && ep.cache != nil {
 		ep.cache.put(key, append([]float64(nil), flow...))
 	}
 	return flow, congestion, err
@@ -605,25 +713,30 @@ func normalizeEps(eps float64) (float64, error) {
 }
 
 // routeDemandWarm runs one warm-started demand query against this
-// epoch without touching the cache. eps is already normalized.
-func (ep *epoch) routeDemandWarm(b []float64, eps float64, warm []float64) (flow []float64, congestion float64, err error) {
+// epoch without touching the cache. eps is already normalized. degraded
+// reports a deadline-truncated descent (the flow still meets b exactly;
+// callers must not cache it).
+func (ep *epoch) routeDemandWarm(ctx context.Context, b []float64, eps float64, warm []float64) (flow []float64, congestion float64, degraded bool, err error) {
 	if len(b) != ep.g.N() {
-		return nil, 0, fmt.Errorf("distflow: demand length %d, want %d", len(b), ep.g.N())
+		return nil, 0, false, fmt.Errorf("distflow: demand length %d, want %d", len(b), ep.g.N())
 	}
 	if !graph.IsFeasibleDemand(b, 1e-6) {
-		return nil, 0, fmt.Errorf("distflow: demand does not sum to zero")
+		return nil, 0, false, fmt.Errorf("distflow: demand does not sum to zero")
 	}
 	if ep.g.RemovedN() > 0 {
 		for v, bv := range b {
 			if bv != 0 && ep.g.Removed(v) {
-				return nil, 0, fmt.Errorf("distflow: demand %v at removed vertex %d", bv, v)
+				return nil, 0, false, fmt.Errorf("distflow: demand %v at removed vertex %d", bv, v)
 			}
 		}
 	}
 	cfg := ep.shermanConfig()
-	rr, err := ep.solver.AlmostRouteWarm(b, eps, cfg, nil, warm)
+	rr, err := ep.solver.AlmostRouteCtx(ctx, b, eps, cfg, nil, warm)
 	if err != nil {
-		return nil, 0, fmt.Errorf("distflow: %w", err)
+		if ctx.Err() != nil {
+			return nil, 0, false, ctx.Err()
+		}
+		return nil, 0, false, fmt.Errorf("distflow: %w", err)
 	}
 	// Restore exact conservation via spanning-tree routing (Lemma 9.1).
 	div := ep.g.Divergence(rr.Flow)
@@ -633,13 +746,13 @@ func (ep *epoch) routeDemandWarm(b []float64, eps float64, warm []float64) (flow
 	}
 	fTree, err := ep.solver.RouteResidualOnST(resid)
 	if err != nil {
-		return nil, 0, fmt.Errorf("distflow: %w", err)
+		return nil, 0, false, fmt.Errorf("distflow: %w", err)
 	}
 	out := make([]float64, ep.g.M())
 	for e := range out {
 		out[e] = rr.Flow[e] + fTree[e]
 	}
-	return out, ep.g.MaxCongestion(out), nil
+	return out, ep.g.MaxCongestion(out), rr.Degraded, nil
 }
 
 // CongestionLowerBound returns ‖Rb‖∞, a certified lower bound on the
@@ -673,6 +786,38 @@ type STPair struct {
 // On error, the first failing query's error (by index order) is
 // returned together with the partial results; failed entries are nil.
 func (r *Router) MaxFlowBatch(pairs []STPair) ([]*Result, error) {
+	return r.MaxFlowBatchCtx(context.Background(), pairs)
+}
+
+// MaxFlowBatchCtx is MaxFlowBatch under one context governing the whole
+// batch: cancellation aborts every member with the context's error; a
+// deadline degrades each member to its best-effort iterate (see
+// MaxFlowCtx). For per-member contexts — where one member's abort must
+// not disturb the others — see maxFlowBatchCtxs (the serving layer's
+// entry point).
+func (r *Router) MaxFlowBatchCtx(ctx context.Context, pairs []STPair) ([]*Result, error) {
+	ctxs := make([]context.Context, len(pairs))
+	for i := range ctxs {
+		ctxs[i] = ctx
+	}
+	results, errs := r.maxFlowBatchCtxs(ctxs, pairs)
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("distflow: batch query %d (%d→%d): %w", i, pairs[i].S, pairs[i].T, err)
+		}
+	}
+	return results, nil
+}
+
+// maxFlowBatchCtxs runs one epoch-snapshot batch with an independent
+// context per member. A cancelled member fails alone with its context's
+// error and cannot perturb the others: each member's solve observes
+// only its own context, warm-cache reads all happen before the parallel
+// region against the pre-batch cache state, and writes happen after it
+// in index order with failed and degraded entries skipped — so the
+// surviving members' results are bit-identical to the same batch run
+// without the cancellation.
+func (r *Router) maxFlowBatchCtxs(ctxs []context.Context, pairs []STPair) ([]*Result, []error) {
 	ep := r.acquire()
 	defer ep.release()
 	results := make([]*Result, len(pairs))
@@ -685,21 +830,16 @@ func (r *Router) MaxFlowBatch(pairs []STPair) ([]*Result, error) {
 		}
 	}
 	par.Do(len(pairs), func(i int) {
-		results[i], routings[i], errs[i] = ep.maxFlowWarm(pairs[i].S, pairs[i].T, warms[i])
+		results[i], routings[i], errs[i] = ep.maxFlowWarm(ctxs[i], pairs[i].S, pairs[i].T, warms[i])
 	})
 	if ep.cache != nil {
 		for i, p := range pairs {
-			if errs[i] == nil {
+			if errs[i] == nil && !results[i].Degraded {
 				ep.cache.put(stKey(p.S, p.T), routings[i])
 			}
 		}
 	}
-	for i, err := range errs {
-		if err != nil {
-			return results, fmt.Errorf("distflow: batch query %d (%d→%d): %w", i, pairs[i].S, pairs[i].T, err)
-		}
-	}
-	return results, nil
+	return results, errs
 }
 
 // Routing is the outcome of one demand-routing query of a batch.
@@ -735,7 +875,7 @@ func (r *Router) RouteDemandBatch(demands [][]float64, eps float64) ([]*Routing,
 		}
 	}
 	par.Do(len(demands), func(i int) {
-		flow, cong, err := ep.routeDemandWarm(demands[i], eps, warms[i])
+		flow, cong, _, err := ep.routeDemandWarm(context.Background(), demands[i], eps, warms[i])
 		if err != nil {
 			errs[i] = err
 			return

@@ -118,6 +118,7 @@ func (r *Router) publish(next *epoch) {
 	old := r.cur.Swap(next)
 	r.userG.g = next.g
 	old.retired.Store(true)
+	r.epochsRetired.Add(1)
 	old.release() // drop the publish pin; drains when the last query ends
 }
 
@@ -135,9 +136,21 @@ func warmCacheCap(opts Options) int {
 // layers expose it as a cheap "did the world change" cursor.
 func (r *Router) EpochSeq() uint64 { return r.cur.Load().seq }
 
-// epochsDrained reports how many retired epochs have fully drained
-// (tests assert retirement actually releases snapshots).
-func (r *Router) epochsDrained() int64 { return r.epochsFreed.Load() }
+// EpochsRetired reports how many epochs have been replaced by a
+// published update over the router's lifetime. Together with
+// EpochsDrained it exposes snapshot turnover: Retired − Drained is the
+// number of old epochs still pinned by in-flight queries, which should
+// hover near zero on a healthy server (the /stats endpoint surfaces
+// both).
+func (r *Router) EpochsRetired() int64 { return r.epochsRetired.Load() }
+
+// EpochsDrained reports how many retired epochs have fully drained —
+// their last in-flight query released them and the snapshot became
+// garbage (tests assert retirement actually releases snapshots).
+func (r *Router) EpochsDrained() int64 { return r.epochsFreed.Load() }
+
+// epochsDrained is the historical internal alias of EpochsDrained.
+func (r *Router) epochsDrained() int64 { return r.EpochsDrained() }
 
 // curEpoch returns the published epoch without pinning it — for tests
 // and writer-side code that inspect the current state, not for query

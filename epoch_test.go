@@ -5,12 +5,15 @@ package distflow
 // retirement, and per-epoch warm-cache scoping.
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
 	"runtime"
 	"sync"
 	"testing"
+
+	"distflow/internal/faultinject"
 )
 
 // TestConcurrentQueryUpdateRace hammers MaxFlowBatch and RouteDemand
@@ -128,9 +131,9 @@ func TestUpdateTopologyFailureAtomicity(t *testing.T) {
 		AddEdgeEdit(0, g.N()-1, 7),
 		AddVertexEdit(Link{To: 1, Cap: 3}, Link{To: 2, Cap: 5}),
 	}
-	topoFailHook = func() error { return errors.New("injected sampler failure") }
+	disarm := faultinject.Arm(topoResampleSite, faultinject.Fault{Err: errors.New("injected sampler failure")})
 	_, uerr := r.UpdateTopology(batch)
-	topoFailHook = nil
+	disarm()
 	if uerr == nil {
 		t.Fatal("injected failure did not surface")
 	}
@@ -190,7 +193,7 @@ func TestEpochSnapshotIsolation(t *testing.T) {
 	}
 
 	// The pinned snapshot answers exactly as before the update.
-	old, _, err := ep.maxFlowWarm(s, tt, nil)
+	old, _, err := ep.maxFlowWarm(context.Background(), s, tt, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,6 +17,7 @@
 package capprox
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -211,6 +212,16 @@ func (a *Approximator) combineAlpha() {
 // subgraph for sampling and the result expanded back to the full id
 // space (see churn.go), so long-lived routers can rebuild in place.
 func Build(g *graph.Graph, cfg Config, rng *rand.Rand) (*Approximator, error) {
+	return BuildCtx(context.Background(), g, cfg, rng)
+}
+
+// BuildCtx is Build under a context: a done context (cancelled or past
+// its deadline) aborts the build with the context's error at the next
+// tree-level granule — the construction never publishes partial state,
+// so an aborted build leaves nothing to clean up. Builds do not degrade
+// on deadline the way query solves do: an approximator is either fully
+// sampled or absent.
+func BuildCtx(ctx context.Context, g *graph.Graph, cfg Config, rng *rand.Rand) (*Approximator, error) {
 	n := g.N()
 	if n == 0 {
 		return nil, fmt.Errorf("capprox: empty graph")
@@ -219,7 +230,7 @@ func Build(g *graph.Graph, cfg Config, rng *rand.Rand) (*Approximator, error) {
 		return nil, fmt.Errorf("capprox: graph must be connected")
 	}
 	if g.Churned() {
-		return buildChurned(g, cfg, rng)
+		return buildChurned(ctx, g, cfg, rng)
 	}
 	trees := cfg.Trees
 	if trees == 0 {
@@ -253,7 +264,7 @@ func Build(g *graph.Graph, cfg Config, rng *rand.Rand) (*Approximator, error) {
 		led := congest.NewLedger()
 		treeStart := time.Now()
 		var ph samplePhases
-		t, levels, err := sampleTree(g, cfg, diameter, led, rand.New(rand.NewSource(seeds[k])), &ph)
+		t, levels, err := sampleTree(ctx, g, cfg, diameter, led, rand.New(rand.NewSource(seeds[k])), &ph)
 		outs[k] = sampled{
 			t: t, levels: levels, ledger: led, err: err,
 			seconds: time.Since(treeStart).Seconds(), phases: ph,
@@ -525,7 +536,9 @@ var samplerPool = sync.Pool{New: func() any { return &samplerWS{} }}
 
 // sampleTree draws one virtual tree from the recursive distribution.
 // phases accumulates the time spent in the instrumented sub-phases.
-func sampleTree(g *graph.Graph, cfg Config, diameter int, ledger *congest.Ledger, rng *rand.Rand, phases *samplePhases) (*vtree.VTree, []int, error) {
+// A done ctx aborts between contraction levels — the finest granule at
+// which the per-tree state is cheap to abandon.
+func sampleTree(ctx context.Context, g *graph.Graph, cfg Config, diameter int, ledger *congest.Ledger, rng *rand.Rand, phases *samplePhases) (*vtree.VTree, []int, error) {
 	n := g.N()
 	beta := cfg.Beta
 	if beta == 0 {
@@ -588,6 +601,9 @@ func sampleTree(g *graph.Graph, cfg Config, diameter int, ledger *congest.Ledger
 
 	distributed := true
 	for cg.N > 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		if distributed && cg.N <= threshold {
 			// The remaining core is published to every node over a BFS
 			// tree (§8.4): n^{1/2+o(1)} summaries, pipelined.

@@ -32,6 +32,7 @@ package capprox
 // instead of a full Build.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -150,9 +151,9 @@ func (cv *compactView) expandTree(tc *vtree.VTree) (*vtree.VTree, error) {
 // the result to the full id space (Build delegates here whenever the
 // graph carries tombstones or removed vertices, so the rebuild fallback
 // of a long-lived router needs no special casing).
-func buildChurned(g *graph.Graph, cfg Config, rng *rand.Rand) (*Approximator, error) {
+func buildChurned(ctx context.Context, g *graph.Graph, cfg Config, rng *rand.Rand) (*Approximator, error) {
 	cv := newCompactView(g)
-	ac, err := Build(cv.g, cfg, rng)
+	ac, err := BuildCtx(ctx, cv.g, cfg, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -475,6 +476,14 @@ func (a *Approximator) TreeAlpha(k int) float64 { return a.treeMax[k].hi }
 // does, so the outcome is a pure function of (graph, cfg, ks, seeds)
 // at every worker count.
 func (a *Approximator) ResampleTrees(g *graph.Graph, cfg Config, ks []int, seeds []int64) error {
+	return a.ResampleTreesCtx(context.Background(), g, cfg, ks, seeds)
+}
+
+// ResampleTreesCtx is ResampleTrees under a context. A done context
+// aborts with the context's error before anything is installed — the
+// all-or-nothing install below already guarantees an errored resample
+// leaves the approximator serving its previous trees.
+func (a *Approximator) ResampleTreesCtx(ctx context.Context, g *graph.Graph, cfg Config, ks []int, seeds []int64) error {
 	if len(ks) == 0 {
 		return nil
 	}
@@ -503,7 +512,7 @@ func (a *Approximator) ResampleTrees(g *graph.Graph, cfg Config, ks []int, seeds
 		led := congest.NewLedger()
 		treeStart := time.Now()
 		var ph samplePhases
-		tc, levels, err := sampleTree(cv.g, cfg, diameter, led, rand.New(rand.NewSource(seeds[i])), &ph)
+		tc, levels, err := sampleTree(ctx, cv.g, cfg, diameter, led, rand.New(rand.NewSource(seeds[i])), &ph)
 		if err == nil {
 			tc, err = cv.expandTree(tc)
 		}

@@ -1,0 +1,190 @@
+// Package faultinject is a deterministic fault-injection registry for
+// chaos tests and the -serve bench. Production code marks failure
+// points with Hit(site); tests and benches Arm a site with a seeded
+// trigger policy, and the armed fault fires on a schedule that is a
+// pure function of (policy, hit count) — never of wall clock or
+// goroutine interleaving — so injected failures reproduce exactly
+// across runs and worker counts.
+//
+// The unarmed fast path is one atomic load of a global counter: with
+// nothing armed, Hit costs a few nanoseconds and allocates nothing, so
+// sites can sit on update paths permanently (queries are far hotter
+// and carry no sites).
+//
+// A site's fault can return an error, run a callback (e.g. cancel a
+// context, modelling a caller abandoning mid-update), or panic with an
+// *InjectedPanic — the mode the server's boundary recovery is tested
+// against.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the default error an armed site returns when firing
+// (wrapped with the site name). Policies may override it via Fault.Err.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// InjectedPanic is the value a Panic-mode fault panics with, so
+// recovery boundaries can distinguish injected panics in tests.
+type InjectedPanic struct {
+	Site string
+}
+
+func (p *InjectedPanic) Error() string {
+	return fmt.Sprintf("faultinject: injected panic at %s", p.Site)
+}
+
+// Fault is the trigger policy of one armed site. Firing is decided per
+// Hit in hit order under the site's lock: an Every/Prob schedule over
+// the site's hit counter, optionally bounded by Limit. With both Every
+// and Prob zero the fault fires on every hit.
+type Fault struct {
+	// Every fires on every Every-th hit (1, Every+1, 2·Every+1, …
+	// counting from the first hit after arming). 0 = not used.
+	Every int
+	// Prob fires each hit independently with this probability, drawn
+	// from a PRNG seeded by Seed — deterministic given the hit order.
+	// 0 = not used.
+	Prob float64
+	// Seed seeds the Prob stream (0 is a valid seed).
+	Seed int64
+	// Limit caps total fires; after Limit fires the site goes inert
+	// (but stays armed and keeps counting hits). 0 = unlimited.
+	Limit int
+	// Err is returned from Hit on fire (nil = ErrInjected wrapped with
+	// the site name). Ignored in Panic mode.
+	Err error
+	// Panic makes the fire panic with *InjectedPanic instead of
+	// returning an error.
+	Panic bool
+	// Call runs on fire, before the error return / panic. Used to model
+	// external events at exact code points — e.g. cancelling the
+	// update's context at the moment the batch is applied. A fault with
+	// Call set and neither Err nor Panic is a pure side-effect
+	// injection: Hit runs Call and returns nil, so the code under test
+	// proceeds normally and only the injected event (a cancel, a clock
+	// step) perturbs it.
+	Call func()
+}
+
+// site is the armed state behind one name.
+type site struct {
+	mu    sync.Mutex
+	fault Fault
+	rng   *rand.Rand
+	hits  int64
+	fires int64
+}
+
+var (
+	// armedCount gates the fast path: 0 armed sites = Hit returns nil
+	// after one atomic load.
+	armedCount atomic.Int64
+
+	mu    sync.Mutex
+	sites = map[string]*site{}
+)
+
+// Arm installs fault at the named site, replacing any previous policy,
+// and returns a disarm function. Counters start at zero on every Arm.
+func Arm(name string, fault Fault) (disarm func()) {
+	s := &site{fault: fault}
+	if fault.Prob > 0 {
+		s.rng = rand.New(rand.NewSource(fault.Seed))
+	}
+	mu.Lock()
+	if _, ok := sites[name]; !ok {
+		armedCount.Add(1)
+	}
+	sites[name] = s
+	mu.Unlock()
+	return func() { Disarm(name) }
+}
+
+// Disarm removes the named site's policy (no-op when not armed).
+func Disarm(name string) {
+	mu.Lock()
+	if _, ok := sites[name]; ok {
+		delete(sites, name)
+		armedCount.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// Reset disarms every site (test teardown).
+func Reset() {
+	mu.Lock()
+	armedCount.Add(-int64(len(sites)))
+	sites = map[string]*site{}
+	mu.Unlock()
+}
+
+// Stats reports the hit and fire counters of the named site since it
+// was armed (0, 0 when not armed).
+func Stats(name string) (hits, fires int64) {
+	mu.Lock()
+	s := sites[name]
+	mu.Unlock()
+	if s == nil {
+		return 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.fires
+}
+
+// Hit marks one pass through the named failure point. It returns nil
+// unless a fault is armed there and its policy fires on this hit, in
+// which case the fault's Call runs and Hit returns the fault's error —
+// or panics, in Panic mode. Safe for concurrent use; concurrent hits
+// are serialized per site, so the fire schedule is a pure function of
+// the hit order.
+func Hit(name string) error {
+	if armedCount.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	s := sites[name]
+	mu.Unlock()
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.hits++
+	fire := true
+	if s.fault.Every > 0 {
+		fire = (s.hits-1)%int64(s.fault.Every) == 0
+	} else if s.fault.Prob > 0 {
+		fire = s.rng.Float64() < s.fault.Prob
+	}
+	if fire && s.fault.Limit > 0 && s.fires >= int64(s.fault.Limit) {
+		fire = false
+	}
+	if fire {
+		s.fires++
+	}
+	f := s.fault
+	s.mu.Unlock()
+	if !fire {
+		return nil
+	}
+	if f.Call != nil {
+		f.Call()
+	}
+	if f.Panic {
+		panic(&InjectedPanic{Site: name})
+	}
+	if f.Err != nil {
+		return f.Err
+	}
+	if f.Call != nil {
+		// Pure side-effect fault: the injected Call is the whole event.
+		return nil
+	}
+	return fmt.Errorf("%w at %s", ErrInjected, name)
+}

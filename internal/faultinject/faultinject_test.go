@@ -1,0 +1,163 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestUnarmedHitIsNil(t *testing.T) {
+	Reset()
+	if err := Hit("nowhere"); err != nil {
+		t.Fatalf("unarmed hit returned %v", err)
+	}
+}
+
+func TestEverySchedule(t *testing.T) {
+	Reset()
+	disarm := Arm("s", Fault{Every: 3})
+	defer disarm()
+	var fired []int
+	for i := 0; i < 9; i++ {
+		if err := Hit("s"); err != nil {
+			fired = append(fired, i)
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: error %v does not wrap ErrInjected", i, err)
+			}
+		}
+	}
+	want := []int{0, 3, 6}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+	if hits, fires := Stats("s"); hits != 9 || fires != 3 {
+		t.Fatalf("stats = (%d, %d), want (9, 3)", hits, fires)
+	}
+}
+
+func TestProbDeterministic(t *testing.T) {
+	Reset()
+	run := func() []bool {
+		disarm := Arm("p", Fault{Prob: 0.5, Seed: 7})
+		defer disarm()
+		out := make([]bool, 32)
+		for i := range out {
+			out[i] = Hit("p") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	any := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fire pattern differs at hit %d between identical runs", i)
+		}
+		any = any || a[i]
+	}
+	if !any {
+		t.Fatal("Prob=0.5 never fired in 32 hits")
+	}
+}
+
+func TestLimitAndCustomErr(t *testing.T) {
+	Reset()
+	sentinel := errors.New("boom")
+	disarm := Arm("l", Fault{Limit: 2, Err: sentinel})
+	defer disarm()
+	fires := 0
+	for i := 0; i < 5; i++ {
+		if err := Hit("l"); err != nil {
+			fires++
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("hit %d: got %v, want sentinel", i, err)
+			}
+		}
+	}
+	if fires != 2 {
+		t.Fatalf("fired %d times, want Limit=2", fires)
+	}
+}
+
+func TestPanicModeAndCall(t *testing.T) {
+	Reset()
+	called := false
+	disarm := Arm("pan", Fault{Panic: true, Call: func() { called = true }})
+	defer disarm()
+	func() {
+		defer func() {
+			p := recover()
+			ip, ok := p.(*InjectedPanic)
+			if !ok || ip.Site != "pan" {
+				t.Fatalf("recovered %v, want *InjectedPanic{pan}", p)
+			}
+		}()
+		Hit("pan")
+		t.Fatal("Hit did not panic")
+	}()
+	if !called {
+		t.Fatal("Call did not run before the panic")
+	}
+}
+
+func TestCallOnlyFiresSilently(t *testing.T) {
+	Reset()
+	n := 0
+	disarm := Arm("co", Fault{Call: func() { n++ }})
+	defer disarm()
+	for i := 0; i < 3; i++ {
+		if err := Hit("co"); err != nil {
+			t.Fatalf("call-only fault returned %v", err)
+		}
+	}
+	if n != 3 {
+		t.Fatalf("Call ran %d times, want 3", n)
+	}
+	if _, fires := Stats("co"); fires != 3 {
+		t.Fatalf("fires = %d, want 3", fires)
+	}
+}
+
+func TestDisarmStopsFiring(t *testing.T) {
+	Reset()
+	disarm := Arm("d", Fault{})
+	if Hit("d") == nil {
+		t.Fatal("armed site did not fire")
+	}
+	disarm()
+	if err := Hit("d"); err != nil {
+		t.Fatalf("disarmed site fired: %v", err)
+	}
+}
+
+func TestConcurrentHitsCountExactly(t *testing.T) {
+	Reset()
+	disarm := Arm("c", Fault{Every: 4})
+	defer disarm()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fires := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if Hit("c") != nil {
+					mu.Lock()
+					fires++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// 800 hits at Every=4 fire exactly 200 times regardless of
+	// interleaving — the schedule depends on the hit count alone.
+	if fires != 200 {
+		t.Fatalf("fires = %d, want 200", fires)
+	}
+}

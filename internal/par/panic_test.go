@@ -1,0 +1,59 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestPanicPropagatesToCaller pins the runChunked panic contract: a
+// panic in one chunk surfaces on the calling goroutine with its
+// original value, the region fully drains first, and the pool keeps
+// working afterwards.
+func TestPanicPropagatesToCaller(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		prev := SetWorkers(workers)
+		func() {
+			defer SetWorkers(prev)
+			var ran atomic.Int64
+			val := func() (p any) {
+				defer func() { p = recover() }()
+				For(100_000, func(lo, hi int) {
+					ran.Add(int64(hi - lo))
+					if lo == 0 {
+						panic("boom")
+					}
+				})
+				return nil
+			}()
+			if val != "boom" {
+				t.Fatalf("workers=%d: recovered %v, want original panic value", workers, val)
+			}
+			// The pool must still function: a follow-up region covers its
+			// range exactly once.
+			var n atomic.Int64
+			For(50_000, func(lo, hi int) { n.Add(int64(hi - lo)) })
+			if n.Load() != 50_000 {
+				t.Fatalf("workers=%d: pool broken after panic: covered %d/50000", workers, n.Load())
+			}
+		}()
+	}
+}
+
+// TestPanicInDoSurfaces covers the per-index Do path (the batch-query
+// scheduler runs on it).
+func TestPanicInDoSurfaces(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	val := func() (p any) {
+		defer func() { p = recover() }()
+		Do(64, func(i int) {
+			if i == 7 {
+				panic(i)
+			}
+		})
+		return nil
+	}()
+	if val != 7 {
+		t.Fatalf("recovered %v, want 7", val)
+	}
+}

@@ -24,6 +24,7 @@ package par
 import (
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -111,9 +112,25 @@ func submit(f func()) {
 	}
 }
 
+// chunkPanic carries a panic out of a parallel region: the first chunk
+// to panic stores its value and the calling goroutine re-panics with it
+// after the region drains (see runChunked).
+type chunkPanic struct {
+	val   any
+	stack []byte
+}
+
 // runChunked executes fn(i, lo, hi) for every chunk i of [0,n), using up
 // to Workers() goroutines (including the caller). It returns only after
 // every chunk completed.
+//
+// Panic contract: a panic inside fn — on the calling goroutine or a
+// pool helper — never crashes the process or the pool. The first
+// panicking chunk's value is captured, the remaining chunks are drained
+// without running fn, and the ORIGINAL panic value is re-raised on the
+// calling goroutine once the region is quiescent. Callers can therefore
+// recover() around any par primitive and know no chunk of that call is
+// still running; the serving layer's boundary recovery depends on this.
 func runChunked(n, size, count int, fn func(i, lo, hi int)) {
 	w := Workers()
 	if w > count {
@@ -132,6 +149,7 @@ func runChunked(n, size, count int, fn func(i, lo, hi int)) {
 	}
 	var next atomic.Int64
 	var done sync.WaitGroup
+	var panicked atomic.Pointer[chunkPanic]
 	done.Add(count)
 	run := func() {
 		for {
@@ -144,8 +162,20 @@ func runChunked(n, size, count int, fn func(i, lo, hi int)) {
 			if hi > n {
 				hi = n
 			}
-			fn(i, lo, hi)
-			done.Done()
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						panicked.CompareAndSwap(nil, &chunkPanic{val: p, stack: debug.Stack()})
+					}
+					done.Done()
+				}()
+				// After a panic the remaining chunks only drain the
+				// ticket counter (their results are about to be thrown
+				// away by the re-panic), so the region ends promptly.
+				if panicked.Load() == nil {
+					fn(i, lo, hi)
+				}
+			}()
 		}
 	}
 	helpers := w - 1
@@ -155,6 +185,9 @@ func runChunked(n, size, count int, fn func(i, lo, hi int)) {
 	}
 	run()
 	done.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p.val)
+	}
 }
 
 // Sequential reports whether a For/Sum/Max call over n elements would

@@ -31,6 +31,7 @@
 package sherman
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -108,6 +109,30 @@ type RouteResult struct {
 	// AlphaUsed is the α the run converged with (≥ Config.Alpha when
 	// adaptive restarts fired).
 	AlphaUsed float64
+	// Degraded reports that the context's deadline expired mid-descent
+	// and Flow is the best iterate reached, not a converged routing. The
+	// flow is still a valid (partial) routing — callers restore exact
+	// conservation by tree-routing the residual — but the congestion
+	// guarantee is whatever the caller measures, not (1+ε).
+	Degraded bool
+}
+
+// ctxStatus classifies the context's state at a check point: an expired
+// deadline asks for graceful degradation (stop iterating, hand back the
+// current iterate), a cancellation aborts outright, and a live context
+// costs one channel poll. The deadline/cancel split is the failure-
+// handling contract of DESIGN.md §11: deadlines mean "best effort now",
+// cancellation means "nobody wants this answer".
+func ctxStatus(ctx context.Context) (degrade bool, err error) {
+	select {
+	case <-ctx.Done():
+	default:
+		return false, nil
+	}
+	if err := ctx.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		return false, err
+	}
+	return true, nil
 }
 
 // Solver bundles a graph and its congestion approximator with reusable
@@ -257,8 +282,17 @@ func (s *Solver) AlmostRoute(b []float64, eps float64, cfg Config, ledger *conge
 // near the optimum lets the run terminate in few iterations; any flow
 // is safe — it only biases the initial iterate, never the guarantee.
 func (s *Solver) AlmostRouteWarm(b []float64, eps float64, cfg Config, ledger *congest.Ledger, warm []float64) (*RouteResult, error) {
+	return s.AlmostRouteCtx(context.Background(), b, eps, cfg, ledger, warm)
+}
+
+// AlmostRouteCtx is AlmostRouteWarm under a context. The descent checks
+// ctx once per gradient iteration (and per scaling zoom), so a
+// cancellation returns within one iteration's work: cancellation aborts
+// with the context's error, an expired deadline stops iterating and
+// returns the current iterate flagged Degraded (see RouteResult).
+func (s *Solver) AlmostRouteCtx(ctx context.Context, b []float64, eps float64, cfg Config, ledger *congest.Ledger, warm []float64) (*RouteResult, error) {
 	st := &stepState{eta: 1}
-	return s.almostRoute(b, eps, cfg, ledger, warm, st)
+	return s.almostRoute(ctx, b, eps, cfg, ledger, warm, st)
 }
 
 // continuationLevels returns the ε schedule, coarse to fine, ending at
@@ -314,7 +348,7 @@ func NormalizeEps(eps float64) (float64, error) {
 	return eps, nil
 }
 
-func (s *Solver) almostRoute(b []float64, eps float64, cfg Config, ledger *congest.Ledger, warm []float64, st *stepState) (*RouteResult, error) {
+func (s *Solver) almostRoute(ctx context.Context, b []float64, eps float64, cfg Config, ledger *congest.Ledger, warm []float64, st *stepState) (*RouteResult, error) {
 	g := s.g
 	if len(b) != g.N() {
 		return nil, fmt.Errorf("sherman: demand length %d, want %d", len(b), g.N())
@@ -336,7 +370,7 @@ func (s *Solver) almostRoute(b []float64, eps float64, cfg Config, ledger *conge
 	out := &RouteResult{}
 	cur := warm
 	for _, le := range continuationLevels(eps, cfg) {
-		res, err := s.almostRouteAdaptive(b, le, cfg, n, diameter, ledger, rb, cur, st)
+		res, err := s.almostRouteAdaptive(ctx, b, le, cfg, n, diameter, ledger, rb, cur, st)
 		if err != nil {
 			return nil, err
 		}
@@ -345,6 +379,12 @@ func (s *Solver) almostRoute(b []float64, eps float64, cfg Config, ledger *conge
 		out.Restarts += res.Restarts
 		out.AlphaUsed = res.AlphaUsed
 		cur = res.Flow
+		if res.Degraded {
+			// Deadline hit mid-level: the current iterate is the best
+			// answer there will be — finer levels would only start over.
+			out.Degraded = true
+			break
+		}
 	}
 	return out, nil
 }
@@ -352,10 +392,10 @@ func (s *Solver) almostRoute(b []float64, eps float64, cfg Config, ledger *conge
 // almostRouteAdaptive wraps the fixed-α descent with the stall-doubling
 // restarts of ablation A2, resuming from the α the preceding solves
 // settled on.
-func (s *Solver) almostRouteAdaptive(b []float64, eps float64, cfg Config, n float64, diameter int, ledger *congest.Ledger, rb float64, warm []float64, st *stepState) (*RouteResult, error) {
+func (s *Solver) almostRouteAdaptive(ctx context.Context, b []float64, eps float64, cfg Config, n float64, diameter int, ledger *congest.Ledger, rb float64, warm []float64, st *stepState) (*RouteResult, error) {
 	restarts := 0
 	for {
-		res, err := s.almostRouteFixedAlpha(b, eps, st.alpha, cfg, n, diameter, ledger, rb, warm, st)
+		res, err := s.almostRouteFixedAlpha(ctx, b, eps, st.alpha, cfg, n, diameter, ledger, rb, warm, st)
 		if err == nil {
 			return res, nil
 		}
@@ -370,7 +410,7 @@ func (s *Solver) almostRouteAdaptive(b []float64, eps float64, cfg Config, n flo
 	}
 }
 
-func (s *Solver) almostRouteFixedAlpha(b []float64, eps, alpha float64, cfg Config, n float64, diameter int, ledger *congest.Ledger, rb float64, warm []float64, st *stepState) (*RouteResult, error) {
+func (s *Solver) almostRouteFixedAlpha(ctx context.Context, b []float64, eps, alpha float64, cfg Config, n float64, diameter int, ledger *congest.Ledger, rb float64, warm []float64, st *stepState) (*RouteResult, error) {
 	g := s.g
 	ws := s.getWS()
 	defer s.putWS(ws)
@@ -453,10 +493,39 @@ func (s *Solver) almostRouteFixedAlpha(b []float64, eps, alpha float64, cfg Conf
 		}
 	}
 	charge()
+	// degradeNow materializes the current iterate as a Degraded result:
+	// unscale f exactly like the convergence path does, so the flow is in
+	// demand units and the caller's residual tree-routing applies
+	// unchanged.
+	degradeNow := func() *RouteResult {
+		out := make([]float64, len(f))
+		inv := 1 / sigma
+		fcur := f
+		par.For(len(fcur), func(lo, hi int) {
+			for e := lo; e < hi; e++ {
+				out[e] = fcur[e] * inv
+			}
+		})
+		st.eta = eta
+		return &RouteResult{Flow: out, Iterations: iters, Restarts: restarts, AlphaUsed: alpha, Degraded: true}
+	}
 	for {
+		// One context poll per gradient iteration: cancelled work returns
+		// inside one iteration's budget, an expired deadline degrades to
+		// the current iterate.
+		if deg, cerr := ctxStatus(ctx); cerr != nil {
+			return nil, cerr
+		} else if deg {
+			return degradeNow(), nil
+		}
 		// Scaling loop (lines 4-5): zoom until the potential reaches the
 		// working range Θ(ε⁻¹ log n).
 		for phi < target {
+			if deg, cerr := ctxStatus(ctx); cerr != nil {
+				return nil, cerr
+			} else if deg {
+				return degradeNow(), nil
+			}
 			par.For(len(f), func(lo, hi int) {
 				for e := lo; e < hi; e++ {
 					f[e] *= 17.0 / 16
@@ -489,6 +558,13 @@ func (s *Solver) almostRouteFixedAlpha(b []float64, eps, alpha float64, cfg Conf
 			}
 		})
 		for {
+			// Backtracking probes are full potential evaluations too —
+			// poll per probe so rejected-step streaks stay cancellable.
+			if deg, cerr := ctxStatus(ctx); cerr != nil {
+				return nil, cerr
+			} else if deg {
+				return degradeNow(), nil
+			}
 			mu := 0.0
 			if useMomentum {
 				if heavyBall {
@@ -583,6 +659,22 @@ type FlowResult struct {
 	// churn, or for an unlucky tree sample), so the descent "converged"
 	// while leaving real residual behind. 0 on healthy queries.
 	Escalations int
+	// Degraded reports a best-effort answer: the context's deadline
+	// expired before the outer loop met its residual certificate, so the
+	// result is the current iterate with its residual tree-routed. The
+	// flow is still exactly conserving and capacity-feasible (the final
+	// rescale guarantees that unconditionally); what is lost is the
+	// (1+ε) optimality guarantee, replaced by the measured CertBound.
+	Degraded bool
+	// CertBound is the measured quality certificate of this answer:
+	// Value ≥ OPT/CertBound, from the cut bound ‖Rb‖∞ ≤ congestion of
+	// any routing of b (true cut rows under the default exact-cut
+	// scaling), so OPT ≤ 1/‖Rb‖∞ while Value = 1/cong(total) — giving
+	// OPT/Value ≤ cong(total)/‖Rb‖∞ = CertBound. Healthy queries sit at
+	// ≈ 1+ε; degraded answers report however far the iterate got. Under
+	// Config-level PaperScaling the rows are virtual-capacity scaled and
+	// the bound is an estimate, not a certificate.
+	CertBound float64
 	// Ledger holds the charged rounds for the flow computation phases
 	// (approximator construction is ledgered separately in capprox).
 	Ledger *congest.Ledger
@@ -605,6 +697,23 @@ func (s *Solver) MaxFlow(src, dst int, cfg Config) (*FlowResult, error) {
 // flow satisfies the same (1+ε) guarantee, but is generally not
 // bit-identical to the cold-started result (DESIGN.md §5).
 func (s *Solver) MaxFlowWarm(src, dst int, cfg Config, warm []float64) (*FlowResult, error) {
+	return s.MaxFlowCtx(context.Background(), src, dst, cfg, warm)
+}
+
+// MaxFlowCtx is MaxFlowWarm under a context. Cancellation (ctx.Err() ==
+// context.Canceled) aborts the solve with the context's error within one
+// descent-iteration granule. A deadline expiry instead degrades: the
+// outer loop stops where it is, the current iterate's residual is
+// tree-routed so the answer stays exactly conserving and feasible, and
+// the result comes back with Degraded=true and the measured CertBound —
+// a best-effort answer, never an error. Degraded results depend on
+// timing and must not be cached or compared bit-for-bit.
+//
+// A context that carries a deadline also caps quality escalations at
+// one (instead of 4): escalations restart the whole solve, and a caller
+// with a time budget prefers the current iterate over a from-scratch
+// retry it likely cannot afford.
+func (s *Solver) MaxFlowCtx(ctx context.Context, src, dst int, cfg Config, warm []float64) (*FlowResult, error) {
 	g := s.g
 	if src == dst || src < 0 || dst < 0 || src >= g.N() || dst >= g.N() {
 		return nil, fmt.Errorf("sherman: invalid terminals %d, %d", src, dst)
@@ -670,11 +779,22 @@ func (s *Solver) MaxFlowWarm(src, dst int, cfg Config, warm []float64) (*FlowRes
 	// analogue of the stall-doubling restarts of ablation A2). Healthy
 	// queries never enter a second attempt.
 	const maxEscalations = 4
+	maxEsc := maxEscalations
+	if _, hasDeadline := ctx.Deadline(); hasDeadline {
+		maxEsc = 1
+	}
 	baseAlpha := resolveAlpha(cfg)
+	degraded := false
 	for attempt := 0; !skip; attempt++ {
 		st := &stepState{eta: 1, alpha: baseAlpha * math.Pow(4, float64(attempt))}
 		certMet := false
 		for i := 0; i < outer; i++ {
+			if deg, cerr := ctxStatus(ctx); cerr != nil {
+				return nil, cerr
+			} else if deg {
+				degraded = true
+				break
+			}
 			epsI := 0.5
 			if i == 0 {
 				epsI = eps
@@ -683,8 +803,11 @@ func (s *Solver) MaxFlowWarm(src, dst int, cfg Config, warm []float64) (*FlowRes
 			if i == 0 && attempt == 0 {
 				w = warm
 			}
-			rr, err := s.almostRoute(resid, epsI, cfg, ledger, w, st)
+			rr, err := s.almostRoute(ctx, resid, epsI, cfg, ledger, w, st)
 			if err != nil {
+				if errors.Is(err, context.Canceled) {
+					return nil, err
+				}
 				return nil, fmt.Errorf("sherman: outer %d: %w", i, err)
 			}
 			res.Iterations += rr.Iterations
@@ -704,6 +827,14 @@ func (s *Solver) MaxFlowWarm(src, dst int, cfg Config, warm []float64) (*FlowRes
 				}
 			})
 			res.Outer++
+			if rr.Degraded {
+				// The descent already salvaged its current iterate; keep
+				// the partial flow and fall through to tree-route the
+				// remaining residual below.
+				degraded = true
+				fTree = nil
+				break
+			}
 			// Measured residual certificate: tree-route the current
 			// residual and stop once its congestion is negligible at the
 			// target accuracy — the tree flow is about to be added
@@ -719,7 +850,7 @@ func (s *Solver) MaxFlowWarm(src, dst int, cfg Config, warm []float64) (*FlowRes
 				break
 			}
 		}
-		if certMet || attempt >= maxEscalations {
+		if certMet || degraded || attempt >= maxEsc {
 			break
 		}
 		// Escalate: restart the solve from zero at a boosted α.
@@ -750,6 +881,10 @@ func (s *Solver) MaxFlowWarm(src, dst int, cfg Config, warm []float64) (*FlowRes
 	}
 	res.Congestion = cong
 	res.Value = 1 / cong
+	res.Degraded = degraded
+	if norm0 > 0 {
+		res.CertBound = cong / norm0
+	}
 	res.Flow = make([]float64, g.M())
 	for e := range total {
 		res.Flow[e] = total[e] / cong

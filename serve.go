@@ -1,30 +1,79 @@
 package distflow
 
-// Serving front-end (DESIGN.md §9): admission control plus a scheduler
-// that coalesces concurrently submitted max-flow queries into
-// warm-cache-aware MaxFlowBatch calls. The epoch-snapshot Router makes
-// this safe without any stop-the-world: queries batch and run while
-// topology/capacity updates publish new epochs underneath.
+// Serving front-end (DESIGN.md §9, failure contract §11): admission
+// control plus a scheduler that coalesces concurrently submitted
+// max-flow queries into warm-cache-aware batch calls. The
+// epoch-snapshot Router makes this safe without any stop-the-world:
+// queries batch and run while topology/capacity updates publish new
+// epochs underneath.
 //
 // The coalescing model is leader-based: the first goroutine to submit
-// into an idle server becomes the batch leader and drains the queue
-// inline, one MaxFlowBatch per drain; everyone else parks on a result
-// channel. Concurrent repeats of the same (s,t) pair collapse into ONE
-// solve whose *Result all waiters share — with the per-epoch warm
-// cache behind the batch, a popular pair costs one near-converged
-// solve per batch rather than one per caller.
+// into an idle server elects itself leader and spawns the drain loop,
+// then parks on a result channel like everyone else. Concurrent repeats
+// of the same (s,t) pair collapse into ONE solve whose *Result all
+// waiters share — with the per-epoch warm cache behind the batch, a
+// popular pair costs one near-converged solve per batch rather than one
+// per caller.
+//
+// Failure handling (DESIGN.md §11):
+//
+//   - Deadlines degrade, cancellation aborts. A waiter whose context
+//     carries a deadline gets its pair's solve capped at the earliest
+//     waiter deadline minus a safety margin; an expired solve returns
+//     its current iterate flagged Result.Degraded with the measured
+//     CertBound instead of an error. A waiter whose context is
+//     cancelled abandons immediately (its buffered channel absorbs the
+//     late delivery); the shared solve is never cancelled by one
+//     waiter, so coalesced survivors are unperturbed.
+//   - Load sheds fail fast: over-budget submissions return
+//     ErrOverloaded, submissions into a draining server return
+//     ErrDraining — both immediately, never by queuing without bound.
+//     Both are retryable by contract (Retry-After at the HTTP layer).
+//   - Panics stop at the batch boundary: a panic inside a solve (the
+//     par pool re-raises the first chunk's panic on the batch
+//     goroutine after the region drains) is recovered, counted, and
+//     delivered to the batch's waiters as an error. The server keeps
+//     serving.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"distflow/internal/faultinject"
 )
 
 // ErrOverloaded is returned by Server.MaxFlow when admission control
 // rejects the query: MaxInFlight queries are already admitted. Callers
-// shed load (HTTP 503) rather than queue without bound.
+// shed load (HTTP 503 + Retry-After) rather than queue without bound.
+// Retryable: the same query is expected to succeed once load drops.
 var ErrOverloaded = errors.New("distflow: server overloaded")
+
+// ErrDraining is returned by Server.MaxFlow while the server is
+// draining for shutdown (SetDraining(true)): in-flight queries finish,
+// new ones are refused. Retryable — against another replica.
+var ErrDraining = errors.New("distflow: server draining")
+
+// serveSolveSite is the faultinject site the batch solver passes before
+// each batch; chaos tests and the -serve bench arm it in Panic mode to
+// exercise the boundary recovery.
+const serveSolveSite = "distflow/serve/solve"
+
+// Fault-injection site names (internal/faultinject), exported so chaos
+// harnesses outside the package — the -serve bench's chaos phase — can
+// arm the same failure points the in-package chaos tests use.
+const (
+	// FaultSiteServeSolve fires before each batch solve; Panic mode
+	// exercises the Server's boundary recovery.
+	FaultSiteServeSolve = serveSolveSite
+	// FaultSiteTopoResample fires after a topology batch is applied to
+	// the update's private fork, before resampling; an injected error
+	// there makes the update fail and drop the fork unpublished.
+	FaultSiteTopoResample = topoResampleSite
+)
 
 // ServeOptions configures a Server. The zero value serves with the
 // defaults noted per field.
@@ -32,10 +81,15 @@ type ServeOptions struct {
 	// MaxInFlight caps admitted-but-unfinished queries; submissions
 	// beyond it fail fast with ErrOverloaded (0 = 1024).
 	MaxInFlight int
-	// MaxBatch caps the distinct pairs per MaxFlowBatch call the
-	// scheduler issues (0 = 64). Smaller batches bound the latency a
-	// query can absorb waiting for stragglers sharing its batch.
+	// MaxBatch caps the distinct pairs per batch call the scheduler
+	// issues (0 = 64). Smaller batches bound the latency a query can
+	// absorb waiting for stragglers sharing its batch.
 	MaxBatch int
+	// DefaultDeadline, when positive, bounds every query submitted
+	// without its own context deadline: the solve degrades to its
+	// current iterate (Result.Degraded) when the budget expires. 0 =
+	// queries without a deadline run to convergence.
+	DefaultDeadline time.Duration
 }
 
 // ServeStats is a point-in-time snapshot of a Server's counters.
@@ -45,12 +99,47 @@ type ServeStats struct {
 	// Coalesced counts submissions served by another submission's solve
 	// (a concurrent repeat of the same (s,t) pair).
 	Coalesced int64
-	// Batches counts MaxFlowBatch calls issued by the scheduler.
+	// Batches counts batch solves issued by the scheduler.
 	Batches int64
-	// Rejected counts submissions refused by admission control.
+	// Rejected counts submissions refused without an answer — the sum
+	// of the per-cause counters below.
 	Rejected int64
+	// RejectedOverload counts submissions shed by admission control
+	// (ErrOverloaded).
+	RejectedOverload int64
+	// RejectedDraining counts submissions refused while draining
+	// (ErrDraining).
+	RejectedDraining int64
+	// RejectedDeadline counts queries that returned
+	// context.DeadlineExceeded without a result: the deadline was
+	// already expired at submission, or expired so far inside the
+	// solve's safety margin that no degraded iterate came back in time.
+	RejectedDeadline int64
+	// RejectedValidation counts queries whose solve failed with a
+	// non-retryable validation error (bad terminals, removed vertices).
+	RejectedValidation int64
+	// RejectedPanic counts queries failed by a recovered solve panic.
+	RejectedPanic int64
+	// Canceled counts queries abandoned by their caller
+	// (context.Canceled) before delivery; their coalesced siblings were
+	// unaffected.
+	Canceled int64
+	// Degraded counts deadline-degraded best-effort answers served
+	// (Result.Degraded, one per solved pair).
+	Degraded int64
+	// Panics counts recovered solve panics (one per batch that
+	// panicked; RejectedPanic counts the queries each failed).
+	Panics int64
+	// Draining reports whether the server is refusing new submissions
+	// for shutdown.
+	Draining bool
 	// EpochSeq is the router's published epoch sequence number.
 	EpochSeq uint64
+	// EpochsRetired and EpochsDrained expose the router's snapshot
+	// turnover; Retired − Drained is the number of superseded epochs
+	// still pinned by in-flight queries (≈0 on a healthy server).
+	EpochsRetired int64
+	EpochsDrained int64
 }
 
 // Server wraps a Router with admission control and the coalescing
@@ -62,16 +151,32 @@ type Server struct {
 	opts ServeOptions
 
 	inflight atomic.Int64
+	draining atomic.Bool
 
 	mu      sync.Mutex
-	order   []STPair             // distinct pending pairs, submission order
-	waiters map[STPair][]chan serveOut
-	leading bool // a leader is currently draining the queue
+	order   []STPair // distinct pending pairs, submission order
+	waiters map[STPair][]*svWaiter
+	leading bool // a leader's drain loop is currently running
 
-	queries   atomic.Int64
-	coalesced atomic.Int64
-	batches   atomic.Int64
-	rejected  atomic.Int64
+	queries       atomic.Int64
+	coalesced     atomic.Int64
+	batches       atomic.Int64
+	rejOverload   atomic.Int64
+	rejDraining   atomic.Int64
+	rejDeadline   atomic.Int64
+	rejValidation atomic.Int64
+	rejPanic      atomic.Int64
+	canceled      atomic.Int64
+	degraded      atomic.Int64
+	panics        atomic.Int64
+}
+
+// svWaiter is one parked submission. ch is buffered (size 1) so the
+// drain loop's delivery never blocks on a waiter that abandoned at its
+// deadline or cancellation — the stale result is absorbed and GC'd.
+type svWaiter struct {
+	ch  chan serveOut
+	ctx context.Context
 }
 
 type serveOut struct {
@@ -88,34 +193,83 @@ func NewServer(r *Router, opts ServeOptions) *Server {
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = 64
 	}
-	return &Server{r: r, opts: opts, waiters: make(map[STPair][]chan serveOut)}
+	return &Server{r: r, opts: opts, waiters: make(map[STPair][]*svWaiter)}
 }
 
 // Router returns the wrapped router (for updates and direct queries).
 func (s *Server) Router() *Router { return s.r }
+
+// SetDraining flips the server's draining state. While draining, new
+// submissions are refused with ErrDraining; queries already admitted
+// run to completion. The HTTP front-end flips this on SIGTERM before
+// http.Server.Shutdown so load balancers see /healthz fail while the
+// listener drains.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether the server is refusing new submissions.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // MaxFlow submits one s-t max-flow query through admission control and
 // the coalescing scheduler, blocking until its batch completes. A
 // query failing the batch returns its own error; concurrent repeats of
 // the same pair all receive the same result.
 func (s *Server) MaxFlow(src, dst int) (*Result, error) {
+	return s.MaxFlowCtx(context.Background(), src, dst)
+}
+
+// MaxFlowCtx is MaxFlow under a context. A context deadline (or
+// ServeOptions.DefaultDeadline, when the context has none) caps the
+// query's solve: past it the answer comes back flagged Result.Degraded
+// with the measured CertBound rather than failing — the server returns
+// what it has, when it promised. Cancelling the context abandons the
+// submission immediately with context.Canceled; a coalesced solve the
+// query shared is NOT cancelled, and its other waiters receive results
+// bit-identical to a run without the cancellation.
+//
+// Error contract (§11): ErrOverloaded and ErrDraining are retryable
+// load-shedding signals returned before any work; ctx.Err() reflects
+// the caller's context; anything else is a validation error that will
+// repeat on retry.
+func (s *Server) MaxFlowCtx(ctx context.Context, src, dst int) (*Result, error) {
+	if s.draining.Load() {
+		s.rejDraining.Add(1)
+		return nil, ErrDraining
+	}
+	if err := ctx.Err(); err != nil {
+		// Dead on arrival: a deadline that already passed is a
+		// rejection, not a solve.
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.rejDeadline.Add(1)
+		} else {
+			s.canceled.Add(1)
+		}
+		return nil, err
+	}
 	if s.inflight.Add(1) > int64(s.opts.MaxInFlight) {
 		s.inflight.Add(-1)
-		s.rejected.Add(1)
+		s.rejOverload.Add(1)
 		return nil, fmt.Errorf("%w: %d queries in flight", ErrOverloaded, s.opts.MaxInFlight)
 	}
 	defer s.inflight.Add(-1)
 	s.queries.Add(1)
 
+	if s.opts.DefaultDeadline > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.opts.DefaultDeadline)
+			defer cancel()
+		}
+	}
+
 	p := STPair{S: src, T: dst}
-	ch := make(chan serveOut, 1)
+	w := &svWaiter{ch: make(chan serveOut, 1), ctx: ctx}
 	s.mu.Lock()
 	if ws, ok := s.waiters[p]; ok {
 		// Coalesce: ride the already-queued solve of the same pair.
-		s.waiters[p] = append(ws, ch)
+		s.waiters[p] = append(ws, w)
 		s.coalesced.Add(1)
 	} else {
-		s.waiters[p] = []chan serveOut{ch}
+		s.waiters[p] = []*svWaiter{w}
 		s.order = append(s.order, p)
 	}
 	lead := !s.leading
@@ -125,18 +279,48 @@ func (s *Server) MaxFlow(src, dst int) (*Result, error) {
 	s.mu.Unlock()
 
 	if lead {
-		s.drain()
+		// The drain loop runs on its own goroutine so the leader can
+		// park with a deadline like any other waiter: a leader draining
+		// inline could blow its own budget solving other callers'
+		// batches. The goroutine exits when the queue empties.
+		go s.drain()
 	}
-	out := <-ch
-	return out.res, out.err
+	select {
+	case out := <-w.ch:
+		return out.res, out.err
+	case <-ctx.Done():
+		// Abandon: the solve (if the pair's batch is already running)
+		// finishes without us; the buffered channel absorbs its result.
+		err := ctx.Err()
+		if errors.Is(err, context.DeadlineExceeded) {
+			// The solve's margin should have delivered a degraded
+			// answer before this fires; reaching it means the margin
+			// was not enough (tiny deadline or scheduling stall).
+			s.rejDeadline.Add(1)
+		} else {
+			s.canceled.Add(1)
+		}
+		return nil, err
+	}
 }
 
-// drain runs batches until the queue empties, on the leader's own
-// goroutine (no background worker to manage or leak). Queries that
-// arrive while a batch is solving are picked up by the next loop
-// iteration, so under sustained load the batch size grows toward
-// MaxBatch by itself — the coalescing window is exactly the solve time
-// of the previous batch.
+// solveDeadlineMargin returns the slice of the remaining budget the
+// solve gives back to delivery: the solve context expires early by
+// max(5ms, 10% of the remaining budget) so the degraded iterate is
+// packaged and delivered before the waiter's own deadline fires.
+func solveDeadlineMargin(remaining time.Duration) time.Duration {
+	m := remaining / 10
+	if m < 5*time.Millisecond {
+		m = 5 * time.Millisecond
+	}
+	return m
+}
+
+// drain runs batches until the queue empties, on the leader-spawned
+// goroutine. Queries that arrive while a batch is solving are picked up
+// by the next loop iteration, so under sustained load the batch size
+// grows toward MaxBatch by itself — the coalescing window is exactly
+// the solve time of the previous batch.
 func (s *Server) drain() {
 	for {
 		s.mu.Lock()
@@ -152,7 +336,7 @@ func (s *Server) drain() {
 		pairs := make([]STPair, n)
 		copy(pairs, s.order)
 		s.order = append(s.order[:0], s.order[n:]...)
-		taken := make([][]chan serveOut, n)
+		taken := make([][]*svWaiter, n)
 		for i, p := range pairs {
 			taken[i] = s.waiters[p]
 			delete(s.waiters, p)
@@ -160,24 +344,84 @@ func (s *Server) drain() {
 		s.mu.Unlock()
 
 		s.batches.Add(1)
-		results, err := s.r.MaxFlowBatch(pairs)
+		// Per-pair solve contexts, detached from the waiters' own
+		// contexts (a waiter's cancellation must not perturb the shared
+		// solve): only the earliest waiter deadline carries over, minus
+		// a margin so the degraded answer lands before the waiter
+		// abandons.
+		ctxs := make([]context.Context, n)
+		var cancels []context.CancelFunc
 		for i := range pairs {
-			out := serveOut{res: results[i]}
-			if results[i] == nil {
-				// MaxFlowBatch reports the first failure; entries left nil
-				// failed individually — re-derive a per-pair error so every
-				// waiter learns its own fate.
-				if err != nil {
-					out.err = err
-				} else {
-					out.err = fmt.Errorf("distflow: batch query %d→%d failed", pairs[i].S, pairs[i].T)
+			ctxs[i] = context.Background()
+			earliest := time.Time{}
+			for _, w := range taken[i] {
+				if d, ok := w.ctx.Deadline(); ok && (earliest.IsZero() || d.Before(earliest)) {
+					earliest = d
 				}
 			}
-			for _, ch := range taken[i] {
-				ch <- out
+			if !earliest.IsZero() {
+				remaining := time.Until(earliest)
+				solveCtx, cancel := context.WithDeadline(context.Background(),
+					earliest.Add(-solveDeadlineMargin(remaining)))
+				ctxs[i] = solveCtx
+				cancels = append(cancels, cancel)
+			}
+		}
+		results, errs, perr := s.solveBatch(ctxs, pairs)
+		for _, cancel := range cancels {
+			cancel()
+		}
+		for i := range pairs {
+			var out serveOut
+			switch {
+			case perr != nil:
+				// The whole batch died to a recovered panic.
+				out.err = perr
+				s.rejPanic.Add(int64(len(taken[i])))
+			case errs[i] != nil:
+				out.err = errs[i]
+				if errors.Is(errs[i], context.DeadlineExceeded) {
+					// Sub-margin deadline: the solve context expired
+					// before the first poll. Surface it as the waiter's
+					// own deadline error.
+					s.rejDeadline.Add(int64(len(taken[i])))
+				} else {
+					s.rejValidation.Add(int64(len(taken[i])))
+				}
+			case results[i] == nil:
+				out.err = fmt.Errorf("distflow: batch query %d→%d failed", pairs[i].S, pairs[i].T)
+				s.rejValidation.Add(int64(len(taken[i])))
+			default:
+				out.res = results[i]
+				if results[i].Degraded {
+					s.degraded.Add(1)
+				}
+			}
+			for _, w := range taken[i] {
+				w.ch <- out
 			}
 		}
 	}
+}
+
+// solveBatch is the panic boundary around one batch solve: a panic
+// anywhere inside — the par pool re-raises the first chunk's panic
+// here after its parallel region fully drains — is recovered into perr
+// instead of killing the process, and the drain loop keeps serving.
+func (s *Server) solveBatch(ctxs []context.Context, pairs []STPair) (results []*Result, errs []error, perr error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			perr = fmt.Errorf("distflow: panic serving batch of %d: %v", len(pairs), p)
+		}
+	}()
+	if err := faultinject.Hit(serveSolveSite); err != nil {
+		// An armed error (non-Panic mode) models an infrastructure
+		// failure below the solver; fail the batch like a panic would.
+		return nil, nil, err
+	}
+	results, errs = s.r.maxFlowBatchCtxs(ctxs, pairs)
+	return results, errs, nil
 }
 
 // UpdateCapacities forwards to the router (safe concurrently with
@@ -186,19 +430,44 @@ func (s *Server) UpdateCapacities(edits []CapEdit) (*UpdateResult, error) {
 	return s.r.UpdateCapacities(edits)
 }
 
+// UpdateCapacitiesCtx forwards to the router; see
+// Router.UpdateCapacitiesCtx for the abort/atomicity contract.
+func (s *Server) UpdateCapacitiesCtx(ctx context.Context, edits []CapEdit) (*UpdateResult, error) {
+	return s.r.UpdateCapacitiesCtx(ctx, edits)
+}
+
 // UpdateTopology forwards to the router (safe concurrently with
 // serving; see Router.UpdateTopology).
 func (s *Server) UpdateTopology(edits []TopoEdit) (*UpdateResult, error) {
 	return s.r.UpdateTopology(edits)
 }
 
+// UpdateTopologyCtx forwards to the router; see Router.UpdateTopologyCtx
+// for the abort/atomicity contract.
+func (s *Server) UpdateTopologyCtx(ctx context.Context, edits []TopoEdit) (*UpdateResult, error) {
+	return s.r.UpdateTopologyCtx(ctx, edits)
+}
+
 // Stats snapshots the server's counters.
 func (s *Server) Stats() ServeStats {
-	return ServeStats{
-		Queries:   s.queries.Load(),
-		Coalesced: s.coalesced.Load(),
-		Batches:   s.batches.Load(),
-		Rejected:  s.rejected.Load(),
-		EpochSeq:  s.r.EpochSeq(),
+	st := ServeStats{
+		Queries:            s.queries.Load(),
+		Coalesced:          s.coalesced.Load(),
+		Batches:            s.batches.Load(),
+		RejectedOverload:   s.rejOverload.Load(),
+		RejectedDraining:   s.rejDraining.Load(),
+		RejectedDeadline:   s.rejDeadline.Load(),
+		RejectedValidation: s.rejValidation.Load(),
+		RejectedPanic:      s.rejPanic.Load(),
+		Canceled:           s.canceled.Load(),
+		Degraded:           s.degraded.Load(),
+		Panics:             s.panics.Load(),
+		Draining:           s.draining.Load(),
+		EpochSeq:           s.r.EpochSeq(),
+		EpochsRetired:      s.r.EpochsRetired(),
+		EpochsDrained:      s.r.EpochsDrained(),
 	}
+	st.Rejected = st.RejectedOverload + st.RejectedDraining + st.RejectedDeadline +
+		st.RejectedValidation + st.RejectedPanic
+	return st
 }

@@ -8,10 +8,12 @@ package distflow
 // threshold are individually resampled.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"distflow/internal/capprox"
+	"distflow/internal/faultinject"
 	"distflow/internal/graph"
 )
 
@@ -132,8 +134,22 @@ func RemoveVertexEdit(v int) TopoEdit { return TopoEdit{Op: TopoRemoveVertex, Ve
 // with queries (they complete against the epoch they started on); see
 // the Router godoc for the full concurrency contract.
 func (r *Router) UpdateTopology(edits []TopoEdit) (*UpdateResult, error) {
+	return r.UpdateTopologyCtx(context.Background(), edits)
+}
+
+// UpdateTopologyCtx is UpdateTopology under a context. A done context —
+// cancelled or past its deadline; updates do not degrade — aborts the
+// update with the context's error and full atomicity: the private epoch
+// fork is discarded whole, nothing publishes, and the topology sequence
+// number does not advance, so the resample-seed stream is untouched and
+// replaying the identical batch (with a fresh context) reproduces
+// exactly the trees the uncancelled update would have produced.
+func (r *Router) UpdateTopologyCtx(ctx context.Context, edits []TopoEdit) (*UpdateResult, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cur := r.cur.Load()
 	eff, err := planTopology(cur.g, edits)
 	if err != nil {
@@ -184,12 +200,17 @@ func (r *Router) UpdateTopology(edits []TopoEdit) (*UpdateResult, error) {
 	cfg := capproxConfig(r.opts)
 	dirty, swept, shifted := next.apx.UpdateTopology(next.g, cfg, delta)
 	out.DirtyTrees, out.SweptTrees = dirty, swept
-	if topoFailHook != nil {
-		// Test injection point: the batch is fully applied to the fork,
-		// exactly the state a ResampleTrees/Build failure surfaces in.
-		if err := topoFailHook(); err != nil {
-			return nil, fmt.Errorf("distflow: resample after topology update: %w", err)
-		}
+	// Injection point for chaos tests and the -serve bench: the batch is
+	// fully applied to the fork, exactly the state a ResampleTrees/Build
+	// failure surfaces in. A fault armed here (error or Call-that-
+	// cancels) exercises the atomic-discard path below.
+	if err := faultinject.Hit(topoResampleSite); err != nil {
+		return nil, fmt.Errorf("distflow: resample after topology update: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		// The caller abandoned the update mid-apply: drop the fork, keep
+		// the seed stream unmoved.
+		return nil, err
 	}
 
 	// Patch-vs-resample rule: individually resample the trees the batch
@@ -209,7 +230,10 @@ func (r *Router) UpdateTopology(edits []TopoEdit) (*UpdateResult, error) {
 		for i := range seeds {
 			seeds[i] = rng.Int63()
 		}
-		if err := next.apx.ResampleTrees(next.g, cfg, degraded, seeds); err != nil {
+		if err := next.apx.ResampleTreesCtx(ctx, next.g, cfg, degraded, seeds); err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("distflow: resample after topology update: %w", err)
 		}
 		out.ResampledTrees = len(degraded)
@@ -220,14 +244,43 @@ func (r *Router) UpdateTopology(edits []TopoEdit) (*UpdateResult, error) {
 	// adopt its α as the new reference.
 	rebuilt := false
 	if next.apx.Alpha > factor*r.buildAlpha {
-		apx, err := capprox.Build(next.g, cfg, rand.New(rand.NewSource(r.seed())))
+		apx, err := capprox.BuildCtx(ctx, next.g, cfg, rand.New(rand.NewSource(r.seed())))
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("distflow: rebuild after topology update: %w", err)
 		}
 		next.apx = apx
 		rebuilt = true
 		out.Rebuilt = true
 		out.Alpha = apx.Alpha
+	}
+	// Rolling tree refresh: every K-th effective batch resamples one
+	// tree round-robin, so sustained churn cannot let every sample age
+	// in place below the degradation detectors. The refresh seed stream
+	// uses a salt disjoint from the degradation-resample stream and is a
+	// pure function of (seed, topoSeq), preserving replay determinism.
+	// A full rebuild IS a refresh of everything, so the two never stack.
+	if k := r.opts.RollingRefreshK; k > 0 && !rebuilt {
+		batchNo := r.topoSeq + 1 // 1-based index this batch gets on publish
+		if trees := len(next.apx.Trees); trees > 0 && batchNo%int64(k) == 0 {
+			idx := int((batchNo/int64(k) - 1) % int64(trees))
+			rng := rand.New(rand.NewSource(r.seed()*7_368_787 + r.topoSeq))
+			if err := next.apx.ResampleTreesCtx(ctx, next.g, cfg, []int{idx}, []int64{rng.Int63()}); err != nil {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				return nil, fmt.Errorf("distflow: rolling refresh after topology update: %w", err)
+			}
+			out.RefreshedTrees = 1
+			out.Alpha = next.apx.Alpha
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		// Final pre-publish check: nothing writer-side has been touched
+		// yet, so dropping the fork leaves the router bit-identical.
+		return nil, err
 	}
 	// Nothing can fail past this point: commit the writer-side state and
 	// publish atomically.
@@ -239,12 +292,11 @@ func (r *Router) UpdateTopology(edits []TopoEdit) (*UpdateResult, error) {
 	return out, nil
 }
 
-// topoFailHook, when set (tests only), injects an error into
-// UpdateTopology after the batch has been applied to the private epoch
-// — the point where a ResampleTrees/Build failure would surface. The
-// regression test for the old "errors mutate nothing" violation uses
-// it to assert the failed epoch is discarded whole.
-var topoFailHook func() error
+// topoResampleSite is the faultinject site UpdateTopology passes after
+// a batch is fully applied to its private epoch fork — the exact point
+// a ResampleTrees/Build failure surfaces in. Chaos tests and the -serve
+// bench arm it to exercise (and count) the atomic-discard path.
+const topoResampleSite = "distflow/topology/resample"
 
 // planTopology validates the batch against a lightweight simulation of
 // the graph and returns the effective (non-elided) edits in application
