@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 )
 
 // direction says which way a gated field may move freely.
@@ -209,11 +210,18 @@ func run() error {
 	for _, g := range gates {
 		gated[g.key] = true
 	}
-	for key, v := range base {
+	// base is a decoded JSON map: walk its keys sorted so the info rows
+	// of the uploaded artifact diff cleanly between CI runs.
+	keys := make([]string, 0, len(base))
+	for key := range base {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
 		if gated[key] || key == "schema" {
 			continue
 		}
-		bv, okB := toFloat(v)
+		bv, okB := toFloat(base[key])
 		fv, okF := num(fresh, key)
 		if !okB || !okF {
 			continue

@@ -1,0 +1,99 @@
+// Command distflowlint is the repository's multichecker: it runs the
+// distflow analyzer suite (detrand, epochsafe, ctxflow, parsum,
+// faultsite — DESIGN.md §12) over the given package patterns and exits
+// nonzero on findings.
+//
+// Usage:
+//
+//	go run ./cmd/distflowlint ./...
+//	go run ./cmd/distflowlint -json ./internal/sherman ./cmd/...
+//
+// Findings print one per line as file:line:col: message [analyzer].
+// Intentional violations are silenced in the source with
+//
+//	//distflow:allow <analyzer> <reason>
+//
+// on (or directly above) the offending line; the reason is mandatory
+// and reason-less allows are themselves findings. Exit status: 0 clean,
+// 1 findings, 2 load/usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"distflow/internal/analyzers/ctxflow"
+	"distflow/internal/analyzers/detrand"
+	"distflow/internal/analyzers/epochsafe"
+	"distflow/internal/analyzers/faultsite"
+	"distflow/internal/analyzers/framework"
+	"distflow/internal/analyzers/parsum"
+)
+
+// Suite is the full analyzer roster, exported for the meta-test that
+// runs it in-process over the repository.
+var Suite = []*framework.Analyzer{
+	detrand.Analyzer,
+	epochsafe.Analyzer,
+	ctxflow.Analyzer,
+	parsum.Analyzer,
+	faultsite.Analyzer,
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: distflowlint [-json] packages...\n\nAnalyzers:\n")
+		for _, a := range Suite {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range Suite {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := Run(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "distflowlint:", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "distflowlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "distflowlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// Run loads the patterns relative to dir and runs the suite.
+func Run(dir string, patterns []string) ([]framework.Finding, error) {
+	loader, err := framework.NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return framework.RunAnalyzers(pkgs, Suite), nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"distflow/internal/analyzers/framework"
+)
+
+// TestRepoCleanAtHead is the meta-test backing the CI gate: the full
+// analyzer suite over the repository must produce zero findings — every
+// true positive is fixed and every intentional violation carries a
+// reasoned //distflow:allow.
+func TestRepoCleanAtHead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire repository; skipped in -short")
+	}
+	findings, err := Run(".", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) > 0 {
+		t.Errorf("distflowlint is not clean at HEAD (%d findings):\n%s",
+			len(findings), framework.FormatFindings(findings))
+	}
+}
+
+// TestSuiteRoster pins the analyzer roster: dropping an analyzer from
+// the multichecker should be a deliberate, visible act.
+func TestSuiteRoster(t *testing.T) {
+	want := []string{"detrand", "epochsafe", "ctxflow", "parsum", "faultsite"}
+	if len(Suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(Suite), len(want))
+	}
+	for i, a := range Suite {
+		if a.Name != want[i] {
+			t.Errorf("Suite[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+	}
+}

@@ -314,22 +314,17 @@ func NewRouterCtx(ctx context.Context, G *Graph, opts Options) (*Router, error) 
 		return nil, fmt.Errorf("distflow: %w", err)
 	}
 	r := &Router{userG: G, opts: opts, buildAlpha: apx.Alpha}
-	ep := &epoch{seq: 1, g: G.g, apx: apx, solver: sherman.NewSolver(G.g, apx), opts: opts, freed: &r.epochsFreed}
-	if !opts.DisableWarmStart {
-		ep.cache = newWarmCache(warmCacheCap(opts))
-	}
-	ep.refs.Store(1) // the publish pin
-	r.cur.Store(ep)
+	r.bootstrap(G.g, apx, opts)
 	return r, nil
 }
 
 // Alpha returns the measured per-tree cut distortion of the sampled
 // congestion approximator (of the currently published epoch).
-func (r *Router) Alpha() float64 { return r.cur.Load().apx.Alpha }
+func (r *Router) Alpha() float64 { return r.curEpoch().apx.Alpha }
 
 // Trees returns the number of sampled virtual trees in the router's
 // congestion approximator.
-func (r *Router) Trees() int { return len(r.cur.Load().apx.Trees) }
+func (r *Router) Trees() int { return len(r.curEpoch().apx.Trees) }
 
 // BuildBreakdown reports the cost of each congestion-approximator
 // construction phase of NewRouter (or of the rebuild fallback of
@@ -356,7 +351,7 @@ type BuildBreakdown struct {
 // BuildBreakdown returns the per-phase timing of the router's
 // congestion-approximator build.
 func (r *Router) BuildBreakdown() BuildBreakdown {
-	s := r.cur.Load().apx.Stats
+	s := r.curEpoch().apx.Stats
 	return BuildBreakdown{
 		SampleSeconds:   s.SampleSeconds,
 		SparsifySeconds: s.SparsifySeconds,
@@ -369,7 +364,7 @@ func (r *Router) BuildBreakdown() BuildBreakdown {
 
 // ConstructionRounds returns the CONGEST rounds charged to build the
 // congestion approximator.
-func (r *Router) ConstructionRounds() int64 { return r.cur.Load().apx.Ledger.Total() }
+func (r *Router) ConstructionRounds() int64 { return r.curEpoch().apx.Ledger.Total() }
 
 // capproxConfig maps solver options to the approximator configuration
 // (one definition shared by NewRouter and the UpdateCapacities rebuild
@@ -478,7 +473,7 @@ func (r *Router) UpdateCapacitiesCtx(ctx context.Context, edits []CapEdit) (*Upd
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	cur := r.cur.Load()
+	cur := r.curEpoch()
 	for _, ed := range edits {
 		if ed.Edge < 0 || ed.Edge >= cur.g.M() {
 			return nil, fmt.Errorf("distflow: capacity edit names edge %d (m=%d)", ed.Edge, cur.g.M())

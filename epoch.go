@@ -57,6 +57,19 @@ type epoch struct {
 	freed *atomic.Int64
 }
 
+// bootstrap builds and installs the first epoch (seq 1) of a freshly
+// constructed Router: the only pointer store besides publish, kept
+// here so every write to the guarded pointer lives in this file
+// (enforced by the epochsafe analyzer, DESIGN.md §12).
+func (r *Router) bootstrap(g *graph.Graph, apx *capprox.Approximator, opts Options) {
+	ep := &epoch{seq: 1, g: g, apx: apx, solver: sherman.NewSolver(g, apx), opts: opts, freed: &r.epochsFreed}
+	if !opts.DisableWarmStart {
+		ep.cache = newWarmCache(warmCacheCap(opts))
+	}
+	ep.refs.Store(1) // the publish pin
+	r.cur.Store(ep)
+}
+
 // acquire pins the currently published epoch for one query (or one
 // batch) and returns it. The pin keeps the epoch's drained accounting
 // honest; memory safety never depends on it — a retired epoch stays

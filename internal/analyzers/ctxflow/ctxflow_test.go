@@ -1,0 +1,29 @@
+package ctxflow_test
+
+import (
+	"strings"
+	"testing"
+
+	"distflow/internal/analyzers/ctxflow"
+	"distflow/internal/analyzers/framework"
+)
+
+// TestCtxFlow exercises ctx threading, unused-ctx detection, the
+// derived-context exemption, and marked poll loops.
+func TestCtxFlow(t *testing.T) {
+	framework.RunTest(t, "testdata/src/ctxtest", ctxflow.Analyzer)
+}
+
+// TestOrphanMarker asserts a //distflow:poll marker that attaches to
+// no loop is reported. (Checked programmatically: the diagnostic lands
+// on the marker's own line, which cannot also hold a // want comment.)
+func TestOrphanMarker(t *testing.T) {
+	findings := framework.MustFindings(t, "testdata/src/orphan", ctxflow.Analyzer)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly the orphan report:\n%s",
+			len(findings), framework.FormatFindings(findings))
+	}
+	if !strings.Contains(findings[0].Message, "orphaned //distflow:poll marker") {
+		t.Errorf("unexpected finding: %s", findings[0])
+	}
+}

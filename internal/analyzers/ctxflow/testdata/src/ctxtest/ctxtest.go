@@ -1,0 +1,81 @@
+// Package ctxtest exercises the ctxflow rules: ...Ctx entry points
+// must use and thread their context, and //distflow:poll loops must
+// poll.
+package ctxtest
+
+import "context"
+
+func helper(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return -1
+	}
+	return n
+}
+
+// GoodCtx threads its ctx straight through.
+func GoodCtx(ctx context.Context) int {
+	return helper(ctx, 1)
+}
+
+// DetachCtx silently swaps in a fresh context.
+func DetachCtx(ctx context.Context) int {
+	if ctx.Err() != nil {
+		return -1
+	}
+	return helper(context.Background(), 1) // want `does not thread its ctx`
+}
+
+// AllowedDetachCtx detaches on purpose, with the mandatory reason.
+func AllowedDetachCtx(ctx context.Context) int {
+	if ctx.Err() != nil {
+		return -1
+	}
+	return helper(context.Background(), 1) //distflow:allow ctxflow coalesced solve runs detached so one cancelled waiter cannot abort the rest
+}
+
+// DroppedCtx advertises cancellation it does not implement.
+func DroppedCtx(ctx context.Context) int { // want `never uses it`
+	return 1
+}
+
+// DerivedCtx passes a context derived from ctx: one level of
+// indirection the analyzer accepts.
+func DerivedCtx(ctx context.Context) int {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return helper(cctx, 2)
+}
+
+// PollOK polls inside its marked granule.
+func PollOK(ctx context.Context, n int) int {
+	total := 0
+	//distflow:poll per-iteration granule
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return -1
+		}
+		total += i
+	}
+	return total
+}
+
+// PollViaCall satisfies the marker by passing ctx onward.
+func PollViaCall(ctx context.Context, n int) int {
+	total := 0
+	//distflow:poll granule polls through the helper
+	for i := 0; i < n; i++ {
+		total += helper(ctx, i)
+	}
+	return total
+}
+
+// PollMissing carries the marker but never polls: the regression the
+// marker contract exists to catch.
+func PollMissing(ctx context.Context, n int) int {
+	total := 0
+	//distflow:poll granule
+	for i := 0; i < n; i++ { // want `never polls a context`
+		total += i
+	}
+	return total
+}

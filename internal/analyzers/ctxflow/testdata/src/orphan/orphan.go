@@ -1,0 +1,15 @@
+// Package orphan holds a //distflow:poll marker that attaches to no
+// loop; the ctxflow unit test asserts it is reported programmatically
+// (a // want comment cannot share the marker's line).
+package orphan
+
+import "context"
+
+func Orphan(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return -1
+	}
+	//distflow:poll this marker precedes a plain statement, not a loop
+	total := n * 2
+	return total
+}

@@ -1,0 +1,21 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"distflow/internal/analyzers/detrand"
+	"distflow/internal/analyzers/framework"
+)
+
+// TestCriticalPackage exercises rules 1–2 (global rand, wall clock) in
+// a package whose path suffix marks it determinism-critical.
+func TestCriticalPackage(t *testing.T) {
+	framework.RunTest(t, "testdata/src/sherman", detrand.Analyzer)
+}
+
+// TestMapRange exercises rule 3 (ordered output from map iteration) in
+// a non-critical package, including the collect-then-sort exemption
+// and its function-scoping.
+func TestMapRange(t *testing.T) {
+	framework.RunTest(t, "testdata/src/emit", detrand.Analyzer)
+}

@@ -1,0 +1,102 @@
+// Package emit simulates a non-critical package (stats/JSON emission
+// paths): the map-range ordering rule applies everywhere, while the
+// rand/clock rules do not.
+package emit
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type doc struct {
+	Rows []string
+}
+
+// RandAndClock is fine here: emit is not a determinism-critical
+// package.
+func RandAndClock() (int, time.Time) {
+	return rand.Intn(3), time.Now()
+}
+
+// PrintMap writes output in map order: the classic nondeterministic
+// emission bug.
+func PrintMap(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `output write`
+	}
+}
+
+// CollectUnsorted lets map order escape through a slice.
+func CollectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `append to out`
+		out = append(out, k)
+	}
+	return out
+}
+
+// CollectSorted is the idiomatic fix and must not be flagged.
+func CollectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// FieldAppend tracks appends through struct fields too.
+func FieldAppend(m map[string]int) doc {
+	var d doc
+	for k := range m { // want `append to Rows`
+		d.Rows = append(d.Rows, k)
+	}
+	return d
+}
+
+// FieldAppendSorted is the sorted-after fix through a field.
+func FieldAppendSorted(m map[string]int) doc {
+	var d doc
+	for k := range m {
+		d.Rows = append(d.Rows, k)
+	}
+	sort.Strings(d.Rows)
+	return d
+}
+
+// Send leaks map order through a channel.
+func Send(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send`
+	}
+}
+
+// Concat leaks map order through string concatenation.
+func Concat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string concatenation onto s`
+	}
+	return s
+}
+
+// LocalAccumulator appends to a slice scoped inside the loop body:
+// per-iteration state, no ordering escape.
+func LocalAccumulator(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// AllowedEmission shows a justified suppression on an emission loop.
+func AllowedEmission(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) //distflow:allow detrand debug dump, order explicitly documented as unstable
+	}
+}

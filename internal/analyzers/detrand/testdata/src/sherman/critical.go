@@ -1,0 +1,37 @@
+// Package sherman simulates a determinism-critical package (the
+// analyzer scopes rules 1–2 by import-path suffix, which matches this
+// testdata directory's name).
+package sherman
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Global draws from the shared unseeded source: forbidden.
+func Global() int {
+	return rand.Intn(3) // want `global math/rand`
+}
+
+// Seeded threads an explicitly seeded PRNG: the sanctioned pattern.
+func Seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(3)
+}
+
+// Clock reads the wall clock in result-affecting code: forbidden.
+func Clock() time.Time {
+	return time.Now() // want `wall-clock`
+}
+
+// Elapsed uses time.Since: same hazard.
+func Elapsed(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want `wall-clock`
+}
+
+// Instrumented shows the sanctioned escape hatch: pure timing
+// instrumentation under a justified suppression.
+func Instrumented() float64 {
+	start := time.Now() //distflow:allow detrand timing stat only, never feeds results
+	return float64(start.Nanosecond())
+}

@@ -1,0 +1,224 @@
+// Package epochsafe enforces the MVCC epoch discipline of DESIGN.md
+// §9: the Router's queryable state hangs off one atomic.Pointer[epoch]
+// and every load, store, pin and publish of it must go through the
+// helpers in epoch.go — acquire/release/fork/publish/curEpoch — so the
+// snapshot-isolation and update-atomicity proofs stay local to one
+// file.
+//
+// The analyzer is structural, not name-bound: in any package that has
+// a file named epoch.go declaring a named type E used as the type
+// argument of a sync/atomic.Pointer[E] struct field, it reports
+//
+//  1. any selector access to that guard field outside epoch.go
+//     (readers must call the pinning helpers, writers the fork/publish
+//     pair — a bare .Load() skips the refcount, a bare .Store() skips
+//     retirement);
+//  2. any function outside epoch.go whose results include *E — an
+//     epoch handle may only be minted by the helper file, otherwise a
+//     snapshot can outlive its release; and
+//  3. any store of a *E value into a struct field, slice/map element,
+//     package-level variable, or channel outside epoch.go — the
+//     escapes that would let an epoch (or a field loaded from one) be
+//     observed after its release drained it.
+//
+// Methods ON *E declared elsewhere are fine (they run against a pinned
+// receiver); what is confined is creating and storing handles.
+package epochsafe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"distflow/internal/analyzers/framework"
+)
+
+// GuardFile is the file that owns the epoch lifecycle helpers.
+const GuardFile = "epoch.go"
+
+// Analyzer is the epochsafe pass.
+var Analyzer = &framework.Analyzer{
+	Name: "epochsafe",
+	Doc:  "confine epoch-guarded state access to the acquire/release/fork/publish helpers in epoch.go",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	guards, epochTypes := findGuards(pass)
+	if len(guards) == 0 {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if framework.FileBase(pass.Fset, file.Pos()) == GuardFile {
+			continue
+		}
+		checkFile(pass, file, guards, epochTypes)
+	}
+	return nil, nil
+}
+
+// findGuards locates struct fields of type atomic.Pointer[E] with E
+// declared in epoch.go, returning the field objects and the epoch
+// types.
+func findGuards(pass *framework.Pass) (map[*types.Var]bool, map[*types.Named]bool) {
+	guards := map[*types.Var]bool{}
+	epochs := map[*types.Named]bool{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if e := atomicPointerEpochArg(pass, f.Type()); e != nil {
+				guards[f] = true
+				epochs[e] = true
+			}
+		}
+	}
+	return guards, epochs
+}
+
+// atomicPointerEpochArg returns the type argument E if t is
+// sync/atomic.Pointer[E] and E is a named type declared in this
+// package's epoch.go.
+func atomicPointerEpochArg(pass *framework.Pass, t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" || obj.Name() != "Pointer" {
+		return nil
+	}
+	args := named.TypeArgs()
+	if args == nil || args.Len() != 1 {
+		return nil
+	}
+	arg, ok := args.At(0).(*types.Named)
+	if !ok {
+		return nil
+	}
+	ao := arg.Obj()
+	if ao.Pkg() != pass.Pkg {
+		return nil
+	}
+	if framework.FileBase(pass.Fset, ao.Pos()) != GuardFile {
+		return nil
+	}
+	return arg
+}
+
+// isEpochPtr reports whether t is *E (or E) for a guarded epoch type.
+func isEpochPtr(epochs map[*types.Named]bool, t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && epochs[named]
+}
+
+func checkFile(pass *framework.Pass, file *ast.File, guards map[*types.Var]bool, epochs map[*types.Named]bool) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[n]; ok {
+				if v, ok := sel.Obj().(*types.Var); ok && guards[v] {
+					pass.Reportf(n.Sel.Pos(),
+						"direct access to epoch-guarded field %s outside %s: use the acquire/release (queries) or fork/publish (updates) helpers", v.Name(), GuardFile)
+				}
+			}
+		case *ast.FuncDecl:
+			checkResults(pass, n, epochs)
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if tv, ok := pass.TypesInfo.Types[rhs]; ok && isEpochPtr(epochs, tv.Type) {
+					if storesBeyondLocals(pass, n.Lhs[i]) {
+						pass.Reportf(n.Pos(),
+							"epoch handle stored into %s outside %s: epochs must not escape their acquire/release window", describeLHS(n.Lhs[i]), GuardFile)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if tv, ok := pass.TypesInfo.Types[n.Value]; ok && isEpochPtr(epochs, tv.Type) {
+				pass.Reportf(n.Pos(), "epoch handle sent on a channel outside %s: epochs must not escape their acquire/release window", GuardFile)
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[n]; ok {
+				if isEpochContainer(epochs, tv.Type) {
+					pass.Reportf(n.Pos(), "composite literal retains epoch handles outside %s: epochs must not escape their acquire/release window", GuardFile)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkResults flags non-guard-file functions minting epoch handles.
+func checkResults(pass *framework.Pass, fd *ast.FuncDecl, epochs map[*types.Named]bool) {
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isEpochPtr(epochs, sig.Results().At(i).Type()) {
+			pass.Reportf(fd.Name.Pos(),
+				"%s returns an epoch handle outside %s: only the helper file may mint snapshots", fd.Name.Name, GuardFile)
+			return
+		}
+	}
+}
+
+// storesBeyondLocals reports whether the assignment target outlives
+// the local frame: a field selector, an index expression, a
+// dereference, or a package-level variable.
+func storesBeyondLocals(pass *framework.Pass, lhs ast.Expr) bool {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		if v, ok := framework.ObjectOf(pass.TypesInfo, l).(*types.Var); ok {
+			return v.Parent() == pass.Pkg.Scope()
+		}
+	}
+	return false
+}
+
+func describeLHS(lhs ast.Expr) string {
+	switch ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return "a struct field"
+	case *ast.IndexExpr:
+		return "a slice or map element"
+	case *ast.StarExpr:
+		return "a shared location"
+	default:
+		return "a package-level variable"
+	}
+}
+
+// isEpochContainer reports whether t is a slice, array, map or struct
+// type whose elements/fields include *E.
+func isEpochContainer(epochs map[*types.Named]bool, t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isEpochPtr(epochs, u.Elem())
+	case *types.Array:
+		return isEpochPtr(epochs, u.Elem())
+	case *types.Map:
+		return isEpochPtr(epochs, u.Elem()) || isEpochPtr(epochs, u.Key())
+	}
+	return false
+}

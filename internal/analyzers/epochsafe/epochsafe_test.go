@@ -1,0 +1,16 @@
+package epochsafe_test
+
+import (
+	"testing"
+
+	"distflow/internal/analyzers/epochsafe"
+	"distflow/internal/analyzers/framework"
+)
+
+// TestEpochGuard exercises the three confinement rules against a
+// miniature Router: bare guard-field access, handle-minting functions,
+// and every escape shape (struct field, package var, channel, slice
+// literal) — plus the helper-file exemption and a justified allow.
+func TestEpochGuard(t *testing.T) {
+	framework.RunTest(t, "testdata/src/epochguard", epochsafe.Analyzer)
+}

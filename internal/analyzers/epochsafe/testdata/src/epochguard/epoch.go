@@ -1,0 +1,16 @@
+// Package epochguard simulates a package guarding MVCC state behind
+// an atomic.Pointer[epoch], with the lifecycle helpers confined to
+// this file — mirroring the real Router.
+package epochguard
+
+type epoch struct {
+	data []float64
+}
+
+func (r *Router) acquire() *epoch {
+	return r.cur.Load()
+}
+
+func (r *Router) publish(ep *epoch) {
+	r.cur.Store(ep)
+}

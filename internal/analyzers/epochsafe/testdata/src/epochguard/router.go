@@ -1,0 +1,68 @@
+package epochguard
+
+import "sync/atomic"
+
+// Router holds the guarded pointer; declaring the struct outside
+// epoch.go is fine — what is confined is touching the field.
+type Router struct {
+	cur atomic.Pointer[epoch]
+}
+
+// stash is a struct an epoch handle must not be parked in.
+type stash struct {
+	ep *epoch
+}
+
+// pinned is a package-level variable an epoch must not leak into.
+var pinned *epoch
+
+var leakCh = make(chan *epoch, 1)
+
+// Peek bypasses the helpers with a bare Load: skips the refcount pin.
+func (r *Router) Peek() float64 {
+	return r.cur.Load().data[0] // want `direct access to epoch-guarded field`
+}
+
+// Good pins through the helper and keeps the handle local.
+func (r *Router) Good() float64 {
+	ep := r.acquire()
+	return ep.data[0]
+}
+
+// Mint exports a handle from outside the helper file.
+func (r *Router) Mint() *epoch { // want `returns an epoch handle`
+	return r.acquire()
+}
+
+// Stash parks a handle in a struct field: it can outlive its release.
+func (r *Router) Stash(s *stash) {
+	s.ep = r.acquire() // want `epoch handle stored into a struct field`
+}
+
+// Pin parks a handle in a package-level variable.
+func (r *Router) Pin() {
+	pinned = r.acquire() // want `epoch handle stored into a package-level variable`
+}
+
+// Leak sends a handle across a goroutine boundary.
+func (r *Router) Leak() {
+	leakCh <- r.acquire() // want `epoch handle sent on a channel`
+}
+
+// Collect retains handles in a slice literal.
+func (r *Router) Collect() int {
+	eps := []*epoch{r.acquire()} // want `composite literal retains epoch handles`
+	return len(eps)
+}
+
+// AllowedPeek is a deliberate bypass under a justified annotation
+// (e.g. a lock-free stats probe that tolerates a stale read).
+func (r *Router) AllowedPeek() int {
+	return len(r.cur.Load().data) //distflow:allow epochsafe stats probe, stale read acceptable and no pin held
+}
+
+// Methods on *epoch outside epoch.go are allowed: they run against a
+// receiver the caller already pinned.
+func (e *epoch) width() int {
+	return len(e.data)
+}

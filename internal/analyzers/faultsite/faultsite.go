@@ -1,0 +1,87 @@
+// Package faultsite enforces the fault-injection naming contract
+// (DESIGN.md §11/§12): every faultinject call site is addressed by a
+// declared constant — the exported FaultSite* names (or the unexported
+// constants they alias) — never an inline string literal. Sites named
+// by literals drift: a typo in a test's Arm silently arms nothing, and
+// grep can no longer prove which sites exist. With constants, the
+// compiler checks the spelling and the exported list in serve.go is
+// the complete site registry.
+//
+// The analyzer flags any call to faultinject.Hit / Arm / Disarm /
+// Stats whose site argument is not a reference to a declared constant.
+package faultsite
+
+import (
+	"go/ast"
+	"go/types"
+
+	"distflow/internal/analyzers/framework"
+)
+
+// faultPath matches the injection registry package.
+const faultPath = "distflow/internal/faultinject"
+
+// siteFuncs maps the registry's entry points to the index of their
+// site-name argument.
+var siteFuncs = map[string]int{"Hit": 0, "Arm": 0, "Disarm": 0, "Stats": 0}
+
+// Analyzer is the faultsite pass.
+var Analyzer = &framework.Analyzer{
+	Name: "faultsite",
+	Doc:  "require faultinject sites to be named by declared constants (FaultSite*), never string literals",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if framework.PathHasSuffix(pass.Path, "faultinject") {
+		// The registry's own implementation passes site names through
+		// variables by construction (Arm's disarm closure and friends).
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := framework.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			idx, ok := siteFuncs[fn.Name()]
+			if !ok || idx >= len(call.Args) {
+				return true
+			}
+			if p := framework.FuncPkgPath(fn); p != faultPath && !framework.PathHasSuffix(p, "faultinject") {
+				return true
+			}
+			if !isConstRef(pass, call.Args[idx]) {
+				pass.Reportf(call.Args[idx].Pos(),
+					"faultinject.%s site must be a declared constant (the exported FaultSite* names), not a string expression", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isConstRef reports whether expr is an identifier or selector
+// resolving to a declared constant.
+func isConstRef(pass *framework.Pass, expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return isConstObj(pass, e)
+	case *ast.SelectorExpr:
+		return isConstObj(pass, e.Sel)
+	}
+	return false
+}
+
+func isConstObj(pass *framework.Pass, id *ast.Ident) bool {
+	obj := framework.ObjectOf(pass.TypesInfo, id)
+	if obj == nil {
+		return false
+	}
+	_, isConst := obj.(*types.Const)
+	return isConst
+}

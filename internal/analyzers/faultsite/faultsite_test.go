@@ -1,0 +1,15 @@
+package faultsite_test
+
+import (
+	"testing"
+
+	"distflow/internal/analyzers/faultsite"
+	"distflow/internal/analyzers/framework"
+)
+
+// TestFaultSite exercises the declared-constant rule against the real
+// faultinject package: constant references pass, inline literals and
+// built strings fail, and a justified allow silences a deliberate one.
+func TestFaultSite(t *testing.T) {
+	framework.RunTest(t, "testdata/src/faultsitetest", faultsite.Analyzer)
+}

@@ -1,0 +1,39 @@
+// Package faultsitetest exercises the faultsite rule against the real
+// distflow/internal/faultinject package.
+package faultsitetest
+
+import "distflow/internal/faultinject"
+
+// SiteProbe is the declared-constant form the analyzer requires.
+const SiteProbe = "faultsitetest/probe"
+
+// Probe names its site through the constant: fine.
+func Probe() error {
+	return faultinject.Hit(SiteProbe)
+}
+
+// BadHit names a site with an inline literal: the chaos harness can
+// never arm it because nothing else can spell it reliably.
+func BadHit() error {
+	return faultinject.Hit("faultsitetest/inline") // want `must be a declared constant`
+}
+
+// BadArm builds the name at the call: same problem.
+func BadArm() func() {
+	return faultinject.Arm("faultsitetest/"+"built", faultinject.Fault{}) // want `must be a declared constant`
+}
+
+// DisarmConst goes through the constant: fine.
+func DisarmConst() {
+	faultinject.Disarm(SiteProbe)
+}
+
+// StatsConst reads through the constant: fine.
+func StatsConst() (int64, int64) {
+	return faultinject.Stats(SiteProbe)
+}
+
+// AllowedLiteral documents a deliberate inline site.
+func AllowedLiteral() error {
+	return faultinject.Hit("faultsitetest/scratch") //distflow:allow faultsite scratch site for a one-off bench, never armed by the chaos suite
+}

@@ -1,0 +1,175 @@
+package framework
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// RunTest loads the single package rooted at pkgdir (a testdata
+// directory; imports of module-internal and stdlib packages both
+// resolve) and checks the analyzer's diagnostics against // want
+// comments, analysistest-style:
+//
+//	rand.Intn(3) // want `global math/rand`
+//
+// Each `// want` comment carries one or more back-quoted or
+// double-quoted regular expressions; every diagnostic on that line
+// must match one, every pattern must be matched by a diagnostic, and
+// diagnostics on lines with no want comment fail the test.
+// Suppression filtering runs exactly as in production, so testdata can
+// assert that //distflow:allow comments really silence findings (and
+// that reason-less ones are themselves reported, attributed to the
+// pseudo-analyzer "allow").
+func RunTest(t *testing.T, pkgdir string, a *Analyzer) {
+	t.Helper()
+	findings := runOnDir(t, pkgdir, a)
+
+	type wantKey struct {
+		file string
+		line int
+	}
+	wants := map[wantKey][]*regexp.Regexp{}
+	loader, err := NewLoader(pkgdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(pkgdir, testPath(loader, pkgdir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, ok := parseWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := wantKey{file: pos.Filename, line: pos.Line}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, p, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+
+	matched := map[wantKey][]bool{}
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, f := range findings {
+		key := wantKey{file: f.Position.Filename, line: f.Position.Line}
+		res := wants[key]
+		ok := false
+		for i, re := range res {
+			if !matched[key][i] && re.MatchString(f.Message) {
+				matched[key][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			// Allow a second diagnostic to match an already-satisfied
+			// pattern (two identical findings on one line are rare but
+			// legal in x/tools analysistest too — treat as unexpected
+			// to keep the contract strict).
+			t.Errorf("unexpected diagnostic at %s: %s [%s]", f.Position, f.Message, f.Analyzer)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// runOnDir runs one analyzer over the package at pkgdir with full
+// driver semantics (suppression filtering included).
+func runOnDir(t *testing.T, pkgdir string, a *Analyzer) []Finding {
+	t.Helper()
+	loader, err := NewLoader(pkgdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(pkgdir, testPath(loader, pkgdir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+}
+
+// testPath synthesizes the import path of a testdata package: its
+// module-relative directory path. The final element is the package
+// directory name, so analyzers that scope by package-name suffix see
+// testdata packages named after their targets.
+func testPath(l *Loader, pkgdir string) string {
+	abs, err := filepath.Abs(pkgdir)
+	if err != nil {
+		return pkgdir
+	}
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return pkgdir
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// parseWant extracts the quoted regexps of a // want comment.
+func parseWant(text string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(text, "// want ")
+	if !ok {
+		rest, ok = strings.CutPrefix(text, "//want ")
+		if !ok {
+			return nil, false
+		}
+	}
+	var patterns []string
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		quote := rest[0]
+		if quote != '"' && quote != '`' {
+			break
+		}
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			break
+		}
+		patterns = append(patterns, rest[1:1+end])
+		rest = strings.TrimSpace(rest[end+2:])
+	}
+	return patterns, len(patterns) > 0
+}
+
+// MustFindings is a test convenience: load dir, run analyzers, return
+// findings or fail.
+func MustFindings(t *testing.T, dir string, analyzers ...*Analyzer) []Finding {
+	t.Helper()
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, testPath(loader, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RunAnalyzers([]*Package{pkg}, analyzers)
+}
+
+// FormatFindings renders findings one per line for error messages and
+// artifacts.
+func FormatFindings(findings []Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		fmt.Fprintln(&b, f)
+	}
+	return b.String()
+}

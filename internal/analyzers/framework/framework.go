@@ -1,0 +1,230 @@
+// Package framework is the repository's static-analysis driver: a
+// stdlib-only re-implementation of the golang.org/x/tools/go/analysis
+// surface the distflow analyzers need (DESIGN.md §12).
+//
+// Why not the real go/analysis? The build environment is hermetic — no
+// module proxy, no vendored x/tools — and the repo's hard rule is that
+// `go build ./... && go test ./...` works offline from a clean cache.
+// So this package mirrors the x/tools API shape (Analyzer, Pass,
+// Diagnostic, an analysistest-style test harness) on top of go/ast,
+// go/types and go/importer's source mode, which type-checks the
+// standard library from GOROOT/src without network or export data.
+// Analyzers written against it port to the real framework by swapping
+// the import if x/tools ever lands in the module.
+//
+// Beyond the x/tools shape, the driver owns one repo-specific
+// contract: the suppression comment
+//
+//	//distflow:allow <analyzer> <reason>
+//
+// on (or immediately above) an offending line silences that analyzer's
+// diagnostics for the line. The reason is mandatory: an allow comment
+// with no reason is itself reported as an error, so every suppression
+// in the tree documents why the invariant does not apply.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis pass: a named invariant checked
+// over one package at a time. The shape matches
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //distflow:allow comments. Lower-case, no spaces.
+	Name string
+	// Doc states the invariant the analyzer enforces, first line short.
+	Doc string
+	// Run checks one package and reports findings via pass.Report.
+	// The returned value is ignored by this driver (the x/tools
+	// signature is kept for portability).
+	Run func(pass *Pass) (any, error)
+}
+
+// A Pass provides one analyzer run with a single type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test source files, parsed with
+	// comments.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the standard type-checker maps (Types, Defs,
+	// Uses, Selections, Implicits, Scopes) for Files.
+	TypesInfo *types.Info
+	// Path is the package's import path within the module (or the
+	// synthetic path the test harness assigned).
+	Path string
+	// Report delivers one finding. The driver applies //distflow:allow
+	// filtering afterwards; analyzers just report.
+	Report func(Diagnostic)
+}
+
+// Reportf is the fmt-style convenience wrapper over Report.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is a positioned, analyzer-attributed diagnostic after
+// suppression filtering — what the multichecker prints and tests
+// assert on.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Position, f.Message, f.Analyzer)
+}
+
+// AllowPrefix is the suppression-comment marker.
+const AllowPrefix = "//distflow:allow"
+
+// allowDirective is one parsed //distflow:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	line     int
+	pos      token.Pos
+}
+
+// parseAllows extracts every //distflow:allow directive of a file.
+// Malformed directives (no analyzer, or an empty reason) are returned
+// as violations — the mandatory-reason contract is enforced here, by
+// the driver, not by individual analyzers.
+func parseAllows(fset *token.FileSet, file *ast.File) (allows []allowDirective, violations []Diagnostic) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, AllowPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, AllowPrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				// e.g. //distflow:allowance — not ours.
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				violations = append(violations, Diagnostic{
+					Pos:     c.Pos(),
+					Message: "malformed //distflow:allow: want \"//distflow:allow <analyzer> <reason>\"",
+				})
+				continue
+			}
+			name := fields[0]
+			reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), name))
+			if reason == "" {
+				violations = append(violations, Diagnostic{
+					Pos:     c.Pos(),
+					Message: fmt.Sprintf("//distflow:allow %s is missing its mandatory reason", name),
+				})
+				continue
+			}
+			allows = append(allows, allowDirective{
+				analyzer: name,
+				reason:   reason,
+				line:     fset.Position(c.Pos()).Line,
+				pos:      c.Pos(),
+			})
+		}
+	}
+	return allows, violations
+}
+
+// suppressed reports whether a diagnostic of the named analyzer at the
+// given line is covered by an allow directive on the same line or the
+// line immediately above (the two placements a reviewer expects:
+// trailing comment, or its own line directly over the offender).
+func suppressed(allows []allowDirective, analyzer string, line int) bool {
+	for _, a := range allows {
+		if a.analyzer != analyzer {
+			continue
+		}
+		if a.line == line || a.line == line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers runs every analyzer over every loaded package, applies
+// the suppression contract, and returns the surviving findings sorted
+// by position. Driver errors (an analyzer returning error) are
+// reported as findings attributed to the analyzer, so a broken
+// analyzer fails loudly instead of passing silently.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		var allows []allowDirective
+		for _, f := range pkg.Files {
+			fa, viol := parseAllows(pkg.Fset, f)
+			allows = append(allows, fa...)
+			for _, d := range viol {
+				findings = append(findings, Finding{
+					Analyzer: "allow",
+					Position: pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+		}
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Path:      pkg.Path,
+				Report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Position: token.Position{Filename: pkg.Path},
+					Message:  fmt.Sprintf("analyzer failed: %v", err),
+				})
+				continue
+			}
+			for _, d := range diags {
+				position := pkg.Fset.Position(d.Pos)
+				if suppressed(allows, a.Name, position.Line) {
+					continue
+				}
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Position: position,
+					Message:  d.Message,
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}

@@ -1,0 +1,82 @@
+package framework_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"distflow/internal/analyzers/framework"
+)
+
+// testmark reports every return statement: a fixture whose findings
+// the allowcontract testdata suppresses (or fails to).
+var testmark = &framework.Analyzer{
+	Name: "testmark",
+	Doc:  "reports every return statement (driver-contract fixture)",
+	Run: func(pass *framework.Pass) (any, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if r, ok := n.(*ast.ReturnStmt); ok {
+					pass.Reportf(r.Pos(), "return statement (testmark fixture)")
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+// TestAllowContract asserts the suppression-directive contract:
+// well-formed allows (same line or the line above) silence findings,
+// reason-less and malformed allows are themselves findings attributed
+// to the pseudo-analyzer "allow", and a reason-less allow suppresses
+// nothing.
+func TestAllowContract(t *testing.T) {
+	findings := framework.MustFindings(t, "testdata/src/allowcontract", testmark)
+
+	var allowMissing, allowMalformed, marks int
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "allow":
+			switch {
+			case strings.Contains(f.Message, "missing its mandatory reason"):
+				allowMissing++
+				if !strings.Contains(f.Message, "detrand") {
+					t.Errorf("missing-reason finding does not name the allowed analyzer: %s", f)
+				}
+			case strings.Contains(f.Message, "malformed"):
+				allowMalformed++
+			default:
+				t.Errorf("unexpected allow finding: %s", f)
+			}
+		case "testmark":
+			marks++
+		default:
+			t.Errorf("unexpected analyzer %q in finding: %s", f.Analyzer, f)
+		}
+	}
+	if allowMissing != 1 {
+		t.Errorf("got %d missing-reason findings, want 1", allowMissing)
+	}
+	if allowMalformed != 1 {
+		t.Errorf("got %d malformed-allow findings, want 1", allowMalformed)
+	}
+	// NoReason, Malformed and Unsuppressed survive; Suppressed and
+	// SuppressedAbove are silenced.
+	if marks != 3 {
+		t.Errorf("got %d testmark findings, want 3 (reason-less/malformed allows must not suppress):\n%s",
+			marks, framework.FormatFindings(findings))
+	}
+
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1].Position, findings[i].Position
+		if a.Filename > b.Filename || (a.Filename == b.Filename && a.Line > b.Line) {
+			t.Errorf("findings not sorted by position: %s before %s", findings[i-1], findings[i])
+		}
+	}
+	for _, f := range findings {
+		if !strings.HasSuffix(f.String(), "["+f.Analyzer+"]") {
+			t.Errorf("finding string %q does not end with its analyzer tag", f.String())
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// CalleeFunc resolves the statically-known callee of a call: a
+// package-level function, a method (through a selector), or nil for
+// dynamic calls (function values, interface methods resolve to the
+// interface's *types.Func, which is still useful for signature
+// checks).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Qualified identifier (pkg.Func).
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether fn is the package-level function
+// pkgPath.name (not a method).
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() != pkgPath || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// FuncPkgPath returns the defining package path of fn ("" for
+// builtins).
+func FuncPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ContextParam returns the index of the first context.Context
+// parameter of sig, or -1.
+func ContextParam(sig *types.Signature) int {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if IsContextType(sig.Params().At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// UsesObject reports whether any identifier under node resolves to
+// obj.
+func UsesObject(info *types.Info, node ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// FileBase returns the base name of the file containing pos
+// ("epoch.go").
+func FileBase(fset *token.FileSet, pos token.Pos) string {
+	return filepath.Base(fset.Position(pos).Filename)
+}
+
+// PathHasSuffix reports whether the import path is exactly one of the
+// given package names or ends in "/<name>" — the way the analyzers
+// scope themselves to the determinism-critical package list while
+// still matching the analysistest packages named after them.
+func PathHasSuffix(path string, names ...string) bool {
+	for _, name := range names {
+		if path == name || strings.HasSuffix(path, "/"+name) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsFloat reports whether t's underlying type is float32 or float64.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// ObjectOf resolves an identifier through Uses then Defs.
+func ObjectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

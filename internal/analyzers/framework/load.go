@@ -1,0 +1,239 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, parsed and type-checked (non-test) package.
+type Package struct {
+	// Path is the import path ("distflow/internal/sherman").
+	Path string
+	// Dir is the package directory on disk.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader resolves, parses and type-checks module packages without
+// the go command: module-internal import paths map onto directories
+// under the module root, and everything else (the standard library) is
+// type-checked from GOROOT/src by go/importer's source mode — the one
+// importer that works offline with no pre-built export data. Loaded
+// packages are cached per Loader, so a ./... load checks each package
+// once no matter how many others import it.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+	Fset       *token.FileSet
+
+	ctx   build.Context
+	std   types.ImporterFrom
+	cache map[string]*Package
+	// checking guards against import cycles (the type-checker would
+	// recurse forever through the importer otherwise).
+	checking map[string]bool
+}
+
+// NewLoader builds a loader for the module containing dir (found by
+// walking up to go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ctx := build.Default
+	// cgo resolution needs to exec the cgo tool; every import in this
+	// module builds in pure-Go mode, so turn cgo off and keep the load
+	// hermetic (this also steers net/http onto its pure-Go fallback).
+	ctx.CgoEnabled = false
+	l := &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		Fset:       fset,
+		ctx:        ctx,
+		cache:      map[string]*Package{},
+		checking:   map[string]bool{},
+	}
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("source importer does not implement ImporterFrom")
+	}
+	l.std = std
+	return l, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Import implements types.Importer for the type-checker's benefit:
+// module-internal paths load recursively, "unsafe" is built in, and
+// everything else delegates to the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		pkg, err := l.LoadDir(filepath.Join(l.ModuleRoot, filepath.FromSlash(rel)), path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, l.ModuleRoot, 0)
+}
+
+// LoadDir parses and type-checks the single package in dir, giving it
+// the stated import path. Results are cached by path.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.checking[path] = true
+	defer func() { l.checking[path] = false }()
+
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	var files []*ast.File
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no non-test Go files", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", l.ctx.GOARCH),
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// Load expands the given patterns ("./...", "./internal/sherman", a
+// full import path) relative to the module root and returns the
+// matched packages, sorted by import path. Directories named testdata,
+// vendor, or starting with "." or "_" are skipped by ... expansion,
+// matching the go tool's rules.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		} else if pat == "..." {
+			recursive, pat = true, "."
+		}
+		if strings.HasPrefix(pat, l.ModulePath) {
+			rel := strings.TrimPrefix(strings.TrimPrefix(pat, l.ModulePath), "/")
+			pat = "./" + rel
+		}
+		dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		if !recursive {
+			dirs[dir] = true
+			continue
+		}
+		err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			base := filepath.Base(p)
+			if p != dir && (base == "testdata" || base == "vendor" ||
+				strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+				return filepath.SkipDir
+			}
+			dirs[p] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []*Package
+	for dir := range dirs {
+		rel, err := filepath.Rel(l.ModuleRoot, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.ModulePath
+		if rel != "." {
+			path = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		if _, err := l.ctx.ImportDir(dir, 0); err != nil {
+			if _, noGo := err.(*build.NoGoError); noGo {
+				continue
+			}
+			return nil, fmt.Errorf("%s: %w", dir, err)
+		}
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}

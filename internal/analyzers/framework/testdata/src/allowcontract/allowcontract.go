@@ -1,0 +1,33 @@
+// Package allowcontract exercises the //distflow:allow directive
+// grammar: well-formed suppressions (same line and line above),
+// reason-less allows, and malformed allows. The framework driver test
+// runs a fixture analyzer over it and asserts the contract.
+package allowcontract
+
+// NoReason carries an allow with no reason: the directive itself is a
+// finding and it suppresses nothing.
+func NoReason() int {
+	return 1 //distflow:allow detrand
+}
+
+// Malformed carries an allow with no analyzer at all.
+func Malformed() int {
+	return 2 //distflow:allow
+}
+
+// Suppressed is the well-formed same-line suppression.
+func Suppressed() int {
+	return 3 //distflow:allow testmark covered by the driver contract test
+}
+
+// SuppressedAbove is the well-formed line-above suppression.
+func SuppressedAbove() int {
+	//distflow:allow testmark line-above form, also covered by the contract test
+	return 4
+}
+
+// Unsuppressed has no directive: the fixture analyzer's finding
+// survives.
+func Unsuppressed() int {
+	return 5
+}

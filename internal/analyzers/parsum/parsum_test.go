@@ -1,0 +1,15 @@
+package parsum_test
+
+import (
+	"testing"
+
+	"distflow/internal/analyzers/framework"
+	"distflow/internal/analyzers/parsum"
+)
+
+// TestParSum exercises captured-accumulator detection (+= and the
+// spelled-out x = x + v form, scalars and struct fields) against the
+// real par package, plus the indexed-write and chunk-local exemptions.
+func TestParSum(t *testing.T) {
+	framework.RunTest(t, "testdata/src/parsumtest", parsum.Analyzer)
+}

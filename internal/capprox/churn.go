@@ -496,7 +496,7 @@ func (a *Approximator) ResampleTreesCtx(ctx context.Context, g *graph.Graph, cfg
 	if len(a.treeMax) != len(a.Trees) {
 		a.remeasure()
 	}
-	start := time.Now()
+	start := time.Now() //distflow:allow detrand build-phase timing stat only; never feeds results
 	cv := newCompactView(g)
 	diameter := cv.g.DiameterApprox()
 	n := g.N()
@@ -510,13 +510,13 @@ func (a *Approximator) ResampleTreesCtx(ctx context.Context, g *graph.Graph, cfg
 	outs := make([]sampled, len(ks))
 	par.Do(len(ks), func(i int) {
 		led := congest.NewLedger()
-		treeStart := time.Now()
+		treeStart := time.Now() //distflow:allow detrand build-phase timing stat only; never feeds results
 		var ph samplePhases
 		tc, levels, err := sampleTree(ctx, cv.g, cfg, diameter, led, rand.New(rand.NewSource(seeds[i])), &ph)
 		if err == nil {
 			tc, err = cv.expandTree(tc)
 		}
-		outs[i] = sampled{t: tc, levels: levels, ledger: led, seconds: time.Since(treeStart).Seconds(), err: err}
+		outs[i] = sampled{t: tc, levels: levels, ledger: led, seconds: time.Since(treeStart).Seconds(), err: err} //distflow:allow detrand build-phase timing stat only; never feeds results
 	})
 	// Scan every sampling error before installing anything: a partial
 	// install would pair an old row scaling with a new tree topology,
@@ -554,6 +554,6 @@ func (a *Approximator) ResampleTreesCtx(ctx context.Context, g *graph.Graph, cfg
 		a.updWS[k] = vtree.DeltaScratch{}
 	})
 	a.combineAlpha()
-	a.Stats.TotalSeconds += time.Since(start).Seconds()
+	a.Stats.TotalSeconds += time.Since(start).Seconds() //distflow:allow detrand build-phase timing stat only; never feeds results
 	return nil
 }

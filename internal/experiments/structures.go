@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"distflow/internal/capprox"
 	"distflow/internal/cluster"
@@ -401,8 +402,21 @@ func chargeGraph(g *graph.Graph, p *cluster.Partition) *cluster.Graph {
 			}
 		}
 	}
-	for pair, e := range p.Psi {
-		cg.Edges = append(cg.Edges, cluster.Edge{A: pair[0], B: pair[1], Cap: 1, Phys: e})
+	// p.Psi is a map: iterate its keys in sorted order so the cluster
+	// graph's edge order — which downstream construction steps are
+	// sensitive to — is reproducible run to run.
+	pairs := make([][2]int, 0, len(p.Psi))
+	for pair := range p.Psi {
+		pairs = append(pairs, pair)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	for _, pair := range pairs {
+		cg.Edges = append(cg.Edges, cluster.Edge{A: pair[0], B: pair[1], Cap: 1, Phys: p.Psi[pair]})
 	}
 	return cg
 }

@@ -50,10 +50,12 @@ type StepResult struct {
 	// (diagnostics: together with Forest they are the forest part of
 	// H(T,F), which G must 1-embed into).
 	DEdges []ForestEdge
-	// NewCluster maps old cluster id -> new cluster id.
-	NewCluster []int
+	// NewCluster maps old cluster id -> new cluster id. Ids are int32,
+	// matching the workspace's compact scratch (cluster graphs are
+	// bounded by the vertex count, far below the int32 ceiling).
+	NewCluster []int32
 	// Portal[k] is the old cluster id serving as portal of new cluster k.
-	Portal []int
+	Portal []int32
 	// Core is the next-level cluster multigraph (one node per portal).
 	Core *cluster.Graph
 	// EdgeRload[i] is the relative load of input edge i if it was used
@@ -83,10 +85,11 @@ type Config struct {
 }
 
 // fedge is a forest-adjacency arc: the neighbour and the child endpoint
-// of the realizing tree edge (which carries capT and phys).
+// of the realizing tree edge (which carries capT and phys). int32 ids
+// halve the arena footprint, like the lsst race path's splitEdge.
 type fedge struct {
-	to  int
-	via int
+	to  int32
+	via int32
 }
 
 // Workspace is the pooled arena of StepWS. Arrays are sized to the
@@ -101,33 +104,35 @@ type Workspace struct {
 	// and the tree-flow LCA tables
 	lws lsst.Workspace
 	tfs vtree.TreeFlowScratch
-	// per-cluster scratch
-	treeEdge []int
+	// per-cluster scratch: vertex and edge ids are int32 (half the
+	// footprint of int on 64-bit, the same compaction as the lsst race
+	// arena) — cluster counts never approach the int32 ceiling
+	treeEdge []int32
 	pairs    []vtree.EdgeEndpoint
 	rload    []float64
 	removed  []bool
 	byLoad   []vcLoad
-	compTF   []int
-	compOff  []int
-	compMem  []int
+	compTF   []int32
+	compOff  []int32
+	compMem  []int32
 	isP1     []bool
-	fOff     []int
+	fOff     []int32
 	fArcs    []fedge
-	deg      []int
+	deg      []int32
 	inSkel   []bool
 	isP      []bool
 	visited  []bool
 	inD      []bool
 	isPortal []bool
-	queue    []int
-	newComp  []int
-	newOff   []int
-	newMem   []int
-	portal   []int
-	parentTo []int
-	parentVi []int
+	queue    []int32
+	newComp  []int32
+	newOff   []int32
+	newMem   []int32
+	portal   []int32
+	parentTo []int32
+	parentVi []int32
 	seen     []bool
-	dist     []int
+	dist     []int32
 	hasDist  []bool
 	// result storage
 	forest    []ForestEdge
@@ -148,7 +153,7 @@ type coreArena struct {
 }
 
 type vcLoad struct {
-	v  int
+	v  int32
 	rl float64
 }
 
@@ -160,28 +165,28 @@ func (ws *Workspace) grow(n int) {
 	if cap(ws.treeEdge) >= n {
 		return
 	}
-	ws.treeEdge = make([]int, n)
+	ws.treeEdge = make([]int32, n)
 	ws.rload = make([]float64, n)
 	ws.removed = make([]bool, n)
-	ws.compTF = make([]int, n)
-	ws.compOff = make([]int, n+1)
-	ws.compMem = make([]int, n)
+	ws.compTF = make([]int32, n)
+	ws.compOff = make([]int32, n+1)
+	ws.compMem = make([]int32, n)
 	ws.isP1 = make([]bool, n)
-	ws.fOff = make([]int, n+1)
+	ws.fOff = make([]int32, n+1)
 	ws.fArcs = make([]fedge, 2*n)
-	ws.deg = make([]int, n)
+	ws.deg = make([]int32, n)
 	ws.inSkel = make([]bool, n)
 	ws.isP = make([]bool, n)
 	ws.visited = make([]bool, n)
 	ws.inD = make([]bool, n)
 	ws.isPortal = make([]bool, n)
-	ws.newComp = make([]int, n)
-	ws.newOff = make([]int, n+1)
-	ws.newMem = make([]int, n)
-	ws.parentTo = make([]int, n)
-	ws.parentVi = make([]int, n)
+	ws.newComp = make([]int32, n)
+	ws.newOff = make([]int32, n+1)
+	ws.newMem = make([]int32, n)
+	ws.parentTo = make([]int32, n)
+	ws.parentVi = make([]int32, n)
 	ws.seen = make([]bool, n)
-	ws.dist = make([]int, n)
+	ws.dist = make([]int32, n)
 	ws.hasDist = make([]bool, n)
 }
 
@@ -250,7 +255,9 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 	// treeEdge[v] = cluster edge realizing (v, parent(v)); -1 at root.
 	// ledges is index-aligned with cg.Edges, so EdgeOf maps directly.
 	treeEdge := ws.treeEdge[:n]
-	copy(treeEdge, lres.EdgeOf)
+	for v, ei := range lres.EdgeOf {
+		treeEdge[v] = int32(ei)
+	}
 
 	// --- 2. Tree flow |f'| (Fig. 2): route cap(e) for every edge.
 	pairs := ws.pairs[:0]
@@ -294,7 +301,7 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 		byLoad := ws.byLoad[:0]
 		for v := 0; v < n; v++ {
 			if v != t.Root {
-				byLoad = append(byLoad, vcLoad{v: v, rl: rload[v]})
+				byLoad = append(byLoad, vcLoad{v: int32(v), rl: rload[v]})
 			}
 		}
 		ws.byLoad = byLoad
@@ -346,7 +353,7 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 	// Members are bucketed in t.Order() traversal order (the order the
 	// append-based version produced).
 	compTF := ws.compTF[:n]
-	numComp := 0
+	numComp := int32(0)
 	for _, v := range t.Order() {
 		if v == t.Root || removed[v] {
 			compTF[v] = numComp
@@ -365,7 +372,7 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 	csr.Offsets(compOff)
 	compMem := ws.compMem[:n]
 	for _, v := range t.Order() {
-		compMem[compOff[compTF[v]]] = v
+		compMem[compOff[compTF[v]]] = int32(v)
 		compOff[compTF[v]]++
 	}
 	csr.Shift(compOff)
@@ -399,7 +406,7 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 	}
 	sum := csr.Offsets(fOff)
 	fArcs := ws.fArcs[:cap(ws.fArcs)]
-	if len(fArcs) < sum {
+	if len(fArcs) < int(sum) {
 		fArcs = make([]fedge, sum)
 		ws.fArcs = fArcs
 	}
@@ -407,14 +414,14 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 	for v := 0; v < n; v++ {
 		if v != t.Root && !removed[v] {
 			p := t.Parent[v]
-			fArcs[fOff[v]] = fedge{to: p, via: v}
+			fArcs[fOff[v]] = fedge{to: int32(p), via: int32(v)}
 			fOff[v]++
-			fArcs[fOff[p]] = fedge{to: v, via: v}
+			fArcs[fOff[p]] = fedge{to: int32(v), via: int32(v)}
 			fOff[p]++
 		}
 	}
 	csr.Shift(fOff)
-	fadj := func(v int) []fedge { return fArcs[fOff[v]:fOff[v+1]] }
+	fadj := func(v int32) []fedge { return fArcs[fOff[v]:fOff[v+1]] }
 
 	inD := ws.inD[:n] // inD[v]: tree edge (v,parent) deleted into D
 	isPortal := ws.isPortal[:n]
@@ -430,7 +437,7 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 	isP := ws.isP[:n]
 	visited := ws.visited[:n]
 
-	for ci := 0; ci < numComp; ci++ {
+	for ci := int32(0); ci < numComp; ci++ {
 		members := compMem[compOff[ci]:compOff[ci+1]]
 		p1 := 0
 		for _, v := range members {
@@ -450,7 +457,7 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 		}
 		// Skeleton: prune non-P1 leaves iteratively.
 		for _, v := range members {
-			deg[v] = len(fadj(v))
+			deg[v] = int32(len(fadj(v)))
 			inSkel[v] = true
 		}
 		queue := ws.queue[:0]
@@ -539,7 +546,7 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 	// --- 6. New clusters: components of T \ (F ∪ R ∪ D), each owning
 	// exactly one portal.
 	newComp := ws.newComp[:n]
-	numNew := 0
+	numNew := int32(0)
 	for _, v := range t.Order() {
 		if v == t.Root || removed[v] || inD[v] {
 			newComp[v] = numNew
@@ -558,17 +565,17 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 	csr.Offsets(newOff)
 	newMem := ws.newMem[:n]
 	for _, v := range t.Order() {
-		newMem[newOff[newComp[v]]] = v
+		newMem[newOff[newComp[v]]] = int32(v)
 		newOff[newComp[v]]++
 	}
 	csr.Shift(newOff)
-	members := func(k int) []int { return newMem[newOff[k]:newOff[k+1]] }
+	members := func(k int32) []int32 { return newMem[newOff[k]:newOff[k+1]] }
 
 	// Portal per new component; components without a marked portal take
 	// their top vertex (possible when D-cutting isolates a path segment
 	// whose portal sits on the other side).
-	if cap(ws.portal) < numNew {
-		ws.portal = make([]int, n)
+	if cap(ws.portal) < int(numNew) {
+		ws.portal = make([]int32, n)
 	}
 	portalOf := ws.portal[:numNew]
 	for k := range portalOf {
@@ -579,10 +586,10 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 			if got := portalOf[newComp[v]]; got >= 0 {
 				return nil, fmt.Errorf("jtree: component %d has two portals (%d, %d)", newComp[v], got, v)
 			}
-			portalOf[newComp[v]] = v
+			portalOf[newComp[v]] = int32(v)
 		}
 	}
-	for k := 0; k < numNew; k++ {
+	for k := int32(0); k < numNew; k++ {
 		if portalOf[k] < 0 {
 			portalOf[k] = members(k)[0]
 		}
@@ -594,7 +601,7 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 	parentVi := ws.parentVi[:n]
 	seen := ws.seen[:n]
 	forest := ws.forest[:0]
-	for k := 0; k < numNew; k++ {
+	for k := int32(0); k < numNew; k++ {
 		mem := members(k)
 		root := portalOf[k]
 		seen[root] = true
@@ -621,8 +628,8 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 				return nil, fmt.Errorf("jtree: cluster %d unreachable from portal %d", v, root)
 			}
 			forest = append(forest, ForestEdge{
-				Child:  v,
-				Parent: parentTo[v],
+				Child:  int(v),
+				Parent: int(parentTo[v]),
 				Cap:    capT[parentVi[v]],
 				Phys:   cg.Edges[treeEdge[parentVi[v]]].Phys,
 			})
@@ -645,17 +652,17 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 	if cg == &ws.cores[0].core {
 		arena = &ws.cores[1]
 	}
-	if cap(arena.rep) < numNew {
+	if cap(arena.rep) < int(numNew) {
 		arena.rep = make([]int, numNew)
 		arena.size = make([]float64, numNew)
 		arena.depth = make([]int, numNew)
 	}
 	core := &arena.core
-	core.N = numNew
+	core.N = int(numNew)
 	core.Rep = arena.rep[:numNew]
 	core.Size = arena.size[:numNew]
 	core.Depth = arena.depth[:numNew]
-	for k := 0; k < numNew; k++ {
+	for k := int32(0); k < numNew; k++ {
 		core.Rep[k] = cg.Rep[portalOf[k]]
 		core.Size[k] = 0
 		for _, v := range members(k) {
@@ -667,11 +674,11 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 	// touched at member indices and reset per component.
 	dist := ws.dist[:n]
 	hasDist := ws.hasDist[:n]
-	for k := 0; k < numNew; k++ {
+	for k := int32(0); k < numNew; k++ {
 		root := portalOf[k]
-		dist[root] = cg.Depth[root]
+		dist[root] = int32(cg.Depth[root])
 		hasDist[root] = true
-		maxD := cg.Depth[root]
+		maxD := dist[root]
 		queue := ws.queue[:0]
 		queue = append(queue, root)
 		for qi := 0; qi < len(queue); qi++ {
@@ -684,7 +691,7 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 					continue
 				}
 				hasDist[fe.to] = true
-				dist[fe.to] = dist[v] + 2*cg.Depth[fe.to] + 1
+				dist[fe.to] = dist[v] + int32(2*cg.Depth[fe.to]+1)
 				if dist[fe.to] > maxD {
 					maxD = dist[fe.to]
 				}
@@ -692,7 +699,7 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 			}
 		}
 		ws.queue = queue
-		core.Depth[k] = maxD
+		core.Depth[k] = int(maxD)
 		for _, v := range members(k) {
 			hasDist[v] = false
 		}
@@ -709,7 +716,7 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 		if a == b {
 			continue
 		}
-		coreEdges = append(coreEdges, cluster.Edge{A: a, B: b, Cap: e.Cap, Phys: e.Phys})
+		coreEdges = append(coreEdges, cluster.Edge{A: int(a), B: int(b), Cap: e.Cap, Phys: e.Phys})
 	}
 	for v := 0; v < n; v++ {
 		if !inD[v] {
@@ -719,7 +726,7 @@ func StepWS(cg *cluster.Graph, lengths []float64, j int, sqrtN float64, cfg Conf
 		if a == b {
 			return nil, fmt.Errorf("jtree: D edge endpoints in same component")
 		}
-		coreEdges = append(coreEdges, cluster.Edge{A: a, B: b, Cap: capT[v], Phys: cg.Edges[treeEdge[v]].Phys})
+		coreEdges = append(coreEdges, cluster.Edge{A: int(a), B: int(b), Cap: capT[v], Phys: cg.Edges[treeEdge[v]].Phys})
 		dEdges = append(dEdges, ForestEdge{
 			Child: v, Parent: t.Parent[v], Cap: capT[v], Phys: cg.Edges[treeEdge[v]].Phys,
 		})

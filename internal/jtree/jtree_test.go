@@ -23,7 +23,7 @@ func checkStep(t *testing.T, cg *cluster.Graph, res *StepResult) {
 	// NewCluster is a surjection onto [0, Core.N).
 	seen := make([]bool, res.Core.N)
 	for old, nc := range res.NewCluster {
-		if nc < 0 || nc >= res.Core.N {
+		if nc < 0 || int(nc) >= res.Core.N {
 			t.Fatalf("cluster %d mapped to %d", old, nc)
 		}
 		seen[nc] = true
@@ -54,10 +54,10 @@ func checkStep(t *testing.T, cg *cluster.Graph, res *StepResult) {
 	}
 	portals := make(map[int]bool, len(res.Portal))
 	for k, p := range res.Portal {
-		if res.NewCluster[p] != k {
+		if int(res.NewCluster[p]) != k {
 			t.Fatalf("portal %d not inside its cluster", p)
 		}
-		portals[p] = true
+		portals[int(p)] = true
 	}
 	for old := 0; old < cg.N; old++ {
 		if portals[old] {

@@ -509,6 +509,7 @@ func (s *Solver) almostRouteFixedAlpha(ctx context.Context, b []float64, eps, al
 		st.eta = eta
 		return &RouteResult{Flow: out, Iterations: iters, Restarts: restarts, AlphaUsed: alpha, Degraded: true}
 	}
+	//distflow:poll gradient-iteration granule (DESIGN.md §11)
 	for {
 		// One context poll per gradient iteration: cancelled work returns
 		// inside one iteration's budget, an expired deadline degrades to
@@ -520,6 +521,7 @@ func (s *Solver) almostRouteFixedAlpha(ctx context.Context, b []float64, eps, al
 		}
 		// Scaling loop (lines 4-5): zoom until the potential reaches the
 		// working range Θ(ε⁻¹ log n).
+		//distflow:poll scaling sweeps are full-length passes
 		for phi < target {
 			if deg, cerr := ctxStatus(ctx); cerr != nil {
 				return nil, cerr
@@ -557,6 +559,7 @@ func (s *Solver) almostRouteFixedAlpha(ctx context.Context, b []float64, eps, al
 				stepVec[e] = numutil.Sgn(ws.grad[e]) * float64(edges[e].Cap) * delta * step
 			}
 		})
+		//distflow:poll backtracking probes are full potential evaluations
 		for {
 			// Backtracking probes are full potential evaluations too —
 			// poll per probe so rejected-step streaks stay cancellable.
@@ -788,6 +791,7 @@ func (s *Solver) MaxFlowCtx(ctx context.Context, src, dst int, cfg Config, warm 
 	for attempt := 0; !skip; attempt++ {
 		st := &stepState{eta: 1, alpha: baseAlpha * math.Pow(4, float64(attempt))}
 		certMet := false
+		//distflow:poll Algorithm-1 outer iterations poll before each almostRoute level
 		for i := 0; i < outer; i++ {
 			if deg, cerr := ctxStatus(ctx); cerr != nil {
 				return nil, cerr

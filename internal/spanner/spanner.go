@@ -18,6 +18,7 @@ package spanner
 import (
 	"math"
 	"math/rand"
+	"sort"
 
 	"distflow/internal/csr"
 )
@@ -163,6 +164,10 @@ func Spanner(n int, edges []Edge, k int, rng *rand.Rand) []int {
 	for id := range selected {
 		out = append(out, id)
 	}
+	// selected is a map, so the collection order above is random per
+	// run; callers treat the result as a set today, but returning it
+	// sorted keeps any future order-sensitive consumer deterministic.
+	sort.Ints(out)
 	return out
 }
 

@@ -150,7 +150,7 @@ func (r *Router) UpdateTopologyCtx(ctx context.Context, edits []TopoEdit) (*Upda
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	cur := r.cur.Load()
+	cur := r.curEpoch()
 	eff, err := planTopology(cur.g, edits)
 	if err != nil {
 		return nil, err
