@@ -37,7 +37,15 @@ package main
 // the SplitGraph race switched from a binary heap to a bucket queue
 // (lsst.RaceOrderVersion 2), which reorders pops among fully equal
 // (time, source) keys, so all value_sum/alpha/iteration baselines were
-// re-recorded at v7 (see DESIGN.md §10).
+// re-recorded at v7 (see DESIGN.md §10). v9 adds the -shard document
+// (mode:"shard", see shard.go) — a flat map with per-rung `_n{n}` and
+// per-shard-count `_p{p}_n{n}` keys carrying the measured supersteps,
+// cross-shard messages, and payload bytes of the P = 1..8 sweep — and
+// extends the -flow document with the parallel-build block
+// (build_seconds_workers1 / build_seconds_workers_max /
+// speedup_build_parallel, gated by -parallel-floor on multicore CI);
+// the other documents only bump the version. (v8 was the -serve chaos
+// block.)
 
 import (
 	"encoding/json"
@@ -54,7 +62,7 @@ import (
 
 // benchSchema is the single definition of the bench JSON schema
 // version.
-const benchSchema = 8
+const benchSchema = 9
 
 // FlowBenchConfig parameterizes one -flow run. The JSON key order of
 // this struct IS the schema-2 config layout; do not reorder fields.
@@ -133,14 +141,24 @@ type FlowBenchResult struct {
 	// Baseline.Iterations / Iterations.
 	Baseline       *CompareStats `json:"baseline,omitempty"`
 	IterationRatio float64       `json:"iteration_ratio_baseline_over_accel,omitempty"`
+
+	// Parallel-build block (schema 9): the same router built once with
+	// the solver pool pinned to a single worker and once at GOMAXPROCS
+	// workers. SpeedupBuildParallel = BuildSecondsW1 / BuildSecondsWMax;
+	// ~1.0 on a single-CPU recording machine, gated ≥ -parallel-floor on
+	// multicore CI runners. Wall-clock, so benchdiff never gates it.
+	BuildSecondsW1       float64 `json:"build_seconds_workers1,omitempty"`
+	BuildSecondsWMax     float64 `json:"build_seconds_workers_max,omitempty"`
+	SpeedupBuildParallel float64 `json:"speedup_build_parallel,omitempty"`
 }
 
 // FlowBenchFlags carries the mode flags of one -flow invocation.
 type FlowBenchFlags struct {
-	Compare     bool
-	IterCeiling int
-	CPUProfile  string
-	MemProfile  string
+	Compare       bool
+	IterCeiling   int
+	ParallelFloor float64
+	CPUProfile    string
+	MemProfile    string
 }
 
 func runFlowBench(cfg FlowBenchConfig, jsonPath string, flags FlowBenchFlags) error {
@@ -231,6 +249,9 @@ func runFlowBench(cfg FlowBenchConfig, jsonPath string, flags FlowBenchFlags) er
 			return err
 		}
 	}
+	if err := runFlowBenchParallelBuild(G, opts, &res); err != nil {
+		return err
+	}
 
 	if flags.MemProfile != "" {
 		f, err := os.Create(flags.MemProfile)
@@ -257,6 +278,39 @@ func runFlowBench(cfg FlowBenchConfig, jsonPath string, flags FlowBenchFlags) er
 	if flags.IterCeiling > 0 && res.Iterations > flags.IterCeiling {
 		return fmt.Errorf("iteration budget exceeded: %d > ceiling %d", res.Iterations, flags.IterCeiling)
 	}
+	if flags.ParallelFloor > 0 && res.SpeedupBuildParallel < flags.ParallelFloor {
+		return fmt.Errorf("parallel build speedup %.2fx below floor %.2fx (workers=1 %.3fs vs workers=%d %.3fs)",
+			res.SpeedupBuildParallel, flags.ParallelFloor, res.BuildSecondsW1, runtime.GOMAXPROCS(0), res.BuildSecondsWMax)
+	}
+	return nil
+}
+
+// runFlowBenchParallelBuild rebuilds the router twice — once with the
+// solver pool pinned to a single worker, once at GOMAXPROCS workers —
+// and records the build-parallelism speedup. The single-worker build
+// runs first so the warm-cache bias of back-to-back builds (page cache,
+// branch predictors, already-grown pool buffers) lands on neither side
+// systematically: both rebuilds follow the full measurement run, which
+// has warmed everything a build touches.
+func runFlowBenchParallelBuild(G *distflow.Graph, opts distflow.Options, res *FlowBenchResult) error {
+	buildAt := func(workers int) (float64, error) {
+		defer distflow.SetParallelism(distflow.SetParallelism(workers))
+		start := time.Now()
+		_, err := distflow.NewRouter(G, opts)
+		return time.Since(start).Seconds(), err
+	}
+	var err error
+	if res.BuildSecondsW1, err = buildAt(1); err != nil {
+		return fmt.Errorf("parallel-build check (workers=1): %w", err)
+	}
+	if res.BuildSecondsWMax, err = buildAt(runtime.GOMAXPROCS(0)); err != nil {
+		return fmt.Errorf("parallel-build check (workers=%d): %w", runtime.GOMAXPROCS(0), err)
+	}
+	if res.BuildSecondsWMax > 0 {
+		res.SpeedupBuildParallel = res.BuildSecondsW1 / res.BuildSecondsWMax
+	}
+	fmt.Printf("  parallel build        workers=1 %.3fs vs workers=%d %.3fs (%.2fx)\n",
+		res.BuildSecondsW1, runtime.GOMAXPROCS(0), res.BuildSecondsWMax, res.SpeedupBuildParallel)
 	return nil
 }
 

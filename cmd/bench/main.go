@@ -71,6 +71,21 @@
 //	bench -scale -scale-max-n 10000 -scale-mem-ceiling 1024
 //	                                  # fail when peak heap exceeds the
 //	                                  # budget in MB (CI smoke)
+//
+// The -shard mode measures the sharded execution engine
+// (Options.Shards) on the ladder n = 10⁴, 10⁵: per rung it re-shards
+// one router across P = 1, 2, 4, 8 via SetShards, verifies every sweep
+// reproduces the unsharded value sum bit for bit, and records the
+// measured supersteps, cross-shard messages, and payload bytes against
+// the paper's Õ(√n + D) round reference (schema 9, see shard.go):
+//
+//	bench -shard -shard-max-n 10000 -queries 4 -json BENCH_shard.json
+//
+// The -flow mode additionally measures router-build parallelism (one
+// build pinned to a single worker vs one at GOMAXPROCS workers);
+// -parallel-floor gates the speedup on multicore CI runners:
+//
+//	bench -flow -n 2500 -parallel-floor 1.5 -json BENCH_parallel.json
 package main
 
 import (
@@ -100,6 +115,8 @@ func run() error {
 		churn         = flag.Bool("churn", false, "benchmark dynamic topology churn (batched UpdateTopology vs full rebuild)")
 		serve         = flag.Bool("serve", false, "benchmark the concurrent serving front-end (sustained load + churn through distflow.Server)")
 		scaleMode     = flag.Bool("scale", false, "benchmark the instance ladder n=10⁴..10⁶ (per-phase wall time + memory)")
+		shardMode     = flag.Bool("shard", false, "benchmark the sharded execution engine: P=1,2,4,8 sweep with measured rounds/messages/bytes and bit-identity vs the unsharded baseline")
+		shardMaxN     = flag.Int("shard-max-n", 100_000, "-shard: climb rungs up to this vertex count")
 		scaleMaxN     = flag.Int("scale-max-n", 1_000_000, "-scale: climb rungs up to this vertex count")
 		scaleMemCeil  = flag.Float64("scale-mem-ceiling", 0, "-scale: pin the soft memory limit to this many MB and fail when peak heap exceeds it (0 = off)")
 		buildCeiling  = flag.Float64("build-ceiling", 0, "-build: fail when router_build_seconds exceeds this many seconds (0 = off)")
@@ -118,10 +135,21 @@ func run() error {
 		jsonOut       = flag.String("json", "", "-flow/-build: write measurements to this JSON file")
 		compare       = flag.Bool("compare", false, "-flow: also run the plain-stepper baseline (no acceleration/continuation) and record the iteration ratio")
 		iterCeiling   = flag.Int("iter-ceiling", 0, "-flow: fail when sequential gradient iterations exceed this budget (0 = off)")
+		parallelFloor = flag.Float64("parallel-floor", 0, "-flow: fail when the workers=1 vs workers=GOMAXPROCS build speedup falls below this floor (0 = off; only meaningful on multicore)")
 		cpuProfile    = flag.String("cpuprofile", "", "-flow: write a CPU profile to this file")
 		memProfile    = flag.String("memprofile", "", "-flow: write a heap profile to this file")
 	)
 	flag.Parse()
+	if *shardMode {
+		return runShardBench(FlowBenchConfig{
+			Degree:  *flowDeg,
+			MaxCap:  *flowCap,
+			Seed:    *flowSeed,
+			Queries: *queries,
+			Epsilon: *epsilon,
+			Workers: *workers,
+		}, *jsonOut, *shardMaxN)
+	}
 	if *scaleMode {
 		return runScaleBench(FlowBenchConfig{
 			Degree:  *flowDeg,
@@ -175,10 +203,11 @@ func run() error {
 			Epsilon: *epsilon,
 			Workers: *workers,
 		}, *jsonOut, FlowBenchFlags{
-			Compare:     *compare,
-			IterCeiling: *iterCeiling,
-			CPUProfile:  *cpuProfile,
-			MemProfile:  *memProfile,
+			Compare:       *compare,
+			IterCeiling:   *iterCeiling,
+			ParallelFloor: *parallelFloor,
+			CPUProfile:    *cpuProfile,
+			MemProfile:    *memProfile,
 		})
 	}
 	scale := experiments.Full

@@ -1,0 +1,235 @@
+package main
+
+// The -shard mode measures the sharded execution engine (Options.Shards,
+// internal/shard) on the instance ladder n = 10⁴, 10⁵ (capped by
+// -shard-max-n): one router per rung, re-sharded across P = 1, 2, 4, 8
+// via Router.SetShards (a lightweight republish sharing the frozen graph
+// and trees), with the same query workload issued at every P plus an
+// unsharded baseline. Three numbers matter per (rung, P):
+//
+//   - measured_rounds: engine supersteps actually executed — every
+//     barrier the shard goroutines crossed. The superstep schedule is a
+//     function of the operator sequence and tree heights alone, so this
+//     is identical at every P; the mode errors if it is not.
+//   - messages / bytes: nonempty cross-shard payloads shipped and their
+//     payload bytes. These grow with P (more boundary, more peers) and
+//     are exactly reproducible, so benchdiff gates them.
+//
+// The rows are the repo's measured counterpart to the paper's
+// Õ(√n + D) round bound: the mode reports measured_rounds / (√n + D)
+// per rung (DESIGN.md §13 tabulates the recorded runs), with D the
+// double-BFS diameter estimate of the rung's graph.
+//
+// Bit-identity is enforced, not assumed: the per-P query value sums are
+// compared bitwise against the unsharded baseline and any mismatch
+// fails the run — this is the acceptance check CI executes on every
+// push (the shard-matrix job runs the equivalence tests; the
+// bench-regression job runs this mode and gates the JSON).
+//
+// The JSON document (schema 9) is a flat map in the -scale style so
+// cmd/benchdiff can gate individual cells: per-rung keys carry an
+// `_n{n}` suffix, per-(P, rung) keys an `_p{p}_n{n}` suffix. The
+// committed BENCH_shard.json is recorded at -shard-max-n 10000 with
+// -queries 4 (the config CI reproduces); the n=10⁵ evidence run feeds
+// the DESIGN.md §13 table. Query counts above the first rung drop to
+// max(1, queries/4) — the sweep re-solves the workload 5× (baseline +
+// four shard counts), and the big rung is there to scale the
+// rounds-vs-√n ratio, not to multiply wall time.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"distflow"
+	"distflow/internal/graph"
+)
+
+// shardRungs is the full ladder; -shard-max-n trims it.
+var shardRungs = []int{10_000, 100_000}
+
+// shardSweepPs is the shard-count ladder swept at every rung.
+var shardSweepPs = []int{1, 2, 4, 8}
+
+func runShardBench(cfg FlowBenchConfig, jsonPath string, maxN int) error {
+	if cfg.Queries < 1 {
+		return fmt.Errorf("-shard needs -queries >= 1")
+	}
+	if cfg.Workers != 0 {
+		distflow.SetParallelism(cfg.Workers)
+	}
+	rungs := make([]int, 0, len(shardRungs))
+	for _, n := range shardRungs {
+		if n <= maxN {
+			rungs = append(rungs, n)
+		}
+	}
+	if len(rungs) == 0 {
+		return fmt.Errorf("-shard-max-n %d is below the smallest rung (%d)", maxN, shardRungs[0])
+	}
+	cfg.N = rungs[len(rungs)-1]
+	doc := map[string]any{
+		"schema":       benchSchema,
+		"mode":         "shard",
+		"config":       cfg,
+		"go_max_procs": runtime.GOMAXPROCS(0),
+		"num_cpu":      runtime.NumCPU(),
+	}
+	note := func(key string, n int, v float64) {
+		doc[fmt.Sprintf("%s_n%d", key, n)] = v
+	}
+	noteP := func(key string, p, n int, v float64) {
+		doc[fmt.Sprintf("%s_p%d_n%d", key, p, n)] = v
+	}
+	fmt.Printf("shard bench: rungs=%v P=%v deg=%v eps=%v workers=%d GOMAXPROCS=%d\n",
+		rungs, shardSweepPs, cfg.Degree, cfg.Epsilon, cfg.Workers, runtime.GOMAXPROCS(0))
+
+	for i, n := range rungs {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		gg := graph.CapUniform(graph.GNPSparse(n, cfg.Degree/float64(n), rng), cfg.MaxCap, rng)
+		G := distflow.NewGraph(gg.N())
+		for _, e := range gg.Edges() {
+			G.AddEdge(e.U, e.V, e.Cap)
+		}
+		diameter := doubleSweepDiameter(gg)
+		sqrtND := math.Sqrt(float64(n)) + float64(diameter)
+
+		opts := distflow.Options{Epsilon: cfg.Epsilon, Seed: cfg.Seed, DisableWarmStart: true}
+		start := time.Now()
+		r, err := distflow.NewRouter(G, opts)
+		if err != nil {
+			return fmt.Errorf("n=%d build: %w", n, err)
+		}
+		buildSec := time.Since(start).Seconds()
+
+		queries := cfg.Queries
+		if i > 0 {
+			queries = max(1, cfg.Queries/4)
+		}
+		pairs := flowBenchPairs(n, queries, cfg.Seed)
+
+		// Unsharded baseline: the value sum every sharded sweep must
+		// reproduce bit for bit.
+		baseSum, baseIters := 0.0, 0
+		start = time.Now()
+		for _, pr := range pairs {
+			fr, err := r.MaxFlow(pr.S, pr.T)
+			if err != nil {
+				return fmt.Errorf("n=%d baseline query %d-%d: %w", n, pr.S, pr.T, err)
+			}
+			baseSum += fr.Value
+			baseIters += fr.Iterations
+		}
+		baseSec := time.Since(start).Seconds()
+		fmt.Printf("  n=%-7d m=%-8d D≈%-3d build %7.2fs | baseline (P=0) %7.2fs (%d iterations, value sum %.6f)\n",
+			n, G.M(), diameter, buildSec, baseSec, baseIters, baseSum)
+
+		measuredRounds := int64(-1)
+		for _, p := range shardSweepPs {
+			if err := r.SetShards(p); err != nil {
+				return fmt.Errorf("n=%d SetShards(%d): %w", n, p, err)
+			}
+			sum := 0.0
+			var rounds, msgs, bytes int64
+			start = time.Now()
+			for _, pr := range pairs {
+				fr, err := r.MaxFlow(pr.S, pr.T)
+				if err != nil {
+					return fmt.Errorf("n=%d P=%d query %d-%d: %w", n, p, pr.S, pr.T, err)
+				}
+				sum += fr.Value
+				rounds += fr.MeasuredRounds
+				msgs += fr.Messages
+				bytes += fr.Bytes
+			}
+			sec := time.Since(start).Seconds()
+			if math.Float64bits(sum) != math.Float64bits(baseSum) {
+				return fmt.Errorf("n=%d P=%d: value sum %v is not bit-identical to the unsharded baseline %v",
+					n, p, sum, baseSum)
+			}
+			if measuredRounds < 0 {
+				measuredRounds = rounds
+			} else if rounds != measuredRounds {
+				return fmt.Errorf("n=%d P=%d: %d measured rounds, P=%d measured %d — the superstep schedule must be P-independent",
+					n, p, rounds, shardSweepPs[0], measuredRounds)
+			}
+			noteP("measured_rounds", p, n, float64(rounds))
+			noteP("messages", p, n, float64(msgs))
+			noteP("bytes", p, n, float64(bytes))
+			noteP("seconds", p, n, sec)
+			fmt.Printf("    P=%d %7.2fs | rounds %-8d messages %-10d bytes %-12d (value sum bit-identical)\n",
+				p, sec, rounds, msgs, bytes)
+		}
+		r.Close()
+
+		note("m", n, float64(G.M()))
+		note("diameter", n, float64(diameter))
+		note("sqrt_n", n, math.Sqrt(float64(n)))
+		note("queries", n, float64(queries))
+		note("build_seconds", n, buildSec)
+		note("baseline_seconds", n, baseSec)
+		note("value_sum", n, baseSum)
+		note("iterations", n, float64(baseIters))
+		note("measured_rounds", n, float64(measuredRounds))
+		note("rounds_over_sqrtn_d", n, float64(measuredRounds)/sqrtND)
+		fmt.Printf("    measured rounds / (√n + D) = %.1f / %.1f = %.2f per workload (%d queries)\n",
+			float64(measuredRounds), sqrtND, float64(measuredRounds)/sqrtND, queries)
+	}
+
+	if jsonPath != "" {
+		out, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// doubleSweepDiameter estimates the graph diameter with the standard
+// double-BFS sweep (BFS from vertex 0, then BFS from the farthest
+// vertex found): a lower bound that is exact on trees and within a
+// small factor on the expander-like benchmark graphs. The estimate
+// feeds the Õ(√n + D) reference only; nothing downstream depends on it
+// being tight.
+func doubleSweepDiameter(g *graph.Graph) int {
+	adj := make([][]int32, g.N())
+	for _, e := range g.Edges() {
+		adj[e.U] = append(adj[e.U], int32(e.V))
+		adj[e.V] = append(adj[e.V], int32(e.U))
+	}
+	bfs := func(src int) (far, ecc int) {
+		dist := make([]int32, len(adj))
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue := []int32{int32(src)}
+		far = src
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range adj[v] {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					if int(dist[w]) > ecc {
+						ecc, far = int(dist[w]), int(w)
+					}
+					queue = append(queue, w)
+				}
+			}
+		}
+		return far, ecc
+	}
+	far, _ := bfs(0)
+	_, ecc := bfs(far)
+	return ecc
+}

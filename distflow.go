@@ -162,6 +162,16 @@ type Options struct {
 	// (trees then resample only on α degradation; the query-path
 	// quality escalation still catches under-serving).
 	CutShiftResample float64
+	// Shards distributes the per-iteration solver operators across this
+	// many shard goroutines exchanging typed messages under a
+	// synchronous round barrier (internal/shard, DESIGN.md §13), and
+	// reports measured rounds/messages/bytes on results and ledgers.
+	// Flow values and vectors are bit-identical to the
+	// single-address-space path at every shard and worker count; what
+	// changes is the execution substrate and the measured-complexity
+	// telemetry. 0 (the default) disables sharding; the valid range is
+	// [0, 64]. Routers with Shards > 0 hold goroutines until Close.
+	Shards int
 	// RollingRefreshK enables rolling tree refresh under sustained
 	// churn: every K-th effective UpdateTopology batch additionally
 	// resamples one tree, round-robin over the tree indices, so after
@@ -220,6 +230,16 @@ type Result struct {
 	Rounds int64
 	// RoundsByPhase breaks Rounds down by algorithm phase.
 	RoundsByPhase map[string]int64
+	// MeasuredRounds is the subset of Rounds executed as actual engine
+	// supersteps rather than charged analytically — 0 unless
+	// Options.Shards enabled the sharded engine (DESIGN.md §13).
+	MeasuredRounds int64
+	// Messages and Bytes are the measured cross-shard message and
+	// payload-byte totals of the computation — 0 unless Options.Shards
+	// enabled the sharded engine, which counts every nonempty
+	// inter-shard payload it ships (DESIGN.md §13).
+	Messages int64
+	Bytes    int64
 }
 
 // MaxFlow computes a (1+ε)-approximate maximum s-t flow. The graph must
@@ -229,6 +249,9 @@ func MaxFlow(G *Graph, s, t int, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One-shot router: release the epoch (and, with Options.Shards, the
+	// engine goroutines) once the query finishes.
+	defer r.Close()
 	return r.MaxFlow(s, t)
 }
 
@@ -302,6 +325,9 @@ func NewRouter(G *Graph, opts Options) (*Router, error) {
 func NewRouterCtx(ctx context.Context, G *Graph, opts Options) (*Router, error) {
 	if _, err := sherman.NormalizeEps(opts.Epsilon); err != nil {
 		return nil, fmt.Errorf("distflow: Options.Epsilon: %w", err)
+	}
+	if opts.Shards < 0 || opts.Shards > 64 {
+		return nil, fmt.Errorf("distflow: Options.Shards must be in [0, 64], got %d", opts.Shards)
 	}
 	if !G.g.Connected() {
 		return nil, fmt.Errorf("distflow: graph must be connected")
@@ -620,8 +646,12 @@ func (ep *epoch) maxFlowWarm(ctx context.Context, s, t int, warm []float64) (*Re
 	// moment a new phase is charged (as "update-treeflow" once did).
 	byPhase := map[string]int64{}
 	total := int64(0)
+	measured, msgs, bytes := int64(0), int64(0), int64(0)
 	for _, led := range []*congest.Ledger{ep.apx.Ledger, fr.Ledger} {
 		total += led.Total()
+		measured += led.Measured()
+		msgs += led.Messages()
+		bytes += led.Bytes()
 		for _, name := range led.PhaseNames() {
 			if v := led.Phase(name); v > 0 {
 				byPhase[name] += v
@@ -640,18 +670,21 @@ func (ep *epoch) maxFlowWarm(ctx context.Context, s, t int, warm []float64) (*Re
 		}
 	}
 	return &Result{
-		Value:         fr.Value,
-		Flow:          fr.Flow,
-		Alpha:         ep.apx.Alpha,
-		AlphaUsed:     fr.AlphaUsed,
-		Iterations:    fr.Iterations,
-		Restarts:      fr.Restarts,
-		Escalations:   fr.Escalations,
-		WarmStarted:   warm != nil,
-		Degraded:      fr.Degraded,
-		CertBound:     fr.CertBound,
-		Rounds:        total,
-		RoundsByPhase: byPhase,
+		Value:          fr.Value,
+		Flow:           fr.Flow,
+		Alpha:          ep.apx.Alpha,
+		AlphaUsed:      fr.AlphaUsed,
+		Iterations:     fr.Iterations,
+		Restarts:       fr.Restarts,
+		Escalations:    fr.Escalations,
+		WarmStarted:    warm != nil,
+		Degraded:       fr.Degraded,
+		CertBound:      fr.CertBound,
+		Rounds:         total,
+		RoundsByPhase:  byPhase,
+		MeasuredRounds: measured,
+		Messages:       msgs,
+		Bytes:          bytes,
 	}, routing, nil
 }
 

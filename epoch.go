@@ -21,10 +21,12 @@ package distflow
 // atomic pointer swap, so readers never block.
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"distflow/internal/capprox"
 	"distflow/internal/graph"
+	"distflow/internal/shard"
 	"distflow/internal/sherman"
 )
 
@@ -42,7 +44,11 @@ type epoch struct {
 	apx    *capprox.Approximator
 	solver *sherman.Solver
 	cache  *warmCache // nil when Options.DisableWarmStart
-	opts   Options
+	// eng is the sharded execution engine (nil unless Options.Shards >
+	// 0). It holds shard goroutines for the epoch's lifetime and is
+	// closed when the epoch drains.
+	eng  *shard.Engine
+	opts Options
 
 	// refs counts the publish pin (1, dropped at retirement) plus every
 	// in-flight query pinned to this epoch.
@@ -66,8 +72,28 @@ func (r *Router) bootstrap(g *graph.Graph, apx *capprox.Approximator, opts Optio
 	if !opts.DisableWarmStart {
 		ep.cache = newWarmCache(warmCacheCap(opts))
 	}
+	ep.attachEngine()
 	ep.refs.Store(1) // the publish pin
 	r.cur.Store(ep)
+}
+
+// attachEngine builds the epoch's sharded execution engine when
+// opts.Shards asks for one, and points the solver at it. Called once
+// per epoch, before the epoch is published (the engine partitions the
+// frozen graph and trees).
+func (ep *epoch) attachEngine() {
+	p := ep.opts.Shards
+	if p <= 0 {
+		return
+	}
+	eng, err := shard.NewEngine(ep.g, ep.apx.Trees, ep.apx.Scale, p)
+	if err != nil {
+		// Options.Shards is range-validated at the API boundary
+		// (NewRouter, SetShards); reaching this is a programming bug.
+		panic(fmt.Sprintf("distflow: engine construction: %v", err))
+	}
+	ep.eng = eng
+	ep.solver.SetEngine(eng)
 }
 
 // acquire pins the currently published epoch for one query (or one
@@ -88,6 +114,11 @@ func (r *Router) acquire() *epoch {
 func (ep *epoch) release() {
 	if ep.refs.Add(-1) == 0 && ep.retired.Load() {
 		if ep.drainedOnce.CompareAndSwap(false, true) {
+			if ep.eng != nil {
+				// No query pins this epoch anymore, so the engine is
+				// idle; stop its shard goroutines.
+				ep.eng.Close()
+			}
 			ep.freed.Add(1)
 		}
 	}
@@ -125,6 +156,7 @@ func (r *Router) fork() *epoch {
 func (r *Router) publish(next *epoch) {
 	next.g.Compact()
 	next.solver = sherman.NewSolver(next.g, next.apx)
+	next.attachEngine()
 	if !r.opts.DisableWarmStart {
 		next.cache = newWarmCache(warmCacheCap(r.opts))
 	}
@@ -169,3 +201,53 @@ func (r *Router) epochsDrained() int64 { return r.EpochsDrained() }
 // and writer-side code that inspect the current state, not for query
 // paths (those must acquire/release).
 func (r *Router) curEpoch() *epoch { return r.cur.Load() }
+
+// SetShards republishes the current epoch with a p-shard execution
+// engine (p = 0 returns to single-address-space execution). Unlike an
+// update publish this shares the graph and approximator with the
+// retiring epoch — both are frozen, and the engine only ever reads
+// them — so re-sharding costs one partition + schedule build, not a
+// graph clone or tree resample. Flow results are bit-identical across
+// every p (internal/shard's determinism contract); the bench P-sweep
+// relies on both properties. In-flight queries finish on the epoch
+// (and engine) they pinned.
+func (r *Router) SetShards(p int) error {
+	if p < 0 || p > 64 {
+		return fmt.Errorf("distflow: shards must be in [0, 64], got %d", p)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.cur.Load()
+	if cur.opts.Shards == p {
+		return nil
+	}
+	r.opts.Shards = p
+	next := &epoch{
+		seq:   cur.seq + 1,
+		g:     cur.g,
+		apx:   cur.apx,
+		opts:  cur.opts,
+		freed: &r.epochsFreed,
+	}
+	next.opts.Shards = p
+	next.refs.Store(1) // the publish pin
+	r.publish(next)
+	return nil
+}
+
+// Close retires the published epoch without a replacement, releasing
+// its resources — in particular the sharded engine's goroutines —
+// once in-flight queries drain. Only needed when Options.Shards (or
+// SetShards) enabled sharding; a closed Router must not serve further
+// queries or updates.
+func (r *Router) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ep := r.cur.Load()
+	if ep.retired.Load() {
+		return
+	}
+	ep.retired.Store(true)
+	r.epochsRetired.Add(1)
+	ep.release() // drop the publish pin; drains when the last query ends
+}

@@ -86,6 +86,44 @@ func FuzzMaxFlow(f *testing.F) {
 	})
 }
 
+// FuzzShardEquivalence pins the sharded engine's determinism contract
+// on arbitrary small graphs: a router with Options.Shards set returns
+// bit-identical values and flow vectors to the single-address-space
+// path, on topologies the generator never curated (multi-edges, tiny
+// n, skewed capacities — including graphs far smaller than one
+// partition chunk, where most shards own nothing).
+func FuzzShardEquivalence(f *testing.F) {
+	f.Add([]byte{4, 3, 5, 7, 0, 2, 9, 1, 3, 4}, uint8(2))
+	f.Add([]byte{9, 1, 1, 1, 1, 1, 1, 1, 1, 5, 7, 3, 2, 6, 8}, uint8(4))
+	f.Add([]byte{2, 8}, uint8(8))
+	f.Add([]byte{11, 200, 250, 3, 17, 90, 41, 5, 5, 5, 12, 13, 14}, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, shards uint8) {
+		g := fuzzGraph(data)
+		if g == nil {
+			return
+		}
+		p := 1 + int(shards)%8
+		opts := Options{Epsilon: 0.3, Seed: 1, DisableWarmStart: true}
+		want, err := MaxFlow(g, 0, g.N()-1, opts)
+		if err != nil {
+			t.Fatalf("unsharded MaxFlow failed on n=%d m=%d: %v", g.N(), g.M(), err)
+		}
+		opts.Shards = p
+		res, err := MaxFlow(fuzzGraph(data), 0, g.N()-1, opts)
+		if err != nil {
+			t.Fatalf("sharded (P=%d) MaxFlow failed on n=%d m=%d: %v", p, g.N(), g.M(), err)
+		}
+		if math.Float64bits(res.Value) != math.Float64bits(want.Value) {
+			t.Fatalf("P=%d: value %v, want %v (bitwise)", p, res.Value, want.Value)
+		}
+		for e := range want.Flow {
+			if math.Float64bits(res.Flow[e]) != math.Float64bits(want.Flow[e]) {
+				t.Fatalf("P=%d: flow[%d] = %v, want %v (bitwise)", p, e, res.Flow[e], want.Flow[e])
+			}
+		}
+	})
+}
+
 // RouteDemand must always return a flow that meets the demand exactly
 // and report the congestion of exactly that flow.
 func TestRouteDemandConservationProperty(t *testing.T) {

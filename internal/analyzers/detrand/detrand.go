@@ -6,7 +6,7 @@
 // Three rules:
 //
 //  1. In determinism-critical packages (sherman, capprox, lsst, jtree,
-//     vtree, par, graph, csr) calls to math/rand's global functions
+//     vtree, par, graph, csr, shard) calls to math/rand's global functions
 //     (rand.Intn, rand.Float64, ...) are forbidden — randomness must
 //     flow through an explicitly seeded *rand.Rand so replays
 //     reproduce it. Constructing one (rand.New, rand.NewSource) is
@@ -37,7 +37,7 @@ import (
 // apply only inside them (matched as import-path suffixes, so the
 // analysistest packages named after them are covered too).
 var criticalPkgs = []string{
-	"sherman", "capprox", "lsst", "jtree", "vtree", "par", "graph", "csr",
+	"sherman", "capprox", "lsst", "jtree", "vtree", "par", "graph", "csr", "shard",
 }
 
 // globalRandAllowed lists the math/rand package-level functions that

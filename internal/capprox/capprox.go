@@ -953,20 +953,33 @@ func (a *Approximator) PotentialRT(r []float64, ta float64, s *EvalScratch, pi [
 	// Pass 2: shifted exponential sums per tree; the gradient numerators
 	// e^{y-m} − e^{-y-m} overwrite y in place. Root slots are excluded
 	// (they are not rows of R); zero-scale slots contribute like the
-	// flat index always did.
+	// flat index always did. The per-tree sum accumulates per chunk of
+	// the canonical par.Grid and folds the chunk partials in index
+	// order — the same expression a sharded execution produces from
+	// per-shard partials, so internal/shard reproduces this value
+	// bit-for-bit (see DESIGN.md §13).
 	par.Do(len(a.Trees), func(k int) {
 		t := a.Trees[k]
 		y := s.Sub[k]
+		size, count := par.Grid(t.N())
 		sum := 0.0
-		for v := 0; v < t.N(); v++ {
-			if v == t.Root {
-				y[v] = 0
-				continue
+		for c := 0; c < count; c++ {
+			lo, hi := c*size, (c+1)*size
+			if hi > t.N() {
+				hi = t.N()
 			}
-			p := math.Exp(y[v] - m)
-			q := math.Exp(-y[v] - m)
-			sum += p + q
-			y[v] = p - q
+			ps := 0.0
+			for v := lo; v < hi; v++ {
+				if v == t.Root {
+					y[v] = 0
+					continue
+				}
+				p := math.Exp(y[v] - m)
+				q := math.Exp(-y[v] - m)
+				ps += p + q
+				y[v] = p - q
+			}
+			sum += ps
 		}
 		s.ts[k] = sum
 	})

@@ -1,6 +1,7 @@
 package congest
 
 import (
+	"sort"
 	"strings"
 	"testing"
 )
@@ -52,4 +53,57 @@ func TestWireSizes(t *testing.T) {
 			t.Errorf("%T wire size %d outside (0, %d]", m, m.WireSize(), DefaultBandwidth)
 		}
 	}
+}
+
+// TestLedgerExchange covers the measured-exchange extension: messages
+// and bytes accumulate per phase, survive Clone/Add, and appear in
+// String — whose phase lines must come out in sorted name order even
+// for phases that only ever charged messages or bytes.
+func TestLedgerExchange(t *testing.T) {
+	l := NewLedger()
+	l.ChargeExchange("gradient", 7, 12, 96)
+	l.ChargeExchange("gradient", 3, 0, 0)
+	l.ChargeExchange("alpha-phase", 1, 2, 16)
+	l.ChargeAccounted("zeta-phase", 5)
+	if l.Messages() != 14 || l.Bytes() != 112 {
+		t.Fatalf("Messages=%d Bytes=%d, want 14, 112", l.Messages(), l.Bytes())
+	}
+	if l.PhaseMessages("gradient") != 12 || l.PhaseBytes("gradient") != 96 {
+		t.Fatalf("gradient msgs=%d bytes=%d, want 12, 96", l.PhaseMessages("gradient"), l.PhaseBytes("gradient"))
+	}
+	if l.Phase("gradient") != 10 {
+		t.Fatalf("gradient rounds = %d, want 10", l.Phase("gradient"))
+	}
+	names := l.PhaseNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("PhaseNames not sorted: %v", names)
+	}
+	if len(names) != 3 {
+		t.Fatalf("PhaseNames = %v, want 3 entries", names)
+	}
+
+	c := l.Clone()
+	c.Add(l)
+	if c.Messages() != 28 || c.PhaseBytes("alpha-phase") != 32 {
+		t.Fatalf("Clone/Add lost exchange counters: msgs=%d alpha bytes=%d", c.Messages(), c.PhaseBytes("alpha-phase"))
+	}
+
+	s := l.String()
+	if !strings.Contains(s, "messages=14") || !strings.Contains(s, "bytes=112") {
+		t.Fatalf("String missing exchange totals: %q", s)
+	}
+	// Sorted-name emission: alpha-phase before gradient before zeta-phase.
+	ia, ig, iz := strings.Index(s, "alpha-phase"), strings.Index(s, "gradient"), strings.Index(s, "zeta-phase")
+	if ia < 0 || ig < 0 || iz < 0 || !(ia < ig && ig < iz) {
+		t.Fatalf("String phase order not sorted: %q", s)
+	}
+}
+
+func TestLedgerExchangeNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative exchange charge")
+		}
+	}()
+	NewLedger().ChargeExchange("x", 1, -2, 3)
 }

@@ -275,6 +275,17 @@ func Sum(n int, body func(lo, hi int) float64) float64 {
 	return s
 }
 
+// Grid exposes the chunk grid Sum, Max, and For partition [0,n) into.
+// size and count are pure functions of n — never of the worker count —
+// which is the whole determinism argument for the package. Code that
+// must reproduce a reduction bit-for-bit from partials computed
+// elsewhere (the internal/shard coordinator combining per-shard chunk
+// partials) aligns its ownership ranges to this grid: combining the
+// same per-chunk partials in the same chunk-index order is the same
+// float expression, so the sharded result equals the par result
+// exactly.
+func Grid(n int) (size, count int) { return chunks(n) }
+
 // Max reduces body over a partition of [0,n) taking the maximum of the
 // per-chunk results. Returns -Inf for n <= 0.
 func Max(n int, body func(lo, hi int) float64) float64 {

@@ -1,0 +1,368 @@
+package shard
+
+import (
+	"math"
+	"slices"
+	"sync"
+
+	"distflow/internal/graph"
+	"distflow/internal/vtree"
+)
+
+// Cost is the measured communication bill of one engine operation:
+// rounds is the number of barrier-synchronized supersteps (including
+// compute-only steps — they occupy a slot of the synchronous schedule),
+// messages the number of cross-shard payloads, and bytes their summed
+// payload sizes (8 bytes per float64, 4 per int32 id).
+type Cost struct {
+	Rounds, Messages, Bytes int64
+}
+
+// Add accumulates another cost into c.
+func (c *Cost) Add(o Cost) {
+	c.Rounds += o.Rounds
+	c.Messages += o.Messages
+	c.Bytes += o.Bytes
+}
+
+// payload is one typed inter-shard message: a value vector, optionally
+// paired with vertex ids for sparse scatter (TreeFlow/PathDeltas
+// contributions). Dense exchanges (boundary mirrors, reductions) omit
+// ids — both sides hold the same static schedule, so positions encode
+// identity.
+type payload struct {
+	vals []float64
+	ids  []int32
+}
+
+// shardState is the per-shard private memory: reusable outboxes toward
+// every peer, mirrors of non-owned boundary state, and the message
+// counters for the current operation.
+type shardState struct {
+	id int
+
+	// outVals/outIDs[j] is the reusable send buffer toward peer j
+	// (j == id models local delivery: read back directly, never
+	// shipped, never counted). The round barrier makes reuse safe: a
+	// receiver finishes reading within the superstep the payload was
+	// sent in, and the sender only rewrites the buffer in a later
+	// superstep.
+	outVals [][]float64
+	outIDs  [][]int32
+
+	// fMirror/piMirror hold received boundary values of non-owned
+	// edges/vertices. Only slots named by the static exchange lists are
+	// ever valid; tests poison the rest to prove the access discipline.
+	fMirror  []float64
+	piMirror []float64
+
+	// acc is dense per-vertex accumulation scratch for the sparse tree
+	// operators (TreeFlow, PathDeltas); mark/touched track which slots
+	// are live so the next operation clears only those.
+	acc     []float64
+	mark    []bool
+	touched []int32
+	// dirtyOut carries each shard's sorted owned dirty vertices out of
+	// a PathDeltas round for the runner to concatenate.
+	dirtyOut []int32
+
+	// recvBufs indexes the current superstep's received value buffers
+	// by source shard (reused across supersteps).
+	recvBufs [][]float64
+
+	msgs, bytes int64
+}
+
+func (s *shardState) resetOut() {
+	for j := range s.outVals {
+		s.outVals[j] = s.outVals[j][:0]
+		s.outIDs[j] = s.outIDs[j][:0]
+	}
+}
+
+// Engine runs P shard goroutines over a partitioned graph and a set of
+// virtual trees, executing solver operators as sequences of
+// barrier-synchronized supersteps. One operation runs at a time
+// (engine.mu); concurrent callers serialize, which preserves the
+// per-query determinism contract because every operation's result is a
+// pure function of its inputs.
+type Engine struct {
+	g     *graph.Graph
+	trees []*vtree.VTree
+	scale [][]float64
+	part  *Partition
+	P     int
+
+	// Immutable snapshots taken at construction so shard goroutines
+	// never trigger a lazy Compact/Finalize on the shared graph.
+	edges    []graph.Edge
+	adj      [][]graph.Arc
+	allTrees []int
+
+	mu sync.Mutex
+
+	cmd  []chan func(id int)
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mesh [][]chan payload
+
+	sh []*shardState
+
+	sched []*sweepSched // per tree
+
+	// edgeSend[i][j]: edges owned by i whose flow values shard j needs
+	// to evaluate divergence at its vertices (ascending edge id).
+	// vertSend[i][j]: vertices owned by i whose potentials shard j
+	// needs to evaluate its edge gradients (ascending vertex id).
+	edgeSend [][][]int32
+	vertSend [][][]int32
+
+	// partials is coordinator scratch for gathered chunk partials,
+	// indexed by global chunk (or tree×chunk) position.
+	partials []float64
+	// coordVal carries the coordinator's folded scalar(s) to the
+	// runner goroutine; the runner reads it only after the barrier.
+	coordVal [2]float64
+
+	maxH int
+
+	closeOnce sync.Once
+}
+
+// coord is the fixed coordinator shard for gather/broadcast steps. It
+// may own no chunks (P > chunk count); it still folds the partials.
+const coord = 0
+
+// NewEngine partitions g's vertices and edges across p shards and
+// precomputes the boundary exchange lists and level-synchronous sweep
+// schedules for the supplied trees (with their row scalings). The
+// graph and trees must be immutable for the engine's lifetime — the
+// epoch system guarantees that for published snapshots.
+func NewEngine(g *graph.Graph, trees []*vtree.VTree, scale [][]float64, p int) (*Engine, error) {
+	g.Finalize()
+	g.Compact()
+	part, err := NewPartition(g.N(), g.M(), p)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		g:     g,
+		trees: trees,
+		scale: scale,
+		part:  part,
+		P:     p,
+		cmd:   make([]chan func(id int), p),
+		done:  make(chan struct{}, p),
+		mesh:  make([][]chan payload, p),
+		sh:    make([]*shardState, p),
+	}
+	for i := 0; i < p; i++ {
+		e.cmd[i] = make(chan func(id int))
+		e.mesh[i] = make([]chan payload, p)
+		for j := 0; j < p; j++ {
+			if j != i {
+				e.mesh[i][j] = make(chan payload, 1)
+			}
+		}
+		e.sh[i] = &shardState{
+			id:       i,
+			outVals:  make([][]float64, p),
+			outIDs:   make([][]int32, p),
+			fMirror:  make([]float64, g.M()),
+			piMirror: make([]float64, g.N()),
+			acc:      make([]float64, g.N()),
+			mark:     make([]bool, g.N()),
+			recvBufs: make([][]float64, p),
+		}
+	}
+	e.edges = g.Edges()
+	e.adj = make([][]graph.Arc, g.N())
+	for v := 0; v < g.N(); v++ {
+		e.adj[v] = g.Adj(v)
+	}
+	e.allTrees = make([]int, len(trees))
+	for k := range e.allTrees {
+		e.allTrees[k] = k
+	}
+	e.buildBoundary()
+	e.sched = make([]*sweepSched, len(trees))
+	for k, t := range trees {
+		e.sched[k] = buildSweepSched(t, part)
+		if h := e.sched[k].H; h > e.maxH {
+			e.maxH = h
+		}
+	}
+	np := part.VertChunks
+	if tp := len(trees) * part.VertChunks; tp > np {
+		np = tp
+	}
+	if part.EdgeChunks > np {
+		np = part.EdgeChunks
+	}
+	e.partials = make([]float64, np)
+	for i := 0; i < p; i++ {
+		e.wg.Add(1)
+		go e.loop(i)
+	}
+	return e, nil
+}
+
+// Shards returns the number of shards.
+func (e *Engine) Shards() int { return e.P }
+
+// Partition returns the engine's vertex/edge partition.
+func (e *Engine) Partition() *Partition { return e.part }
+
+// Close stops the shard goroutines. The engine must be idle.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		for i := range e.cmd {
+			close(e.cmd[i])
+		}
+		e.wg.Wait()
+	})
+}
+
+func (e *Engine) loop(id int) {
+	defer e.wg.Done()
+	for fn := range e.cmd[id] {
+		fn(id)
+		e.done <- struct{}{}
+	}
+}
+
+// round runs one superstep on all shards and blocks until every shard
+// reaches the barrier. Shard bodies must not panic: an unwound shard
+// would strand peers blocked on its messages. The operators validate
+// inputs on the runner goroutine before the first round.
+func (e *Engine) round(c *Cost, fn func(id int)) {
+	for i := 0; i < e.P; i++ {
+		e.cmd[i] <- fn
+	}
+	for i := 0; i < e.P; i++ {
+		<-e.done
+	}
+	c.Rounds++
+}
+
+// finishCost folds the per-shard message counters into c and resets
+// them. Called by the runner after the final barrier of an operation.
+func (e *Engine) finishCost(c *Cost) {
+	for _, s := range e.sh {
+		c.Messages += s.msgs
+		c.Bytes += s.bytes
+		s.msgs, s.bytes = 0, 0
+	}
+}
+
+// send ships shard s's outbox for peer j (no-op for self-delivery,
+// which models local memory). Empty payloads are never sent — the
+// static schedules tell the receiver exactly who ships.
+func (e *Engine) send(s *shardState, j int) {
+	if j == s.id {
+		return
+	}
+	e.mesh[s.id][j] <- payload{vals: s.outVals[j], ids: s.outIDs[j]}
+	s.msgs++
+	s.bytes += int64(8*len(s.outVals[j]) + 4*len(s.outIDs[j]))
+}
+
+// recv returns the payload peer j sent to shard s this superstep; for
+// j == s.id it returns s's own outbox (local delivery).
+func (e *Engine) recv(s *shardState, j int) payload {
+	if j == s.id {
+		return payload{vals: s.outVals[j], ids: s.outIDs[j]}
+	}
+	return <-e.mesh[j][s.id]
+}
+
+// combineSum folds chunk partials exactly as par.Sum does — including
+// the single-chunk shortcut, which returns the partial untouched.
+func combineSum(partials []float64) float64 {
+	if len(partials) == 1 {
+		return partials[0]
+	}
+	s := 0.0
+	for _, p := range partials {
+		s += p
+	}
+	return s
+}
+
+// combineMax folds chunk partials exactly as par.Max does.
+func combineMax(partials []float64) float64 {
+	if len(partials) == 1 {
+		return partials[0]
+	}
+	m := math.Inf(-1)
+	for _, p := range partials {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// buildBoundary derives the static exchange lists from the edge list:
+// for every edge whose endpoints' owners differ from the edge's owner,
+// the edge owner ships the flow value to each vertex owner
+// (divergence), and each vertex owner ships the endpoint potential to
+// the edge owner (gradient). Lists are built in ascending edge order,
+// then the vertex lists are deduplicated — both sides iterate the same
+// slices, so positions encode identity and no ids travel.
+func (e *Engine) buildBoundary() {
+	p := e.P
+	e.edgeSend = make([][][]int32, p)
+	e.vertSend = make([][][]int32, p)
+	for i := 0; i < p; i++ {
+		e.edgeSend[i] = make([][]int32, p)
+		e.vertSend[i] = make([][]int32, p)
+	}
+	pt := e.part
+	edges := e.g.Edges()
+	// vertMark[ow][oe] tracks the last vertex appended to dedup the
+	// ascending-order append stream per (vertex owner, edge owner).
+	for ei := range edges {
+		oe := pt.EdgeOwner(ei)
+		u, v := edges[ei].U, edges[ei].V
+		ou, ov := pt.VertOwner(u), pt.VertOwner(v)
+		if ou != oe {
+			e.edgeSend[oe][ou] = appendDedup(e.edgeSend[oe][ou], int32(ei))
+			e.vertSend[ou][oe] = append(e.vertSend[ou][oe], int32(u))
+		}
+		if ov != oe && ov != ou {
+			e.edgeSend[oe][ov] = appendDedup(e.edgeSend[oe][ov], int32(ei))
+		}
+		if ov != oe {
+			e.vertSend[ov][oe] = append(e.vertSend[ov][oe], int32(v))
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			e.vertSend[i][j] = sortDedup(e.vertSend[i][j])
+		}
+	}
+}
+
+func appendDedup(s []int32, x int32) []int32 {
+	if n := len(s); n > 0 && s[n-1] == x {
+		return s
+	}
+	return append(s, x)
+}
+
+// sortDedup sorts ascending and removes duplicates in place.
+func sortDedup(s []int32) []int32 {
+	if len(s) < 2 {
+		return s
+	}
+	slices.Sort(s)
+	out := s[:1]
+	for _, x := range s[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,511 @@
+package shard
+
+import (
+	"math"
+)
+
+// The per-iteration solver operators. Each mirrors one baseline
+// routine loop-for-loop; the comments name the reference. All of them
+// serialize on engine.mu — results are pure functions of the inputs,
+// so serialization cannot affect values, only wall time.
+
+// chunkRange returns the [lo,hi) element range of grid chunk c.
+func chunkRange(c, size, n int) (lo, hi int) {
+	lo = c * size
+	hi = lo + size
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+func (e *Engine) edgeActive(k int) bool {
+	return e.part.EdgeChunkHi[k] > e.part.EdgeChunkLo[k]
+}
+
+func (e *Engine) vertActive(k int) bool {
+	return e.part.VertChunkHi[k] > e.part.VertChunkLo[k]
+}
+
+// bcast ships val from the coordinator to every active peer; callers
+// on the receiving side pick it up with recvScalar.
+func (e *Engine) bcast(s *shardState, val float64, active func(int) bool) {
+	for j := 0; j < e.P; j++ {
+		if j == s.id || !active(j) {
+			continue
+		}
+		s.outVals[j] = append(s.outVals[j][:0], val)
+		e.send(s, j)
+	}
+}
+
+// gatherPartials (coordinator only) assembles the per-chunk partials
+// shipped by every active shard into e.partials at global chunk
+// positions.
+func (e *Engine) gatherPartials(s *shardState, chunkLo, chunkHi []int) {
+	for j := 0; j < e.P; j++ {
+		if chunkHi[j] <= chunkLo[j] {
+			continue
+		}
+		copy(e.partials[chunkLo[j]:chunkHi[j]], e.recv(s, j).vals)
+	}
+}
+
+// gatherTreePartials assembles per-(tree, chunk) partials: shard j
+// ships trees × ownedChunks values grouped by tree; the coordinator
+// scatters them to e.partials[t*VertChunks + chunk].
+func (e *Engine) gatherTreePartials(s *shardState, trees int) {
+	pt := e.part
+	for j := 0; j < e.P; j++ {
+		cnt := pt.VertChunkHi[j] - pt.VertChunkLo[j]
+		if cnt <= 0 {
+			continue
+		}
+		vals := e.recv(s, j).vals
+		for t := 0; t < trees; t++ {
+			copy(e.partials[t*pt.VertChunks+pt.VertChunkLo[j]:t*pt.VertChunks+pt.VertChunkHi[j]],
+				vals[t*cnt:(t+1)*cnt])
+		}
+	}
+}
+
+// SoftMaxGradScaled mirrors numutil.SoftMaxGradScaledPar(f, scale,
+// grad): smax of the implicit vector y_i = f_i·scale_i with the
+// gradient numerators and 1/sum scaling written into grad. Three
+// rounds: max-shift gather, broadcast+exp-sum gather,
+// broadcast+gradient scaling. Bit-identical because the per-chunk
+// loop bodies are the same code over the same par.Grid chunks and the
+// coordinator folds partials exactly as par.Max/par.Sum do.
+func (e *Engine) SoftMaxGradScaled(f, scaleVec, grad []float64) (float64, Cost) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var c Cost
+	n := len(f)
+	if n == 0 {
+		return math.Inf(-1), c
+	}
+	pt := e.part
+	e.round(&c, func(id int) {
+		s := e.sh[id]
+		s.resetOut()
+		for ch := pt.EdgeChunkLo[id]; ch < pt.EdgeChunkHi[id]; ch++ {
+			lo, hi := chunkRange(ch, pt.EdgeSize, n)
+			mm := 0.0
+			for i := lo; i < hi; i++ {
+				if a := math.Abs(f[i] * scaleVec[i]); a > mm {
+					mm = a
+				}
+			}
+			s.outVals[coord] = append(s.outVals[coord], mm)
+		}
+		if id != coord && len(s.outVals[coord]) > 0 {
+			e.send(s, coord)
+		}
+		if id == coord {
+			e.gatherPartials(s, pt.EdgeChunkLo, pt.EdgeChunkHi)
+			e.coordVal[0] = combineMax(e.partials[:pt.EdgeChunks])
+		}
+	})
+	m := e.coordVal[0]
+	e.round(&c, func(id int) {
+		s := e.sh[id]
+		s.resetOut()
+		mm := 0.0
+		switch {
+		case id == coord:
+			mm = e.coordVal[0]
+			e.bcast(s, mm, e.edgeActive)
+		case e.edgeActive(id):
+			mm = e.recv(s, coord).vals[0]
+		}
+		for ch := pt.EdgeChunkLo[id]; ch < pt.EdgeChunkHi[id]; ch++ {
+			lo, hi := chunkRange(ch, pt.EdgeSize, n)
+			ps := 0.0
+			for i := lo; i < hi; i++ {
+				y := f[i] * scaleVec[i]
+				p := math.Exp(y - mm)
+				q := math.Exp(-y - mm)
+				ps += p + q
+				grad[i] = p - q
+			}
+			s.outVals[coord] = append(s.outVals[coord], ps)
+		}
+		if id != coord && len(s.outVals[coord]) > 0 {
+			e.send(s, coord)
+		}
+		if id == coord {
+			e.gatherPartials(s, pt.EdgeChunkLo, pt.EdgeChunkHi)
+			e.coordVal[1] = combineSum(e.partials[:pt.EdgeChunks])
+		}
+	})
+	sum := e.coordVal[1]
+	e.round(&c, func(id int) {
+		s := e.sh[id]
+		s.resetOut()
+		sv := 0.0
+		switch {
+		case id == coord:
+			sv = e.coordVal[1]
+			e.bcast(s, sv, e.edgeActive)
+		case e.edgeActive(id):
+			sv = e.recv(s, coord).vals[0]
+		}
+		inv := 1 / sv
+		for i := pt.EdgeLo[id]; i < pt.EdgeHi[id]; i++ {
+			grad[i] *= inv
+		}
+	})
+	e.finishCost(&c)
+	return m + math.Log(sum), c
+}
+
+// Residual mirrors graph.DivergenceInto followed by the element-wise
+// r = bs − div: one round ships every boundary flow value to the
+// vertex owners that need it, then each shard sweeps its vertices in
+// the baseline's per-vertex arc order. Pass r == nil for plain
+// divergence.
+func (e *Engine) Residual(f, bs, div, r []float64) Cost {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var c Cost
+	pt := e.part
+	e.round(&c, func(id int) {
+		s := e.sh[id]
+		s.resetOut()
+		for j := 0; j < e.P; j++ {
+			lst := e.edgeSend[id][j]
+			if j == id || len(lst) == 0 {
+				continue
+			}
+			for _, ei := range lst {
+				s.outVals[j] = append(s.outVals[j], f[ei])
+			}
+			e.send(s, j)
+		}
+		for j := 0; j < e.P; j++ {
+			lst := e.edgeSend[j][id]
+			if j == id || len(lst) == 0 {
+				continue
+			}
+			vals := e.recv(s, j).vals
+			for i, ei := range lst {
+				s.fMirror[ei] = vals[i]
+			}
+		}
+		edges := e.edges
+		for v := pt.VertLo[id]; v < pt.VertHi[id]; v++ {
+			sum := 0.0
+			for _, a := range e.adj[v] {
+				fv := f[a.E]
+				if pt.EdgeOwner(a.E) != id {
+					fv = s.fMirror[a.E]
+				}
+				if edges[a.E].U == v {
+					sum += fv
+				} else {
+					sum -= fv
+				}
+			}
+			div[v] = sum
+			if r != nil {
+				r[v] = bs[v] - sum
+			}
+		}
+	})
+	e.finishCost(&c)
+	return c
+}
+
+// PotentialRT mirrors capprox.Approximator.PotentialRT: φ₂ = smax(y)
+// for y = ta·R·r with node potentials π = Rᵀ·∇smax(y), executed as
+// level-synchronous tree sweeps over all trees at once with
+// chunk-aligned reductions. sub and pt are the caller's per-tree
+// scratch (capprox.EvalScratch.Sub/PT); pi receives the potentials.
+func (e *Engine) PotentialRT(r []float64, ta float64, sub, pt [][]float64, pi []float64) (float64, Cost) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var c Cost
+	K := len(e.trees)
+	part := e.part
+	ts := e.allTrees
+	// Init: per-tree accumulators start as r on owned slots (the
+	// collective equivalent of SubtreeSumsInto's copy).
+	e.round(&c, func(id int) {
+		lo, hi := part.VertLo[id], part.VertHi[id]
+		for k := 0; k < K; k++ {
+			copy(sub[k][lo:hi], r[lo:hi])
+		}
+	})
+	e.sweepUp(&c, ts, sub)
+	// Pass 1 scaling: y = ta·y/scale with per-tree |y| maxima; maxima
+	// gather at the coordinator (max is exact, so any fold grouping
+	// reproduces the sequential per-tree max).
+	e.round(&c, func(id int) {
+		s := e.sh[id]
+		s.resetOut()
+		lo, hi := part.VertLo[id], part.VertHi[id]
+		for k := 0; k < K; k++ {
+			t := e.trees[k]
+			scale := e.scale[k]
+			y := sub[k]
+			mm := 0.0
+			for v := lo; v < hi; v++ {
+				if v == t.Root || scale[v] == 0 {
+					y[v] = 0
+					continue
+				}
+				y[v] = ta * y[v] / scale[v]
+				if ay := math.Abs(y[v]); ay > mm {
+					mm = ay
+				}
+			}
+			s.outVals[coord] = append(s.outVals[coord], mm)
+		}
+		if id != coord && e.vertActive(id) {
+			e.send(s, coord)
+		}
+		if id == coord {
+			tm := e.partials[:K]
+			for k := range tm {
+				tm[k] = 0
+			}
+			for j := 0; j < e.P; j++ {
+				if !e.vertActive(j) {
+					continue
+				}
+				vals := e.recv(s, j).vals
+				for k := 0; k < K; k++ {
+					if vals[k] > tm[k] {
+						tm[k] = vals[k]
+					}
+				}
+			}
+			m := 0.0
+			for _, v := range tm {
+				if v > m {
+					m = v
+				}
+			}
+			e.coordVal[0] = m
+		}
+	})
+	m := e.coordVal[0]
+	// Pass 2: shifted exponential sums per (tree, chunk); the
+	// coordinator folds chunk partials in chunk order per tree, then
+	// trees in tree order — the canonical baseline expression.
+	e.round(&c, func(id int) {
+		s := e.sh[id]
+		s.resetOut()
+		mm := 0.0
+		switch {
+		case id == coord:
+			mm = e.coordVal[0]
+			e.bcast(s, mm, e.vertActive)
+		case e.vertActive(id):
+			mm = e.recv(s, coord).vals[0]
+		}
+		for k := 0; k < K; k++ {
+			t := e.trees[k]
+			y := sub[k]
+			for ch := part.VertChunkLo[id]; ch < part.VertChunkHi[id]; ch++ {
+				lo, hi := chunkRange(ch, part.VertSize, part.N)
+				ps := 0.0
+				for v := lo; v < hi; v++ {
+					if v == t.Root {
+						y[v] = 0
+						continue
+					}
+					p := math.Exp(y[v] - mm)
+					q := math.Exp(-y[v] - mm)
+					ps += p + q
+					y[v] = p - q
+				}
+				s.outVals[coord] = append(s.outVals[coord], ps)
+			}
+		}
+		if id != coord && e.vertActive(id) {
+			e.send(s, coord)
+		}
+		if id == coord {
+			e.gatherTreePartials(s, K)
+			total := 0.0
+			for k := 0; k < K; k++ {
+				tsum := 0.0
+				for ch := 0; ch < part.VertChunks; ch++ {
+					tsum += e.partials[k*part.VertChunks+ch]
+				}
+				total += tsum
+			}
+			e.coordVal[1] = total
+		}
+	})
+	sum := e.coordVal[1]
+	// Pass 3 prep: pt[k][v] = y·inv/scale on owned slots, zero at
+	// roots and zero-scale slots; then the top-down sweeps and the
+	// per-vertex cross-tree accumulation in tree order.
+	e.round(&c, func(id int) {
+		s := e.sh[id]
+		s.resetOut()
+		sv := 0.0
+		switch {
+		case id == coord:
+			sv = e.coordVal[1]
+			e.bcast(s, sv, e.vertActive)
+		case e.vertActive(id):
+			sv = e.recv(s, coord).vals[0]
+		}
+		inv := 1 / sv
+		lo, hi := part.VertLo[id], part.VertHi[id]
+		for k := 0; k < K; k++ {
+			t := e.trees[k]
+			scale := e.scale[k]
+			y := sub[k]
+			buf := pt[k]
+			for v := lo; v < hi; v++ {
+				if v == t.Root || scale[v] == 0 {
+					buf[v] = 0
+					continue
+				}
+				buf[v] = y[v] * inv / scale[v]
+			}
+		}
+	})
+	e.sweepDn(&c, ts, pt)
+	e.round(&c, func(id int) {
+		lo, hi := part.VertLo[id], part.VertHi[id]
+		for v := lo; v < hi; v++ {
+			acc := 0.0
+			for k := 0; k < K; k++ {
+				acc += pt[k][v]
+			}
+			pi[v] = acc
+		}
+	})
+	e.finishCost(&c)
+	return m + math.Log(sum), c
+}
+
+// GradientDelta mirrors sherman's gradient/duality-gap reduction: one
+// round ships boundary potentials to edge owners, one computes
+// grad[e] = w1[e]·invCap[e] + ta·(π_V − π_U) per owned edge with the
+// chunked Σ cap·|grad| partials gathered at the coordinator.
+func (e *Engine) GradientDelta(w1, invCap []float64, ta float64, pi, grad []float64) (float64, Cost) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var c Cost
+	pt := e.part
+	e.round(&c, func(id int) {
+		s := e.sh[id]
+		s.resetOut()
+		for j := 0; j < e.P; j++ {
+			lst := e.vertSend[id][j]
+			if j == id || len(lst) == 0 {
+				continue
+			}
+			for _, v := range lst {
+				s.outVals[j] = append(s.outVals[j], pi[v])
+			}
+			e.send(s, j)
+		}
+		for j := 0; j < e.P; j++ {
+			lst := e.vertSend[j][id]
+			if j == id || len(lst) == 0 {
+				continue
+			}
+			vals := e.recv(s, j).vals
+			for i, v := range lst {
+				s.piMirror[v] = vals[i]
+			}
+		}
+	})
+	e.round(&c, func(id int) {
+		s := e.sh[id]
+		s.resetOut()
+		edges := e.edges
+		for ch := pt.EdgeChunkLo[id]; ch < pt.EdgeChunkHi[id]; ch++ {
+			lo, hi := chunkRange(ch, pt.EdgeSize, pt.M)
+			d := 0.0
+			for ei := lo; ei < hi; ei++ {
+				ed := edges[ei]
+				pu, pv := pi[ed.U], pi[ed.V]
+				if pt.VertOwner(ed.U) != id {
+					pu = s.piMirror[ed.U]
+				}
+				if pt.VertOwner(ed.V) != id {
+					pv = s.piMirror[ed.V]
+				}
+				gr := w1[ei]*invCap[ei] + ta*(pv-pu)
+				grad[ei] = gr
+				d += float64(ed.Cap) * math.Abs(gr)
+			}
+			s.outVals[coord] = append(s.outVals[coord], d)
+		}
+		if id != coord && len(s.outVals[coord]) > 0 {
+			e.send(s, coord)
+		}
+		if id == coord {
+			e.gatherPartials(s, pt.EdgeChunkLo, pt.EdgeChunkHi)
+			e.coordVal[0] = combineSum(e.partials[:pt.EdgeChunks])
+		}
+	})
+	delta := e.coordVal[0]
+	e.finishCost(&c)
+	return delta, c
+}
+
+// NormRb mirrors capprox.Approximator.NormRb: ‖R·b‖∞ via a bottom-up
+// sweep of every tree, the row scaling, and an exact max fold. sub is
+// per-tree scratch (len trees × N), typically the caller's
+// EvalScratch.Sub between evaluations.
+func (e *Engine) NormRb(b []float64, sub [][]float64) (float64, Cost) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var c Cost
+	K := len(e.trees)
+	part := e.part
+	e.round(&c, func(id int) {
+		lo, hi := part.VertLo[id], part.VertHi[id]
+		for k := 0; k < K; k++ {
+			copy(sub[k][lo:hi], b[lo:hi])
+		}
+	})
+	e.sweepUp(&c, e.allTrees, sub)
+	e.round(&c, func(id int) {
+		s := e.sh[id]
+		s.resetOut()
+		lo, hi := part.VertLo[id], part.VertHi[id]
+		mm := 0.0
+		for k := 0; k < K; k++ {
+			t := e.trees[k]
+			scale := e.scale[k]
+			y := sub[k]
+			for v := lo; v < hi; v++ {
+				if v == t.Root || scale[v] == 0 {
+					continue
+				}
+				if a := math.Abs(y[v] / scale[v]); a > mm {
+					mm = a
+				}
+			}
+		}
+		s.outVals[coord] = append(s.outVals[coord], mm)
+		if id != coord && e.vertActive(id) {
+			e.send(s, coord)
+		}
+		if id == coord {
+			m := 0.0
+			for j := 0; j < e.P; j++ {
+				if !e.vertActive(j) {
+					continue
+				}
+				if v := e.recv(s, j).vals[0]; v > m {
+					m = v
+				}
+			}
+			e.coordVal[0] = m
+		}
+	})
+	norm := e.coordVal[0]
+	e.finishCost(&c)
+	return norm, c
+}

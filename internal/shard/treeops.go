@@ -1,0 +1,184 @@
+package shard
+
+import (
+	"slices"
+
+	"distflow/internal/vtree"
+)
+
+// The sparse tree operators: vtree.TreeFlow and vtree.PathDeltas
+// executed shard-locally over an edge/edit partition with contribution
+// exchange to vertex owners. Both operate in the solver's
+// integer-capacity regime, where every contribution is an exact
+// integer in float64 and addition is associative — so the accumulation
+// order across shards cannot change a bit, and the results equal the
+// sequential sweeps exactly.
+//
+// Unlike the dense operators, which peers ship to is data-dependent
+// (LCA walks decide which vertices a shard touches), so every shard
+// pair exchanges exactly one payload per exchange round — possibly
+// empty. Empty payloads model the synchronous round's "nothing for
+// you" frame and are not counted as messages.
+
+// clearSparse resets the dense accumulation scratch touched by the
+// previous sparse operation.
+func (s *shardState) clearSparse() {
+	for _, v := range s.touched {
+		s.acc[v] = 0
+		s.mark[v] = false
+	}
+	s.touched = s.touched[:0]
+}
+
+func (s *shardState) touch(v int) {
+	if !s.mark[v] {
+		s.mark[v] = true
+		s.touched = append(s.touched, int32(v))
+	}
+}
+
+// exchangeSparse ships each peer the (vertex, value) contribution
+// pairs this shard accumulated for vertices the peer owns, and returns
+// after scattering the received pairs through apply. Every pair
+// exchanges one payload (possibly empty).
+func (e *Engine) exchangeSparse(s *shardState, apply func(v int32, val float64)) {
+	pt := e.part
+	for _, v := range s.touched {
+		ov := pt.VertOwner(int(v))
+		if ov == s.id {
+			continue
+		}
+		s.outIDs[ov] = append(s.outIDs[ov], v)
+		s.outVals[ov] = append(s.outVals[ov], s.acc[v])
+	}
+	for j := 0; j < e.P; j++ {
+		if j == s.id {
+			continue
+		}
+		e.mesh[s.id][j] <- payload{vals: s.outVals[j], ids: s.outIDs[j]}
+		if len(s.outVals[j]) > 0 {
+			s.msgs++
+			s.bytes += int64(8*len(s.outVals[j]) + 4*len(s.outIDs[j]))
+		}
+	}
+	for j := 0; j < e.P; j++ {
+		if j == s.id {
+			continue
+		}
+		p := <-e.mesh[j][s.id]
+		for i, v := range p.ids {
+			apply(v, p.vals[i])
+		}
+	}
+}
+
+// TreeFlow mirrors vtree.TreeFlowWS on tree k: route cap(e) along the
+// tree for every endpoint pair and write the absolute subtree loads
+// into out (len N), with out[root] = 0. The edge list is split
+// contiguously across shards; LCA delta contributions are exchanged to
+// vertex owners (exact integers — order-free), then the bottom-up
+// sweep runs level-synchronously.
+func (e *Engine) TreeFlow(k int, edges []vtree.EdgeEndpoint, out []float64) Cost {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := e.trees[k]
+	lca := t.EnsureLCA()
+	var c Cost
+	pt := e.part
+	e.round(&c, func(id int) {
+		s := e.sh[id]
+		s.resetOut()
+		s.clearSparse()
+		lo, hi := id*len(edges)/e.P, (id+1)*len(edges)/e.P
+		for _, ed := range edges[lo:hi] {
+			if ed.U == ed.V {
+				continue
+			}
+			a := lca.Query(ed.U, ed.V)
+			s.touch(ed.U)
+			s.acc[ed.U] += ed.Cap
+			s.touch(ed.V)
+			s.acc[ed.V] += ed.Cap
+			s.touch(a)
+			s.acc[a] -= 2 * ed.Cap
+		}
+		for v := pt.VertLo[id]; v < pt.VertHi[id]; v++ {
+			out[v] = 0
+		}
+		for _, v := range s.touched {
+			if pt.VertOwner(int(v)) == id {
+				out[v] += s.acc[v]
+			}
+		}
+		e.exchangeSparse(s, func(v int32, val float64) { out[v] += val })
+	})
+	e.sweepUp(&c, []int{k}, [][]float64{out})
+	out[t.Root] = 0
+	e.finishCost(&c)
+	return c
+}
+
+// PathDeltas mirrors vtree.PathDeltas on tree k: per-vertex summed
+// Diff of every edit whose tree path crosses the (v, parent) edge.
+// The edit list is split contiguously across shards; path walks run
+// against the replicated static Parent/LCA tables and the per-vertex
+// sums are exchanged to owners. It returns the dirty vertices sorted
+// ascending (the sequential path reports first-touch order; the set
+// and the delta values are identical) and writes delta[v] for exactly
+// those vertices.
+func (e *Engine) PathDeltas(k int, edits []vtree.DeltaEdit, delta []float64) ([]int, Cost) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := e.trees[k]
+	lca := t.EnsureLCA()
+	var c Cost
+	pt := e.part
+	e.round(&c, func(id int) {
+		s := e.sh[id]
+		s.resetOut()
+		s.clearSparse()
+		s.dirtyOut = s.dirtyOut[:0]
+		lo, hi := id*len(edits)/e.P, (id+1)*len(edits)/e.P
+		for _, ed := range edits[lo:hi] {
+			if ed.U == ed.V || ed.Diff == 0 {
+				continue
+			}
+			a := lca.Query(ed.U, ed.V)
+			for x := ed.U; x != a; x = t.Parent[x] {
+				s.touch(x)
+				s.acc[x] += ed.Diff
+			}
+			for x := ed.V; x != a; x = t.Parent[x] {
+				s.touch(x)
+				s.acc[x] += ed.Diff
+			}
+		}
+		for _, v := range s.touched {
+			if pt.VertOwner(int(v)) == id {
+				s.dirtyOut = append(s.dirtyOut, v)
+				delta[v] = s.acc[v]
+			}
+		}
+		e.exchangeSparse(s, func(v int32, val float64) {
+			if !s.mark[v] {
+				// First touch arrived by message: the local walk never
+				// reached v, so its delta slot is stale — overwrite.
+				s.mark[v] = true
+				s.touched = append(s.touched, v)
+				s.dirtyOut = append(s.dirtyOut, v)
+				delta[v] = val
+				return
+			}
+			delta[v] += val
+		})
+		slices.Sort(s.dirtyOut)
+	})
+	var dirty []int
+	for _, s := range e.sh {
+		for _, v := range s.dirtyOut {
+			dirty = append(dirty, int(v))
+		}
+	}
+	e.finishCost(&c)
+	return dirty, c
+}

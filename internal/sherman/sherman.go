@@ -43,6 +43,7 @@ import (
 	"distflow/internal/mst"
 	"distflow/internal/numutil"
 	"distflow/internal/par"
+	"distflow/internal/shard"
 	"distflow/internal/vtree"
 )
 
@@ -145,6 +146,13 @@ type Solver struct {
 	g   *graph.Graph
 	apx *capprox.Approximator
 
+	// eng, when non-nil, executes the per-iteration operators on the
+	// sharded message-passing engine instead of the single-address-space
+	// path. Results are bit-identical (internal/shard's determinism
+	// contract); what changes is that the ledger additionally records
+	// measured rounds, messages, and bytes.
+	eng *shard.Engine
+
 	wsPool sync.Pool
 
 	stOnce sync.Once
@@ -160,11 +168,35 @@ func NewSolver(g *graph.Graph, apx *capprox.Approximator) *Solver {
 	return &Solver{g: g, apx: apx}
 }
 
+// SetEngine attaches a sharded execution engine built over the same
+// (g, apx). Must be called before the Solver serves queries — the
+// field is read without synchronization on the hot path. Pass nil to
+// return to single-address-space execution.
+func (s *Solver) SetEngine(e *shard.Engine) { s.eng = e }
+
 func (s *Solver) getWS() *workspace {
-	if ws, ok := s.wsPool.Get().(*workspace); ok {
-		return ws
+	ws, ok := s.wsPool.Get().(*workspace)
+	if !ok {
+		ws = newWorkspace(s.g, s.apx)
 	}
-	return newWorkspace(s.g, s.apx)
+	// Pooled workspaces may predate SetEngine; refresh the binding.
+	ws.eng = s.eng
+	return ws
+}
+
+// normRb computes ‖Rb‖∞, on the engine when one is attached (charging
+// the measured exchange to ledger) and on the flat path otherwise.
+func (s *Solver) normRb(b []float64, ledger *congest.Ledger) float64 {
+	if s.eng == nil {
+		return s.apx.NormRb(b)
+	}
+	ws := s.getWS()
+	defer s.putWS(ws)
+	norm, c := s.eng.NormRb(b, ws.scratch.Sub)
+	if ledger != nil {
+		ledger.ChargeExchange("norm-rb", c.Rounds, c.Messages, c.Bytes)
+	}
+	return norm
 }
 
 func (s *Solver) putWS(ws *workspace) { s.wsPool.Put(ws) }
@@ -178,6 +210,11 @@ func (s *Solver) stTree() (*stRouter, error) {
 type workspace struct {
 	g   *graph.Graph
 	apx *capprox.Approximator
+	// eng mirrors Solver.eng (rebound at every checkout); cost
+	// accumulates the measured exchange bill of evals since the last
+	// charge() drain.
+	eng  *shard.Engine
+	cost shard.Cost
 	// invCap[e] = 1/cap_e, fused into the φ1 soft-max and the gradient
 	// assembly (multiplies instead of divides on the hot path).
 	invCap []float64
@@ -230,6 +267,9 @@ func newWorkspace(g *graph.Graph, apx *capprox.Approximator) *workspace {
 // order fixed by the problem size alone, so eval is a pure function of
 // (f, bs, alpha) at every worker count.
 func (ws *workspace) eval(f, bs []float64, alpha float64) (phi, delta float64) {
+	if ws.eng != nil {
+		return ws.evalSharded(f, bs, alpha)
+	}
 	g := ws.g
 	edges := g.Edges()
 	// φ1 = smax(C⁻¹f), fused scaling.
@@ -254,6 +294,23 @@ func (ws *workspace) eval(f, bs []float64, alpha float64) (phi, delta float64) {
 		}
 		return d
 	})
+	return phi1 + phi2, delta
+}
+
+// evalSharded is eval on the message-passing engine: the same four
+// operators as sequences of barrier-synchronized supersteps with
+// boundary exchange, bit-identical results, and the measured
+// rounds/messages/bytes accumulated into ws.cost for charge() to
+// drain into the ledger.
+func (ws *workspace) evalSharded(f, bs []float64, alpha float64) (phi, delta float64) {
+	e := ws.eng
+	phi1, c := e.SoftMaxGradScaled(f, ws.invCap, ws.w1)
+	ws.cost.Add(c)
+	ws.cost.Add(e.Residual(f, bs, ws.div, ws.r))
+	phi2, c := e.PotentialRT(ws.r, 2*alpha, ws.scratch.Sub, ws.scratch.PT, ws.pi)
+	ws.cost.Add(c)
+	delta, c = e.GradientDelta(ws.w1, ws.invCap, 2*alpha, ws.pi, ws.grad)
+	ws.cost.Add(c)
 	return phi1 + phi2, delta
 }
 
@@ -360,7 +417,7 @@ func (s *Solver) almostRoute(ctx context.Context, b []float64, eps float64, cfg 
 	if st.alpha == 0 {
 		st.alpha = resolveAlpha(cfg)
 	}
-	rb := s.apx.NormRb(b)
+	rb := s.normRb(b, ledger)
 	if rb == 0 {
 		return &RouteResult{Flow: make([]float64, g.M()), AlphaUsed: st.alpha}, nil
 	}
@@ -486,10 +543,15 @@ func (s *Solver) almostRouteFixedAlpha(ctx context.Context, b []float64, eps, al
 
 	phi, delta := ws.eval(f, bs, alpha)
 	charge := func() {
+		measured := ws.cost
+		ws.cost = shard.Cost{}
 		if ledger != nil {
 			// Two R-applications (Cor. 9.3) + two BFS aggregations per
 			// potential/gradient evaluation (§9.1).
 			ledger.ChargeAccounted("gradient", s.apx.EvalRounds(g.N(), diameter)*2+2*int64(diameter+1))
+			if measured != (shard.Cost{}) {
+				ledger.ChargeExchange("gradient", measured.Rounds, measured.Messages, measured.Bytes)
+			}
 		}
 	}
 	charge()
@@ -743,7 +805,7 @@ func (s *Solver) MaxFlowCtx(ctx context.Context, src, dst int, cfg Config, warm 
 	res := &FlowResult{Ledger: ledger, AlphaUsed: resolveAlpha(cfg)}
 	total := make([]float64, g.M())
 	resid := append([]float64(nil), b...)
-	norm0 := s.apx.NormRb(b)
+	norm0 := s.normRb(b, ledger)
 	var fTree []float64
 
 	// Certificate short-circuit for warm starts: a cached routing of the
@@ -849,7 +911,7 @@ func (s *Solver) MaxFlowCtx(ctx context.Context, src, dst int, cfg Config, warm 
 			// (DESIGN.md §5).
 			fTree = tr.route(resid)
 			if g.MaxCongestion(fTree) <= 0.01*eps*g.MaxCongestion(total) ||
-				s.apx.NormRb(resid) <= norm0*1e-9 {
+				s.normRb(resid, ledger) <= norm0*1e-9 {
 				certMet = true
 				break
 			}

@@ -1,0 +1,215 @@
+package distflow
+
+// Sharded-execution equivalence: Options.Shards changes the execution
+// substrate (P message-passing shard goroutines, internal/shard) but
+// must not change a single bit of any result. These tests pin that
+// contract end to end through the Router, across shard counts, worker
+// counts, and re-sharding republishes. The CI shard-matrix job runs
+// them under GOMAXPROCS {1,4} × DISTFLOW_SHARDS {1,4} with -race.
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// matrixShards returns the shard counts to sweep: the built-in ladder
+// plus the CI matrix's DISTFLOW_SHARDS value when set.
+func matrixShards(t *testing.T) []int {
+	ps := []int{1, 2, 4, 8}
+	if s := os.Getenv("DISTFLOW_SHARDS"); s != "" {
+		p, err := strconv.Atoi(s)
+		if err != nil || p < 1 || p > 64 {
+			t.Fatalf("DISTFLOW_SHARDS=%q: want an integer in [1,64]", s)
+		}
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+func shardTestGraph(seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	const n = 600
+	g := NewGraph(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, rng.Intn(v), 1+rng.Int63n(50))
+	}
+	for k := 0; k < 2*n; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v, 1+rng.Int63n(50))
+		}
+	}
+	return g
+}
+
+func bitEqual(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: [%d] = %v, want %v", what, i, got[i], want[i])
+		}
+	}
+}
+
+func TestShardedMaxFlowBitIdentical(t *testing.T) {
+	g0 := shardTestGraph(42)
+	base, err := NewRouter(g0, Options{Seed: 3, DisableWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.MaxFlow(0, g0.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Messages != 0 || want.Bytes != 0 {
+		t.Fatalf("unsharded result reports traffic: %d msgs, %d bytes", want.Messages, want.Bytes)
+	}
+	for _, p := range matrixShards(t) {
+		g := shardTestGraph(42)
+		r, err := NewRouter(g, Options{Seed: 3, DisableWarmStart: true, Shards: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.MaxFlow(0, g.N()-1)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if math.Float64bits(res.Value) != math.Float64bits(want.Value) {
+			t.Errorf("P=%d: value %v, want %v (bitwise)", p, res.Value, want.Value)
+		}
+		bitEqual(t, "flow", res.Flow, want.Flow)
+		if res.Rounds <= 0 {
+			t.Errorf("P=%d: no rounds reported", p)
+		}
+		if p > 1 && (res.Messages == 0 || res.Bytes == 0) {
+			t.Errorf("P=%d: no measured traffic (%d msgs, %d bytes)", p, res.Messages, res.Bytes)
+		}
+		if p == 1 && res.Messages != 0 {
+			t.Errorf("P=1: measured %d messages, want 0 (single shard never ships)", res.Messages)
+		}
+		r.Close()
+	}
+}
+
+// TestShardedWorkerIndependence crosses shard counts with par worker
+// counts: the engine never touches the par pool, and the baseline
+// phases that still use it are worker-count deterministic, so every
+// (P, workers) cell must produce the same bits.
+func TestShardedWorkerIndependence(t *testing.T) {
+	prev := SetParallelism(1)
+	defer SetParallelism(prev)
+	var want *Result
+	for _, workers := range []int{1, 4} {
+		SetParallelism(workers)
+		for _, p := range []int{2, 4} {
+			g := shardTestGraph(7)
+			r, err := NewRouter(g, Options{Seed: 5, DisableWarmStart: true, Shards: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := r.MaxFlow(0, g.N()-1)
+			if err != nil {
+				t.Fatalf("P=%d workers=%d: %v", p, workers, err)
+			}
+			if want == nil {
+				want = res
+			} else {
+				if math.Float64bits(res.Value) != math.Float64bits(want.Value) {
+					t.Errorf("P=%d workers=%d: value %v, want %v", p, workers, res.Value, want.Value)
+				}
+				bitEqual(t, "flow", res.Flow, want.Flow)
+			}
+			r.Close()
+		}
+	}
+}
+
+// TestSetShardsRepublish re-shards a live router across the bench
+// sweep's ladder and back: each switch publishes a lightweight epoch
+// sharing the frozen graph and approximator, results stay bit-
+// identical, and drained epochs release their engines.
+func TestSetShardsRepublish(t *testing.T) {
+	g := shardTestGraph(11)
+	r, err := NewRouter(g, Options{Seed: 9, DisableWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	want, err := r.MaxFlow(0, g.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := r.EpochSeq()
+	for _, p := range []int{1, 2, 4, 8, 0} {
+		if err := r.SetShards(p); err != nil {
+			t.Fatalf("SetShards(%d): %v", p, err)
+		}
+		if got := r.EpochSeq(); got != seq+1 {
+			t.Fatalf("SetShards(%d): epoch seq %d, want %d", p, got, seq+1)
+		}
+		seq++
+		res, err := r.MaxFlow(0, g.N()-1)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if math.Float64bits(res.Value) != math.Float64bits(want.Value) {
+			t.Errorf("P=%d: value %v, want %v", p, res.Value, want.Value)
+		}
+		bitEqual(t, "flow", res.Flow, want.Flow)
+	}
+	if err := r.SetShards(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetShards(65); err == nil {
+		t.Error("SetShards(65) accepted")
+	}
+	if retired, drained := r.EpochsRetired(), r.EpochsDrained(); retired != drained {
+		t.Errorf("%d retired epochs but %d drained — engines may be leaked", retired, drained)
+	}
+}
+
+// TestShardedUpdatePublish checks the fork→publish update path rebuilds
+// the engine for the new epoch: after a capacity update on a sharded
+// router, queries still run sharded and still match an unsharded
+// router that applied the same update.
+func TestShardedUpdatePublish(t *testing.T) {
+	mk := func(shards int) (*Router, *Graph) {
+		g := shardTestGraph(13)
+		r, err := NewRouter(g, Options{Seed: 2, DisableWarmStart: true, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, g
+	}
+	edits := []CapEdit{{Edge: 0, Cap: 7}, {Edge: 5, Cap: 91}, {Edge: 17, Cap: 2}}
+	base, g0 := mk(0)
+	if _, err := base.UpdateCapacities(edits); err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.MaxFlow(0, g0.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, g1 := mk(3)
+	defer sharded.Close()
+	if _, err := sharded.UpdateCapacities(edits); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sharded.MaxFlow(0, g1.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(res.Value) != math.Float64bits(want.Value) {
+		t.Errorf("post-update value %v, want %v", res.Value, want.Value)
+	}
+	bitEqual(t, "post-update flow", res.Flow, want.Flow)
+	if res.Messages == 0 {
+		t.Error("post-update sharded query reports no traffic — engine not rebuilt at publish?")
+	}
+}
